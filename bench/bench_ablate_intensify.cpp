@@ -1,0 +1,68 @@
+// Ablation A3 (paper §3.2): the two intensification procedures — component
+// swapping vs depth-limited strategic oscillation — against no
+// intensification at all, plus the oscillation-depth knob the paper uses to
+// cap the extra computing time of exploring infeasible solutions.
+#include "common.hpp"
+
+#include "mkp/generator.hpp"
+#include "tabu/engine.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto options = bench::BenchOptions::from_cli(argc, argv);
+
+  const auto inst = mkp::generate_gk(
+      {.num_items = options.quick ? 100u : 250u, .num_constraints = 10},
+      options.seed + 1);
+  const std::uint64_t moves = options.work(6000);
+  const std::uint64_t seeds[] = {1, 2, 3};
+
+  struct Variant {
+    std::string label;
+    tabu::IntensificationKind kind;
+    std::size_t depth;
+  };
+  const Variant variants[] = {
+      {"none", tabu::IntensificationKind::kNone, 0},
+      {"swap", tabu::IntensificationKind::kSwap, 0},
+      {"oscillation d=2", tabu::IntensificationKind::kStrategicOscillation, 2},
+      {"oscillation d=5", tabu::IntensificationKind::kStrategicOscillation, 5},
+      {"oscillation d=10", tabu::IntensificationKind::kStrategicOscillation, 10},
+      {"oscillation d=20", tabu::IntensificationKind::kStrategicOscillation, 20},
+      {"oscillation d=60", tabu::IntensificationKind::kStrategicOscillation, 60},
+      {"oscillation d=150", tabu::IntensificationKind::kStrategicOscillation, 150},
+  };
+
+  TextTable table({"intensification", "mean best", "mean time (s)", "swaps",
+                   "osc adds"});
+  for (const auto& variant : variants) {
+    RunningStats values, seconds;
+    std::uint64_t swaps = 0, osc_adds = 0;
+    for (std::uint64_t seed : seeds) {
+      Rng rng(seed);
+      tabu::TsParams params;
+      params.intensification = variant.kind;
+      params.oscillation_depth = variant.depth;
+      params.strategy.nb_local = 25;
+      params.max_moves = moves;
+      Stopwatch watch;
+      const auto result = tabu::tabu_search_from_scratch(inst, params, rng);
+      seconds.add(watch.elapsed_seconds());
+      values.add(result.best_value);
+      swaps += result.intensify_stats.swaps;
+      osc_adds += result.intensify_stats.oscillation_adds;
+    }
+    table.add_row({variant.label, TextTable::fmt(values.mean(), 1),
+                   TextTable::fmt(seconds.mean(), 2), TextTable::fmt(swaps),
+                   TextTable::fmt(osc_adds)});
+  }
+
+  bench::emit(options, "Ablation A3",
+              "intensification variants at a fixed move budget (3 seeds)", table,
+              "paper shape: both procedures beat 'none'; oscillation's cost (adds to "
+              "explore + projection work) keeps growing with depth while the "
+              "quality gain flattens — the rationale for the paper's depth limit.");
+  return 0;
+}

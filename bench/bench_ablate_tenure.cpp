@@ -1,0 +1,71 @@
+// Ablation A1 (paper §4.1 discussion): the tabu-list length trade-off.
+// Small tenures intensify (quick returns to good regions, many revisits);
+// large tenures diversify (few revisits) but over-constrain the move pool.
+// Sweep the tenure on one GK instance at a fixed budget and report quality
+// plus the revisit rate (distinct/total solution hashes).
+#include "common.hpp"
+
+#include <unordered_set>
+
+#include "bounds/greedy.hpp"
+#include "mkp/generator.hpp"
+#include "tabu/engine.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+// Counts distinct solutions along the trajectory via a trace.
+class RevisitProbe : public pts::tabu::TsTrace {
+ public:
+  void on_move(std::uint64_t, double value, bool) override {
+    ++total_;
+    // Hash the objective value as a cheap trajectory signature; exact
+    // duplicate values on GK instances almost always mean equal solutions.
+    seen_.insert(static_cast<std::int64_t>(value * 16));
+  }
+  [[nodiscard]] double revisit_rate() const {
+    return total_ == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(seen_.size()) / static_cast<double>(total_);
+  }
+
+ private:
+  std::unordered_set<std::int64_t> seen_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto options = bench::BenchOptions::from_cli(argc, argv);
+
+  const auto inst = mkp::generate_gk(
+      {.num_items = options.quick ? 80u : 250u, .num_constraints = 10}, options.seed);
+
+  TextTable table({"tenure", "best value", "revisit rate", "aspiration hits"});
+  for (std::size_t tenure : {1, 3, 5, 7, 10, 15, 20, 30, 40}) {
+    RunningStats values;
+    RunningStats revisits;
+    std::uint64_t aspiration = 0;
+    for (std::uint64_t seed : {1, 2, 3}) {
+      Rng rng(seed);
+      tabu::TsParams params;
+      params.strategy.tabu_tenure = tenure;
+      params.strategy.nb_local = 25;
+      params.max_moves = options.work(8000);
+      RevisitProbe probe;
+      const auto result = tabu::tabu_search_from_scratch(inst, params, rng, &probe);
+      values.add(result.best_value);
+      revisits.add(probe.revisit_rate());
+      aspiration += result.move_stats.aspiration_hits;
+    }
+    table.add_row({TextTable::fmt(tenure), TextTable::fmt(values.mean(), 1),
+                   TextTable::fmt(revisits.mean(), 3), TextTable::fmt(aspiration)});
+  }
+
+  bench::emit(options, "Ablation A1", "tabu tenure sweep (mean of 3 seeds)", table,
+              "paper shape: revisit rate falls as tenure grows; quality peaks at "
+              "a mid tenure and degrades at both extremes.");
+  return 0;
+}

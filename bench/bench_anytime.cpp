@@ -1,0 +1,87 @@
+// Anytime-profile figure — the introduction's claims that parallel
+// cooperative search "reduces the execution time" and "improves the quality
+// of the final solution". The paper's axis is wall time on P processors: in
+// one time tick the ensemble spends P times the work of the sequential
+// search. We therefore report CTS2 on two axes:
+//   * equal TIME  (the paper's comparison): CTS2 has spent P*t work at
+//     SEQ's t — this is where parallelism pays;
+//   * equal WORK  (the single-core-fair comparison): one long trajectory vs
+//     P/rounds short cooperative chunks — cooperation must carry the load.
+#include "common.hpp"
+
+#include "mkp/generator.hpp"
+#include "tabu/trajectory.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto options = bench::BenchOptions::from_cli(argc, argv);
+
+  const auto inst = mkp::generate_gk(
+      {.num_items = options.quick ? 100u : 250u, .num_constraints = 10},
+      options.seed + 9);
+  const std::size_t kSlaves = 4;
+  const std::size_t kCheckpoints = 8;
+  const std::uint64_t seq_work = options.work(24000);  // SEQ's total work
+  const std::uint64_t seeds[] = {1, 2, 3};
+
+  // SEQ: one trajectory with a randomly drawn strategy (the paper's SEQ:
+  // "the strategy parameters and the initial solution are chosen randomly"),
+  // sampled on the time (= work) grid.
+  std::vector<RunningStats> seq_profile(kCheckpoints);
+  for (std::uint64_t seed : seeds) {
+    Rng rng(seed);
+    tabu::TsParams params;
+    params.strategy = parallel::random_strategy(rng, parallel::SgpConfig{}.bounds);
+    params.max_moves = seq_work / params.strategy.nb_drop;  // work-normalized
+    tabu::TrajectoryRecorder recorder(/*stride=*/16);
+    (void)tabu::tabu_search_from_scratch(inst, params, rng, &recorder);
+    for (std::size_t c = 0; c < kCheckpoints; ++c) {
+      const auto at = params.max_moves * (c + 1) / kCheckpoints;
+      seq_profile[c].add(recorder.best_at(at));
+    }
+  }
+
+  // CTS2 profiles: rounds are the checkpoints; the running best after round
+  // r is read off the master timeline. Two budgets:
+  //   equal time: each round spends kSlaves * (seq tick) of work;
+  //   equal work: the whole ensemble splits SEQ's budget.
+  auto cts2_profile = [&](std::uint64_t work_per_slave_round) {
+    std::vector<RunningStats> profile(kCheckpoints);
+    for (std::uint64_t seed : seeds) {
+      auto config = bench::default_cts2(seed, kSlaves, kCheckpoints,
+                                        work_per_slave_round);
+      const auto result = parallel::run_parallel_tabu_search(inst, config);
+      double running_best = 0.0;
+      for (std::size_t round = 0; round < kCheckpoints; ++round) {
+        for (const auto& log : result.master.timeline) {
+          if (log.round == round) {
+            running_best = std::max(running_best, log.final_value);
+          }
+        }
+        profile[round].add(running_best);
+      }
+    }
+    return profile;
+  };
+  const auto equal_time = cts2_profile(seq_work / kCheckpoints);
+  const auto equal_work = cts2_profile(seq_work / (kSlaves * kCheckpoints));
+
+  TextTable table({"time tick (SEQ work)", "SEQ", "CTS2 @equal time (Px work)",
+                   "CTS2 @equal work"});
+  for (std::size_t c = 0; c < kCheckpoints; ++c) {
+    table.add_row({TextTable::fmt(seq_work * (c + 1) / kCheckpoints),
+                   TextTable::fmt(seq_profile[c].mean(), 1),
+                   TextTable::fmt(equal_time[c].mean(), 1),
+                   TextTable::fmt(equal_work[c].mean(), 1)});
+  }
+
+  bench::emit(options, "Anytime profile",
+              "best value vs time: SEQ vs CTS2 on 4 slaves (3 seeds)", table,
+              "paper shape: the cooperative ensemble dominates the randomly "
+              "parameterized sequential search at every tick on both axes. "
+              "(A hand-tuned SEQ strategy can close the equal-work gap — which "
+              "is the paper's point: CTS2 removes the dependence on a lucky "
+              "parameter draw.)");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Baseline comparison (paper §5 closing remark): "The execution times for
+// these two benchmarks are very short comparing to those given in [7],
+// which do not include the time needed to find the suitable parameter
+// values for the TS algorithm." We stage that comparison: the fixed-
+// parameter sequential baselines (our Figure-1 engine with default and with
+// deliberately poor strategies, and critical-event tabu search after
+// reference [6]) against the self-tuning parallel CTS2 — all under the SAME
+// WALL-TIME budget, since a CETS step and an engine move cost very
+// different amounts of work.
+#include "common.hpp"
+
+#include "baselines/grasp.hpp"
+#include "baselines/simulated_annealing.hpp"
+#include "mkp/generator.hpp"
+#include "tabu/cets.hpp"
+#include "tabu/engine.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto options = bench::BenchOptions::from_cli(argc, argv);
+
+  const double time_budget = options.quick ? 0.08 : 0.4;
+  const std::uint64_t seeds[] = {1, 2, 3};
+  struct Shape {
+    std::size_t m, n;
+  };
+  const Shape shapes[] = {{5, 100}, {10, 250}};
+
+  TextTable table({"instance", "method", "mean best", "mean time (s)"});
+  for (const auto& shape : shapes) {
+    const auto inst = mkp::generate_gk(
+        {.num_items = options.quick ? shape.n / 4 : shape.n,
+         .num_constraints = shape.m},
+        options.seed + shape.n);
+    const std::string label =
+        std::to_string(shape.m) + "x" + std::to_string(inst.num_items());
+
+    auto add_row = [&](const std::string& method, auto&& runner) {
+      RunningStats values, seconds;
+      for (std::uint64_t seed : seeds) {
+        Stopwatch watch;
+        values.add(runner(seed));
+        seconds.add(watch.elapsed_seconds());
+      }
+      table.add_row({label, method, TextTable::fmt(values.mean(), 1),
+                     TextTable::fmt(seconds.mean(), 2)});
+    };
+
+    add_row("TS (default params)", [&](std::uint64_t seed) {
+      Rng rng(seed);
+      tabu::TsParams params;
+      params.max_moves = 0;
+      params.time_limit_seconds = time_budget;
+      params.strategy.nb_local = 25;
+      return tabu::tabu_search_from_scratch(inst, params, rng).best_value;
+    });
+    add_row("TS (poor params)", [&](std::uint64_t seed) {
+      Rng rng(seed);
+      tabu::TsParams params;
+      params.strategy = tabu::Strategy{55, 8, 12};
+      params.max_moves = 0;
+      params.time_limit_seconds = time_budget;
+      return tabu::tabu_search_from_scratch(inst, params, rng).best_value;
+    });
+    add_row("CETS [6] (fixed)", [&](std::uint64_t seed) {
+      Rng rng(seed);
+      tabu::CetsParams params;
+      params.max_steps = 0;
+      params.time_limit_seconds = time_budget;
+      return tabu::critical_event_tabu_search(inst, rng, params).best_value;
+    });
+    add_row("SA baseline", [&](std::uint64_t seed) {
+      Rng rng(seed);
+      baselines::SaParams params;
+      params.max_steps = 0;
+      params.time_limit_seconds = time_budget;
+      return baselines::simulated_annealing(inst, rng, params).best_value;
+    });
+    add_row("GRASP baseline", [&](std::uint64_t seed) {
+      Rng rng(seed);
+      baselines::GraspParams params;
+      params.max_iterations = 0;
+      params.time_limit_seconds = time_budget;
+      return baselines::grasp(inst, rng, params).best_value;
+    });
+    add_row("CTS2 (self-tuning)", [&](std::uint64_t seed) {
+      // Many small rounds; the time limit cuts the round loop.
+      auto config = bench::default_cts2(seed, 4, 1000, 400);
+      config.time_limit_seconds = time_budget;
+      return parallel::run_parallel_tabu_search(inst, config).best_value;
+    });
+    add_row("CTS2 + path relink", [&](std::uint64_t seed) {
+      auto config = bench::default_cts2(seed, 4, 1000, 400);
+      config.time_limit_seconds = time_budget;
+      config.relink_elites = true;
+      return parallel::run_parallel_tabu_search(inst, config).best_value;
+    });
+  }
+
+  bench::emit(options, "Baseline comparison",
+              "fixed-parameter baselines vs self-tuning CTS2 at one TIME budget",
+              table,
+              "paper shape: a well-parameterized sequential TS is competitive, "
+              "the badly parameterized one pays heavily — the tuning cost the "
+              "paper says [7]'s timings omit; CTS2 reaches top quality with no "
+              "hand tuning at all. CETS here is a simplified reimplementation "
+              "of [6], reported for orientation, not as that paper's numbers.");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Micro-kernel benchmarks (google-benchmark): the inner loops whose cost
+// model the paper's work balancing assumes — O(m) add/drop, O(n m) move
+// application scaling with nb_drop, plus the LP solve and pool-spread
+// kernels the master relies on.
+#include <benchmark/benchmark.h>
+
+#include "bounds/greedy.hpp"
+#include "bounds/lagrangian.hpp"
+#include "bounds/reduction.hpp"
+#include "bounds/simplex.hpp"
+#include "mkp/generator.hpp"
+#include "tabu/cets.hpp"
+#include "tabu/elite_pool.hpp"
+#include "tabu/moves.hpp"
+#include "tabu/path_relink.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pts;
+
+mkp::Instance bench_instance(std::size_t n, std::size_t m) {
+  return mkp::generate_gk({.num_items = n, .num_constraints = m}, 12345);
+}
+
+void BM_SolutionAddDrop(benchmark::State& state) {
+  const auto inst = bench_instance(500, static_cast<std::size_t>(state.range(0)));
+  mkp::Solution s(inst);
+  std::size_t j = 0;
+  for (auto _ : state) {
+    s.add(j);
+    s.drop(j);
+    j = (j + 1) % inst.num_items();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SolutionAddDrop)->Arg(5)->Arg(10)->Arg(25);
+
+void BM_MoveApply(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)), 10);
+  auto x = bounds::greedy_construct(inst);
+  tabu::TabuList tabu(inst.num_items());
+  tabu::MoveKernel kernel(inst);
+  tabu::MoveStats stats;
+  tabu::Strategy strategy;
+  strategy.nb_drop = static_cast<std::size_t>(state.range(1));
+  Rng rng(1);
+  std::uint64_t iter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernel.apply(x, tabu, ++iter, strategy, 7, 1e18, rng, stats));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MoveApply)
+    ->Args({100, 1})
+    ->Args({100, 4})
+    ->Args({250, 1})
+    ->Args({250, 4})
+    ->Args({500, 1})
+    ->Args({500, 4});
+
+void BM_GreedyConstruct(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bounds::greedy_construct(inst));
+  }
+}
+BENCHMARK(BM_GreedyConstruct)->Arg(100)->Arg(500);
+
+void BM_LpRelaxation(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)),
+                                   static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bounds::solve_lp_relaxation(inst));
+  }
+}
+BENCHMARK(BM_LpRelaxation)->Args({100, 5})->Args({250, 10})->Args({500, 25});
+
+void BM_HammingDistance(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)), 5);
+  Rng rng(2);
+  const auto a = bounds::random_feasible(inst, rng);
+  const auto b = bounds::random_feasible(inst, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.hamming_distance(b));
+  }
+}
+BENCHMARK(BM_HammingDistance)->Arg(500)->Arg(2000);
+
+void BM_ElitePoolSpread(benchmark::State& state) {
+  const auto inst = bench_instance(250, 10);
+  Rng rng(3);
+  tabu::ElitePool pool(static_cast<std::size_t>(state.range(0)));
+  for (int k = 0; k < state.range(0) * 3; ++k) {
+    pool.offer(bounds::random_feasible(inst, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.mean_pairwise_hamming());
+  }
+}
+BENCHMARK(BM_ElitePoolSpread)->Arg(5)->Arg(20);
+
+void BM_CetsStep(benchmark::State& state) {
+  // One add/drop oscillation step, amortized over a bounded run.
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)), 10);
+  Rng rng(4);
+  for (auto _ : state) {
+    tabu::CetsParams params;
+    params.max_steps = 256;
+    benchmark::DoNotOptimize(tabu::critical_event_tabu_search(inst, rng, params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_CetsStep)->Arg(100)->Arg(250);
+
+void BM_PathRelink(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)), 10);
+  Rng rng(5);
+  const auto a = bounds::greedy_randomized(inst, rng);
+  const auto b = bounds::random_feasible(inst, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tabu::path_relink(a, b));
+  }
+}
+BENCHMARK(BM_PathRelink)->Arg(100)->Arg(250);
+
+void BM_ReducedCostFixing(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(0)), 10);
+  const double lb = bounds::greedy_construct(inst).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bounds::reduced_cost_fixing(inst, lb));
+  }
+}
+BENCHMARK(BM_ReducedCostFixing)->Arg(100)->Arg(250);
+
+void BM_LagrangianDual(benchmark::State& state) {
+  const auto inst = bench_instance(250, static_cast<std::size_t>(state.range(0)));
+  bounds::LagrangianOptions options;
+  options.max_iterations = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bounds::solve_lagrangian(inst, options));
+  }
+}
+BENCHMARK(BM_LagrangianDual)->Arg(5)->Arg(25);
+
+void BM_GenerateGk(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mkp::generate_gk(
+        {.num_items = static_cast<std::size_t>(state.range(0)),
+         .num_constraints = 25},
+        ++seed));
+  }
+}
+BENCHMARK(BM_GenerateGk)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

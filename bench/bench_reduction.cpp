@@ -1,0 +1,82 @@
+// Ablation A7 — why the paper benchmarks on Fréville–Plateau problems at
+// all: that suite was built to be "hard for size reduction methods". We
+// implement the classic size reduction (LP reduced-cost variable fixing)
+// and measure the fixed fraction and residual B&B tree across instance
+// families. Uncorrelated instances collapse; FP/GK-style correlated ones
+// resist — which is exactly why a metaheuristic is the right tool there.
+#include "common.hpp"
+
+#include <functional>
+
+#include "exact/reduce_and_solve.hpp"
+#include "mkp/analysis.hpp"
+#include "mkp/generator.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto options = bench::BenchOptions::from_cli(argc, argv);
+
+  const std::size_t n = options.quick ? 22 : 32;
+  const std::size_t m = 5;
+  const std::uint64_t seeds[] = {1, 2, 3, 4, 5};
+  exact::BnbOptions bnb_options;
+  bnb_options.time_limit_seconds = options.quick ? 2.0 : 10.0;
+
+  struct Family {
+    std::string label;
+    std::function<mkp::Instance(std::uint64_t)> make;
+  };
+  const Family families[] = {
+      {"uncorrelated",
+       [&](std::uint64_t s) { return mkp::generate_uncorrelated(n, m, s); }},
+      {"weakly correlated",
+       [&](std::uint64_t s) { return mkp::generate_weakly_correlated(n, m, s); }},
+      {"GK (correlated)",
+       [&](std::uint64_t s) {
+         return mkp::generate_gk({.num_items = n, .num_constraints = m}, s);
+       }},
+      {"FP-style (anti-reduction)",
+       [&](std::uint64_t s) {
+         return mkp::generate_fp({.num_items = n, .num_constraints = m}, s);
+       }},
+  };
+
+  TextTable table({"family", "corr(c,w)", "fixed vars (%)", "residual nodes",
+                   "plain nodes", "node ratio", "solved"});
+  for (const auto& family : families) {
+    RunningStats correlation, fixed_fraction, reduced_nodes, plain_nodes;
+    std::size_t solved = 0;
+    for (std::uint64_t seed : seeds) {
+      const auto inst = family.make(seed);
+      correlation.add(mkp::profile_instance(inst).profit_weight_correlation);
+
+      exact::ReducedSolveStats stats;
+      const auto with = exact::branch_and_bound_with_reduction(inst, bnb_options, &stats);
+      const auto without = exact::branch_and_bound(inst, bnb_options);
+      fixed_fraction.add(100.0 *
+                         static_cast<double>(stats.fixed_to_zero + stats.fixed_to_one) /
+                         static_cast<double>(stats.original_variables));
+      if (!with.proven_optimal || !without.proven_optimal) continue;
+      ++solved;
+      reduced_nodes.add(static_cast<double>(with.nodes));
+      plain_nodes.add(static_cast<double>(without.nodes));
+    }
+    const double ratio =
+        plain_nodes.mean() > 0.0 ? reduced_nodes.mean() / plain_nodes.mean() : 0.0;
+    table.add_row({family.label, TextTable::fmt(correlation.mean(), 2),
+                   TextTable::fmt(fixed_fraction.mean(), 1),
+                   TextTable::fmt(reduced_nodes.mean(), 0),
+                   TextTable::fmt(plain_nodes.mean(), 0), TextTable::fmt(ratio, 3),
+                   TextTable::fmt(solved) + "/5"});
+  }
+
+  bench::emit(options, "Ablation A7",
+              "size reduction (LP reduced-cost fixing) across instance families",
+              table,
+              "shape: the fixed fraction falls — and the surviving tree grows — "
+              "as profit/weight correlation rises; FP/GK-style instances resist "
+              "reduction (and even time out the exact solver), motivating the "
+              "paper's tabu-search approach.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 1 (paper §5): Glover–Kochenberger-style problem classes from 3x10 up
+// to 25x500 — maximum execution time and % deviation per class, solved with
+// the full CTS2 parallel tabu search.
+//
+// Paper-vs-here: the paper reports deviation against best-known values from
+// the literature; offline we measure against the exact optimum where B&B
+// proves it quickly and against the LP-relaxation upper bound otherwise
+// (the LP gap over-states the true deviation, so these numbers are a
+// conservative ceiling). See DESIGN.md, data substitution note.
+#include "common.hpp"
+
+#include "mkp/generator.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto options = bench::BenchOptions::from_cli(argc, argv);
+
+  const double size_scale = options.quick ? 0.2 : 1.0;
+  const std::size_t per_class = 2;
+  const auto classes =
+      mkp::generate_gk_table1_classes(options.seed, per_class, size_scale);
+
+  TextTable table({"class (m x n)", "instances", "max time (s)", "mean dev (%)",
+                   "max dev (%)", "ref"});
+  for (const auto& cls : classes) {
+    RunningStats deviations;
+    double max_seconds = 0.0;
+    std::string reference = "?";
+    for (std::size_t k = 0; k < cls.instances.size(); ++k) {
+      const auto& inst = cls.instances[k];
+      Stopwatch watch;
+      auto config = bench::default_cts2(options.seed + k, 4, 4,
+                                        options.work(5000));
+      const auto result = parallel::run_parallel_tabu_search(inst, config);
+      max_seconds = std::max(max_seconds, watch.elapsed_seconds());
+      deviations.add(bench::reference_gap_percent(inst, result.best_value,
+                                                  options.quick ? 0.5 : 3.0,
+                                                  &reference));
+    }
+    table.add_row({cls.label, TextTable::fmt(cls.instances.size()),
+                   TextTable::fmt(max_seconds, 2), TextTable::fmt(deviations.mean(), 2),
+                   TextTable::fmt(deviations.max(), 2), reference});
+  }
+
+  bench::emit(options, "Table 1",
+              "CTS2 on Glover–Kochenberger classes: max time and deviation", table,
+              "paper shape: deviations stay small (<~1% vs best known) and grow "
+              "mildly with m; times grow with n. 'LP' rows over-state the true "
+              "gap because the reference is the LP bound, not the optimum.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Dynamic parameter tuning — the paper's headline claim beyond speedup:
+// "parallel cooperative search may be used to unload the user from the task
+// of finding the efficient TS parameters for each problem instance."
+//
+// This example runs (a) a sequential TS with a deliberately poor hand-picked
+// strategy, (b) a sequential TS with a good hand-picked strategy, and
+// (c) CTS2, which starts from random strategies and retunes them from slave
+// feedback — then prints the master's tuning timeline so the adaptation is
+// visible.
+//
+//   ./parameter_tuning [--items=200] [--seed=3] [--csv-out=/tmp/run]
+#include <cstdio>
+
+#include "mkp/generator.hpp"
+#include "parallel/report_io.hpp"
+#include "parallel/runner.hpp"
+#include "tabu/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto args = CliArgs::parse(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  mkp::GkConfig gen;
+  gen.num_items = static_cast<std::size_t>(args.get_int("items", 200));
+  gen.num_constraints = 10;
+  const auto inst = mkp::generate_gk(gen, seed);
+
+  const std::uint64_t kTotalWork = 60'000;
+
+  auto run_fixed = [&](tabu::Strategy strategy) {
+    Rng rng(seed);
+    tabu::TsParams params;
+    params.strategy = strategy;
+    params.max_moves = kTotalWork / strategy.nb_drop;
+    return tabu::tabu_search_from_scratch(inst, params, rng);
+  };
+
+  // (a) a plausible-looking but poor strategy: huge tenure, huge steps.
+  const auto poor = run_fixed(tabu::Strategy{55, 8, 15});
+  // (b) a strategy a practitioner would reach after manual tuning.
+  const auto good = run_fixed(tabu::Strategy{7, 2, 60});
+
+  // (c) CTS2 finds its own strategies.
+  parallel::ParallelConfig config;
+  config.mode = parallel::CooperationMode::kCooperativeAdaptive;
+  config.num_slaves = 4;
+  config.search_iterations = 5;
+  config.work_per_slave_round = kTotalWork / (4 * 5);
+  config.seed = seed;
+  const auto adaptive = parallel::run_parallel_tabu_search(inst, config);
+
+  std::printf("instance %s — identical total work budget for all runs\n\n",
+              inst.name().c_str());
+  TextTable summary({"run", "strategy source", "best value"});
+  summary.add_row({"sequential TS", "hand-picked (poor: tenure 55, drop 8)",
+                   TextTable::fmt(poor.best_value, 1)});
+  summary.add_row({"sequential TS", "hand-picked (tuned: tenure 7, drop 2)",
+                   TextTable::fmt(good.best_value, 1)});
+  summary.add_row({"CTS2", "self-tuned from random draws",
+                   TextTable::fmt(adaptive.best_value, 1)});
+  std::fputs(summary.render().c_str(), stdout);
+
+  std::printf("\nmaster tuning timeline (%zu retunes, %zu injections, %zu restarts):\n",
+              adaptive.master.strategy_retunes,
+              adaptive.master.global_best_injections,
+              adaptive.master.random_restarts);
+  TextTable timeline({"round", "slave", "strategy run", "start", "end", "score",
+                      "retune", "next start from"});
+  for (const auto& log : adaptive.master.timeline) {
+    timeline.add_row({TextTable::fmt(log.round), TextTable::fmt(log.slave),
+                      log.strategy.to_string(), TextTable::fmt(log.initial_value, 0),
+                      TextTable::fmt(log.final_value, 0),
+                      TextTable::fmt(static_cast<long long>(log.score_after)),
+                      to_string(log.retune), to_string(log.init_kind)});
+  }
+  std::fputs(timeline.render().c_str(), stdout);
+  if (args.has("csv-out")) {
+    const auto prefix = args.get_string("csv-out", "/tmp/pts_run");
+    parallel::write_report_files(prefix, adaptive);
+    std::printf("\nwrote %s-timeline.csv and %s-summary.csv\n", prefix.c_str(),
+                prefix.c_str());
+  }
+  std::printf(
+      "\nreading the timeline: 'diversified' rows lengthen the tenure after a\n"
+      "clustered elite pool; 'intensified' rows shorten it after a scattered\n"
+      "one; scores drop toward 0 on unproductive rounds and trigger the retune.\n");
+  return 0;
+}

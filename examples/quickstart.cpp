@@ -1,0 +1,55 @@
+// Quickstart: generate a 0-1 MKP instance, run the parallel cooperative
+// tabu search (CTS2), and inspect the result.
+//
+//   ./quickstart [--items=250] [--constraints=10] [--slaves=4] [--seed=42]
+#include <cstdio>
+
+#include "bounds/simplex.hpp"
+#include "mkp/generator.hpp"
+#include "parallel/runner.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto args = CliArgs::parse(argc, argv);
+
+  // 1. Build (or load — see orlib_solver) an instance.
+  mkp::GkConfig gen;
+  gen.num_items = static_cast<std::size_t>(args.get_int("items", 250));
+  gen.num_constraints = static_cast<std::size_t>(args.get_int("constraints", 10));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto inst = mkp::generate_gk(gen, seed);
+  std::printf("instance %s: n=%zu items, m=%zu constraints\n", inst.name().c_str(),
+              inst.num_items(), inst.num_constraints());
+
+  // 2. Configure the parallel search. CTS2 = cooperative threads with
+  //    dynamic strategy setting — the paper's full algorithm.
+  parallel::ParallelConfig config;
+  config.mode = parallel::CooperationMode::kCooperativeAdaptive;
+  config.num_slaves = static_cast<std::size_t>(args.get_int("slaves", 4));
+  config.search_iterations = 5;          // master rounds
+  config.work_per_slave_round = 10'000;  // move*nb_drop units per slave round
+  config.seed = seed;
+
+  // 3. Run.
+  const auto result = parallel::run_parallel_tabu_search(inst, config);
+
+  // 4. Inspect: objective, quality vs the LP upper bound, selected items.
+  const auto lp = bounds::solve_lp_relaxation(inst);
+  std::printf("best value: %.1f (feasible: %s)\n", result.best_value,
+              result.best.is_feasible() ? "yes" : "no");
+  std::printf("LP upper bound: %.1f  ->  gap <= %.2f%%\n", lp.objective,
+              deviation_percent(result.best_value, lp.objective));
+  std::printf("total moves: %llu across %zu rounds, %.2fs wall\n",
+              static_cast<unsigned long long>(result.total_moves),
+              result.master.rounds_completed, result.seconds);
+
+  const auto items = result.best.selected_items();
+  std::printf("%zu items selected; first few:", items.size());
+  for (std::size_t k = 0; k < items.size() && k < 12; ++k) {
+    std::printf(" %zu", items[k]);
+  }
+  std::printf("%s\n", items.size() > 12 ? " ..." : "");
+  return 0;
+}

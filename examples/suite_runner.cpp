@@ -1,0 +1,113 @@
+// Suite runner: sweep one of the named benchmark suites with a preset and
+// print a per-class summary — the "evaluate this solver on the standard
+// workloads" workflow in one command.
+//
+//   ./suite_runner [--suite=cb|fp57|table1] [--preset=quick|balanced|...]
+//                  [--scale=0.25] [--seed=1] [--autotune]
+#include <cstdio>
+
+#include "bounds/simplex.hpp"
+#include "mkp/generator.hpp"
+#include "mkp/suites.hpp"
+#include "parallel/autotune.hpp"
+#include "parallel/presets.hpp"
+#include "parallel/runner.hpp"
+#include "tabu/engine.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+std::vector<pts::mkp::SuiteClass> load_suite(const std::string& name,
+                                             std::uint64_t seed, double scale) {
+  using namespace pts::mkp;
+  if (name == "fp57") {
+    std::vector<SuiteClass> classes;
+    auto problems = generate_fp57(seed);
+    const std::size_t take =
+        std::max<std::size_t>(1, static_cast<std::size_t>(57 * scale));
+    SuiteClass cls;
+    cls.label = "fp57[0.." + std::to_string(take - 1) + "]";
+    for (std::size_t k = 0; k < take; ++k) cls.instances.push_back(std::move(problems[k]));
+    classes.push_back(std::move(cls));
+    return classes;
+  }
+  if (name == "table1") {
+    std::vector<SuiteClass> classes;
+    for (auto& gk_class : generate_gk_table1_classes(seed, 1, scale)) {
+      SuiteClass cls;
+      cls.label = gk_class.label;
+      cls.instances = std::move(gk_class.instances);
+      classes.push_back(std::move(cls));
+    }
+    return classes;
+  }
+  ChuBeasleyConfig config;
+  config.size_scale = scale;
+  config.constraint_counts = {5, 10};
+  config.item_counts = {100, 250};
+  return generate_chu_beasley(seed, config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto args = CliArgs::parse(argc, argv);
+  const auto suite_name = args.get_string("suite", "cb");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto scale = args.get_double("scale", 0.5);
+  const bool autotune = args.get_bool("autotune", false);
+
+  auto preset = parallel::preset_by_name(args.get_string("preset", "quick"), seed);
+  if (!preset) {
+    std::fprintf(stderr, "unknown preset\n");
+    return 1;
+  }
+
+  const auto classes = load_suite(suite_name, seed, scale);
+  std::printf("suite '%s' (%zu class(es)), preset '%s'%s\n\n", suite_name.c_str(),
+              classes.size(), args.get_string("preset", "quick").c_str(),
+              autotune ? ", with autotuned sequential rerun" : "");
+
+  TextTable table(autotune ? std::vector<std::string>{"class", "mean LP gap (%)",
+                                                      "autotuned gap (%)", "time (s)"}
+                           : std::vector<std::string>{"class", "mean LP gap (%)",
+                                                      "time (s)"});
+  for (const auto& cls : classes) {
+    RunningStats gaps, tuned_gaps;
+    Stopwatch watch;
+    for (const auto& inst : cls.instances) {
+      auto config = *preset;
+      parallel::scale_budget_to_instance(config, inst);
+      const auto result = parallel::run_parallel_tabu_search(inst, config);
+      const auto lp = bounds::solve_lp_relaxation(inst);
+      if (lp.optimal()) {
+        gaps.add(deviation_percent(result.best_value, lp.objective));
+      }
+      if (autotune && lp.optimal()) {
+        const auto tuned = parallel::recommend_strategy(inst);
+        Rng rng(seed);
+        tabu::TsParams params;
+        params.strategy = tuned.recommended;
+        params.max_moves = 10'000 / params.strategy.nb_drop;
+        const auto rerun = tabu::tabu_search_from_scratch(inst, params, rng);
+        tuned_gaps.add(deviation_percent(rerun.best_value, lp.objective));
+      }
+    }
+    if (autotune) {
+      table.add_row({cls.label, TextTable::fmt(gaps.mean(), 2),
+                     TextTable::fmt(tuned_gaps.mean(), 2),
+                     TextTable::fmt(watch.elapsed_seconds(), 2)});
+    } else {
+      table.add_row({cls.label, TextTable::fmt(gaps.mean(), 2),
+                     TextTable::fmt(watch.elapsed_seconds(), 2)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n(LP gap over-states the true deviation by the integrality gap;\n"
+              " see EXPERIMENTS.md.)\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "baselines/grasp.hpp"
+
+#include "bounds/greedy.hpp"
+#include "tabu/intensify.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pts::baselines {
+
+GraspResult grasp(const mkp::Instance& inst, Rng& rng, const GraspParams& params) {
+  PTS_CHECK_MSG(params.max_iterations > 0 || params.time_limit_seconds > 0.0,
+                "the run must be bounded by iterations or time");
+  Stopwatch watch;
+  const auto deadline = params.time_limit_seconds > 0.0
+                            ? Deadline::after_seconds(params.time_limit_seconds)
+                            : Deadline::unbounded();
+
+  GraspResult result{mkp::Solution(inst)};
+  while ((params.max_iterations == 0 || result.iterations < params.max_iterations) &&
+         !result.reached_target && !deadline.expired()) {
+    ++result.iterations;
+
+    auto candidate = bounds::greedy_randomized(inst, rng, params.rcl_size);
+    result.local_search_swaps += tabu::swap_intensify(candidate);
+
+    if (candidate.value() > result.best_value) {
+      result.best_value = candidate.value();
+      result.best = std::move(candidate);
+      if (params.target_value && result.best_value >= *params.target_value) {
+        result.reached_target = true;
+      }
+    }
+  }
+
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace pts::baselines

@@ -1,0 +1,35 @@
+#pragma once
+// GRASP (greedy randomized adaptive search procedure) for the 0-1 MKP — the
+// other classic 1990s metaheuristic baseline: iterate (randomized greedy
+// construction -> local search), keep the best. Construction reuses the
+// library's RCL-based greedy; local search is the swap-exchange fixpoint
+// shared with the tabu engine's intensification.
+
+#include <cstdint>
+#include <optional>
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+#include "util/rng.hpp"
+
+namespace pts::baselines {
+
+struct GraspParams {
+  std::size_t rcl_size = 4;  ///< restricted-candidate-list width
+  std::uint64_t max_iterations = 500;
+  double time_limit_seconds = 0.0;
+  std::optional<double> target_value;
+};
+
+struct GraspResult {
+  mkp::Solution best;
+  double best_value = 0.0;
+  std::uint64_t iterations = 0;
+  std::uint64_t local_search_swaps = 0;
+  double seconds = 0.0;
+  bool reached_target = false;
+};
+
+GraspResult grasp(const mkp::Instance& inst, Rng& rng, const GraspParams& params = {});
+
+}  // namespace pts::baselines

@@ -1,0 +1,83 @@
+#include "baselines/simulated_annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bounds/greedy.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pts::baselines {
+
+SaResult simulated_annealing(const mkp::Instance& inst, Rng& rng,
+                             const SaParams& params) {
+  PTS_CHECK_MSG(params.max_steps > 0 || params.time_limit_seconds > 0.0,
+                "the run must be bounded by steps or time");
+  Stopwatch watch;
+  const auto deadline = params.time_limit_seconds > 0.0
+                            ? Deadline::after_seconds(params.time_limit_seconds)
+                            : Deadline::unbounded();
+
+  const std::size_t n = inst.num_items();
+  const double mean_profit = inst.total_profit() / static_cast<double>(n);
+  const double t0 = std::max(params.min_temperature,
+                             params.initial_temperature_factor * mean_profit);
+
+  mkp::Solution x = bounds::greedy_randomized(inst, rng);
+  SaResult result{x, x.value()};
+  if (params.target_value && result.best_value >= *params.target_value) {
+    result.reached_target = true;
+  }
+  double temperature = t0;
+  std::uint64_t since_improvement = 0;
+
+  while ((params.max_steps == 0 || result.steps < params.max_steps) &&
+         !result.reached_target) {
+    if ((result.steps & 255U) == 0 && deadline.expired()) break;
+    ++result.steps;
+
+    const std::size_t j = rng.index(n);
+    double delta;
+    bool apply = false;
+    if (x.contains(j)) {
+      delta = -inst.profit(j);
+      // Metropolis: downhill needs the coin flip.
+      apply = rng.uniform01() < std::exp(delta / temperature);
+      if (apply) ++result.accepted_uphill;
+    } else if (x.fits(j)) {
+      delta = inst.profit(j);
+      apply = true;  // profits are positive: adds are always improving
+    } else {
+      delta = 0.0;  // proposal rejected outright (would be infeasible)
+    }
+    if (apply) {
+      x.flip(j);
+      if (x.value() > result.best_value) {
+        result.best_value = x.value();
+        result.best = x;
+        since_improvement = 0;
+        if (params.target_value && result.best_value >= *params.target_value) {
+          result.reached_target = true;
+        }
+      } else {
+        ++since_improvement;
+      }
+    } else {
+      ++since_improvement;
+    }
+
+    temperature = std::max(params.min_temperature, temperature * params.cooling);
+    if (params.reheat_after > 0 && since_improvement >= params.reheat_after) {
+      temperature = t0;
+      since_improvement = 0;
+      ++result.reheats;
+    }
+  }
+
+  result.final_temperature = temperature;
+  result.seconds = watch.elapsed_seconds();
+  PTS_DCHECK(result.best.is_feasible());
+  return result;
+}
+
+}  // namespace pts::baselines

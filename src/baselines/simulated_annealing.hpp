@@ -1,0 +1,46 @@
+#pragma once
+// Simulated annealing for the 0-1 MKP — a period-appropriate metaheuristic
+// baseline for the comparison benches. Neighborhood: flip one random item
+// (adds are only proposed when they fit, so the walk stays feasible);
+// Metropolis acceptance on the objective delta with geometric cooling and
+// optional reheats on long stagnation.
+
+#include <cstdint>
+#include <optional>
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+#include "util/rng.hpp"
+
+namespace pts::baselines {
+
+struct SaParams {
+  /// Starting temperature as a fraction of the mean item profit; the usual
+  /// "accept most uphill rejections early" scale.
+  double initial_temperature_factor = 2.0;
+  double cooling = 0.9995;       ///< geometric factor applied per step
+  double min_temperature = 1e-3;
+  /// Steps without improving the incumbent before reheating to the initial
+  /// temperature (0 disables reheats).
+  std::uint64_t reheat_after = 50'000;
+
+  std::uint64_t max_steps = 200'000;
+  double time_limit_seconds = 0.0;
+  std::optional<double> target_value;
+};
+
+struct SaResult {
+  mkp::Solution best;
+  double best_value = 0.0;
+  std::uint64_t steps = 0;
+  std::uint64_t accepted_uphill = 0;  ///< worsening moves accepted
+  std::uint64_t reheats = 0;
+  double final_temperature = 0.0;
+  double seconds = 0.0;
+  bool reached_target = false;
+};
+
+SaResult simulated_annealing(const mkp::Instance& inst, Rng& rng,
+                             const SaParams& params = {});
+
+}  // namespace pts::baselines

@@ -1,0 +1,55 @@
+#include "bounds/dantzig.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace pts::bounds {
+
+double dantzig_bound(std::span<const double> profits, std::span<const double> weights,
+                     std::span<const std::size_t> order, double capacity) {
+  PTS_CHECK(profits.size() == weights.size());
+  double remaining = capacity;
+  double bound = 0.0;
+  for (std::size_t j : order) {
+    PTS_DCHECK(j < profits.size());
+    const double w = weights[j];
+    if (w <= remaining) {
+      bound += profits[j];
+      remaining -= w;
+    } else {
+      if (w > 0.0 && remaining > 0.0) bound += profits[j] * (remaining / w);
+      break;
+    }
+  }
+  return bound;
+}
+
+std::vector<std::size_t> density_order(std::span<const double> profits,
+                                       std::span<const double> weights) {
+  PTS_CHECK(profits.size() == weights.size());
+  std::vector<double> keys(profits.size());
+  for (std::size_t j = 0; j < profits.size(); ++j) {
+    keys[j] = weights[j] > 0.0 ? profits[j] / weights[j]
+                               : std::numeric_limits<double>::infinity();
+  }
+  std::vector<std::size_t> order(profits.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] > keys[b]; });
+  return order;
+}
+
+double min_constraint_bound(const mkp::Instance& inst) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < inst.num_constraints(); ++i) {
+    const auto row = inst.weights_row(i);
+    const auto order = density_order(inst.profits(), row);
+    best = std::min(best, dantzig_bound(inst.profits(), row, order, inst.capacity(i)));
+  }
+  return best;
+}
+
+}  // namespace pts::bounds

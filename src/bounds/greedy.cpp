@@ -1,0 +1,112 @@
+#include "bounds/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace pts::bounds {
+
+namespace {
+
+std::vector<double> order_keys(const mkp::Instance& inst, GreedyOrder order) {
+  const std::size_t n = inst.num_items();
+  const std::size_t m = inst.num_constraints();
+  std::vector<double> keys(n);
+  switch (order) {
+    case GreedyOrder::kProfit:
+      for (std::size_t j = 0; j < n; ++j) keys[j] = inst.profit(j);
+      break;
+    case GreedyOrder::kDensity:
+      for (std::size_t j = 0; j < n; ++j) keys[j] = inst.profit_density(j);
+      break;
+    case GreedyOrder::kScaledDensity:
+      for (std::size_t j = 0; j < n; ++j) {
+        double scaled = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double cap = inst.capacity(i);
+          if (cap > 0.0) scaled += inst.weight(i, j) / cap;
+        }
+        keys[j] = scaled > 0.0 ? inst.profit(j) / scaled
+                               : std::numeric_limits<double>::infinity();
+      }
+      break;
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<std::size_t> greedy_item_order(const mkp::Instance& inst, GreedyOrder order) {
+  const auto keys = order_keys(inst, order);
+  std::vector<std::size_t> items(inst.num_items());
+  std::iota(items.begin(), items.end(), std::size_t{0});
+  std::stable_sort(items.begin(), items.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] > keys[b]; });
+  return items;
+}
+
+void greedy_fill(mkp::Solution& solution, GreedyOrder order) {
+  for (std::size_t j : greedy_item_order(solution.instance(), order)) {
+    if (!solution.contains(j) && solution.fits(j)) solution.add(j);
+  }
+}
+
+mkp::Solution greedy_construct(const mkp::Instance& inst, GreedyOrder order) {
+  mkp::Solution solution(inst);
+  greedy_fill(solution, order);
+  return solution;
+}
+
+mkp::Solution greedy_randomized(const mkp::Instance& inst, Rng& rng, std::size_t rcl_size,
+                                GreedyOrder order) {
+  PTS_CHECK(rcl_size >= 1);
+  mkp::Solution solution(inst);
+  auto candidates = greedy_item_order(inst, order);
+  // Repeatedly pick among the first rcl_size still-fitting candidates.
+  while (true) {
+    std::vector<std::size_t> rcl;
+    for (std::size_t j : candidates) {
+      if (!solution.contains(j) && solution.fits(j)) {
+        rcl.push_back(j);
+        if (rcl.size() == rcl_size) break;
+      }
+    }
+    if (rcl.empty()) break;
+    solution.add(rcl[rng.index(rcl.size())]);
+  }
+  return solution;
+}
+
+mkp::Solution random_feasible(const mkp::Instance& inst, Rng& rng) {
+  mkp::Solution solution(inst);
+  for (std::size_t j : random_permutation(inst.num_items(), rng)) {
+    if (solution.fits(j)) solution.add(j);
+  }
+  return solution;
+}
+
+void repair_to_feasible(mkp::Solution& solution) {
+  const auto& inst = solution.instance();
+  while (!solution.is_feasible()) {
+    // Drop the selected item with the largest sum_i a_ij / c_j — the least
+    // profit per unit of aggregate load (the paper's projection rule).
+    std::size_t worst = inst.num_items();
+    double worst_ratio = -1.0;
+    for (std::size_t j = 0; j < inst.num_items(); ++j) {
+      if (!solution.contains(j)) continue;
+      const double profit = inst.profit(j);
+      const double ratio = profit > 0.0
+                               ? inst.column_weight_sum(j) / profit
+                               : std::numeric_limits<double>::infinity();
+      if (ratio > worst_ratio) {
+        worst_ratio = ratio;
+        worst = j;
+      }
+    }
+    PTS_CHECK_MSG(worst < inst.num_items(),
+                  "infeasible solution with no selected items cannot exist");
+    solution.drop(worst);
+  }
+}
+
+}  // namespace pts::bounds

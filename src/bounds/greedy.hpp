@@ -1,0 +1,46 @@
+#pragma once
+// Primal construction heuristics. These provide (a) the quick feasible
+// baselines the benches compare against, (b) initial solutions for the
+// search threads, and (c) the repair/projection primitive shared with
+// strategic oscillation (drop the items with the worst aggregate-weight to
+// profit ratio until feasible — paper §3.2).
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+#include "util/rng.hpp"
+
+namespace pts::bounds {
+
+enum class GreedyOrder {
+  kProfit,         ///< descending c_j
+  kDensity,        ///< descending c_j / sum_i a_ij
+  kScaledDensity,  ///< descending c_j / sum_i (a_ij / b_i): capacity-aware
+};
+
+/// Deterministic greedy: scan items in the chosen order, add whatever fits.
+mkp::Solution greedy_construct(const mkp::Instance& inst,
+                               GreedyOrder order = GreedyOrder::kScaledDensity);
+
+/// GRASP-style randomized greedy: at each step pick uniformly among the
+/// `rcl_size` best fitting items. rcl_size = 1 reproduces greedy_construct.
+mkp::Solution greedy_randomized(const mkp::Instance& inst, Rng& rng,
+                                std::size_t rcl_size = 4,
+                                GreedyOrder order = GreedyOrder::kScaledDensity);
+
+/// Uniformly random feasible solution: random permutation, add what fits.
+/// This is the paper's "new randomly generated solution" used by the ISP for
+/// stagnant slaves.
+mkp::Solution random_feasible(const mkp::Instance& inst, Rng& rng);
+
+/// Add every fitting item in the given order (in-place completion).
+void greedy_fill(mkp::Solution& solution,
+                 GreedyOrder order = GreedyOrder::kScaledDensity);
+
+/// Drop items with the largest sum_i a_ij / c_j ratio until feasible — the
+/// projection of strategic oscillation. No-op on feasible input.
+void repair_to_feasible(mkp::Solution& solution);
+
+/// Item order used by the greedy variants (indices, best first).
+std::vector<std::size_t> greedy_item_order(const mkp::Instance& inst, GreedyOrder order);
+
+}  // namespace pts::bounds

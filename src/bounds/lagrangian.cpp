@@ -1,0 +1,93 @@
+#include "bounds/lagrangian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pts::bounds {
+
+namespace {
+
+/// Inner maximization at u: pick every item with positive reduced profit.
+/// Returns L(u) and fills `chosen` when non-null.
+double inner_solve(const mkp::Instance& inst, std::span<const double> u,
+                   std::vector<bool>* chosen) {
+  const std::size_t n = inst.num_items();
+  const std::size_t m = inst.num_constraints();
+  double value = 0.0;
+  for (std::size_t i = 0; i < m; ++i) value += u[i] * inst.capacity(i);
+  if (chosen) chosen->assign(n, false);
+  for (std::size_t j = 0; j < n; ++j) {
+    double reduced = inst.profit(j);
+    for (std::size_t i = 0; i < m; ++i) reduced -= u[i] * inst.weight(i, j);
+    if (reduced > 0.0) {
+      value += reduced;
+      if (chosen) (*chosen)[j] = true;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+double lagrangian_value(const mkp::Instance& inst, std::span<const double> multipliers) {
+  PTS_CHECK(multipliers.size() == inst.num_constraints());
+  for (double u : multipliers) PTS_CHECK_MSG(u >= 0.0, "multipliers must be >= 0");
+  return inner_solve(inst, multipliers, nullptr);
+}
+
+LagrangianResult solve_lagrangian(const mkp::Instance& inst,
+                                  const LagrangianOptions& options) {
+  const std::size_t n = inst.num_items();
+  const std::size_t m = inst.num_constraints();
+
+  std::vector<double> u(m, 0.0);  // u = 0 gives L = sum of positive profits
+  std::vector<bool> chosen;
+  LagrangianResult result;
+  result.bound = inner_solve(inst, u, &chosen);
+  result.multipliers = u;
+  result.inner_solution = chosen;
+  result.iterations = 0;
+
+  double agility = options.agility;
+  std::size_t since_improvement = 0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const double value = inner_solve(inst, u, &chosen);
+    if (value < result.bound - options.tolerance) {
+      result.bound = value;
+      result.multipliers = u;
+      result.inner_solution = chosen;
+      since_improvement = 0;
+    } else if (++since_improvement >= options.halve_after) {
+      agility *= 0.5;
+      since_improvement = 0;
+      if (agility < 1e-4) break;
+    }
+
+    // Subgradient of L at u: g_i = b_i - sum_j a_ij x_j(u).
+    std::vector<double> g(m, 0.0);
+    double g_norm_sq = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      double load = 0.0;
+      const auto row = inst.weights_row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (chosen[j]) load += row[j];
+      }
+      g[i] = inst.capacity(i) - load;
+      g_norm_sq += g[i] * g[i];
+    }
+    if (g_norm_sq < options.tolerance) break;  // x(u) feasible & complementary
+
+    const double gap = std::max(value - options.target, options.tolerance);
+    const double step = agility * gap / g_norm_sq;
+    for (std::size_t i = 0; i < m; ++i) {
+      u[i] = std::max(0.0, u[i] - step * g[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace pts::bounds

@@ -1,0 +1,48 @@
+#pragma once
+// Lagrangian relaxation of the MKP with subgradient optimization. Dualizing
+// all m constraints with multipliers u >= 0:
+//
+//   L(u) = max_{x in {0,1}^n} sum_j (c_j - u^T A_j) x_j + u^T b
+//        = sum_j max(0, c_j - u^T A_j) + u^T b
+//
+// Every u gives a valid upper bound; the dual min_u L(u) is approached by
+// projected subgradient steps. Because the inner problem has the
+// integrality property, the Lagrangian dual equals the LP-relaxation bound
+// — which the tests exploit as a cross-check between two independently
+// implemented bounding procedures (subgradient vs simplex).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mkp/instance.hpp"
+
+namespace pts::bounds {
+
+struct LagrangianOptions {
+  std::size_t max_iterations = 300;
+  /// Polyak-style step: t_k = agility * (L(u) - target) / ||g||^2, with the
+  /// best known feasible value as target (0 if unknown).
+  double agility = 1.0;
+  double target = 0.0;
+  /// Halve agility after this many iterations without improving the bound.
+  std::size_t halve_after = 20;
+  double tolerance = 1e-7;
+};
+
+struct LagrangianResult {
+  double bound = 0.0;                ///< min over iterations of L(u)
+  std::vector<double> multipliers;   ///< the best u
+  std::size_t iterations = 0;
+  /// x(u*) — the inner maximizer at the best u; often near-feasible and a
+  /// useful construction seed.
+  std::vector<bool> inner_solution;
+};
+
+/// L(u) for a fixed multiplier vector (u_i >= 0).
+double lagrangian_value(const mkp::Instance& inst, std::span<const double> multipliers);
+
+LagrangianResult solve_lagrangian(const mkp::Instance& inst,
+                                  const LagrangianOptions& options = {});
+
+}  // namespace pts::bounds

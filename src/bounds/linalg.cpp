@@ -1,0 +1,91 @@
+#include "bounds/linalg.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pts::bounds {
+
+LuFactors LuFactors::factorize(std::span<const double> matrix, std::size_t size) {
+  PTS_CHECK(matrix.size() == size * size);
+  LuFactors f;
+  f.size_ = size;
+  f.lu_.assign(matrix.begin(), matrix.end());
+  f.perm_.resize(size);
+  for (std::size_t i = 0; i < size; ++i) f.perm_[i] = i;
+
+  auto at = [&](std::size_t r, std::size_t c) -> double& { return f.lu_[r * size + c]; };
+
+  for (std::size_t k = 0; k < size; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(at(k, k));
+    for (std::size_t r = k + 1; r < size; ++r) {
+      const double candidate = std::fabs(at(r, k));
+      if (candidate > best) {
+        best = candidate;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      f.ok_ = false;
+      return f;
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < size; ++c) std::swap(at(k, c), at(pivot, c));
+      std::swap(f.perm_[k], f.perm_[pivot]);
+    }
+    const double diag = at(k, k);
+    for (std::size_t r = k + 1; r < size; ++r) {
+      const double factor = at(r, k) / diag;
+      at(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < size; ++c) at(r, c) -= factor * at(k, c);
+    }
+  }
+  f.ok_ = true;
+  return f;
+}
+
+std::vector<double> LuFactors::solve(std::span<const double> rhs) const {
+  PTS_CHECK(ok_ && rhs.size() == size_);
+  const std::size_t n = size_;
+  std::vector<double> x(n);
+  // Forward substitution with permuted rhs: L z = P rhs.
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = rhs[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) value -= lu_[i * n + k] * x[k];
+    x[i] = value;
+  }
+  // Back substitution: U x = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double value = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) value -= lu_[ii * n + k] * x[k];
+    x[ii] = value / lu_[ii * n + ii];
+  }
+  return x;
+}
+
+std::vector<double> LuFactors::solve_transposed(std::span<const double> rhs) const {
+  PTS_CHECK(ok_ && rhs.size() == size_);
+  const std::size_t n = size_;
+  // Aᵀ = (P⁻¹ L U)ᵀ = Uᵀ Lᵀ P. Solve Uᵀ z = rhs, then Lᵀ w = z, then
+  // x = Pᵀ w (undo the row permutation on the result).
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = rhs[i];
+    for (std::size_t k = 0; k < i; ++k) value -= lu_[k * n + i] * z[k];
+    z[i] = value / lu_[i * n + i];
+  }
+  std::vector<double> w(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double value = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) value -= lu_[k * n + ii] * w[k];
+    w[ii] = value;
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = w[i];
+  return x;
+}
+
+}  // namespace pts::bounds

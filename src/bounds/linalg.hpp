@@ -1,0 +1,38 @@
+#pragma once
+// Small dense linear algebra for the LP relaxation: LU factorization with
+// partial pivoting sized for basis matrices of up to a few dozen rows
+// (MKP constraint counts in the paper top out at m = 30).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pts::bounds {
+
+/// Dense row-major square LU factorization with partial pivoting.
+/// Factor once per simplex iteration, then solve Ax=b and yᵀA=cᵀ cheaply.
+class LuFactors {
+ public:
+  /// Factorizes `matrix` (row-major, size*size). Returns an engaged factor
+  /// object, or disengaged (ok() == false) when the matrix is singular to
+  /// working precision.
+  static LuFactors factorize(std::span<const double> matrix, std::size_t size);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Solve A x = rhs.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> rhs) const;
+
+  /// Solve Aᵀ x = rhs (used for the dual vector y: Bᵀ y = c_B).
+  [[nodiscard]] std::vector<double> solve_transposed(std::span<const double> rhs) const;
+
+ private:
+  LuFactors() = default;
+  std::size_t size_ = 0;
+  bool ok_ = false;
+  std::vector<double> lu_;        // combined L (unit diag) and U, row-major
+  std::vector<std::size_t> perm_; // row permutation: row i of PA is perm_[i] of A
+};
+
+}  // namespace pts::bounds

@@ -1,0 +1,103 @@
+#include "bounds/reduction.hpp"
+
+#include "bounds/simplex.hpp"
+#include "util/check.hpp"
+
+namespace pts::bounds {
+
+namespace {
+constexpr double kTol = 1e-7;
+}
+
+ReductionResult reduced_cost_fixing(const mkp::Instance& inst, double lower_bound,
+                                    const ReductionOptions& options) {
+  const std::size_t n = inst.num_items();
+  ReductionResult result;
+  result.status.assign(n, FixedValue::kFree);
+  result.lower_bound_used = lower_bound;
+
+  const auto lp = solve_lp_relaxation(inst);
+  if (!lp.optimal()) return result;  // nothing can be fixed safely
+  result.lp_solved = true;
+  result.lp_objective = lp.objective;
+
+  const double cut = lower_bound + options.gap_eps;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double x = lp.primal[j];
+    const double d = lp.reduced_costs[j];
+    if (x <= kTol && d <= kTol) {
+      // At lower bound: forcing x_j = 1 bounds the IP by z_LP + d_j.
+      if (lp.objective + d < cut - kTol) {
+        result.status[j] = FixedValue::kZero;
+        ++result.fixed_to_zero;
+      }
+    } else if (x >= 1.0 - kTol && d >= -kTol) {
+      // At upper bound: forcing x_j = 0 bounds the IP by z_LP - d_j.
+      if (lp.objective - d < cut - kTol) {
+        result.status[j] = FixedValue::kOne;
+        ++result.fixed_to_one;
+      }
+    }
+    // Basic / fractional variables are never fixed.
+  }
+  return result;
+}
+
+ReducedInstance build_reduced(const mkp::Instance& inst, const ReductionResult& fixing) {
+  const std::size_t n = inst.num_items();
+  const std::size_t m = inst.num_constraints();
+  PTS_CHECK(fixing.status.size() == n);
+
+  ReducedInstance reduced;
+  reduced.status = fixing.status;
+
+  std::vector<double> residual_capacity(m);
+  for (std::size_t i = 0; i < m; ++i) residual_capacity[i] = inst.capacity(i);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (fixing.status[j] == FixedValue::kOne) {
+      reduced.banked_profit += inst.profit(j);
+      for (std::size_t i = 0; i < m; ++i) residual_capacity[i] -= inst.weight(i, j);
+    } else if (fixing.status[j] == FixedValue::kFree) {
+      reduced.free_to_original.push_back(j);
+    }
+  }
+  for (double cap : residual_capacity) {
+    PTS_CHECK_MSG(cap >= -1e-9, "fixed-to-one variables exceed a capacity");
+  }
+
+  if (reduced.free_to_original.empty()) return reduced;  // fully solved
+
+  const std::size_t k = reduced.free_to_original.size();
+  std::vector<double> profits(k);
+  std::vector<double> weights(m * k);
+  for (std::size_t col = 0; col < k; ++col) {
+    const std::size_t j = reduced.free_to_original[col];
+    profits[col] = inst.profit(j);
+    for (std::size_t i = 0; i < m; ++i) weights[i * k + col] = inst.weight(i, j);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    residual_capacity[i] = std::max(0.0, residual_capacity[i]);
+  }
+  reduced.instance.emplace(inst.name() + "-reduced", std::move(profits),
+                           std::move(weights), std::move(residual_capacity));
+  return reduced;
+}
+
+mkp::Solution ReducedInstance::lift(const mkp::Instance& original,
+                                    const mkp::Solution* residual) const {
+  PTS_CHECK(status.size() == original.num_items());
+  mkp::Solution full(original);
+  for (std::size_t j = 0; j < original.num_items(); ++j) {
+    if (status[j] == FixedValue::kOne) full.add(j);
+  }
+  if (residual != nullptr) {
+    PTS_CHECK(residual->num_items() == free_to_original.size());
+    for (std::size_t col = 0; col < free_to_original.size(); ++col) {
+      if (residual->contains(col)) full.add(free_to_original[col]);
+    }
+  }
+  PTS_CHECK_MSG(full.is_feasible(), "lifted solution violates the original instance");
+  return full;
+}
+
+}  // namespace pts::bounds

@@ -1,0 +1,75 @@
+#pragma once
+// Size reduction by LP reduced-cost variable fixing — the technique the
+// Fréville–Plateau benchmark set (the paper's first test suite, "Hard 0-1
+// test problems for size reduction methods") was designed to stress.
+//
+// Given the LP optimum z_LP with duals y and reduced costs d_j, and any
+// feasible lower bound `lb`:
+//
+//   * a variable at 0 in the LP (d_j <= 0): forcing x_j = 1 caps every
+//     integer solution at z_LP + d_j, so when z_LP + d_j < lb + gap_eps the
+//     variable is fixed to 0;
+//   * a variable at 1 in the LP (d_j >= 0): forcing x_j = 0 caps at
+//     z_LP - d_j, so when z_LP - d_j < lb + gap_eps it is fixed to 1.
+//
+// No solution strictly better than lb is ever cut off. `build_reduced`
+// materializes the smaller residual instance (fixed-to-1 loads folded into
+// the capacities) and `lift` maps residual solutions back.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+
+namespace pts::bounds {
+
+enum class FixedValue : std::uint8_t { kFree, kZero, kOne };
+
+struct ReductionResult {
+  std::vector<FixedValue> status;  ///< per original variable
+  std::size_t fixed_to_zero = 0;
+  std::size_t fixed_to_one = 0;
+  double lp_objective = 0.0;
+  double lower_bound_used = 0.0;
+  bool lp_solved = false;
+
+  [[nodiscard]] std::size_t fixed_total() const { return fixed_to_zero + fixed_to_one; }
+  [[nodiscard]] double fixed_fraction(std::size_t n) const {
+    return n == 0 ? 0.0 : static_cast<double>(fixed_total()) / static_cast<double>(n);
+  }
+};
+
+struct ReductionOptions {
+  /// Solutions within gap_eps of lb may be lost; keep 0 to preserve ties,
+  /// or set to 1.0 - eps on integer-valued instances to also prune
+  /// alternatives exactly equal to lb + fractional amounts.
+  double gap_eps = 0.0;
+};
+
+/// Computes the fixing implied by (LP at `inst`, lower bound `lb`). `lb`
+/// must come from a feasible solution (e.g. a greedy value).
+ReductionResult reduced_cost_fixing(const mkp::Instance& inst, double lower_bound,
+                                    const ReductionOptions& options = {});
+
+/// The residual instance over the free variables, plus the index map and
+/// the profit already banked by fixed-to-1 variables. Disengaged when no
+/// variable is free (the reduction solved the problem outright) — then
+/// `lift` of an empty residual still reconstructs the full solution.
+struct ReducedInstance {
+  std::optional<mkp::Instance> instance;  ///< nullopt when 0 variables free
+  std::vector<std::size_t> free_to_original;
+  double banked_profit = 0.0;             ///< sum of profits fixed to 1
+  std::vector<FixedValue> status;         ///< copy of the fixing
+
+  /// Reconstruct a full-size solution from a residual one (or from nothing
+  /// when every variable was fixed). Aborts if the lift is infeasible —
+  /// that would mean the fixing was computed for a different instance.
+  [[nodiscard]] mkp::Solution lift(const mkp::Instance& original,
+                                   const mkp::Solution* residual) const;
+};
+
+ReducedInstance build_reduced(const mkp::Instance& inst, const ReductionResult& fixing);
+
+}  // namespace pts::bounds

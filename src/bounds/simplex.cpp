@@ -1,0 +1,205 @@
+#include "bounds/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bounds/linalg.hpp"
+#include "util/check.hpp"
+
+namespace pts::bounds {
+
+namespace {
+
+// Variable indexing: 0..n-1 structural (bounds [0,1]), n..n+m-1 slack
+// (bounds [0, inf)). Column of structural j is A's column j; column of
+// slack i is e_i.
+struct Tableau {
+  const mkp::Instance* inst;
+  std::size_t n, m;
+
+  [[nodiscard]] double lower(std::size_t) const { return 0.0; }
+  [[nodiscard]] double upper(std::size_t var) const {
+    return var < n ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] double cost(std::size_t var) const {
+    return var < n ? inst->profit(var) : 0.0;
+  }
+  /// Column entry (row i) of variable `var`.
+  [[nodiscard]] double entry(std::size_t i, std::size_t var) const {
+    if (var < n) return inst->weight(i, var);
+    return var - n == i ? 1.0 : 0.0;
+  }
+};
+
+enum class Status : std::uint8_t { kAtLower, kAtUpper, kBasic };
+
+}  // namespace
+
+LpResult solve_lp_relaxation(const mkp::Instance& inst, const LpOptions& options) {
+  const std::size_t n = inst.num_items();
+  const std::size_t m = inst.num_constraints();
+  Tableau tab{&inst, n, m};
+
+  LpResult result;
+  result.primal.assign(n, 0.0);
+  result.duals.assign(m, 0.0);
+
+  // Start: all slacks basic, all structural at lower bound (x = 0, feasible).
+  std::vector<std::size_t> basis(m);
+  std::vector<Status> status(n + m, Status::kAtLower);
+  for (std::size_t i = 0; i < m; ++i) {
+    basis[i] = n + i;
+    status[n + i] = Status::kBasic;
+  }
+
+  std::vector<double> basis_matrix(m * m);
+  std::vector<double> x_basic(m);
+  std::vector<double> rhs(m);
+  std::vector<double> cost_basic(m);
+
+  double last_objective = -std::numeric_limits<double>::infinity();
+  std::size_t stalls = 0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Refactorize B and recover x_B = B^{-1}(b - N x_N).
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = 0; k < m; ++k) basis_matrix[i * m + k] = tab.entry(i, basis[k]);
+    }
+    const auto lu = LuFactors::factorize(basis_matrix, m);
+    if (!lu.ok()) {
+      result.status = LpStatus::kSingular;
+      return result;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      double value = inst.capacity(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (status[j] == Status::kAtUpper) value -= tab.entry(i, j);  // x_j = 1
+      }
+      rhs[i] = value;  // slacks at bounds are all at 0, contributing nothing
+    }
+    x_basic = lu.solve(rhs);
+
+    // Duals y from Bᵀ y = c_B; reduced costs d_j = c_j - yᵀ A_j.
+    for (std::size_t k = 0; k < m; ++k) cost_basic[k] = tab.cost(basis[k]);
+    const auto y = lu.solve_transposed(cost_basic);
+
+    const bool use_bland = stalls >= options.bland_after_stalls;
+    std::size_t entering = n + m;  // sentinel
+    bool entering_from_lower = true;
+    double best_score = options.tolerance;
+    for (std::size_t var = 0; var < n + m; ++var) {
+      if (status[var] == Status::kBasic) continue;
+      double reduced = tab.cost(var);
+      for (std::size_t i = 0; i < m; ++i) reduced -= y[i] * tab.entry(i, var);
+      const bool improves = status[var] == Status::kAtLower
+                                ? reduced > options.tolerance
+                                : reduced < -options.tolerance;
+      if (!improves) continue;
+      const double score = std::fabs(reduced);
+      if (use_bland) {  // first improving index
+        entering = var;
+        entering_from_lower = status[var] == Status::kAtLower;
+        break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        entering = var;
+        entering_from_lower = status[var] == Status::kAtLower;
+      }
+    }
+
+    if (entering == n + m) {
+      // Optimal: assemble primal values and objective.
+      double objective = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        result.primal[j] = status[j] == Status::kAtUpper ? 1.0 : 0.0;
+      }
+      for (std::size_t k = 0; k < m; ++k) {
+        if (basis[k] < n) result.primal[basis[k]] = std::clamp(x_basic[k], 0.0, 1.0);
+      }
+      for (std::size_t j = 0; j < n; ++j) objective += inst.profit(j) * result.primal[j];
+      for (std::size_t i = 0; i < m; ++i) result.duals[i] = std::max(0.0, y[i]);
+      result.reduced_costs.assign(n, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        double reduced = inst.profit(j);
+        for (std::size_t i = 0; i < m; ++i) reduced -= y[i] * inst.weight(i, j);
+        result.reduced_costs[j] = reduced;
+      }
+      result.objective = objective;
+      result.status = LpStatus::kOptimal;
+      return result;
+    }
+
+    // Direction: entering moves by t >= 0 away from its bound. Basic values
+    // change by -alpha t (from lower) or +alpha t (from upper), where
+    // alpha = B^{-1} A_entering.
+    std::vector<double> column(m);
+    for (std::size_t i = 0; i < m; ++i) column[i] = tab.entry(i, entering);
+    const auto alpha = lu.solve(column);
+
+    double t_max = tab.upper(entering) - tab.lower(entering);  // bound-flip step
+    std::size_t leaving = m;  // sentinel; m means bound flip
+    bool leaving_to_lower = true;
+    for (std::size_t k = 0; k < m; ++k) {
+      const double direction = entering_from_lower ? -alpha[k] : alpha[k];
+      if (std::fabs(direction) < 1e-11) continue;
+      const std::size_t var = basis[k];
+      double limit;
+      bool to_lower;
+      if (direction < 0.0) {  // basic value decreases toward its lower bound
+        limit = (x_basic[k] - tab.lower(var)) / -direction;
+        to_lower = true;
+      } else {  // increases toward its upper bound
+        const double ub = tab.upper(var);
+        if (!std::isfinite(ub)) continue;
+        limit = (ub - x_basic[k]) / direction;
+        to_lower = false;
+      }
+      if (limit < t_max - 1e-12) {
+        t_max = limit;
+        leaving = k;
+        leaving_to_lower = to_lower;
+      }
+    }
+
+    if (!std::isfinite(t_max)) {
+      // All variables of this model are bounded or slack-limited; an
+      // unbounded ray cannot occur with b >= 0 and a >= 0, but guard anyway.
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+
+    if (leaving == m) {
+      // Bound flip: entering jumps to its opposite bound; basis unchanged.
+      status[entering] =
+          entering_from_lower ? Status::kAtUpper : Status::kAtLower;
+    } else {
+      status[basis[leaving]] = leaving_to_lower ? Status::kAtLower : Status::kAtUpper;
+      status[entering] = Status::kBasic;
+      basis[leaving] = entering;
+    }
+
+    // Stall detection for the Bland fallback.
+    double objective = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (status[j] == Status::kAtUpper) objective += inst.profit(j);
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      if (basis[k] < n) objective += inst.profit(basis[k]) * x_basic[k];
+    }
+    if (objective > last_objective + options.tolerance) {
+      last_objective = objective;
+      stalls = 0;
+    } else {
+      ++stalls;
+    }
+  }
+
+  result.status = LpStatus::kIterationLimit;
+  return result;
+}
+
+}  // namespace pts::bounds

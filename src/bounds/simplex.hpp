@@ -1,0 +1,55 @@
+#pragma once
+// LP relaxation of the 0-1 MKP via a bounded-variable revised simplex:
+//
+//   max c^T x   s.t.  A x <= b,  0 <= x <= 1.
+//
+// Structural variables carry the [0,1] bounds directly (no explicit bound
+// rows), slacks are [0, inf). The starting all-slack basis is feasible
+// because b >= 0, so no phase-1 is needed. The basis matrix is refactorized
+// every iteration — at the m <= 30 of the paper's instances this costs
+// microseconds and sidesteps update-formula drift.
+//
+// The LP optimum is the tightest linear bound we compute; Table 1's
+// "Dev. in %" column is measured against it for instances too large for the
+// exact solver (DESIGN.md data-substitution note).
+
+#include <cstddef>
+#include <vector>
+
+#include "mkp/instance.hpp"
+
+namespace pts::bounds {
+
+enum class LpStatus {
+  kOptimal,
+  kIterationLimit,  ///< safeguard tripped; objective is still a valid bound
+                    ///< only if derived from a dual-feasible point — callers
+                    ///< should treat it as "failed"
+  kSingular,        ///< basis matrix could not be factorized
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> primal;  ///< x_j in [0,1], size n
+  std::vector<double> duals;   ///< y_i >= 0 per constraint, size m
+  /// d_j = c_j - y^T A_j at the optimum, size n. Non-positive for variables
+  /// at 0, non-negative for variables at 1, ~0 for basic (fractional) ones.
+  /// Feeds reduced-cost variable fixing (bounds/reduction.hpp).
+  std::vector<double> reduced_costs;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] bool optimal() const { return status == LpStatus::kOptimal; }
+};
+
+struct LpOptions {
+  std::size_t max_iterations = 20000;
+  double tolerance = 1e-9;
+  /// After this many iterations without objective progress, switch from
+  /// Dantzig pricing to Bland's rule to break potential cycles.
+  std::size_t bland_after_stalls = 64;
+};
+
+LpResult solve_lp_relaxation(const mkp::Instance& inst, const LpOptions& options = {});
+
+}  // namespace pts::bounds

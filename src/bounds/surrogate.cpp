@@ -1,0 +1,98 @@
+#include "bounds/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bounds/dantzig.hpp"
+#include "bounds/simplex.hpp"
+#include "util/check.hpp"
+
+namespace pts::bounds {
+
+namespace {
+
+struct Aggregate {
+  std::vector<double> weights;
+  double capacity = 0.0;
+};
+
+Aggregate aggregate(const mkp::Instance& inst, std::span<const double> u) {
+  const std::size_t n = inst.num_items();
+  const std::size_t m = inst.num_constraints();
+  Aggregate agg;
+  agg.weights.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (u[i] == 0.0) continue;
+    const auto row = inst.weights_row(i);
+    for (std::size_t j = 0; j < n; ++j) agg.weights[j] += u[i] * row[j];
+    agg.capacity += u[i] * inst.capacity(i);
+  }
+  return agg;
+}
+
+}  // namespace
+
+double surrogate_bound(const mkp::Instance& inst, std::span<const double> multipliers) {
+  PTS_CHECK(multipliers.size() == inst.num_constraints());
+  double sum = 0.0;
+  for (double u : multipliers) {
+    PTS_CHECK_MSG(u >= 0.0, "surrogate multipliers must be non-negative");
+    sum += u;
+  }
+  PTS_CHECK_MSG(sum > 0.0, "at least one surrogate multiplier must be positive");
+
+  const auto agg = aggregate(inst, multipliers);
+  const auto order = density_order(inst.profits(), agg.weights);
+  return dantzig_bound(inst.profits(), agg.weights, order, agg.capacity);
+}
+
+SurrogateResult solve_surrogate(const mkp::Instance& inst, const SurrogateOptions& options) {
+  const std::size_t m = inst.num_constraints();
+  SurrogateResult result;
+
+  std::vector<double> u(m, 1.0);
+  if (options.seed_with_lp_duals) {
+    const auto lp = solve_lp_relaxation(inst);
+    if (lp.optimal()) {
+      double mass = 0.0;
+      for (double y : lp.duals) mass += y;
+      if (mass > 0.0) u = lp.duals;
+    }
+  }
+  // Guarantee positivity of the vector as a whole.
+  if (std::all_of(u.begin(), u.end(), [](double v) { return v == 0.0; })) {
+    u.assign(m, 1.0);
+  }
+
+  result.bound = surrogate_bound(inst, u);
+  result.multipliers = u;
+  result.evaluations = 1;
+
+  // Multiplicative local refinement: nudging one coordinate at a time and
+  // keeping any move that lowers the bound. Cheap and monotone.
+  double step = 0.5;
+  for (std::size_t round = 0; round < options.refinement_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const double factor : {1.0 + step, 1.0 / (1.0 + step)}) {
+        std::vector<double> trial = result.multipliers;
+        trial[i] = std::max(trial[i] * factor, trial[i] == 0.0 ? step : 0.0);
+        double mass = 0.0;
+        for (double v : trial) mass += v;
+        if (mass <= 0.0) continue;
+        const double bound = surrogate_bound(inst, trial);
+        ++result.evaluations;
+        if (bound < result.bound - 1e-9) {
+          result.bound = bound;
+          result.multipliers = std::move(trial);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) step *= 0.5;
+    if (step < 1e-3) break;
+  }
+  return result;
+}
+
+}  // namespace pts::bounds

@@ -1,0 +1,39 @@
+#pragma once
+// Surrogate relaxation of the MKP: for multipliers u >= 0 (not all zero),
+// aggregate the m constraints into one —
+//
+//   sum_j (u^T A)_j x_j  <=  u^T b
+//
+// — and bound the resulting single knapsack continuously (Dantzig). Every u
+// yields a valid upper bound; the multiplier search looks for a tight one.
+// The classic strong choice is the optimal LP duals, which we take as the
+// starting point and refine by normalized multiplicative adjustment.
+
+#include <cstddef>
+#include <vector>
+
+#include "mkp/instance.hpp"
+
+namespace pts::bounds {
+
+struct SurrogateResult {
+  double bound = 0.0;
+  std::vector<double> multipliers;  ///< the u achieving `bound`
+  std::size_t evaluations = 0;      ///< number of single-knapsack bounds computed
+};
+
+/// Bound for a fixed multiplier vector (u_i >= 0, at least one positive).
+double surrogate_bound(const mkp::Instance& inst, std::span<const double> multipliers);
+
+struct SurrogateOptions {
+  std::size_t refinement_rounds = 20;
+  /// If true, seed with LP duals (costs one LP solve); else all-ones.
+  bool seed_with_lp_duals = true;
+};
+
+/// Searches multipliers; the returned bound is min over all u evaluated and
+/// therefore always a valid upper bound on the 0-1 optimum.
+SurrogateResult solve_surrogate(const mkp::Instance& inst,
+                                const SurrogateOptions& options = {});
+
+}  // namespace pts::bounds

@@ -1,0 +1,138 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "bounds/dantzig.hpp"
+#include "util/check.hpp"
+
+namespace pts::exact {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+class Searcher {
+ public:
+  Searcher(const mkp::Instance& inst, const BnbOptions& options)
+      : inst_(inst),
+        options_(options),
+        deadline_(options.time_limit_seconds > 0.0
+                      ? Deadline::after_seconds(options.time_limit_seconds)
+                      : Deadline::unbounded()),
+        current_(inst),
+        best_(inst),
+        fixed_(inst.num_items(), false) {
+    // Branch on the most profit-dense items first: strong bounds early.
+    branch_order_.resize(inst.num_items());
+    std::iota(branch_order_.begin(), branch_order_.end(), std::size_t{0});
+    std::stable_sort(branch_order_.begin(), branch_order_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return inst.profit_density(a) > inst.profit_density(b);
+                     });
+    // Per-constraint density orders for the node bound.
+    constraint_orders_.reserve(inst.num_constraints());
+    for (std::size_t i = 0; i < inst.num_constraints(); ++i) {
+      constraint_orders_.push_back(
+          bounds::density_order(inst.profits(), inst.weights_row(i)));
+    }
+    best_value_ = options.initial_lower_bound.value_or(0.0);
+  }
+
+  BnbResult run() {
+    Stopwatch watch;
+    aborted_ = false;
+    dive(0);
+    BnbResult result{std::move(best_), best_value_, !aborted_, nodes_,
+                     watch.elapsed_seconds()};
+    // If no solution beat the warm-start bound, report the empty solution's
+    // actual value rather than the warm-start number.
+    if (!found_any_ && !options_.initial_lower_bound.has_value()) {
+      result.objective = 0.0;
+    }
+    return result;
+  }
+
+ private:
+  /// min over constraints of (continuous bound over free items).
+  double node_bound() const {
+    double bound = std::numeric_limits<double>::infinity();
+    const std::size_t n = inst_.num_items();
+    for (std::size_t i = 0; i < inst_.num_constraints(); ++i) {
+      double remaining = current_.slack(i);
+      if (remaining < 0.0) return -std::numeric_limits<double>::infinity();
+      double partial = 0.0;
+      const auto row = inst_.weights_row(i);
+      for (std::size_t j : constraint_orders_[i]) {
+        if (fixed_[j]) continue;
+        const double w = row[j];
+        if (w <= remaining) {
+          partial += inst_.profit(j);
+          remaining -= w;
+        } else {
+          if (w > 0.0 && remaining > 0.0) partial += inst_.profit(j) * (remaining / w);
+          break;
+        }
+      }
+      bound = std::min(bound, partial);
+      if (current_.value() + bound <= best_value_ + kEps) break;  // already pruned
+      (void)n;
+    }
+    return current_.value() + bound;
+  }
+
+  void record_if_better() {
+    if (current_.value() > best_value_ + kEps && current_.is_feasible()) {
+      best_value_ = current_.value();
+      best_ = current_;
+      found_any_ = true;
+    }
+  }
+
+  void dive(std::size_t depth) {
+    if (aborted_) return;
+    ++nodes_;
+    if ((nodes_ & 1023U) == 0 && (deadline_.expired() || nodes_ >= options_.node_limit)) {
+      aborted_ = true;
+      return;
+    }
+
+    record_if_better();
+    if (depth == branch_order_.size()) return;
+    if (node_bound() <= best_value_ + kEps) return;
+
+    const std::size_t item = branch_order_[depth];
+    fixed_[item] = true;
+    if (current_.fits(item)) {
+      current_.add(item);
+      dive(depth + 1);
+      current_.drop(item);
+    }
+    dive(depth + 1);
+    fixed_[item] = false;
+  }
+
+  const mkp::Instance& inst_;
+  const BnbOptions& options_;
+  Deadline deadline_;
+  mkp::Solution current_;
+  mkp::Solution best_;
+  double best_value_ = 0.0;
+  bool found_any_ = false;
+  bool aborted_ = false;
+  std::uint64_t nodes_ = 0;
+  std::vector<bool> fixed_;
+  std::vector<std::size_t> branch_order_;
+  std::vector<std::vector<std::size_t>> constraint_orders_;
+};
+
+}  // namespace
+
+BnbResult branch_and_bound(const mkp::Instance& inst, const BnbOptions& options) {
+  Searcher searcher(inst, options);
+  return searcher.run();
+}
+
+}  // namespace pts::exact

@@ -1,0 +1,35 @@
+#pragma once
+// Depth-first branch & bound — the "exact approach" the paper contrasts with
+// (Section 1). Supplies ground truth for the FP-style benchmark set
+// (n up to ~105) and optimality certificates in the test suite.
+//
+// Node bound: current profit + min over constraints of the continuous
+// single-knapsack bound on the free items against the residual capacity
+// (per-constraint density orders precomputed once).
+
+#include <cstdint>
+#include <optional>
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+#include "util/timer.hpp"
+
+namespace pts::exact {
+
+struct BnbOptions {
+  double time_limit_seconds = 60.0;        ///< <= 0 means unbounded
+  std::uint64_t node_limit = 50'000'000;   ///< safety valve
+  std::optional<double> initial_lower_bound;  ///< warm start (e.g. greedy value)
+};
+
+struct BnbResult {
+  mkp::Solution best;
+  double objective = 0.0;
+  bool proven_optimal = false;  ///< false when a limit stopped the search
+  std::uint64_t nodes = 0;
+  double seconds = 0.0;
+};
+
+BnbResult branch_and_bound(const mkp::Instance& inst, const BnbOptions& options = {});
+
+}  // namespace pts::exact

@@ -1,0 +1,32 @@
+#include "exact/brute_force.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace pts::exact {
+
+BruteForceResult brute_force(const mkp::Instance& inst) {
+  const std::size_t n = inst.num_items();
+  PTS_CHECK_MSG(n <= 30, "brute force is limited to n <= 30");
+
+  mkp::Solution current(inst);
+  BruteForceResult result{mkp::Solution(inst), 0.0, 1};  // empty solution, value 0
+
+  const std::uint64_t count = 1ULL << n;
+  std::uint64_t gray_prev = 0;
+  for (std::uint64_t k = 1; k < count; ++k) {
+    const std::uint64_t gray = k ^ (k >> 1);
+    const std::uint64_t changed = gray ^ gray_prev;
+    gray_prev = gray;
+    current.flip(static_cast<std::size_t>(std::countr_zero(changed)));
+    ++result.assignments_visited;
+    if (current.value() > result.optimum && current.is_feasible()) {
+      result.optimum = current.value();
+      result.best = current;
+    }
+  }
+  return result;
+}
+
+}  // namespace pts::exact

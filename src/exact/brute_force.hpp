@@ -1,0 +1,20 @@
+#pragma once
+// Exhaustive enumeration oracle. Walks all 2^n assignments in Gray-code
+// order so each step flips exactly one item (O(m) incremental update).
+// Strictly a test/validation tool — guarded to n <= 30.
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+
+namespace pts::exact {
+
+struct BruteForceResult {
+  mkp::Solution best;
+  double optimum = 0.0;
+  std::uint64_t assignments_visited = 0;
+};
+
+/// Aborts (PTS_CHECK) when inst.num_items() > 30.
+BruteForceResult brute_force(const mkp::Instance& inst);
+
+}  // namespace pts::exact

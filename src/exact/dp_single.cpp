@@ -1,0 +1,56 @@
+#include "exact/dp_single.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pts::exact {
+
+DpResult dp_single_knapsack(const mkp::Instance& inst) {
+  PTS_CHECK_MSG(inst.num_constraints() == 1, "DP requires exactly one constraint");
+  const std::size_t n = inst.num_items();
+  const auto row = inst.weights_row(0);
+
+  std::vector<std::size_t> weights(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double w = row[j];
+    PTS_CHECK_MSG(w == std::floor(w) && w >= 0.0, "DP requires integer weights");
+    weights[j] = static_cast<std::size_t>(w);
+  }
+  const double cap_raw = inst.capacity(0);
+  const auto capacity = static_cast<std::size_t>(std::floor(cap_raw));
+  PTS_CHECK_MSG((capacity + 1) * n <= 50'000'000ULL, "DP table too large");
+
+  // value[w] = best profit with total weight exactly <= w, take[j][w] = did
+  // item j enter at budget w (bit-packed per item for reconstruction).
+  std::vector<double> value(capacity + 1, 0.0);
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(capacity + 1, false));
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t w = weights[j];
+    if (w > capacity) continue;
+    const double p = inst.profit(j);
+    for (std::size_t budget = capacity; budget + 1 > w; --budget) {
+      const double candidate = value[budget - w] + p;
+      if (candidate > value[budget]) {
+        value[budget] = candidate;
+        take[j][budget] = true;
+      }
+    }
+  }
+
+  DpResult result{mkp::Solution(inst), value[capacity]};
+  std::size_t budget = capacity;
+  for (std::size_t jj = n; jj-- > 0;) {
+    if (take[jj][budget]) {
+      result.best.add(jj);
+      budget -= weights[jj];
+    }
+  }
+  PTS_CHECK(result.best.is_feasible());
+  PTS_CHECK(std::fabs(result.best.value() - result.optimum) < 1e-6);
+  return result;
+}
+
+}  // namespace pts::exact

@@ -1,0 +1,20 @@
+#pragma once
+// Dynamic programming for the single-constraint 0-1 knapsack (the other
+// exact method named in the paper's introduction). Requires m == 1 and
+// integer-valued weights; complexity O(n * b).
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+
+namespace pts::exact {
+
+struct DpResult {
+  mkp::Solution best;
+  double optimum = 0.0;
+};
+
+/// Aborts (PTS_CHECK) when the instance has m != 1, non-integer weights, or
+/// a capacity too large to table (> 50 million cells).
+DpResult dp_single_knapsack(const mkp::Instance& inst);
+
+}  // namespace pts::exact

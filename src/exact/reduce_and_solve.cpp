@@ -1,0 +1,56 @@
+#include "exact/reduce_and_solve.hpp"
+
+#include "bounds/greedy.hpp"
+#include "util/timer.hpp"
+
+namespace pts::exact {
+
+BnbResult branch_and_bound_with_reduction(const mkp::Instance& inst,
+                                          const BnbOptions& options,
+                                          ReducedSolveStats* stats) {
+  Stopwatch watch;
+
+  // A decent primal bound is what gives the reduced costs teeth.
+  auto incumbent = bounds::greedy_construct(inst);
+  const double lb = incumbent.value();
+
+  const auto fixing = bounds::reduced_cost_fixing(inst, lb);
+  const auto reduced = bounds::build_reduced(inst, fixing);
+
+  if (stats) {
+    stats->original_variables = inst.num_items();
+    stats->fixed_to_zero = fixing.fixed_to_zero;
+    stats->fixed_to_one = fixing.fixed_to_one;
+    stats->residual_variables = reduced.free_to_original.size();
+    stats->greedy_lower_bound = lb;
+    stats->lp_objective = fixing.lp_objective;
+    stats->nodes = 0;
+  }
+
+  if (!reduced.instance.has_value()) {
+    // Everything fixed: the reduction's solution is optimal among solutions
+    // strictly better than lb; keep the better of it and the incumbent.
+    auto lifted = reduced.lift(inst, nullptr);
+    if (lifted.value() < incumbent.value()) lifted = incumbent;
+    const double objective = lifted.value();
+    return BnbResult{std::move(lifted), objective,
+                     /*proven_optimal=*/true, 0, watch.elapsed_seconds()};
+  }
+
+  BnbOptions residual_options = options;
+  // Warm start: the incumbent restricted to free variables bounds the
+  // residual search from below.
+  residual_options.initial_lower_bound = lb - reduced.banked_profit;
+  const auto residual_result = branch_and_bound(*reduced.instance, residual_options);
+  if (stats) stats->nodes = residual_result.nodes;
+
+  auto lifted = reduced.lift(inst, &residual_result.best);
+  if (lifted.value() < incumbent.value()) lifted = std::move(incumbent);
+
+  BnbResult result{std::move(lifted), 0.0, residual_result.proven_optimal,
+                   residual_result.nodes, watch.elapsed_seconds()};
+  result.objective = result.best.value();
+  return result;
+}
+
+}  // namespace pts::exact

@@ -1,0 +1,78 @@
+#include "mkp/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/stats.hpp"
+
+namespace pts::mkp {
+
+InstanceProfile profile_instance(const Instance& inst) {
+  const std::size_t n = inst.num_items();
+  const std::size_t m = inst.num_constraints();
+  InstanceProfile profile;
+  profile.num_items = n;
+  profile.num_constraints = m;
+
+  // Tightness per constraint.
+  profile.tightness_min = std::numeric_limits<double>::infinity();
+  profile.tightness_max = 0.0;
+  double tightness_sum = 0.0;
+  double fill_sum = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = inst.weights_row(i);
+    double row_sum = 0.0;
+    for (double w : row) row_sum += w;
+    const double tightness = row_sum > 0.0 ? inst.capacity(i) / row_sum : 1.0;
+    profile.tightness_min = std::min(profile.tightness_min, tightness);
+    profile.tightness_max = std::max(profile.tightness_max, tightness);
+    tightness_sum += tightness;
+    const double mean_weight = row_sum / static_cast<double>(n);
+    fill_sum += mean_weight > 0.0
+                    ? (inst.capacity(i) / mean_weight) / static_cast<double>(n)
+                    : 1.0;
+  }
+  profile.tightness_mean = tightness_sum / static_cast<double>(m);
+  profile.expected_fill = fill_sum / static_cast<double>(m);
+
+  // Pearson correlation between profits and column weight sums.
+  RunningStats profit_stats, weight_stats;
+  for (std::size_t j = 0; j < n; ++j) {
+    profit_stats.add(inst.profit(j));
+    weight_stats.add(inst.column_weight_sum(j));
+  }
+  double covariance = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    covariance += (inst.profit(j) - profit_stats.mean()) *
+                  (inst.column_weight_sum(j) - weight_stats.mean());
+  }
+  covariance /= static_cast<double>(n > 1 ? n - 1 : 1);
+  const double denom = profit_stats.stddev() * weight_stats.stddev();
+  profile.profit_weight_correlation = denom > 0.0 ? covariance / denom : 0.0;
+
+  // Density dispersion.
+  RunningStats density_stats;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double density = inst.profit_density(j);
+    if (std::isfinite(density)) density_stats.add(density);
+  }
+  profile.density_cv = density_stats.mean() > 0.0
+                           ? density_stats.stddev() / density_stats.mean()
+                           : 0.0;
+  return profile;
+}
+
+std::string InstanceProfile::to_string() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "n=%zu m=%zu tightness[%.2f..%.2f, mean %.2f] "
+                "corr(c,w)=%.2f density-cv=%.2f fill~%.2f",
+                num_items, num_constraints, tightness_min, tightness_max,
+                tightness_mean, profit_weight_correlation, density_cv,
+                expected_fill);
+  return buffer;
+}
+
+}  // namespace pts::mkp

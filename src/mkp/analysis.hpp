@@ -1,0 +1,41 @@
+#pragma once
+// Structural statistics of an MKP instance: the quantities the literature
+// uses to predict hardness — constraint tightness, profit/weight
+// correlation (what makes GK instances resist greedy methods), and density
+// dispersion. Consumed by the orlib_solver example and the search_diagnostics
+// example, and by benches labelling their workloads.
+
+#include <string>
+
+#include "mkp/instance.hpp"
+
+namespace pts::mkp {
+
+struct InstanceProfile {
+  std::size_t num_items = 0;
+  std::size_t num_constraints = 0;
+
+  /// Per-constraint tightness b_i / sum_j a_ij, aggregated.
+  double tightness_min = 0.0;
+  double tightness_mean = 0.0;
+  double tightness_max = 0.0;
+
+  /// Pearson correlation between c_j and sum_i a_ij. Near 1 on GK-style
+  /// correlated instances, near 0 on uncorrelated ones.
+  double profit_weight_correlation = 0.0;
+
+  /// Coefficient of variation of the profit densities c_j / sum_i a_ij —
+  /// small values mean greedy orderings carry little information.
+  double density_cv = 0.0;
+
+  /// Expected knapsack occupancy: mean over constraints of
+  /// (b_i / mean row weight) / n — roughly the fraction of items a
+  /// solution can hold.
+  double expected_fill = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+InstanceProfile profile_instance(const Instance& inst);
+
+}  // namespace pts::mkp

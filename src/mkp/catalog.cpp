@@ -1,0 +1,116 @@
+#include "mkp/catalog.hpp"
+
+#include "util/check.hpp"
+
+namespace pts::mkp {
+
+namespace {
+
+// n=3, m=1. Greedy-by-density picks item 0 (profit 10) and gets stuck;
+// the optimum takes items {1,2} for 12. Exercises "greedy is not optimal".
+CatalogEntry make_greedy_trap() {
+  Instance inst("cat-greedy-trap", {10, 6, 6}, {5, 4, 4}, {8});
+  return {std::move(inst), 12.0};
+}
+
+// n=4, m=1. Optimum is {1,2}: profit 13, weight 7 == capacity (tight).
+CatalogEntry make_pick_two() {
+  Instance inst("cat-pick-two", {10, 7, 6, 1}, {5, 4, 3, 1}, {7});
+  return {std::move(inst), 13.0};
+}
+
+// n=6, m=1 subset-sum flavour: c_j == a_j, capacity 10, and 10 is reachable
+// ({3,5} -> 4+6), so the optimum equals the capacity.
+CatalogEntry make_subset_sum() {
+  Instance inst("cat-subset-sum", {1, 2, 3, 4, 5, 6}, {1, 2, 3, 4, 5, 6}, {10});
+  return {std::move(inst), 10.0};
+}
+
+// n=8, m=3 pure cardinality: every weight 1, capacities 4 -> take the four
+// most profitable items: 9+8+7+6 = 30.
+CatalogEntry make_cardinality() {
+  std::vector<double> profits{5, 9, 3, 7, 8, 2, 6, 4};
+  std::vector<double> weights(3 * 8, 1.0);
+  Instance inst("cat-cardinality", std::move(profits), std::move(weights), {4, 4, 4});
+  return {std::move(inst), 30.0};
+}
+
+// n=10, m=5 block structure: items 0-4 weigh 2 everywhere (profit 10),
+// items 5-9 weigh 3 everywhere (profit 11); capacities all 10. Equivalent to
+// a single knapsack over {2,3} weights; best packing is five light items: 50.
+CatalogEntry make_blocks() {
+  std::vector<double> profits{10, 10, 10, 10, 10, 11, 11, 11, 11, 11};
+  std::vector<double> weights(5 * 10);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      weights[i * 10 + j] = j < 5 ? 2.0 : 3.0;
+    }
+  }
+  Instance inst("cat-blocks", std::move(profits), std::move(weights),
+                {10, 10, 10, 10, 10});
+  return {std::move(inst), 50.0};
+}
+
+// n=12, m=2 with asymmetric constraints: constraint 0 binds the even items,
+// constraint 1 the odd ones. Even items j=0,2,..,10 have (profit 4, a0=3,
+// a1=1); odd items (profit 5, a0=1, a1=3). b = {12, 12}. Taking e evens and
+// o odds needs 3e+o <= 12 and e+3o <= 12; maximize 4e+5o. e=o=3 gives 27;
+// e=2,o=3: 23; e=3,o=2: 22; e=4,o=0:16; o=4,e=0:20; e=2,o=3->? (3*2+3=9<=12,
+// 2+9=11<=12) 23. e=3,o=3 loads: 9+3=12, 3+9=12 feasible -> optimum 27.
+CatalogEntry make_crossed() {
+  std::vector<double> profits(12);
+  std::vector<double> weights(2 * 12);
+  for (std::size_t j = 0; j < 12; ++j) {
+    const bool even = (j % 2) == 0;
+    profits[j] = even ? 4.0 : 5.0;
+    weights[0 * 12 + j] = even ? 3.0 : 1.0;
+    weights[1 * 12 + j] = even ? 1.0 : 3.0;
+  }
+  Instance inst("cat-crossed", std::move(profits), std::move(weights), {12, 12});
+  return {std::move(inst), 27.0};
+}
+
+// n=8, m=2 nested capacities: constraint 1 duplicates constraint 0 at half
+// the capacity, so only constraint 1 ever binds. Weights 2 each, b = {16, 8}
+// -> exactly 4 items fit; profits {9,8,7,6,5,4,3,2}: optimum 9+8+7+6 = 30.
+CatalogEntry make_nested() {
+  std::vector<double> profits{9, 8, 7, 6, 5, 4, 3, 2};
+  std::vector<double> weights(2 * 8, 2.0);
+  Instance inst("cat-nested", std::move(profits), std::move(weights), {16, 8});
+  return {std::move(inst), 30.0};
+}
+
+// n=6, m=1 dominant-item trap: item 0 has the best profit density
+// (22/7 > 6/2) so density-greedy grabs it first and strands a unit of
+// capacity ({0,j} = 28, weight 9 of 10); the optimum skips it entirely and
+// packs the five small items for 30. Tests escaping a dominant-item local
+// optimum — a drop of the "best" item must pay off.
+CatalogEntry make_dominant_trap() {
+  Instance inst("cat-dominant-trap", {22, 6, 6, 6, 6, 6}, {7, 2, 2, 2, 2, 2}, {10});
+  return {std::move(inst), 30.0};
+}
+
+}  // namespace
+
+std::vector<CatalogEntry> catalog() {
+  std::vector<CatalogEntry> entries;
+  entries.push_back(make_greedy_trap());
+  entries.push_back(make_pick_two());
+  entries.push_back(make_subset_sum());
+  entries.push_back(make_cardinality());
+  entries.push_back(make_blocks());
+  entries.push_back(make_crossed());
+  entries.push_back(make_nested());
+  entries.push_back(make_dominant_trap());
+  return entries;
+}
+
+CatalogEntry catalog_entry(const std::string& name) {
+  for (auto& entry : catalog()) {
+    if (entry.instance.name() == name) return entry;
+  }
+  PTS_CHECK_MSG(false, "unknown catalog entry");
+  __builtin_unreachable();
+}
+
+}  // namespace pts::mkp

@@ -1,0 +1,24 @@
+#pragma once
+// Small embedded instances with hand-verified optimal values. The OR-Library
+// data files are not available offline, so these serve as fixed ground truth
+// for tests (and are additionally cross-checked against the exhaustive
+// enumeration oracle in the test suite).
+
+#include <vector>
+
+#include "mkp/instance.hpp"
+
+namespace pts::mkp {
+
+struct CatalogEntry {
+  Instance instance;
+  double optimum;  ///< verified optimal objective value
+};
+
+/// All embedded instances, smallest first.
+std::vector<CatalogEntry> catalog();
+
+/// A specific entry by name; aborts if absent (programming error).
+CatalogEntry catalog_entry(const std::string& name);
+
+}  // namespace pts::mkp

@@ -1,0 +1,65 @@
+#include "mkp/instance.hpp"
+
+#include <limits>
+
+namespace pts::mkp {
+
+Instance::Instance(std::string name, std::vector<double> profits,
+                   std::vector<double> weights_row_major, std::vector<double> capacities)
+    : name_(std::move(name)),
+      n_(profits.size()),
+      m_(capacities.size()),
+      profits_(std::move(profits)),
+      weights_(std::move(weights_row_major)),
+      capacities_(std::move(capacities)) {
+  PTS_CHECK_MSG(n_ > 0, "instance needs at least one item");
+  PTS_CHECK_MSG(m_ > 0, "instance needs at least one constraint");
+  PTS_CHECK_MSG(weights_.size() == n_ * m_, "weight matrix must be m*n");
+
+  column_sums_.assign(n_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double* row = weights_.data() + i * n_;
+    for (std::size_t j = 0; j < n_; ++j) column_sums_[j] += row[j];
+  }
+
+  density_.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    density_[j] = column_sums_[j] > 0.0 ? profits_[j] / column_sums_[j]
+                                        : std::numeric_limits<double>::infinity();
+    total_profit_ += profits_[j];
+  }
+}
+
+std::vector<std::string> Instance::validate() const {
+  std::vector<std::string> issues;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (!(profits_[j] > 0.0)) {
+      issues.push_back("profit of item " + std::to_string(j) + " is not positive");
+    }
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (capacities_[i] < 0.0) {
+      issues.push_back("capacity of constraint " + std::to_string(i) + " is negative");
+    }
+    const auto row = weights_row(i);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (row[j] < 0.0) {
+        issues.push_back("weight a[" + std::to_string(i) + "][" + std::to_string(j) +
+                         "] is negative");
+      }
+    }
+  }
+  return issues;
+}
+
+bool Instance::every_item_fits() const {
+  for (std::size_t i = 0; i < m_; ++i) {
+    const auto row = weights_row(i);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (row[j] > capacities_[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pts::mkp

@@ -1,0 +1,94 @@
+#pragma once
+// The 0-1 multidimensional knapsack problem instance:
+//
+//   max  sum_j c_j x_j
+//   s.t. sum_j a_ij x_j <= b_i   for i = 0..m-1
+//        x_j in {0,1}
+//
+// with c_j > 0, a_ij >= 0, b_i >= 0 (the paper assumes positive reals).
+// Weights are stored row-major (one contiguous row per constraint) so the
+// inner candidate-evaluation loops of the tabu engine stream one cache-
+// friendly row at a time.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pts::mkp {
+
+class Instance {
+ public:
+  /// weights_row_major has m*n entries; row i holds a_i0 .. a_i,n-1.
+  Instance(std::string name, std::vector<double> profits,
+           std::vector<double> weights_row_major, std::vector<double> capacities);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_items() const { return n_; }
+  [[nodiscard]] std::size_t num_constraints() const { return m_; }
+
+  [[nodiscard]] double profit(std::size_t j) const {
+    PTS_DCHECK(j < n_);
+    return profits_[j];
+  }
+
+  [[nodiscard]] double weight(std::size_t i, std::size_t j) const {
+    PTS_DCHECK(i < m_ && j < n_);
+    return weights_[i * n_ + j];
+  }
+
+  [[nodiscard]] double capacity(std::size_t i) const {
+    PTS_DCHECK(i < m_);
+    return capacities_[i];
+  }
+
+  [[nodiscard]] std::span<const double> profits() const { return profits_; }
+  [[nodiscard]] std::span<const double> capacities() const { return capacities_; }
+  [[nodiscard]] std::span<const double> weights_row(std::size_t i) const {
+    PTS_DCHECK(i < m_);
+    return {weights_.data() + i * n_, n_};
+  }
+
+  /// sum_i a_ij — the aggregate resource consumption of item j.
+  [[nodiscard]] double column_weight_sum(std::size_t j) const {
+    PTS_DCHECK(j < n_);
+    return column_sums_[j];
+  }
+
+  /// Profit per unit of aggregate weight; items with zero weight rank first.
+  /// Used by greedy construction and by strategic oscillation's projection
+  /// step ("exclude the objects with large sum_i a_ij / c_j ratio").
+  [[nodiscard]] double profit_density(std::size_t j) const {
+    PTS_DCHECK(j < n_);
+    return density_[j];
+  }
+
+  [[nodiscard]] double total_profit() const { return total_profit_; }
+
+  /// Optimum recorded in the source file (OR-Library convention: 0 = unknown).
+  [[nodiscard]] const std::optional<double>& known_optimum() const { return known_optimum_; }
+  void set_known_optimum(double value) { known_optimum_ = value; }
+
+  /// Human-readable structural problems (empty means well-formed).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// True when every item alone fits every constraint (no forced zeros).
+  [[nodiscard]] bool every_item_fits() const;
+
+ private:
+  std::string name_;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::vector<double> profits_;
+  std::vector<double> weights_;  // row-major, m_ rows of n_
+  std::vector<double> capacities_;
+  std::vector<double> column_sums_;
+  std::vector<double> density_;
+  double total_profit_ = 0.0;
+  std::optional<double> known_optimum_;
+};
+
+}  // namespace pts::mkp

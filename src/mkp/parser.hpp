@@ -1,0 +1,42 @@
+#pragma once
+// Reader/writer for the OR-Library "mknap" text format the paper's two
+// benchmark sets (Fréville–Plateau, Glover–Kochenberger) are distributed in:
+//
+//   K                          <- number of problems in the file
+//   n m opt                    <- per problem (opt 0 when unknown)
+//   c_1 ... c_n
+//   a_11 ... a_1n              <- one row per constraint
+//   ...
+//   a_m1 ... a_mn
+//   b_1 ... b_m
+//
+// Tokens are whitespace-separated; line breaks are not significant.
+// read_single() reads one problem without the leading count.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mkp/instance.hpp"
+
+namespace pts::mkp {
+
+/// Thrown on malformed input (truncated file, bad token, size mismatch).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+std::vector<Instance> read_orlib(std::istream& in, const std::string& base_name = "orlib");
+Instance read_orlib_single(std::istream& in, const std::string& name = "orlib");
+
+std::vector<Instance> read_orlib_file(const std::string& path);
+
+void write_orlib(std::ostream& out, const std::vector<Instance>& instances);
+void write_orlib_single(std::ostream& out, const Instance& instance);
+
+/// Round-trip convenience used by tests and the orlib_solver example.
+void write_orlib_file(const std::string& path, const std::vector<Instance>& instances);
+
+}  // namespace pts::mkp

@@ -1,0 +1,117 @@
+#include "mkp/solution.hpp"
+
+#include <cmath>
+
+namespace pts::mkp {
+
+Solution::Solution(const Instance& inst)
+    : inst_(&inst), bits_(inst.num_items()), loads_(inst.num_constraints(), 0.0) {}
+
+void Solution::add(std::size_t j) {
+  PTS_DCHECK(!bits_.test(j));
+  bits_.set(j);
+  value_ += inst_->profit(j);
+  ++cardinality_;
+  const std::size_t m = loads_.size();
+  for (std::size_t i = 0; i < m; ++i) loads_[i] += inst_->weight(i, j);
+}
+
+void Solution::drop(std::size_t j) {
+  PTS_DCHECK(bits_.test(j));
+  bits_.reset(j);
+  value_ -= inst_->profit(j);
+  --cardinality_;
+  const std::size_t m = loads_.size();
+  for (std::size_t i = 0; i < m; ++i) loads_[i] -= inst_->weight(i, j);
+}
+
+void Solution::flip(std::size_t j) { contains(j) ? drop(j) : add(j); }
+
+void Solution::clear() {
+  bits_.clear_all();
+  for (auto& load : loads_) load = 0.0;
+  value_ = 0.0;
+  cardinality_ = 0;
+}
+
+bool Solution::is_feasible() const {
+  const std::size_t m = loads_.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (loads_[i] > inst_->capacity(i)) return false;
+  }
+  return true;
+}
+
+double Solution::total_violation() const {
+  double violation = 0.0;
+  const std::size_t m = loads_.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double excess = loads_[i] - inst_->capacity(i);
+    if (excess > 0.0) violation += excess;
+  }
+  return violation;
+}
+
+bool Solution::fits(std::size_t j) const {
+  PTS_DCHECK(!bits_.test(j));
+  const std::size_t m = loads_.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (loads_[i] + inst_->weight(i, j) > inst_->capacity(i)) return false;
+  }
+  return true;
+}
+
+std::size_t Solution::most_saturated_constraint(bool relative) const {
+  const std::size_t m = loads_.size();
+  std::size_t best = 0;
+  double best_key = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double key = slack(i);
+    if (relative) {
+      const double cap = inst_->capacity(i);
+      key = cap > 0.0 ? key / cap : key;
+    }
+    if (i == 0 || key < best_key) {
+      best = i;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> Solution::selected_items() const {
+  std::vector<std::size_t> items;
+  items.reserve(cardinality_);
+  const std::size_t n = bits_.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (bits_.test(j)) items.push_back(j);
+  }
+  return items;
+}
+
+bool Solution::check_consistency(double tolerance) const {
+  double value = 0.0;
+  std::vector<double> loads(loads_.size(), 0.0);
+  std::size_t cardinality = 0;
+  const std::size_t n = bits_.size();
+  const std::size_t m = loads_.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!bits_.test(j)) continue;
+    ++cardinality;
+    value += inst_->profit(j);
+    for (std::size_t i = 0; i < m; ++i) loads[i] += inst_->weight(i, j);
+  }
+  if (cardinality != cardinality_) return false;
+  if (std::fabs(value - value_) > tolerance) return false;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (std::fabs(loads[i] - loads_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+void copy_assignment(const Solution& from, Solution& to) {
+  PTS_CHECK(&from.instance() == &to.instance());
+  to = from;
+}
+
+}  // namespace pts::mkp

@@ -1,0 +1,48 @@
+#include "mkp/suites.hpp"
+
+#include <cstdio>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pts::mkp {
+
+std::vector<SuiteClass> generate_chu_beasley(std::uint64_t seed,
+                                             const ChuBeasleyConfig& config) {
+  PTS_CHECK(config.instances_per_class >= 1);
+  PTS_CHECK(config.size_scale > 0.0);
+  std::vector<SuiteClass> classes;
+  classes.reserve(config.constraint_counts.size() * config.item_counts.size() *
+                  config.tightness_levels.size());
+  std::uint64_t salt = 0;
+  for (std::size_t m : config.constraint_counts) {
+    for (std::size_t n_full : config.item_counts) {
+      const auto n = std::max<std::size_t>(
+          m, static_cast<std::size_t>(
+                 std::llround(static_cast<double>(n_full) * config.size_scale)));
+      for (double tightness : config.tightness_levels) {
+        SuiteClass cls;
+        cls.tightness = tightness;
+        {
+          char label[64];
+          std::snprintf(label, sizeof label, "cb-%zux%zu-t%.2f", m, n, tightness);
+          cls.label = label;
+        }
+        for (std::size_t k = 0; k < config.instances_per_class; ++k) {
+          GkConfig gen;
+          gen.num_constraints = m;
+          gen.num_items = n;
+          gen.tightness = tightness;
+          cls.instances.push_back(
+              generate_gk(gen, seed + 15485863ULL * (++salt),
+                          cls.label + "-" + std::to_string(k + 1)));
+        }
+        classes.push_back(std::move(cls));
+      }
+    }
+  }
+  return classes;
+}
+
+}  // namespace pts::mkp

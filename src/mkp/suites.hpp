@@ -1,0 +1,36 @@
+#pragma once
+// Named benchmark suites, one call each: the two suites of the paper
+// (generate_fp57 / generate_gk_table1_classes live in generator.hpp) plus
+// the Chu–Beasley-style grid that became the field's standard after 1998 —
+// the same GK construction crossed with tightness in {0.25, 0.5, 0.75}.
+// Useful for forward-comparing this reproduction against later literature.
+
+#include <string>
+#include <vector>
+
+#include "mkp/generator.hpp"
+#include "mkp/instance.hpp"
+
+namespace pts::mkp {
+
+struct SuiteClass {
+  std::string label;  ///< e.g. "cb-5x100-t0.25"
+  double tightness = 0.25;
+  std::vector<Instance> instances;
+};
+
+struct ChuBeasleyConfig {
+  std::vector<std::size_t> constraint_counts{5, 10, 30};
+  std::vector<std::size_t> item_counts{100, 250, 500};
+  std::vector<double> tightness_levels{0.25, 0.5, 0.75};
+  std::size_t instances_per_class = 1;  ///< the original has 10
+  /// Scale factor on item counts for quick runs (1.0 = full size).
+  double size_scale = 1.0;
+};
+
+/// The full crossed grid, deterministically seeded from `seed`. Class order:
+/// constraints-major, then items, then tightness.
+std::vector<SuiteClass> generate_chu_beasley(std::uint64_t seed,
+                                             const ChuBeasleyConfig& config = {});
+
+}  // namespace pts::mkp

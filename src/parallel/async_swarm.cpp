@@ -1,0 +1,176 @@
+#include "parallel/async_swarm.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bounds/greedy.hpp"
+#include "tabu/engine.hpp"
+#include "util/check.hpp"
+#include "util/mailbox.hpp"
+#include "util/timer.hpp"
+
+namespace pts::parallel {
+
+std::string to_string(AsyncTopology topology) {
+  switch (topology) {
+    case AsyncTopology::kFullBroadcast: return "broadcast";
+    case AsyncTopology::kRing: return "ring";
+    case AsyncTopology::kRandomPeer: return "random-peer";
+  }
+  return "?";
+}
+
+namespace {
+
+struct PeerMessage {
+  mkp::Solution solution;
+  double value = 0.0;
+};
+
+struct PeerOutcome {
+  mkp::Solution best;
+  double best_value = 0.0;
+  std::uint64_t moves = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t adoptions = 0;
+  std::uint64_t self_retunes = 0;
+};
+
+}  // namespace
+
+AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config) {
+  PTS_CHECK(config.num_peers >= 1);
+  PTS_CHECK(config.bursts_per_peer >= 1);
+
+  Stopwatch watch;
+  const auto deadline = config.time_limit_seconds > 0.0
+                            ? Deadline::after_seconds(config.time_limit_seconds)
+                            : Deadline::unbounded();
+
+  std::vector<std::unique_ptr<Mailbox<PeerMessage>>> mailboxes;
+  mailboxes.reserve(config.num_peers);
+  for (std::size_t i = 0; i < config.num_peers; ++i) {
+    mailboxes.push_back(std::make_unique<Mailbox<PeerMessage>>());
+  }
+
+  std::atomic<bool> stop_all{false};
+  std::vector<PeerOutcome> outcomes;
+  outcomes.reserve(config.num_peers);
+  for (std::size_t i = 0; i < config.num_peers; ++i) {
+    outcomes.push_back(PeerOutcome{mkp::Solution(inst)});
+  }
+
+  auto peer_body = [&](std::size_t peer_id) {
+    Rng rng = Rng(config.seed).derive(0xA5A5ULL + peer_id);
+    StrategyGenerator sgp(config.sgp);
+    auto& outcome = outcomes[peer_id];
+
+    tabu::Strategy strategy = random_strategy(rng, config.sgp.bounds);
+    mkp::Solution current = bounds::greedy_randomized(inst, rng);
+    outcome.best = current;
+    outcome.best_value = current.value();
+    std::vector<mkp::Solution> elite;
+
+    for (std::size_t burst = 0; burst < config.bursts_per_peer; ++burst) {
+      if (stop_all.load(std::memory_order_relaxed) || deadline.expired()) break;
+
+      tabu::TsParams params = config.base_params;
+      params.strategy = strategy;
+      params.max_moves =
+          std::max<std::uint64_t>(1, config.work_per_burst / strategy.nb_drop);
+      params.target_value = config.target_value;
+      params.run_to_budget = true;
+
+      auto ts = tabu::tabu_search(inst, current, params, rng);
+      outcome.moves += ts.moves;
+      elite = ts.elite;
+
+      const bool improved = ts.best_value > outcome.best_value;
+      if (improved) {
+        outcome.best = ts.best;
+        outcome.best_value = ts.best_value;
+      }
+      if (ts.reached_target) {
+        stop_all.store(true, std::memory_order_relaxed);
+        break;
+      }
+
+      // Share the burst's best along the configured topology (fire and
+      // forget).
+      auto send_to = [&](std::size_t other) {
+        mailboxes[other]->send(PeerMessage{ts.best, ts.best_value});
+        ++outcome.broadcasts;
+      };
+      switch (config.topology) {
+        case AsyncTopology::kFullBroadcast:
+          for (std::size_t other = 0; other < config.num_peers; ++other) {
+            if (other != peer_id) send_to(other);
+          }
+          break;
+        case AsyncTopology::kRing:
+          if (config.num_peers > 1) send_to((peer_id + 1) % config.num_peers);
+          break;
+        case AsyncTopology::kRandomPeer:
+          if (config.num_peers > 1) {
+            std::size_t other = rng.index(config.num_peers - 1);
+            if (other >= peer_id) ++other;  // skip self without bias
+            send_to(other);
+          }
+          break;
+      }
+
+      // Drain the inbox; adopt the best incoming solution if it clears the
+      // margin over our own best.
+      std::optional<PeerMessage> incoming_best;
+      while (auto message = mailboxes[peer_id]->try_receive()) {
+        if (!incoming_best || message->value > incoming_best->value) {
+          incoming_best = std::move(message);
+        }
+      }
+      current = ts.best;
+      if (incoming_best &&
+          incoming_best->value > outcome.best_value * (1.0 + config.adoption_margin)) {
+        current = std::move(incoming_best->solution);
+        ++outcome.adoptions;
+      }
+
+      // Local strategy adaptation: retune after an unproductive burst.
+      if (!improved) {
+        const auto decision = sgp.retune(strategy, elite, inst.num_items(), rng);
+        strategy = decision.strategy;
+        ++outcome.self_retunes;
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> peers;
+    peers.reserve(config.num_peers);
+    for (std::size_t i = 0; i < config.num_peers; ++i) {
+      peers.emplace_back(peer_body, i);
+    }
+  }  // join
+
+  AsyncResult result{mkp::Solution(inst)};
+  for (const auto& outcome : outcomes) {
+    result.total_moves += outcome.moves;
+    result.broadcasts += outcome.broadcasts;
+    result.adoptions += outcome.adoptions;
+    result.self_retunes += outcome.self_retunes;
+    if (outcome.best_value > result.best_value) {
+      result.best = outcome.best;
+      result.best_value = outcome.best_value;
+    }
+  }
+  result.reached_target = stop_all.load();
+  if (config.target_value && result.best_value >= *config.target_value) {
+    result.reached_target = true;
+  }
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace pts::parallel

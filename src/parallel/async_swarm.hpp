@@ -1,0 +1,68 @@
+#pragma once
+// The paper's announced future extension (§6): replace the centralized
+// synchronous master-slave scheme with a decentralized asynchronous one.
+//
+// Design: P peer threads, no master, no rendezvous. Each peer runs short
+// tabu-search bursts. After every burst it broadcasts its best solution to
+// every other peer's mailbox and drains its own, adopting the best incoming
+// solution as its next start when that solution beats its own by the
+// adoption threshold. Strategy adaptation is local: a peer whose burst
+// failed to improve retunes itself (the same clustered/spread rule the
+// master uses, applied to its own elite pool).
+//
+// Peers never block on each other — the asynchrony the paper wanted — and
+// determinism is traded away: message arrival order depends on scheduling.
+// Results remain reproducible in distribution, not bitwise.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mkp/instance.hpp"
+#include "parallel/strategy_gen.hpp"
+#include "tabu/strategy.hpp"
+
+namespace pts::parallel {
+
+/// Who a peer broadcasts to after each burst — the communication-topology
+/// axis of the cooperative-search design space (Toulouse/Crainic/Gendreau,
+/// the paper's ref. [11]: "communication issues in designing cooperative
+/// multithread parallel searches").
+enum class AsyncTopology : std::uint8_t {
+  kFullBroadcast,  ///< everyone tells everyone (highest traffic)
+  kRing,           ///< peer i tells peer (i+1) mod P only
+  kRandomPeer,     ///< one uniformly random other peer per burst
+};
+
+[[nodiscard]] std::string to_string(AsyncTopology topology);
+
+struct AsyncConfig {
+  std::size_t num_peers = 8;
+  std::uint64_t seed = 1;
+  std::size_t bursts_per_peer = 10;
+  std::uint64_t work_per_burst = 20'000;  ///< move*nb_drop units
+  AsyncTopology topology = AsyncTopology::kFullBroadcast;
+  /// Adopt an incoming solution when it beats the peer's own best by this
+  /// relative margin (0 = adopt any strictly better).
+  double adoption_margin = 0.0;
+  SgpConfig sgp;
+  tabu::TsParams base_params;
+  std::optional<double> target_value;
+  double time_limit_seconds = 0.0;
+};
+
+struct AsyncResult {
+  mkp::Solution best;
+  double best_value = 0.0;
+  std::uint64_t total_moves = 0;
+  double seconds = 0.0;
+  bool reached_target = false;
+
+  std::uint64_t broadcasts = 0;
+  std::uint64_t adoptions = 0;
+  std::uint64_t self_retunes = 0;
+};
+
+AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config);
+
+}  // namespace pts::parallel

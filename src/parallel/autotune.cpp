@@ -1,0 +1,80 @@
+#include "parallel/autotune.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace pts::parallel {
+
+namespace {
+
+/// Strategies are aggregated by value; a strict ordering keys the map.
+struct StrategyLess {
+  bool operator()(const tabu::Strategy& a, const tabu::Strategy& b) const {
+    return std::tie(a.tabu_tenure, a.nb_drop, a.nb_local, a.nb_candidates) <
+           std::tie(b.tabu_tenure, b.nb_drop, b.nb_local, b.nb_candidates);
+  }
+};
+
+}  // namespace
+
+AutotuneResult recommend_strategy(const mkp::Instance& inst,
+                                  const AutotuneOptions& options) {
+  PTS_CHECK(options.probe_rounds >= 1);
+
+  ParallelConfig config;
+  config.mode = CooperationMode::kCooperativeAdaptive;
+  config.num_slaves = options.num_slaves;
+  config.search_iterations = options.probe_rounds;
+  config.work_per_slave_round = options.work_per_slave_round;
+  config.mix_intensification = true;
+  config.seed = options.seed;
+  const auto probe = run_parallel_tabu_search(inst, config);
+  PTS_CHECK(probe.best_value > 0.0 || inst.num_items() == 0 ||
+            probe.best.is_feasible());
+
+  struct Tally {
+    double value_sum = 0.0;
+    std::size_t rounds = 0;
+  };
+  std::map<tabu::Strategy, Tally, StrategyLess> tallies;
+  for (const auto& log : probe.master.timeline) {
+    auto& tally = tallies[log.strategy];
+    tally.value_sum += log.final_value;
+    ++tally.rounds;
+  }
+
+  AutotuneResult result{tabu::Strategy{}, 0.0, 0, tallies.size(),
+                        probe.best_value, probe.best};
+  const double normalizer = probe.best_value > 0.0 ? probe.best_value : 1.0;
+  bool found = false;
+  for (const auto& [strategy, tally] : tallies) {
+    if (tally.rounds < options.min_rounds_evidence) continue;
+    const double mean_normalized =
+        tally.value_sum / static_cast<double>(tally.rounds) / normalizer;
+    if (!found || mean_normalized > result.mean_normalized_value) {
+      result.recommended = strategy;
+      result.mean_normalized_value = mean_normalized;
+      result.evidence_rounds = tally.rounds;
+      found = true;
+    }
+  }
+  if (!found) {
+    // Probe too short for any strategy to accumulate evidence: fall back to
+    // the most-observed strategy.
+    std::size_t best_rounds = 0;
+    for (const auto& [strategy, tally] : tallies) {
+      if (tally.rounds > best_rounds) {
+        best_rounds = tally.rounds;
+        result.recommended = strategy;
+        result.evidence_rounds = tally.rounds;
+        result.mean_normalized_value =
+            tally.value_sum / static_cast<double>(tally.rounds) / normalizer;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pts::parallel

@@ -1,0 +1,41 @@
+#pragma once
+// Strategy recommendation — the paper's promise ("unload the user from the
+// task of finding the efficient TS parameters for each problem instance")
+// packaged as a library call: run a short CTS2 probe and extract the
+// strategy whose rounds performed best, for use in subsequent sequential
+// (or embedded) runs on the same instance or instance family.
+//
+// Scoring: each strategy appearing in the probe's timeline is credited with
+// its rounds' final values, normalized by the probe's best; the
+// recommendation is the strategy with the highest mean normalized final
+// value over at least `min_rounds_evidence` rounds.
+
+#include <cstdint>
+
+#include "mkp/instance.hpp"
+#include "parallel/runner.hpp"
+#include "tabu/strategy.hpp"
+
+namespace pts::parallel {
+
+struct AutotuneOptions {
+  std::size_t num_slaves = 4;
+  std::size_t probe_rounds = 10;
+  std::uint64_t work_per_slave_round = 2'000;
+  std::size_t min_rounds_evidence = 2;  ///< strategies seen fewer rounds are skipped
+  std::uint64_t seed = 1;
+};
+
+struct AutotuneResult {
+  tabu::Strategy recommended;
+  double mean_normalized_value = 0.0;  ///< of the winning strategy's rounds
+  std::size_t evidence_rounds = 0;     ///< rounds the winner was observed
+  std::size_t strategies_seen = 0;     ///< distinct strategies in the probe
+  double probe_best_value = 0.0;
+  mkp::Solution probe_best;            ///< free by-product of the probe
+};
+
+AutotuneResult recommend_strategy(const mkp::Instance& inst,
+                                  const AutotuneOptions& options = {});
+
+}  // namespace pts::parallel

@@ -1,0 +1,3 @@
+#include "parallel/comm.hpp"
+
+// Header-only today; the translation unit anchors the library target.

@@ -1,0 +1,53 @@
+#pragma once
+// The message protocol between the master and the slave search threads —
+// the in-process stand-in for the paper's PVM layer (synchronous centralized
+// communication scheme, §4.2). One mailbox per slave carries assignments
+// down; a shared mailbox carries reports up. The master's "rendezvous" is
+// simply gathering P reports before computing the next round.
+//
+// Everything in a message is moved; the only shared object is the const
+// Instance (immutable data is safe to share — Core Guidelines CP.3).
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "mkp/solution.hpp"
+#include "tabu/engine.hpp"
+#include "tabu/strategy.hpp"
+#include "util/mailbox.hpp"
+
+namespace pts::parallel {
+
+/// Master -> slave: run one search iteration.
+struct Assignment {
+  std::size_t round = 0;
+  mkp::Solution initial;
+  tabu::TsParams params;  ///< strategy + budget, fully resolved by the master
+};
+
+/// Master -> slave: shut down.
+struct Stop {};
+
+using ToSlave = std::variant<Assignment, Stop>;
+
+/// Slave -> master: the outcome of one search iteration (the paper's
+/// "B best solutions" plus what scoring needs).
+struct Report {
+  std::size_t slave_id = 0;
+  std::size_t round = 0;
+  double initial_value = 0.0;  ///< C(S_i): cost of the assigned start
+  double final_value = 0.0;    ///< C'(S_i): best cost the slave reached
+  std::vector<mkp::Solution> elite;  ///< B best, best first
+  std::uint64_t moves = 0;
+  double seconds = 0.0;
+  bool reached_target = false;
+};
+
+/// The two endpoints a slave needs.
+struct SlaveChannels {
+  Mailbox<ToSlave>* inbox = nullptr;
+  Mailbox<Report>* outbox = nullptr;
+};
+
+}  // namespace pts::parallel

@@ -1,0 +1,33 @@
+#include "parallel/init_gen.hpp"
+
+#include "bounds/greedy.hpp"
+
+namespace pts::parallel {
+
+std::string to_string(InitKind kind) {
+  switch (kind) {
+    case InitKind::kOwnBest: return "own-best";
+    case InitKind::kGlobalBest: return "global-best";
+    case InitKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+IspDecision InitialSolutionGenerator::next_initial(
+    const std::optional<mkp::Solution>& own_best, const mkp::Solution& global_best,
+    std::size_t rounds_unchanged, Rng& rng) const {
+  // Rule 3 first: stagnation overrides everything — keeping a stale start
+  // alive by injecting the global best would only deepen the rut.
+  if (rounds_unchanged >= config_.stagnation_rounds) {
+    return {bounds::random_feasible(global_best.instance(), rng), InitKind::kRandom};
+  }
+  // Rule 2: too weak relative to the global best.
+  if (!own_best ||
+      own_best->value() < config_.alpha * global_best.value()) {
+    return {global_best, InitKind::kGlobalBest};
+  }
+  // Rule 1: carry on from the slave's own best.
+  return {*own_best, InitKind::kOwnBest};
+}
+
+}  // namespace pts::parallel

@@ -1,0 +1,58 @@
+#pragma once
+// The Initial Solution generation Procedure (ISP, §4.2). For each slave the
+// next starting solution is, in order of precedence:
+//
+//   1. its own best solution from the last search iteration;
+//   2. the global best S* when the slave's best is worth less than
+//      alpha * C(S*) — weak solutions are evicted from the pool and replaced
+//      by the global best ("macro intensification");
+//   3. a fresh random feasible solution when the slave's start has not
+//      changed for `stagnation_rounds` rounds ("macro diversification").
+//
+// Pure logic over snapshots; no threads.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mkp/solution.hpp"
+#include "util/rng.hpp"
+
+namespace pts::parallel {
+
+struct IspConfig {
+  double alpha = 0.95;  ///< the paper's fraction of the global best cost
+  std::size_t stagnation_rounds = 3;
+};
+
+enum class InitKind : std::uint8_t {
+  kOwnBest,     ///< rule 1
+  kGlobalBest,  ///< rule 2 (injection)
+  kRandom,      ///< rule 3 (restart)
+};
+
+struct IspDecision {
+  mkp::Solution initial;
+  InitKind kind = InitKind::kOwnBest;
+};
+
+[[nodiscard]] std::string to_string(InitKind kind);
+
+class InitialSolutionGenerator {
+ public:
+  explicit InitialSolutionGenerator(const IspConfig& config = {}) : config_(config) {}
+
+  [[nodiscard]] const IspConfig& config() const { return config_; }
+
+  /// `own_best`: the slave's best from its last report (nullopt when the
+  /// slave produced nothing usable). `global_best` must be feasible.
+  /// `rounds_unchanged`: rounds the slave's start has been the same.
+  IspDecision next_initial(const std::optional<mkp::Solution>& own_best,
+                           const mkp::Solution& global_best,
+                           std::size_t rounds_unchanged, Rng& rng) const;
+
+ private:
+  IspConfig config_;
+};
+
+}  // namespace pts::parallel

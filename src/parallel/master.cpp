@@ -1,0 +1,184 @@
+#include "parallel/master.hpp"
+
+#include <algorithm>
+
+#include "bounds/greedy.hpp"
+#include "tabu/path_relink.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pts::parallel {
+
+namespace {
+
+/// The master's per-slave record — the paper's data structure entry:
+/// strategy St_i, initial solution S_i, B best solutions best_i, score_i.
+struct SlaveRecord {
+  tabu::Strategy strategy;
+  std::optional<mkp::Solution> initial;
+  std::vector<mkp::Solution> b_best;
+  int score = 0;
+  std::size_t rounds_unchanged = 0;
+};
+
+}  // namespace
+
+MasterResult run_master(const mkp::Instance& inst,
+                        const std::vector<SlaveChannels>& channels,
+                        const MasterConfig& config, MasterTrace* trace) {
+  PTS_CHECK(config.num_slaves >= 1);
+  PTS_CHECK(channels.size() == config.num_slaves);
+  PTS_CHECK(config.search_iterations >= 1);
+  for (const auto& ch : channels) PTS_CHECK(ch.inbox && ch.outbox);
+
+  Stopwatch watch;
+  const auto deadline = config.time_limit_seconds > 0.0
+                            ? Deadline::after_seconds(config.time_limit_seconds)
+                            : Deadline::unbounded();
+
+  Rng master_rng = Rng(config.seed).derive(0xFEEDULL);
+  StrategyGenerator sgp(config.sgp);
+  InitialSolutionGenerator isp(config.isp);
+
+  MasterResult result{mkp::Solution(inst)};
+
+  // Initialization: random strategies, randomized-greedy initial solutions.
+  std::vector<SlaveRecord> records(config.num_slaves);
+  for (std::size_t i = 0; i < config.num_slaves; ++i) {
+    records[i].strategy = random_strategy(master_rng, config.sgp.bounds);
+    records[i].score = config.sgp.initial_score;
+    records[i].initial = bounds::greedy_randomized(inst, master_rng);
+    if (records[i].initial->value() > result.best_value) {
+      result.best = *records[i].initial;
+      result.best_value = records[i].initial->value();
+    }
+  }
+
+  for (std::size_t round = 0; round < config.search_iterations; ++round) {
+    if (deadline.expired() || result.reached_target) break;
+    if (trace) trace->on_round_start(round);
+
+    // Scatter: one assignment per slave. Work balancing: slaves with larger
+    // Nb_drop get proportionally fewer moves.
+    for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      Assignment assignment{round, *records[i].initial, config.base_params};
+      if (config.mix_intensification) {
+        assignment.params.intensification =
+            i % 2 == 0 ? tabu::IntensificationKind::kSwap
+                       : tabu::IntensificationKind::kStrategicOscillation;
+      }
+      assignment.params.strategy = records[i].strategy;
+      assignment.params.max_moves = std::max<std::uint64_t>(
+          1, config.work_per_slave_round / records[i].strategy.nb_drop);
+      assignment.params.target_value = config.target_value;
+      assignment.params.run_to_budget = true;
+      const bool sent = channels[i].inbox->send(std::move(assignment));
+      PTS_CHECK_MSG(sent, "slave inbox closed while the master is running");
+    }
+    if (trace) trace->on_assignments_sent(round, config.num_slaves);
+
+    // Gather: the synchronous rendezvous — wait for all P reports.
+    std::vector<std::optional<Report>> reports(config.num_slaves);
+    std::optional<double> first_report_at;
+    for (std::size_t k = 0; k < config.num_slaves; ++k) {
+      auto report = channels[0].outbox->receive();
+      PTS_CHECK_MSG(report.has_value(), "report mailbox closed prematurely");
+      if (!first_report_at) first_report_at = watch.elapsed_seconds();
+      PTS_CHECK(report->slave_id < config.num_slaves);
+      reports[report->slave_id] = std::move(*report);
+    }
+    result.rendezvous_idle_seconds += watch.elapsed_seconds() - *first_report_at;
+    if (trace) trace->on_reports_gathered(round, config.num_slaves);
+
+    // Update the global best first so ISP sees this round's discoveries.
+    for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      const auto& report = *reports[i];
+      result.total_moves += report.moves;
+      if (report.reached_target) result.reached_target = true;
+      if (!report.elite.empty() && report.elite.front().value() > result.best_value) {
+        result.best = report.elite.front();
+        result.best_value = report.elite.front().value();
+      }
+    }
+
+    // Extension: path-relink the global best against each slave's best —
+    // solutions combining the structure of two elites often sit on the path.
+    if (config.relink_elites && result.best_value > 0.0) {
+      for (std::size_t i = 0; i < config.num_slaves; ++i) {
+        const auto& report = *reports[i];
+        if (report.elite.empty()) continue;
+        const auto& slave_best = report.elite.front();
+        if (slave_best == result.best) continue;
+        const auto relinked = tabu::path_relink(result.best, slave_best);
+        if (relinked.best_value > result.best_value) {
+          result.best = relinked.best;
+          result.best_value = relinked.best_value;
+          ++result.relink_improvements;
+          if (config.target_value && result.best_value >= *config.target_value) {
+            result.reached_target = true;
+          }
+        }
+      }
+    }
+
+    // Per-slave bookkeeping, deterministic order.
+    for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      const auto& report = *reports[i];
+      auto& record = records[i];
+      record.b_best = report.elite;
+
+      RoundLog log;
+      log.round = round;
+      log.slave = i;
+      log.strategy = record.strategy;
+      log.initial_value = report.initial_value;
+      log.final_value = report.final_value;
+      log.moves = report.moves;
+      log.seconds = report.seconds;
+
+      // SGP: score and possibly retune (CTS2 only).
+      if (config.adapt_strategies) {
+        const bool improved = report.final_value > report.initial_value;
+        const auto decision = sgp.update(record.strategy, record.score, improved,
+                                         record.b_best, inst.num_items(), master_rng);
+        if (decision.kind != RetuneKind::kKept) ++result.strategy_retunes;
+        record.strategy = decision.strategy;
+        record.score = decision.score;
+        log.retune = decision.kind;
+      }
+      log.score_after = record.score;
+
+      // ISP: the next starting solution (CTS1/CTS2); independent threads
+      // simply continue from their own best.
+      std::optional<mkp::Solution> own_best;
+      if (!record.b_best.empty()) own_best = record.b_best.front();
+      mkp::Solution next_initial = mkp::Solution(inst);
+      InitKind kind = InitKind::kOwnBest;
+      if (config.share_solutions) {
+        auto decision = isp.next_initial(own_best, result.best,
+                                         record.rounds_unchanged, master_rng);
+        next_initial = std::move(decision.initial);
+        kind = decision.kind;
+        if (kind == InitKind::kGlobalBest) ++result.global_best_injections;
+        if (kind == InitKind::kRandom) ++result.random_restarts;
+      } else {
+        next_initial = own_best ? *own_best : *record.initial;
+      }
+      if (record.initial && next_initial == *record.initial) {
+        ++record.rounds_unchanged;
+      } else {
+        record.rounds_unchanged = 0;
+      }
+      record.initial = std::move(next_initial);
+      log.init_kind = kind;
+      result.timeline.push_back(std::move(log));
+    }
+    ++result.rounds_completed;
+  }
+
+  for (const auto& ch : channels) ch.inbox->send(Stop{});
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace pts::parallel

@@ -1,0 +1,108 @@
+#pragma once
+// The master process (§4.2, Figure 2):
+//
+//   read and send problem data to the slaves
+//   for each search iteration:
+//     SGP + ISP -> per-slave (initial solution, strategy)
+//     scatter assignments; gather every slave's B best solutions
+//
+// Cooperation is controlled by two independent switches so the Table-2 modes
+// never diverge structurally: share_solutions (ISP pooling) and
+// adapt_strategies (SGP retuning). ITS = both off, CTS1 = share only,
+// CTS2 = both on.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mkp/instance.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/init_gen.hpp"
+#include "parallel/strategy_gen.hpp"
+#include "tabu/strategy.hpp"
+
+namespace pts::parallel {
+
+struct MasterConfig {
+  std::size_t num_slaves = 8;
+  std::size_t search_iterations = 10;  ///< the paper's Nb_search_it
+
+  /// Per-slave, per-round work budget in move*nb_drop units. The master
+  /// balances wall time across heterogeneous strategies by assigning
+  /// max_moves = work / nb_drop (§4.2: "give a value to Nb_it which is
+  /// proportional to Nb_drop conversely").
+  std::uint64_t work_per_slave_round = 20'000;
+
+  std::uint64_t seed = 1;
+  bool share_solutions = true;   ///< ISP pooling (CTS1, CTS2)
+  bool adapt_strategies = true;  ///< SGP retuning (CTS2)
+
+  IspConfig isp;
+  SgpConfig sgp;
+  tabu::TsParams base_params;  ///< template: intensification kind, thresholds...
+
+  /// When true, slaves alternate between the paper's two intensification
+  /// procedures (even slaves swap components, odd slaves run strategic
+  /// oscillation) instead of all using base_params.intensification — the
+  /// heterogeneity §3.2's "two intensification procedures have been used"
+  /// implies.
+  bool mix_intensification = false;
+
+  /// Extension (tabu/path_relink.hpp): after each gather, relink the global
+  /// best against every slave's best and adopt any improvement found on the
+  /// path. Off by default (not part of the paper's algorithm).
+  bool relink_elites = false;
+
+  std::optional<double> target_value;  ///< stop all slaves once reached
+  double time_limit_seconds = 0.0;     ///< 0 = unbounded rounds
+};
+
+/// One line of the run's audit log (one slave in one round).
+struct RoundLog {
+  std::size_t round = 0;
+  std::size_t slave = 0;
+  tabu::Strategy strategy;        ///< strategy the slave ran this round
+  InitKind init_kind = InitKind::kOwnBest;
+  double initial_value = 0.0;
+  double final_value = 0.0;
+  int score_after = 0;
+  RetuneKind retune = RetuneKind::kKept;
+  std::uint64_t moves = 0;
+  double seconds = 0.0;
+};
+
+struct MasterResult {
+  mkp::Solution best;
+  double best_value = 0.0;
+  std::vector<RoundLog> timeline;
+  std::size_t rounds_completed = 0;
+  std::uint64_t total_moves = 0;
+  double seconds = 0.0;
+  bool reached_target = false;
+
+  std::size_t strategy_retunes = 0;
+  std::size_t global_best_injections = 0;
+  std::size_t random_restarts = 0;
+  std::size_t relink_improvements = 0;  ///< only with relink_elites
+  /// Accumulated gap between the first and last report of each round —
+  /// the rendezvous idle cost of the synchronous scheme (ablation A5).
+  double rendezvous_idle_seconds = 0.0;
+};
+
+/// Observer for the master's control flow (Fig. 2 structural tests).
+class MasterTrace {
+ public:
+  virtual ~MasterTrace() = default;
+  virtual void on_round_start(std::size_t /*round*/) {}
+  virtual void on_assignments_sent(std::size_t /*round*/, std::size_t /*count*/) {}
+  virtual void on_reports_gathered(std::size_t /*round*/, std::size_t /*count*/) {}
+};
+
+/// Drives one full run over already-connected slave channels. channels[i]
+/// must be wired to a live slave i. Sends Stop to every slave before
+/// returning.
+MasterResult run_master(const mkp::Instance& inst,
+                        const std::vector<SlaveChannels>& channels,
+                        const MasterConfig& config, MasterTrace* trace = nullptr);
+
+}  // namespace pts::parallel

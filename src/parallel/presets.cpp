@@ -1,0 +1,80 @@
+#include "parallel/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pts::parallel {
+
+namespace {
+
+ParallelConfig base(std::uint64_t seed) {
+  ParallelConfig config;
+  config.mode = CooperationMode::kCooperativeAdaptive;
+  config.base_params.strategy.nb_local = 25;
+  config.mix_intensification = true;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+ParallelConfig preset_quick(std::uint64_t seed) {
+  auto config = base(seed);
+  config.num_slaves = 2;
+  config.search_iterations = 4;
+  config.work_per_slave_round = 2'000;
+  return config;
+}
+
+ParallelConfig preset_balanced(std::uint64_t seed) {
+  auto config = base(seed);
+  config.num_slaves = 4;
+  config.search_iterations = 12;
+  config.work_per_slave_round = 4'000;
+  return config;
+}
+
+ParallelConfig preset_thorough(std::uint64_t seed) {
+  auto config = base(seed);
+  config.num_slaves = 8;
+  config.search_iterations = 24;
+  config.work_per_slave_round = 10'000;
+  return config;
+}
+
+ParallelConfig preset_paper(std::uint64_t seed) {
+  auto config = base(seed);
+  config.num_slaves = 16;  // the farm of 16 Alpha processors
+  config.search_iterations = 20;
+  config.work_per_slave_round = 5'000;
+  config.sgp.initial_score = 4;  // the paper's value (already the default)
+  return config;
+}
+
+void scale_budget_to_instance(ParallelConfig& config, const mkp::Instance& inst) {
+  // Reference shape: 10 x 250. A move costs O(n*m); keep moves-per-round
+  // roughly constant in wall time by scaling the work budget with the
+  // square root of the cost ratio (bigger problems also need more moves).
+  const double cost = static_cast<double>(inst.num_items()) *
+                      static_cast<double>(inst.num_constraints());
+  const double reference = 250.0 * 10.0;
+  const double factor = std::sqrt(std::max(cost / reference, 0.05));
+  config.work_per_slave_round = std::max<std::uint64_t>(
+      500, static_cast<std::uint64_t>(
+               static_cast<double>(config.work_per_slave_round) * factor));
+}
+
+std::optional<ParallelConfig> preset_by_name(const std::string& name,
+                                             std::uint64_t seed) {
+  if (name == "quick") return preset_quick(seed);
+  if (name == "balanced") return preset_balanced(seed);
+  if (name == "thorough") return preset_thorough(seed);
+  if (name == "paper") return preset_paper(seed);
+  return std::nullopt;
+}
+
+std::vector<std::string> known_preset_names() {
+  return {"quick", "balanced", "thorough", "paper"};
+}
+
+}  // namespace pts::parallel

@@ -1,0 +1,41 @@
+#pragma once
+// Named configurations: sensible starting points for the parallel search so
+// downstream users do not re-derive budgets from scratch. Each preset is a
+// plain function returning a ParallelConfig — callers adjust fields after.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mkp/instance.hpp"
+#include "parallel/runner.hpp"
+
+namespace pts::parallel {
+
+/// ~1 second on a typical core for a 10x250 instance; good for smoke runs
+/// and interactive use.
+ParallelConfig preset_quick(std::uint64_t seed = 1);
+
+/// The defaults the repository's benchmarks use: 4 slaves, mixed §3.2
+/// intensification, a dozen short rounds.
+ParallelConfig preset_balanced(std::uint64_t seed = 1);
+
+/// Many rounds, more slaves, bigger budgets — for final-quality runs.
+ParallelConfig preset_thorough(std::uint64_t seed = 1);
+
+/// As close to the paper's §5 setup as this codebase gets: P = 16 slaves
+/// (the Alpha farm's width), synchronous rounds, score-4 SGP, both
+/// intensification procedures in rotation.
+ParallelConfig preset_paper(std::uint64_t seed = 1);
+
+/// Scale a preset's per-round budget to the instance (work grows with n*m
+/// so bigger problems get proportionally more moves).
+void scale_budget_to_instance(ParallelConfig& config, const mkp::Instance& inst);
+
+/// Lookup by name ("quick", "balanced", "thorough", "paper"); nullopt for
+/// unknown names. `known_preset_names()` lists them for CLI help text.
+std::optional<ParallelConfig> preset_by_name(const std::string& name,
+                                             std::uint64_t seed = 1);
+std::vector<std::string> known_preset_names();
+
+}  // namespace pts::parallel

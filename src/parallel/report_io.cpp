@@ -1,0 +1,51 @@
+#include "parallel/report_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace pts::parallel {
+
+void timeline_to_csv(std::ostream& out, const MasterResult& result) {
+  out << "round,slave,tenure,nb_drop,nb_local,nb_candidates,init_kind,"
+         "initial_value,final_value,score_after,retune,moves,seconds\n";
+  for (const auto& log : result.timeline) {
+    out << log.round << ',' << log.slave << ',' << log.strategy.tabu_tenure << ','
+        << log.strategy.nb_drop << ',' << log.strategy.nb_local << ','
+        << log.strategy.nb_candidates << ',' << to_string(log.init_kind) << ','
+        << log.initial_value << ',' << log.final_value << ',' << log.score_after
+        << ',' << to_string(log.retune) << ',' << log.moves << ',' << log.seconds
+        << '\n';
+  }
+}
+
+void summary_to_csv(std::ostream& out, const ParallelResult& result) {
+  out << "key,value\n";
+  out << "mode," << to_string(result.mode) << '\n';
+  out << "best_value," << result.best_value << '\n';
+  out << "total_moves," << result.total_moves << '\n';
+  out << "seconds," << result.seconds << '\n';
+  out << "reached_target," << (result.reached_target ? 1 : 0) << '\n';
+  out << "rounds_completed," << result.master.rounds_completed << '\n';
+  out << "strategy_retunes," << result.master.strategy_retunes << '\n';
+  out << "global_best_injections," << result.master.global_best_injections << '\n';
+  out << "random_restarts," << result.master.random_restarts << '\n';
+  out << "relink_improvements," << result.master.relink_improvements << '\n';
+  out << "rendezvous_idle_seconds," << result.master.rendezvous_idle_seconds << '\n';
+}
+
+void write_report_files(const std::string& path_prefix, const ParallelResult& result) {
+  {
+    std::ofstream out(path_prefix + "-timeline.csv");
+    PTS_CHECK_MSG(static_cast<bool>(out), "cannot open timeline csv for writing");
+    timeline_to_csv(out, result.master);
+  }
+  {
+    std::ofstream out(path_prefix + "-summary.csv");
+    PTS_CHECK_MSG(static_cast<bool>(out), "cannot open summary csv for writing");
+    summary_to_csv(out, result);
+  }
+}
+
+}  // namespace pts::parallel

@@ -1,0 +1,25 @@
+#pragma once
+// Run-report serialization: the master's timeline and summary as CSV, so a
+// run can be archived or plotted without re-running. Consumed by the
+// parameter_tuning example (--csv-out) and available to downstream users.
+
+#include <iosfwd>
+#include <string>
+
+#include "parallel/master.hpp"
+#include "parallel/runner.hpp"
+
+namespace pts::parallel {
+
+/// One row per (round, slave):
+/// round,slave,tenure,nb_drop,nb_local,nb_candidates,init_kind,
+/// initial_value,final_value,score_after,retune,moves,seconds
+void timeline_to_csv(std::ostream& out, const MasterResult& result);
+
+/// Key-value summary block (mode-agnostic): best_value, total_moves,
+/// rounds_completed, retunes, injections, restarts, relinks, idle seconds.
+void summary_to_csv(std::ostream& out, const ParallelResult& result);
+
+void write_report_files(const std::string& path_prefix, const ParallelResult& result);
+
+}  // namespace pts::parallel

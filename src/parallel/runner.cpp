@@ -1,0 +1,112 @@
+#include "parallel/runner.hpp"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bounds/greedy.hpp"
+#include "parallel/slave.hpp"
+#include "tabu/engine.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pts::parallel {
+
+std::string to_string(CooperationMode mode) {
+  switch (mode) {
+    case CooperationMode::kSequential: return "SEQ";
+    case CooperationMode::kIndependent: return "ITS";
+    case CooperationMode::kCooperativePool: return "CTS1";
+    case CooperationMode::kCooperativeAdaptive: return "CTS2";
+  }
+  return "?";
+}
+
+namespace {
+
+ParallelResult run_sequential(const mkp::Instance& inst, const ParallelConfig& config) {
+  Stopwatch watch;
+  Rng rng(config.seed);
+
+  tabu::TsParams params = config.base_params;
+  params.strategy = random_strategy(rng, config.sgp.bounds);
+  // The whole ensemble's work budget, converted to moves for this strategy.
+  const std::uint64_t total_work = static_cast<std::uint64_t>(config.num_slaves) *
+                                   config.search_iterations *
+                                   config.work_per_slave_round;
+  params.max_moves = std::max<std::uint64_t>(1, total_work / params.strategy.nb_drop);
+  params.time_limit_seconds = config.time_limit_seconds;
+  params.target_value = config.target_value;
+  params.run_to_budget = true;
+
+  const auto initial = bounds::greedy_randomized(inst, rng);
+  auto ts = tabu::tabu_search(inst, initial, params, rng);
+
+  ParallelResult result{config.mode, std::move(ts.best), ts.best_value, ts.moves,
+                        watch.elapsed_seconds(), ts.reached_target,
+                        MasterResult{mkp::Solution(inst)}};
+  return result;
+}
+
+}  // namespace
+
+ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
+                                        const ParallelConfig& config,
+                                        MasterTrace* trace) {
+  PTS_CHECK(config.num_slaves >= 1);
+  if (config.mode == CooperationMode::kSequential) {
+    return run_sequential(inst, config);
+  }
+
+  Stopwatch watch;
+
+  MasterConfig master_config;
+  master_config.num_slaves = config.num_slaves;
+  master_config.search_iterations = config.search_iterations;
+  master_config.work_per_slave_round = config.work_per_slave_round;
+  master_config.seed = config.seed;
+  master_config.share_solutions = config.mode != CooperationMode::kIndependent;
+  master_config.adapt_strategies = config.mode == CooperationMode::kCooperativeAdaptive;
+  master_config.isp = config.isp;
+  master_config.sgp = config.sgp;
+  master_config.base_params = config.base_params;
+  master_config.mix_intensification = config.mix_intensification;
+  master_config.relink_elites = config.relink_elites;
+  master_config.target_value = config.target_value;
+  master_config.time_limit_seconds = config.time_limit_seconds;
+
+  // Wire the mailboxes: one inbox per slave, one shared report box.
+  std::vector<std::unique_ptr<Mailbox<ToSlave>>> inboxes;
+  inboxes.reserve(config.num_slaves);
+  auto reports = std::make_unique<Mailbox<Report>>();
+  std::vector<SlaveChannels> channels(config.num_slaves);
+  for (std::size_t i = 0; i < config.num_slaves; ++i) {
+    inboxes.push_back(std::make_unique<Mailbox<ToSlave>>());
+    channels[i] = SlaveChannels{inboxes.back().get(), reports.get()};
+  }
+
+  MasterResult master_result{mkp::Solution(inst)};
+  {
+    // jthreads join on scope exit; run_master sends Stop to every slave, so
+    // the joins cannot block (CP.23/CP.25: threads as scoped containers).
+    std::vector<std::jthread> slaves;
+    slaves.reserve(config.num_slaves);
+    for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      slaves.emplace_back([&inst, i, seed = config.seed, ch = channels[i]] {
+        slave_loop(inst, i, seed, ch);
+      });
+    }
+    master_result = run_master(inst, channels, master_config, trace);
+  }
+
+  ParallelResult result{config.mode,
+                        master_result.best,
+                        master_result.best_value,
+                        master_result.total_moves,
+                        watch.elapsed_seconds(),
+                        master_result.reached_target,
+                        std::move(master_result)};
+  return result;
+}
+
+}  // namespace pts::parallel

@@ -1,0 +1,72 @@
+#pragma once
+// Facade over the whole parallel system. The four approaches of the paper's
+// Table 2 are one driver parameterized by mode:
+//
+//   SEQ  — one sequential tabu search, random strategy and start, given the
+//          ensemble's entire work budget;
+//   ITS  — P independent threads, no communication, no retuning;
+//   CTS1 — P cooperative threads: solution pooling via the ISP, strategies
+//          fixed at their initial random draw;
+//   CTS2 — CTS1 plus dynamic strategy setting via the SGP.
+//
+// All modes consume the same total work budget
+// (num_slaves * rounds * work_per_slave_round, in move*nb_drop units), so
+// comparisons are work-normalized — the property that survives running on a
+// single physical core (DESIGN.md hardware-substitution note).
+
+#include <cstdint>
+#include <string>
+
+#include "mkp/instance.hpp"
+#include "parallel/master.hpp"
+
+namespace pts::parallel {
+
+enum class CooperationMode : std::uint8_t {
+  kSequential,           ///< SEQ
+  kIndependent,          ///< ITS
+  kCooperativePool,      ///< CTS1
+  kCooperativeAdaptive,  ///< CTS2
+};
+
+[[nodiscard]] std::string to_string(CooperationMode mode);
+
+struct ParallelConfig {
+  CooperationMode mode = CooperationMode::kCooperativeAdaptive;
+  std::size_t num_slaves = 8;
+  std::size_t search_iterations = 10;
+  std::uint64_t work_per_slave_round = 20'000;
+  std::uint64_t seed = 1;
+
+  IspConfig isp;
+  SgpConfig sgp;
+  tabu::TsParams base_params;
+
+  /// Alternate the two §3.2 intensification procedures across slaves
+  /// (see MasterConfig::mix_intensification).
+  bool mix_intensification = false;
+
+  /// Path-relink elites after each gather (see MasterConfig::relink_elites).
+  bool relink_elites = false;
+
+  std::optional<double> target_value;
+  double time_limit_seconds = 0.0;
+};
+
+struct ParallelResult {
+  CooperationMode mode = CooperationMode::kSequential;
+  mkp::Solution best;
+  double best_value = 0.0;
+  std::uint64_t total_moves = 0;
+  double seconds = 0.0;
+  bool reached_target = false;
+
+  /// Populated for the master-driven modes (empty for SEQ).
+  MasterResult master;
+};
+
+ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
+                                        const ParallelConfig& config,
+                                        MasterTrace* trace = nullptr);
+
+}  // namespace pts::parallel

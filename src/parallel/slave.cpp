@@ -1,0 +1,39 @@
+#include "parallel/slave.hpp"
+
+#include "tabu/engine.hpp"
+#include "util/check.hpp"
+
+namespace pts::parallel {
+
+Report run_assignment(const mkp::Instance& inst, std::size_t slave_id,
+                      std::uint64_t seed, const Assignment& assignment) {
+  // Stream id folds (slave, round) into one 64-bit label.
+  Rng base(seed);
+  Rng rng = base.derive((static_cast<std::uint64_t>(slave_id) << 32) ^
+                        static_cast<std::uint64_t>(assignment.round));
+
+  auto ts = tabu::tabu_search(inst, assignment.initial, assignment.params, rng);
+
+  Report report;
+  report.slave_id = slave_id;
+  report.round = assignment.round;
+  report.initial_value = assignment.initial.value();
+  report.final_value = ts.best_value;
+  report.elite = std::move(ts.elite);
+  report.moves = ts.moves;
+  report.seconds = ts.seconds;
+  report.reached_target = ts.reached_target;
+  return report;
+}
+
+void slave_loop(const mkp::Instance& inst, std::size_t slave_id, std::uint64_t seed,
+                SlaveChannels channels) {
+  PTS_CHECK(channels.inbox && channels.outbox);
+  while (auto message = channels.inbox->receive()) {
+    if (std::holds_alternative<Stop>(*message)) break;
+    const auto& assignment = std::get<Assignment>(*message);
+    channels.outbox->send(run_assignment(inst, slave_id, seed, assignment));
+  }
+}
+
+}  // namespace pts::parallel

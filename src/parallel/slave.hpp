@@ -1,0 +1,24 @@
+#pragma once
+// The slave process (§3, Figure 1 executor): wait for an Assignment, run one
+// tabu search, report the B best solutions, repeat until Stop. Each
+// assignment's randomness derives deterministically from
+// (seed, slave_id, round), so a parallel run is reproducible regardless of
+// thread interleaving.
+
+#include <cstdint>
+
+#include "mkp/instance.hpp"
+#include "parallel/comm.hpp"
+
+namespace pts::parallel {
+
+/// Blocks until Stop (or the inbox closes). Intended as a std::jthread body.
+void slave_loop(const mkp::Instance& inst, std::size_t slave_id, std::uint64_t seed,
+                SlaveChannels channels);
+
+/// One assignment worth of work — what slave_loop does per message, exposed
+/// separately so tests can drive a slave without threads.
+Report run_assignment(const mkp::Instance& inst, std::size_t slave_id,
+                      std::uint64_t seed, const Assignment& assignment);
+
+}  // namespace pts::parallel

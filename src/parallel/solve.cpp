@@ -1,0 +1,41 @@
+#include "parallel/solve.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "bounds/simplex.hpp"
+#include "parallel/presets.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace pts::parallel {
+
+SolveSummary solve(const mkp::Instance& inst, const SolveOptions& options) {
+  auto preset = preset_by_name(options.preset, options.seed);
+  PTS_CHECK_MSG(preset.has_value(), "unknown preset name in SolveOptions");
+
+  ParallelConfig config = *preset;
+  scale_budget_to_instance(config, inst);
+  // The time budget is the binding limit; give the round loop headroom so
+  // time, not round count, decides when to stop.
+  config.search_iterations = std::max<std::size_t>(config.search_iterations, 1000);
+  config.time_limit_seconds = options.time_budget_seconds;
+  config.target_value = options.target_value;
+  config.relink_elites = options.relink_elites;
+
+  const auto result = run_parallel_tabu_search(inst, config);
+
+  SolveSummary summary{result.best, result.best_value, result.seconds,
+                       result.total_moves, result.reached_target};
+  if (inst.num_items() <= SolveSummary::kLpGapLimit) {
+    const auto lp = bounds::solve_lp_relaxation(inst);
+    summary.lp_gap_percent = lp.optimal()
+                                 ? deviation_percent(summary.best_value, lp.objective)
+                                 : std::numeric_limits<double>::quiet_NaN();
+  } else {
+    summary.lp_gap_percent = std::numeric_limits<double>::quiet_NaN();
+  }
+  return summary;
+}
+
+}  // namespace pts::parallel

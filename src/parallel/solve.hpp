@@ -1,0 +1,44 @@
+#pragma once
+// The one-call entry point: solve an MKP instance with the full cooperative
+// parallel tabu search under a time (or effort) budget, with every knob set
+// to the repository's validated defaults. This is the API a downstream user
+// who just wants answers should reach for first; everything else in
+// parallel/ is for users who want control.
+
+#include <optional>
+#include <string>
+
+#include "mkp/instance.hpp"
+#include "parallel/runner.hpp"
+
+namespace pts::parallel {
+
+struct SolveOptions {
+  /// Wall-time budget. The run may finish earlier on reaching target_value.
+  double time_budget_seconds = 2.0;
+  /// Named preset governing slaves/rounds shape ("quick", "balanced",
+  /// "thorough", "paper"); budgets are then scaled to the instance.
+  std::string preset = "balanced";
+  std::uint64_t seed = 1;
+  std::optional<double> target_value;
+  bool relink_elites = true;  ///< the extension earns its keep by default here
+};
+
+struct SolveSummary {
+  mkp::Solution best;
+  double best_value = 0.0;
+  double seconds = 0.0;
+  std::uint64_t total_moves = 0;
+  bool reached_target = false;
+  /// Gap to the LP bound in percent (computed once at the end; the LP solve
+  /// is skipped — and the value is NaN — for instances with more than
+  /// `kLpGapLimit` items to keep solve() predictable).
+  double lp_gap_percent = 0.0;
+
+  static constexpr std::size_t kLpGapLimit = 600;
+};
+
+/// Aborts (PTS_CHECK) on an unknown preset name.
+SolveSummary solve(const mkp::Instance& inst, const SolveOptions& options = {});
+
+}  // namespace pts::parallel

@@ -1,0 +1,117 @@
+#include "parallel/strategy_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pts::parallel {
+
+namespace {
+
+std::size_t scale_up(std::size_t value, double factor, std::size_t lo, std::size_t hi) {
+  const auto scaled = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(value) * factor));
+  return std::clamp(std::max(scaled, value + 1), lo, hi);
+}
+
+std::size_t scale_down(std::size_t value, double factor, std::size_t lo, std::size_t hi) {
+  const auto scaled = static_cast<std::size_t>(
+      std::floor(static_cast<double>(value) / factor));
+  return std::clamp(std::min(scaled, value > 0 ? value - 1 : value), lo, hi);
+}
+
+double mean_pairwise_hamming(std::span<const mkp::Solution> pool) {
+  if (pool.size() < 2) return 0.0;
+  std::size_t total = 0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < pool.size(); ++a) {
+    for (std::size_t b = a + 1; b < pool.size(); ++b) {
+      total += pool[a].hamming_distance(pool[b]);
+      ++pairs;
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+std::string to_string(RetuneKind kind) {
+  switch (kind) {
+    case RetuneKind::kKept: return "kept";
+    case RetuneKind::kDiversified: return "diversified";
+    case RetuneKind::kIntensified: return "intensified";
+    case RetuneKind::kRandomized: return "randomized";
+  }
+  return "?";
+}
+
+tabu::Strategy random_strategy(Rng& rng, const tabu::StrategyBounds& bounds) {
+  tabu::Strategy strategy;
+  strategy.tabu_tenure = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(bounds.min_tenure),
+      static_cast<std::int64_t>(bounds.max_tenure)));
+  strategy.nb_drop = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(bounds.min_drop),
+      static_cast<std::int64_t>(bounds.max_drop)));
+  strategy.nb_local = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(bounds.min_local),
+      static_cast<std::int64_t>(bounds.max_local)));
+  // Half the strategies evaluate every candidate (0); the rest sample.
+  strategy.nb_candidates =
+      rng.bernoulli(0.5)
+          ? 0
+          : static_cast<std::size_t>(rng.uniform_int(
+                static_cast<std::int64_t>(bounds.min_candidates),
+                static_cast<std::int64_t>(bounds.max_candidates)));
+  return strategy;
+}
+
+SgpDecision StrategyGenerator::retune(const tabu::Strategy& current,
+                                      std::span<const mkp::Solution> pool,
+                                      std::size_t num_items, Rng& rng) const {
+  PTS_CHECK(num_items > 0);
+  const auto& b = config_.bounds;
+  SgpDecision decision;
+  decision.score = config_.initial_score;
+
+  if (pool.size() < 2) {
+    decision.kind = RetuneKind::kRandomized;
+    decision.strategy = random_strategy(rng, b);
+    return decision;
+  }
+
+  const double spread = mean_pairwise_hamming(pool) / static_cast<double>(num_items);
+  const double f = config_.retune_factor;
+  if (spread < config_.clustered_below) {
+    // The slave's best solutions sit in one small area: push it outward.
+    decision.kind = RetuneKind::kDiversified;
+    decision.strategy = current;  // untouched fields (nb_candidates) carry over
+    decision.strategy.tabu_tenure = scale_up(current.tabu_tenure, f, b.min_tenure, b.max_tenure);
+    decision.strategy.nb_drop = scale_up(current.nb_drop, f, b.min_drop, b.max_drop);
+    decision.strategy.nb_local = scale_down(current.nb_local, f, b.min_local, b.max_local);
+  } else if (spread > config_.spread_above) {
+    // The slave roams far apart: pull it inward around good solutions.
+    decision.kind = RetuneKind::kIntensified;
+    decision.strategy = current;  // untouched fields (nb_candidates) carry over
+    decision.strategy.tabu_tenure = scale_down(current.tabu_tenure, f, b.min_tenure, b.max_tenure);
+    decision.strategy.nb_drop = scale_down(current.nb_drop, f, b.min_drop, b.max_drop);
+    decision.strategy.nb_local = scale_up(current.nb_local, f, b.min_local, b.max_local);
+  } else {
+    decision.kind = RetuneKind::kRandomized;
+    decision.strategy = random_strategy(rng, b);
+  }
+  return decision;
+}
+
+SgpDecision StrategyGenerator::update(const tabu::Strategy& current, int score,
+                                      bool improved, std::span<const mkp::Solution> pool,
+                                      std::size_t num_items, Rng& rng) const {
+  const int next_score = improved ? score + 1 : score - 1;
+  if (next_score > 0) {
+    return SgpDecision{current, next_score, RetuneKind::kKept};
+  }
+  return retune(current, pool, num_items, rng);
+}
+
+}  // namespace pts::parallel

@@ -1,0 +1,75 @@
+#pragma once
+// The Strategy Generation Procedure (SGP, §4.2). Pure logic over snapshots —
+// no threads — so the adaptation rules are unit-testable in isolation.
+//
+// Scoring: every strategy starts at score 4 (the paper's value). After each
+// search iteration the score is incremented when the slave improved on its
+// assigned start (C' > C) and decremented otherwise. At score 0 the strategy
+// is retired and retuned using the Hamming spread of the slave's B-best pool:
+//
+//   clustered pool  -> the slave barely moved: *diversify* it — longer
+//                      tenure, more consecutive drops, less local patience;
+//   spread-out pool -> the slave roams: *intensify* it — shorter tenure,
+//                      fewer drops, more local patience;
+//   in-between      -> fresh random strategy.
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "mkp/solution.hpp"
+#include "tabu/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace pts::parallel {
+
+struct SgpConfig {
+  tabu::StrategyBounds bounds;
+  int initial_score = 4;
+  /// Pool spread thresholds as fractions of n (mean pairwise Hamming / n).
+  double clustered_below = 0.10;
+  double spread_above = 0.30;
+  /// Multiplicative step applied when retuning (e.g. 1.5 = +50%).
+  double retune_factor = 1.5;
+};
+
+enum class RetuneKind : std::uint8_t {
+  kKept,        ///< score still positive, strategy unchanged
+  kDiversified, ///< clustered pool: pushed outward
+  kIntensified, ///< spread pool: pulled inward
+  kRandomized,  ///< inconclusive pool (or empty): fresh random draw
+};
+
+struct SgpDecision {
+  tabu::Strategy strategy;
+  int score = 0;
+  RetuneKind kind = RetuneKind::kKept;
+};
+
+[[nodiscard]] std::string to_string(RetuneKind kind);
+
+tabu::Strategy random_strategy(Rng& rng, const tabu::StrategyBounds& bounds);
+
+class StrategyGenerator {
+ public:
+  explicit StrategyGenerator(const SgpConfig& config = {}) : config_(config) {}
+
+  [[nodiscard]] const SgpConfig& config() const { return config_; }
+
+  /// One scoring + (possibly) retuning step for one slave.
+  /// `improved` is C'(S_i) > C(S_i); `pool` the slave's B best solutions;
+  /// `num_items` the instance's n (normalizes the spread).
+  SgpDecision update(const tabu::Strategy& current, int score, bool improved,
+                     std::span<const mkp::Solution> pool, std::size_t num_items,
+                     Rng& rng) const;
+
+  /// The retuning rules alone (score handling stripped), exposed for tests.
+  SgpDecision retune(const tabu::Strategy& current,
+                     std::span<const mkp::Solution> pool, std::size_t num_items,
+                     Rng& rng) const;
+
+ private:
+  SgpConfig config_;
+};
+
+}  // namespace pts::parallel

@@ -1,0 +1,196 @@
+#include "tabu/cets.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bounds/greedy.hpp"
+#include "tabu/history.hpp"
+#include "tabu/tabu_list.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pts::tabu {
+
+namespace {
+
+/// Best unselected item to add during the constructive phase: profit
+/// density, penalized by its frequency at past critical solutions so
+/// chronic members rotate out, honoring the add-tabu.
+std::optional<std::size_t> pick_add(const mkp::Instance& inst, const mkp::Solution& x,
+                                    const TabuList& tabu, std::uint64_t step,
+                                    const FrequencyMemory& memory) {
+  const std::size_t n = inst.num_items();
+  std::size_t best = n;
+  double best_key = -std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (x.contains(j) || tabu.is_add_tabu(j, step)) continue;
+    const double penalty = 1.0 - 0.5 * memory.frequency(j);
+    const double key = inst.profit_density(j) * penalty;
+    if (key > best_key) {
+      best_key = key;
+      best = j;
+    }
+  }
+  if (best == n) {
+    // Everything add-tabu: fall back to the raw rule so the phase advances.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (x.contains(j)) continue;
+      const double key = inst.profit_density(j);
+      if (key > best_key) {
+        best_key = key;
+        best = j;
+      }
+    }
+  }
+  return best < n ? std::optional<std::size_t>(best) : std::nullopt;
+}
+
+/// Worst selected item to drop during the destructive phase: largest
+/// aggregate-weight to profit ratio, honoring the drop-tabu.
+std::optional<std::size_t> pick_drop(const mkp::Instance& inst, const mkp::Solution& x,
+                                     const TabuList& tabu, std::uint64_t step) {
+  const std::size_t n = inst.num_items();
+  auto scan = [&](bool honor_tabu) -> std::optional<std::size_t> {
+    std::size_t best = n;
+    double best_key = -1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!x.contains(j)) continue;
+      if (honor_tabu && tabu.is_drop_tabu(j, step)) continue;
+      const double profit = inst.profit(j);
+      const double key = profit > 0.0 ? inst.column_weight_sum(j) / profit
+                                      : std::numeric_limits<double>::infinity();
+      if (key > best_key) {
+        best_key = key;
+        best = j;
+      }
+    }
+    return best < n ? std::optional<std::size_t>(best) : std::nullopt;
+  };
+  if (auto choice = scan(true)) return choice;
+  return scan(false);
+}
+
+}  // namespace
+
+CetsResult critical_event_tabu_search(const mkp::Instance& inst, Rng& rng,
+                                      const CetsParams& params) {
+  PTS_CHECK_MSG(params.max_steps > 0 || params.time_limit_seconds > 0.0,
+                "the run must be bounded by steps or time");
+  PTS_CHECK(params.initial_amplitude >= 1);
+
+  Stopwatch watch;
+  const auto deadline = params.time_limit_seconds > 0.0
+                            ? Deadline::after_seconds(params.time_limit_seconds)
+                            : Deadline::unbounded();
+
+  TabuList tabu(inst.num_items());
+  FrequencyMemory critical_memory(inst.num_items());
+
+  mkp::Solution x = bounds::greedy_randomized(inst, rng);
+  CetsResult result{x, x.value()};
+  if (params.target_value && result.best_value >= *params.target_value) {
+    result.reached_target = true;
+  }
+
+  std::size_t amplitude = params.initial_amplitude;
+  std::size_t events_since_improvement = 0;
+  bool constructive = true;       // start by pushing over the boundary
+  std::size_t phase_progress = 0; // items added beyond / dropped inside
+
+  auto record_critical = [&](const mkp::Solution& solution) {
+    ++result.critical_events;
+    critical_memory.record(solution);
+    if (solution.value() > result.best_value) {
+      result.best_value = solution.value();
+      result.best = solution;
+      events_since_improvement = 0;
+      amplitude = params.initial_amplitude;  // improvement: hug the boundary
+      if (params.target_value && result.best_value >= *params.target_value) {
+        result.reached_target = true;
+      }
+    } else {
+      ++events_since_improvement;
+      if (events_since_improvement % params.widen_after == 0) {
+        // Unproductive span: widen the swing.
+        if (amplitude < params.max_amplitude) {
+          ++amplitude;
+          ++result.amplitude_widenings;
+        }
+      }
+    }
+  };
+
+  while (!result.reached_target &&
+         (params.max_steps == 0 || result.steps < params.max_steps) &&
+         !deadline.expired()) {
+    ++result.steps;
+    const std::uint64_t step = result.steps;
+
+    if (constructive) {
+      const auto item = pick_add(inst, x, tabu, step, critical_memory);
+      if (!item) {  // full knapsack: flip phase
+        constructive = false;
+        phase_progress = 0;
+        continue;
+      }
+      const bool was_feasible = x.is_feasible();
+      x.add(*item);
+      tabu.forbid_drop(*item, step, params.tenure / 2 + 1);
+      if (was_feasible && !x.is_feasible()) {
+        // Boundary crossed going out: the previous solution was critical.
+        mkp::Solution critical = x;
+        critical.drop(*item);
+        record_critical(critical);
+        phase_progress = 1;
+      } else if (!x.is_feasible()) {
+        ++phase_progress;
+      }
+      if (!x.is_feasible() && phase_progress >= amplitude) {
+        constructive = false;
+        phase_progress = 0;
+      }
+    } else {
+      const auto item = pick_drop(inst, x, tabu, step);
+      if (!item) {  // empty knapsack: flip phase
+        constructive = true;
+        phase_progress = 0;
+        continue;
+      }
+      const bool was_feasible = x.is_feasible();
+      x.drop(*item);
+      tabu.forbid_add(*item, step, params.tenure);
+      if (!was_feasible && x.is_feasible()) {
+        // Boundary crossed coming back: this solution is critical too.
+        record_critical(x);
+        phase_progress = 1;
+      } else if (x.is_feasible()) {
+        ++phase_progress;
+      }
+      if (x.is_feasible() && phase_progress >= amplitude) {
+        constructive = true;
+        phase_progress = 0;
+      }
+    }
+
+    // Long unproductive stretch: frequency-guided restart from scratch.
+    if (events_since_improvement >= params.restart_after) {
+      events_since_improvement = 0;
+      ++result.restarts;
+      x.clear();
+      // Seed with the least-frequent items, then let the oscillation refill.
+      const auto order =
+          bounds::greedy_item_order(inst, bounds::GreedyOrder::kScaledDensity);
+      for (std::size_t j : order) {
+        if (critical_memory.frequency(j) < 0.3 && x.fits(j)) x.add(j);
+      }
+      constructive = true;
+      phase_progress = 0;
+    }
+  }
+
+  result.seconds = watch.elapsed_seconds();
+  PTS_DCHECK(result.best.is_feasible());
+  return result;
+}
+
+}  // namespace pts::tabu

@@ -1,0 +1,58 @@
+#pragma once
+// Critical Event Tabu Search (after Glover & Kochenberger, "Critical event
+// tabu search for multidimensional knapsack problems" — the paper's
+// reference [6], whose problem set and results §5 measures against).
+//
+// CETS organizes the whole search as strategic oscillation around the
+// feasibility boundary: a constructive phase adds items until the solution
+// sits `amplitude` items beyond the boundary, a destructive phase drops
+// items until it sits `amplitude` items inside, and so on. The *critical
+// events* are the boundary crossings; the last feasible solution of each
+// constructive phase is a critical solution — those are the candidates for
+// the incumbent and the only solutions recorded in the long-term frequency
+// memory. The oscillation amplitude adapts: it grows after unproductive
+// spans (wider swings = diversification) and resets to 1 on improvement
+// (hug the boundary = intensification).
+//
+// This is a *baseline comparator*: one fixed-parameter sequential method
+// against which the parallel self-tuning CTS2 is benchmarked
+// (bench_cets_compare).
+
+#include <cstdint>
+#include <optional>
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+#include "util/rng.hpp"
+
+namespace pts::tabu {
+
+struct CetsParams {
+  std::size_t tenure = 7;            ///< add/drop recency tabu, as in the engine
+  std::size_t initial_amplitude = 1; ///< items beyond/inside the boundary
+  std::size_t max_amplitude = 6;
+  /// Critical events without improvement before the amplitude grows.
+  std::size_t widen_after = 20;
+  /// Critical events without improvement before a frequency-driven restart.
+  std::size_t restart_after = 120;
+
+  std::uint64_t max_steps = 100'000;  ///< add/drop steps (the budget unit)
+  double time_limit_seconds = 0.0;
+  std::optional<double> target_value;
+};
+
+struct CetsResult {
+  mkp::Solution best;
+  double best_value = 0.0;
+  std::uint64_t steps = 0;
+  std::uint64_t critical_events = 0;
+  std::uint64_t amplitude_widenings = 0;
+  std::uint64_t restarts = 0;
+  double seconds = 0.0;
+  bool reached_target = false;
+};
+
+CetsResult critical_event_tabu_search(const mkp::Instance& inst, Rng& rng,
+                                      const CetsParams& params = {});
+
+}  // namespace pts::tabu

@@ -1,0 +1,49 @@
+#include "tabu/diversify.hpp"
+
+#include "bounds/greedy.hpp"
+#include "util/check.hpp"
+
+namespace pts::tabu {
+
+DiversifyOutcome diversify(mkp::Solution& x, const FrequencyMemory& history,
+                           const DiversifyConfig& config, TabuList& tabu,
+                           std::uint64_t iter) {
+  PTS_CHECK(config.low_frequency <= config.high_frequency);
+  const auto& inst = x.instance();
+  const std::size_t n = inst.num_items();
+  DiversifyOutcome outcome;
+
+  x.clear();
+
+  const auto order = bounds::greedy_item_order(inst, bounds::GreedyOrder::kScaledDensity);
+
+  // Force the neglected items in first (density order, only while they fit),
+  // and pin them: they may not be dropped during the hold.
+  for (std::size_t j : order) {
+    if (history.frequency(j) >= config.low_frequency) continue;
+    if (!x.fits(j)) continue;
+    x.add(j);
+    tabu.forbid_drop(j, iter, config.hold);
+    ++outcome.forced_in;
+  }
+
+  // Ban the over-used items for the hold period.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (history.frequency(j) > config.high_frequency) {
+      tabu.forbid_add(j, iter, config.hold);
+      ++outcome.forced_out;
+    }
+  }
+
+  // Fill the rest greedily, skipping the banned items.
+  for (std::size_t j : order) {
+    if (x.contains(j)) continue;
+    if (tabu.is_add_tabu(j, iter)) continue;
+    if (x.fits(j)) x.add(j);
+  }
+
+  PTS_DCHECK(x.is_feasible());
+  return outcome;
+}
+
+}  // namespace pts::tabu

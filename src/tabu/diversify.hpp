@@ -1,0 +1,34 @@
+#pragma once
+// Long-term-memory diversification (§3.3): rebuild the working solution so
+// that chronically present items (frequency above `high_frequency`) are
+// forced out and chronically absent items (below `low_frequency`) are forced
+// in, both held tabu for `hold` iterations so the search actually stays in
+// the neglected region for a while before normal conditions resume.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mkp/solution.hpp"
+#include "tabu/history.hpp"
+#include "tabu/tabu_list.hpp"
+
+namespace pts::tabu {
+
+struct DiversifyConfig {
+  double high_frequency = 0.8;
+  double low_frequency = 0.2;
+  std::size_t hold = 25;
+};
+
+struct DiversifyOutcome {
+  std::size_t forced_in = 0;
+  std::size_t forced_out = 0;
+};
+
+/// Rebuilds `x` (always feasible on return) and installs the tabu holds.
+/// `iter` is the engine's current iteration counter.
+DiversifyOutcome diversify(mkp::Solution& x, const FrequencyMemory& history,
+                           const DiversifyConfig& config, TabuList& tabu,
+                           std::uint64_t iter);
+
+}  // namespace pts::tabu

@@ -1,0 +1,43 @@
+#include "tabu/elite_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pts::tabu {
+
+bool ElitePool::offer(const mkp::Solution& solution) {
+  if (capacity_ == 0) return false;
+  if (!solution.is_feasible()) return false;
+  for (const auto& pooled : pool_) {
+    if (pooled == solution) return false;
+  }
+  if (pool_.size() == capacity_ && solution.value() <= pool_.back().value()) return false;
+
+  const auto pos = std::upper_bound(
+      pool_.begin(), pool_.end(), solution.value(),
+      [](double value, const mkp::Solution& s) { return value > s.value(); });
+  pool_.insert(pos, solution);
+  if (pool_.size() > capacity_) pool_.pop_back();
+  return true;
+}
+
+const mkp::Solution& ElitePool::best() const {
+  PTS_CHECK(!pool_.empty());
+  return pool_.front();
+}
+
+double ElitePool::mean_pairwise_hamming() const {
+  if (pool_.size() < 2) return 0.0;
+  std::size_t total = 0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < pool_.size(); ++a) {
+    for (std::size_t b = a + 1; b < pool_.size(); ++b) {
+      total += pool_[a].hamming_distance(pool_[b]);
+      ++pairs;
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+}  // namespace pts::tabu

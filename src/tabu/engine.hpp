@@ -1,0 +1,80 @@
+#pragma once
+// The sequential tabu search engine — the paper's Figure 1 loop, executed by
+// every slave processor:
+//
+//   for i in 0..Nb_div:            (outer rounds, each ends in diversification)
+//     for j in 0..Nb_int:          (inner rounds, each ends in intensification)
+//       local search with Drop/Add moves until Nb_local iterations pass
+//       without improving the global best
+//       Intensification(X_local, X*)
+//     Diversification(History, X)
+//
+// Tenure control is pluggable (fixed / REM / reactive) for ablation A4.
+// Trace hooks exist so tests can assert the control structure itself
+// (experiment index: Fig. 1).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+#include "tabu/elite_pool.hpp"
+#include "tabu/intensify.hpp"
+#include "tabu/moves.hpp"
+#include "tabu/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace pts::tabu {
+
+/// Observer for the engine's control flow. All callbacks default to no-ops.
+class TsTrace {
+ public:
+  virtual ~TsTrace() = default;
+  /// Fired once before the first move, with the value of the normalized
+  /// (repaired + greedily completed) starting solution.
+  virtual void on_start(double /*initial_value*/) {}
+  virtual void on_outer_round(std::size_t /*div_round*/) {}
+  virtual void on_inner_round(std::size_t /*div_round*/, std::size_t /*int_round*/) {}
+  virtual void on_move(std::uint64_t /*move_index*/, double /*value*/,
+                       bool /*improved_best*/) {}
+  virtual void on_intensification(IntensificationKind /*kind*/, double /*value_before*/,
+                                  double /*value_after*/) {}
+  virtual void on_diversification(std::size_t /*forced_in*/, std::size_t /*forced_out*/) {}
+};
+
+struct TsResult {
+  mkp::Solution best;
+  double best_value = 0.0;
+  std::vector<mkp::Solution> elite;  ///< the B best solutions, best first
+
+  std::uint64_t moves = 0;
+  double seconds = 0.0;
+  bool reached_target = false;
+
+  MoveStats move_stats;
+  IntensifyStats intensify_stats;
+  std::uint64_t intensifications = 0;
+  std::uint64_t diversifications = 0;
+
+  // Tenure-control diagnostics (ablation A4).
+  std::uint64_t rem_flips_scanned = 0;
+  std::uint64_t reactive_repetitions = 0;
+  std::uint64_t reactive_escapes = 0;
+  std::size_t final_tenure = 0;
+
+  /// (move index, new best value) every time the incumbent improved.
+  std::vector<std::pair<std::uint64_t, double>> improvements;
+};
+
+/// Runs one tabu search from `initial` (repaired + completed if needed).
+/// At least one of params.max_moves / params.time_limit_seconds must bound
+/// the run. Deterministic given (instance, initial, params, rng state).
+TsResult tabu_search(const mkp::Instance& inst, const mkp::Solution& initial,
+                     const TsParams& params, Rng& rng, TsTrace* trace = nullptr);
+
+/// Convenience: start from the randomized greedy solution.
+TsResult tabu_search_from_scratch(const mkp::Instance& inst, const TsParams& params,
+                                  Rng& rng, TsTrace* trace = nullptr);
+
+}  // namespace pts::tabu

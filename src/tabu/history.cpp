@@ -1,0 +1,3 @@
+#include "tabu/history.hpp"
+
+// Header-only today; the translation unit anchors the library target.

@@ -1,0 +1,83 @@
+#include "tabu/intensify.hpp"
+
+#include <limits>
+
+#include "bounds/greedy.hpp"
+#include "util/check.hpp"
+
+namespace pts::tabu {
+
+namespace {
+
+/// Would dropping `out` and adding `in` keep every constraint satisfied?
+bool exchange_feasible(const mkp::Solution& x, std::size_t out, std::size_t in) {
+  const auto& inst = x.instance();
+  const std::size_t m = inst.num_constraints();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double load = x.load(i) - inst.weight(i, out) + inst.weight(i, in);
+    if (load > inst.capacity(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t swap_intensify(mkp::Solution& x, IntensifyStats* stats) {
+  const auto& inst = x.instance();
+  const std::size_t n = inst.num_items();
+  std::size_t applied = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t out = 0; out < n && !changed; ++out) {
+      if (!x.contains(out)) continue;
+      for (std::size_t in = 0; in < n; ++in) {
+        if (x.contains(in)) continue;
+        if (inst.profit(in) <= inst.profit(out)) continue;
+        if (!exchange_feasible(x, out, in)) continue;
+        x.drop(out);
+        x.add(in);
+        ++applied;
+        changed = true;
+        break;
+      }
+    }
+  }
+  if (stats) stats->swaps += applied;
+  return applied;
+}
+
+void oscillation_intensify(mkp::Solution& x, std::size_t depth, Rng& rng,
+                           IntensifyStats* stats) {
+  const auto& inst = x.instance();
+  const std::size_t n = inst.num_items();
+  const std::size_t before = x.cardinality();
+
+  // Excursion: up to `depth` adds by profit density, feasibility ignored.
+  // A pinch of randomness in the pick keeps repeated excursions from
+  // retracing the same path.
+  for (std::size_t step = 0; step < depth; ++step) {
+    std::size_t best = n;
+    double best_key = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (x.contains(j)) continue;
+      const double key = inst.profit_density(j) * (0.9 + 0.2 * rng.uniform01());
+      if (key > best_key) {
+        best_key = key;
+        best = j;
+      }
+    }
+    if (best == n) break;
+    x.add(best);
+  }
+  if (stats) stats->oscillation_adds += x.cardinality() - before;
+
+  // Projection back onto the feasible region, then refill.
+  const std::size_t peak = x.cardinality();
+  bounds::repair_to_feasible(x);
+  if (stats) stats->oscillation_drops += peak - x.cardinality();
+  bounds::greedy_fill(x);
+  PTS_DCHECK(x.is_feasible());
+}
+
+}  // namespace pts::tabu

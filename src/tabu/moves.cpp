@@ -1,0 +1,136 @@
+#include "tabu/moves.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace pts::tabu {
+
+namespace {
+constexpr double kSlackFloor = 1e-9;
+}
+
+double MoveKernel::add_score(const mkp::Solution& x, std::size_t j) const {
+  const std::size_t m = inst_->num_constraints();
+  double scaled_weight = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double w = inst_->weight(i, j);
+    if (w == 0.0) continue;
+    const double slack = x.slack(i);
+    if (slack <= 0.0) return 0.0;  // cannot fit anyway
+    scaled_weight += w / std::max(slack, kSlackFloor);
+  }
+  if (scaled_weight == 0.0) return std::numeric_limits<double>::infinity();
+  return inst_->profit(j) / scaled_weight;
+}
+
+std::optional<std::size_t> MoveKernel::select_drop(const mkp::Solution& x,
+                                                   const TabuList& tabu,
+                                                   std::uint64_t iter,
+                                                   bool* forced) const {
+  if (forced) *forced = false;
+  if (x.cardinality() == 0) return std::nullopt;
+
+  const std::size_t bottleneck = x.most_saturated_constraint();
+  const auto row = inst_->weights_row(bottleneck);
+  const std::size_t n = inst_->num_items();
+
+  auto pick = [&](bool honor_tabu) -> std::optional<std::size_t> {
+    std::size_t best = n;
+    double best_key = -1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!x.contains(j)) continue;
+      if (honor_tabu && tabu.is_drop_tabu(j, iter)) continue;
+      const double profit = inst_->profit(j);
+      const double key = profit > 0.0 ? row[j] / profit
+                                      : std::numeric_limits<double>::infinity();
+      if (key > best_key) {
+        best_key = key;
+        best = j;
+      }
+    }
+    return best < n ? std::optional<std::size_t>(best) : std::nullopt;
+  };
+
+  if (auto choice = pick(/*honor_tabu=*/true)) return choice;
+  // Every selected item is drop-tabu: the search must still move, so fall
+  // back to the untabooed rule (recorded as a forced drop).
+  if (forced) *forced = true;
+  return pick(/*honor_tabu=*/false);
+}
+
+std::optional<std::size_t> MoveKernel::select_add(const mkp::Solution& x,
+                                                  const TabuList& tabu,
+                                                  std::uint64_t iter, double best_value,
+                                                  MoveStats* stats, Rng* rng,
+                                                  std::size_t max_candidates) const {
+  const std::size_t n = inst_->num_items();
+  PTS_DCHECK(max_candidates == 0 || rng != nullptr);
+  const std::size_t start = max_candidates > 0 ? rng->index(n) : 0;
+  std::size_t evaluated = 0;
+  std::size_t best = n;
+  double best_key = -1.0;
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    const std::size_t j = start + offset < n ? start + offset : start + offset - n;
+    if (x.contains(j) || !x.fits(j)) continue;
+    if (tabu.is_add_tabu(j, iter)) {
+      // Aspiration (§3.1): the tabu barrier falls when accepting the item
+      // would immediately beat the best objective value found so far.
+      const bool aspires = x.value() + inst_->profit(j) > best_value;
+      if (!aspires) {
+        if (stats) ++stats->tabu_blocked_adds;
+        continue;
+      }
+      if (stats) ++stats->aspiration_hits;
+    }
+    const double key = add_score(x, j);
+    if (key > best_key) {
+      best_key = key;
+      best = j;
+    }
+    if (max_candidates > 0 && ++evaluated >= max_candidates) break;
+  }
+  return best < n ? std::optional<std::size_t>(best) : std::nullopt;
+}
+
+MoveOutcome MoveKernel::apply(mkp::Solution& x, TabuList& tabu, std::uint64_t iter,
+                              const Strategy& strategy, std::size_t tenure,
+                              double best_value, Rng& rng, MoveStats& stats) const {
+  MoveOutcome outcome;
+  PTS_DCHECK(strategy.nb_drop >= 1);
+
+  // Randomize the drop count in [1, nb_drop]: the paper treats Nb_drop as
+  // the *maximum* number of consecutive drops; varying it per move keeps
+  // step lengths diverse within one strategy.
+  const std::size_t drops_this_move =
+      strategy.nb_drop == 1
+          ? 1
+          : 1 + static_cast<std::size_t>(rng.index(strategy.nb_drop));
+
+  for (std::size_t d = 0; d < drops_this_move; ++d) {
+    bool forced = false;
+    const auto victim = select_drop(x, tabu, iter, &forced);
+    if (!victim) break;
+    x.drop(*victim);
+    tabu.forbid_add(*victim, iter, tenure);
+    outcome.flipped.push_back(*victim);
+    ++outcome.num_drops;
+    ++stats.drops;
+    if (forced) ++stats.forced_drops;
+  }
+
+  // Add until no object fits (§3.1: "Adding object to the knapsack is
+  // realized until no object can be added").
+  while (auto candidate = select_add(x, tabu, iter, best_value, &stats, &rng,
+                                     strategy.nb_candidates)) {
+    x.add(*candidate);
+    tabu.forbid_drop(*candidate, iter, tenure / 2 + 1);
+    outcome.flipped.push_back(*candidate);
+    ++outcome.num_adds;
+    ++stats.adds;
+  }
+  return outcome;
+}
+
+}  // namespace pts::tabu

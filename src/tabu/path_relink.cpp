@@ -1,0 +1,82 @@
+#include "tabu/path_relink.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "bounds/greedy.hpp"
+#include "util/check.hpp"
+
+namespace pts::tabu {
+
+PathRelinkResult path_relink(const mkp::Solution& source, const mkp::Solution& target) {
+  PTS_CHECK(&source.instance() == &target.instance());
+
+  PathRelinkResult result{source, -std::numeric_limits<double>::infinity()};
+  auto offer = [&result](const mkp::Solution& candidate) {
+    if (!candidate.is_feasible()) return;
+    if (candidate.value() > result.best_value) {
+      result.best = candidate;
+      result.best_value = candidate.value();
+      ++result.improvements;
+    }
+  };
+  offer(source);
+  offer(target);
+  result.improvements = 0;  // endpoints do not count as path discoveries
+
+  // The set of components to flip to turn source into target.
+  const std::size_t n = source.num_items();
+  std::vector<std::size_t> diff;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (source.contains(j) != target.contains(j)) diff.push_back(j);
+  }
+  result.path_length = diff.size();
+
+  mkp::Solution current = source;
+  std::vector<bool> done(diff.size(), false);
+  for (std::size_t step = 0; step < diff.size(); ++step) {
+    // Greedy guide: among the remaining flips, take the one that leaves the
+    // intermediate with the highest objective (drops lose their profit,
+    // adds gain theirs — feasibility is evaluated on the repaired copy).
+    std::size_t best_k = diff.size();
+    double best_key = -std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < diff.size(); ++k) {
+      if (done[k]) continue;
+      const std::size_t j = diff[k];
+      const double delta = current.contains(j) ? -source.instance().profit(j)
+                                               : source.instance().profit(j);
+      if (delta > best_key) {
+        best_key = delta;
+        best_k = k;
+      }
+    }
+    PTS_DCHECK(best_k < diff.size());
+    done[best_k] = true;
+    current.flip(diff[best_k]);
+
+    if (current.is_feasible()) {
+      offer(current);
+    } else {
+      // Evaluate the infeasible intermediate through a repaired copy; the
+      // walk itself continues from the unrepaired point so the path still
+      // reaches the target.
+      mkp::Solution repaired = current;
+      bounds::repair_to_feasible(repaired);
+      bounds::greedy_fill(repaired);
+      offer(repaired);
+    }
+  }
+  PTS_DCHECK(current == target);
+
+  // Guarantee the documented floor even if both endpoints were infeasible.
+  if (!result.best.is_feasible()) {
+    mkp::Solution repaired = source;
+    bounds::repair_to_feasible(repaired);
+    bounds::greedy_fill(repaired);
+    result.best = repaired;
+    result.best_value = repaired.value();
+  }
+  return result;
+}
+
+}  // namespace pts::tabu

@@ -1,0 +1,33 @@
+#pragma once
+// Path relinking between elite solutions — an extension in the spirit of
+// the cooperative-multithread literature the paper builds on (its reference
+// [11], Toulouse/Crainic/Gendreau): instead of only *reusing* the slaves'
+// best solutions as starting points, actively explore the trajectory
+// between two elites, where solutions sharing the structure of both often
+// live. The master can relink the global best against each slave's best
+// after every gather (MasterConfig::relink_elites).
+//
+// The walk moves from `source` toward `target` one differing component at a
+// time, greedily choosing the flip that keeps the intermediate value
+// highest; infeasible intermediates are evaluated through a repair copy so
+// every candidate the walk reports is feasible.
+
+#include <cstddef>
+
+#include "mkp/solution.hpp"
+
+namespace pts::tabu {
+
+struct PathRelinkResult {
+  mkp::Solution best;       ///< best feasible solution seen on the path
+  double best_value = 0.0;  ///< == best.value()
+  std::size_t path_length = 0;   ///< Hamming distance walked
+  std::size_t improvements = 0;  ///< times the path's best improved
+};
+
+/// Both solutions must live on the same instance. The endpoints themselves
+/// participate: the result is never worse than max(source, target) among
+/// the feasible endpoints.
+PathRelinkResult path_relink(const mkp::Solution& source, const mkp::Solution& target);
+
+}  // namespace pts::tabu

@@ -1,0 +1,44 @@
+#include "tabu/reactive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pts::tabu {
+
+ReactiveTenure::ReactiveTenure(std::size_t base_tenure, const ReactiveConfig& config)
+    : config_(config),
+      tenure_(std::clamp(base_tenure, config.min_tenure, config.max_tenure)) {}
+
+std::size_t ReactiveTenure::on_solution(std::uint64_t solution_hash, std::uint64_t iter) {
+  auto [it, inserted] = visits_.try_emplace(solution_hash, 0U);
+  ++it->second;
+  if (!inserted) {
+    ++repetitions_;
+    last_repetition_iter_ = iter;
+    tenure_ = std::min(
+        config_.max_tenure,
+        static_cast<std::size_t>(
+            std::ceil(static_cast<double>(tenure_) * config_.grow_factor)) +
+            1);
+    if (it->second >= config_.escape_after) {
+      escape_pending_ = true;
+      ++escapes_;
+      it->second = 0;  // restart the count after the kick
+    }
+  } else if (iter > last_repetition_iter_ + config_.shrink_after) {
+    tenure_ = std::max(
+        config_.min_tenure,
+        static_cast<std::size_t>(
+            std::floor(static_cast<double>(tenure_) * config_.shrink_factor)));
+    last_repetition_iter_ = iter;  // throttle successive shrinks
+  }
+  return tenure_;
+}
+
+bool ReactiveTenure::consume_escape() {
+  const bool pending = escape_pending_;
+  escape_pending_ = false;
+  return pending;
+}
+
+}  // namespace pts::tabu

@@ -1,0 +1,52 @@
+#pragma once
+// Reactive Tabu Search tenure control (Battiti & Tecchiolli), the second
+// dynamic-tenure scheme the paper cites: hash every visited solution; on a
+// revisit, grow the tenure multiplicatively; after a long repetition-free
+// stretch, shrink it. Solutions revisited too often trigger an escape
+// (random kick) in the engine. The paper's objection — "the using of hashing
+// function for MKP of great size will produce a great number of collisions
+// ... an important overhead" — is what ablation A4 measures against the
+// master-driven tuning of CTS2.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace pts::tabu {
+
+struct ReactiveConfig {
+  std::size_t min_tenure = 3;
+  std::size_t max_tenure = 80;
+  double grow_factor = 1.2;     ///< tenure <- tenure * grow + 1 on repetition
+  double shrink_factor = 0.9;   ///< tenure <- tenure * shrink when idle
+  std::size_t shrink_after = 100;  ///< repetition-free iterations before shrink
+  std::size_t escape_after = 3;    ///< revisits of one solution forcing escape
+};
+
+class ReactiveTenure {
+ public:
+  ReactiveTenure(std::size_t base_tenure, const ReactiveConfig& config = {});
+
+  /// Report the solution reached at `iter`; returns the tenure to use next.
+  std::size_t on_solution(std::uint64_t solution_hash, std::uint64_t iter);
+
+  /// True once a solution has been revisited `escape_after` times; reading
+  /// clears the flag (the engine performs one kick per trigger).
+  bool consume_escape();
+
+  [[nodiscard]] std::size_t current_tenure() const { return tenure_; }
+  [[nodiscard]] std::uint64_t repetitions() const { return repetitions_; }
+  [[nodiscard]] std::uint64_t escapes_triggered() const { return escapes_; }
+  [[nodiscard]] std::size_t table_size() const { return visits_.size(); }
+
+ private:
+  ReactiveConfig config_;
+  std::size_t tenure_;
+  std::unordered_map<std::uint64_t, std::uint32_t> visits_;
+  std::uint64_t last_repetition_iter_ = 0;
+  std::uint64_t repetitions_ = 0;
+  std::uint64_t escapes_ = 0;
+  bool escape_pending_ = false;
+};
+
+}  // namespace pts::tabu

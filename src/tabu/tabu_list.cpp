@@ -1,0 +1,13 @@
+#include "tabu/tabu_list.hpp"
+
+namespace pts::tabu {
+
+std::size_t TabuList::active_add_tabu_count(std::uint64_t iter) const {
+  std::size_t count = 0;
+  for (auto expiry : add_expiry_) {
+    if (expiry > iter) ++count;
+  }
+  return count;
+}
+
+}  // namespace pts::tabu

@@ -1,0 +1,93 @@
+#include "tabu/trajectory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pts::tabu {
+
+void TrajectoryRecorder::on_start(double initial_value) {
+  best_so_far_ = std::max(best_so_far_, initial_value);
+  samples_.push_back({0, initial_value, best_so_far_});
+}
+
+void TrajectoryRecorder::on_move(std::uint64_t move_index, double value,
+                                 bool improved_best) {
+  last_move_ = move_index;
+  if (improved_best) {
+    ++improving_moves_;
+    best_so_far_ = std::max(best_so_far_, value);
+  }
+  const bool record = improved_best || stride_ <= 1 || move_index % stride_ == 0;
+  if (record) {
+    samples_.push_back({move_index, value, best_so_far_});
+  }
+}
+
+void TrajectoryRecorder::on_intensification(IntensificationKind, double value_before,
+                                            double value_after) {
+  best_so_far_ = std::max(best_so_far_, value_after);
+  events_.push_back({Event::Kind::kIntensify, last_move_, value_after - value_before});
+}
+
+void TrajectoryRecorder::on_diversification(std::size_t, std::size_t) {
+  events_.push_back({Event::Kind::kDiversify, last_move_, 0.0});
+}
+
+void TrajectoryRecorder::on_outer_round(std::size_t) {}
+void TrajectoryRecorder::on_inner_round(std::size_t, std::size_t) {}
+
+double TrajectoryRecorder::best_at(std::uint64_t move) const {
+  double best = 0.0;
+  for (const auto& sample : samples_) {
+    if (sample.move > move) break;
+    best = sample.best_value;
+  }
+  return best;
+}
+
+TrajectoryRecorder::Summary TrajectoryRecorder::summarize() const {
+  Summary summary;
+  summary.total_moves = last_move_;
+  summary.final_best = best_so_far_;
+  summary.improving_moves = improving_moves_;
+
+  for (const auto& sample : samples_) {
+    if (summary.moves_to_90pct == 0 && sample.best_value >= 0.90 * best_so_far_) {
+      summary.moves_to_90pct = sample.move;
+    }
+    if (summary.moves_to_99pct == 0 && sample.best_value >= 0.99 * best_so_far_) {
+      summary.moves_to_99pct = sample.move;
+      break;
+    }
+  }
+
+  double gain_sum = 0.0;
+  for (const auto& event : events_) {
+    if (event.kind == Event::Kind::kIntensify) {
+      ++summary.intensifications;
+      gain_sum += event.value_delta;
+    } else {
+      ++summary.diversifications;
+    }
+  }
+  if (summary.intensifications > 0) {
+    summary.mean_intensification_gain =
+        gain_sum / static_cast<double>(summary.intensifications);
+  }
+  return summary;
+}
+
+std::string TrajectoryRecorder::Summary::to_string() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "moves=%llu best=%.1f 90%%@%llu 99%%@%llu improving=%llu "
+                "intensify=%zu (mean gain %.2f) diversify=%zu",
+                static_cast<unsigned long long>(total_moves), final_best,
+                static_cast<unsigned long long>(moves_to_90pct),
+                static_cast<unsigned long long>(moves_to_99pct),
+                static_cast<unsigned long long>(improving_moves), intensifications,
+                mean_intensification_gain, diversifications);
+  return buffer;
+}
+
+}  // namespace pts::tabu

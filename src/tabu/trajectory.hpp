@@ -1,0 +1,73 @@
+#pragma once
+// Search-trajectory instrumentation: a TsTrace that records the anytime
+// profile (best value vs moves) and per-phase activity, and summary
+// statistics over it. Powers the anytime-curve bench (bench_anytime) and
+// the search_diagnostics example; none of it costs anything when no trace
+// is attached.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tabu/engine.hpp"
+
+namespace pts::tabu {
+
+class TrajectoryRecorder : public TsTrace {
+ public:
+  struct Sample {
+    std::uint64_t move = 0;
+    double current_value = 0.0;
+    double best_value = 0.0;
+  };
+
+  /// Records every `stride`-th move (1 = all). Intensifications and
+  /// diversifications are always recorded as events.
+  explicit TrajectoryRecorder(std::uint64_t stride = 1) : stride_(stride) {}
+
+  void on_start(double initial_value) override;
+  void on_move(std::uint64_t move_index, double value, bool improved_best) override;
+  void on_intensification(IntensificationKind kind, double value_before,
+                          double value_after) override;
+  void on_diversification(std::size_t forced_in, std::size_t forced_out) override;
+  void on_outer_round(std::size_t round) override;
+  void on_inner_round(std::size_t round, std::size_t inner) override;
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  struct Event {
+    enum class Kind : std::uint8_t { kIntensify, kDiversify } kind;
+    std::uint64_t at_move = 0;
+    double value_delta = 0.0;  ///< intensification gain; 0 for diversify
+  };
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// Best value at or before `move` (0 before the first sample).
+  [[nodiscard]] double best_at(std::uint64_t move) const;
+
+  struct Summary {
+    std::uint64_t total_moves = 0;
+    double final_best = 0.0;
+    /// Moves needed to reach the given fraction of the final best
+    /// (anytime quality); 0 when never reached.
+    std::uint64_t moves_to_90pct = 0;
+    std::uint64_t moves_to_99pct = 0;
+    std::uint64_t improving_moves = 0;
+    std::size_t intensifications = 0;
+    std::size_t diversifications = 0;
+    double mean_intensification_gain = 0.0;
+
+    [[nodiscard]] std::string to_string() const;
+  };
+  [[nodiscard]] Summary summarize() const;
+
+ private:
+  std::uint64_t stride_;
+  std::uint64_t last_move_ = 0;
+  double best_so_far_ = 0.0;
+  std::uint64_t improving_moves_ = 0;
+  std::vector<Sample> samples_;
+  std::vector<Event> events_;
+};
+
+}  // namespace pts::tabu

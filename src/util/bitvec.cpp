@@ -1,0 +1,33 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+namespace pts {
+
+std::size_t BitVec::popcount() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  PTS_CHECK(nbits_ == other.nbits_);
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < words_.size(); ++k) {
+    total += static_cast<std::size_t>(std::popcount(words_[k] ^ other.words_[k]));
+  }
+  return total;
+}
+
+std::uint64_t BitVec::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= nbits_;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace pts

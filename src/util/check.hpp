@@ -1,0 +1,41 @@
+#pragma once
+// Lightweight precondition / invariant checking.
+//
+// PTS_CHECK is always on: it guards conditions whose violation means the
+// library was misused or an internal invariant broke; recovery is not
+// meaningful, so we print and abort (keeps the library exception-free on
+// hot paths while still failing loudly in tests and benches).
+//
+// PTS_DCHECK compiles away in NDEBUG builds and is allowed on hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pts::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PTS_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pts::detail
+
+#define PTS_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) ::pts::detail::check_failed(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PTS_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) ::pts::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PTS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define PTS_DCHECK(cond) PTS_CHECK(cond)
+#endif

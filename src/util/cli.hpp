@@ -1,0 +1,37 @@
+#pragma once
+// Tiny --key=value / --flag argument parser shared by the examples and the
+// plain-driver benches. No external dependency; unknown flags are an error so
+// typos surface immediately.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pts {
+
+class CliArgs {
+ public:
+  /// Parses argv. Accepts --key=value, --key value, and bare --flag.
+  /// Positional (non --) arguments are collected in order.
+  static CliArgs parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pts

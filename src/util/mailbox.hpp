@@ -1,0 +1,80 @@
+#pragma once
+// Message-passing primitives standing in for the PVM layer of the paper's
+// 16-Alpha farm. The master/slave protocol of Section 4 maps onto typed
+// mailboxes: values are *moved* through a mutex-protected queue, so no
+// mutable state is ever shared between search threads (CP.3 / CP.mess).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pts {
+
+/// Unbounded MPMC mailbox. close() wakes all blocked receivers; receive()
+/// returns nullopt once the box is closed and drained.
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Returns false if the mailbox was already closed (message dropped).
+  bool send(T message) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(message));
+    }
+    available_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a message arrives or the box is closed and empty.
+  std::optional<T> receive() {
+    std::unique_lock lock(mutex_);
+    available_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    available_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace pts

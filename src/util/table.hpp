@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text table rendering for the benchmark harness — the benches print
+// rows shaped like the paper's Table 1 / Table 2.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pts {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column auto-sizing, a header separator, and 2-space gutters.
+  [[nodiscard]] std::string render() const;
+
+  /// Render as CSV (quote-free values assumed).
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(long long value);
+  static std::string fmt(std::size_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pts

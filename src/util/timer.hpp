@@ -1,0 +1,62 @@
+#pragma once
+// Wall-clock measurement helpers used by the search engine (time-budgeted
+// stopping) and the benchmark harness.
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace pts {
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::int64_t elapsed_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in the future against which "are we out of time?" is checked.
+/// A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.bounded_ = true;
+    d.end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline unbounded() { return Deadline{}; }
+
+  [[nodiscard]] bool expired() const { return bounded_ && Clock::now() >= end_; }
+  [[nodiscard]] bool is_bounded() const { return bounded_; }
+
+  [[nodiscard]] double remaining_seconds() const {
+    if (!bounded_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(end_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool bounded_ = false;
+  Clock::time_point end_{};
+};
+
+}  // namespace pts

@@ -1,0 +1,120 @@
+#include "baselines/grasp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/greedy.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::baselines {
+namespace {
+
+TEST(Grasp, BestIsFeasibleAndConsistent) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 1);
+  Rng rng(1);
+  GraspParams params;
+  params.max_iterations = 50;
+  const auto result = grasp(inst, rng, params);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_TRUE(result.best.check_consistency());
+  EXPECT_EQ(result.iterations, 50U);
+}
+
+TEST(Grasp, AtLeastAsGoodAsOneDeterministicGreedy) {
+  // Every GRASP iteration ends with the swap fixpoint; with rcl = 1 the
+  // first iteration IS deterministic-greedy + local search.
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 2);
+  Rng rng(2);
+  GraspParams params;
+  params.rcl_size = 1;
+  params.max_iterations = 1;
+  const auto result = grasp(inst, rng, params);
+  EXPECT_GE(result.best_value, bounds::greedy_construct(inst).value());
+}
+
+TEST(Grasp, MoreIterationsNeverWorse) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 3);
+  Rng rng_small(4), rng_large(4);
+  GraspParams small;
+  small.max_iterations = 5;
+  GraspParams large;
+  large.max_iterations = 100;
+  const auto few = grasp(inst, rng_small, small);
+  const auto many = grasp(inst, rng_large, large);
+  EXPECT_GE(many.best_value, few.best_value);
+}
+
+TEST(Grasp, LocalSearchActuallyFires) {
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 5);
+  Rng rng(5);
+  GraspParams params;
+  params.max_iterations = 40;
+  const auto result = grasp(inst, rng, params);
+  EXPECT_GT(result.local_search_swaps, 0U);
+}
+
+TEST(Grasp, FindsCatalogOptimaWithWideRcl) {
+  for (const auto& entry : mkp::catalog()) {
+    Rng rng(entry.instance.num_items() + 1);
+    GraspParams params;
+    params.max_iterations = 800;
+    params.rcl_size = 6;
+    const auto result = grasp(entry.instance, rng, params);
+    EXPECT_DOUBLE_EQ(result.best_value, entry.optimum) << entry.instance.name();
+  }
+}
+
+TEST(Grasp, NarrowRclCannotEscapeTheCrossedTrap) {
+  // On cat-crossed the six odd items dominate the scaled-density order, so
+  // an RCL of width 3 only ever constructs odds-heavy solutions (value 20)
+  // and the 1-1 swap cannot reach the mixed optimum (27). This pins the
+  // semantics of the RCL width — and is exactly the kind of structural trap
+  // tabu search's drop/add + memory escapes (see test_engine.cpp).
+  const auto entry = mkp::catalog_entry("cat-crossed");
+  Rng rng(13);
+  GraspParams params;
+  params.rcl_size = 3;
+  params.max_iterations = 800;
+  const auto narrow = grasp(entry.instance, rng, params);
+  EXPECT_DOUBLE_EQ(narrow.best_value, 20.0);
+  Rng rng_wide(13);
+  params.rcl_size = 6;
+  const auto wide = grasp(entry.instance, rng_wide, params);
+  EXPECT_DOUBLE_EQ(wide.best_value, entry.optimum);
+}
+
+TEST(Grasp, TargetStopsEarly) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 6);
+  Rng rng(6);
+  GraspParams params;
+  params.max_iterations = 100000;
+  params.target_value = 1.0;
+  const auto result = grasp(inst, rng, params);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_EQ(result.iterations, 1U);
+}
+
+TEST(Grasp, NeverExceedsOptimum) {
+  for (std::uint64_t seed : {7, 8, 9}) {
+    const auto inst = mkp::generate_gk({.num_items = 14, .num_constraints = 4}, seed);
+    const auto oracle = exact::brute_force(inst);
+    Rng rng(seed);
+    GraspParams params;
+    params.max_iterations = 60;
+    const auto result = grasp(inst, rng, params);
+    EXPECT_LE(result.best_value, oracle.optimum + 1e-9);
+  }
+}
+
+TEST(GraspDeath, UnboundedRunRejected) {
+  const auto inst = mkp::generate_gk({.num_items = 10, .num_constraints = 2}, 10);
+  Rng rng(10);
+  GraspParams params;
+  params.max_iterations = 0;
+  params.time_limit_seconds = 0.0;
+  EXPECT_DEATH((void)grasp(inst, rng, params), "bounded");
+}
+
+}  // namespace
+}  // namespace pts::baselines

@@ -1,0 +1,107 @@
+#include "baselines/simulated_annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::baselines {
+namespace {
+
+TEST(Sa, BestIsFeasibleAndConsistent) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 1);
+  Rng rng(1);
+  SaParams params;
+  params.max_steps = 30000;
+  const auto result = simulated_annealing(inst, rng, params);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_TRUE(result.best.check_consistency());
+  EXPECT_DOUBLE_EQ(result.best.value(), result.best_value);
+  EXPECT_EQ(result.steps, 30000U);
+}
+
+TEST(Sa, AcceptsSomeUphillMovesEarly) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 2);
+  Rng rng(2);
+  SaParams params;
+  params.max_steps = 20000;
+  const auto result = simulated_annealing(inst, rng, params);
+  EXPECT_GT(result.accepted_uphill, 0U);
+}
+
+TEST(Sa, TemperatureCools) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 3);
+  Rng rng(3);
+  SaParams params;
+  params.max_steps = 50000;
+  params.reheat_after = 0;  // no reheats: monotone cooling
+  const auto result = simulated_annealing(inst, rng, params);
+  const double t0 = 2.0 * inst.total_profit() / 40.0;
+  EXPECT_LT(result.final_temperature, t0);
+  EXPECT_GE(result.final_temperature, params.min_temperature);
+}
+
+TEST(Sa, ReheatsOnStagnation) {
+  const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 4);
+  Rng rng(4);
+  SaParams params;
+  params.max_steps = 30000;
+  params.reheat_after = 2000;  // tiny instance stagnates fast
+  const auto result = simulated_annealing(inst, rng, params);
+  EXPECT_GT(result.reheats, 0U);
+}
+
+TEST(Sa, FindsCatalogOptima) {
+  for (const auto& entry : mkp::catalog()) {
+    Rng rng(entry.instance.num_items());
+    SaParams params;
+    params.max_steps = 60000;
+    const auto result = simulated_annealing(entry.instance, rng, params);
+    EXPECT_DOUBLE_EQ(result.best_value, entry.optimum) << entry.instance.name();
+  }
+}
+
+TEST(Sa, TargetStopsEarly) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 5);
+  Rng rng(5);
+  SaParams params;
+  params.max_steps = 1'000'000;
+  params.target_value = 1.0;
+  const auto result = simulated_annealing(inst, rng, params);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_LT(result.steps, 1'000'000U);
+}
+
+TEST(Sa, NeverExceedsOptimum) {
+  for (std::uint64_t seed : {6, 7, 8}) {
+    const auto inst = mkp::generate_gk({.num_items = 14, .num_constraints = 4}, seed);
+    const auto oracle = exact::brute_force(inst);
+    Rng rng(seed);
+    SaParams params;
+    params.max_steps = 10000;
+    const auto result = simulated_annealing(inst, rng, params);
+    EXPECT_LE(result.best_value, oracle.optimum + 1e-9);
+  }
+}
+
+TEST(Sa, DeterministicPerSeed) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 9);
+  Rng a(10), b(10);
+  SaParams params;
+  params.max_steps = 10000;
+  EXPECT_DOUBLE_EQ(simulated_annealing(inst, a, params).best_value,
+                   simulated_annealing(inst, b, params).best_value);
+}
+
+TEST(SaDeath, UnboundedRunRejected) {
+  const auto inst = mkp::generate_gk({.num_items = 10, .num_constraints = 2}, 11);
+  Rng rng(11);
+  SaParams params;
+  params.max_steps = 0;
+  params.time_limit_seconds = 0.0;
+  EXPECT_DEATH((void)simulated_annealing(inst, rng, params), "bounded");
+}
+
+}  // namespace
+}  // namespace pts::baselines

@@ -1,0 +1,87 @@
+#include "bounds/dantzig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::bounds {
+namespace {
+
+TEST(DensityOrder, SortsByProfitPerWeight) {
+  const std::vector<double> profits{10, 9, 8};
+  const std::vector<double> weights{5, 3, 1};
+  // densities: 2, 3, 8 -> order 2, 1, 0.
+  const auto order = density_order(profits, weights);
+  ASSERT_EQ(order.size(), 3U);
+  EXPECT_EQ(order[0], 2U);
+  EXPECT_EQ(order[1], 1U);
+  EXPECT_EQ(order[2], 0U);
+}
+
+TEST(DensityOrder, ZeroWeightFirst) {
+  const std::vector<double> profits{1, 100};
+  const std::vector<double> weights{0, 10};
+  const auto order = density_order(profits, weights);
+  EXPECT_EQ(order[0], 0U);
+}
+
+TEST(Dantzig, IntegralFillWhenEverythingFits) {
+  const std::vector<double> profits{3, 2};
+  const std::vector<double> weights{1, 1};
+  const auto order = density_order(profits, weights);
+  EXPECT_DOUBLE_EQ(dantzig_bound(profits, weights, order, 10.0), 5.0);
+}
+
+TEST(Dantzig, FractionalLastItem) {
+  // densities 3 and 2; capacity 2 takes item 0 fully (w=1,p=3) and half of
+  // item 1 (w=2,p=4) -> 3 + 2 = 5.
+  const std::vector<double> profits{3, 4};
+  const std::vector<double> weights{1, 2};
+  const auto order = density_order(profits, weights);
+  EXPECT_DOUBLE_EQ(dantzig_bound(profits, weights, order, 2.0), 5.0);
+}
+
+TEST(Dantzig, ZeroCapacityIsZero) {
+  const std::vector<double> profits{3, 4};
+  const std::vector<double> weights{1, 2};
+  const auto order = density_order(profits, weights);
+  EXPECT_DOUBLE_EQ(dantzig_bound(profits, weights, order, 0.0), 0.0);
+}
+
+TEST(Dantzig, ZeroWeightItemsAlwaysIncluded) {
+  const std::vector<double> profits{7, 3};
+  const std::vector<double> weights{0, 5};
+  const auto order = density_order(profits, weights);
+  EXPECT_DOUBLE_EQ(dantzig_bound(profits, weights, order, 0.0), 7.0);
+}
+
+TEST(MinConstraintBound, UpperBoundsCatalogOptima) {
+  for (const auto& entry : mkp::catalog()) {
+    const double bound = min_constraint_bound(entry.instance);
+    EXPECT_GE(bound, entry.optimum - 1e-9) << entry.instance.name();
+  }
+}
+
+TEST(MinConstraintBound, TightOnPureCardinalityInstance) {
+  // cat-cardinality: all weights 1, capacity 4: continuous bound = top-4
+  // profits = optimum.
+  const auto entry = mkp::catalog_entry("cat-cardinality");
+  EXPECT_DOUBLE_EQ(min_constraint_bound(entry.instance), entry.optimum);
+}
+
+class DantzigOracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DantzigOracleSweep, BoundDominatesBruteForceOptimum) {
+  const auto inst =
+      mkp::generate_gk({.num_items = 14, .num_constraints = 4}, GetParam());
+  const auto oracle = exact::brute_force(inst);
+  EXPECT_GE(min_constraint_bound(inst), oracle.optimum - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DantzigOracleSweep,
+                         ::testing::Values(10, 20, 30, 40, 50, 60, 70, 80));
+
+}  // namespace
+}  // namespace pts::bounds

@@ -1,0 +1,106 @@
+#include "bounds/lagrangian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/greedy.hpp"
+#include "bounds/simplex.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::bounds {
+namespace {
+
+TEST(Lagrangian, ZeroMultipliersGiveProfitSum) {
+  mkp::Instance inst("z", {3, 5, 7}, {1, 1, 1}, {1});
+  const std::vector<double> u{0.0};
+  EXPECT_DOUBLE_EQ(lagrangian_value(inst, u), 15.0);
+}
+
+TEST(Lagrangian, ValueAtHandPickedMultiplier) {
+  // max 3x0 + 2x1, x0 + x1 <= 1.5. At u = 2:
+  // L = 2*1.5 + max(0, 3-2) + max(0, 2-2) = 3 + 1 = 4.
+  mkp::Instance inst("h", {3, 2}, {1, 1}, {1.5});
+  const std::vector<double> u{2.0};
+  EXPECT_DOUBLE_EQ(lagrangian_value(inst, u), 4.0);
+}
+
+TEST(Lagrangian, EveryMultiplierBoundsCatalogOptima) {
+  for (const auto& entry : mkp::catalog()) {
+    const std::size_t m = entry.instance.num_constraints();
+    for (double scale : {0.0, 0.5, 1.0, 5.0}) {
+      const std::vector<double> u(m, scale);
+      EXPECT_GE(lagrangian_value(entry.instance, u), entry.optimum - 1e-9)
+          << entry.instance.name() << " scale " << scale;
+    }
+  }
+}
+
+TEST(Lagrangian, SubgradientTightensTheBound) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 3);
+  const std::vector<double> zeros(6, 0.0);
+  const double at_zero = lagrangian_value(inst, zeros);
+  const auto result = solve_lagrangian(inst);
+  EXPECT_LT(result.bound, at_zero);
+  EXPECT_GT(result.iterations, 0U);
+}
+
+TEST(Lagrangian, WarmTargetAccelerates) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 4);
+  LagrangianOptions warm;
+  warm.target = greedy_construct(inst).value();
+  warm.max_iterations = 100;
+  LagrangianOptions cold;
+  cold.max_iterations = 100;
+  const auto warm_result = solve_lagrangian(inst, warm);
+  const auto cold_result = solve_lagrangian(inst, cold);
+  // The Polyak step with a real target must not be worse.
+  EXPECT_LE(warm_result.bound, cold_result.bound * 1.02);
+}
+
+TEST(Lagrangian, DualApproachesLpBound) {
+  // Integrality property: the Lagrangian dual equals the LP bound. The
+  // subgradient method is approximate, so allow a modest overshoot but no
+  // undershoot.
+  for (std::uint64_t seed : {5, 6, 7}) {
+    const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, seed);
+    const auto lp = solve_lp_relaxation(inst);
+    ASSERT_TRUE(lp.optimal());
+    LagrangianOptions options;
+    options.max_iterations = 600;
+    options.target = greedy_construct(inst).value();
+    const auto lagrangian = solve_lagrangian(inst, options);
+    EXPECT_GE(lagrangian.bound, lp.objective - 1e-6) << "seed " << seed;
+    EXPECT_LE(lagrangian.bound, lp.objective * 1.05) << "seed " << seed;
+  }
+}
+
+TEST(Lagrangian, InnerSolutionMatchesReportedSize) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 8);
+  const auto result = solve_lagrangian(inst);
+  ASSERT_EQ(result.inner_solution.size(), 50U);
+  ASSERT_EQ(result.multipliers.size(), 5U);
+  for (double u : result.multipliers) EXPECT_GE(u, 0.0);
+}
+
+TEST(LagrangianDeath, NegativeMultiplierRejected) {
+  mkp::Instance inst("n", {1.0}, {1.0}, {1.0});
+  const std::vector<double> u{-1.0};
+  EXPECT_DEATH((void)lagrangian_value(inst, u), ">= 0");
+}
+
+class LagrangianOracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LagrangianOracleSweep, BoundsTheIntegerOptimum) {
+  const auto inst =
+      mkp::generate_fp({.num_items = 14, .num_constraints = 5}, GetParam());
+  const auto oracle = exact::brute_force(inst);
+  const auto result = solve_lagrangian(inst);
+  EXPECT_GE(result.bound, oracle.optimum - 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LagrangianOracleSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace pts::bounds

@@ -1,0 +1,90 @@
+#include "bounds/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pts::bounds {
+namespace {
+
+TEST(Lu, SolvesIdentity) {
+  const std::vector<double> eye{1, 0, 0, 1};
+  const auto lu = LuFactors::factorize(eye, 2);
+  ASSERT_TRUE(lu.ok());
+  const std::vector<double> rhs{3, 7};
+  const auto x = lu.solve(rhs);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 7.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = (1, 3).
+  const std::vector<double> a{2, 1, 1, 3};
+  const auto lu = LuFactors::factorize(a, 2);
+  ASSERT_TRUE(lu.ok());
+  const auto x = lu.solve(std::vector<double>{5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  const std::vector<double> a{0, 1, 1, 0};
+  const auto lu = LuFactors::factorize(a, 2);
+  ASSERT_TRUE(lu.ok());
+  const auto x = lu.solve(std::vector<double>{2, 5});
+  EXPECT_NEAR(x[0], 5.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixReported) {
+  const std::vector<double> a{1, 2, 2, 4};
+  const auto lu = LuFactors::factorize(a, 2);
+  EXPECT_FALSE(lu.ok());
+}
+
+TEST(Lu, TransposedSolve) {
+  // A = [2 0; 1 3]; A^T y = c with c = (4, 9) -> y solves
+  // [2 1; 0 3] y = (4, 9): y1 = 3, y0 = 0.5.
+  const std::vector<double> a{2, 0, 1, 3};
+  const auto lu = LuFactors::factorize(a, 2);
+  ASSERT_TRUE(lu.ok());
+  const auto y = lu.solve_transposed(std::vector<double>{4, 9});
+  EXPECT_NEAR(y[0], 0.5, 1e-12);
+  EXPECT_NEAR(y[1], 3.0, 1e-12);
+}
+
+class LuRandomSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomSweep, ResidualsSmallOnRandomSystems) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 17 + 1);
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = rng.uniform_real(-10, 10);
+  // Diagonal dominance keeps the random matrix comfortably nonsingular.
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += 25.0;
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform_real(-5, 5);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+  }
+
+  const auto lu = LuFactors::factorize(a, n);
+  ASSERT_TRUE(lu.ok());
+  const auto x = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+
+  // Transposed: bT_i = sum_j a_ji x_j.
+  std::vector<double> bt(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) bt[i] += a[j * n + i] * x_true[j];
+  }
+  const auto xt = lu.solve_transposed(bt);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xt[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSweep, ::testing::Values(1, 2, 3, 5, 10, 30));
+
+}  // namespace
+}  // namespace pts::bounds

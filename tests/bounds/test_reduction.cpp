@@ -1,0 +1,125 @@
+#include "bounds/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/greedy.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::bounds {
+namespace {
+
+TEST(Reduction, TrivialLowerBoundFixesNothingToZeroWrongly) {
+  // With lb = 0 every solution is "worth keeping"... almost: variables whose
+  // forced inclusion caps the LP below 0 cannot exist (profits positive),
+  // so nothing fixes to 0; variables may still fix to 1.
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 1);
+  const auto fixing = reduced_cost_fixing(inst, 0.0);
+  ASSERT_TRUE(fixing.lp_solved);
+  EXPECT_EQ(fixing.fixed_to_zero, 0U);
+}
+
+TEST(Reduction, StrongBoundFixesVariables) {
+  // Loose uncorrelated instances have spread-out reduced costs: a greedy
+  // bound fixes a solid share of the variables.
+  const auto inst = mkp::generate_uncorrelated(60, 3, 2, 1000.0, 0.5);
+  const double lb = greedy_construct(inst).value();
+  const auto fixing = reduced_cost_fixing(inst, lb);
+  ASSERT_TRUE(fixing.lp_solved);
+  EXPECT_GT(fixing.fixed_total(), 0U);
+  EXPECT_EQ(fixing.status.size(), 60U);
+}
+
+TEST(Reduction, NeverCutsTheOptimumOff) {
+  for (std::uint64_t seed : {3, 5, 7, 11, 13}) {
+    const auto inst = mkp::generate_uncorrelated(18, 3, seed, 100.0, 0.5);
+    const auto oracle = exact::brute_force(inst);
+    const double lb = greedy_construct(inst).value();
+    const auto fixing = reduced_cost_fixing(inst, lb);
+    // The optimum must respect every fixing (it is strictly better than lb
+    // or equal to it; equal-to-lb solutions may be cut ONLY with gap_eps>0,
+    // which we did not set).
+    if (oracle.optimum <= lb) continue;  // greedy already optimal: skip
+    for (std::size_t j = 0; j < 18; ++j) {
+      if (fixing.status[j] == FixedValue::kZero) {
+        EXPECT_FALSE(oracle.best.contains(j)) << "seed " << seed << " item " << j;
+      } else if (fixing.status[j] == FixedValue::kOne) {
+        EXPECT_TRUE(oracle.best.contains(j)) << "seed " << seed << " item " << j;
+      }
+    }
+  }
+}
+
+TEST(Reduction, BuildReducedFoldsFixedOnes) {
+  mkp::Instance inst("fold", {10, 6, 4}, {2, 3, 4}, {9});
+  ReductionResult fixing;
+  fixing.status = {FixedValue::kOne, FixedValue::kFree, FixedValue::kZero};
+  fixing.fixed_to_one = 1;
+  fixing.fixed_to_zero = 1;
+  const auto reduced = build_reduced(inst, fixing);
+  ASSERT_TRUE(reduced.instance.has_value());
+  EXPECT_EQ(reduced.instance->num_items(), 1U);
+  EXPECT_DOUBLE_EQ(reduced.instance->profit(0), 6.0);
+  EXPECT_DOUBLE_EQ(reduced.instance->capacity(0), 7.0);  // 9 - 2
+  EXPECT_DOUBLE_EQ(reduced.banked_profit, 10.0);
+  ASSERT_EQ(reduced.free_to_original.size(), 1U);
+  EXPECT_EQ(reduced.free_to_original[0], 1U);
+}
+
+TEST(Reduction, LiftReconstructsFullSolution) {
+  mkp::Instance inst("lift", {10, 6, 4}, {2, 3, 4}, {9});
+  ReductionResult fixing;
+  fixing.status = {FixedValue::kOne, FixedValue::kFree, FixedValue::kZero};
+  const auto reduced = build_reduced(inst, fixing);
+  ASSERT_TRUE(reduced.instance.has_value());
+  mkp::Solution residual(*reduced.instance);
+  residual.add(0);  // the free variable (original index 1)
+  const auto full = reduced.lift(inst, &residual);
+  EXPECT_TRUE(full.contains(0));
+  EXPECT_TRUE(full.contains(1));
+  EXPECT_FALSE(full.contains(2));
+  EXPECT_DOUBLE_EQ(full.value(), 16.0);
+}
+
+TEST(Reduction, AllFixedGivesNoResidualInstance) {
+  mkp::Instance inst("all", {5, 3}, {1, 1}, {2});
+  ReductionResult fixing;
+  fixing.status = {FixedValue::kOne, FixedValue::kOne};
+  const auto reduced = build_reduced(inst, fixing);
+  EXPECT_FALSE(reduced.instance.has_value());
+  const auto full = reduced.lift(inst, nullptr);
+  EXPECT_DOUBLE_EQ(full.value(), 8.0);
+}
+
+TEST(ReductionDeath, OverfixedCapacityAborts) {
+  mkp::Instance inst("bad", {5, 3}, {2, 2}, {3});
+  ReductionResult fixing;
+  fixing.status = {FixedValue::kOne, FixedValue::kOne};  // 4 > 3
+  EXPECT_DEATH((void)build_reduced(inst, fixing), "capacity");
+}
+
+class ReductionOracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReductionOracleSweep, ReducedSearchFindsTheSameOptimum) {
+  const auto inst = mkp::generate_uncorrelated(16, 3, GetParam(), 200.0, 0.5);
+  const auto oracle = exact::brute_force(inst);
+  const double lb = greedy_construct(inst).value();
+  const auto fixing = reduced_cost_fixing(inst, lb);
+  const auto reduced = build_reduced(inst, fixing);
+
+  double best = lb;  // the incumbent survives by construction
+  if (reduced.instance.has_value()) {
+    const auto residual = exact::brute_force(*reduced.instance);
+    best = std::max(best, reduced.banked_profit + residual.optimum);
+  } else {
+    best = std::max(best, reduced.banked_profit);
+  }
+  EXPECT_DOUBLE_EQ(best, oracle.optimum) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionOracleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace pts::bounds

@@ -1,0 +1,124 @@
+#include "bounds/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/dantzig.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::bounds {
+namespace {
+
+TEST(Simplex, SolvesTinyByHand) {
+  // max 3x0 + 2x1, x0 + x1 <= 1.5, x in [0,1]: optimum x = (1, 0.5) -> 4.
+  mkp::Instance inst("lp", {3, 2}, {1, 1}, {1.5});
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_NEAR(lp.objective, 4.0, 1e-9);
+  EXPECT_NEAR(lp.primal[0], 1.0, 1e-9);
+  EXPECT_NEAR(lp.primal[1], 0.5, 1e-9);
+}
+
+TEST(Simplex, AllItemsFitIsTotalProfit) {
+  mkp::Instance inst("loose", {5, 7, 9}, {1, 1, 1}, {100});
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_NEAR(lp.objective, 21.0, 1e-9);
+}
+
+TEST(Simplex, ZeroCapacityIsZero) {
+  mkp::Instance inst("zero", {5, 7}, {1, 1}, {0});
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_NEAR(lp.objective, 0.0, 1e-9);
+}
+
+TEST(Simplex, CardinalityLpIsIntegral) {
+  // All weights 1, capacity 4: the LP optimum takes the four best profits.
+  const auto entry = mkp::catalog_entry("cat-cardinality");
+  const auto lp = solve_lp_relaxation(entry.instance);
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_NEAR(lp.objective, entry.optimum, 1e-9);
+}
+
+TEST(Simplex, PrimalWithinBoundsAndFeasible) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 8}, 3);
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  ASSERT_EQ(lp.primal.size(), 50U);
+  for (double x : lp.primal) {
+    EXPECT_GE(x, -1e-9);
+    EXPECT_LE(x, 1.0 + 1e-9);
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    double load = 0.0;
+    for (std::size_t j = 0; j < 50; ++j) load += inst.weight(i, j) * lp.primal[j];
+    EXPECT_LE(load, inst.capacity(i) + 1e-6);
+  }
+}
+
+TEST(Simplex, ObjectiveMatchesPrimal) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 4);
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  double recomputed = 0.0;
+  for (std::size_t j = 0; j < 40; ++j) recomputed += inst.profit(j) * lp.primal[j];
+  EXPECT_NEAR(lp.objective, recomputed, 1e-7);
+}
+
+TEST(Simplex, DualsNonNegative) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 5);
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  for (double y : lp.duals) EXPECT_GE(y, 0.0);
+}
+
+TEST(Simplex, WeakDualityAgainstDantzig) {
+  // The LP with all constraints is at least as tight as the best
+  // single-constraint continuous bound.
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 10}, 6);
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_LE(lp.objective, min_constraint_bound(inst) + 1e-6);
+}
+
+TEST(Simplex, HandlesLargerInstancesToOptimality) {
+  const auto inst = mkp::generate_gk({.num_items = 300, .num_constraints = 25}, 7);
+  const auto lp = solve_lp_relaxation(inst);
+  EXPECT_TRUE(lp.optimal());
+  EXPECT_GT(lp.objective, 0.0);
+  EXPECT_LT(lp.objective, inst.total_profit());
+}
+
+TEST(Simplex, BasicVariableCountAtOptimum) {
+  // A classic LP-relaxation property of the MKP: at most m fractional
+  // variables at an optimal basic solution.
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 5}, 8);
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  std::size_t fractional = 0;
+  for (double x : lp.primal) {
+    if (x > 1e-6 && x < 1.0 - 1e-6) ++fractional;
+  }
+  EXPECT_LE(fractional, 5U);
+}
+
+class SimplexOracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexOracleSweep, LpBoundsIntegerOptimum) {
+  const auto inst =
+      mkp::generate_gk({.num_items = 15, .num_constraints = 5}, GetParam());
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  const auto oracle = exact::brute_force(inst);
+  EXPECT_GE(lp.objective, oracle.optimum - 1e-7);
+  // And the relaxation cannot be wildly loose on these tiny instances.
+  EXPECT_LE(lp.objective, oracle.optimum * 1.5 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexOracleSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+}  // namespace
+}  // namespace pts::bounds

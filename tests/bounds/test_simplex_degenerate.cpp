@@ -1,0 +1,85 @@
+// Degenerate LP shapes: duplicated columns, non-binding constraints,
+// all-zero rows — the basis handling must survive all of them.
+#include <gtest/gtest.h>
+
+#include "bounds/simplex.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/instance.hpp"
+
+namespace pts::bounds {
+namespace {
+
+TEST(SimplexDegenerate, DuplicateColumns) {
+  // Three identical items; capacity for 1.5 of them: LP = 1.5 * profit.
+  mkp::Instance inst("dup", {10, 10, 10}, {2, 2, 2}, {3});
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_NEAR(lp.objective, 15.0, 1e-9);
+}
+
+TEST(SimplexDegenerate, NonBindingConstraint) {
+  // Constraint 1 can never bind (capacity exceeds the row sum): the LP must
+  // behave exactly like the single-constraint problem.
+  mkp::Instance two("two", {3, 4}, {1, 2, 1, 1}, {2, 100});
+  mkp::Instance one("one", {3, 4}, {1, 2}, {2});
+  const auto lp_two = solve_lp_relaxation(two);
+  const auto lp_one = solve_lp_relaxation(one);
+  ASSERT_TRUE(lp_two.optimal());
+  ASSERT_TRUE(lp_one.optimal());
+  EXPECT_NEAR(lp_two.objective, lp_one.objective, 1e-9);
+  // The slack constraint's dual must be zero (complementary slackness).
+  EXPECT_NEAR(lp_two.duals[1], 0.0, 1e-9);
+}
+
+TEST(SimplexDegenerate, AllZeroWeightRow) {
+  // A constraint touching no item: harmless, dual zero.
+  mkp::Instance inst("zrow", {5, 7}, {1, 1, 0, 0}, {1, 3});
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_NEAR(lp.duals[1], 0.0, 1e-9);
+  EXPECT_NEAR(lp.objective, 7.0, 1e-9);  // take item 1 fully (density 7 > 5)
+}
+
+TEST(SimplexDegenerate, ZeroWeightItemEnters) {
+  // Item 0 consumes nothing: LP takes it at 1 regardless.
+  mkp::Instance inst("zitem", {9, 4}, {0, 3}, {3});
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_NEAR(lp.primal[0], 1.0, 1e-9);
+  EXPECT_NEAR(lp.objective, 13.0, 1e-9);
+}
+
+TEST(SimplexDegenerate, IdenticalRowsTwice) {
+  // The same constraint repeated: the basis matrix risks singularity if
+  // both slacks leave; the solver must still finish.
+  mkp::Instance inst("twin", {3, 5, 2}, {1, 2, 1, 1, 2, 1}, {2, 2});
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  const auto oracle = exact::brute_force(inst);
+  EXPECT_GE(lp.objective, oracle.optimum - 1e-9);
+}
+
+TEST(SimplexDegenerate, ReducedCostsSignPattern) {
+  const mkp::Instance inst("signs", {3, 2, 9}, {1, 1, 3}, {3});
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  ASSERT_EQ(lp.reduced_costs.size(), 3U);
+  for (std::size_t j = 0; j < 3; ++j) {
+    if (lp.primal[j] <= 1e-9) {
+      EXPECT_LE(lp.reduced_costs[j], 1e-7) << "at-zero variable " << j;
+    } else if (lp.primal[j] >= 1.0 - 1e-9) {
+      EXPECT_GE(lp.reduced_costs[j], -1e-7) << "at-one variable " << j;
+    }
+  }
+}
+
+TEST(SimplexDegenerate, SingleVariableSingleConstraint) {
+  mkp::Instance inst("1x1", {5.0}, {2.0}, {1.0});
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_NEAR(lp.objective, 2.5, 1e-9);  // x = 0.5
+  EXPECT_NEAR(lp.primal[0], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace pts::bounds

@@ -1,0 +1,84 @@
+#include "bounds/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/simplex.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::bounds {
+namespace {
+
+TEST(Surrogate, SingleConstraintEqualsDantzig) {
+  // With m = 1 every multiplier gives the same aggregate: the bound is the
+  // plain continuous knapsack bound.
+  mkp::Instance inst("one", {3, 4}, {1, 2}, {2});
+  const std::vector<double> u{1.0};
+  EXPECT_DOUBLE_EQ(surrogate_bound(inst, u), 5.0);
+  const std::vector<double> u2{3.5};
+  EXPECT_DOUBLE_EQ(surrogate_bound(inst, u2), 5.0);
+}
+
+TEST(Surrogate, BoundDominatesOptimumOnCatalog) {
+  for (const auto& entry : mkp::catalog()) {
+    const auto result = solve_surrogate(entry.instance);
+    EXPECT_GE(result.bound, entry.optimum - 1e-9) << entry.instance.name();
+  }
+}
+
+TEST(Surrogate, RefinementNeverWorseThanAllOnes) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 8}, 5);
+  const std::vector<double> ones(8, 1.0);
+  const double start = surrogate_bound(inst, ones);
+  SurrogateOptions options;
+  options.seed_with_lp_duals = false;
+  const auto refined = solve_surrogate(inst, options);
+  EXPECT_LE(refined.bound, start + 1e-9);
+  EXPECT_GE(refined.evaluations, 1U);
+}
+
+TEST(Surrogate, LpDualSeedAvailable) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 6);
+  const auto result = solve_surrogate(inst);
+  ASSERT_EQ(result.multipliers.size(), 5U);
+  for (double u : result.multipliers) EXPECT_GE(u, 0.0);
+}
+
+TEST(Surrogate, SurrogateAtLeastAsLooseAsLp) {
+  // Theory: LP relaxation dominates (is tighter than or equal to) the
+  // continuous surrogate relaxation bound.
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 6}, 7);
+  const auto lp = solve_lp_relaxation(inst);
+  ASSERT_TRUE(lp.optimal());
+  const auto surrogate = solve_surrogate(inst);
+  EXPECT_GE(surrogate.bound, lp.objective - 1e-6);
+}
+
+TEST(SurrogateDeath, RejectsNegativeMultiplier) {
+  mkp::Instance inst("neg", {1, 1}, {1, 1, 1, 1}, {2, 2});
+  const std::vector<double> u{1.0, -0.5};
+  EXPECT_DEATH((void)surrogate_bound(inst, u), "non-negative");
+}
+
+TEST(SurrogateDeath, RejectsAllZeroMultipliers) {
+  mkp::Instance inst("zero", {1, 1}, {1, 1, 1, 1}, {2, 2});
+  const std::vector<double> u{0.0, 0.0};
+  EXPECT_DEATH((void)surrogate_bound(inst, u), "positive");
+}
+
+class SurrogateOracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SurrogateOracleSweep, BoundsIntegerOptimum) {
+  const auto inst =
+      mkp::generate_fp({.num_items = 14, .num_constraints = 6}, GetParam());
+  const auto oracle = exact::brute_force(inst);
+  const auto result = solve_surrogate(inst);
+  EXPECT_GE(result.bound, oracle.optimum - 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SurrogateOracleSweep,
+                         ::testing::Values(3, 6, 9, 12, 15, 18));
+
+}  // namespace
+}  // namespace pts::bounds

@@ -1,0 +1,107 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/greedy.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::exact {
+namespace {
+
+TEST(Bnb, SolvesCatalogToProvenOptimality) {
+  for (const auto& entry : mkp::catalog()) {
+    const auto result = branch_and_bound(entry.instance);
+    EXPECT_TRUE(result.proven_optimal) << entry.instance.name();
+    EXPECT_DOUBLE_EQ(result.objective, entry.optimum) << entry.instance.name();
+    EXPECT_TRUE(result.best.is_feasible());
+    EXPECT_DOUBLE_EQ(result.best.value(), entry.optimum);
+  }
+}
+
+TEST(Bnb, WarmStartDoesNotChangeTheAnswer) {
+  const auto entry = mkp::catalog_entry("cat-blocks");
+  BnbOptions options;
+  options.initial_lower_bound =
+      bounds::greedy_construct(entry.instance).value();
+  const auto result = branch_and_bound(entry.instance, options);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.objective, entry.optimum);
+}
+
+TEST(Bnb, NodeLimitStopsSearch) {
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 10}, 2);
+  BnbOptions options;
+  options.node_limit = 50;
+  const auto result = branch_and_bound(inst, options);
+  EXPECT_FALSE(result.proven_optimal);
+  EXPECT_LE(result.nodes, 50U + 1024U);  // limit is checked every 1024 nodes
+}
+
+TEST(Bnb, TimeLimitStopsSearch) {
+  const auto inst = mkp::generate_gk({.num_items = 200, .num_constraints = 25}, 3);
+  BnbOptions options;
+  options.time_limit_seconds = 0.05;
+  const auto result = branch_and_bound(inst, options);
+  EXPECT_LT(result.seconds, 5.0);  // generous: it must not run forever
+}
+
+TEST(Bnb, PrunesComparedToBruteForce) {
+  const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 5}, 4);
+  const auto oracle = brute_force(inst);
+  const auto result = branch_and_bound(inst);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.objective, oracle.optimum);
+  EXPECT_LT(result.nodes, oracle.assignments_visited);
+}
+
+TEST(Bnb, HandlesMediumFpInstance) {
+  const auto inst = mkp::generate_fp({.num_items = 40, .num_constraints = 5}, 6);
+  BnbOptions options;
+  options.time_limit_seconds = 30.0;
+  const auto result = branch_and_bound(inst, options);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_GT(result.objective, 0.0);
+}
+
+TEST(Bnb, NothingFitsGivesZero) {
+  mkp::Instance inst("n", {5, 6}, {10, 20}, {4});
+  const auto result = branch_and_bound(inst);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);
+}
+
+class BnbOracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbOracleSweep, MatchesBruteForceOnGk) {
+  const auto inst =
+      mkp::generate_gk({.num_items = 16, .num_constraints = 5}, GetParam());
+  const auto oracle = brute_force(inst);
+  const auto result = branch_and_bound(inst);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.objective, oracle.optimum);
+}
+
+TEST_P(BnbOracleSweep, MatchesBruteForceOnFp) {
+  const auto inst =
+      mkp::generate_fp({.num_items = 15, .num_constraints = 8}, GetParam());
+  const auto oracle = brute_force(inst);
+  const auto result = branch_and_bound(inst);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.objective, oracle.optimum);
+}
+
+TEST_P(BnbOracleSweep, MatchesBruteForceOnUncorrelated) {
+  const auto inst = mkp::generate_uncorrelated(17, 3, GetParam());
+  const auto oracle = brute_force(inst);
+  const auto result = branch_and_bound(inst);
+  ASSERT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.objective, oracle.optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbOracleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace pts::exact

@@ -1,0 +1,55 @@
+#include "exact/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::exact {
+namespace {
+
+TEST(BruteForce, TinyHandExample) {
+  // max 10x0 + 7x1 + 6x2 + x3, 5x0+4x1+3x2+x3 <= 7: optimum {1,2} = 13.
+  mkp::Instance inst("t", {10, 7, 6, 1}, {5, 4, 3, 1}, {7});
+  const auto result = brute_force(inst);
+  EXPECT_DOUBLE_EQ(result.optimum, 13.0);
+  EXPECT_TRUE(result.best.contains(1));
+  EXPECT_TRUE(result.best.contains(2));
+  EXPECT_FALSE(result.best.contains(0));
+  EXPECT_TRUE(result.best.is_feasible());
+}
+
+TEST(BruteForce, VisitsEveryAssignment) {
+  mkp::Instance inst("v", {1, 1, 1}, {1, 1, 1}, {3});
+  const auto result = brute_force(inst);
+  EXPECT_EQ(result.assignments_visited, 8U);
+  EXPECT_DOUBLE_EQ(result.optimum, 3.0);
+}
+
+TEST(BruteForce, NothingFitsGivesEmptyOptimum) {
+  mkp::Instance inst("n", {5, 6}, {10, 20}, {4});
+  const auto result = brute_force(inst);
+  EXPECT_DOUBLE_EQ(result.optimum, 0.0);
+  EXPECT_EQ(result.best.cardinality(), 0U);
+}
+
+TEST(BruteForce, MultiConstraintBindingMix) {
+  const auto entry = mkp::catalog_entry("cat-crossed");
+  const auto result = brute_force(entry.instance);
+  EXPECT_DOUBLE_EQ(result.optimum, entry.optimum);
+}
+
+TEST(BruteForce, BestSolutionIsConsistent) {
+  const auto inst = mkp::generate_gk({.num_items = 12, .num_constraints = 3}, 5);
+  const auto result = brute_force(inst);
+  EXPECT_TRUE(result.best.check_consistency());
+  EXPECT_DOUBLE_EQ(result.best.value(), result.optimum);
+}
+
+TEST(BruteForceDeath, RefusesLargeN) {
+  const auto inst = mkp::generate_gk({.num_items = 31, .num_constraints = 2}, 1);
+  EXPECT_DEATH((void)brute_force(inst), "n <= 30");
+}
+
+}  // namespace
+}  // namespace pts::exact

@@ -1,0 +1,79 @@
+#include "exact/reduce_and_solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::exact {
+namespace {
+
+TEST(ReduceAndSolve, MatchesPlainBnbOnCatalog) {
+  for (const auto& entry : mkp::catalog()) {
+    const auto result = branch_and_bound_with_reduction(entry.instance);
+    EXPECT_TRUE(result.proven_optimal) << entry.instance.name();
+    EXPECT_DOUBLE_EQ(result.objective, entry.optimum) << entry.instance.name();
+    EXPECT_TRUE(result.best.is_feasible());
+  }
+}
+
+TEST(ReduceAndSolve, StatsAreInternallyConsistent) {
+  const auto inst = mkp::generate_uncorrelated(50, 4, 9, 500.0, 0.5);
+  ReducedSolveStats stats;
+  const auto result = branch_and_bound_with_reduction(inst, {}, &stats);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(stats.original_variables, 50U);
+  EXPECT_EQ(stats.residual_variables,
+            50U - stats.fixed_to_zero - stats.fixed_to_one);
+  EXPECT_GT(stats.lp_objective, 0.0);
+  EXPECT_GE(stats.lp_objective, stats.greedy_lower_bound);
+  EXPECT_GE(result.objective, stats.greedy_lower_bound);
+}
+
+TEST(ReduceAndSolve, ReductionShrinksTheTree) {
+  // On loose uncorrelated instances the reduction fixes most variables, so
+  // the residual tree must be (much) smaller than the plain one.
+  const auto inst = mkp::generate_uncorrelated(40, 3, 10, 1000.0, 0.5);
+  const auto plain = branch_and_bound(inst);
+  ReducedSolveStats stats;
+  const auto reduced = branch_and_bound_with_reduction(inst, {}, &stats);
+  ASSERT_TRUE(plain.proven_optimal);
+  ASSERT_TRUE(reduced.proven_optimal);
+  EXPECT_DOUBLE_EQ(reduced.objective, plain.objective);
+  EXPECT_GT(stats.fixed_to_zero + stats.fixed_to_one, 0U);
+  EXPECT_LE(reduced.nodes, plain.nodes);
+}
+
+TEST(ReduceAndSolve, FpStyleInstancesResistReduction) {
+  // The FP set exists to defeat size-reduction methods: profits hug the
+  // aggregate weights, reduced costs cluster near zero, and few variables
+  // fix. (The quantitative comparison lives in bench_reduction.)
+  const auto gk_loose = mkp::generate_uncorrelated(40, 5, 11, 1000.0, 0.5);
+  const auto fp_hard = mkp::generate_fp({.num_items = 40, .num_constraints = 5}, 11);
+  ReducedSolveStats loose_stats, hard_stats;
+  (void)branch_and_bound_with_reduction(gk_loose, {}, &loose_stats);
+  (void)branch_and_bound_with_reduction(fp_hard, {}, &hard_stats);
+  EXPECT_LE(hard_stats.fixed_to_zero + hard_stats.fixed_to_one,
+            loose_stats.fixed_to_zero + loose_stats.fixed_to_one);
+}
+
+class ReduceAndSolveOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReduceAndSolveOracle, MatchesBruteForceAcrossFamilies) {
+  const auto uncorrelated = mkp::generate_uncorrelated(15, 3, GetParam());
+  EXPECT_DOUBLE_EQ(branch_and_bound_with_reduction(uncorrelated).objective,
+                   brute_force(uncorrelated).optimum);
+  const auto gk = mkp::generate_gk({.num_items = 14, .num_constraints = 4}, GetParam());
+  EXPECT_DOUBLE_EQ(branch_and_bound_with_reduction(gk).objective,
+                   brute_force(gk).optimum);
+  const auto fp = mkp::generate_fp({.num_items = 13, .num_constraints = 5}, GetParam());
+  EXPECT_DOUBLE_EQ(branch_and_bound_with_reduction(fp).objective,
+                   brute_force(fp).optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReduceAndSolveOracle,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+}  // namespace
+}  // namespace pts::exact

@@ -1,0 +1,106 @@
+// Last-mile end-to-end edges: behaviors at the seams between modules.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bounds/greedy.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+#include "mkp/parser.hpp"
+#include "mkp/solution_io.hpp"
+#include "parallel/solve.hpp"
+#include "exact/brute_force.hpp"
+#include "tabu/engine.hpp"
+
+namespace pts {
+namespace {
+
+TEST(EndToEndEdges, TargetAlreadyMetByInitialSolution) {
+  // The engine's starting greedy fill can itself satisfy the target; the
+  // run must report reached_target without burning the budget.
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 1);
+  const double greedy = bounds::greedy_construct(inst).value();
+  Rng rng(1);
+  tabu::TsParams params;
+  params.max_moves = 100000;
+  params.target_value = greedy * 0.5;  // far below any start
+  const auto result = tabu::tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_LE(result.moves, 1U);
+}
+
+TEST(EndToEndEdges, ParsedInstanceSolvesAndPersists) {
+  // Full loop: generate -> write orlib -> read -> solve -> write solution ->
+  // read solution, validated against the reread instance.
+  const auto original = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 2);
+  std::stringstream file;
+  mkp::write_orlib_single(file, original);
+  const auto reread = mkp::read_orlib_single(file, "rt");
+
+  parallel::SolveOptions options;
+  options.time_budget_seconds = 0.1;
+  options.preset = "quick";
+  const auto summary = parallel::solve(reread, options);
+
+  std::stringstream solution_file;
+  mkp::write_solution(solution_file, summary.best);
+  const auto restored = mkp::read_solution(solution_file, reread);
+  EXPECT_EQ(restored, summary.best);
+  EXPECT_TRUE(restored.is_feasible());
+}
+
+TEST(EndToEndEdges, CatalogDominantTrapDefeatsDensityGreedy) {
+  // The new catalog entry's raison d'etre: greedy strands capacity, the
+  // tabu engine recovers the optimum by dropping the "best" item.
+  const auto entry = mkp::catalog_entry("cat-dominant-trap");
+  const auto greedy =
+      bounds::greedy_construct(entry.instance, bounds::GreedyOrder::kDensity);
+  EXPECT_LT(greedy.value(), entry.optimum);
+  Rng rng(3);
+  tabu::TsParams params;
+  params.max_moves = 3000;
+  params.strategy.tabu_tenure = 3;
+  const auto ts = tabu::tabu_search_from_scratch(entry.instance, params, rng);
+  EXPECT_DOUBLE_EQ(ts.best_value, entry.optimum);
+}
+
+TEST(EndToEndEdges, NestedCapacitiesOnlyTightOneBinds) {
+  const auto entry = mkp::catalog_entry("cat-nested");
+  Rng rng(4);
+  tabu::TsParams params;
+  params.max_moves = 2000;
+  const auto ts = tabu::tabu_search_from_scratch(entry.instance, params, rng);
+  EXPECT_DOUBLE_EQ(ts.best_value, entry.optimum);
+  // The binding constraint is saturated, the duplicate is half-used.
+  EXPECT_DOUBLE_EQ(ts.best.load(1), entry.instance.capacity(1));
+  EXPECT_DOUBLE_EQ(ts.best.load(0), entry.instance.capacity(1));
+}
+
+TEST(EndToEndEdges, SolveOnCatalogReachesOptimaFast) {
+  for (const auto& entry : mkp::catalog()) {
+    parallel::SolveOptions options;
+    options.time_budget_seconds = 2.0;
+    options.preset = "quick";
+    options.target_value = entry.optimum;
+    const auto summary = parallel::solve(entry.instance, options);
+    EXPECT_DOUBLE_EQ(summary.best_value, entry.optimum) << entry.instance.name();
+    EXPECT_TRUE(summary.reached_target) << entry.instance.name();
+  }
+}
+
+TEST(EndToEndEdges, FractionalDataEndToEnd) {
+  // Real-valued profits/weights (the paper allows positive reals): parse,
+  // solve, verify against brute force.
+  std::stringstream file("4 2 0\n1.5 2.25 3.125 0.875\n"
+                         "0.5 1.5 2.5 0.25\n1.0 1.0 1.0 1.0\n3.0 2.5\n");
+  const auto inst = mkp::read_orlib_single(file, "frac");
+  const auto oracle = exact::brute_force(inst);
+  Rng rng(5);
+  tabu::TsParams params;
+  params.max_moves = 2000;
+  const auto ts = tabu::tabu_search_from_scratch(inst, params, rng);
+  EXPECT_DOUBLE_EQ(ts.best_value, oracle.optimum);
+}
+
+}  // namespace
+}  // namespace pts

@@ -1,0 +1,70 @@
+#include "mkp/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+
+namespace pts::mkp {
+namespace {
+
+TEST(Analysis, TightnessOfUniformInstance) {
+  // weights all 1, capacity 3 of 6 items: tightness 0.5 in both constraints.
+  Instance inst("t", {1, 1, 1, 1, 1, 1}, std::vector<double>(12, 1.0), {3, 3});
+  const auto profile = profile_instance(inst);
+  EXPECT_DOUBLE_EQ(profile.tightness_min, 0.5);
+  EXPECT_DOUBLE_EQ(profile.tightness_max, 0.5);
+  EXPECT_DOUBLE_EQ(profile.tightness_mean, 0.5);
+  EXPECT_NEAR(profile.expected_fill, 0.5, 1e-12);
+}
+
+TEST(Analysis, TightnessRangeWithAsymmetricConstraints) {
+  Instance inst("a", {1, 1}, {1, 1, 1, 1}, {1, 2});
+  const auto profile = profile_instance(inst);
+  EXPECT_DOUBLE_EQ(profile.tightness_min, 0.5);
+  EXPECT_DOUBLE_EQ(profile.tightness_max, 1.0);
+  EXPECT_DOUBLE_EQ(profile.tightness_mean, 0.75);
+}
+
+TEST(Analysis, PerfectCorrelationDetected) {
+  // c_j exactly equals the column weight sum.
+  Instance inst("c", {2, 4, 6}, {2, 4, 6}, {6});
+  const auto profile = profile_instance(inst);
+  EXPECT_NEAR(profile.profit_weight_correlation, 1.0, 1e-9);
+  // ...and then every density is 1: zero dispersion.
+  EXPECT_NEAR(profile.density_cv, 0.0, 1e-12);
+}
+
+TEST(Analysis, GkInstancesAreStronglyCorrelated) {
+  const auto inst = generate_gk({.num_items = 200, .num_constraints = 10}, 5);
+  const auto profile = profile_instance(inst);
+  EXPECT_GT(profile.profit_weight_correlation, 0.6);
+  EXPECT_NEAR(profile.tightness_mean, 0.25, 0.02);
+  EXPECT_LT(profile.density_cv, 0.5);  // densities carry little signal
+}
+
+TEST(Analysis, UncorrelatedInstancesAreNot) {
+  const auto inst = generate_uncorrelated(200, 5, 6);
+  const auto profile = profile_instance(inst);
+  EXPECT_LT(profile.profit_weight_correlation, 0.3);
+  EXPECT_GT(profile.density_cv,
+            profile_instance(generate_gk({.num_items = 200, .num_constraints = 5}, 6))
+                .density_cv);
+}
+
+TEST(Analysis, GeneratorTightnessKnobIsVisible) {
+  const auto tight = generate_uncorrelated(100, 3, 7, 1000.0, 0.25);
+  const auto loose = generate_uncorrelated(100, 3, 7, 1000.0, 0.75);
+  EXPECT_LT(profile_instance(tight).tightness_mean,
+            profile_instance(loose).tightness_mean);
+}
+
+TEST(Analysis, ToStringMentionsTheShape) {
+  const auto inst = generate_gk({.num_items = 50, .num_constraints = 5}, 8);
+  const auto text = profile_instance(inst).to_string();
+  EXPECT_NE(text.find("n=50"), std::string::npos);
+  EXPECT_NE(text.find("m=5"), std::string::npos);
+  EXPECT_NE(text.find("tightness"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pts::mkp

@@ -1,0 +1,49 @@
+#include "mkp/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.hpp"
+
+namespace pts::mkp {
+namespace {
+
+TEST(Catalog, NonEmptyAndValid) {
+  const auto entries = catalog();
+  EXPECT_GE(entries.size(), 8U);
+  for (const auto& entry : entries) {
+    EXPECT_TRUE(entry.instance.validate().empty()) << entry.instance.name();
+    EXPECT_GT(entry.optimum, 0.0);
+  }
+}
+
+TEST(Catalog, LookupByName) {
+  const auto entry = catalog_entry("cat-pick-two");
+  EXPECT_EQ(entry.instance.num_items(), 4U);
+  EXPECT_DOUBLE_EQ(entry.optimum, 13.0);
+}
+
+TEST(CatalogDeath, UnknownNameAborts) {
+  EXPECT_DEATH(catalog_entry("no-such-instance"), "unknown catalog entry");
+}
+
+// The load-bearing cross-check: every hand-computed optimum in the catalog
+// must agree with exhaustive enumeration. A failure here means either the
+// catalog comment math or the oracle is wrong.
+class CatalogOracle : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CatalogOracle, HandOptimumMatchesBruteForce) {
+  const auto entries = catalog();
+  ASSERT_LT(GetParam(), entries.size());
+  const auto& entry = entries[GetParam()];
+  ASSERT_LE(entry.instance.num_items(), 30U);
+  const auto oracle = exact::brute_force(entry.instance);
+  EXPECT_DOUBLE_EQ(oracle.optimum, entry.optimum) << entry.instance.name();
+  EXPECT_TRUE(oracle.best.is_feasible());
+  EXPECT_DOUBLE_EQ(oracle.best.value(), entry.optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, CatalogOracle,
+                         ::testing::Range(std::size_t{0}, catalog().size()));
+
+}  // namespace
+}  // namespace pts::mkp

@@ -1,0 +1,181 @@
+#include "mkp/solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+#include "util/rng.hpp"
+
+namespace pts::mkp {
+namespace {
+
+Instance make_inst() {
+  // 2 constraints, 4 items.
+  //   c = {10, 7, 6, 1}
+  //   a = [5 4 3 1]
+  //       [2 2 2 2]
+  //   b = {7, 6}
+  return Instance("s", {10, 7, 6, 1}, {5, 4, 3, 1, 2, 2, 2, 2}, {7, 6});
+}
+
+TEST(Solution, StartsEmptyAndFeasible) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  EXPECT_EQ(s.cardinality(), 0U);
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+  EXPECT_TRUE(s.is_feasible());
+  EXPECT_DOUBLE_EQ(s.total_violation(), 0.0);
+  EXPECT_DOUBLE_EQ(s.load(0), 0.0);
+}
+
+TEST(Solution, AddUpdatesValueAndLoads) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  s.add(0);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_DOUBLE_EQ(s.value(), 10.0);
+  EXPECT_DOUBLE_EQ(s.load(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.load(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.slack(0), 2.0);
+  EXPECT_EQ(s.cardinality(), 1U);
+}
+
+TEST(Solution, DropRestoresState) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  s.add(1);
+  s.add(2);
+  s.drop(1);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_DOUBLE_EQ(s.value(), 6.0);
+  EXPECT_DOUBLE_EQ(s.load(0), 3.0);
+  EXPECT_EQ(s.cardinality(), 1U);
+}
+
+TEST(Solution, FlipTogglesMembership) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  s.flip(3);
+  EXPECT_TRUE(s.contains(3));
+  s.flip(3);
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(Solution, ClearResetsEverything) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  s.add(0);
+  s.add(3);
+  s.clear();
+  EXPECT_EQ(s.cardinality(), 0U);
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.load(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.load(1), 0.0);
+}
+
+TEST(Solution, InfeasibilityDetected) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  s.add(0);  // load0 = 5
+  s.add(1);  // load0 = 9 > 7
+  EXPECT_FALSE(s.is_feasible());
+  EXPECT_DOUBLE_EQ(s.total_violation(), 2.0);
+}
+
+TEST(Solution, FitsChecksEveryConstraint) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  s.add(0);            // loads: {5, 2}
+  EXPECT_FALSE(s.fits(1));  // 5+4 = 9 > 7
+  EXPECT_TRUE(s.fits(3));   // 5+1 = 6 <= 7, 2+2 = 4 <= 6
+  s.add(3);            // loads: {6, 4}
+  s.add(2);            // would be 9 > 7... add unchecked
+  EXPECT_FALSE(s.is_feasible());
+}
+
+TEST(Solution, MostSaturatedConstraintAbsolute) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  s.add(0);  // slacks: {2, 4}
+  EXPECT_EQ(s.most_saturated_constraint(), 0U);
+  s.drop(0);
+  s.add(3);  // slacks: {6, 4}
+  EXPECT_EQ(s.most_saturated_constraint(), 1U);
+}
+
+TEST(Solution, MostSaturatedConstraintRelative) {
+  // Capacities differ wildly: relative mode normalizes.
+  Instance inst("r", {1, 1}, {9, 0, 0, 150}, {100, 1000});
+  Solution s(inst);
+  s.add(0);  // relative slacks: 91/100 = 0.91, 1000/1000 = 1.0
+  EXPECT_EQ(s.most_saturated_constraint(true), 0U);
+  s.add(1);  // relative slacks: 0.91, 850/1000 = 0.85
+  EXPECT_EQ(s.most_saturated_constraint(true), 1U);
+}
+
+TEST(Solution, SelectedItemsSortedAscending) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  s.add(2);
+  s.add(0);
+  const auto items = s.selected_items();
+  ASSERT_EQ(items.size(), 2U);
+  EXPECT_EQ(items[0], 0U);
+  EXPECT_EQ(items[1], 2U);
+}
+
+TEST(Solution, HammingDistance) {
+  const auto inst = make_inst();
+  Solution a(inst), b(inst);
+  a.add(0);
+  a.add(1);
+  b.add(1);
+  b.add(2);
+  EXPECT_EQ(a.hamming_distance(b), 2U);
+  EXPECT_EQ(a.hamming_distance(a), 0U);
+}
+
+TEST(Solution, EqualityIsContentBased) {
+  const auto inst = make_inst();
+  Solution a(inst), b(inst);
+  a.add(1);
+  b.add(1);
+  EXPECT_EQ(a, b);
+  b.add(2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Solution, CopyAssignmentHelper) {
+  const auto inst = make_inst();
+  Solution a(inst), b(inst);
+  a.add(0);
+  copy_assignment(a, b);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(b.value(), 10.0);
+}
+
+TEST(Solution, ConsistencyHoldsAfterManualOps) {
+  const auto inst = make_inst();
+  Solution s(inst);
+  s.add(0);
+  s.add(3);
+  s.drop(0);
+  EXPECT_TRUE(s.check_consistency());
+}
+
+class SolutionRandomWalk : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolutionRandomWalk, IncrementalMatchesRecompute) {
+  const auto inst = generate_gk({.num_items = 60, .num_constraints = 7}, GetParam());
+  Solution s(inst);
+  Rng rng(GetParam() ^ 0xABCDULL);
+  for (int step = 0; step < 2000; ++step) {
+    s.flip(rng.index(inst.num_items()));
+  }
+  EXPECT_TRUE(s.check_consistency());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolutionRandomWalk,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace pts::mkp

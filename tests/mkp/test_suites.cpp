@@ -1,0 +1,77 @@
+#include "mkp/suites.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/analysis.hpp"
+
+namespace pts::mkp {
+namespace {
+
+TEST(ChuBeasley, FullGridShape) {
+  const auto classes = generate_chu_beasley(1);
+  // 3 constraint counts x 3 item counts x 3 tightness levels.
+  ASSERT_EQ(classes.size(), 27U);
+  for (const auto& cls : classes) {
+    ASSERT_EQ(cls.instances.size(), 1U);
+    EXPECT_TRUE(cls.instances[0].validate().empty()) << cls.label;
+  }
+}
+
+TEST(ChuBeasley, LabelsEncodeTheCell) {
+  const auto classes = generate_chu_beasley(2);
+  EXPECT_EQ(classes.front().label, "cb-5x100-t0.25");
+  EXPECT_EQ(classes.back().label, "cb-30x500-t0.75");
+}
+
+TEST(ChuBeasley, TightnessIsRealized) {
+  ChuBeasleyConfig config;
+  config.constraint_counts = {5};
+  config.item_counts = {200};
+  const auto classes = generate_chu_beasley(3, config);
+  ASSERT_EQ(classes.size(), 3U);
+  for (const auto& cls : classes) {
+    const auto profile = profile_instance(cls.instances[0]);
+    EXPECT_NEAR(profile.tightness_mean, cls.tightness, 0.02) << cls.label;
+  }
+}
+
+TEST(ChuBeasley, SizeScaleShrinks) {
+  ChuBeasleyConfig config;
+  config.constraint_counts = {5};
+  config.item_counts = {100};
+  config.tightness_levels = {0.5};
+  config.size_scale = 0.3;
+  const auto classes = generate_chu_beasley(4, config);
+  ASSERT_EQ(classes.size(), 1U);
+  EXPECT_EQ(classes[0].instances[0].num_items(), 30U);
+}
+
+TEST(ChuBeasley, DeterministicPerSeed) {
+  ChuBeasleyConfig config;
+  config.constraint_counts = {5};
+  config.item_counts = {50};
+  config.tightness_levels = {0.25};
+  const auto a = generate_chu_beasley(7, config);
+  const auto b = generate_chu_beasley(7, config);
+  EXPECT_DOUBLE_EQ(a[0].instances[0].profit(0), b[0].instances[0].profit(0));
+  const auto c = generate_chu_beasley(8, config);
+  bool differs = false;
+  for (std::size_t j = 0; j < 50 && !differs; ++j) {
+    differs = a[0].instances[0].profit(j) != c[0].instances[0].profit(j);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChuBeasley, MultipleInstancesPerClassAreDistinct) {
+  ChuBeasleyConfig config;
+  config.constraint_counts = {5};
+  config.item_counts = {60};
+  config.tightness_levels = {0.5};
+  config.instances_per_class = 3;
+  const auto classes = generate_chu_beasley(9, config);
+  ASSERT_EQ(classes[0].instances.size(), 3U);
+  EXPECT_NE(classes[0].instances[0].profit(0), classes[0].instances[1].profit(0));
+}
+
+}  // namespace
+}  // namespace pts::mkp

@@ -1,0 +1,78 @@
+#include "parallel/async_swarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+
+namespace pts::parallel {
+namespace {
+
+AsyncConfig quick_config() {
+  AsyncConfig config;
+  config.num_peers = 3;
+  config.bursts_per_peer = 3;
+  config.work_per_burst = 300;
+  config.base_params.strategy.nb_local = 10;
+  config.seed = 9;
+  return config;
+}
+
+TEST(AsyncSwarm, ProducesFeasibleBest) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 1);
+  const auto result = run_async_swarm(inst, quick_config());
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_TRUE(result.best.check_consistency());
+  EXPECT_DOUBLE_EQ(result.best.value(), result.best_value);
+  EXPECT_GT(result.total_moves, 0U);
+}
+
+TEST(AsyncSwarm, PeersBroadcastEachBurst) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 2);
+  const auto config = quick_config();
+  const auto result = run_async_swarm(inst, config);
+  // Upper bound: peers * bursts * (peers-1); lower bound: at least one round
+  // of broadcasts happened.
+  EXPECT_GT(result.broadcasts, 0U);
+  EXPECT_LE(result.broadcasts,
+            config.num_peers * config.bursts_per_peer * (config.num_peers - 1));
+}
+
+TEST(AsyncSwarm, TargetValueStopsEveryone) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 3);
+  auto config = quick_config();
+  config.target_value = 1.0;
+  config.bursts_per_peer = 100;
+  const auto result = run_async_swarm(inst, config);
+  EXPECT_TRUE(result.reached_target);
+}
+
+TEST(AsyncSwarm, SinglePeerStillWorks) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 4);
+  auto config = quick_config();
+  config.num_peers = 1;
+  const auto result = run_async_swarm(inst, config);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_EQ(result.broadcasts, 0U);  // nobody to talk to
+  EXPECT_EQ(result.adoptions, 0U);
+}
+
+TEST(AsyncSwarm, TimeLimitRespected) {
+  const auto inst = mkp::generate_gk({.num_items = 100, .num_constraints = 10}, 5);
+  auto config = quick_config();
+  config.bursts_per_peer = 100000;
+  config.time_limit_seconds = 0.2;
+  const auto result = run_async_swarm(inst, config);
+  // One in-flight burst can overshoot; it must still terminate promptly.
+  EXPECT_LT(result.seconds, 10.0);
+}
+
+TEST(AsyncSwarm, CountersAreInternallyConsistent) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 6);
+  const auto config = quick_config();
+  const auto result = run_async_swarm(inst, config);
+  EXPECT_LE(result.adoptions, result.broadcasts);
+  EXPECT_LE(result.self_retunes, config.num_peers * config.bursts_per_peer);
+}
+
+}  // namespace
+}  // namespace pts::parallel

@@ -1,0 +1,76 @@
+// Communication-topology semantics of the async swarm (the design axis of
+// the paper's reference [11]).
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+#include "parallel/async_swarm.hpp"
+
+namespace pts::parallel {
+namespace {
+
+AsyncConfig topo_config(AsyncTopology topology, std::uint64_t seed = 1) {
+  AsyncConfig config;
+  config.num_peers = 4;
+  config.bursts_per_peer = 5;
+  config.work_per_burst = 300;
+  config.base_params.strategy.nb_local = 10;
+  config.topology = topology;
+  config.seed = seed;
+  return config;
+}
+
+TEST(AsyncTopology_, NamesCovered) {
+  EXPECT_EQ(to_string(AsyncTopology::kFullBroadcast), "broadcast");
+  EXPECT_EQ(to_string(AsyncTopology::kRing), "ring");
+  EXPECT_EQ(to_string(AsyncTopology::kRandomPeer), "random-peer");
+}
+
+TEST(AsyncTopology_, AllTopologiesProduceFeasibleResults) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 1);
+  for (auto topology : {AsyncTopology::kFullBroadcast, AsyncTopology::kRing,
+                        AsyncTopology::kRandomPeer}) {
+    const auto result = run_async_swarm(inst, topo_config(topology));
+    EXPECT_TRUE(result.best.is_feasible()) << to_string(topology);
+    EXPECT_GT(result.best_value, 0.0) << to_string(topology);
+  }
+}
+
+TEST(AsyncTopology_, MessageVolumeOrdering) {
+  // broadcast sends P-1 messages per burst, ring and random-peer send 1:
+  // the traffic ratio must reflect that (modulo early-terminated bursts).
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 2);
+  const auto broadcast =
+      run_async_swarm(inst, topo_config(AsyncTopology::kFullBroadcast, 3));
+  const auto ring = run_async_swarm(inst, topo_config(AsyncTopology::kRing, 3));
+  EXPECT_GT(broadcast.broadcasts, ring.broadcasts);
+  // Exact counts when no run stops early: 4 peers x 5 bursts x {3, 1}.
+  EXPECT_LE(broadcast.broadcasts, 4U * 5U * 3U);
+  EXPECT_LE(ring.broadcasts, 4U * 5U * 1U);
+}
+
+TEST(AsyncTopology_, SparseTopologiesStillSpreadGoodSolutions) {
+  // Even over a ring, a strong solution eventually reaches everyone: the
+  // swarm's final best must stay within a whisker of broadcast's.
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 4);
+  auto broadcast_config = topo_config(AsyncTopology::kFullBroadcast, 5);
+  broadcast_config.bursts_per_peer = 8;
+  auto ring_config = topo_config(AsyncTopology::kRing, 5);
+  ring_config.bursts_per_peer = 8;
+  const auto broadcast = run_async_swarm(inst, broadcast_config);
+  const auto ring = run_async_swarm(inst, ring_config);
+  EXPECT_GE(ring.best_value, broadcast.best_value * 0.97);
+}
+
+TEST(AsyncTopology_, SinglePeerSendsNothingUnderAnyTopology) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 6);
+  for (auto topology : {AsyncTopology::kFullBroadcast, AsyncTopology::kRing,
+                        AsyncTopology::kRandomPeer}) {
+    auto config = topo_config(topology, 7);
+    config.num_peers = 1;
+    const auto result = run_async_swarm(inst, config);
+    EXPECT_EQ(result.broadcasts, 0U) << to_string(topology);
+  }
+}
+
+}  // namespace
+}  // namespace pts::parallel

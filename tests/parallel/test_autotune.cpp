@@ -1,0 +1,74 @@
+#include "parallel/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+#include "tabu/engine.hpp"
+
+namespace pts::parallel {
+namespace {
+
+AutotuneOptions quick_options(std::uint64_t seed = 1) {
+  AutotuneOptions options;
+  options.num_slaves = 3;
+  options.probe_rounds = 8;
+  options.work_per_slave_round = 600;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Autotune, RecommendationIsWithinDefaultBounds) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 1);
+  const auto result = recommend_strategy(inst, quick_options());
+  const tabu::StrategyBounds bounds;  // SGP defaults
+  EXPECT_GE(result.recommended.tabu_tenure, bounds.min_tenure);
+  EXPECT_LE(result.recommended.tabu_tenure, bounds.max_tenure);
+  EXPECT_GE(result.recommended.nb_drop, bounds.min_drop);
+  EXPECT_LE(result.recommended.nb_drop, bounds.max_drop);
+  EXPECT_GE(result.recommended.nb_local, bounds.min_local);
+  EXPECT_LE(result.recommended.nb_local, bounds.max_local);
+}
+
+TEST(Autotune, ProbeByProductsAreSane) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 2);
+  const auto result = recommend_strategy(inst, quick_options(2));
+  EXPECT_TRUE(result.probe_best.is_feasible());
+  EXPECT_DOUBLE_EQ(result.probe_best.value(), result.probe_best_value);
+  EXPECT_GT(result.strategies_seen, 0U);
+  EXPECT_GT(result.evidence_rounds, 0U);
+  EXPECT_GT(result.mean_normalized_value, 0.0);
+  EXPECT_LE(result.mean_normalized_value, 1.0 + 1e-9);
+}
+
+TEST(Autotune, DeterministicPerSeed) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 3);
+  const auto a = recommend_strategy(inst, quick_options(5));
+  const auto b = recommend_strategy(inst, quick_options(5));
+  EXPECT_EQ(a.recommended, b.recommended);
+  EXPECT_DOUBLE_EQ(a.probe_best_value, b.probe_best_value);
+}
+
+TEST(Autotune, RecommendedStrategyRunsWell) {
+  // The recommendation must at least be *usable*: a sequential run with it
+  // stays feasible and lands within a sane band of the probe's own best.
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 4);
+  const auto tuned = recommend_strategy(inst, quick_options(7));
+  Rng rng(7);
+  tabu::TsParams params;
+  params.strategy = tuned.recommended;
+  params.max_moves = 4000 / params.strategy.nb_drop;
+  const auto run = tabu::tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(run.best.is_feasible());
+  EXPECT_GE(run.best_value, tuned.probe_best_value * 0.95);
+}
+
+TEST(Autotune, SingleRoundProbeFallsBackGracefully) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 5);
+  auto options = quick_options(9);
+  options.probe_rounds = 1;  // nobody reaches min_rounds_evidence = 2
+  const auto result = recommend_strategy(inst, options);
+  EXPECT_GT(result.evidence_rounds, 0U);  // fallback picked something
+}
+
+}  // namespace
+}  // namespace pts::parallel

@@ -1,0 +1,123 @@
+#include "parallel/init_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+
+namespace pts::parallel {
+namespace {
+
+struct Fixture : ::testing::Test {
+  Fixture() : inst(mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 77)) {}
+
+  mkp::Solution solution_with_value(double target_fraction) const {
+    // Build a feasible solution whose value is roughly target_fraction of a
+    // full greedy solution by adding items until the fraction is reached.
+    mkp::Solution s(inst);
+    for (std::size_t j = 0; j < inst.num_items(); ++j) {
+      if (s.fits(j)) s.add(j);
+    }
+    const double full = s.value();
+    while (s.value() > target_fraction * full && s.cardinality() > 0) {
+      s.drop(s.selected_items().back());
+    }
+    return s;
+  }
+
+  mkp::Instance inst;
+};
+
+TEST_F(Fixture, KeepsOwnBestWhenStrong) {
+  InitialSolutionGenerator isp;
+  Rng rng(1);
+  const auto global = solution_with_value(1.0);
+  const auto own = global;  // exactly as good
+  const auto decision = isp.next_initial(own, global, 0, rng);
+  EXPECT_EQ(decision.kind, InitKind::kOwnBest);
+  EXPECT_EQ(decision.initial, own);
+}
+
+TEST_F(Fixture, InjectsGlobalBestWhenWeak) {
+  IspConfig config;
+  config.alpha = 0.95;
+  InitialSolutionGenerator isp(config);
+  Rng rng(2);
+  const auto global = solution_with_value(1.0);
+  const auto weak = solution_with_value(0.5);
+  ASSERT_LT(weak.value(), 0.95 * global.value());
+  const auto decision = isp.next_initial(weak, global, 0, rng);
+  EXPECT_EQ(decision.kind, InitKind::kGlobalBest);
+  EXPECT_EQ(decision.initial, global);
+}
+
+TEST_F(Fixture, MissingOwnBestFallsBackToGlobal) {
+  InitialSolutionGenerator isp;
+  Rng rng(3);
+  const auto global = solution_with_value(1.0);
+  const auto decision = isp.next_initial(std::nullopt, global, 0, rng);
+  EXPECT_EQ(decision.kind, InitKind::kGlobalBest);
+}
+
+TEST_F(Fixture, StagnationForcesRandomRestart) {
+  IspConfig config;
+  config.stagnation_rounds = 3;
+  InitialSolutionGenerator isp(config);
+  Rng rng(4);
+  const auto global = solution_with_value(1.0);
+  const auto own = global;
+  const auto decision = isp.next_initial(own, global, 3, rng);
+  EXPECT_EQ(decision.kind, InitKind::kRandom);
+  EXPECT_TRUE(decision.initial.is_feasible());
+}
+
+TEST_F(Fixture, StagnationBeatsWeakness) {
+  // Both rules fire: stagnation must win (randomization, not injection).
+  InitialSolutionGenerator isp;
+  Rng rng(5);
+  const auto global = solution_with_value(1.0);
+  const auto weak = solution_with_value(0.4);
+  const auto decision =
+      isp.next_initial(weak, global, isp.config().stagnation_rounds, rng);
+  EXPECT_EQ(decision.kind, InitKind::kRandom);
+}
+
+TEST_F(Fixture, AlphaBoundaryIsStrict) {
+  IspConfig config;
+  config.alpha = 1.0;  // anything strictly below the global best is "weak"
+  InitialSolutionGenerator isp(config);
+  Rng rng(6);
+  const auto global = solution_with_value(1.0);
+  const auto own = global;
+  // Equal value: not strictly below -> kept.
+  EXPECT_EQ(isp.next_initial(own, global, 0, rng).kind, InitKind::kOwnBest);
+}
+
+TEST_F(Fixture, AlphaZeroNeverInjects) {
+  IspConfig config;
+  config.alpha = 0.0;
+  InitialSolutionGenerator isp(config);
+  Rng rng(7);
+  const auto global = solution_with_value(1.0);
+  const auto tiny = solution_with_value(0.1);
+  EXPECT_EQ(isp.next_initial(tiny, global, 0, rng).kind, InitKind::kOwnBest);
+}
+
+TEST_F(Fixture, RandomRestartsDiffer) {
+  InitialSolutionGenerator isp;
+  Rng rng(8);
+  const auto global = solution_with_value(1.0);
+  const auto a = isp.next_initial(global, global, 99, rng);
+  const auto b = isp.next_initial(global, global, 99, rng);
+  EXPECT_EQ(a.kind, InitKind::kRandom);
+  EXPECT_EQ(b.kind, InitKind::kRandom);
+  EXPECT_NE(a.initial, b.initial);
+}
+
+TEST(InitKindNames, AllCovered) {
+  EXPECT_EQ(to_string(InitKind::kOwnBest), "own-best");
+  EXPECT_EQ(to_string(InitKind::kGlobalBest), "global-best");
+  EXPECT_EQ(to_string(InitKind::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace pts::parallel

@@ -1,0 +1,115 @@
+// Master-process behaviors beyond the structural tests: the cooperative
+// mechanisms observed end-to-end through the timeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "mkp/generator.hpp"
+#include "parallel/runner.hpp"
+
+namespace pts::parallel {
+namespace {
+
+ParallelConfig base_config(std::uint64_t seed, std::size_t rounds = 6) {
+  ParallelConfig config;
+  config.num_slaves = 3;
+  config.search_iterations = rounds;
+  config.work_per_slave_round = 400;
+  config.base_params.strategy.nb_local = 10;
+  config.seed = seed;
+  return config;
+}
+
+TEST(MasterBehavior, StagnationTriggersRandomRestarts) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 1);
+  auto config = base_config(1, 10);
+  config.isp.stagnation_rounds = 1;  // restart on the first repeat
+  const auto result = run_parallel_tabu_search(inst, config);
+  EXPECT_GT(result.master.random_restarts, 0U);
+  bool saw_random = false;
+  for (const auto& log : result.master.timeline) {
+    saw_random |= log.init_kind == InitKind::kRandom;
+  }
+  EXPECT_TRUE(saw_random);
+}
+
+TEST(MasterBehavior, NearOneAlphaHerdsSlaves) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 2);
+  auto config = base_config(2, 8);
+  config.isp.alpha = 0.9999;
+  const auto result = run_parallel_tabu_search(inst, config);
+  EXPECT_GT(result.master.global_best_injections, 0U);
+}
+
+TEST(MasterBehavior, TimeLimitCutsRounds) {
+  const auto inst = mkp::generate_gk({.num_items = 150, .num_constraints = 10}, 3);
+  auto config = base_config(3, 10000);
+  config.work_per_slave_round = 2000;
+  config.time_limit_seconds = 0.15;
+  const auto result = run_parallel_tabu_search(inst, config);
+  EXPECT_LT(result.master.rounds_completed, 10000U);
+  EXPECT_GT(result.master.rounds_completed, 0U);
+}
+
+TEST(MasterBehavior, RendezvousIdleAccumulates) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 4);
+  const auto result = run_parallel_tabu_search(inst, base_config(4));
+  // On one core the slaves serialize, so the gap between first and last
+  // report of a round is strictly positive in every round.
+  EXPECT_GT(result.master.rendezvous_idle_seconds, 0.0);
+}
+
+TEST(MasterBehavior, MixedIntensificationStillDeterministic) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 5);
+  auto config = base_config(5);
+  config.mix_intensification = true;
+  const auto a = run_parallel_tabu_search(inst, config);
+  const auto b = run_parallel_tabu_search(inst, config);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+}
+
+TEST(MasterBehavior, RelinkCounterOnlyWithOption) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 6);
+  auto off = base_config(6);
+  const auto without = run_parallel_tabu_search(inst, off);
+  EXPECT_EQ(without.master.relink_improvements, 0U);
+  auto on = off;
+  on.relink_elites = true;
+  const auto with = run_parallel_tabu_search(inst, on);
+  EXPECT_TRUE(with.best.is_feasible());
+  EXPECT_GE(with.best_value, 0.0);  // improvements possible, never harmful
+}
+
+TEST(MasterBehavior, ScoresMoveWithResults) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 7);
+  const auto result = run_parallel_tabu_search(inst, base_config(7, 8));
+  // Scores live in [1, initial+rounds]; after a retune they snap back to 4.
+  for (const auto& log : result.master.timeline) {
+    EXPECT_GE(log.score_after, 1);
+    EXPECT_LE(log.score_after, 4 + 8);
+  }
+}
+
+TEST(MasterBehavior, TimelineFinalValuesBoundedByGlobalBest) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 8);
+  const auto result = run_parallel_tabu_search(inst, base_config(8));
+  for (const auto& log : result.master.timeline) {
+    EXPECT_LE(log.final_value, result.best_value + 1e-9);
+    EXPECT_LE(log.initial_value, log.final_value + 1e-9);
+  }
+}
+
+TEST(MasterBehavior, WorkBudgetSplitsExactlyAcrossRounds) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 9);
+  auto config = base_config(9, 4);
+  config.work_per_slave_round = 600;
+  const auto result = run_parallel_tabu_search(inst, config);
+  for (const auto& log : result.master.timeline) {
+    EXPECT_EQ(log.moves, 600U / log.strategy.nb_drop);
+  }
+}
+
+}  // namespace
+}  // namespace pts::parallel

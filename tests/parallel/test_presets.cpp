@@ -1,0 +1,61 @@
+#include "parallel/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+
+namespace pts::parallel {
+namespace {
+
+TEST(Presets, AllNamesResolve) {
+  for (const auto& name : known_preset_names()) {
+    EXPECT_TRUE(preset_by_name(name).has_value()) << name;
+  }
+  EXPECT_FALSE(preset_by_name("no-such-preset").has_value());
+}
+
+TEST(Presets, EffortOrdering) {
+  const auto quick = preset_quick();
+  const auto balanced = preset_balanced();
+  const auto thorough = preset_thorough();
+  const auto total = [](const ParallelConfig& c) {
+    return c.num_slaves * c.search_iterations * c.work_per_slave_round;
+  };
+  EXPECT_LT(total(quick), total(balanced));
+  EXPECT_LT(total(balanced), total(thorough));
+}
+
+TEST(Presets, PaperPresetMatchesTheSetup) {
+  const auto paper = preset_paper();
+  EXPECT_EQ(paper.num_slaves, 16U);  // the farm of 16 Alphas
+  EXPECT_EQ(paper.mode, CooperationMode::kCooperativeAdaptive);
+  EXPECT_EQ(paper.sgp.initial_score, 4);  // the paper's score value
+  EXPECT_TRUE(paper.mix_intensification);
+}
+
+TEST(Presets, SeedIsForwarded) {
+  EXPECT_EQ(preset_quick(99).seed, 99U);
+  EXPECT_EQ(preset_by_name("thorough", 7)->seed, 7U);
+}
+
+TEST(Presets, BudgetScalingGrowsWithInstance) {
+  auto small_config = preset_balanced();
+  auto large_config = preset_balanced();
+  const auto small = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 1);
+  const auto large = mkp::generate_gk({.num_items = 500, .num_constraints = 25}, 1);
+  scale_budget_to_instance(small_config, small);
+  scale_budget_to_instance(large_config, large);
+  EXPECT_LT(small_config.work_per_slave_round, large_config.work_per_slave_round);
+  EXPECT_GE(small_config.work_per_slave_round, 500U);  // floor respected
+}
+
+TEST(Presets, QuickPresetActuallyRuns) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 2);
+  auto config = preset_quick(3);
+  const auto result = run_parallel_tabu_search(inst, config);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_GT(result.best_value, 0.0);
+}
+
+}  // namespace
+}  // namespace pts::parallel

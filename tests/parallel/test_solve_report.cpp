@@ -1,0 +1,120 @@
+// The one-call solve() facade and the CSV report writers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "mkp/generator.hpp"
+#include "parallel/report_io.hpp"
+#include "parallel/solve.hpp"
+
+namespace pts::parallel {
+namespace {
+
+TEST(Solve, OneCallProducesAGoodFeasibleSolution) {
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 1);
+  SolveOptions options;
+  options.time_budget_seconds = 0.3;
+  options.seed = 2;
+  const auto summary = solve(inst, options);
+  EXPECT_TRUE(summary.best.is_feasible());
+  EXPECT_DOUBLE_EQ(summary.best.value(), summary.best_value);
+  EXPECT_GT(summary.total_moves, 0U);
+  ASSERT_FALSE(std::isnan(summary.lp_gap_percent));
+  EXPECT_GE(summary.lp_gap_percent, 0.0);
+  EXPECT_LT(summary.lp_gap_percent, 10.0);
+}
+
+TEST(Solve, RespectsTheTimeBudget) {
+  const auto inst = mkp::generate_gk({.num_items = 200, .num_constraints = 10}, 2);
+  SolveOptions options;
+  options.time_budget_seconds = 0.15;
+  const auto summary = solve(inst, options);
+  EXPECT_LT(summary.seconds, 5.0);  // generous slack for slow machines
+}
+
+TEST(Solve, TargetShortCircuits) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 3);
+  SolveOptions options;
+  options.time_budget_seconds = 30.0;
+  options.target_value = 1.0;
+  const auto summary = solve(inst, options);
+  EXPECT_TRUE(summary.reached_target);
+  EXPECT_LT(summary.seconds, 10.0);
+}
+
+TEST(Solve, PresetNamesWork) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 4);
+  for (const char* preset : {"quick", "balanced"}) {
+    SolveOptions options;
+    options.preset = preset;
+    options.time_budget_seconds = 0.1;
+    EXPECT_TRUE(solve(inst, options).best.is_feasible()) << preset;
+  }
+}
+
+TEST(SolveDeath, UnknownPresetAborts) {
+  const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 5);
+  SolveOptions options;
+  options.preset = "warp-speed";
+  EXPECT_DEATH((void)solve(inst, options), "unknown preset");
+}
+
+ParallelResult small_run(std::uint64_t seed) {
+  static const auto inst =
+      mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 77);
+  ParallelConfig config;
+  config.num_slaves = 2;
+  config.search_iterations = 3;
+  config.work_per_slave_round = 300;
+  config.base_params.strategy.nb_local = 10;
+  config.seed = seed;
+  return run_parallel_tabu_search(inst, config);
+}
+
+TEST(ReportIo, TimelineCsvShape) {
+  const auto result = small_run(1);
+  std::ostringstream out;
+  timeline_to_csv(out, result.master);
+  const auto text = out.str();
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1 + result.master.timeline.size());  // header + rows
+  EXPECT_NE(text.find("round,slave,tenure"), std::string::npos);
+  EXPECT_NE(text.find("own-best"), std::string::npos);
+}
+
+TEST(ReportIo, SummaryCsvCarriesTheKeys) {
+  const auto result = small_run(2);
+  std::ostringstream out;
+  summary_to_csv(out, result);
+  const auto text = out.str();
+  for (const char* key :
+       {"mode,", "best_value,", "total_moves,", "rounds_completed,",
+        "strategy_retunes,", "rendezvous_idle_seconds,"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ReportIo, FilesWritten) {
+  const auto result = small_run(3);
+  const std::string prefix = ::testing::TempDir() + "/pts_report";
+  write_report_files(prefix, result);
+  std::ifstream timeline(prefix + "-timeline.csv");
+  std::ifstream summary(prefix + "-summary.csv");
+  EXPECT_TRUE(timeline.good());
+  EXPECT_TRUE(summary.good());
+  std::string header;
+  std::getline(timeline, header);
+  EXPECT_NE(header.find("nb_candidates"), std::string::npos);
+}
+
+TEST(ReportIo, CsvRowCountMatchesRoundsTimesSlaves) {
+  const auto result = small_run(4);
+  EXPECT_EQ(result.master.timeline.size(),
+            result.master.rounds_completed * 2);  // 2 slaves
+}
+
+}  // namespace
+}  // namespace pts::parallel

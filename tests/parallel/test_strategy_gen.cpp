@@ -1,0 +1,195 @@
+#include "parallel/strategy_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/instance.hpp"
+
+namespace pts::parallel {
+namespace {
+
+// 40 loose items so arbitrary pools are feasible to build and a one-bit
+// difference counts as "clustered" (1.33/40 < the 0.05 default threshold).
+constexpr std::size_t kItems = 40;
+
+mkp::Instance make_inst() {
+  std::vector<double> profits(kItems, 1.0);
+  std::vector<double> weights(kItems, 1.0);
+  return mkp::Instance("sg", std::move(profits), std::move(weights), {100});
+}
+
+std::vector<mkp::Solution> clustered_pool(const mkp::Instance& inst) {
+  // Solutions differing in a single bit: spread = tiny.
+  std::vector<mkp::Solution> pool;
+  for (std::size_t k = 0; k < 3; ++k) {
+    mkp::Solution s(inst);
+    for (std::size_t j = 0; j < 10; ++j) s.add(j);
+    if (k > 0) s.flip(10 + k);
+    pool.push_back(std::move(s));
+  }
+  return pool;
+}
+
+std::vector<mkp::Solution> spread_pool(const mkp::Instance& inst) {
+  // Disjoint 8-item supports: pairwise distance 16 of 40 = 0.4, above the
+  // 0.30 spread threshold.
+  std::vector<mkp::Solution> pool;
+  for (std::size_t k = 0; k < 3; ++k) {
+    mkp::Solution s(inst);
+    for (std::size_t j = 0; j < 8; ++j) s.add((k * 13 + j) % kItems);
+    pool.push_back(std::move(s));
+  }
+  return pool;
+}
+
+TEST(RandomStrategy, WithinBounds) {
+  tabu::StrategyBounds bounds;
+  bounds.min_tenure = 5;
+  bounds.max_tenure = 9;
+  bounds.min_drop = 2;
+  bounds.max_drop = 3;
+  bounds.min_local = 11;
+  bounds.max_local = 13;
+  Rng rng(1);
+  for (int k = 0; k < 200; ++k) {
+    const auto s = random_strategy(rng, bounds);
+    EXPECT_GE(s.tabu_tenure, 5U);
+    EXPECT_LE(s.tabu_tenure, 9U);
+    EXPECT_GE(s.nb_drop, 2U);
+    EXPECT_LE(s.nb_drop, 3U);
+    EXPECT_GE(s.nb_local, 11U);
+    EXPECT_LE(s.nb_local, 13U);
+  }
+}
+
+TEST(Sgp, ImprovementIncrementsScore) {
+  const auto inst = make_inst();
+  StrategyGenerator sgp;
+  Rng rng(2);
+  tabu::Strategy current{10, 2, 50};
+  const auto decision =
+      sgp.update(current, 4, /*improved=*/true, clustered_pool(inst), kItems, rng);
+  EXPECT_EQ(decision.kind, RetuneKind::kKept);
+  EXPECT_EQ(decision.score, 5);
+  EXPECT_EQ(decision.strategy, current);
+}
+
+TEST(Sgp, FailureDecrementsScore) {
+  const auto inst = make_inst();
+  StrategyGenerator sgp;
+  Rng rng(3);
+  tabu::Strategy current{10, 2, 50};
+  const auto decision =
+      sgp.update(current, 4, /*improved=*/false, clustered_pool(inst), kItems, rng);
+  EXPECT_EQ(decision.kind, RetuneKind::kKept);
+  EXPECT_EQ(decision.score, 3);
+}
+
+TEST(Sgp, ScoreZeroTriggersRetirement) {
+  const auto inst = make_inst();
+  StrategyGenerator sgp;
+  Rng rng(4);
+  tabu::Strategy current{10, 2, 50};
+  const auto decision =
+      sgp.update(current, 1, /*improved=*/false, clustered_pool(inst), kItems, rng);
+  EXPECT_NE(decision.kind, RetuneKind::kKept);
+  EXPECT_EQ(decision.score, sgp.config().initial_score);
+}
+
+TEST(Sgp, ClusteredPoolDiversifies) {
+  const auto inst = make_inst();
+  StrategyGenerator sgp;
+  Rng rng(5);
+  tabu::Strategy current{10, 2, 50};
+  const auto decision = sgp.retune(current, clustered_pool(inst), kItems, rng);
+  EXPECT_EQ(decision.kind, RetuneKind::kDiversified);
+  EXPECT_GT(decision.strategy.tabu_tenure, current.tabu_tenure);
+  EXPECT_GT(decision.strategy.nb_drop, current.nb_drop);
+  EXPECT_LT(decision.strategy.nb_local, current.nb_local);
+}
+
+TEST(Sgp, SpreadPoolIntensifies) {
+  const auto inst = make_inst();
+  StrategyGenerator sgp;
+  Rng rng(6);
+  tabu::Strategy current{10, 2, 50};
+  const auto decision = sgp.retune(current, spread_pool(inst), kItems, rng);
+  EXPECT_EQ(decision.kind, RetuneKind::kIntensified);
+  EXPECT_LT(decision.strategy.tabu_tenure, current.tabu_tenure);
+  EXPECT_LT(decision.strategy.nb_drop, current.nb_drop);
+  EXPECT_GT(decision.strategy.nb_local, current.nb_local);
+}
+
+TEST(Sgp, TinyPoolRandomizes) {
+  const auto inst = make_inst();
+  StrategyGenerator sgp;
+  Rng rng(7);
+  tabu::Strategy current{10, 2, 50};
+  std::vector<mkp::Solution> pool;
+  pool.emplace_back(inst);  // single solution: spread undefined
+  const auto decision = sgp.retune(current, pool, kItems, rng);
+  EXPECT_EQ(decision.kind, RetuneKind::kRandomized);
+}
+
+TEST(Sgp, RetuneClampsToBounds) {
+  const auto inst = make_inst();
+  SgpConfig config;
+  config.bounds.max_tenure = 12;
+  config.bounds.max_drop = 3;
+  config.bounds.min_local = 40;
+  StrategyGenerator sgp(config);
+  Rng rng(8);
+  tabu::Strategy current{12, 3, 40};  // already at the relevant bounds
+  const auto decision = sgp.retune(current, clustered_pool(inst), kItems, rng);
+  EXPECT_EQ(decision.kind, RetuneKind::kDiversified);
+  EXPECT_LE(decision.strategy.tabu_tenure, 12U);
+  EXPECT_LE(decision.strategy.nb_drop, 3U);
+  EXPECT_GE(decision.strategy.nb_local, 40U);
+}
+
+TEST(Sgp, MidSpreadRandomizes) {
+  const auto inst = make_inst();
+  SgpConfig config;
+  config.clustered_below = 0.01;  // nothing counts as clustered
+  config.spread_above = 0.99;     // nothing counts as spread
+  StrategyGenerator sgp(config);
+  Rng rng(9);
+  tabu::Strategy current{10, 2, 50};
+  const auto decision = sgp.retune(current, spread_pool(inst), kItems, rng);
+  EXPECT_EQ(decision.kind, RetuneKind::kRandomized);
+}
+
+TEST(Sgp, ToStringCoversAllKinds) {
+  EXPECT_EQ(to_string(RetuneKind::kKept), "kept");
+  EXPECT_EQ(to_string(RetuneKind::kDiversified), "diversified");
+  EXPECT_EQ(to_string(RetuneKind::kIntensified), "intensified");
+  EXPECT_EQ(to_string(RetuneKind::kRandomized), "randomized");
+}
+
+class SgpScoreWalk : public ::testing::TestWithParam<int> {};
+
+TEST_P(SgpScoreWalk, ScoreNeverRetiredWhilePositive) {
+  const auto inst = make_inst();
+  StrategyGenerator sgp;
+  Rng rng(GetParam());
+  tabu::Strategy current{10, 2, 50};
+  int score = sgp.config().initial_score;
+  // Alternate improvements and failures; retirement only at score 0.
+  for (int step = 0; step < 40; ++step) {
+    const bool improved = (step * GetParam()) % 3 != 0;
+    const auto decision =
+        sgp.update(current, score, improved, clustered_pool(inst), kItems, rng);
+    if (decision.kind == RetuneKind::kKept) {
+      EXPECT_GT(decision.score, 0);
+    } else {
+      EXPECT_EQ(score, 1);  // only a 1 -> 0 transition retires
+      EXPECT_EQ(decision.score, sgp.config().initial_score);
+    }
+    score = decision.score;
+    current = decision.strategy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Walks, SgpScoreWalk, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace pts::parallel

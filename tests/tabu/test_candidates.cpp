@@ -1,0 +1,123 @@
+// The candidate-sampling strategy knob (Strategy::nb_candidates — the
+// paper's "number of neighbor solutions evaluated at each move").
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+#include "tabu/engine.hpp"
+#include "tabu/moves.hpp"
+
+namespace pts::tabu {
+namespace {
+
+TEST(CandidateSampling, ZeroEvaluatesEverythingAndIgnoresRng) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 1);
+  mkp::Solution x(inst);
+  TabuList tabu(50);
+  MoveKernel kernel(inst);
+  const auto full = kernel.select_add(x, tabu, 1, 1e18);
+  Rng rng(7);
+  const auto with_rng = kernel.select_add(x, tabu, 1, 1e18, nullptr, &rng, 0);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, *with_rng);  // 0 = exhaustive either way
+}
+
+TEST(CandidateSampling, SampledPickIsAFittingItem) {
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 5}, 2);
+  mkp::Solution x(inst);
+  TabuList tabu(80);
+  MoveKernel kernel(inst);
+  Rng rng(3);
+  for (int round = 0; round < 50; ++round) {
+    const auto pick = kernel.select_add(x, tabu, 1, 1e18, nullptr, &rng, 4);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_FALSE(x.contains(*pick));
+    EXPECT_TRUE(x.fits(*pick));
+  }
+}
+
+TEST(CandidateSampling, SamplingIntroducesVariety) {
+  const auto inst = mkp::generate_gk({.num_items = 100, .num_constraints = 5}, 3);
+  mkp::Solution x(inst);
+  TabuList tabu(100);
+  MoveKernel kernel(inst);
+  Rng rng(4);
+  std::set<std::size_t> picks;
+  for (int round = 0; round < 60; ++round) {
+    picks.insert(*kernel.select_add(x, tabu, 1, 1e18, nullptr, &rng, 3));
+  }
+  EXPECT_GT(picks.size(), 3U);  // exhaustive scan would always pick one item
+}
+
+TEST(CandidateSampling, SingleCandidateIsFirstFittingFromOffset) {
+  // With k = 1 the rule degenerates to "first fitting non-tabu item from a
+  // random start" — still a legal add.
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 4);
+  mkp::Solution x(inst);
+  TabuList tabu(40);
+  MoveKernel kernel(inst);
+  Rng rng(5);
+  const auto pick = kernel.select_add(x, tabu, 1, 1e18, nullptr, &rng, 1);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_TRUE(x.fits(*pick));
+}
+
+TEST(CandidateSampling, MoveStillFillsToMaximal) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 5}, 5);
+  mkp::Solution x(inst);
+  TabuList tabu(60);
+  MoveKernel kernel(inst);
+  MoveStats stats;
+  Rng rng(6);
+  Strategy strategy;
+  strategy.nb_candidates = 4;
+  (void)kernel.apply(x, tabu, 1, strategy, 7, 1e18, rng, stats);
+  EXPECT_TRUE(x.is_feasible());
+  for (std::size_t j = 0; j < inst.num_items(); ++j) {
+    if (!x.contains(j) && !tabu.is_add_tabu(j, 1)) {
+      EXPECT_FALSE(x.fits(j)) << "item " << j;
+    }
+  }
+}
+
+TEST(CandidateSampling, EngineRunsWithSampledStrategy) {
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 6);
+  Rng rng(7);
+  TsParams params;
+  params.max_moves = 1500;
+  params.strategy.nb_local = 20;
+  params.strategy.nb_candidates = 8;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_GT(result.best_value, 0.0);
+}
+
+TEST(CandidateSampling, StrategyToStringShowsTheKnob) {
+  Strategy plain;
+  EXPECT_EQ(plain.to_string().find("nb_cand"), std::string::npos);
+  Strategy sampled;
+  sampled.nb_candidates = 16;
+  EXPECT_NE(sampled.to_string().find("nb_cand=16"), std::string::npos);
+}
+
+class CandidateSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CandidateSweep, QualityStaysReasonableAcrossK) {
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 8);
+  Rng rng(GetParam() + 1);
+  TsParams params;
+  params.max_moves = 1200;
+  params.strategy.nb_local = 20;
+  params.strategy.nb_candidates = GetParam();
+  const auto sampled = tabu_search_from_scratch(inst, params, rng);
+  Rng rng_full(GetParam() + 1);
+  params.strategy.nb_candidates = 0;
+  const auto full = tabu_search_from_scratch(inst, params, rng_full);
+  EXPECT_TRUE(sampled.best.is_feasible());
+  // Sampling trades per-move quality for speed; it must not collapse.
+  EXPECT_GE(sampled.best_value, full.best_value * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, CandidateSweep, ::testing::Values(1, 2, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace pts::tabu

@@ -1,0 +1,122 @@
+#include "tabu/cets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/greedy.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::tabu {
+namespace {
+
+CetsParams quick_params(std::uint64_t steps = 20000) {
+  CetsParams params;
+  params.max_steps = steps;
+  return params;
+}
+
+TEST(Cets, BestIsFeasibleAndConsistent) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 1);
+  Rng rng(1);
+  const auto result = critical_event_tabu_search(inst, rng, quick_params());
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_TRUE(result.best.check_consistency());
+  EXPECT_DOUBLE_EQ(result.best.value(), result.best_value);
+  EXPECT_EQ(result.steps, 20000U);
+}
+
+TEST(Cets, OscillationActuallyCrossesTheBoundary) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 2);
+  Rng rng(2);
+  const auto result = critical_event_tabu_search(inst, rng, quick_params());
+  // A 20k-step run swings across the boundary thousands of times.
+  EXPECT_GT(result.critical_events, 100U);
+}
+
+TEST(Cets, ImprovesOnTheGreedyStart) {
+  const auto inst = mkp::generate_gk({.num_items = 100, .num_constraints = 10}, 3);
+  const double greedy = bounds::greedy_construct(inst).value();
+  Rng rng(3);
+  const auto result = critical_event_tabu_search(inst, rng, quick_params(40000));
+  EXPECT_GE(result.best_value, greedy * 0.99);
+}
+
+TEST(Cets, FindsCatalogOptima) {
+  for (const auto& entry : mkp::catalog()) {
+    Rng rng(entry.instance.num_items());
+    const auto result =
+        critical_event_tabu_search(entry.instance, rng, quick_params(30000));
+    EXPECT_DOUBLE_EQ(result.best_value, entry.optimum) << entry.instance.name();
+  }
+}
+
+TEST(Cets, NeverExceedsTheOptimum) {
+  for (std::uint64_t seed : {5, 6, 7}) {
+    const auto inst = mkp::generate_gk({.num_items = 14, .num_constraints = 4}, seed);
+    const auto oracle = exact::brute_force(inst);
+    Rng rng(seed);
+    const auto result = critical_event_tabu_search(inst, rng, quick_params(5000));
+    EXPECT_LE(result.best_value, oracle.optimum + 1e-9);
+  }
+}
+
+TEST(Cets, TargetValueStopsEarly) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 8);
+  Rng rng(8);
+  auto params = quick_params(1'000'000);
+  params.target_value = 1.0;
+  const auto result = critical_event_tabu_search(inst, rng, params);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_LT(result.steps, 1'000'000U);
+}
+
+TEST(Cets, TimeLimitRespected) {
+  const auto inst = mkp::generate_gk({.num_items = 200, .num_constraints = 10}, 9);
+  Rng rng(9);
+  CetsParams params;
+  params.max_steps = 0;
+  params.time_limit_seconds = 0.1;
+  const auto result = critical_event_tabu_search(inst, rng, params);
+  EXPECT_LT(result.seconds, 3.0);
+}
+
+TEST(Cets, DeterministicPerSeed) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 10);
+  Rng a(11), b(11);
+  const auto r1 = critical_event_tabu_search(inst, a, quick_params(5000));
+  const auto r2 = critical_event_tabu_search(inst, b, quick_params(5000));
+  EXPECT_DOUBLE_EQ(r1.best_value, r2.best_value);
+  EXPECT_EQ(r1.critical_events, r2.critical_events);
+}
+
+TEST(Cets, AmplitudeWidensOnStagnation) {
+  // A tiny instance stagnates quickly; the adaptive span must kick in.
+  const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 12);
+  Rng rng(12);
+  auto params = quick_params(30000);
+  params.widen_after = 5;
+  const auto result = critical_event_tabu_search(inst, rng, params);
+  EXPECT_GT(result.amplitude_widenings, 0U);
+}
+
+TEST(Cets, RestartsOnLongStagnation) {
+  const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 13);
+  Rng rng(13);
+  auto params = quick_params(40000);
+  params.restart_after = 30;
+  const auto result = critical_event_tabu_search(inst, rng, params);
+  EXPECT_GT(result.restarts, 0U);
+}
+
+TEST(CetsDeath, UnboundedRunRejected) {
+  const auto inst = mkp::generate_gk({.num_items = 10, .num_constraints = 2}, 14);
+  Rng rng(14);
+  CetsParams params;
+  params.max_steps = 0;
+  params.time_limit_seconds = 0.0;
+  EXPECT_DEATH((void)critical_event_tabu_search(inst, rng, params), "bounded");
+}
+
+}  // namespace
+}  // namespace pts::tabu

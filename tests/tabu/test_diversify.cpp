@@ -1,0 +1,115 @@
+#include "tabu/diversify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+
+namespace pts::tabu {
+namespace {
+
+TEST(Diversify, ForcesNeglectedItemsIn) {
+  // 4 items, loose capacity. History: item 0 always present, others never.
+  mkp::Instance inst("d", {1, 1, 1, 1}, {1, 1, 1, 1}, {10});
+  FrequencyMemory memory(4);
+  mkp::Solution tracked(inst);
+  tracked.add(0);
+  for (int i = 0; i < 10; ++i) memory.record(tracked);
+
+  mkp::Solution x(inst);
+  x.add(0);
+  TabuList tabu(4);
+  DiversifyConfig config{.high_frequency = 0.8, .low_frequency = 0.2, .hold = 5};
+  const auto outcome = diversify(x, memory, config, tabu, /*iter=*/100);
+
+  EXPECT_EQ(outcome.forced_out, 1U);  // item 0 banned
+  EXPECT_EQ(outcome.forced_in, 3U);   // items 1..3 pinned in
+  EXPECT_FALSE(x.contains(0));
+  EXPECT_TRUE(x.contains(1));
+  EXPECT_TRUE(x.contains(2));
+  EXPECT_TRUE(x.contains(3));
+  EXPECT_TRUE(x.is_feasible());
+}
+
+TEST(Diversify, InstallsTabuHolds) {
+  mkp::Instance inst("h", {1, 1}, {1, 1}, {5});
+  FrequencyMemory memory(2);
+  mkp::Solution tracked(inst);
+  tracked.add(0);
+  for (int i = 0; i < 10; ++i) memory.record(tracked);
+
+  mkp::Solution x(inst);
+  TabuList tabu(2);
+  DiversifyConfig config{.high_frequency = 0.8, .low_frequency = 0.2, .hold = 7};
+  diversify(x, memory, config, tabu, 50);
+
+  // Item 0 (over-used) may not come back during the hold.
+  EXPECT_TRUE(tabu.is_add_tabu(0, 51));
+  EXPECT_TRUE(tabu.is_add_tabu(0, 56));
+  EXPECT_FALSE(tabu.is_add_tabu(0, 60));
+  // Item 1 (forced in) may not be dropped during the hold.
+  EXPECT_TRUE(tabu.is_drop_tabu(1, 51));
+  EXPECT_FALSE(tabu.is_drop_tabu(1, 60));
+}
+
+TEST(Diversify, MidFrequencyItemsFillGreedily) {
+  // Item with frequency 0.5 is neither forced nor banned; it should be
+  // added by the greedy fill when it fits.
+  mkp::Instance inst("m", {5, 1}, {1, 1}, {5});
+  FrequencyMemory memory(2);
+  mkp::Solution tracked(inst);
+  tracked.add(0);
+  memory.record(tracked);  // item0 at 1
+  tracked.drop(0);
+  memory.record(tracked);  // item0 at 0 -> freq 0.5; item1 freq 0 -> forced in
+
+  mkp::Solution x(inst);
+  TabuList tabu(2);
+  DiversifyConfig config{.high_frequency = 0.8, .low_frequency = 0.2, .hold = 3};
+  diversify(x, memory, config, tabu, 10);
+  EXPECT_TRUE(x.contains(0));
+  EXPECT_TRUE(x.contains(1));
+}
+
+TEST(Diversify, ResultAlwaysFeasible) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 21);
+  FrequencyMemory memory(60);
+  Rng rng(5);
+  mkp::Solution tracked(inst);
+  for (int it = 0; it < 200; ++it) {
+    tracked.flip(rng.index(60));
+    memory.record(tracked);
+  }
+  mkp::Solution x(inst);
+  TabuList tabu(60);
+  DiversifyConfig config;
+  const auto outcome = diversify(x, memory, config, tabu, 500);
+  EXPECT_TRUE(x.is_feasible());
+  EXPECT_TRUE(x.check_consistency());
+  EXPECT_GE(outcome.forced_in + outcome.forced_out, 0U);
+}
+
+TEST(Diversify, EmptyHistoryForcesEverythingIn) {
+  // No iterations recorded: every frequency is 0 < low, so forced_in covers
+  // whatever fits.
+  mkp::Instance inst("e", {1, 1, 1}, {1, 1, 1}, {2});
+  FrequencyMemory memory(3);
+  mkp::Solution x(inst);
+  TabuList tabu(3);
+  DiversifyConfig config;
+  const auto outcome = diversify(x, memory, config, tabu, 1);
+  EXPECT_EQ(outcome.forced_in, 2U);  // capacity limits to 2 of 3
+  EXPECT_EQ(outcome.forced_out, 0U);
+  EXPECT_TRUE(x.is_feasible());
+}
+
+TEST(DiversifyDeath, RejectsInvertedThresholds) {
+  mkp::Instance inst("bad", {1.0}, {1.0}, {1.0});
+  FrequencyMemory memory(1);
+  mkp::Solution x(inst);
+  TabuList tabu(1);
+  DiversifyConfig config{.high_frequency = 0.2, .low_frequency = 0.8, .hold = 1};
+  EXPECT_DEATH(diversify(x, memory, config, tabu, 1), "low_frequency");
+}
+
+}  // namespace
+}  // namespace pts::tabu

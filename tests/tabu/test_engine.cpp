@@ -1,0 +1,218 @@
+#include "tabu/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/greedy.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::tabu {
+namespace {
+
+TsParams quick_params(std::uint64_t max_moves = 2000) {
+  TsParams params;
+  params.max_moves = max_moves;
+  params.strategy.nb_local = 25;
+  return params;
+}
+
+TEST(Engine, BestIsFeasibleAndConsistent) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 1);
+  Rng rng(1);
+  const auto result = tabu_search_from_scratch(inst, quick_params(), rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_TRUE(result.best.check_consistency());
+  EXPECT_DOUBLE_EQ(result.best.value(), result.best_value);
+}
+
+TEST(Engine, NeverWorseThanItsStartingPoint) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 2);
+  Rng rng(2);
+  const auto initial = bounds::greedy_construct(inst);
+  const auto result = tabu_search(inst, initial, quick_params(), rng);
+  EXPECT_GE(result.best_value, initial.value());
+}
+
+TEST(Engine, RespectsMoveBudget) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 3);
+  Rng rng(3);
+  auto params = quick_params(500);
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_LE(result.moves, 500U);
+  EXPECT_GE(result.moves, 500U);  // run_to_budget consumes the whole budget
+}
+
+TEST(Engine, RespectsTimeBudget) {
+  const auto inst = mkp::generate_gk({.num_items = 200, .num_constraints = 10}, 4);
+  Rng rng(4);
+  TsParams params;
+  params.max_moves = 0;
+  params.time_limit_seconds = 0.1;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_LT(result.seconds, 3.0);
+}
+
+TEST(Engine, TargetValueStopsEarly) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 5);
+  Rng rng(5);
+  auto params = quick_params(100000);
+  params.target_value = 1.0;  // any feasible solution reaches this
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_LT(result.moves, 100000U);
+}
+
+TEST(Engine, DeterministicGivenSeed) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 6);
+  Rng rng1(7), rng2(7);
+  const auto a = tabu_search_from_scratch(inst, quick_params(), rng1);
+  const auto b = tabu_search_from_scratch(inst, quick_params(), rng2);
+  EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.moves, b.moves);
+}
+
+TEST(Engine, DifferentSeedsExploreDifferently) {
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 7);
+  Rng rng1(1), rng2(2);
+  const auto a = tabu_search_from_scratch(inst, quick_params(300), rng1);
+  const auto b = tabu_search_from_scratch(inst, quick_params(300), rng2);
+  // Values may coincide; trajectories should not be bit-identical.
+  EXPECT_TRUE(a.best != b.best || a.improvements != b.improvements);
+}
+
+TEST(Engine, ImprovementTraceIsStrictlyIncreasing) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 8);
+  Rng rng(8);
+  const auto result = tabu_search_from_scratch(inst, quick_params(), rng);
+  ASSERT_FALSE(result.improvements.empty());
+  for (std::size_t k = 1; k < result.improvements.size(); ++k) {
+    EXPECT_LT(result.improvements[k - 1].second, result.improvements[k].second);
+    EXPECT_LE(result.improvements[k - 1].first, result.improvements[k].first);
+  }
+  EXPECT_DOUBLE_EQ(result.improvements.back().second, result.best_value);
+}
+
+TEST(Engine, EliteSortedDistinctFeasible) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 9);
+  Rng rng(9);
+  auto params = quick_params();
+  params.b_best = 5;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  ASSERT_GE(result.elite.size(), 1U);
+  ASSERT_LE(result.elite.size(), 5U);
+  for (std::size_t k = 0; k < result.elite.size(); ++k) {
+    EXPECT_TRUE(result.elite[k].is_feasible());
+    if (k > 0) {
+      EXPECT_GE(result.elite[k - 1].value(), result.elite[k].value());
+      EXPECT_NE(result.elite[k - 1], result.elite[k]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.elite.front().value(), result.best_value);
+}
+
+TEST(Engine, InfeasibleInitialGetsRepaired) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 10);
+  mkp::Solution bad(inst);
+  for (std::size_t j = 0; j < inst.num_items(); ++j) bad.add(j);
+  ASSERT_FALSE(bad.is_feasible());
+  Rng rng(10);
+  const auto result = tabu_search(inst, bad, quick_params(), rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_GT(result.best_value, 0.0);
+}
+
+TEST(Engine, FindsOptimumOnCatalogInstances) {
+  for (const auto& entry : mkp::catalog()) {
+    Rng rng(entry.instance.num_items());
+    TsParams params;
+    params.max_moves = 5000;
+    params.strategy.tabu_tenure = 3;
+    params.strategy.nb_local = 30;
+    const auto result = tabu_search_from_scratch(entry.instance, params, rng);
+    EXPECT_DOUBLE_EQ(result.best_value, entry.optimum) << entry.instance.name();
+  }
+}
+
+TEST(Engine, OscillationVariantRuns) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 11);
+  Rng rng(11);
+  auto params = quick_params();
+  params.intensification = IntensificationKind::kStrategicOscillation;
+  params.oscillation_depth = 5;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_GT(result.intensifications, 0U);
+}
+
+TEST(Engine, NoIntensificationVariantRuns) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 12);
+  Rng rng(12);
+  auto params = quick_params();
+  params.intensification = IntensificationKind::kNone;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_EQ(result.intensify_stats.swaps, 0U);
+}
+
+TEST(Engine, RemControlRunsAndRecordsOverhead) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 13);
+  Rng rng(13);
+  auto params = quick_params(400);
+  params.tenure_control = TenureControl::kReverseElimination;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_GT(result.rem_flips_scanned, 0U);
+}
+
+TEST(Engine, ReactiveControlAdjustsTenure) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 14);
+  Rng rng(14);
+  auto params = quick_params(3000);
+  params.tenure_control = TenureControl::kReactive;
+  params.strategy.tabu_tenure = 7;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_GT(result.final_tenure, 0U);
+}
+
+TEST(Engine, MoveStatsAddUp) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 15);
+  Rng rng(15);
+  const auto result = tabu_search_from_scratch(inst, quick_params(), rng);
+  EXPECT_GT(result.move_stats.drops, 0U);
+  EXPECT_GT(result.move_stats.adds, 0U);
+  EXPECT_GE(result.intensifications, 1U);
+  EXPECT_GE(result.diversifications, 1U);
+}
+
+TEST(EngineDeath, UnboundedRunRejected) {
+  const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 16);
+  Rng rng(16);
+  TsParams params;
+  params.max_moves = 0;
+  params.time_limit_seconds = 0.0;
+  EXPECT_DEATH((void)tabu_search_from_scratch(inst, params, rng), "bounded");
+}
+
+class EngineStrategySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(EngineStrategySweep, FeasibleAcrossStrategyGrid) {
+  const auto [tenure, nb_drop] = GetParam();
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 17);
+  Rng rng(tenure * 100 + nb_drop);
+  auto params = quick_params(800);
+  params.strategy.tabu_tenure = tenure;
+  params.strategy.nb_drop = nb_drop;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_GT(result.best_value, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EngineStrategySweep,
+                         ::testing::Combine(::testing::Values(1, 3, 7, 15, 40),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace pts::tabu

@@ -1,0 +1,169 @@
+// Deeper engine behaviors: the interplay of the memories and phases that
+// the per-component unit tests cannot see.
+#include <gtest/gtest.h>
+
+#include "bounds/greedy.hpp"
+#include "mkp/generator.hpp"
+#include "tabu/engine.hpp"
+
+namespace pts::tabu {
+namespace {
+
+TsParams params_with(std::uint64_t moves, std::size_t nb_local = 15) {
+  TsParams params;
+  params.max_moves = moves;
+  params.strategy.nb_local = nb_local;
+  return params;
+}
+
+TEST(EngineBehavior, AspirationFiresUnderTinyTenureOne) {
+  // Tenure 1 and nb_drop 1 churn items rapidly; on a small instance the
+  // aspiration criterion gets exercised within a modest budget.
+  const auto inst = mkp::generate_gk({.num_items = 25, .num_constraints = 3}, 1);
+  Rng rng(1);
+  auto params = params_with(4000);
+  params.strategy.tabu_tenure = 12;  // long tenure: many blocked adds
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_GT(result.move_stats.tabu_blocked_adds, 0U);
+}
+
+TEST(EngineBehavior, ForcedDropsHappenWhenEverythingIsPinned) {
+  // Tiny solution + long drop-tabu: the drop rule must fall back.
+  const auto inst = mkp::generate_gk({.num_items = 10, .num_constraints = 2}, 2);
+  Rng rng(2);
+  auto params = params_with(2000);
+  params.strategy.tabu_tenure = 50;  // drop-tabu tenure = 26 via tenure/2+1
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_GT(result.move_stats.forced_drops, 0U);
+}
+
+TEST(EngineBehavior, DiversificationHoldShowsInTrajectory) {
+  // With aggressive thresholds every diversification forces items; the
+  // engine's counters must reflect the configured cadence.
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 3);
+  Rng rng(3);
+  auto params = params_with(3000, 10);
+  params.nb_div = 2;
+  params.nb_int = 1;
+  params.high_frequency = 0.6;
+  params.low_frequency = 0.3;
+  params.diversify_hold = 40;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_GT(result.diversifications, 0U);
+  EXPECT_TRUE(result.best.is_feasible());
+}
+
+TEST(EngineBehavior, BBestCapRespectedAcrossBudgets) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 4);
+  for (std::size_t b : {1, 2, 5, 10}) {
+    Rng rng(4);
+    auto params = params_with(1500);
+    params.b_best = b;
+    const auto result = tabu_search_from_scratch(inst, params, rng);
+    EXPECT_LE(result.elite.size(), b);
+    EXPECT_GE(result.elite.size(), 1U);
+  }
+}
+
+TEST(EngineBehavior, ZeroBBestStillTracksIncumbent) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 5);
+  Rng rng(5);
+  auto params = params_with(800);
+  params.b_best = 0;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.elite.empty());
+  EXPECT_GT(result.best_value, 0.0);  // incumbent tracked independently
+}
+
+TEST(EngineBehavior, TimeLimitWithLiteralFigureOneShape) {
+  const auto inst = mkp::generate_gk({.num_items = 200, .num_constraints = 10}, 6);
+  Rng rng(6);
+  TsParams params;
+  params.max_moves = 0;
+  params.time_limit_seconds = 0.05;
+  params.run_to_budget = false;
+  params.nb_div = 1000;  // time must cut this short
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_LT(result.seconds, 2.0);
+  EXPECT_TRUE(result.best.is_feasible());
+}
+
+TEST(EngineBehavior, ReactiveEscapeEventuallyTriggersOnTinyInstance) {
+  // A 12-item instance cycles fast; reactive control must detect the
+  // repetitions and fire at least one escape kick.
+  const auto inst = mkp::generate_gk({.num_items = 12, .num_constraints = 2}, 7);
+  Rng rng(7);
+  auto params = params_with(6000);
+  params.tenure_control = TenureControl::kReactive;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_GT(result.reactive_repetitions, 0U);
+}
+
+TEST(EngineBehavior, ImprovementsNeverExceedMoveCount) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 8);
+  Rng rng(8);
+  const auto result = tabu_search_from_scratch(inst, params_with(1200), rng);
+  EXPECT_LE(result.improvements.size(), result.moves + 3);  // +init/intensify
+  for (const auto& [move, value] : result.improvements) {
+    EXPECT_LE(move, result.moves);
+    EXPECT_LE(value, result.best_value + 1e-9);
+  }
+}
+
+TEST(EngineBehavior, HigherNbLocalMeansFewerIntensifications) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 9);
+  Rng rng_a(9), rng_b(9);
+  auto impatient = params_with(3000, 5);
+  auto patient = params_with(3000, 100);
+  const auto many = tabu_search_from_scratch(inst, impatient, rng_a);
+  const auto few = tabu_search_from_scratch(inst, patient, rng_b);
+  EXPECT_GT(many.intensifications, few.intensifications);
+}
+
+TEST(EngineBehavior, StartFromEmptySolutionWorks) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 10);
+  mkp::Solution empty(inst);
+  Rng rng(10);
+  const auto result = tabu_search(inst, empty, params_with(800), rng);
+  // The engine greedy-fills the start, so the result is a real search.
+  EXPECT_GT(result.best_value, 0.0);
+  EXPECT_GE(result.best_value, bounds::greedy_construct(inst).value() * 0.95);
+}
+
+TEST(EngineBehavior, StartFromFullSolutionWorks) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 11);
+  mkp::Solution full(inst);
+  for (std::size_t j = 0; j < inst.num_items(); ++j) full.add(j);
+  Rng rng(11);
+  const auto result = tabu_search(inst, full, params_with(800), rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_GT(result.best_value, 0.0);
+}
+
+class EngineCrossControl
+    : public ::testing::TestWithParam<std::tuple<TenureControl, IntensificationKind>> {};
+
+TEST_P(EngineCrossControl, EveryControlComboIsSound) {
+  const auto [control, intensification] = GetParam();
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 12);
+  Rng rng(12);
+  auto params = params_with(600);
+  params.tenure_control = control;
+  params.intensification = intensification;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_TRUE(result.best.check_consistency());
+  EXPECT_EQ(result.moves, 600U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineCrossControl,
+    ::testing::Combine(::testing::Values(TenureControl::kFixed,
+                                         TenureControl::kReverseElimination,
+                                         TenureControl::kReactive),
+                       ::testing::Values(IntensificationKind::kNone,
+                                         IntensificationKind::kSwap,
+                                         IntensificationKind::kStrategicOscillation)));
+
+}  // namespace
+}  // namespace pts::tabu

@@ -1,0 +1,122 @@
+// Structural reproduction of the paper's Figure 1: the trace hooks must fire
+// in exactly the nested order the pseudocode prescribes —
+//   outer round -> (inner round -> moves... -> intensification) x Nb_int
+//   -> diversification — repeated Nb_div times.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mkp/generator.hpp"
+#include "tabu/engine.hpp"
+
+namespace pts::tabu {
+namespace {
+
+class RecordingTrace : public TsTrace {
+ public:
+  void on_outer_round(std::size_t div_round) override {
+    events.push_back("outer:" + std::to_string(div_round));
+  }
+  void on_inner_round(std::size_t div_round, std::size_t int_round) override {
+    events.push_back("inner:" + std::to_string(div_round) + ":" +
+                     std::to_string(int_round));
+  }
+  void on_move(std::uint64_t, double, bool) override {
+    if (events.empty() || events.back() != "move") events.push_back("move");
+  }
+  void on_intensification(IntensificationKind, double, double) override {
+    events.push_back("intensify");
+  }
+  void on_diversification(std::size_t, std::size_t) override {
+    events.push_back("diversify");
+  }
+
+  std::vector<std::string> events;
+};
+
+struct Shape {
+  std::size_t nb_div;
+  std::size_t nb_int;
+};
+
+class Figure1Structure : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(Figure1Structure, LoopNestingMatchesPseudocode) {
+  const auto [nb_div, nb_int] = GetParam();
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 42);
+  Rng rng(42);
+  TsParams params;
+  params.nb_div = nb_div;
+  params.nb_int = nb_int;
+  params.strategy.nb_local = 5;
+  params.max_moves = 1'000'000;  // large enough to never bind
+  params.run_to_budget = false;  // the literal Figure-1 shape
+  RecordingTrace trace;
+  (void)tabu_search_from_scratch(inst, params, rng, &trace);
+
+  // Build the exact expected sequence.
+  std::vector<std::string> expected;
+  for (std::size_t d = 0; d < nb_div; ++d) {
+    expected.push_back("outer:" + std::to_string(d));
+    for (std::size_t i = 0; i < nb_int; ++i) {
+      expected.push_back("inner:" + std::to_string(d) + ":" + std::to_string(i));
+      expected.push_back("move");       // collapsed run of moves
+      expected.push_back("intensify");  // Figure 1 line 11
+    }
+    expected.push_back("diversify");  // Figure 1 line 12
+  }
+  EXPECT_EQ(trace.events, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Figure1Structure,
+                         ::testing::Values(Shape{1, 1}, Shape{1, 3}, Shape{2, 2},
+                                           Shape{3, 1}, Shape{4, 3}));
+
+TEST(Figure1Counts, PhaseCountersMatchShape) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 43);
+  Rng rng(43);
+  TsParams params;
+  params.nb_div = 3;
+  params.nb_int = 2;
+  params.strategy.nb_local = 5;
+  params.max_moves = 1'000'000;
+  params.run_to_budget = false;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_EQ(result.intensifications, 6U);  // nb_div * nb_int
+  EXPECT_EQ(result.diversifications, 3U);  // nb_div
+}
+
+TEST(Figure1Budget, BudgetCutsTheStructureShort) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 44);
+  Rng rng(44);
+  TsParams params;
+  params.nb_div = 100;
+  params.nb_int = 100;
+  params.strategy.nb_local = 50;
+  params.max_moves = 60;  // bites long before the loops complete
+  params.run_to_budget = false;
+  RecordingTrace trace;
+  const auto result = tabu_search_from_scratch(inst, params, rng, &trace);
+  EXPECT_EQ(result.moves, 60U);
+  EXPECT_LT(result.diversifications, 100U);
+}
+
+TEST(Figure1RunToBudget, OuterLoopRepeatsUntilBudget) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 45);
+  Rng rng(45);
+  TsParams params;
+  params.nb_div = 1;
+  params.nb_int = 1;
+  params.strategy.nb_local = 5;
+  params.max_moves = 500;
+  params.run_to_budget = true;
+  const auto result = tabu_search_from_scratch(inst, params, rng);
+  EXPECT_EQ(result.moves, 500U);
+  // With ~5-move local loops, one div round is ~ a handful of moves, so the
+  // outer loop must have wrapped many times.
+  EXPECT_GT(result.diversifications, 1U);
+}
+
+}  // namespace
+}  // namespace pts::tabu

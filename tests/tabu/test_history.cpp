@@ -1,0 +1,64 @@
+#include "tabu/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/instance.hpp"
+
+namespace pts::tabu {
+namespace {
+
+mkp::Instance make_inst() {
+  return mkp::Instance("h", {1, 1, 1}, {1, 1, 1}, {3});
+}
+
+TEST(FrequencyMemory, StartsEmpty) {
+  FrequencyMemory memory(3);
+  EXPECT_EQ(memory.total_iterations(), 0U);
+  EXPECT_DOUBLE_EQ(memory.frequency(0), 0.0);
+  EXPECT_EQ(memory.num_items(), 3U);
+}
+
+TEST(FrequencyMemory, CountsSelectedItems) {
+  const auto inst = make_inst();
+  FrequencyMemory memory(3);
+  mkp::Solution s(inst);
+  s.add(0);
+  memory.record(s);   // {0}
+  s.add(1);
+  memory.record(s);   // {0,1}
+  EXPECT_EQ(memory.total_iterations(), 2U);
+  EXPECT_EQ(memory.count(0), 2U);
+  EXPECT_EQ(memory.count(1), 1U);
+  EXPECT_EQ(memory.count(2), 0U);
+  EXPECT_DOUBLE_EQ(memory.frequency(0), 1.0);
+  EXPECT_DOUBLE_EQ(memory.frequency(1), 0.5);
+  EXPECT_DOUBLE_EQ(memory.frequency(2), 0.0);
+}
+
+TEST(FrequencyMemory, ResetClears) {
+  const auto inst = make_inst();
+  FrequencyMemory memory(3);
+  mkp::Solution s(inst);
+  s.add(2);
+  memory.record(s);
+  memory.reset();
+  EXPECT_EQ(memory.total_iterations(), 0U);
+  EXPECT_EQ(memory.count(2), 0U);
+}
+
+TEST(FrequencyMemory, FrequencyAlwaysWithinUnitInterval) {
+  const auto inst = make_inst();
+  FrequencyMemory memory(3);
+  mkp::Solution s(inst);
+  for (int round = 0; round < 50; ++round) {
+    s.flip(round % 3);
+    memory.record(s);
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_GE(memory.frequency(j), 0.0);
+    EXPECT_LE(memory.frequency(j), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pts::tabu

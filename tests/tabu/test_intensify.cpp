@@ -1,0 +1,122 @@
+#include "tabu/intensify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/greedy.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::tabu {
+namespace {
+
+TEST(SwapIntensify, AppliesProfitableExchange) {
+  // Item 0 selected (profit 5), item 1 unselected (profit 8), same weight:
+  // the exchange is feasible and must happen.
+  mkp::Instance inst("sw", {5, 8}, {3, 3}, {3});
+  mkp::Solution s(inst);
+  s.add(0);
+  IntensifyStats stats;
+  const auto applied = swap_intensify(s, &stats);
+  EXPECT_EQ(applied, 1U);
+  EXPECT_EQ(stats.swaps, 1U);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_DOUBLE_EQ(s.value(), 8.0);
+}
+
+TEST(SwapIntensify, SkipsInfeasibleExchange) {
+  // Item 1 is better but heavier than the slack allows.
+  mkp::Instance inst("inf", {5, 8}, {3, 4}, {3});
+  mkp::Solution s(inst);
+  s.add(0);
+  EXPECT_EQ(swap_intensify(s), 0U);
+  EXPECT_TRUE(s.contains(0));
+}
+
+TEST(SwapIntensify, NeverDecreasesValue) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 7);
+  auto s = bounds::greedy_construct(inst, bounds::GreedyOrder::kProfit);
+  const double before = s.value();
+  swap_intensify(s);
+  EXPECT_GE(s.value(), before);
+  EXPECT_TRUE(s.is_feasible());
+}
+
+TEST(SwapIntensify, ReachesFixpoint) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 8);
+  auto s = bounds::greedy_construct(inst);
+  swap_intensify(s);
+  EXPECT_EQ(swap_intensify(s), 0U);  // a second pass finds nothing
+}
+
+TEST(SwapIntensify, ChainsMultipleExchanges) {
+  // 1 constraint; capacity 3. Selected {0}; 1 and 2 both better, weight 3 and 3:
+  // exchanging 0->2 then no more (only one slot). Build a two-step chain:
+  // c = {1, 2, 3}, w = {1, 1, 1}, b = 2, start {0, 1}: swap 0->2 gives {2,1}.
+  mkp::Instance inst("ch", {1, 2, 3}, {1, 1, 1}, {2});
+  mkp::Solution s(inst);
+  s.add(0);
+  s.add(1);
+  const auto applied = swap_intensify(s);
+  EXPECT_GE(applied, 1U);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_DOUBLE_EQ(s.value(), 5.0);
+}
+
+TEST(Oscillation, AlwaysReturnsFeasible) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 9);
+  auto s = bounds::greedy_construct(inst);
+  Rng rng(1);
+  for (int round = 0; round < 5; ++round) {
+    oscillation_intensify(s, 6, rng);
+    EXPECT_TRUE(s.is_feasible());
+    EXPECT_TRUE(s.check_consistency());
+  }
+}
+
+TEST(Oscillation, DepthLimitBoundsExcursion) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 10);
+  auto s = bounds::greedy_construct(inst);
+  Rng rng(2);
+  IntensifyStats stats;
+  oscillation_intensify(s, 4, rng, &stats);
+  EXPECT_LE(stats.oscillation_adds, 4U);
+}
+
+TEST(Oscillation, ZeroDepthIsRepairPlusFill) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 11);
+  auto s = bounds::greedy_construct(inst);
+  const double before = s.value();
+  Rng rng(3);
+  oscillation_intensify(s, 0, rng);
+  // Feasible maximal input with no excursion: value unchanged.
+  EXPECT_DOUBLE_EQ(s.value(), before);
+}
+
+TEST(Oscillation, StatsAccumulateDrops) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 12);
+  auto s = bounds::greedy_construct(inst);
+  Rng rng(4);
+  IntensifyStats stats;
+  oscillation_intensify(s, 8, rng, &stats);
+  // Whatever was added beyond feasibility must have been dropped again
+  // (possibly along with original items).
+  EXPECT_GE(stats.oscillation_drops, 0U);
+  EXPECT_TRUE(s.is_feasible());
+}
+
+class OscillationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OscillationSweep, FeasibleAtEveryDepth) {
+  const auto inst = mkp::generate_fp({.num_items = 40, .num_constraints = 6}, 13);
+  auto s = bounds::greedy_construct(inst);
+  Rng rng(GetParam());
+  oscillation_intensify(s, GetParam(), rng);
+  EXPECT_TRUE(s.is_feasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, OscillationSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace pts::tabu

@@ -1,0 +1,110 @@
+#include "tabu/path_relink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bounds/greedy.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/generator.hpp"
+#include "parallel/runner.hpp"
+
+namespace pts::tabu {
+namespace {
+
+TEST(PathRelink, IdenticalEndpointsReturnThem) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 1);
+  const auto s = bounds::greedy_construct(inst);
+  const auto result = path_relink(s, s);
+  EXPECT_EQ(result.path_length, 0U);
+  EXPECT_DOUBLE_EQ(result.best_value, s.value());
+  EXPECT_EQ(result.best, s);
+}
+
+TEST(PathRelink, NeverWorseThanEitherFeasibleEndpoint) {
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 2);
+  Rng rng(2);
+  const auto a = bounds::greedy_randomized(inst, rng);
+  const auto b = bounds::random_feasible(inst, rng);
+  const auto result = path_relink(a, b);
+  EXPECT_GE(result.best_value, std::max(a.value(), b.value()) - 1e-9);
+  EXPECT_TRUE(result.best.is_feasible());
+}
+
+TEST(PathRelink, PathLengthIsTheHammingDistance) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 3);
+  Rng rng(3);
+  const auto a = bounds::greedy_randomized(inst, rng);
+  const auto b = bounds::random_feasible(inst, rng);
+  const auto result = path_relink(a, b);
+  EXPECT_EQ(result.path_length, a.hamming_distance(b));
+}
+
+TEST(PathRelink, FindsIntermediateBetterThanBothEndpoints) {
+  // Construct endpoints whose union holds the optimum:
+  // optimum is {0,1} (value 12), endpoints are {0,2} (9) and {1,3} (10).
+  // capacity 6, weights all 3 — any 2 items fit.
+  mkp::Instance inst("mid", {7, 5, 2, 5}, {3, 3, 3, 3}, {6});
+  mkp::Solution a(inst), b(inst);
+  a.add(0);
+  a.add(2);  // 9
+  b.add(1);
+  b.add(3);  // 10
+  const auto result = path_relink(a, b);
+  // Path flips {0,1,2,3} in greedy delta order: +5 (add 1), +5 (add 3),
+  // -2 (drop 2), -5... intermediates include {0,1,2}->repair and {0,1}.
+  EXPECT_GE(result.best_value, 11.0);
+  EXPECT_GT(result.improvements, 0U);
+}
+
+TEST(PathRelink, InfeasibleIntermediatesAreRepairedNotReported) {
+  // Tight capacity: mid-path unions overflow; every reported solution must
+  // still be feasible.
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 4);
+  Rng rng(4);
+  const auto a = bounds::greedy_randomized(inst, rng);
+  const auto b = bounds::random_feasible(inst, rng);
+  const auto result = path_relink(a, b);
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_TRUE(result.best.check_consistency());
+}
+
+TEST(PathRelink, SymmetricEndpointsBothBounded) {
+  const auto inst = mkp::generate_gk({.num_items = 16, .num_constraints = 4}, 5);
+  const auto oracle = exact::brute_force(inst);
+  Rng rng(5);
+  const auto a = bounds::greedy_randomized(inst, rng);
+  const auto b = bounds::random_feasible(inst, rng);
+  const auto ab = path_relink(a, b);
+  const auto ba = path_relink(b, a);
+  EXPECT_LE(ab.best_value, oracle.optimum + 1e-9);
+  EXPECT_LE(ba.best_value, oracle.optimum + 1e-9);
+  EXPECT_EQ(ab.path_length, ba.path_length);
+}
+
+TEST(PathRelinkDeath, DifferentInstancesRejected) {
+  const auto a_inst = mkp::generate_gk({.num_items = 10, .num_constraints = 2}, 6);
+  const auto b_inst = mkp::generate_gk({.num_items = 10, .num_constraints = 2}, 7);
+  mkp::Solution a(a_inst), b(b_inst);
+  EXPECT_DEATH((void)path_relink(a, b), "");
+}
+
+TEST(PathRelinkMaster, RelinkOptionRunsAndNeverHurts) {
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 8);
+  parallel::ParallelConfig plain;
+  plain.num_slaves = 4;
+  plain.search_iterations = 6;
+  plain.work_per_slave_round = 1000;
+  plain.base_params.strategy.nb_local = 15;
+  plain.seed = 9;
+  auto with_relink = plain;
+  with_relink.relink_elites = true;
+  const auto off = parallel::run_parallel_tabu_search(inst, plain);
+  const auto on = parallel::run_parallel_tabu_search(inst, with_relink);
+  EXPECT_TRUE(on.best.is_feasible());
+  // Relinking only ever *adds* candidate solutions for the incumbent...
+  EXPECT_GE(on.best_value, 0.0);
+  // ...and the option is genuinely off by default.
+  EXPECT_EQ(off.master.relink_improvements, 0U);
+}
+
+}  // namespace
+}  // namespace pts::tabu

@@ -1,0 +1,93 @@
+#include "tabu/reactive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pts::tabu {
+namespace {
+
+TEST(Reactive, StartsAtClampedBase) {
+  ReactiveConfig config;
+  config.min_tenure = 5;
+  config.max_tenure = 50;
+  ReactiveTenure r(2, config);
+  EXPECT_EQ(r.current_tenure(), 5U);
+  ReactiveTenure r2(100, config);
+  EXPECT_EQ(r2.current_tenure(), 50U);
+}
+
+TEST(Reactive, GrowsOnRepetition) {
+  ReactiveTenure r(10);
+  r.on_solution(0xAA, 1);
+  const auto before = r.current_tenure();
+  r.on_solution(0xAA, 2);  // revisit
+  EXPECT_GT(r.current_tenure(), before);
+  EXPECT_EQ(r.repetitions(), 1U);
+}
+
+TEST(Reactive, NoGrowthOnFreshSolutions) {
+  ReactiveTenure r(10);
+  for (std::uint64_t i = 0; i < 50; ++i) r.on_solution(i, i);
+  EXPECT_EQ(r.repetitions(), 0U);
+  EXPECT_LE(r.current_tenure(), 10U);
+}
+
+TEST(Reactive, ShrinksAfterQuietStretch) {
+  ReactiveConfig config;
+  config.shrink_after = 10;
+  config.min_tenure = 3;
+  ReactiveTenure r(20, config);
+  // Trigger one repetition so last_repetition_iter is set, growing tenure.
+  r.on_solution(1, 1);
+  r.on_solution(1, 2);
+  const auto grown = r.current_tenure();
+  // A long fresh stretch must eventually shrink below the grown value.
+  for (std::uint64_t i = 10; i < 200; ++i) r.on_solution(1000 + i, i);
+  EXPECT_LT(r.current_tenure(), grown);
+}
+
+TEST(Reactive, TenureRespectsBounds) {
+  ReactiveConfig config;
+  config.min_tenure = 4;
+  config.max_tenure = 12;
+  ReactiveTenure r(8, config);
+  for (std::uint64_t i = 0; i < 30; ++i) r.on_solution(0xBB, i);  // repeat hard
+  EXPECT_LE(r.current_tenure(), 12U);
+  ReactiveTenure r2(8, config);
+  for (std::uint64_t i = 0; i < 10000; ++i) r2.on_solution(i * 7 + 1, i);
+  EXPECT_GE(r2.current_tenure(), 4U);
+}
+
+TEST(Reactive, EscapeAfterRepeatedRevisits) {
+  ReactiveConfig config;
+  config.escape_after = 3;
+  ReactiveTenure r(10, config);
+  r.on_solution(0xCC, 1);
+  r.on_solution(0xCC, 2);
+  EXPECT_FALSE(r.consume_escape());
+  r.on_solution(0xCC, 3);  // third visit
+  EXPECT_TRUE(r.consume_escape());
+  EXPECT_FALSE(r.consume_escape());  // cleared on read
+  EXPECT_EQ(r.escapes_triggered(), 1U);
+}
+
+TEST(Reactive, VisitCountRestartsAfterEscape) {
+  ReactiveConfig config;
+  config.escape_after = 2;
+  ReactiveTenure r(10, config);
+  r.on_solution(0xDD, 1);
+  r.on_solution(0xDD, 2);
+  EXPECT_TRUE(r.consume_escape());
+  r.on_solution(0xDD, 3);
+  EXPECT_FALSE(r.consume_escape());  // count restarted, needs another revisit
+  r.on_solution(0xDD, 4);
+  EXPECT_TRUE(r.consume_escape());
+}
+
+TEST(Reactive, TableGrowsWithDistinctSolutions) {
+  ReactiveTenure r(10);
+  for (std::uint64_t i = 0; i < 100; ++i) r.on_solution(i, i);
+  EXPECT_EQ(r.table_size(), 100U);
+}
+
+}  // namespace
+}  // namespace pts::tabu

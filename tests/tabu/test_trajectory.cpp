@@ -1,0 +1,118 @@
+#include "tabu/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+
+namespace pts::tabu {
+namespace {
+
+TsParams quick_params(std::uint64_t moves = 1500) {
+  TsParams params;
+  params.max_moves = moves;
+  params.strategy.nb_local = 20;
+  return params;
+}
+
+TEST(Trajectory, RecordsSamplesAndEvents) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 1);
+  Rng rng(1);
+  TrajectoryRecorder recorder;
+  (void)tabu_search_from_scratch(inst, quick_params(), rng, &recorder);
+  EXPECT_FALSE(recorder.samples().empty());
+  EXPECT_FALSE(recorder.events().empty());
+}
+
+TEST(Trajectory, BestValueIsNonDecreasing) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 2);
+  Rng rng(2);
+  TrajectoryRecorder recorder;
+  (void)tabu_search_from_scratch(inst, quick_params(), rng, &recorder);
+  for (std::size_t k = 1; k < recorder.samples().size(); ++k) {
+    EXPECT_GE(recorder.samples()[k].best_value, recorder.samples()[k - 1].best_value);
+    EXPECT_GE(recorder.samples()[k].move, recorder.samples()[k - 1].move);
+  }
+}
+
+TEST(Trajectory, SummaryAgreesWithEngineResult) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 3);
+  Rng rng(3);
+  TrajectoryRecorder recorder;
+  const auto result = tabu_search_from_scratch(inst, quick_params(), rng, &recorder);
+  const auto summary = recorder.summarize();
+  EXPECT_EQ(summary.total_moves, result.moves);
+  // The engine also credits intensification/diversification discoveries to
+  // the incumbent, so the trace's move-driven best can only be <=.
+  EXPECT_LE(summary.final_best, result.best_value + 1e-9);
+  EXPECT_EQ(summary.intensifications, result.intensifications);
+  EXPECT_EQ(summary.diversifications, result.diversifications);
+}
+
+TEST(Trajectory, AnytimeThresholdsAreOrdered) {
+  const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = 8}, 4);
+  Rng rng(4);
+  TrajectoryRecorder recorder;
+  (void)tabu_search_from_scratch(inst, quick_params(3000), rng, &recorder);
+  const auto summary = recorder.summarize();
+  ASSERT_GT(summary.moves_to_90pct, 0U);
+  ASSERT_GT(summary.moves_to_99pct, 0U);
+  EXPECT_LE(summary.moves_to_90pct, summary.moves_to_99pct);
+  EXPECT_LE(summary.moves_to_99pct, summary.total_moves);
+}
+
+TEST(Trajectory, BestAtInterpolatesTheProfile) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 5);
+  Rng rng(5);
+  TrajectoryRecorder recorder;
+  (void)tabu_search_from_scratch(inst, quick_params(), rng, &recorder);
+  // Move 0 carries the engine's normalized starting value (on_start).
+  const auto& first = recorder.samples().front();
+  EXPECT_EQ(first.move, 0U);
+  EXPECT_GT(first.best_value, 0.0);
+  EXPECT_DOUBLE_EQ(recorder.best_at(0), first.best_value);
+  const auto& last = recorder.samples().back();
+  EXPECT_DOUBLE_EQ(recorder.best_at(last.move), last.best_value);
+  // Midpoint query is bounded by the endpoints.
+  const double mid = recorder.best_at(last.move / 2);
+  EXPECT_GE(mid, first.best_value);
+  EXPECT_LE(mid, last.best_value);
+}
+
+TEST(Trajectory, StrideThinsSamplesButKeepsImprovements) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 6);
+  Rng rng_dense(7), rng_sparse(7);
+  TrajectoryRecorder dense(1), sparse(50);
+  (void)tabu_search_from_scratch(inst, quick_params(), rng_dense, &dense);
+  (void)tabu_search_from_scratch(inst, quick_params(), rng_sparse, &sparse);
+  EXPECT_LT(sparse.samples().size(), dense.samples().size());
+  // Identical runs: the final best must match despite thinning.
+  EXPECT_DOUBLE_EQ(sparse.summarize().final_best, dense.summarize().final_best);
+}
+
+TEST(Trajectory, SummaryToStringIsInformative) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 8);
+  Rng rng(8);
+  TrajectoryRecorder recorder;
+  (void)tabu_search_from_scratch(inst, quick_params(500), rng, &recorder);
+  const auto text = recorder.summarize().to_string();
+  EXPECT_NE(text.find("moves="), std::string::npos);
+  EXPECT_NE(text.find("intensify="), std::string::npos);
+}
+
+TEST(Trajectory, IntensificationGainsAreRecorded) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 6}, 9);
+  Rng rng(9);
+  TrajectoryRecorder recorder;
+  auto params = quick_params();
+  params.intensification = IntensificationKind::kSwap;
+  (void)tabu_search_from_scratch(inst, params, rng, &recorder);
+  // Swap intensification never loses value: every recorded gain >= 0.
+  for (const auto& event : recorder.events()) {
+    if (event.kind == TrajectoryRecorder::Event::Kind::kIntensify) {
+      EXPECT_GE(event.value_delta, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pts::tabu

@@ -1,0 +1,120 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pts {
+namespace {
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100U);
+  EXPECT_EQ(v.popcount(), 0U);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVec, SetResetFlip) {
+  BitVec v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_EQ(v.popcount(), 4U);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  v.flip(63);
+  EXPECT_TRUE(v.test(63));
+  v.flip(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.popcount(), 3U);
+}
+
+TEST(BitVec, AssignChoosesDirection) {
+  BitVec v(8);
+  v.assign(3, true);
+  EXPECT_TRUE(v.test(3));
+  v.assign(3, false);
+  EXPECT_FALSE(v.test(3));
+}
+
+TEST(BitVec, ClearAll) {
+  BitVec v(130);
+  for (std::size_t i = 0; i < 130; i += 3) v.set(i);
+  v.clear_all();
+  EXPECT_EQ(v.popcount(), 0U);
+}
+
+TEST(BitVec, HammingDistanceBasics) {
+  BitVec a(65), b(65);
+  EXPECT_EQ(a.hamming_distance(b), 0U);
+  a.set(0);
+  a.set(64);
+  EXPECT_EQ(a.hamming_distance(b), 2U);
+  b.set(0);
+  EXPECT_EQ(a.hamming_distance(b), 1U);
+  b.set(10);
+  EXPECT_EQ(a.hamming_distance(b), 2U);
+}
+
+TEST(BitVec, HammingIsSymmetric) {
+  Rng rng(3);
+  BitVec a(200), b(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (rng.bernoulli(0.5)) a.set(i);
+    if (rng.bernoulli(0.5)) b.set(i);
+  }
+  EXPECT_EQ(a.hamming_distance(b), b.hamming_distance(a));
+}
+
+TEST(BitVec, HammingEqualsPopcountAgainstZero) {
+  Rng rng(4);
+  BitVec a(150), zero(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    if (rng.bernoulli(0.3)) a.set(i);
+  }
+  EXPECT_EQ(a.hamming_distance(zero), a.popcount());
+}
+
+TEST(BitVec, EqualVectorsHashEqual) {
+  BitVec a(90), b(90);
+  a.set(5);
+  a.set(77);
+  b.set(5);
+  b.set(77);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(BitVec, DifferentContentUsuallyHashesDifferent) {
+  BitVec a(64), b(64);
+  a.set(1);
+  b.set(2);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVec, HashDependsOnLength) {
+  BitVec a(10), b(20);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVec, EqualityComparesContent) {
+  BitVec a(33), b(33);
+  EXPECT_EQ(a, b);
+  a.set(32);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitVec, EmptyVector) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0U);
+  EXPECT_EQ(v.popcount(), 0U);
+}
+
+}  // namespace
+}  // namespace pts

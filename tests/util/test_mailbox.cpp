@@ -1,0 +1,135 @@
+#include "util/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pts {
+namespace {
+
+TEST(Mailbox, FifoOrderSingleThread) {
+  Mailbox<int> box;
+  box.send(1);
+  box.send(2);
+  box.send(3);
+  EXPECT_EQ(box.receive().value(), 1);
+  EXPECT_EQ(box.receive().value(), 2);
+  EXPECT_EQ(box.receive().value(), 3);
+}
+
+TEST(Mailbox, TryReceiveEmptyIsNullopt) {
+  Mailbox<int> box;
+  EXPECT_FALSE(box.try_receive().has_value());
+}
+
+TEST(Mailbox, SizeTracksQueue) {
+  Mailbox<int> box;
+  EXPECT_EQ(box.size(), 0U);
+  box.send(5);
+  box.send(6);
+  EXPECT_EQ(box.size(), 2U);
+  (void)box.receive();
+  EXPECT_EQ(box.size(), 1U);
+}
+
+TEST(Mailbox, CloseDrainsRemainingThenNullopt) {
+  Mailbox<int> box;
+  box.send(10);
+  box.close();
+  EXPECT_TRUE(box.closed());
+  EXPECT_EQ(box.receive().value(), 10);
+  EXPECT_FALSE(box.receive().has_value());
+}
+
+TEST(Mailbox, SendAfterCloseIsDropped) {
+  Mailbox<int> box;
+  box.close();
+  EXPECT_FALSE(box.send(1));
+  EXPECT_FALSE(box.receive().has_value());
+}
+
+TEST(Mailbox, MoveOnlyPayload) {
+  Mailbox<std::unique_ptr<int>> box;
+  box.send(std::make_unique<int>(42));
+  auto received = box.receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(**received, 42);
+}
+
+TEST(Mailbox, ReceiveBlocksUntilSend) {
+  Mailbox<int> box;
+  std::atomic<bool> received{false};
+  std::jthread consumer([&] {
+    const auto value = box.receive();
+    EXPECT_EQ(value.value(), 99);
+    received = true;
+  });
+  // Give the consumer a chance to block first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(received.load());
+  box.send(99);
+  consumer.join();
+  EXPECT_TRUE(received.load());
+}
+
+TEST(Mailbox, CloseWakesBlockedReceiver) {
+  Mailbox<int> box;
+  std::jthread consumer([&] { EXPECT_FALSE(box.receive().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.close();
+}
+
+TEST(Mailbox, ManyProducersOneConsumer) {
+  Mailbox<int> box;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  {
+    std::vector<std::jthread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&box, p] {
+        for (int i = 0; i < kPerProducer; ++i) box.send(p * kPerProducer + i);
+      });
+    }
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    const auto value = box.receive();
+    ASSERT_TRUE(value.has_value());
+    ASSERT_GE(*value, 0);
+    ASSERT_LT(*value, kProducers * kPerProducer);
+    EXPECT_FALSE(seen[*value]) << "duplicate " << *value;
+    seen[*value] = true;
+  }
+  EXPECT_EQ(box.size(), 0U);
+}
+
+TEST(Mailbox, PerProducerOrderPreserved) {
+  // FIFO holds per sender even with interleaving.
+  Mailbox<std::pair<int, int>> box;
+  {
+    std::jthread a([&] {
+      for (int i = 0; i < 100; ++i) box.send({0, i});
+    });
+    std::jthread b([&] {
+      for (int i = 0; i < 100; ++i) box.send({1, i});
+    });
+  }
+  int next_a = 0, next_b = 0;
+  while (auto message = box.try_receive()) {
+    auto [who, seq] = *message;
+    if (who == 0) {
+      EXPECT_EQ(seq, next_a++);
+    } else {
+      EXPECT_EQ(seq, next_b++);
+    }
+  }
+  EXPECT_EQ(next_a, 100);
+  EXPECT_EQ(next_b, 100);
+}
+
+}  // namespace
+}  // namespace pts

@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pts {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(5);
+  std::vector<double> values;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(-50, 50);
+    values.push_back(v);
+    s.add(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-7);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  Rng rng(6);
+  RunningStats all, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform_real(0, 10);
+    all.add(v);
+    (i < 200 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2U);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.9), 7.0);
+}
+
+TEST(MeanStddevOf, Basics) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.0);
+  EXPECT_NEAR(stddev_of(v), 1.0, 1e-12);
+}
+
+TEST(DeviationPercent, PaperConvention) {
+  // achieved 95 against reference 100 -> 5% below.
+  EXPECT_DOUBLE_EQ(deviation_percent(95.0, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(deviation_percent(100.0, 100.0), 0.0);
+  // above the reference -> negative deviation
+  EXPECT_LT(deviation_percent(105.0, 100.0), 0.0);
+}
+
+TEST(DeviationPercent, ZeroReferenceIsDefinedAsZero) {
+  EXPECT_DOUBLE_EQ(deviation_percent(5.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pts

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace pts {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const auto rendered = t.render();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("22"), std::string::npos);
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxxx", "1"});
+  t.add_row({"y", "2"});
+  const auto rendered = t.render();
+  // Both data rows should place column b at the same offset.
+  const auto lines_start = rendered.find('\n');
+  ASSERT_NE(lines_start, std::string::npos);
+  const auto row1 = rendered.find("xxxxx");
+  const auto row2 = rendered.find("y", row1);
+  const auto col1 = rendered.find('1', row1) - row1;
+  const auto col2 = rendered.find('2', row2) - row2;
+  EXPECT_EQ(col1, col2);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, RowCountAndFormat) {
+  TextTable t({"v"});
+  EXPECT_EQ(t.row_count(), 0U);
+  t.add_row({TextTable::fmt(3.14159, 2)});
+  EXPECT_EQ(t.row_count(), 1U);
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(static_cast<long long>(-7)), "-7");
+  EXPECT_EQ(TextTable::fmt(static_cast<std::size_t>(42)), "42");
+}
+
+TEST(TextTable, MismatchedRowWidthAborts) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(CliArgs, ParsesKeyEqualsValue) {
+  const char* argv[] = {"prog", "--alpha=0.9", "--name=test"};
+  const auto args = CliArgs::parse(3, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.9);
+  EXPECT_EQ(args.get_string("name", ""), "test");
+}
+
+TEST(CliArgs, ParsesKeySpaceValue) {
+  const char* argv[] = {"prog", "--threads", "8"};
+  const auto args = CliArgs::parse(3, argv);
+  EXPECT_EQ(args.get_int("threads", 0), 8);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  const auto args = CliArgs::parse(2, argv);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+}
+
+TEST(CliArgs, PositionalCollected) {
+  const char* argv[] = {"prog", "file1.txt", "--k=2", "file2.txt"};
+  const auto args = CliArgs::parse(4, argv);
+  ASSERT_EQ(args.positional().size(), 2U);
+  EXPECT_EQ(args.positional()[0], "file1.txt");
+  EXPECT_EQ(args.positional()[1], "file2.txt");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(CliArgs, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  const auto args = CliArgs::parse(1, argv);
+  EXPECT_EQ(args.get_int("missing", -5), -5);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("missing", "zz"), "zz");
+  EXPECT_FALSE(args.get_bool("missing", false));
+}
+
+TEST(CliArgs, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=no"};
+  const auto args = CliArgs::parse(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_TRUE(args.get_bool("b", false));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+}  // namespace
+}  // namespace pts

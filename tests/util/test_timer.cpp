@@ -1,0 +1,65 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+namespace pts {
+namespace {
+
+TEST(Stopwatch, ElapsedGrowsMonotonically) {
+  Stopwatch w;
+  const double a = w.elapsed_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double b = w.elapsed_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GT(b, 0.0);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  w.restart();
+  EXPECT_LT(w.elapsed_seconds(), 0.01);
+}
+
+TEST(Stopwatch, MillisecondsConsistentWithSeconds) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(w.elapsed_ms(), 15);
+}
+
+TEST(Deadline, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.is_bounded());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_seconds()));
+}
+
+TEST(Deadline, UnboundedFactory) {
+  const auto d = Deadline::unbounded();
+  EXPECT_FALSE(d.is_bounded());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, ExpiresAfterDuration) {
+  const auto d = Deadline::after_seconds(0.02);
+  EXPECT_TRUE(d.is_bounded());
+  EXPECT_FALSE(d.expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, RemainingShrinks) {
+  const auto d = Deadline::after_seconds(10.0);
+  const double r1 = d.remaining_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double r2 = d.remaining_seconds();
+  EXPECT_LT(r2, r1);
+  EXPECT_GT(r2, 9.0);
+}
+
+}  // namespace
+}  // namespace pts
