@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_alpha.dir/bench_ablate_alpha.cpp.o"
+  "CMakeFiles/bench_ablate_alpha.dir/bench_ablate_alpha.cpp.o.d"
+  "bench_ablate_alpha"
+  "bench_ablate_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

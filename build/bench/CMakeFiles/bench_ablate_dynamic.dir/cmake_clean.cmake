@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dynamic.dir/bench_ablate_dynamic.cpp.o"
+  "CMakeFiles/bench_ablate_dynamic.dir/bench_ablate_dynamic.cpp.o.d"
+  "bench_ablate_dynamic"
+  "bench_ablate_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_intensify.dir/bench_ablate_intensify.cpp.o"
+  "CMakeFiles/bench_ablate_intensify.dir/bench_ablate_intensify.cpp.o.d"
+  "bench_ablate_intensify"
+  "bench_ablate_intensify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_intensify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_nbdrop.dir/bench_ablate_nbdrop.cpp.o"
+  "CMakeFiles/bench_ablate_nbdrop.dir/bench_ablate_nbdrop.cpp.o.d"
+  "bench_ablate_nbdrop"
+  "bench_ablate_nbdrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_nbdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

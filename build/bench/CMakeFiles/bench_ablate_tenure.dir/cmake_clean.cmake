@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_tenure.dir/bench_ablate_tenure.cpp.o"
+  "CMakeFiles/bench_ablate_tenure.dir/bench_ablate_tenure.cpp.o.d"
+  "bench_ablate_tenure"
+  "bench_ablate_tenure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_tenure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

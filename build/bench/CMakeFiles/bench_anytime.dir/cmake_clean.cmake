@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anytime.dir/bench_anytime.cpp.o"
+  "CMakeFiles/bench_anytime.dir/bench_anytime.cpp.o.d"
+  "bench_anytime"
+  "bench_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cets_compare.dir/bench_cets_compare.cpp.o"
+  "CMakeFiles/bench_cets_compare.dir/bench_cets_compare.cpp.o.d"
+  "bench_cets_compare"
+  "bench_cets_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cets_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp57.dir/bench_fp57.cpp.o"
+  "CMakeFiles/bench_fp57.dir/bench_fp57.cpp.o.d"
+  "bench_fp57"
+  "bench_fp57.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp57.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_threads.dir/bench_scale_threads.cpp.o"
+  "CMakeFiles/bench_scale_threads.dir/bench_scale_threads.cpp.o.d"
+  "bench_scale_threads"
+  "bench_scale_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

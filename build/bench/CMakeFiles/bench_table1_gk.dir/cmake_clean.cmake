@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gk.dir/bench_table1_gk.cpp.o"
+  "CMakeFiles/bench_table1_gk.dir/bench_table1_gk.cpp.o.d"
+  "bench_table1_gk"
+  "bench_table1_gk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpts_bench_support.a"
+  "../lib/libpts_bench_support.pdb"
+  "CMakeFiles/pts_bench_support.dir/common.cpp.o"
+  "CMakeFiles/pts_bench_support.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pts_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

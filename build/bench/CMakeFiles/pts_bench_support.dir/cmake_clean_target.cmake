@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpts_bench_support.a"
+)

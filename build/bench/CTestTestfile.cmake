@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_table1_gk "/root/repo/build/bench/bench_table1_gk" "--quick")
+set_tests_properties(smoke_bench_table1_gk PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;20;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table2_modes "/root/repo/build/bench/bench_table2_modes" "--quick")
+set_tests_properties(smoke_bench_table2_modes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;21;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_fp57 "/root/repo/build/bench/bench_fp57" "--quick")
+set_tests_properties(smoke_bench_fp57 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;22;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablate_tenure "/root/repo/build/bench/bench_ablate_tenure" "--quick")
+set_tests_properties(smoke_bench_ablate_tenure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;23;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablate_nbdrop "/root/repo/build/bench/bench_ablate_nbdrop" "--quick")
+set_tests_properties(smoke_bench_ablate_nbdrop PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;24;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablate_intensify "/root/repo/build/bench/bench_ablate_intensify" "--quick")
+set_tests_properties(smoke_bench_ablate_intensify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;25;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablate_dynamic "/root/repo/build/bench/bench_ablate_dynamic" "--quick")
+set_tests_properties(smoke_bench_ablate_dynamic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;26;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_scale_threads "/root/repo/build/bench/bench_scale_threads" "--quick")
+set_tests_properties(smoke_bench_scale_threads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;27;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_ablate_alpha "/root/repo/build/bench/bench_ablate_alpha" "--quick")
+set_tests_properties(smoke_bench_ablate_alpha PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;28;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_reduction "/root/repo/build/bench/bench_reduction" "--quick")
+set_tests_properties(smoke_bench_reduction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;29;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_anytime "/root/repo/build/bench/bench_anytime" "--quick")
+set_tests_properties(smoke_bench_anytime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;30;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_cets_compare "/root/repo/build/bench/bench_cets_compare" "--quick")
+set_tests_properties(smoke_bench_cets_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;31;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_tightness "/root/repo/build/bench/bench_tightness" "--quick")
+set_tests_properties(smoke_bench_tightness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;32;pts_add_bench;/root/repo/bench/CMakeLists.txt;0;")

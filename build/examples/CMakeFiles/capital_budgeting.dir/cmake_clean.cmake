@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capital_budgeting.dir/capital_budgeting.cpp.o"
+  "CMakeFiles/capital_budgeting.dir/capital_budgeting.cpp.o.d"
+  "capital_budgeting"
+  "capital_budgeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capital_budgeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orlib_solver.dir/orlib_solver.cpp.o"
+  "CMakeFiles/orlib_solver.dir/orlib_solver.cpp.o.d"
+  "orlib_solver"
+  "orlib_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orlib_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_allocation.dir/resource_allocation.cpp.o"
+  "CMakeFiles/resource_allocation.dir/resource_allocation.cpp.o.d"
+  "resource_allocation"
+  "resource_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

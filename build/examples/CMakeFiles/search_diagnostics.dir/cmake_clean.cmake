@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_diagnostics.dir/search_diagnostics.cpp.o"
+  "CMakeFiles/search_diagnostics.dir/search_diagnostics.cpp.o.d"
+  "search_diagnostics"
+  "search_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

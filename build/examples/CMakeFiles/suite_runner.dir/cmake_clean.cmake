@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_runner.dir/suite_runner.cpp.o"
+  "CMakeFiles/suite_runner.dir/suite_runner.cpp.o.d"
+  "suite_runner"
+  "suite_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

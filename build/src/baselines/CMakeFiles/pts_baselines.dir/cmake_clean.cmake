@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pts_baselines.dir/grasp.cpp.o"
+  "CMakeFiles/pts_baselines.dir/grasp.cpp.o.d"
+  "CMakeFiles/pts_baselines.dir/simulated_annealing.cpp.o"
+  "CMakeFiles/pts_baselines.dir/simulated_annealing.cpp.o.d"
+  "libpts_baselines.a"
+  "libpts_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pts_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/dantzig.cpp" "src/bounds/CMakeFiles/pts_bounds.dir/dantzig.cpp.o" "gcc" "src/bounds/CMakeFiles/pts_bounds.dir/dantzig.cpp.o.d"
+  "/root/repo/src/bounds/greedy.cpp" "src/bounds/CMakeFiles/pts_bounds.dir/greedy.cpp.o" "gcc" "src/bounds/CMakeFiles/pts_bounds.dir/greedy.cpp.o.d"
+  "/root/repo/src/bounds/lagrangian.cpp" "src/bounds/CMakeFiles/pts_bounds.dir/lagrangian.cpp.o" "gcc" "src/bounds/CMakeFiles/pts_bounds.dir/lagrangian.cpp.o.d"
+  "/root/repo/src/bounds/linalg.cpp" "src/bounds/CMakeFiles/pts_bounds.dir/linalg.cpp.o" "gcc" "src/bounds/CMakeFiles/pts_bounds.dir/linalg.cpp.o.d"
+  "/root/repo/src/bounds/reduction.cpp" "src/bounds/CMakeFiles/pts_bounds.dir/reduction.cpp.o" "gcc" "src/bounds/CMakeFiles/pts_bounds.dir/reduction.cpp.o.d"
+  "/root/repo/src/bounds/simplex.cpp" "src/bounds/CMakeFiles/pts_bounds.dir/simplex.cpp.o" "gcc" "src/bounds/CMakeFiles/pts_bounds.dir/simplex.cpp.o.d"
+  "/root/repo/src/bounds/surrogate.cpp" "src/bounds/CMakeFiles/pts_bounds.dir/surrogate.cpp.o" "gcc" "src/bounds/CMakeFiles/pts_bounds.dir/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mkp/CMakeFiles/pts_mkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

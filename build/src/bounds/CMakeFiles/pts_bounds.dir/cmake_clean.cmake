@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pts_bounds.dir/dantzig.cpp.o"
+  "CMakeFiles/pts_bounds.dir/dantzig.cpp.o.d"
+  "CMakeFiles/pts_bounds.dir/greedy.cpp.o"
+  "CMakeFiles/pts_bounds.dir/greedy.cpp.o.d"
+  "CMakeFiles/pts_bounds.dir/lagrangian.cpp.o"
+  "CMakeFiles/pts_bounds.dir/lagrangian.cpp.o.d"
+  "CMakeFiles/pts_bounds.dir/linalg.cpp.o"
+  "CMakeFiles/pts_bounds.dir/linalg.cpp.o.d"
+  "CMakeFiles/pts_bounds.dir/reduction.cpp.o"
+  "CMakeFiles/pts_bounds.dir/reduction.cpp.o.d"
+  "CMakeFiles/pts_bounds.dir/simplex.cpp.o"
+  "CMakeFiles/pts_bounds.dir/simplex.cpp.o.d"
+  "CMakeFiles/pts_bounds.dir/surrogate.cpp.o"
+  "CMakeFiles/pts_bounds.dir/surrogate.cpp.o.d"
+  "libpts_bounds.a"
+  "libpts_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pts_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/branch_and_bound.cpp" "src/exact/CMakeFiles/pts_exact.dir/branch_and_bound.cpp.o" "gcc" "src/exact/CMakeFiles/pts_exact.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/exact/brute_force.cpp" "src/exact/CMakeFiles/pts_exact.dir/brute_force.cpp.o" "gcc" "src/exact/CMakeFiles/pts_exact.dir/brute_force.cpp.o.d"
+  "/root/repo/src/exact/dp_single.cpp" "src/exact/CMakeFiles/pts_exact.dir/dp_single.cpp.o" "gcc" "src/exact/CMakeFiles/pts_exact.dir/dp_single.cpp.o.d"
+  "/root/repo/src/exact/reduce_and_solve.cpp" "src/exact/CMakeFiles/pts_exact.dir/reduce_and_solve.cpp.o" "gcc" "src/exact/CMakeFiles/pts_exact.dir/reduce_and_solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mkp/CMakeFiles/pts_mkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/pts_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pts_exact.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/pts_exact.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/pts_exact.dir/brute_force.cpp.o"
+  "CMakeFiles/pts_exact.dir/brute_force.cpp.o.d"
+  "CMakeFiles/pts_exact.dir/dp_single.cpp.o"
+  "CMakeFiles/pts_exact.dir/dp_single.cpp.o.d"
+  "CMakeFiles/pts_exact.dir/reduce_and_solve.cpp.o"
+  "CMakeFiles/pts_exact.dir/reduce_and_solve.cpp.o.d"
+  "libpts_exact.a"
+  "libpts_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pts_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

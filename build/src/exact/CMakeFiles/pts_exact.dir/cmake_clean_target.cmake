@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpts_exact.a"
+)

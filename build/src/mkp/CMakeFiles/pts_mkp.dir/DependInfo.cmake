@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mkp/analysis.cpp" "src/mkp/CMakeFiles/pts_mkp.dir/analysis.cpp.o" "gcc" "src/mkp/CMakeFiles/pts_mkp.dir/analysis.cpp.o.d"
+  "/root/repo/src/mkp/catalog.cpp" "src/mkp/CMakeFiles/pts_mkp.dir/catalog.cpp.o" "gcc" "src/mkp/CMakeFiles/pts_mkp.dir/catalog.cpp.o.d"
+  "/root/repo/src/mkp/generator.cpp" "src/mkp/CMakeFiles/pts_mkp.dir/generator.cpp.o" "gcc" "src/mkp/CMakeFiles/pts_mkp.dir/generator.cpp.o.d"
+  "/root/repo/src/mkp/instance.cpp" "src/mkp/CMakeFiles/pts_mkp.dir/instance.cpp.o" "gcc" "src/mkp/CMakeFiles/pts_mkp.dir/instance.cpp.o.d"
+  "/root/repo/src/mkp/parser.cpp" "src/mkp/CMakeFiles/pts_mkp.dir/parser.cpp.o" "gcc" "src/mkp/CMakeFiles/pts_mkp.dir/parser.cpp.o.d"
+  "/root/repo/src/mkp/solution.cpp" "src/mkp/CMakeFiles/pts_mkp.dir/solution.cpp.o" "gcc" "src/mkp/CMakeFiles/pts_mkp.dir/solution.cpp.o.d"
+  "/root/repo/src/mkp/solution_io.cpp" "src/mkp/CMakeFiles/pts_mkp.dir/solution_io.cpp.o" "gcc" "src/mkp/CMakeFiles/pts_mkp.dir/solution_io.cpp.o.d"
+  "/root/repo/src/mkp/suites.cpp" "src/mkp/CMakeFiles/pts_mkp.dir/suites.cpp.o" "gcc" "src/mkp/CMakeFiles/pts_mkp.dir/suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pts_mkp.dir/analysis.cpp.o"
+  "CMakeFiles/pts_mkp.dir/analysis.cpp.o.d"
+  "CMakeFiles/pts_mkp.dir/catalog.cpp.o"
+  "CMakeFiles/pts_mkp.dir/catalog.cpp.o.d"
+  "CMakeFiles/pts_mkp.dir/generator.cpp.o"
+  "CMakeFiles/pts_mkp.dir/generator.cpp.o.d"
+  "CMakeFiles/pts_mkp.dir/instance.cpp.o"
+  "CMakeFiles/pts_mkp.dir/instance.cpp.o.d"
+  "CMakeFiles/pts_mkp.dir/parser.cpp.o"
+  "CMakeFiles/pts_mkp.dir/parser.cpp.o.d"
+  "CMakeFiles/pts_mkp.dir/solution.cpp.o"
+  "CMakeFiles/pts_mkp.dir/solution.cpp.o.d"
+  "CMakeFiles/pts_mkp.dir/solution_io.cpp.o"
+  "CMakeFiles/pts_mkp.dir/solution_io.cpp.o.d"
+  "CMakeFiles/pts_mkp.dir/suites.cpp.o"
+  "CMakeFiles/pts_mkp.dir/suites.cpp.o.d"
+  "libpts_mkp.a"
+  "libpts_mkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pts_mkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

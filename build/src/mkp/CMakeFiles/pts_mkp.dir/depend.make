@@ -1,0 +1,2 @@
+# Empty dependencies file for pts_mkp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/async_swarm.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/async_swarm.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/async_swarm.cpp.o.d"
+  "/root/repo/src/parallel/autotune.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/autotune.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/autotune.cpp.o.d"
+  "/root/repo/src/parallel/comm.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/comm.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/comm.cpp.o.d"
+  "/root/repo/src/parallel/init_gen.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/init_gen.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/init_gen.cpp.o.d"
+  "/root/repo/src/parallel/master.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/master.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/master.cpp.o.d"
+  "/root/repo/src/parallel/presets.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/presets.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/presets.cpp.o.d"
+  "/root/repo/src/parallel/report_io.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/report_io.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/report_io.cpp.o.d"
+  "/root/repo/src/parallel/runner.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/runner.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/runner.cpp.o.d"
+  "/root/repo/src/parallel/slave.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/slave.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/slave.cpp.o.d"
+  "/root/repo/src/parallel/solve.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/solve.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/solve.cpp.o.d"
+  "/root/repo/src/parallel/strategy_gen.cpp" "src/parallel/CMakeFiles/pts_parallel.dir/strategy_gen.cpp.o" "gcc" "src/parallel/CMakeFiles/pts_parallel.dir/strategy_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tabu/CMakeFiles/pts_tabu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mkp/CMakeFiles/pts_mkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/pts_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pts_parallel.dir/async_swarm.cpp.o"
+  "CMakeFiles/pts_parallel.dir/async_swarm.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/autotune.cpp.o"
+  "CMakeFiles/pts_parallel.dir/autotune.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/comm.cpp.o"
+  "CMakeFiles/pts_parallel.dir/comm.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/init_gen.cpp.o"
+  "CMakeFiles/pts_parallel.dir/init_gen.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/master.cpp.o"
+  "CMakeFiles/pts_parallel.dir/master.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/presets.cpp.o"
+  "CMakeFiles/pts_parallel.dir/presets.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/report_io.cpp.o"
+  "CMakeFiles/pts_parallel.dir/report_io.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/runner.cpp.o"
+  "CMakeFiles/pts_parallel.dir/runner.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/slave.cpp.o"
+  "CMakeFiles/pts_parallel.dir/slave.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/solve.cpp.o"
+  "CMakeFiles/pts_parallel.dir/solve.cpp.o.d"
+  "CMakeFiles/pts_parallel.dir/strategy_gen.cpp.o"
+  "CMakeFiles/pts_parallel.dir/strategy_gen.cpp.o.d"
+  "libpts_parallel.a"
+  "libpts_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pts_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tabu/cets.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/cets.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/cets.cpp.o.d"
+  "/root/repo/src/tabu/diversify.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/diversify.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/diversify.cpp.o.d"
+  "/root/repo/src/tabu/elite_pool.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/elite_pool.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/elite_pool.cpp.o.d"
+  "/root/repo/src/tabu/engine.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/engine.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/engine.cpp.o.d"
+  "/root/repo/src/tabu/history.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/history.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/history.cpp.o.d"
+  "/root/repo/src/tabu/intensify.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/intensify.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/intensify.cpp.o.d"
+  "/root/repo/src/tabu/moves.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/moves.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/moves.cpp.o.d"
+  "/root/repo/src/tabu/path_relink.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/path_relink.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/path_relink.cpp.o.d"
+  "/root/repo/src/tabu/reactive.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/reactive.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/reactive.cpp.o.d"
+  "/root/repo/src/tabu/rem.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/rem.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/rem.cpp.o.d"
+  "/root/repo/src/tabu/tabu_list.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/tabu_list.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/tabu_list.cpp.o.d"
+  "/root/repo/src/tabu/trajectory.cpp" "src/tabu/CMakeFiles/pts_tabu.dir/trajectory.cpp.o" "gcc" "src/tabu/CMakeFiles/pts_tabu.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mkp/CMakeFiles/pts_mkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/pts_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pts_tabu.dir/cets.cpp.o"
+  "CMakeFiles/pts_tabu.dir/cets.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/diversify.cpp.o"
+  "CMakeFiles/pts_tabu.dir/diversify.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/elite_pool.cpp.o"
+  "CMakeFiles/pts_tabu.dir/elite_pool.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/engine.cpp.o"
+  "CMakeFiles/pts_tabu.dir/engine.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/history.cpp.o"
+  "CMakeFiles/pts_tabu.dir/history.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/intensify.cpp.o"
+  "CMakeFiles/pts_tabu.dir/intensify.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/moves.cpp.o"
+  "CMakeFiles/pts_tabu.dir/moves.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/path_relink.cpp.o"
+  "CMakeFiles/pts_tabu.dir/path_relink.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/reactive.cpp.o"
+  "CMakeFiles/pts_tabu.dir/reactive.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/rem.cpp.o"
+  "CMakeFiles/pts_tabu.dir/rem.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/tabu_list.cpp.o"
+  "CMakeFiles/pts_tabu.dir/tabu_list.cpp.o.d"
+  "CMakeFiles/pts_tabu.dir/trajectory.cpp.o"
+  "CMakeFiles/pts_tabu.dir/trajectory.cpp.o.d"
+  "libpts_tabu.a"
+  "libpts_tabu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pts_tabu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

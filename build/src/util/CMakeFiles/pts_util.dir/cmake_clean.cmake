@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pts_util.dir/bitvec.cpp.o"
+  "CMakeFiles/pts_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/pts_util.dir/cli.cpp.o"
+  "CMakeFiles/pts_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pts_util.dir/logging.cpp.o"
+  "CMakeFiles/pts_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pts_util.dir/rng.cpp.o"
+  "CMakeFiles/pts_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pts_util.dir/stats.cpp.o"
+  "CMakeFiles/pts_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pts_util.dir/table.cpp.o"
+  "CMakeFiles/pts_util.dir/table.cpp.o.d"
+  "libpts_util.a"
+  "libpts_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pts_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

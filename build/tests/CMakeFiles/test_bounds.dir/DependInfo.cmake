@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bounds/test_dantzig.cpp" "tests/CMakeFiles/test_bounds.dir/bounds/test_dantzig.cpp.o" "gcc" "tests/CMakeFiles/test_bounds.dir/bounds/test_dantzig.cpp.o.d"
+  "/root/repo/tests/bounds/test_greedy.cpp" "tests/CMakeFiles/test_bounds.dir/bounds/test_greedy.cpp.o" "gcc" "tests/CMakeFiles/test_bounds.dir/bounds/test_greedy.cpp.o.d"
+  "/root/repo/tests/bounds/test_lagrangian.cpp" "tests/CMakeFiles/test_bounds.dir/bounds/test_lagrangian.cpp.o" "gcc" "tests/CMakeFiles/test_bounds.dir/bounds/test_lagrangian.cpp.o.d"
+  "/root/repo/tests/bounds/test_linalg.cpp" "tests/CMakeFiles/test_bounds.dir/bounds/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/test_bounds.dir/bounds/test_linalg.cpp.o.d"
+  "/root/repo/tests/bounds/test_reduction.cpp" "tests/CMakeFiles/test_bounds.dir/bounds/test_reduction.cpp.o" "gcc" "tests/CMakeFiles/test_bounds.dir/bounds/test_reduction.cpp.o.d"
+  "/root/repo/tests/bounds/test_simplex.cpp" "tests/CMakeFiles/test_bounds.dir/bounds/test_simplex.cpp.o" "gcc" "tests/CMakeFiles/test_bounds.dir/bounds/test_simplex.cpp.o.d"
+  "/root/repo/tests/bounds/test_simplex_degenerate.cpp" "tests/CMakeFiles/test_bounds.dir/bounds/test_simplex_degenerate.cpp.o" "gcc" "tests/CMakeFiles/test_bounds.dir/bounds/test_simplex_degenerate.cpp.o.d"
+  "/root/repo/tests/bounds/test_surrogate.cpp" "tests/CMakeFiles/test_bounds.dir/bounds/test_surrogate.cpp.o" "gcc" "tests/CMakeFiles/test_bounds.dir/bounds/test_surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/pts_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pts_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabu/CMakeFiles/pts_tabu.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/pts_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/pts_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/mkp/CMakeFiles/pts_mkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

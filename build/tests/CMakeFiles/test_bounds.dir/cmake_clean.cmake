@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounds.dir/bounds/test_dantzig.cpp.o"
+  "CMakeFiles/test_bounds.dir/bounds/test_dantzig.cpp.o.d"
+  "CMakeFiles/test_bounds.dir/bounds/test_greedy.cpp.o"
+  "CMakeFiles/test_bounds.dir/bounds/test_greedy.cpp.o.d"
+  "CMakeFiles/test_bounds.dir/bounds/test_lagrangian.cpp.o"
+  "CMakeFiles/test_bounds.dir/bounds/test_lagrangian.cpp.o.d"
+  "CMakeFiles/test_bounds.dir/bounds/test_linalg.cpp.o"
+  "CMakeFiles/test_bounds.dir/bounds/test_linalg.cpp.o.d"
+  "CMakeFiles/test_bounds.dir/bounds/test_reduction.cpp.o"
+  "CMakeFiles/test_bounds.dir/bounds/test_reduction.cpp.o.d"
+  "CMakeFiles/test_bounds.dir/bounds/test_simplex.cpp.o"
+  "CMakeFiles/test_bounds.dir/bounds/test_simplex.cpp.o.d"
+  "CMakeFiles/test_bounds.dir/bounds/test_simplex_degenerate.cpp.o"
+  "CMakeFiles/test_bounds.dir/bounds/test_simplex_degenerate.cpp.o.d"
+  "CMakeFiles/test_bounds.dir/bounds/test_surrogate.cpp.o"
+  "CMakeFiles/test_bounds.dir/bounds/test_surrogate.cpp.o.d"
+  "test_bounds"
+  "test_bounds.pdb"
+  "test_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

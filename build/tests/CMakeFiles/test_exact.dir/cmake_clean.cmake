@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact.dir/exact/test_bnb.cpp.o"
+  "CMakeFiles/test_exact.dir/exact/test_bnb.cpp.o.d"
+  "CMakeFiles/test_exact.dir/exact/test_brute_force.cpp.o"
+  "CMakeFiles/test_exact.dir/exact/test_brute_force.cpp.o.d"
+  "CMakeFiles/test_exact.dir/exact/test_dp.cpp.o"
+  "CMakeFiles/test_exact.dir/exact/test_dp.cpp.o.d"
+  "CMakeFiles/test_exact.dir/exact/test_reduce_and_solve.cpp.o"
+  "CMakeFiles/test_exact.dir/exact/test_reduce_and_solve.cpp.o.d"
+  "test_exact"
+  "test_exact.pdb"
+  "test_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

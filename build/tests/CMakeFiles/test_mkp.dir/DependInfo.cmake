@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mkp/test_analysis.cpp" "tests/CMakeFiles/test_mkp.dir/mkp/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_mkp.dir/mkp/test_analysis.cpp.o.d"
+  "/root/repo/tests/mkp/test_catalog.cpp" "tests/CMakeFiles/test_mkp.dir/mkp/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/test_mkp.dir/mkp/test_catalog.cpp.o.d"
+  "/root/repo/tests/mkp/test_generator.cpp" "tests/CMakeFiles/test_mkp.dir/mkp/test_generator.cpp.o" "gcc" "tests/CMakeFiles/test_mkp.dir/mkp/test_generator.cpp.o.d"
+  "/root/repo/tests/mkp/test_instance.cpp" "tests/CMakeFiles/test_mkp.dir/mkp/test_instance.cpp.o" "gcc" "tests/CMakeFiles/test_mkp.dir/mkp/test_instance.cpp.o.d"
+  "/root/repo/tests/mkp/test_parser.cpp" "tests/CMakeFiles/test_mkp.dir/mkp/test_parser.cpp.o" "gcc" "tests/CMakeFiles/test_mkp.dir/mkp/test_parser.cpp.o.d"
+  "/root/repo/tests/mkp/test_solution.cpp" "tests/CMakeFiles/test_mkp.dir/mkp/test_solution.cpp.o" "gcc" "tests/CMakeFiles/test_mkp.dir/mkp/test_solution.cpp.o.d"
+  "/root/repo/tests/mkp/test_solution_io.cpp" "tests/CMakeFiles/test_mkp.dir/mkp/test_solution_io.cpp.o" "gcc" "tests/CMakeFiles/test_mkp.dir/mkp/test_solution_io.cpp.o.d"
+  "/root/repo/tests/mkp/test_suites.cpp" "tests/CMakeFiles/test_mkp.dir/mkp/test_suites.cpp.o" "gcc" "tests/CMakeFiles/test_mkp.dir/mkp/test_suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/pts_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pts_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabu/CMakeFiles/pts_tabu.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/pts_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/pts_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/mkp/CMakeFiles/pts_mkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

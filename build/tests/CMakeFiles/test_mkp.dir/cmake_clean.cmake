@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mkp.dir/mkp/test_analysis.cpp.o"
+  "CMakeFiles/test_mkp.dir/mkp/test_analysis.cpp.o.d"
+  "CMakeFiles/test_mkp.dir/mkp/test_catalog.cpp.o"
+  "CMakeFiles/test_mkp.dir/mkp/test_catalog.cpp.o.d"
+  "CMakeFiles/test_mkp.dir/mkp/test_generator.cpp.o"
+  "CMakeFiles/test_mkp.dir/mkp/test_generator.cpp.o.d"
+  "CMakeFiles/test_mkp.dir/mkp/test_instance.cpp.o"
+  "CMakeFiles/test_mkp.dir/mkp/test_instance.cpp.o.d"
+  "CMakeFiles/test_mkp.dir/mkp/test_parser.cpp.o"
+  "CMakeFiles/test_mkp.dir/mkp/test_parser.cpp.o.d"
+  "CMakeFiles/test_mkp.dir/mkp/test_solution.cpp.o"
+  "CMakeFiles/test_mkp.dir/mkp/test_solution.cpp.o.d"
+  "CMakeFiles/test_mkp.dir/mkp/test_solution_io.cpp.o"
+  "CMakeFiles/test_mkp.dir/mkp/test_solution_io.cpp.o.d"
+  "CMakeFiles/test_mkp.dir/mkp/test_suites.cpp.o"
+  "CMakeFiles/test_mkp.dir/mkp/test_suites.cpp.o.d"
+  "test_mkp"
+  "test_mkp.pdb"
+  "test_mkp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel/test_async.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_async.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_async.cpp.o.d"
+  "/root/repo/tests/parallel/test_async_semantics.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_async_semantics.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_async_semantics.cpp.o.d"
+  "/root/repo/tests/parallel/test_async_topology.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_async_topology.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_async_topology.cpp.o.d"
+  "/root/repo/tests/parallel/test_autotune.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_autotune.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_autotune.cpp.o.d"
+  "/root/repo/tests/parallel/test_init_gen.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_init_gen.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_init_gen.cpp.o.d"
+  "/root/repo/tests/parallel/test_master.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_master.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_master.cpp.o.d"
+  "/root/repo/tests/parallel/test_master_behaviors.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_master_behaviors.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_master_behaviors.cpp.o.d"
+  "/root/repo/tests/parallel/test_presets.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_presets.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_presets.cpp.o.d"
+  "/root/repo/tests/parallel/test_runner.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_runner.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_runner.cpp.o.d"
+  "/root/repo/tests/parallel/test_slave.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_slave.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_slave.cpp.o.d"
+  "/root/repo/tests/parallel/test_solve_report.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_solve_report.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_solve_report.cpp.o.d"
+  "/root/repo/tests/parallel/test_strategy_gen.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_strategy_gen.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_strategy_gen.cpp.o.d"
+  "/root/repo/tests/parallel/test_stress.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/pts_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pts_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabu/CMakeFiles/pts_tabu.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/pts_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/pts_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/mkp/CMakeFiles/pts_mkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel.dir/parallel/test_async.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_async.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_async_semantics.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_async_semantics.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_async_topology.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_async_topology.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_autotune.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_autotune.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_init_gen.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_init_gen.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_master.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_master.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_master_behaviors.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_master_behaviors.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_presets.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_presets.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_runner.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_runner.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_slave.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_slave.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_solve_report.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_solve_report.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_strategy_gen.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_strategy_gen.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_stress.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_stress.cpp.o.d"
+  "test_parallel"
+  "test_parallel.pdb"
+  "test_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

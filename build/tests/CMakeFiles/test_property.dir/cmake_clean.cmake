@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/test_invariants.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_invariants.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_oracle_agreement.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_oracle_agreement.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_parser_fuzz.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_parser_fuzz.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_pathological.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_pathological.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

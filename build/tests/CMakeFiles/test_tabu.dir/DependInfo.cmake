@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tabu/test_candidates.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_candidates.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_candidates.cpp.o.d"
+  "/root/repo/tests/tabu/test_cets.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_cets.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_cets.cpp.o.d"
+  "/root/repo/tests/tabu/test_diversify.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_diversify.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_diversify.cpp.o.d"
+  "/root/repo/tests/tabu/test_elite_pool.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_elite_pool.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_elite_pool.cpp.o.d"
+  "/root/repo/tests/tabu/test_engine.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_engine.cpp.o.d"
+  "/root/repo/tests/tabu/test_engine_behaviors.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_engine_behaviors.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_engine_behaviors.cpp.o.d"
+  "/root/repo/tests/tabu/test_engine_trace.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_engine_trace.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_engine_trace.cpp.o.d"
+  "/root/repo/tests/tabu/test_history.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_history.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_history.cpp.o.d"
+  "/root/repo/tests/tabu/test_intensify.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_intensify.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_intensify.cpp.o.d"
+  "/root/repo/tests/tabu/test_moves.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_moves.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_moves.cpp.o.d"
+  "/root/repo/tests/tabu/test_path_relink.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_path_relink.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_path_relink.cpp.o.d"
+  "/root/repo/tests/tabu/test_reactive.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_reactive.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_reactive.cpp.o.d"
+  "/root/repo/tests/tabu/test_rem.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_rem.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_rem.cpp.o.d"
+  "/root/repo/tests/tabu/test_tabu_list.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_tabu_list.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_tabu_list.cpp.o.d"
+  "/root/repo/tests/tabu/test_trajectory.cpp" "tests/CMakeFiles/test_tabu.dir/tabu/test_trajectory.cpp.o" "gcc" "tests/CMakeFiles/test_tabu.dir/tabu/test_trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/pts_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pts_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabu/CMakeFiles/pts_tabu.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/pts_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/pts_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/mkp/CMakeFiles/pts_mkp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
