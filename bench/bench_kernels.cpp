@@ -2,7 +2,21 @@
 // model the paper's work balancing assumes — O(m) add/drop, O(n m) move
 // application scaling with nb_drop, plus the LP solve and pool-spread
 // kernels the master relies on.
+//
+// In addition to the google-benchmark suite, a self-timed comparison of the
+// fused column-major fit_and_score sweep against the historical two-pass
+// row-major scalar path always runs first and writes machine-readable
+// results to BENCH_kernels.json (override with --json=PATH). `--smoke`
+// skips the google-benchmark suite, shrinks the comparison to well under
+// five seconds, and exits nonzero if the fused kernel fails to beat the
+// scalar reference — the ctest `bench_smoke_kernels` regression gate.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bounds/greedy.hpp"
 #include "bounds/lagrangian.hpp"
@@ -11,6 +25,7 @@
 #include "mkp/generator.hpp"
 #include "tabu/cets.hpp"
 #include "tabu/elite_pool.hpp"
+#include "tabu/kernels.hpp"
 #include "tabu/moves.hpp"
 #include "tabu/path_relink.hpp"
 #include "util/rng.hpp"
@@ -22,6 +37,159 @@ using namespace pts;
 mkp::Instance bench_instance(std::size_t n, std::size_t m) {
   return mkp::generate_gk({.num_items = n, .num_constraints = m}, 12345);
 }
+
+// A mid-search Add-step state: greedy-fill, then drop a few items so there
+// are real candidates with mixed fit/non-fit outcomes, like the scans the
+// tabu engine actually runs.
+mkp::Solution sweep_state(const mkp::Instance& inst) {
+  auto x = bounds::greedy_construct(inst);
+  Rng rng(99);
+  const auto selected = x.selected_items();
+  for (std::size_t k = 0; k < selected.size() / 4; ++k) {
+    const std::size_t j = selected[rng.index(selected.size())];
+    if (x.contains(j)) x.drop(j);
+  }
+  return x;
+}
+
+// One full candidate sweep with the pre-mirror path: every unselected item
+// pays the strided fits() pass and, when feasible, the strided score pass.
+double sweep_scalar_reference(const mkp::Solution& x) {
+  const std::size_t n = x.num_items();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (x.contains(j)) continue;
+    const auto fs = tabu::kernels::fit_and_score_reference(x, j);
+    if (fs.fit) acc += fs.score;
+  }
+  return acc;
+}
+
+// The same sweep through the fused column-major kernel with O(1) pruning
+// and a word-level zero-scan of the selection mask.
+double sweep_fused(const mkp::Solution& x) {
+  const std::size_t n = x.num_items();
+  const BitVec& bits = x.bits();
+  double acc = 0.0;
+  for (std::size_t j = bits.next_zero(0); j < n; j = bits.next_zero(j + 1)) {
+    if (tabu::kernels::prune_add_candidate(x, j)) continue;
+    const auto fs = tabu::kernels::fit_and_score(x, j);
+    if (fs.fit) acc += fs.score;
+  }
+  return acc;
+}
+
+struct SweepTiming {
+  double scalar_ns_per_sweep = 0.0;
+  double fused_ns_per_sweep = 0.0;
+  [[nodiscard]] double speedup() const {
+    return fused_ns_per_sweep > 0.0 ? scalar_ns_per_sweep / fused_ns_per_sweep : 0.0;
+  }
+};
+
+template <typename Fn>
+double time_ns_per_call(Fn&& fn, std::size_t reps) {
+  volatile double sink = 0.0;
+  // Warm-up pass so both paths start with the same cache state.
+  sink = sink + fn();
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) sink = sink + fn();
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count()) /
+         static_cast<double>(reps);
+}
+
+SweepTiming time_sweeps(const mkp::Instance& inst, std::size_t reps) {
+  const auto x = sweep_state(inst);
+  SweepTiming timing;
+  // Interleave A/B/A/B halves so neither path benefits from running last.
+  timing.scalar_ns_per_sweep = time_ns_per_call([&] { return sweep_scalar_reference(x); }, reps / 2);
+  timing.fused_ns_per_sweep = time_ns_per_call([&] { return sweep_fused(x); }, reps / 2);
+  timing.scalar_ns_per_sweep =
+      0.5 * (timing.scalar_ns_per_sweep +
+             time_ns_per_call([&] { return sweep_scalar_reference(x); }, reps / 2));
+  timing.fused_ns_per_sweep =
+      0.5 * (timing.fused_ns_per_sweep +
+             time_ns_per_call([&] { return sweep_fused(x); }, reps / 2));
+  return timing;
+}
+
+/// Writes BENCH_kernels.json and returns 0 when the fused kernel is no more
+/// than `tolerance` slower than the scalar reference on every shape.
+int run_kernel_comparison(const std::string& json_path, bool smoke) {
+  struct Shape {
+    std::size_t m;
+    std::size_t n;
+  };
+  // 25x500 is the paper's largest GK shape — the acceptance target.
+  static constexpr Shape kShapes[] = {{5, 100}, {10, 250}, {25, 500}};
+  const std::size_t reps = smoke ? 2000 : 20000;
+  constexpr double kTolerance = 1.10;  // fail only if >10% slower
+
+  std::string json = "{\n  \"unit\": \"ns_per_sweep\",\n  \"reps\": " +
+                     std::to_string(reps) + ",\n  \"shapes\": [\n";
+  bool ok = true;
+  for (std::size_t s = 0; s < std::size(kShapes); ++s) {
+    const auto& shape = kShapes[s];
+    const auto inst = bench_instance(shape.n, shape.m);
+    const auto timing = time_sweeps(inst, reps);
+    ok = ok && timing.fused_ns_per_sweep <= timing.scalar_ns_per_sweep * kTolerance;
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"m\": %zu, \"n\": %zu, \"scalar_ns\": %.1f, "
+                  "\"fused_ns\": %.1f, \"speedup\": %.2f}%s\n",
+                  shape.m, shape.n, timing.scalar_ns_per_sweep,
+                  timing.fused_ns_per_sweep, timing.speedup(),
+                  s + 1 < std::size(kShapes) ? "," : "");
+    json += row;
+    std::printf("fit_and_score sweep %zux%zu: scalar %.0f ns, fused %.0f ns, %.2fx\n",
+                shape.m, shape.n, timing.scalar_ns_per_sweep,
+                timing.fused_ns_per_sweep, timing.speedup());
+  }
+  json += "  ],\n  \"fused_within_tolerance\": ";
+  json += ok ? "true" : "false";
+  json += "\n}\n";
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: fused kernel slower than the scalar reference by >10%%\n");
+    return 1;
+  }
+  return 0;
+}
+
+void BM_FitScoreSweepScalarRef(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(1)),
+                                   static_cast<std::size_t>(state.range(0)));
+  const auto x = sweep_state(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_scalar_reference(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+}
+BENCHMARK(BM_FitScoreSweepScalarRef)->Args({5, 100})->Args({25, 500});
+
+void BM_FitScoreSweepFused(benchmark::State& state) {
+  const auto inst = bench_instance(static_cast<std::size_t>(state.range(1)),
+                                   static_cast<std::size_t>(state.range(0)));
+  const auto x = sweep_state(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_fused(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+}
+BENCHMARK(BM_FitScoreSweepFused)->Args({5, 100})->Args({25, 500});
 
 void BM_SolutionAddDrop(benchmark::State& state) {
   const auto inst = bench_instance(500, static_cast<std::size_t>(state.range(0)));
@@ -157,4 +325,28 @@ BENCHMARK(BM_GenerateGk)->Arg(100)->Arg(500);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_kernels.json";
+  // Strip our flags before handing argv to google-benchmark.
+  std::vector<char*> passthrough = {argv[0]};
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[a], "--json=", 7) == 0) {
+      json_path = argv[a] + 7;
+    } else {
+      passthrough.push_back(argv[a]);
+    }
+  }
+  const int comparison = run_kernel_comparison(json_path, smoke);
+  if (smoke) return comparison;
+
+  argc = static_cast<int>(passthrough.size());
+  argv = passthrough.data();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return comparison;
+}

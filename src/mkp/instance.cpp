@@ -1,5 +1,6 @@
 #include "mkp/instance.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace pts::mkp {
@@ -17,9 +18,23 @@ Instance::Instance(std::string name, std::vector<double> profits,
   PTS_CHECK_MSG(weights_.size() == n_ * m_, "weight matrix must be m*n");
 
   column_sums_.assign(n_, 0.0);
+  weights_col_.resize(n_ * m_);
+  col_min_weight_.assign(n_, std::numeric_limits<double>::infinity());
+  col_max_weight_.assign(n_, 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
     const double* row = weights_.data() + i * n_;
-    for (std::size_t j = 0; j < n_; ++j) column_sums_[j] += row[j];
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double w = row[j];
+      column_sums_[j] += w;
+      weights_col_[j * m_ + i] = w;
+      col_min_weight_[j] = std::min(col_min_weight_[j], w);
+      col_max_weight_[j] = std::max(col_max_weight_[j], w);
+    }
+  }
+
+  relative_scale_.resize(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    relative_scale_[i] = capacities_[i] > 0.0 ? 1.0 / capacities_[i] : 1.0;
   }
 
   density_.resize(n_);

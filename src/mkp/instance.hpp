@@ -6,9 +6,14 @@
 //        x_j in {0,1}
 //
 // with c_j > 0, a_ij >= 0, b_i >= 0 (the paper assumes positive reals).
-// Weights are stored row-major (one contiguous row per constraint) so the
-// inner candidate-evaluation loops of the tabu engine stream one cache-
-// friendly row at a time.
+// Weights are stored in BOTH layouts (see DESIGN.md "Data layout & move
+// kernels"): row-major (one contiguous row per constraint) for the Drop
+// step's bottleneck-row scan, and a column-major mirror (one contiguous
+// column per item) for the Add step's per-candidate feasibility/score
+// kernels, which would otherwise read column j at stride n. The mirror is
+// built once at construction together with per-item min/max weight
+// summaries that let the move kernels reject non-fitting candidates in
+// O(1) without touching the column at all.
 
 #include <cstddef>
 #include <optional>
@@ -52,6 +57,38 @@ class Instance {
     return {weights_.data() + i * n_, n_};
   }
 
+  /// Column-major mirror: item j's m weights a_0j .. a_{m-1},j, contiguous.
+  [[nodiscard]] std::span<const double> weights_col(std::size_t j) const {
+    PTS_DCHECK(j < n_);
+    return {weights_col_.data() + j * m_, m_};
+  }
+
+  /// min_i a_ij. If this exceeds the solution's minimum slack, item j cannot
+  /// fit (its weight at the tightest constraint is at least this large) — the
+  /// O(1) candidate prune used by the Add kernels.
+  [[nodiscard]] double min_col_weight(std::size_t j) const {
+    PTS_DCHECK(j < n_);
+    return col_min_weight_[j];
+  }
+
+  /// max_i a_ij. If this is at most the solution's minimum slack, item j is
+  /// guaranteed to fit — no column scan needed to prove feasibility.
+  [[nodiscard]] double max_col_weight(std::size_t j) const {
+    PTS_DCHECK(j < n_);
+    return col_max_weight_[j];
+  }
+
+  /// Precomputed 1/b_i for relative slack normalization (1.0 when b_i <= 0,
+  /// matching the historical "fall back to raw slack" semantics). Lets
+  /// Solution::most_saturated_constraint run branch-free inside the loop.
+  [[nodiscard]] double relative_slack_scale(std::size_t i) const {
+    PTS_DCHECK(i < m_);
+    return relative_scale_[i];
+  }
+  [[nodiscard]] std::span<const double> relative_slack_scales() const {
+    return relative_scale_;
+  }
+
   /// sum_i a_ij — the aggregate resource consumption of item j.
   [[nodiscard]] double column_weight_sum(std::size_t j) const {
     PTS_DCHECK(j < n_);
@@ -83,8 +120,12 @@ class Instance {
   std::size_t n_ = 0;
   std::size_t m_ = 0;
   std::vector<double> profits_;
-  std::vector<double> weights_;  // row-major, m_ rows of n_
+  std::vector<double> weights_;      // row-major, m_ rows of n_
+  std::vector<double> weights_col_;  // column-major mirror, n_ columns of m_
   std::vector<double> capacities_;
+  std::vector<double> col_min_weight_;
+  std::vector<double> col_max_weight_;
+  std::vector<double> relative_scale_;  // 1/b_i (1.0 when b_i <= 0)
   std::vector<double> column_sums_;
   std::vector<double> density_;
   double total_profit_ = 0.0;

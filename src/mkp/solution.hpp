@@ -42,6 +42,21 @@ class Solution {
     return inst_->capacity(i) - loads_[i];
   }
 
+  /// min_i slack(i), maintained incrementally by add()/drop(). Combined with
+  /// Instance::min_col_weight this gives the O(1) candidate prune: an item
+  /// whose smallest weight exceeds the smallest slack cannot fit anywhere.
+  [[nodiscard]] double min_slack() const { return min_slack_; }
+
+  /// Floor applied to per-constraint slack before taking its reciprocal, so
+  /// scoring against a (nearly) saturated constraint stays finite.
+  static constexpr double kSlackFloor = 1e-9;
+
+  /// Per-constraint 1 / max(slack(i), kSlackFloor), maintained incrementally
+  /// by add()/drop(). Move scoring divides weights by slack for every
+  /// candidate; slacks only change once per move, so precomputing the
+  /// reciprocals here turns m divisions per candidate into m multiplies.
+  [[nodiscard]] std::span<const double> inv_slack() const { return inv_slack_; }
+
   void add(std::size_t j);   ///< item must be absent
   void drop(std::size_t j);  ///< item must be present
   void flip(std::size_t j);
@@ -83,10 +98,14 @@ class Solution {
   bool operator==(const Solution& other) const { return bits_ == other.bits_; }
 
  private:
+  void recompute_slack_summaries();
+
   const Instance* inst_;
   BitVec bits_;
   std::vector<double> loads_;
+  std::vector<double> inv_slack_;
   double value_ = 0.0;
+  double min_slack_ = 0.0;
   std::size_t cardinality_ = 0;
 };
 

@@ -1,0 +1,71 @@
+#include "tabu/kernels.hpp"
+
+#include <algorithm>
+
+namespace pts::tabu::kernels {
+
+FitScore fit_and_score(const mkp::Solution& x, std::size_t j) {
+  const mkp::Instance& inst = x.instance();
+  if (inst.min_col_weight(j) > x.min_slack()) return {};  // O(1) reject
+  const double* col = inst.weights_col(j).data();
+  const double* loads = x.loads().data();
+  const double* caps = inst.capacities().data();
+  const double* inv = x.inv_slack().data();
+  const std::size_t m = inst.num_constraints();
+  // Two latency-hiding tricks on top of the fused single pass:
+  //  - multiply by the precomputed floored reciprocal slack
+  //    (Solution::inv_slack) instead of dividing — slacks are loop-invariant
+  //    across a whole candidate scan, and divisions dominate otherwise;
+  //  - four independent accumulator chains, because a single serial
+  //    `sum += w * inv` chain is bounded by FP-add latency (~4 cycles per
+  //    constraint), not by throughput.
+  // Feasibility comparisons are unchanged from the scalar path (same
+  // `load + w > cap` form, ascending i, early-out on the first violation).
+  // A zero weight contributes exactly +0.0, so the scalar path's explicit
+  // w == 0 skip needs no branch here.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 3 < m; i += 4) {
+    if (loads[i] + col[i] > caps[i]) return {};
+    if (loads[i + 1] + col[i + 1] > caps[i + 1]) return {};
+    if (loads[i + 2] + col[i + 2] > caps[i + 2]) return {};
+    if (loads[i + 3] + col[i + 3] > caps[i + 3]) return {};
+    s0 += col[i] * inv[i];
+    s1 += col[i + 1] * inv[i + 1];
+    s2 += col[i + 2] * inv[i + 2];
+    s3 += col[i + 3] * inv[i + 3];
+  }
+  for (; i < m; ++i) {
+    if (loads[i] + col[i] > caps[i]) return {};
+    s0 += col[i] * inv[i];
+  }
+  const double scaled_weight = (s0 + s1) + (s2 + s3);
+  if (scaled_weight == 0.0) {
+    return {true, std::numeric_limits<double>::infinity()};
+  }
+  return {true, inst.profit(j) / scaled_weight};
+}
+
+FitScore fit_and_score_reference(const mkp::Solution& x, std::size_t j) {
+  const mkp::Instance& inst = x.instance();
+  const std::size_t m = inst.num_constraints();
+  // Pass 1: the pre-mirror Solution::fits — stride-n reads of column j.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (x.load(i) + inst.weight(i, j) > inst.capacity(i)) return {};
+  }
+  // Pass 2: the pre-mirror MoveKernel::add_score — a second strided sweep.
+  double scaled_weight = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double w = inst.weight(i, j);
+    if (w == 0.0) continue;
+    const double slack = x.slack(i);
+    if (slack <= 0.0) return {true, 0.0};
+    scaled_weight += w / std::max(slack, kSlackFloor);
+  }
+  if (scaled_weight == 0.0) {
+    return {true, std::numeric_limits<double>::infinity()};
+  }
+  return {true, inst.profit(j) / scaled_weight};
+}
+
+}  // namespace pts::tabu::kernels

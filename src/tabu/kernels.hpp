@@ -1,0 +1,69 @@
+#pragma once
+// Cache-aware move-evaluation kernels for the Add step (DESIGN.md "Data
+// layout & move kernels").
+//
+// The Drop/Add tabu move spends nearly all its time deciding which item to
+// add next: for every unselected candidate j it must (a) test feasibility
+// against all m constraints and (b) compute the slack-scaled profit density.
+// The historical path did that as two separate passes over column j of the
+// row-major weight matrix — 2m strided reads at stride n per candidate.
+//
+// fit_and_score() fuses both passes into ONE sweep of the contiguous
+// column-major mirror (Instance::weights_col), with an early-out on the
+// first violated constraint. The feasibility test is bit-identical to the
+// scalar pair (same comparison load + w > b, same scan order). The score
+// differs from the scalar computation only at the ulp level: it multiplies
+// each weight by the floored reciprocal slack that Solution maintains per
+// move (Solution::inv_slack) instead of dividing, and sums through four
+// independent accumulator chains instead of one — divisions and the serial
+// FP-add latency chain dominate the scoring cost otherwise. Both tweaks
+// perturb the result by ~1 ulp per term, far inside the 1e-9 property-test
+// tolerance, and genuinely tied candidates (identical columns) still
+// produce bitwise-equal scores, preserving first-seen tie-breaks.
+//
+// prune_add_candidate() is the O(1) pre-filter: an item whose smallest
+// weight exceeds the solution's smallest slack cannot fit at the tightest
+// constraint, so the column need not be touched at all. (Exact for the
+// integral-valued weights every generator and OR-Library file produces.)
+//
+// fit_and_score_reference() preserves the pre-mirror strided access pattern
+// verbatim; bench_kernels and the equivalence property tests compare
+// against it.
+
+#include <cstddef>
+#include <limits>
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+
+namespace pts::tabu::kernels {
+
+/// Floor applied to per-constraint slack before dividing, so items touching
+/// a nearly-saturated constraint score finite. Defined on Solution (which
+/// precomputes the floored reciprocals); aliased here for the kernels API.
+inline constexpr double kSlackFloor = mkp::Solution::kSlackFloor;
+
+struct FitScore {
+  bool fit = false;
+  double score = 0.0;  ///< slack-scaled profit density; valid only when fit
+};
+
+/// True when item j can be rejected without reading its weight column:
+/// min_i a_ij > min_i slack_i implies the weight at the tightest constraint
+/// already exceeds that constraint's slack.
+[[nodiscard]] inline bool prune_add_candidate(const mkp::Solution& x, std::size_t j) {
+  return x.instance().min_col_weight(j) > x.min_slack();
+}
+
+/// Fused feasibility + score in one pass over the contiguous weight column,
+/// early-out on the first violated constraint. When `fit` is false the
+/// score is 0 and must not be used (the scalar add_score can report a
+/// nonzero score for a non-fitting item; callers always test fit first).
+[[nodiscard]] FitScore fit_and_score(const mkp::Solution& x, std::size_t j);
+
+/// The historical two-pass scalar path: Solution::fits-style check followed
+/// by MoveKernel::add_score-style scoring, both reading a_ij at stride n
+/// from the row-major matrix. Kept as the benchmark/test reference.
+[[nodiscard]] FitScore fit_and_score_reference(const mkp::Solution& x, std::size_t j);
+
+}  // namespace pts::tabu::kernels

@@ -3,23 +3,24 @@
 #include <cmath>
 #include <limits>
 
+#include "tabu/kernels.hpp"
 #include "util/check.hpp"
 
 namespace pts::tabu {
 
-namespace {
-constexpr double kSlackFloor = 1e-9;
-}
-
 double MoveKernel::add_score(const mkp::Solution& x, std::size_t j) const {
-  const std::size_t m = inst_->num_constraints();
+  const auto col = inst_->weights_col(j);
+  const auto inv = x.inv_slack();
+  const std::size_t m = col.size();
   double scaled_weight = 0.0;
   for (std::size_t i = 0; i < m; ++i) {
-    const double w = inst_->weight(i, j);
+    const double w = col[i];
     if (w == 0.0) continue;
-    const double slack = x.slack(i);
-    if (slack <= 0.0) return 0.0;  // cannot fit anyway
-    scaled_weight += w / std::max(slack, kSlackFloor);
+    if (x.slack(i) <= 0.0) return 0.0;  // cannot fit anyway
+    // Multiply by the precomputed reciprocal as kernels::fit_and_score does;
+    // the fused kernel's unrolled accumulation may differ from this single
+    // chain by ulps (see kernels.hpp), never more.
+    scaled_weight += w * inv[i];
   }
   if (scaled_weight == 0.0) return std::numeric_limits<double>::infinity();
   return inst_->profit(j) / scaled_weight;
@@ -39,8 +40,9 @@ std::optional<std::size_t> MoveKernel::select_drop(const mkp::Solution& x,
   auto pick = [&](bool honor_tabu) -> std::optional<std::size_t> {
     std::size_t best = n;
     double best_key = -1.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (!x.contains(j)) continue;
+    // Word-level scan of the selection mask: only selected items are visited.
+    const BitVec& bits = x.bits();
+    for (std::size_t j = bits.next_one(0); j < n; j = bits.next_one(j + 1)) {
       if (honor_tabu && tabu.is_drop_tabu(j, iter)) continue;
       const double profit = inst_->profit(j);
       const double key = profit > 0.0 ? row[j] / profit
@@ -71,25 +73,40 @@ std::optional<std::size_t> MoveKernel::select_add(const mkp::Solution& x,
   std::size_t evaluated = 0;
   std::size_t best = n;
   double best_key = -1.0;
-  for (std::size_t offset = 0; offset < n; ++offset) {
-    const std::size_t j = start + offset < n ? start + offset : start + offset - n;
-    if (x.contains(j) || !x.fits(j)) continue;
+  // Candidate budget semantics: `evaluated` counts FULLY SCORED candidates
+  // only — items skipped because they are selected, pruned in O(1), fail the
+  // fused feasibility check, or are tabu without aspiration consume no
+  // budget. max_candidates therefore bounds the number of score comparisons
+  // per move (the paper's "neighbor solutions evaluated"), independent of
+  // how dense the selection mask or the tabu list happens to be.
+  auto consider = [&](std::size_t j) -> bool {  // false stops the scan
+    if (kernels::prune_add_candidate(x, j)) return true;
+    const auto fs = kernels::fit_and_score(x, j);
+    if (!fs.fit) return true;
     if (tabu.is_add_tabu(j, iter)) {
       // Aspiration (§3.1): the tabu barrier falls when accepting the item
       // would immediately beat the best objective value found so far.
       const bool aspires = x.value() + inst_->profit(j) > best_value;
       if (!aspires) {
         if (stats) ++stats->tabu_blocked_adds;
-        continue;
+        return true;
       }
       if (stats) ++stats->aspiration_hits;
     }
-    const double key = add_score(x, j);
-    if (key > best_key) {
-      best_key = key;
+    if (fs.score > best_key) {
+      best_key = fs.score;
       best = j;
     }
-    if (max_candidates > 0 && ++evaluated >= max_candidates) break;
+    return !(max_candidates > 0 && ++evaluated >= max_candidates);
+  };
+  // Circular sweep from `start`, visiting only unselected items via a
+  // word-level scan of the selection mask's zeros.
+  const BitVec& bits = x.bits();
+  for (std::size_t j = bits.next_zero(start); j < n; j = bits.next_zero(j + 1)) {
+    if (!consider(j)) return best < n ? std::optional<std::size_t>(best) : std::nullopt;
+  }
+  for (std::size_t j = bits.next_zero(0); j < start; j = bits.next_zero(j + 1)) {
+    if (!consider(j)) break;
   }
   return best < n ? std::optional<std::size_t>(best) : std::nullopt;
 }

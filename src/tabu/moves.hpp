@@ -59,13 +59,19 @@ class MoveKernel {
                                                        bool* forced = nullptr) const;
 
   /// The Add rule alone: the best fitting candidate honoring tabu status and
-  /// aspiration, or nullopt when nothing can be added.
+  /// aspiration, or nullopt when nothing can be added. Candidates stream the
+  /// column-major weight mirror through the fused kernels::fit_and_score
+  /// sweep; unselected items are enumerated by a word-level zero-scan of the
+  /// selection mask and non-fitting ones are pre-rejected in O(1) when
+  /// min_col_weight(j) > min_slack.
   ///
   /// When `max_candidates > 0` (the strategy's nb_candidates) only that many
-  /// fitting candidates are evaluated, scanned circularly from a random
-  /// offset drawn from `rng` — the paper's "number of neighbor solutions
-  /// evaluated at each move" knob. rng may be null only when
-  /// max_candidates == 0.
+  /// candidates are evaluated, scanned circularly from a random offset drawn
+  /// from `rng` — the paper's "number of neighbor solutions evaluated at
+  /// each move" knob. "Evaluated" counts fully scored candidates only:
+  /// items rejected by the selection mask, the O(1) prune, the feasibility
+  /// check, or the tabu filter (without aspiration) do not consume budget.
+  /// rng may be null only when max_candidates == 0.
   [[nodiscard]] std::optional<std::size_t> select_add(
       const mkp::Solution& x, const TabuList& tabu, std::uint64_t iter,
       double best_value, MoveStats* stats = nullptr, Rng* rng = nullptr,

@@ -10,6 +10,35 @@ std::size_t BitVec::popcount() const {
   return total;
 }
 
+std::size_t BitVec::next_one(std::size_t from) const {
+  if (from >= nbits_) return nbits_;
+  std::size_t k = from >> 6;
+  // Mask off bits below `from` in the first word, then scan whole words.
+  std::uint64_t w = words_[k] & (~0ULL << (from & 63));
+  while (true) {
+    if (w != 0) {
+      const std::size_t bit = (k << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return bit < nbits_ ? bit : nbits_;
+    }
+    if (++k == words_.size()) return nbits_;
+    w = words_[k];
+  }
+}
+
+std::size_t BitVec::next_zero(std::size_t from) const {
+  if (from >= nbits_) return nbits_;
+  std::size_t k = from >> 6;
+  std::uint64_t w = ~words_[k] & (~0ULL << (from & 63));
+  while (true) {
+    if (w != 0) {
+      const std::size_t bit = (k << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return bit < nbits_ ? bit : nbits_;
+    }
+    if (++k == words_.size()) return nbits_;
+    w = ~words_[k];
+  }
+}
+
 std::size_t BitVec::hamming_distance(const BitVec& other) const {
   PTS_CHECK(nbits_ == other.nbits_);
   std::size_t total = 0;

@@ -38,6 +38,35 @@ TEST(Instance, WeightsRowIsContiguousRow) {
   EXPECT_DOUBLE_EQ(row1[2], 6.0);
 }
 
+TEST(Instance, WeightsColIsContiguousColumnMirror) {
+  const auto inst = make_2x3();
+  for (std::size_t j = 0; j < inst.num_items(); ++j) {
+    const auto col = inst.weights_col(j);
+    ASSERT_EQ(col.size(), inst.num_constraints());
+    for (std::size_t i = 0; i < inst.num_constraints(); ++i) {
+      EXPECT_DOUBLE_EQ(col[i], inst.weight(i, j)) << "a[" << i << "][" << j << "]";
+    }
+  }
+}
+
+TEST(Instance, ColumnMinMaxWeightSummaries) {
+  const auto inst = make_2x3();  // columns: {1,4}, {2,5}, {3,6}
+  EXPECT_DOUBLE_EQ(inst.min_col_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(inst.max_col_weight(0), 4.0);
+  EXPECT_DOUBLE_EQ(inst.min_col_weight(2), 3.0);
+  EXPECT_DOUBLE_EQ(inst.max_col_weight(2), 6.0);
+}
+
+TEST(Instance, RelativeSlackScalesAreReciprocalCapacities) {
+  const auto inst = make_2x3();
+  EXPECT_DOUBLE_EQ(inst.relative_slack_scale(0), 1.0 / 10.0);
+  EXPECT_DOUBLE_EQ(inst.relative_slack_scale(1), 1.0 / 20.0);
+  // b_i = 0 falls back to raw slack (scale 1), never a division by zero.
+  Instance zero_cap("zc", {1}, {1, 1}, {0, 5});
+  EXPECT_DOUBLE_EQ(zero_cap.relative_slack_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(zero_cap.relative_slack_scale(1), 1.0 / 5.0);
+}
+
 TEST(Instance, ColumnWeightSums) {
   const auto inst = make_2x3();
   EXPECT_DOUBLE_EQ(inst.column_weight_sum(0), 5.0);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "mkp/generator.hpp"
 #include "util/rng.hpp"
 
@@ -110,6 +112,79 @@ TEST(Solution, MostSaturatedConstraintRelative) {
   EXPECT_EQ(s.most_saturated_constraint(true), 0U);
   s.add(1);  // relative slacks: 0.91, 850/1000 = 0.85
   EXPECT_EQ(s.most_saturated_constraint(true), 1U);
+}
+
+TEST(Solution, MostSaturatedConstraintZeroCapacityTieBreak) {
+  // b_0 = 0 uses raw slack (no normalization). Both constraints sit at
+  // relative key 0 when empty... constraint 0: slack 0 raw; constraint 1:
+  // slack 8, key 1.0 — the zero-capacity constraint is the bottleneck.
+  Instance inst("zc", {1, 1}, {0, 0, 4, 4}, {0, 8});
+  Solution s(inst);
+  EXPECT_EQ(s.most_saturated_constraint(true), 0U);
+  // A second zero-capacity constraint ties at key 0; lowest index wins.
+  Instance both("zz", {1}, {1, 1}, {0, 0});
+  Solution t(both);
+  EXPECT_EQ(t.most_saturated_constraint(true), 0U);
+  EXPECT_EQ(t.most_saturated_constraint(false), 0U);
+}
+
+TEST(Solution, MinSlackTracksAddDropClear) {
+  const auto inst = make_inst();  // b = {7, 6}
+  Solution s(inst);
+  EXPECT_DOUBLE_EQ(s.min_slack(), 6.0);  // empty: min capacity
+  s.add(0);                              // slacks {2, 4}
+  EXPECT_DOUBLE_EQ(s.min_slack(), 2.0);
+  s.add(3);  // slacks {1, 2}
+  EXPECT_DOUBLE_EQ(s.min_slack(), 1.0);
+  s.drop(0);  // slacks {6, 4}
+  EXPECT_DOUBLE_EQ(s.min_slack(), 4.0);
+  s.add(1);  // slacks {2, 2}
+  s.add(2);  // slacks {-1, 0}: infeasible, min_slack negative
+  EXPECT_DOUBLE_EQ(s.min_slack(), -1.0);
+  EXPECT_FALSE(s.is_feasible());
+  s.clear();
+  EXPECT_DOUBLE_EQ(s.min_slack(), 6.0);
+}
+
+TEST(Solution, MinSlackMatchesDirectScanOnRandomWalk) {
+  const auto inst = generate_gk({.num_items = 50, .num_constraints = 9}, 77);
+  Solution s(inst);
+  Rng rng(78);
+  for (int step = 0; step < 500; ++step) {
+    s.flip(rng.index(inst.num_items()));
+    double expect = s.slack(0);
+    for (std::size_t i = 1; i < inst.num_constraints(); ++i) {
+      expect = std::min(expect, s.slack(i));
+    }
+    ASSERT_DOUBLE_EQ(s.min_slack(), expect) << "step " << step;
+  }
+}
+
+TEST(Solution, InvSlackIsFlooredReciprocalSlack) {
+  const auto inst = make_inst();  // b = {7, 6}
+  Solution s(inst);
+  ASSERT_EQ(s.inv_slack().size(), 2U);
+  EXPECT_DOUBLE_EQ(s.inv_slack()[0], 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.inv_slack()[1], 1.0 / 6.0);
+  s.add(0);  // slacks {2, 4}
+  EXPECT_DOUBLE_EQ(s.inv_slack()[0], 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(s.inv_slack()[1], 1.0 / 4.0);
+  s.add(1);  // slacks {-2, 2}: negative slack floors at kSlackFloor
+  EXPECT_DOUBLE_EQ(s.inv_slack()[0], 1.0 / Solution::kSlackFloor);
+  EXPECT_DOUBLE_EQ(s.inv_slack()[1], 1.0 / 2.0);
+}
+
+TEST(Solution, InvSlackMatchesDirectRecomputeOnRandomWalk) {
+  const auto inst = generate_gk({.num_items = 50, .num_constraints = 9}, 81);
+  Solution s(inst);
+  Rng rng(82);
+  for (int step = 0; step < 500; ++step) {
+    s.flip(rng.index(inst.num_items()));
+    for (std::size_t i = 0; i < inst.num_constraints(); ++i) {
+      const double expect = 1.0 / std::max(s.slack(i), Solution::kSlackFloor);
+      ASSERT_DOUBLE_EQ(s.inv_slack()[i], expect) << "step " << step << " i " << i;
+    }
+  }
 }
 
 TEST(Solution, SelectedItemsSortedAscending) {

@@ -116,5 +116,59 @@ TEST(BitVec, EmptyVector) {
   EXPECT_EQ(v.popcount(), 0U);
 }
 
+TEST(BitVec, NextOneScansAcrossWords) {
+  BitVec v(200);
+  v.set(3);
+  v.set(64);
+  v.set(199);
+  EXPECT_EQ(v.next_one(0), 3U);
+  EXPECT_EQ(v.next_one(3), 3U);   // inclusive start
+  EXPECT_EQ(v.next_one(4), 64U);  // skips the empty rest of word 0
+  EXPECT_EQ(v.next_one(65), 199U);
+  EXPECT_EQ(v.next_one(200), 200U);  // past the end
+}
+
+TEST(BitVec, NextZeroScansAcrossWords) {
+  BitVec v(130);
+  for (std::size_t i = 0; i < 130; ++i) v.set(i);
+  v.reset(5);
+  v.reset(64);
+  v.reset(129);
+  EXPECT_EQ(v.next_zero(0), 5U);
+  EXPECT_EQ(v.next_zero(6), 64U);
+  EXPECT_EQ(v.next_zero(65), 129U);
+  EXPECT_EQ(v.next_zero(130), 130U);
+}
+
+TEST(BitVec, NextZeroIgnoresClearTailBitsBeyondSize) {
+  // 70 bits: the second word has 58 storage bits past the logical end, all
+  // zero. A zero-scan must report size(), not a phantom index in the tail.
+  BitVec v(70);
+  for (std::size_t i = 0; i < 70; ++i) v.set(i);
+  EXPECT_EQ(v.next_zero(0), 70U);
+  EXPECT_EQ(v.next_one(69), 69U);
+  EXPECT_EQ(v.next_one(70), 70U);
+}
+
+TEST(BitVec, NextScansAgreeWithPerBitLoop) {
+  Rng rng(11);
+  BitVec v(301);
+  for (std::size_t i = 0; i < 301; ++i) {
+    if (rng.bernoulli(0.7)) v.set(i);
+  }
+  std::size_t ones = 0;
+  for (std::size_t j = v.next_one(0); j < v.size(); j = v.next_one(j + 1)) {
+    EXPECT_TRUE(v.test(j));
+    ++ones;
+  }
+  EXPECT_EQ(ones, v.popcount());
+  std::size_t zeros = 0;
+  for (std::size_t j = v.next_zero(0); j < v.size(); j = v.next_zero(j + 1)) {
+    EXPECT_FALSE(v.test(j));
+    ++zeros;
+  }
+  EXPECT_EQ(zeros, v.size() - v.popcount());
+}
+
 }  // namespace
 }  // namespace pts
