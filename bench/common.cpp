@@ -14,6 +14,8 @@ BenchOptions BenchOptions::from_cli(int argc, const char* const* argv) {
   options.quick = args.get_bool("quick", false);
   options.csv = args.get_bool("csv", false);
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 20260707));
+  options.telemetry =
+      std::make_shared<obs::TelemetrySession>(obs::TelemetryOptions::from_cli(args));
   return options;
 }
 

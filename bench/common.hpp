@@ -5,9 +5,11 @@
 // `--csv` switches the output format for downstream plotting.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "mkp/instance.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -20,7 +22,15 @@ struct BenchOptions {
   bool csv = false;
   std::uint64_t seed = 20260707;
 
+  /// Telemetry session behind the shared --log-level / --trace-out /
+  /// --metrics flags. from_cli always creates it (shared_ptr because
+  /// BenchOptions is passed by value); the trace file is written when the
+  /// last copy goes out of scope at the end of main.
+  std::shared_ptr<obs::TelemetrySession> telemetry;
+
   static BenchOptions from_cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool metrics() const { return telemetry && telemetry->metrics(); }
 
   /// Scales a work budget: quick mode divides by 8.
   [[nodiscard]] std::uint64_t work(std::uint64_t full) const {

@@ -8,6 +8,7 @@
 //   options: --slaves=4 --rounds=5 --work=8000 --seed=1
 //           --preset=quick|balanced|thorough|paper  (overrides the above)
 //           --save=<dir>   write each best solution as <dir>/<name>.mkpsol
+//           --log-level=info --metrics --trace-out=trace.json  (telemetry)
 #include <cstdio>
 #include <string>
 
@@ -15,6 +16,7 @@
 #include "mkp/generator.hpp"
 #include "mkp/parser.hpp"
 #include "mkp/solution_io.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/presets.hpp"
 #include "parallel/runner.hpp"
 #include "util/cli.hpp"
@@ -24,6 +26,7 @@
 int main(int argc, char** argv) {
   using namespace pts;
   const auto args = CliArgs::parse(argc, argv);
+  obs::TelemetrySession telemetry(obs::TelemetryOptions::from_cli(args));
 
   std::string path;
   if (args.get_bool("demo", false) || args.positional().empty()) {
@@ -75,11 +78,13 @@ int main(int argc, char** argv) {
   TextTable table({"problem", "n", "m", "best found", "reference", "gap (%)",
                    "time (s)"});
   int not_reached = 0;
+  obs::CounterStats counter_stats;
   for (const auto& inst : problems) {
     auto problem_config = config;
     parallel::scale_budget_to_instance(problem_config, inst);
     if (inst.known_optimum()) problem_config.target_value = *inst.known_optimum();
     const auto result = parallel::run_parallel_tabu_search(inst, problem_config);
+    counter_stats.merge(result.master.counter_stats);
 
     if (!save_dir.empty()) {
       auto safe_name = inst.name();
@@ -118,6 +123,11 @@ int main(int argc, char** argv) {
   if (not_reached > 0) {
     std::printf("%d problem(s) below the recorded optimum — raise --work or "
                 "--rounds for a deeper search\n", not_reached);
+  }
+  if (telemetry.metrics()) {
+    std::printf("\nsearch counters over %zu (slave, round) runs:\n",
+                counter_stats.snapshots());
+    obs::print_counter_report(stdout, counter_stats);
   }
   return 0;
 }

@@ -5,11 +5,13 @@
 //
 //   ./search_diagnostics [--items=200] [--constraints=10] [--seed=5]
 //                        [--moves=20000] [--family=gk|fp|uncorrelated]
+//                        [--trace-out=trace.json] [--log-level=info]
 #include <cstdio>
 #include <string>
 
 #include "mkp/analysis.hpp"
 #include "mkp/generator.hpp"
+#include "obs/telemetry.hpp"
 #include "tabu/trajectory.hpp"
 #include "util/cli.hpp"
 
@@ -60,6 +62,7 @@ void print_anytime_curve(const pts::tabu::TrajectoryRecorder& recorder,
 int main(int argc, char** argv) {
   using namespace pts;
   const auto args = CliArgs::parse(argc, argv);
+  obs::TelemetrySession telemetry(obs::TelemetryOptions::from_cli(args));
   const auto n = static_cast<std::size_t>(args.get_int("items", 200));
   const auto m = static_cast<std::size_t>(args.get_int("constraints", 10));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
@@ -88,19 +91,33 @@ int main(int argc, char** argv) {
   tabu::TrajectoryRecorder recorder(/*stride=*/std::max<std::uint64_t>(1, moves / 512));
   const auto result = tabu::tabu_search_from_scratch(inst, params, rng, &recorder);
 
-  // 3. Report.
+  // 3. Report. The counter block (obs/counters.hpp) carries everything the
+  // old ad-hoc move-stats printout did, plus the kernel-level facts — how
+  // many candidates the O(1) prune rejected before a column was ever read.
   const auto summary = recorder.summarize();
   std::printf("\nsearch summary: %s\n", summary.to_string().c_str());
-  std::printf("  move stats: %llu drops, %llu adds, %llu aspiration hits, "
-              "%llu tabu-blocked adds\n",
-              static_cast<unsigned long long>(result.move_stats.drops),
-              static_cast<unsigned long long>(result.move_stats.adds),
-              static_cast<unsigned long long>(result.move_stats.aspiration_hits),
-              static_cast<unsigned long long>(result.move_stats.tabu_blocked_adds));
+  std::printf("\nsearch counters:\n");
+  obs::print_counter_report(stdout, result.counters);
+  const auto tried = result.counters[obs::Counter::kFitScoreCalls] +
+                     result.counters[obs::Counter::kPruneEarlyOuts];
+  if (tried > 0) {
+    std::printf("  -> the min-slack prune short-circuited %.1f%% of add "
+                "candidates\n",
+                100.0 * static_cast<double>(
+                            result.counters[obs::Counter::kPruneEarlyOuts]) /
+                    static_cast<double>(tried));
+  }
   if (summary.moves_to_99pct > 0 && summary.moves_to_99pct < moves / 4) {
     std::printf("  -> 99%% of the final quality arrived in the first quarter of "
                 "the budget; shorter runs (or more restarts) would pay off\n");
   }
   print_anytime_curve(recorder, result.moves);
+  if (!result.anytime.empty()) {
+    const auto& last = result.anytime.back();
+    std::printf("\nanytime recorder: %zu improvement(s); last at %.3fs / move "
+                "%llu (value %.1f)\n",
+                result.anytime.size(), last.seconds,
+                static_cast<unsigned long long>(last.work_units), last.value);
+  }
   return 0;
 }

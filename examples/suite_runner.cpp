@@ -4,11 +4,13 @@
 //
 //   ./suite_runner [--suite=cb|fp57|table1] [--preset=quick|balanced|...]
 //                  [--scale=0.25] [--seed=1] [--autotune]
+//                  [--log-level=info] [--metrics] [--trace-out=trace.json]
 #include <cstdio>
 
 #include "bounds/simplex.hpp"
 #include "mkp/generator.hpp"
 #include "mkp/suites.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/autotune.hpp"
 #include "parallel/presets.hpp"
 #include "parallel/runner.hpp"
@@ -56,6 +58,7 @@ std::vector<pts::mkp::SuiteClass> load_suite(const std::string& name,
 int main(int argc, char** argv) {
   using namespace pts;
   const auto args = CliArgs::parse(argc, argv);
+  obs::TelemetrySession telemetry(obs::TelemetryOptions::from_cli(args));
   const auto suite_name = args.get_string("suite", "cb");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto scale = args.get_double("scale", 0.5);
@@ -76,6 +79,7 @@ int main(int argc, char** argv) {
                                                       "autotuned gap (%)", "time (s)"}
                            : std::vector<std::string>{"class", "mean LP gap (%)",
                                                       "time (s)"});
+  obs::CounterStats counter_stats;
   for (const auto& cls : classes) {
     RunningStats gaps, tuned_gaps;
     Stopwatch watch;
@@ -83,6 +87,7 @@ int main(int argc, char** argv) {
       auto config = *preset;
       parallel::scale_budget_to_instance(config, inst);
       const auto result = parallel::run_parallel_tabu_search(inst, config);
+      counter_stats.merge(result.master.counter_stats);
       const auto lp = bounds::solve_lp_relaxation(inst);
       if (lp.optimal()) {
         gaps.add(deviation_percent(result.best_value, lp.objective));
@@ -109,5 +114,10 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
   std::printf("\n(LP gap over-states the true deviation by the integrality gap;\n"
               " see EXPERIMENTS.md.)\n");
+  if (telemetry.metrics()) {
+    std::printf("\nsearch counters over %zu (slave, round) runs:\n",
+                counter_stats.snapshots());
+    obs::print_counter_report(stdout, counter_stats);
+  }
   return 0;
 }

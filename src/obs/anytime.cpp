@@ -1,0 +1,25 @@
+#include "obs/anytime.hpp"
+
+#include <algorithm>
+
+namespace pts::obs {
+
+std::vector<AnytimeSample> global_envelope(std::vector<AnytimeSample> samples) {
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const AnytimeSample& a, const AnytimeSample& b) {
+                     return a.seconds < b.seconds;
+                   });
+  std::vector<AnytimeSample> envelope;
+  double best = 0.0;
+  for (const auto& sample : samples) {
+    if (envelope.empty() || sample.value > best) {
+      best = sample.value;
+      AnytimeSample point = sample;
+      point.source = kGlobalSource;
+      envelope.push_back(point);
+    }
+  }
+  return envelope;
+}
+
+}  // namespace pts::obs

@@ -1,0 +1,101 @@
+#include "obs/telemetry.hpp"
+
+#include <fstream>
+
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace pts::obs {
+
+TelemetryOptions TelemetryOptions::from_cli(const CliArgs& args) {
+  TelemetryOptions options;
+  options.trace_path = args.get_string("trace-out", "");
+  options.metrics = args.get_bool("metrics", false);
+  if (args.has("log-level")) {
+    const auto name = args.get_string("log-level", "");
+    if (const auto level = parse_log_level(name)) {
+      set_log_level(*level);
+    } else {
+      std::fprintf(stderr,
+                   "unknown --log-level '%s' (want debug|info|warn|error|off); "
+                   "keeping the current threshold\n",
+                   name.c_str());
+    }
+  }
+  return options;
+}
+
+TelemetrySession::TelemetrySession(TelemetryOptions options)
+    : options_(std::move(options)) {
+  if (tracing()) {
+    tracer().clear();
+    tracer().set_enabled(true);
+    if (!tracer().enabled()) {
+      std::fprintf(stderr,
+                   "--trace-out ignored: telemetry compiled out (PTS_TELEMETRY=0)\n");
+    }
+  }
+}
+
+TelemetrySession::~TelemetrySession() { finalize(); }
+
+bool TelemetrySession::finalize() {
+  if (finalized_) return true;
+  finalized_ = true;
+  if (!tracing()) return true;
+  tracer().set_enabled(false);
+  bool ok = true;
+  {
+    std::ofstream out(options_.trace_path);
+    if (out) {
+      tracer().write_chrome_trace(out);
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", options_.trace_path.c_str());
+      ok = false;
+    }
+  }
+  const std::string jsonl_path = options_.trace_path + ".jsonl";
+  {
+    std::ofstream out(jsonl_path);
+    if (out) {
+      tracer().write_jsonl(out);
+    } else {
+      std::fprintf(stderr, "cannot write event stream to %s\n", jsonl_path.c_str());
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::fprintf(stderr,
+                 "trace written: %s (%zu events; open in ui.perfetto.dev), "
+                 "events: %s\n",
+                 options_.trace_path.c_str(), tracer().size(), jsonl_path.c_str());
+  }
+  return ok;
+}
+
+void print_counter_report(std::FILE* out, const CounterStats& stats) {
+  std::fprintf(out, "%-20s %14s", "counter", "total");
+  if (stats.snapshots() > 1) {
+    std::fprintf(out, " %12s %12s %12s  (over %zu snapshots)", "mean", "min", "max",
+                 stats.snapshots());
+  }
+  std::fputc('\n', out);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    std::fprintf(out, "%-20s %14llu", counter_name(c),
+                 static_cast<unsigned long long>(stats.totals()[c]));
+    if (stats.snapshots() > 1) {
+      const auto& s = stats.stats(c);
+      std::fprintf(out, " %12.1f %12.0f %12.0f", s.mean(), s.min(), s.max());
+    }
+    std::fputc('\n', out);
+  }
+}
+
+void print_counter_report(std::FILE* out, const Counters& counters) {
+  CounterStats stats;
+  stats.observe(counters);
+  print_counter_report(out, stats);
+}
+
+}  // namespace pts::obs

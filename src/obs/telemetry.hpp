@@ -1,0 +1,62 @@
+#pragma once
+// CLI-facing glue for the telemetry subsystem: one call turns the shared
+// `--log-level=`, `--trace-out=`, and `--metrics` flags into a configured
+// session that owns the tracer's lifetime and writes the trace files when it
+// goes out of scope. Examples and bench drivers construct one of these right
+// after CliArgs::parse and forget about it.
+//
+//   --log-level=debug|info|warn|error|off   logger threshold (util/logging)
+//   --trace-out=PATH   enable tracing; Chrome trace JSON at PATH, the flat
+//                      JSONL event stream at PATH.jsonl
+//   --metrics          callers print a per-counter report after the run
+//                      (TelemetrySession only latches the flag)
+
+#include <cstdio>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "util/cli.hpp"
+
+namespace pts::obs {
+
+struct TelemetryOptions {
+  std::string trace_path;  ///< empty = tracing stays off
+  bool metrics = false;
+
+  /// Reads the three flags; applies --log-level immediately (an unknown
+  /// level warns on stderr and leaves the threshold unchanged).
+  static TelemetryOptions from_cli(const CliArgs& args);
+};
+
+/// Enables the global tracer on construction when options.trace_path is set;
+/// on destruction (or an explicit finalize()) writes the Chrome trace and
+/// JSONL files and disables tracing again.
+class TelemetrySession {
+ public:
+  TelemetrySession() = default;
+  explicit TelemetrySession(TelemetryOptions options);
+  ~TelemetrySession();
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  /// Writes the trace files (if tracing was requested) and disables the
+  /// tracer. Idempotent. Returns false when a file could not be written.
+  bool finalize();
+
+  [[nodiscard]] bool metrics() const { return options_.metrics; }
+  [[nodiscard]] bool tracing() const { return !options_.trace_path.empty(); }
+  [[nodiscard]] const TelemetryOptions& options() const { return options_; }
+
+ private:
+  TelemetryOptions options_;
+  bool finalized_ = false;
+};
+
+/// Per-counter table (total, and per-snapshot mean/min/max when the stats
+/// aggregate more than one snapshot) for --metrics output.
+void print_counter_report(std::FILE* out, const CounterStats& stats);
+
+/// Convenience for single-run reports: wraps one snapshot.
+void print_counter_report(std::FILE* out, const Counters& counters);
+
+}  // namespace pts::obs

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bounds/greedy.hpp"
+#include "obs/trace.hpp"
 #include "tabu/engine.hpp"
 #include "util/check.hpp"
 #include "util/mailbox.hpp"
@@ -37,6 +38,7 @@ struct PeerOutcome {
   std::uint64_t broadcasts = 0;
   std::uint64_t adoptions = 0;
   std::uint64_t self_retunes = 0;
+  obs::Counters counters;
 };
 
 }  // namespace
@@ -67,6 +69,8 @@ AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config
     Rng rng = Rng(config.seed).derive(0xA5A5ULL + peer_id);
     StrategyGenerator sgp(config.sgp);
     auto& outcome = outcomes[peer_id];
+    // Same logical-tid convention as the master/slave farm: peer i = i + 1.
+    obs::TidScope tid_scope(static_cast<std::uint32_t>(peer_id) + 1);
 
     tabu::Strategy strategy = random_strategy(rng, config.sgp.bounds);
     mkp::Solution current = bounds::greedy_randomized(inst, rng);
@@ -84,8 +88,14 @@ AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config
       params.target_value = config.target_value;
       params.run_to_budget = true;
 
-      auto ts = tabu::tabu_search(inst, current, params, rng);
+      auto ts = [&] {
+        obs::SpanScope burst_span("peer_burst",
+                                  {{"peer", static_cast<double>(peer_id)},
+                                   {"burst", static_cast<double>(burst)}});
+        return tabu::tabu_search(inst, current, params, rng);
+      }();
       outcome.moves += ts.moves;
+      outcome.counters.add(ts.counters);
       elite = ts.elite;
 
       const bool improved = ts.best_value > outcome.best_value;
@@ -124,6 +134,10 @@ AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config
 
       // Drain the inbox; adopt the best incoming solution if it clears the
       // margin over our own best.
+      if (obs::tracer().enabled()) {
+        obs::tracer().sample("peer_inbox_depth",
+                             static_cast<double>(mailboxes[peer_id]->depth()));
+      }
       std::optional<PeerMessage> incoming_best;
       while (auto message = mailboxes[peer_id]->try_receive()) {
         if (!incoming_best || message->value > incoming_best->value) {
@@ -135,6 +149,11 @@ AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config
           incoming_best->value > outcome.best_value * (1.0 + config.adoption_margin)) {
         current = std::move(incoming_best->solution);
         ++outcome.adoptions;
+        if (obs::tracer().enabled()) {
+          obs::tracer().instant("adopt", {{"peer", static_cast<double>(peer_id)},
+                                          {"burst", static_cast<double>(burst)},
+                                          {"value", incoming_best->value}});
+        }
       }
 
       // Local strategy adaptation: retune after an unproductive burst.
@@ -160,6 +179,7 @@ AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config
     result.broadcasts += outcome.broadcasts;
     result.adoptions += outcome.adoptions;
     result.self_retunes += outcome.self_retunes;
+    result.counters.add(outcome.counters);
     if (outcome.best_value > result.best_value) {
       result.best = outcome.best;
       result.best_value = outcome.best_value;

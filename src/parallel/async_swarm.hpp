@@ -19,6 +19,7 @@
 #include <string>
 
 #include "mkp/instance.hpp"
+#include "obs/counters.hpp"
 #include "parallel/strategy_gen.hpp"
 #include "tabu/strategy.hpp"
 
@@ -61,6 +62,10 @@ struct AsyncResult {
   std::uint64_t broadcasts = 0;
   std::uint64_t adoptions = 0;
   std::uint64_t self_retunes = 0;
+
+  /// Telemetry: counter totals merged over every peer's bursts (empty when
+  /// telemetry is disabled).
+  obs::Counters counters;
 };
 
 AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config);

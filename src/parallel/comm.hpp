@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "mkp/solution.hpp"
+#include "obs/anytime.hpp"
+#include "obs/counters.hpp"
 #include "tabu/engine.hpp"
 #include "tabu/strategy.hpp"
 #include "util/mailbox.hpp"
@@ -42,6 +44,12 @@ struct Report {
   std::uint64_t moves = 0;
   double seconds = 0.0;
   bool reached_target = false;
+
+  /// Telemetry riding along with the result: the run's counter snapshot and
+  /// its improvement curve (sample.source == slave_id, seconds relative to
+  /// the run's own start). Empty when telemetry is disabled.
+  obs::Counters counters;
+  std::vector<obs::AnytimeSample> anytime;
 };
 
 /// The two endpoints a slave needs.

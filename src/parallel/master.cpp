@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bounds/greedy.hpp"
+#include "obs/trace.hpp"
 #include "tabu/path_relink.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -42,6 +43,20 @@ MasterResult run_master(const mkp::Instance& inst,
 
   MasterResult result{mkp::Solution(inst)};
 
+  // Telemetry. The master runs under logical trace tid 0; the per-round
+  // check keeps the disabled path at one relaxed load per round.
+  const bool telemetry_on = obs::kTelemetryCompiled && obs::telemetry_enabled();
+  if (obs::tracer().enabled()) {
+    obs::tracer().name_thread(0, "master");
+    for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      obs::tracer().name_thread(static_cast<std::uint32_t>(i) + 1,
+                                "slave-" + std::to_string(i));
+    }
+  }
+  // Work-unit offset per slave so stitched anytime samples count moves
+  // monotonically across rounds.
+  std::vector<std::uint64_t> moves_before_round(config.num_slaves, 0);
+
   // Initialization: random strategies, randomized-greedy initial solutions.
   std::vector<SlaveRecord> records(config.num_slaves);
   for (std::size_t i = 0; i < config.num_slaves; ++i) {
@@ -60,37 +75,54 @@ MasterResult run_master(const mkp::Instance& inst,
 
     // Scatter: one assignment per slave. Work balancing: slaves with larger
     // Nb_drop get proportionally fewer moves.
-    for (std::size_t i = 0; i < config.num_slaves; ++i) {
-      Assignment assignment{round, *records[i].initial, config.base_params};
-      if (config.mix_intensification) {
-        assignment.params.intensification =
-            i % 2 == 0 ? tabu::IntensificationKind::kSwap
-                       : tabu::IntensificationKind::kStrategicOscillation;
+    const double round_start_seconds = watch.elapsed_seconds();
+    {
+      obs::SpanScope scatter_span("scatter", {{"round", static_cast<double>(round)}});
+      for (std::size_t i = 0; i < config.num_slaves; ++i) {
+        Assignment assignment{round, *records[i].initial, config.base_params};
+        if (config.mix_intensification) {
+          assignment.params.intensification =
+              i % 2 == 0 ? tabu::IntensificationKind::kSwap
+                         : tabu::IntensificationKind::kStrategicOscillation;
+        }
+        assignment.params.strategy = records[i].strategy;
+        assignment.params.max_moves = std::max<std::uint64_t>(
+            1, config.work_per_slave_round / records[i].strategy.nb_drop);
+        assignment.params.target_value = config.target_value;
+        assignment.params.run_to_budget = true;
+        const bool sent = channels[i].inbox->send(std::move(assignment));
+        PTS_CHECK_MSG(sent, "slave inbox closed while the master is running");
       }
-      assignment.params.strategy = records[i].strategy;
-      assignment.params.max_moves = std::max<std::uint64_t>(
-          1, config.work_per_slave_round / records[i].strategy.nb_drop);
-      assignment.params.target_value = config.target_value;
-      assignment.params.run_to_budget = true;
-      const bool sent = channels[i].inbox->send(std::move(assignment));
-      PTS_CHECK_MSG(sent, "slave inbox closed while the master is running");
     }
     if (trace) trace->on_assignments_sent(round, config.num_slaves);
+    if (obs::tracer().enabled()) {
+      std::size_t backlog = 0;
+      for (const auto& ch : channels) backlog += ch.inbox->depth();
+      obs::tracer().sample("assign_backlog", static_cast<double>(backlog));
+    }
 
     // Gather: the synchronous rendezvous — wait for all P reports.
     std::vector<std::optional<Report>> reports(config.num_slaves);
     std::optional<double> first_report_at;
-    for (std::size_t k = 0; k < config.num_slaves; ++k) {
-      auto report = channels[0].outbox->receive();
-      PTS_CHECK_MSG(report.has_value(), "report mailbox closed prematurely");
-      if (!first_report_at) first_report_at = watch.elapsed_seconds();
-      PTS_CHECK(report->slave_id < config.num_slaves);
-      reports[report->slave_id] = std::move(*report);
+    {
+      obs::SpanScope gather_span("gather", {{"round", static_cast<double>(round)}});
+      for (std::size_t k = 0; k < config.num_slaves; ++k) {
+        auto report = channels[0].outbox->receive();
+        PTS_CHECK_MSG(report.has_value(), "report mailbox closed prematurely");
+        if (!first_report_at) first_report_at = watch.elapsed_seconds();
+        if (obs::tracer().enabled()) {
+          obs::tracer().sample("report_backlog",
+                               static_cast<double>(channels[0].outbox->depth()));
+        }
+        PTS_CHECK(report->slave_id < config.num_slaves);
+        reports[report->slave_id] = std::move(*report);
+      }
     }
     result.rendezvous_idle_seconds += watch.elapsed_seconds() - *first_report_at;
     if (trace) trace->on_reports_gathered(round, config.num_slaves);
 
     // Update the global best first so ISP sees this round's discoveries.
+    const double best_before_round = result.best_value;
     for (std::size_t i = 0; i < config.num_slaves; ++i) {
       const auto& report = *reports[i];
       result.total_moves += report.moves;
@@ -99,6 +131,23 @@ MasterResult run_master(const mkp::Instance& inst,
         result.best = report.elite.front();
         result.best_value = report.elite.front().value();
       }
+      if (telemetry_on) {
+        result.counters.add(report.counters);
+        result.counter_stats.observe(report.counters);
+        // Re-base the slave's curve: its clock starts at the scatter, its
+        // work units continue from the moves it had already spent.
+        for (const auto& sample : report.anytime) {
+          result.anytime.push_back({sample.source,
+                                    round_start_seconds + sample.seconds,
+                                    moves_before_round[i] + sample.work_units,
+                                    sample.value});
+        }
+        moves_before_round[i] += report.moves;
+      }
+    }
+    if (telemetry_on && result.best_value > best_before_round) {
+      result.anytime.push_back({obs::kGlobalSource, watch.elapsed_seconds(),
+                                result.total_moves, result.best_value});
     }
 
     // Extension: path-relink the global best against each slave's best —
@@ -138,10 +187,25 @@ MasterResult run_master(const mkp::Instance& inst,
 
       // SGP: score and possibly retune (CTS2 only).
       if (config.adapt_strategies) {
+        obs::SpanScope sgp_span("sgp", {{"round", static_cast<double>(round)},
+                                        {"slave", static_cast<double>(i)}});
         const bool improved = report.final_value > report.initial_value;
         const auto decision = sgp.update(record.strategy, record.score, improved,
                                          record.b_best, inst.num_items(), master_rng);
-        if (decision.kind != RetuneKind::kKept) ++result.strategy_retunes;
+        if (decision.kind != RetuneKind::kKept) {
+          ++result.strategy_retunes;
+          if (obs::tracer().enabled()) {
+            obs::tracer().instant(
+                "sgp_retune",
+                {{"round", static_cast<double>(round)},
+                 {"slave", static_cast<double>(i)},
+                 {"tenure_old", static_cast<double>(record.strategy.tabu_tenure)},
+                 {"tenure_new", static_cast<double>(decision.strategy.tabu_tenure)},
+                 {"nb_drop_old", static_cast<double>(record.strategy.nb_drop)},
+                 {"nb_drop_new", static_cast<double>(decision.strategy.nb_drop)}},
+                "kind", to_string(decision.kind));
+          }
+        }
         record.strategy = decision.strategy;
         record.score = decision.score;
         log.retune = decision.kind;
@@ -150,6 +214,8 @@ MasterResult run_master(const mkp::Instance& inst,
 
       // ISP: the next starting solution (CTS1/CTS2); independent threads
       // simply continue from their own best.
+      obs::SpanScope isp_span("isp", {{"round", static_cast<double>(round)},
+                                      {"slave", static_cast<double>(i)}});
       std::optional<mkp::Solution> own_best;
       if (!record.b_best.empty()) own_best = record.b_best.front();
       mkp::Solution next_initial = mkp::Solution(inst);

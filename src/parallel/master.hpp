@@ -87,6 +87,15 @@ struct MasterResult {
   /// Accumulated gap between the first and last report of each round —
   /// the rendezvous idle cost of the synchronous scheme (ablation A5).
   double rendezvous_idle_seconds = 0.0;
+
+  /// Telemetry (obs/): exact merged totals over every (slave, round) report,
+  /// the per-snapshot distributions behind them, and the stitched anytime
+  /// curve — per-slave samples re-based to the master's wall clock and
+  /// cumulative move count, plus the global best-so-far envelope under
+  /// source == obs::kGlobalSource. All empty when telemetry is disabled.
+  obs::Counters counters;
+  obs::CounterStats counter_stats;
+  std::vector<obs::AnytimeSample> anytime;
 };
 
 /// Observer for the master's control flow (Fig. 2 structural tests).

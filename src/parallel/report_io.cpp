@@ -35,6 +35,26 @@ void summary_to_csv(std::ostream& out, const ParallelResult& result) {
   out << "rendezvous_idle_seconds," << result.master.rendezvous_idle_seconds << '\n';
 }
 
+void counters_to_csv(std::ostream& out, const MasterResult& result) {
+  out << "counter,total,snapshots,mean,min,max\n";
+  const auto& stats = result.counter_stats;
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    const auto& dist = stats.stats(c);
+    out << obs::counter_name(c) << ',' << stats.totals()[c] << ','
+        << dist.count() << ',' << dist.mean() << ',' << dist.min() << ','
+        << dist.max() << '\n';
+  }
+}
+
+void anytime_to_csv(std::ostream& out, const MasterResult& result) {
+  out << "source,seconds,work_units,value\n";
+  for (const auto& sample : result.anytime) {
+    out << sample.source << ',' << sample.seconds << ',' << sample.work_units
+        << ',' << sample.value << '\n';
+  }
+}
+
 void write_report_files(const std::string& path_prefix, const ParallelResult& result) {
   {
     std::ofstream out(path_prefix + "-timeline.csv");
@@ -45,6 +65,16 @@ void write_report_files(const std::string& path_prefix, const ParallelResult& re
     std::ofstream out(path_prefix + "-summary.csv");
     PTS_CHECK_MSG(static_cast<bool>(out), "cannot open summary csv for writing");
     summary_to_csv(out, result);
+  }
+  if (result.master.counter_stats.snapshots() > 0) {
+    std::ofstream out(path_prefix + "-counters.csv");
+    PTS_CHECK_MSG(static_cast<bool>(out), "cannot open counters csv for writing");
+    counters_to_csv(out, result.master);
+  }
+  if (!result.master.anytime.empty()) {
+    std::ofstream out(path_prefix + "-anytime.csv");
+    PTS_CHECK_MSG(static_cast<bool>(out), "cannot open anytime csv for writing");
+    anytime_to_csv(out, result.master);
   }
 }
 

@@ -20,6 +20,17 @@ void timeline_to_csv(std::ostream& out, const MasterResult& result);
 /// rounds_completed, retunes, injections, restarts, relinks, idle seconds.
 void summary_to_csv(std::ostream& out, const ParallelResult& result);
 
+/// Merged telemetry counters, one row per counter:
+/// counter,total,snapshots,mean,min,max
+void counters_to_csv(std::ostream& out, const MasterResult& result);
+
+/// The stitched anytime curve, one row per sample (source -1 = the global
+/// best-so-far envelope): source,seconds,work_units,value
+void anytime_to_csv(std::ostream& out, const MasterResult& result);
+
+/// Writes <prefix>-timeline.csv and <prefix>-summary.csv, plus
+/// <prefix>-counters.csv / <prefix>-anytime.csv when the run carries
+/// telemetry (skipped when empty so pre-telemetry consumers see no change).
 void write_report_files(const std::string& path_prefix, const ParallelResult& result);
 
 }  // namespace pts::parallel

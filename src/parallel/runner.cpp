@@ -45,6 +45,11 @@ ParallelResult run_sequential(const mkp::Instance& inst, const ParallelConfig& c
   ParallelResult result{config.mode, std::move(ts.best), ts.best_value, ts.moves,
                         watch.elapsed_seconds(), ts.reached_target,
                         MasterResult{mkp::Solution(inst)}};
+  // Surface the single run's telemetry through the same MasterResult fields
+  // the cooperative modes fill, so --metrics / report_io treat SEQ uniformly.
+  result.master.counters = ts.counters;
+  result.master.counter_stats.observe(ts.counters);
+  result.master.anytime = std::move(ts.anytime);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "parallel/slave.hpp"
 
+#include "obs/trace.hpp"
 #include "tabu/engine.hpp"
 #include "util/check.hpp"
 
@@ -12,6 +13,9 @@ Report run_assignment(const mkp::Instance& inst, std::size_t slave_id,
   Rng rng = base.derive((static_cast<std::uint64_t>(slave_id) << 32) ^
                         static_cast<std::uint64_t>(assignment.round));
 
+  obs::SpanScope span("slave_ts_round",
+                      {{"slave", static_cast<double>(slave_id)},
+                       {"round", static_cast<double>(assignment.round)}});
   auto ts = tabu::tabu_search(inst, assignment.initial, assignment.params, rng);
 
   Report report;
@@ -23,12 +27,20 @@ Report run_assignment(const mkp::Instance& inst, std::size_t slave_id,
   report.moves = ts.moves;
   report.seconds = ts.seconds;
   report.reached_target = ts.reached_target;
+  report.counters = ts.counters;
+  report.anytime = std::move(ts.anytime);
+  // The engine does not know who ran it; stamp the samples with our id.
+  for (auto& sample : report.anytime) {
+    sample.source = static_cast<std::int32_t>(slave_id);
+  }
   return report;
 }
 
 void slave_loop(const mkp::Instance& inst, std::size_t slave_id, std::uint64_t seed,
                 SlaveChannels channels) {
   PTS_CHECK(channels.inbox && channels.outbox);
+  // Logical trace id: master = 0, slave i = i + 1.
+  obs::TidScope tid_scope(static_cast<std::uint32_t>(slave_id) + 1);
   while (auto message = channels.inbox->receive()) {
     if (std::holds_alternative<Stop>(*message)) break;
     const auto& assignment = std::get<Assignment>(*message);

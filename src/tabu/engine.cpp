@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bounds/greedy.hpp"
+#include "obs/trace.hpp"
 #include "tabu/diversify.hpp"
 #include "tabu/history.hpp"
 #include "tabu/rem.hpp"
@@ -52,6 +53,17 @@ class Run {
   TsResult finish() && {
     result_.elite = elite_.solutions();
     result_.seconds = watch_.elapsed_seconds();
+    if (telemetry_on_) {
+      // Fold the kernel-level tallies (kept in MoveStats for the ablation
+      // reports) into the uniform counter block so downstream merging only
+      // has to deal with obs::Counters.
+      auto& c = result_.counters;
+      c[obs::Counter::kDrops] += result_.move_stats.drops;
+      c[obs::Counter::kAdds] += result_.move_stats.adds;
+      c[obs::Counter::kForcedDrops] += result_.move_stats.forced_drops;
+      c[obs::Counter::kTabuRejections] += result_.move_stats.tabu_blocked_adds;
+      c[obs::Counter::kAspirationAccepts] += result_.move_stats.aspiration_hits;
+    }
     result_.final_tenure = reactive_ ? reactive_->current_tenure()
                                      : params_.strategy.tabu_tenure;
     if (rem_) result_.rem_flips_scanned = rem_->flips_scanned_total();
@@ -94,6 +106,12 @@ class Run {
       result_.best_value = candidate.value();
       result_.best = candidate;
       result_.improvements.emplace_back(result_.moves, candidate.value());
+      if (telemetry_on_) {
+        // Source is filled in by whoever owns the run (slave id / peer id);
+        // the engine itself does not know which thread of the farm it is.
+        result_.anytime.push_back({obs::kGlobalSource, watch_.elapsed_seconds(),
+                                   result_.moves, candidate.value()});
+      }
       if (params_.target_value && candidate.value() >= *params_.target_value) {
         result_.reached_target = true;
       }
@@ -112,6 +130,7 @@ class Run {
     while (since_improvement < params_.strategy.nb_local) {
       if (stopped()) return;
       ++result_.moves;
+      if (telemetry_on_) ++result_.counters[obs::Counter::kMovesTried];
       const std::uint64_t iter = result_.moves;
 
       const auto outcome = kernel_.apply(x_, tabu_, iter, params_.strategy,
@@ -140,6 +159,9 @@ class Run {
       const double previous_best = result_.best_value;
       record_candidate(x_);
       const bool improved_best = result_.best_value > previous_best;
+      if (telemetry_on_ && improved_best) {
+        ++result_.counters[obs::Counter::kMovesImproved];
+      }
       if (trace_) trace_->on_move(iter, x_.value(), improved_best);
 
       if (improved_best) {
@@ -168,6 +190,12 @@ class Run {
         break;
     }
     ++result_.intensifications;
+    if (telemetry_on_) {
+      ++result_.counters[obs::Counter::kIntensifications];
+      if (params_.intensification == IntensificationKind::kStrategicOscillation) {
+        ++result_.counters[obs::Counter::kOscillations];
+      }
+    }
     record_candidate(x_);
     if (trace_) {
       trace_->on_intensification(params_.intensification, value_before, x_.value());
@@ -182,6 +210,14 @@ class Run {
     config.hold = params_.diversify_hold;
     const auto outcome = diversify(x_, history_, config, tabu_, result_.moves);
     ++result_.diversifications;
+    if (telemetry_on_) {
+      ++result_.counters[obs::Counter::kDiversifications];
+      if (obs::tracer().enabled()) {
+        obs::tracer().instant("diversify",
+                              {{"forced_in", static_cast<double>(outcome.forced_in)},
+                               {"forced_out", static_cast<double>(outcome.forced_out)}});
+      }
+    }
     record_candidate(x_);
     if (trace_) trace_->on_diversification(outcome.forced_in, outcome.forced_out);
   }
@@ -215,6 +251,12 @@ class Run {
   TsResult result_;
   Deadline deadline_;
   Stopwatch watch_;
+  // Telemetry: one runtime check per run, not per move. The CounterScope
+  // binds the thread-local sink that kernels.cpp / moves.cpp bump through to
+  // this run's counter block (members initialize in declaration order, so
+  // result_ exists by the time the scope captures its address).
+  const bool telemetry_on_ = obs::kTelemetryCompiled && obs::telemetry_enabled();
+  obs::CounterScope counter_scope_{telemetry_on_ ? &result_.counters : nullptr};
 };
 
 }  // namespace

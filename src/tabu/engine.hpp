@@ -19,6 +19,8 @@
 
 #include "mkp/instance.hpp"
 #include "mkp/solution.hpp"
+#include "obs/anytime.hpp"
+#include "obs/counters.hpp"
 #include "tabu/elite_pool.hpp"
 #include "tabu/intensify.hpp"
 #include "tabu/moves.hpp"
@@ -65,6 +67,13 @@ struct TsResult {
 
   /// (move index, new best value) every time the incumbent improved.
   std::vector<std::pair<std::uint64_t, double>> improvements;
+
+  /// Telemetry (obs/): the run's counter block (the engine is its single
+  /// writer; kernels publish through the thread-local sink bound to it) and
+  /// the anytime curve — (seconds, moves, value) per incumbent improvement.
+  /// Both stay empty when obs::telemetry_enabled() is off.
+  obs::Counters counters;
+  std::vector<obs::AnytimeSample> anytime;
 };
 
 /// Runs one tabu search from `initial` (repaired + completed if needed).

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+
 namespace pts::tabu::kernels {
 
 FitScore fit_and_score(const mkp::Solution& x, std::size_t j) {
   const mkp::Instance& inst = x.instance();
-  if (inst.min_col_weight(j) > x.min_slack()) return {};  // O(1) reject
+  if (inst.min_col_weight(j) > x.min_slack()) {  // O(1) reject
+    obs::bump(obs::Counter::kPruneEarlyOuts);
+    return {};
+  }
+  obs::bump(obs::Counter::kFitScoreCalls);
   const double* col = inst.weights_col(j).data();
   const double* loads = x.loads().data();
   const double* caps = inst.capacities().data();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/counters.hpp"
 #include "tabu/kernels.hpp"
 #include "util/check.hpp"
 
@@ -80,7 +81,10 @@ std::optional<std::size_t> MoveKernel::select_add(const mkp::Solution& x,
   // per move (the paper's "neighbor solutions evaluated"), independent of
   // how dense the selection mask or the tabu list happens to be.
   auto consider = [&](std::size_t j) -> bool {  // false stops the scan
-    if (kernels::prune_add_candidate(x, j)) return true;
+    if (kernels::prune_add_candidate(x, j)) {
+      obs::bump(obs::Counter::kPruneEarlyOuts);
+      return true;
+    }
     const auto fs = kernels::fit_and_score(x, j);
     if (!fs.fit) return true;
     if (tabu.is_add_tabu(j, iter)) {

@@ -27,6 +27,26 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
 namespace detail {
 
 bool log_enabled(LogLevel level) {

@@ -3,6 +3,7 @@
 // through one serialized sink so interleaved lines stay whole.
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 namespace pts {
@@ -12,6 +13,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global threshold; messages below it are dropped. Default: kWarn (quiet).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses the --log-level spelling ("debug", "info", "warn", "error",
+/// "off"); nullopt for anything else.
+std::optional<LogLevel> parse_log_level(const std::string& name);
+[[nodiscard]] const char* to_string(LogLevel level);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& message);

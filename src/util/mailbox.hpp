@@ -70,6 +70,12 @@ class Mailbox {
     return queue_.size();
   }
 
+  /// Queue depth for telemetry sampling (obs::Tracer 'C' events). Same value
+  /// as size(); the name states the intent — a point-in-time backlog reading
+  /// that is stale the moment the lock drops, fine for a trace, wrong for
+  /// synchronization.
+  [[nodiscard]] std::size_t depth() const { return size(); }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable available_;

@@ -35,6 +35,33 @@ TEST(Mailbox, SizeTracksQueue) {
   EXPECT_EQ(box.size(), 1U);
 }
 
+TEST(Mailbox, DepthMirrorsSize) {
+  Mailbox<int> box;
+  EXPECT_EQ(box.depth(), 0U);
+  box.send(1);
+  box.send(2);
+  box.send(3);
+  EXPECT_EQ(box.depth(), 3U);
+  EXPECT_EQ(box.depth(), box.size());
+  (void)box.try_receive();
+  EXPECT_EQ(box.depth(), 2U);
+}
+
+TEST(Mailbox, DepthReportsBacklogAfterClose) {
+  // Telemetry keeps sampling during shutdown: a closed box still reports the
+  // undrained backlog, and reaches zero only once drained.
+  Mailbox<int> box;
+  box.send(7);
+  box.send(8);
+  box.close();
+  EXPECT_EQ(box.depth(), 2U);
+  (void)box.receive();
+  (void)box.receive();
+  EXPECT_EQ(box.depth(), 0U);
+  EXPECT_FALSE(box.receive().has_value());
+  EXPECT_EQ(box.depth(), 0U);
+}
+
 TEST(Mailbox, CloseDrainsRemainingThenNullopt) {
   Mailbox<int> box;
   box.send(10);

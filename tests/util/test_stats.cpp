@@ -85,6 +85,61 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeChainPropagatesMinMax) {
+  // Extremes live in different shards; every merge order must surface them.
+  RunningStats a, b, c;
+  a.add(5.0);
+  b.add(-100.0);
+  b.add(6.0);
+  c.add(200.0);
+  a.merge(b);
+  a.merge(c);
+  EXPECT_DOUBLE_EQ(a.min(), -100.0);
+  EXPECT_DOUBLE_EQ(a.max(), 200.0);
+  EXPECT_EQ(a.count(), 4U);
+
+  RunningStats reversed;
+  reversed.merge(c);  // merge into empty adopts the shard wholesale
+  reversed.merge(b);
+  reversed.merge(a);  // re-merging a superset keeps extremes stable
+  EXPECT_DOUBLE_EQ(reversed.min(), -100.0);
+  EXPECT_DOUBLE_EQ(reversed.max(), 200.0);
+}
+
+TEST(RunningStats, MergedM2MatchesBatchOnOffsetData) {
+  // Chan's pairwise update must agree with the two-pass computation even
+  // when the shards sit on a large common offset (the classic catastrophic
+  // cancellation setup for naive sum-of-squares).
+  constexpr double kOffset = 1.0e9;
+  std::vector<double> values;
+  RunningStats left, right;
+  for (int i = 0; i < 400; ++i) {
+    const double v = kOffset + static_cast<double>(i % 17) * 0.25;
+    values.push_back(v);
+    (i % 3 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+
+  EXPECT_EQ(left.count(), values.size());
+  EXPECT_NEAR(left.mean(), mean, 1e-3);  // absolute tolerance vs 1e9 offset
+  EXPECT_NEAR(left.variance(), var, var * 1e-6);
+}
+
+TEST(RunningStats, SelfMergeOfEmptyStaysEmpty) {
+  RunningStats s;
+  s.merge(RunningStats{});
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
 TEST(Percentile, MedianOfOddSample) {
   const std::vector<double> v{3.0, 1.0, 2.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
@@ -104,6 +159,26 @@ TEST(Percentile, InterpolatesBetweenPoints) {
 TEST(Percentile, SingleElement) {
   const std::vector<double> v{7.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.9), 7.0);
+}
+
+TEST(Percentile, AllEqualValuesAreFlat) {
+  const std::vector<double> v{4.0, 4.0, 4.0, 4.0};
+  for (double q : {0.0, 0.1, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, q), 4.0) << "q=" << q;
+  }
+}
+
+TEST(Percentile, DuplicatedExtremesInterpolateWithinTies) {
+  // Sorted: {1, 1, 9, 9}. q=0.5 lands between the tie groups.
+  const std::vector<double> v{9.0, 1.0, 9.0, 1.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 1.0);  // still inside the low tie
+}
+
+TEST(Percentile, UnsortedInputIsSortedInternally) {
+  const std::vector<double> v{50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 40.0);
 }
 
 TEST(MeanStddevOf, Basics) {
