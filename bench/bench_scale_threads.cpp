@@ -5,6 +5,9 @@
 // trends are the reproducible signal (DESIGN.md, hardware substitution).
 #include "common.hpp"
 
+#include <cstdio>
+#include <vector>
+
 #include "mkp/generator.hpp"
 #include "parallel/async_swarm.hpp"
 #include "util/stats.hpp"
@@ -13,6 +16,22 @@
 int main(int argc, char** argv) {
   using namespace pts;
   const auto options = bench::BenchOptions::from_cli(argc, argv);
+
+  // --topology=broadcast|ring|random-peer restricts the async sweep to one
+  // topology (default: all three).
+  const auto args = CliArgs::parse(argc, argv);
+  std::vector<parallel::AsyncTopology> topologies = {
+      parallel::AsyncTopology::kFullBroadcast, parallel::AsyncTopology::kRing,
+      parallel::AsyncTopology::kRandomPeer};
+  if (args.has("topology")) {
+    const auto parsed =
+        parallel::topology_from_string(args.get_string("topology", ""));
+    if (!parsed) {
+      std::fprintf(stderr, "--topology: %s\n", parsed.status().to_string().c_str());
+      return 1;
+    }
+    topologies = {*parsed};
+  }
 
   const auto inst = mkp::generate_gk(
       {.num_items = options.quick ? 100u : 250u, .num_constraints = 10},
@@ -38,9 +57,7 @@ int main(int argc, char** argv) {
                    TextTable::fmt(seconds.mean(), 2), TextTable::fmt(idle.mean(), 3)});
   }
 
-  for (auto topology :
-       {parallel::AsyncTopology::kFullBroadcast, parallel::AsyncTopology::kRing,
-        parallel::AsyncTopology::kRandomPeer}) {
+  for (auto topology : topologies) {
     const std::size_t p = 8;
     RunningStats values, seconds;
     for (std::uint64_t seed : seeds) {

@@ -1,0 +1,117 @@
+// Batch solve server: drive a mixed workload of MKP jobs through the
+// SolverService and show the full result-or-error surface — every submitted
+// job resolves its future exactly once, as solved, deadline-expired,
+// cancelled, rejected, or invalid; nothing aborts.
+//
+//   ./batch_server                      default 12-job mix on 4 workers
+//   options: --jobs=12 --workers=4 --queue-cap=64 --seed=1
+//            --mode=SEQ|ITS|CTS1|CTS2   force one cooperation mode
+//            --shed                     queue overflow sheds lowest priority
+//                                       (default rejects the newcomer)
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mkp/generator.hpp"
+#include "service/solver_service.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto args = CliArgs::parse(argc, argv);
+
+  const auto num_jobs = static_cast<std::size_t>(args.get_int("jobs", 12));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::optional<parallel::CooperationMode> forced_mode;
+  if (args.has("mode")) {
+    auto parsed = parallel::cooperation_mode_from_string(args.get_string("mode", ""));
+    if (!parsed) {
+      std::fprintf(stderr, "--mode: %s\n", parsed.status().to_string().c_str());
+      return 1;
+    }
+    forced_mode = *parsed;
+  }
+
+  service::ServiceConfig pool;
+  pool.num_workers = static_cast<std::size_t>(args.get_int("workers", 4));
+  pool.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  pool.overflow = args.get_bool("shed", false)
+                      ? service::OverflowPolicy::kShedLowest
+                      : service::OverflowPolicy::kRejectNew;
+  service::SolverService server(pool);
+  std::printf("pool: %zu workers, queue capacity %zu\n\n", pool.num_workers,
+              pool.queue_capacity);
+
+  // A mixed workload: alternating sizes and presets, a couple of urgent
+  // high-priority jobs with tight deadlines, one deliberately bogus preset
+  // (the error comes back on the future, not as an abort), and one job we
+  // cancel mid-flight below.
+  std::vector<service::SolverService::Submission> submissions;
+  submissions.reserve(num_jobs + 1);
+  for (std::size_t k = 0; k < num_jobs; ++k) {
+    auto inst = mkp::generate_gk(
+        {.num_items = 40 + 20 * (k % 3), .num_constraints = 5}, seed + k);
+
+    service::JobOptions options;
+    options.seed = seed + k;
+    options.mode = forced_mode;
+    options.preset = (k % 4 == 0) ? "quick" : "balanced";
+    options.time_budget_seconds = 0.5;
+    if (k % 5 == 1) {  // urgent: jumps the queue but must land inside 1 s
+      options.priority = 10;
+      options.deadline_seconds = 1.0;
+    }
+    if (k == 2) options.preset = "warp-speed";  // structured error, not a crash
+    submissions.push_back(server.submit(std::move(inst), options));
+  }
+
+  // One long-budget job we cancel while it runs: its future still resolves,
+  // carrying the best solution found up to the cancel.
+  {
+    service::JobOptions options;
+    options.preset = "thorough";
+    options.time_budget_seconds = 30.0;
+    options.seed = seed;
+    options.mode = forced_mode;
+    auto doomed = server.submit(
+        mkp::generate_gk({.num_items = 100, .num_constraints = 10}, seed + 99),
+        options);
+    const service::JobId doomed_id = doomed.id;
+    submissions.push_back(std::move(doomed));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    server.cancel(doomed_id);
+    std::printf("cancelled job %llu mid-flight\n\n",
+                static_cast<unsigned long long>(doomed_id));
+  }
+
+  TextTable table({"job", "status", "best", "faults", "queued (s)", "ran (s)",
+                   "start#"});
+  for (auto& submission : submissions) {
+    auto r = submission.result.get();  // every future resolves — no timeouts
+    table.add_row({TextTable::fmt(r.id),
+                   r.status.ok() ? "OK" : r.status.to_string(),
+                   r.best ? TextTable::fmt(r.best_value, 1) : "-",
+                   TextTable::fmt(r.slave_faults), TextTable::fmt(r.queue_seconds, 3),
+                   TextTable::fmt(r.run_seconds, 3), TextTable::fmt(r.start_sequence)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  server.shutdown();
+  const auto stats = server.stats();
+  std::printf(
+      "\nservice stats: %llu submitted, %llu completed, %llu cancelled, "
+      "%llu deadline-expired, %llu invalid, %llu rejected, %llu slave faults\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.deadline_expired),
+      static_cast<unsigned long long>(stats.invalid),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.slave_faults));
+  return 0;
+}

@@ -7,6 +7,7 @@
 //   ./orlib_solver --demo            write a demo file, then solve it
 //   options: --slaves=4 --rounds=5 --work=8000 --seed=1
 //           --preset=quick|balanced|thorough|paper  (overrides the above)
+//           --mode=SEQ|ITS|CTS1|CTS2  force one cooperation mode
 //           --save=<dir>   write each best solution as <dir>/<name>.mkpsol
 //           --log-level=info --metrics --trace-out=trace.json  (telemetry)
 #include <cstdio>
@@ -72,6 +73,15 @@ int main(int argc, char** argv) {
     config.work_per_slave_round =
         static_cast<std::uint64_t>(args.get_int("work", 8000));
     config.seed = seed;
+  }
+  if (args.has("mode")) {
+    const auto mode =
+        parallel::cooperation_mode_from_string(args.get_string("mode", ""));
+    if (!mode) {
+      std::fprintf(stderr, "--mode: %s\n", mode.status().to_string().c_str());
+      return 1;
+    }
+    config.mode = *mode;
   }
   const auto save_dir = args.get_string("save", "");
 

@@ -3,7 +3,8 @@
 // workloads" workflow in one command.
 //
 //   ./suite_runner [--suite=cb|fp57|table1] [--preset=quick|balanced|...]
-//                  [--scale=0.25] [--seed=1] [--autotune]
+//                  [--mode=SEQ|ITS|CTS1|CTS2] [--scale=0.25] [--seed=1]
+//                  [--autotune]
 //                  [--log-level=info] [--metrics] [--trace-out=trace.json]
 #include <cstdio>
 
@@ -68,6 +69,15 @@ int main(int argc, char** argv) {
   if (!preset) {
     std::fprintf(stderr, "unknown preset\n");
     return 1;
+  }
+  if (args.has("mode")) {
+    const auto mode =
+        parallel::cooperation_mode_from_string(args.get_string("mode", ""));
+    if (!mode) {
+      std::fprintf(stderr, "--mode: %s\n", mode.status().to_string().c_str());
+      return 1;
+    }
+    preset->mode = *mode;
   }
 
   const auto classes = load_suite(suite_name, seed, scale);

@@ -24,6 +24,19 @@ std::string to_string(AsyncTopology topology) {
   return "?";
 }
 
+Expected<AsyncTopology> topology_from_string(const std::string& text) {
+  std::string lower = text;
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  for (auto topology : {AsyncTopology::kFullBroadcast, AsyncTopology::kRing,
+                        AsyncTopology::kRandomPeer}) {
+    if (lower == to_string(topology)) return topology;
+  }
+  return Status::invalid_argument("unknown async topology '" + text +
+                                  "' (accepted: broadcast, ring, random-peer)");
+}
+
 namespace {
 
 struct PeerMessage {
@@ -79,7 +92,10 @@ AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config
     std::vector<mkp::Solution> elite;
 
     for (std::size_t burst = 0; burst < config.bursts_per_peer; ++burst) {
-      if (stop_all.load(std::memory_order_relaxed) || deadline.expired()) break;
+      if (stop_all.load(std::memory_order_relaxed) || deadline.expired() ||
+          config.cancel.stop_requested()) {
+        break;
+      }
 
       tabu::TsParams params = config.base_params;
       params.strategy = strategy;
@@ -87,6 +103,7 @@ AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config
           std::max<std::uint64_t>(1, config.work_per_burst / strategy.nb_drop);
       params.target_value = config.target_value;
       params.run_to_budget = true;
+      params.cancel = config.cancel;
 
       auto ts = [&] {
         obs::SpanScope burst_span("peer_burst",
@@ -189,6 +206,7 @@ AsyncResult run_async_swarm(const mkp::Instance& inst, const AsyncConfig& config
   if (config.target_value && result.best_value >= *config.target_value) {
     result.reached_target = true;
   }
+  result.cancelled = config.cancel.stop_requested() && !result.reached_target;
   result.seconds = watch.elapsed_seconds();
   return result;
 }

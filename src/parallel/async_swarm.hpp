@@ -22,6 +22,8 @@
 #include "obs/counters.hpp"
 #include "parallel/strategy_gen.hpp"
 #include "tabu/strategy.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
 
 namespace pts::parallel {
 
@@ -37,6 +39,10 @@ enum class AsyncTopology : std::uint8_t {
 
 [[nodiscard]] std::string to_string(AsyncTopology topology);
 
+/// Parses the to_string() names ("broadcast", "ring", "random-peer"),
+/// case-insensitively, so flags round-trip with printed output.
+[[nodiscard]] Expected<AsyncTopology> topology_from_string(const std::string& text);
+
 struct AsyncConfig {
   std::size_t num_peers = 8;
   std::uint64_t seed = 1;
@@ -50,6 +56,9 @@ struct AsyncConfig {
   tabu::TsParams base_params;
   std::optional<double> target_value;
   double time_limit_seconds = 0.0;
+  /// Cooperative stop, checked between bursts and inside each burst's
+  /// engine loop. Default token = never stops.
+  CancelToken cancel;
 };
 
 struct AsyncResult {
@@ -58,6 +67,7 @@ struct AsyncResult {
   std::uint64_t total_moves = 0;
   double seconds = 0.0;
   bool reached_target = false;
+  bool cancelled = false;  ///< AsyncConfig::cancel fired before the bursts ran out
 
   std::uint64_t broadcasts = 0;
   std::uint64_t adoptions = 0;

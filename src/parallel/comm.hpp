@@ -9,6 +9,8 @@
 // Instance (immutable data is safe to share — Core Guidelines CP.3).
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "obs/counters.hpp"
 #include "tabu/engine.hpp"
 #include "tabu/strategy.hpp"
+#include "util/cancel.hpp"
 #include "util/mailbox.hpp"
 
 namespace pts::parallel {
@@ -52,10 +55,37 @@ struct Report {
   std::vector<obs::AnytimeSample> anytime;
 };
 
-/// The two endpoints a slave needs.
+/// Slave -> master: the round died instead of reporting. A slave whose
+/// search throws sends this in place of its Report, so the rendezvous still
+/// sees one message per slave per round — the master proceeds with P-1
+/// results and respawns the slave's record instead of hanging forever on a
+/// gather that can never complete (the liveness gap in the paper's §4.2
+/// synchronous scheme).
+struct SlaveFault {
+  std::size_t slave_id = 0;
+  std::size_t round = 0;
+  std::string what;  ///< exception text, for the audit log
+};
+
+/// Everything a slave can send up.
+using FromSlave = std::variant<Report, SlaveFault>;
+
+/// Test-only fault injection: when wired into SlaveChannels, the slave
+/// throws at the top of any (slave, round) for which should_throw returns
+/// true — the hook the fault-tolerance tests use to force SlaveFault paths
+/// without bespoke test slaves.
+struct FaultInjector {
+  std::function<bool(std::size_t slave_id, std::size_t round)> should_throw;
+};
+
+/// The endpoints a slave needs, plus the stop/fault plumbing.
 struct SlaveChannels {
   Mailbox<ToSlave>* inbox = nullptr;
-  Mailbox<Report>* outbox = nullptr;
+  Mailbox<FromSlave>* outbox = nullptr;
+  /// Checked at every inbox wait; a fired token makes an idle slave return
+  /// without waiting for Stop.
+  CancelToken cancel;
+  const FaultInjector* fault = nullptr;  ///< tests only; nullptr in production
 };
 
 }  // namespace pts::parallel

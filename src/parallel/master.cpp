@@ -70,6 +70,10 @@ MasterResult run_master(const mkp::Instance& inst,
   }
 
   for (std::size_t round = 0; round < config.search_iterations; ++round) {
+    if (config.cancel.stop_requested()) {
+      result.cancelled = true;
+      break;
+    }
     if (deadline.expired() || result.reached_target) break;
     if (trace) trace->on_round_start(round);
 
@@ -90,6 +94,7 @@ MasterResult run_master(const mkp::Instance& inst,
             1, config.work_per_slave_round / records[i].strategy.nb_drop);
         assignment.params.target_value = config.target_value;
         assignment.params.run_to_budget = true;
+        assignment.params.cancel = config.cancel;
         const bool sent = channels[i].inbox->send(std::move(assignment));
         PTS_CHECK_MSG(sent, "slave inbox closed while the master is running");
       }
@@ -101,29 +106,61 @@ MasterResult run_master(const mkp::Instance& inst,
       obs::tracer().sample("assign_backlog", static_cast<double>(backlog));
     }
 
-    // Gather: the synchronous rendezvous — wait for all P reports.
+    // Gather: the synchronous rendezvous — one message per slave, where a
+    // message is either the round's Report or a SlaveFault. Faults count
+    // toward the rendezvous (so it always completes) but leave their slot
+    // empty; every consumer below must tolerate a missing report.
     std::vector<std::optional<Report>> reports(config.num_slaves);
+    std::vector<bool> faulted(config.num_slaves, false);
     std::optional<double> first_report_at;
+    std::size_t gathered = 0;
     {
       obs::SpanScope gather_span("gather", {{"round", static_cast<double>(round)}});
       for (std::size_t k = 0; k < config.num_slaves; ++k) {
-        auto report = channels[0].outbox->receive();
-        PTS_CHECK_MSG(report.has_value(), "report mailbox closed prematurely");
+        auto message = channels[0].outbox->receive(config.cancel);
+        if (!message) {
+          // Either the cancel token fired mid-wait or the harness closed the
+          // report box. The former is an orderly wind-down; the latter is
+          // still a wiring bug.
+          PTS_CHECK_MSG(config.cancel.stop_requested(),
+                        "report mailbox closed prematurely");
+          result.cancelled = true;
+          break;
+        }
         if (!first_report_at) first_report_at = watch.elapsed_seconds();
         if (obs::tracer().enabled()) {
           obs::tracer().sample("report_backlog",
                                static_cast<double>(channels[0].outbox->depth()));
         }
-        PTS_CHECK(report->slave_id < config.num_slaves);
-        reports[report->slave_id] = std::move(*report);
+        if (const auto* fault = std::get_if<SlaveFault>(&*message)) {
+          PTS_CHECK(fault->slave_id < config.num_slaves);
+          faulted[fault->slave_id] = true;
+          ++result.slave_faults;
+          ++gathered;
+          if (obs::tracer().enabled()) {
+            obs::tracer().instant("slave_fault",
+                                  {{"round", static_cast<double>(round)},
+                                   {"slave", static_cast<double>(fault->slave_id)}},
+                                  "what", fault->what);
+          }
+          continue;
+        }
+        auto report = std::get<Report>(std::move(*message));
+        PTS_CHECK(report.slave_id < config.num_slaves);
+        reports[report.slave_id] = std::move(report);
+        ++gathered;
       }
     }
-    result.rendezvous_idle_seconds += watch.elapsed_seconds() - *first_report_at;
-    if (trace) trace->on_reports_gathered(round, config.num_slaves);
+    if (first_report_at) {
+      result.rendezvous_idle_seconds += watch.elapsed_seconds() - *first_report_at;
+    }
+    if (result.cancelled) break;
+    if (trace) trace->on_reports_gathered(round, gathered);
 
     // Update the global best first so ISP sees this round's discoveries.
     const double best_before_round = result.best_value;
     for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      if (!reports[i]) continue;  // faulted this round
       const auto& report = *reports[i];
       result.total_moves += report.moves;
       if (report.reached_target) result.reached_target = true;
@@ -154,6 +191,7 @@ MasterResult run_master(const mkp::Instance& inst,
     // solutions combining the structure of two elites often sit on the path.
     if (config.relink_elites && result.best_value > 0.0) {
       for (std::size_t i = 0; i < config.num_slaves; ++i) {
+        if (!reports[i]) continue;
         const auto& report = *reports[i];
         if (report.elite.empty()) continue;
         const auto& slave_best = report.elite.front();
@@ -172,6 +210,20 @@ MasterResult run_master(const mkp::Instance& inst,
 
     // Per-slave bookkeeping, deterministic order.
     for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      if (!reports[i]) {
+        // Respawn the faulted slave: the thread itself survived (slave_loop
+        // caught the escape), so a respawn is purely master-side — a fresh
+        // random strategy and start, score reset, as if newly spawned. No
+        // RoundLog entry is written for the faulted round.
+        auto& record = records[i];
+        record.strategy = random_strategy(master_rng, config.sgp.bounds);
+        record.score = config.sgp.initial_score;
+        record.initial = bounds::greedy_randomized(inst, master_rng);
+        record.b_best.clear();
+        record.rounds_unchanged = 0;
+        if (faulted[i]) ++result.slave_respawns;
+        continue;
+      }
       const auto& report = *reports[i];
       auto& record = records[i];
       record.b_best = report.elite;

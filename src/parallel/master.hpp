@@ -55,6 +55,12 @@ struct MasterConfig {
 
   std::optional<double> target_value;  ///< stop all slaves once reached
   double time_limit_seconds = 0.0;     ///< 0 = unbounded rounds
+
+  /// Cooperative stop: checked at the top of every round and during the
+  /// gather wait itself, and forwarded to every slave's engine via its
+  /// assignment — a fired token unwinds the whole farm within one
+  /// inner-loop check per slave plus one mailbox poll slice.
+  CancelToken cancel;
 };
 
 /// One line of the run's audit log (one slave in one round).
@@ -80,10 +86,21 @@ struct MasterResult {
   double seconds = 0.0;
   bool reached_target = false;
 
+  /// True when the run stopped because MasterConfig::cancel fired rather
+  /// than by exhausting its rounds/time or reaching the target.
+  bool cancelled = false;
+
   std::size_t strategy_retunes = 0;
   std::size_t global_best_injections = 0;
   std::size_t random_restarts = 0;
   std::size_t relink_improvements = 0;  ///< only with relink_elites
+  /// Rounds that ended with a SlaveFault instead of a Report (the round
+  /// proceeded with the remaining reports), and the master-side respawns
+  /// that followed: the faulted slave's record is reseeded with a fresh
+  /// random strategy and start, so the thread re-enters the next round as
+  /// if newly spawned.
+  std::size_t slave_faults = 0;
+  std::size_t slave_respawns = 0;
   /// Accumulated gap between the first and last report of each round —
   /// the rendezvous idle cost of the synchronous scheme (ablation A5).
   double rendezvous_idle_seconds = 0.0;

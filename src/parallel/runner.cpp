@@ -24,6 +24,29 @@ std::string to_string(CooperationMode mode) {
 
 namespace {
 
+std::string ascii_upper(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return out;
+}
+
+}  // namespace
+
+Expected<CooperationMode> cooperation_mode_from_string(const std::string& text) {
+  const auto upper = ascii_upper(text);
+  for (auto mode : {CooperationMode::kSequential, CooperationMode::kIndependent,
+                    CooperationMode::kCooperativePool,
+                    CooperationMode::kCooperativeAdaptive}) {
+    if (upper == to_string(mode)) return mode;
+  }
+  return Status::invalid_argument("unknown cooperation mode '" + text +
+                                  "' (accepted: SEQ, ITS, CTS1, CTS2)");
+}
+
+namespace {
+
 ParallelResult run_sequential(const mkp::Instance& inst, const ParallelConfig& config) {
   Stopwatch watch;
   Rng rng(config.seed);
@@ -38,12 +61,14 @@ ParallelResult run_sequential(const mkp::Instance& inst, const ParallelConfig& c
   params.time_limit_seconds = config.time_limit_seconds;
   params.target_value = config.target_value;
   params.run_to_budget = true;
+  params.cancel = config.cancel;
 
   const auto initial = bounds::greedy_randomized(inst, rng);
   auto ts = tabu::tabu_search(inst, initial, params, rng);
 
   ParallelResult result{config.mode, std::move(ts.best), ts.best_value, ts.moves,
                         watch.elapsed_seconds(), ts.reached_target,
+                        config.cancel.stop_requested() && !ts.reached_target,
                         MasterResult{mkp::Solution(inst)}};
   // Surface the single run's telemetry through the same MasterResult fields
   // the cooperative modes fill, so --metrics / report_io treat SEQ uniformly.
@@ -56,8 +81,7 @@ ParallelResult run_sequential(const mkp::Instance& inst, const ParallelConfig& c
 }  // namespace
 
 ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
-                                        const ParallelConfig& config,
-                                        MasterTrace* trace) {
+                                        const ParallelConfig& config) {
   PTS_CHECK(config.num_slaves >= 1);
   if (config.mode == CooperationMode::kSequential) {
     return run_sequential(inst, config);
@@ -79,21 +103,26 @@ ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
   master_config.relink_elites = config.relink_elites;
   master_config.target_value = config.target_value;
   master_config.time_limit_seconds = config.time_limit_seconds;
+  master_config.cancel = config.cancel;
 
-  // Wire the mailboxes: one inbox per slave, one shared report box.
+  // Wire the mailboxes: one inbox per slave, one shared report box. Every
+  // channel carries the run's cancel token (so idle slaves unblock without
+  // waiting for Stop) and the test-only fault injector.
   std::vector<std::unique_ptr<Mailbox<ToSlave>>> inboxes;
   inboxes.reserve(config.num_slaves);
-  auto reports = std::make_unique<Mailbox<Report>>();
+  auto reports = std::make_unique<Mailbox<FromSlave>>();
   std::vector<SlaveChannels> channels(config.num_slaves);
   for (std::size_t i = 0; i < config.num_slaves; ++i) {
     inboxes.push_back(std::make_unique<Mailbox<ToSlave>>());
-    channels[i] = SlaveChannels{inboxes.back().get(), reports.get()};
+    channels[i] = SlaveChannels{inboxes.back().get(), reports.get(), config.cancel,
+                                config.fault_injector};
   }
 
   MasterResult master_result{mkp::Solution(inst)};
   {
-    // jthreads join on scope exit; run_master sends Stop to every slave, so
-    // the joins cannot block (CP.23/CP.25: threads as scoped containers).
+    // jthreads join on scope exit; run_master sends Stop to every slave (and
+    // a fired cancel token unblocks them too), so the joins cannot block
+    // (CP.23/CP.25: threads as scoped containers).
     std::vector<std::jthread> slaves;
     slaves.reserve(config.num_slaves);
     for (std::size_t i = 0; i < config.num_slaves; ++i) {
@@ -101,7 +130,7 @@ ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
         slave_loop(inst, i, seed, ch);
       });
     }
-    master_result = run_master(inst, channels, master_config, trace);
+    master_result = run_master(inst, channels, master_config, config.observer);
   }
 
   ParallelResult result{config.mode,
@@ -110,6 +139,7 @@ ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
                         master_result.total_moves,
                         watch.elapsed_seconds(),
                         master_result.reached_target,
+                        master_result.cancelled,
                         std::move(master_result)};
   return result;
 }

@@ -19,6 +19,7 @@
 
 #include "mkp/instance.hpp"
 #include "parallel/master.hpp"
+#include "util/status.hpp"
 
 namespace pts::parallel {
 
@@ -30,6 +31,12 @@ enum class CooperationMode : std::uint8_t {
 };
 
 [[nodiscard]] std::string to_string(CooperationMode mode);
+
+/// Parses the to_string() names ("SEQ", "ITS", "CTS1", "CTS2"), case-
+/// insensitively, so flags round-trip with printed output. The error lists
+/// the accepted names — flag parsers surface it verbatim.
+[[nodiscard]] Expected<CooperationMode> cooperation_mode_from_string(
+    const std::string& text);
 
 struct ParallelConfig {
   CooperationMode mode = CooperationMode::kCooperativeAdaptive;
@@ -51,6 +58,19 @@ struct ParallelConfig {
 
   std::optional<double> target_value;
   double time_limit_seconds = 0.0;
+
+  /// Cooperative stop (external cancel and/or deadline), threaded through
+  /// the master's round loop, every mailbox wait, and each slave engine's
+  /// inner loop. Default token = never stops.
+  CancelToken cancel;
+
+  /// Optional observer of the master's control flow (Fig. 2 structural
+  /// tests, progress UIs). Replaces the old raw out-param of
+  /// run_parallel_tabu_search; the observer must outlive the run.
+  MasterTrace* observer = nullptr;
+
+  /// Test-only fault injection, forwarded to every slave (see comm.hpp).
+  const FaultInjector* fault_injector = nullptr;
 };
 
 struct ParallelResult {
@@ -60,13 +80,26 @@ struct ParallelResult {
   std::uint64_t total_moves = 0;
   double seconds = 0.0;
   bool reached_target = false;
+  /// The run stopped because ParallelConfig::cancel fired (the best found
+  /// up to that point is still returned).
+  bool cancelled = false;
 
   /// Populated for the master-driven modes (empty for SEQ).
   MasterResult master;
 };
 
 ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
-                                        const ParallelConfig& config,
-                                        MasterTrace* trace = nullptr);
+                                        const ParallelConfig& config);
+
+/// Transitional shim for the old trace out-param; set
+/// ParallelConfig::observer instead. Kept for one release.
+[[deprecated("set ParallelConfig::observer instead of passing a MasterTrace*")]]
+inline ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
+                                               const ParallelConfig& config,
+                                               MasterTrace* trace) {
+  ParallelConfig patched = config;
+  if (trace != nullptr) patched.observer = trace;
+  return run_parallel_tabu_search(inst, patched);
+}
 
 }  // namespace pts::parallel

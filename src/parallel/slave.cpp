@@ -1,5 +1,7 @@
 #include "parallel/slave.hpp"
 
+#include <stdexcept>
+
 #include "obs/trace.hpp"
 #include "tabu/engine.hpp"
 #include "util/check.hpp"
@@ -41,10 +43,23 @@ void slave_loop(const mkp::Instance& inst, std::size_t slave_id, std::uint64_t s
   PTS_CHECK(channels.inbox && channels.outbox);
   // Logical trace id: master = 0, slave i = i + 1.
   obs::TidScope tid_scope(static_cast<std::uint32_t>(slave_id) + 1);
-  while (auto message = channels.inbox->receive()) {
+  while (auto message = channels.inbox->receive(channels.cancel)) {
     if (std::holds_alternative<Stop>(*message)) break;
     const auto& assignment = std::get<Assignment>(*message);
-    channels.outbox->send(run_assignment(inst, slave_id, seed, assignment));
+    // A throwing round must never silence the rendezvous: convert every
+    // escape into a SlaveFault so the master still gets one message for this
+    // (slave, round) and can degrade gracefully instead of hanging.
+    try {
+      if (channels.fault && channels.fault->should_throw &&
+          channels.fault->should_throw(slave_id, assignment.round)) {
+        throw std::runtime_error("injected slave fault");
+      }
+      channels.outbox->send(run_assignment(inst, slave_id, seed, assignment));
+    } catch (const std::exception& error) {
+      channels.outbox->send(SlaveFault{slave_id, assignment.round, error.what()});
+    } catch (...) {
+      channels.outbox->send(SlaveFault{slave_id, assignment.round, "unknown exception"});
+    }
   }
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 // The slave process (§3, Figure 1 executor): wait for an Assignment, run one
-// tabu search, report the B best solutions, repeat until Stop. Each
-// assignment's randomness derives deterministically from
+// tabu search, report the B best solutions, repeat until Stop (or until the
+// channel's cancel token fires while idle). A round that throws is reported
+// as a SlaveFault rather than swallowed, so the master's rendezvous always
+// completes. Each assignment's randomness derives deterministically from
 // (seed, slave_id, round), so a parallel run is reproducible regardless of
 // thread interleaving.
 

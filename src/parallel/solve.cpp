@@ -5,14 +5,24 @@
 
 #include "bounds/simplex.hpp"
 #include "parallel/presets.hpp"
-#include "util/check.hpp"
 #include "util/stats.hpp"
 
 namespace pts::parallel {
 
-SolveSummary solve(const mkp::Instance& inst, const SolveOptions& options) {
+Expected<SolveSummary> solve(const mkp::Instance& inst, const SolveOptions& options) {
   auto preset = preset_by_name(options.preset, options.seed);
-  PTS_CHECK_MSG(preset.has_value(), "unknown preset name in SolveOptions");
+  if (!preset) {
+    std::string known;
+    for (const auto& name : known_preset_names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::invalid_argument("unknown preset '" + options.preset +
+                                    "' (known: " + known + ")");
+  }
+  if (options.time_budget_seconds <= 0.0) {
+    return Status::invalid_argument("time_budget_seconds must be positive");
+  }
 
   ParallelConfig config = *preset;
   scale_budget_to_instance(config, inst);
@@ -22,11 +32,12 @@ SolveSummary solve(const mkp::Instance& inst, const SolveOptions& options) {
   config.time_limit_seconds = options.time_budget_seconds;
   config.target_value = options.target_value;
   config.relink_elites = options.relink_elites;
+  config.cancel = options.cancel;
 
   const auto result = run_parallel_tabu_search(inst, config);
 
-  SolveSummary summary{result.best, result.best_value, result.seconds,
-                       result.total_moves, result.reached_target};
+  SolveSummary summary{result.best,        result.best_value,     result.seconds,
+                       result.total_moves, result.reached_target, result.cancelled};
   if (inst.num_items() <= SolveSummary::kLpGapLimit) {
     const auto lp = bounds::solve_lp_relaxation(inst);
     summary.lp_gap_percent = lp.optimal()

@@ -10,6 +10,8 @@
 
 #include "mkp/instance.hpp"
 #include "parallel/runner.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
 
 namespace pts::parallel {
 
@@ -22,6 +24,9 @@ struct SolveOptions {
   std::uint64_t seed = 1;
   std::optional<double> target_value;
   bool relink_elites = true;  ///< the extension earns its keep by default here
+  /// Cooperative stop (external cancel and/or deadline); the best found so
+  /// far is still returned when it fires.
+  CancelToken cancel;
 };
 
 struct SolveSummary {
@@ -30,6 +35,7 @@ struct SolveSummary {
   double seconds = 0.0;
   std::uint64_t total_moves = 0;
   bool reached_target = false;
+  bool cancelled = false;  ///< SolveOptions::cancel fired before the budget ran out
   /// Gap to the LP bound in percent (computed once at the end; the LP solve
   /// is skipped — and the value is NaN — for instances with more than
   /// `kLpGapLimit` items to keep solve() predictable).
@@ -38,7 +44,10 @@ struct SolveSummary {
   static constexpr std::size_t kLpGapLimit = 600;
 };
 
-/// Aborts (PTS_CHECK) on an unknown preset name.
-SolveSummary solve(const mkp::Instance& inst, const SolveOptions& options = {});
+/// Result-or-error: an unknown preset name returns kInvalidArgument (with
+/// the known names in the message) instead of aborting the process — the
+/// contract a service embedding this call relies on.
+[[nodiscard]] Expected<SolveSummary> solve(const mkp::Instance& inst,
+                                           const SolveOptions& options = {});
 
 }  // namespace pts::parallel

@@ -1,0 +1,108 @@
+#pragma once
+// Job vocabulary for the solver service: what a caller submits, what a
+// job's future resolves to, and how the pool is shaped. Pure data — the
+// scheduling machinery lives in solver_service.hpp.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+#include "obs/anytime.hpp"
+#include "obs/counters.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/runner.hpp"
+#include "util/status.hpp"
+
+namespace pts::service {
+
+using JobId = std::uint64_t;
+
+struct JobOptions {
+  /// Named preset resolving the search shape; an unknown name resolves the
+  /// job's future to kInvalidArgument immediately — never an abort.
+  std::string preset = "balanced";
+  /// The solve's own wall-time budget once running (a job that spends it in
+  /// full still resolves OK).
+  double time_budget_seconds = 2.0;
+  /// Hard wall-clock deadline measured from submit(). A queued job whose
+  /// deadline passes resolves kDeadlineExceeded without running; a running
+  /// job is cooperatively cancelled and resolves kDeadlineExceeded with the
+  /// best found so far.
+  std::optional<double> deadline_seconds;
+  /// Higher runs first; ties run in submission order.
+  int priority = 0;
+  std::uint64_t seed = 1;
+  std::optional<double> target_value;
+  /// Override the preset's cooperation mode (SEQ/ITS/CTS1/CTS2).
+  std::optional<parallel::CooperationMode> mode;
+};
+
+/// What a job's future resolves to — always. The service never aborts and
+/// never leaves a future unresolved, including through shutdown.
+struct JobResult {
+  JobId id = 0;
+  /// OK: ran its budget (or hit its target). kDeadlineExceeded/kCancelled
+  /// still carry the best found if the job got to run at all.
+  /// kInvalidArgument (bad options), kResourceExhausted (queue backpressure)
+  /// and kUnavailable (shutdown) carry no solution.
+  Status status;
+  /// Keeps `best` valid independent of the caller's and the service's
+  /// lifetimes (solutions reference their instance).
+  std::shared_ptr<const mkp::Instance> instance;
+  std::optional<mkp::Solution> best;
+  double best_value = 0.0;
+  std::uint64_t total_moves = 0;
+  bool reached_target = false;
+  std::size_t slave_faults = 0;  ///< rounds that degraded to P-1 reports
+
+  double queue_seconds = 0.0;  ///< submit -> dispatch (or terminal decision)
+  double run_seconds = 0.0;    ///< dispatch -> finish (0 if never ran)
+  /// Global dispatch order, 1-based; 0 for jobs that never started. Lets
+  /// tests (and callers) observe the priority order actually enforced.
+  std::uint64_t start_sequence = 0;
+
+  /// Per-job telemetry, keyed by this id: the run's merged counter block and
+  /// stitched anytime curve (empty when telemetry is disabled).
+  obs::Counters counters;
+  std::vector<obs::AnytimeSample> anytime;
+};
+
+/// What to do when the bounded queue is full.
+enum class OverflowPolicy : std::uint8_t {
+  /// Resolve the incoming job kResourceExhausted.
+  kRejectNew,
+  /// Shed the lowest-priority queued job if the incoming one outranks it
+  /// (the shed job resolves kResourceExhausted); otherwise reject the
+  /// incoming one.
+  kShedLowest,
+};
+
+struct ServiceConfig {
+  /// Pool width: the maximum number of concurrently running search threads
+  /// across all jobs. A job's preset thread ask is clamped to this, and jobs
+  /// are only dispatched when their ask fits in the free capacity — 50
+  /// queued jobs on a 4-wide pool drain without oversubscription.
+  std::size_t num_workers = 4;
+  /// Bounded backlog of not-yet-running jobs; overflow applies `overflow`.
+  std::size_t queue_capacity = 64;
+  OverflowPolicy overflow = OverflowPolicy::kRejectNew;
+  /// Test-only: forwarded to every job's slaves (see parallel/comm.hpp).
+  const parallel::FaultInjector* fault_injector = nullptr;
+};
+
+/// Cumulative service counters (all monotone).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t invalid = 0;           ///< resolved kInvalidArgument at submit
+  std::uint64_t rejected = 0;          ///< backpressure (kResourceExhausted)
+  std::uint64_t completed = 0;         ///< resolved OK
+  std::uint64_t cancelled = 0;         ///< resolved kCancelled / kUnavailable
+  std::uint64_t deadline_expired = 0;  ///< resolved kDeadlineExceeded
+  std::uint64_t slave_faults = 0;      ///< summed over finished runs
+};
+
+}  // namespace pts::service

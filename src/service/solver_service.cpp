@@ -1,0 +1,366 @@
+#include "service/solver_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "parallel/presets.hpp"
+#include "util/check.hpp"
+
+namespace pts::service {
+
+using namespace std::chrono_literals;
+
+/// Everything the service tracks for one job, queued or running. The promise
+/// is resolved exactly once, by whichever path terminates the job.
+struct SolverService::Job {
+  JobId id = 0;
+  std::shared_ptr<const mkp::Instance> instance;
+  JobOptions options;
+  parallel::ParallelConfig config;  ///< resolved at submit; budget set at dispatch
+  std::size_t slots = 1;            ///< pool capacity the job occupies while running
+  Deadline deadline;                ///< unbounded when no deadline was requested
+  CancelSource cancel;              ///< armed with `deadline`; cancel(id) fires it
+  Stopwatch since_submit;
+  std::promise<JobResult> promise;
+};
+
+SolverService::SolverService(ServiceConfig config) : config_(config) {
+  PTS_CHECK_MSG(config_.num_workers >= 1, "the pool needs at least one worker");
+  PTS_CHECK_MSG(config_.queue_capacity >= 1, "the queue needs at least one slot");
+  free_slots_ = config_.num_workers;
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+SolverService::~SolverService() { shutdown(); }
+
+SolverService::Submission SolverService::submit(mkp::Instance instance,
+                                                JobOptions options) {
+  return submit_impl(std::make_shared<const mkp::Instance>(std::move(instance)),
+                     std::move(options));
+}
+
+SolverService::Submission SolverService::submit(
+    std::shared_ptr<const mkp::Instance> instance, JobOptions options) {
+  return submit_impl(std::move(instance), std::move(options));
+}
+
+void SolverService::resolve_without_run(Job& job, Status status) {
+  JobResult result;
+  result.id = job.id;
+  result.status = std::move(status);
+  result.instance = job.instance;
+  result.queue_seconds = job.since_submit.elapsed_seconds();
+  job.promise.set_value(std::move(result));
+}
+
+SolverService::Submission SolverService::submit_impl(
+    std::shared_ptr<const mkp::Instance> instance, JobOptions options) {
+  auto job = std::make_shared<Job>();
+  job->instance = std::move(instance);
+  job->options = std::move(options);
+
+  Submission out;
+  out.result = job->promise.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    job->id = next_id_++;
+    ++stats_.submitted;
+  }
+  out.id = job->id;
+
+  // Validation: every failure is a resolved future, never an abort.
+  Status invalid;
+  std::optional<parallel::ParallelConfig> preset;
+  if (!job->instance) {
+    invalid = Status::invalid_argument("null instance");
+  } else if (job->options.time_budget_seconds <= 0.0) {
+    invalid = Status::invalid_argument("time_budget_seconds must be positive");
+  } else if (job->options.deadline_seconds && *job->options.deadline_seconds < 0.0) {
+    invalid = Status::invalid_argument("deadline_seconds must be non-negative");
+  } else {
+    preset = parallel::preset_by_name(job->options.preset, job->options.seed);
+    if (!preset) {
+      std::string known;
+      for (const auto& name : parallel::known_preset_names()) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      invalid = Status::invalid_argument("unknown preset '" + job->options.preset +
+                                         "' (known: " + known + ")");
+    }
+  }
+  if (!invalid.ok()) {
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.invalid;
+    }
+    resolve_without_run(*job, std::move(invalid));
+    return out;
+  }
+
+  job->config = *preset;
+  parallel::scale_budget_to_instance(job->config, *job->instance);
+  if (job->options.mode) job->config.mode = *job->options.mode;
+  job->config.seed = job->options.seed;
+  job->config.target_value = job->options.target_value;
+  job->config.fault_injector = config_.fault_injector;
+  // Time is the binding limit (set at dispatch); rounds get enough headroom
+  // that they can never run out before the budget or deadline does.
+  job->config.search_iterations =
+      std::max<std::size_t>(job->config.search_iterations, 1'000'000);
+  // Clamp the thread ask to the pool width; that clamp IS the
+  // no-oversubscription guarantee.
+  job->config.num_slaves =
+      std::clamp<std::size_t>(job->config.num_slaves, 1, config_.num_workers);
+  job->slots = job->config.mode == parallel::CooperationMode::kSequential
+                   ? 1
+                   : job->config.num_slaves;
+  if (job->options.deadline_seconds) {
+    job->deadline = Deadline::after_seconds(*job->options.deadline_seconds);
+  }
+  job->cancel = CancelSource(job->deadline);
+
+  std::unique_lock lock(mutex_);
+  if (stopping_) {
+    ++stats_.cancelled;
+    lock.unlock();
+    resolve_without_run(*job, Status::unavailable("service is shut down"));
+    return out;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    // Backpressure. Shedding evicts the weakest queued job only when the
+    // incoming one strictly outranks it; otherwise the incoming job is the
+    // one rejected.
+    std::shared_ptr<Job> shed;
+    if (config_.overflow == OverflowPolicy::kShedLowest) {
+      auto weakest = std::min_element(
+          queue_.begin(), queue_.end(), [](const auto& a, const auto& b) {
+            return std::pair(a->options.priority, b->id) <
+                   std::pair(b->options.priority, a->id);  // lowest prio, newest
+          });
+      if (weakest != queue_.end() &&
+          (*weakest)->options.priority < job->options.priority) {
+        shed = *weakest;
+        queue_.erase(weakest);
+        queue_.push_back(job);
+      }
+    }
+    ++stats_.rejected;
+    lock.unlock();
+    if (shed) {
+      resolve_without_run(*shed,
+                          Status::resource_exhausted(
+                              "shed by a higher-priority submission (queue full)"));
+      wake_.notify_all();
+    } else {
+      resolve_without_run(
+          *job, Status::resource_exhausted(
+                    "queue full (capacity " +
+                    std::to_string(config_.queue_capacity) + ")"));
+    }
+    return out;
+  }
+  queue_.push_back(job);
+  lock.unlock();
+  wake_.notify_all();
+  return out;
+}
+
+bool SolverService::cancel(JobId id) {
+  std::unique_lock lock(mutex_);
+  auto queued = std::find_if(queue_.begin(), queue_.end(),
+                             [id](const auto& job) { return job->id == id; });
+  if (queued != queue_.end()) {
+    auto job = *queued;
+    queue_.erase(queued);
+    ++stats_.cancelled;
+    lock.unlock();
+    resolve_without_run(*job, Status::cancelled("cancelled while queued"));
+    return true;
+  }
+  auto running = running_.find(id);
+  if (running != running_.end()) {
+    // The token does the rest: the engine notices within one inner-loop
+    // check, the master within one mailbox poll slice; the job thread then
+    // resolves the future as kCancelled.
+    running->second->cancel.request_cancel();
+    return true;
+  }
+  return false;
+}
+
+void SolverService::shutdown() {
+  std::vector<std::shared_ptr<Job>> to_resolve;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      // Second call: scheduler already told to wind down; fall through to
+      // the join below (idempotent).
+    }
+    stopping_ = true;
+    to_resolve.swap(queue_);
+    stats_.cancelled += to_resolve.size();
+    for (auto& [id, job] : running_) job->cancel.request_cancel();
+  }
+  wake_.notify_all();
+  for (auto& job : to_resolve) {
+    resolve_without_run(*job, Status::cancelled("service shutting down"));
+  }
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+std::size_t SolverService::queued_jobs() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t SolverService::running_jobs() const {
+  std::lock_guard lock(mutex_);
+  return running_.size();
+}
+
+ServiceStats SolverService::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void SolverService::sweep_queue_locked() {
+  // Resolve queued jobs whose deadline passed before they ever ran. Swap-
+  // and-pop is fine: dispatch re-scans for the best job every time.
+  for (std::size_t k = 0; k < queue_.size();) {
+    if (queue_[k]->deadline.expired()) {
+      auto job = queue_[k];
+      queue_[k] = queue_.back();
+      queue_.pop_back();
+      ++stats_.deadline_expired;
+      resolve_without_run(*job,
+                          Status::deadline_exceeded("deadline passed while queued"));
+    } else {
+      ++k;
+    }
+  }
+}
+
+void SolverService::dispatch_ready_locked() {
+  // Strict priority: always dispatch the best queued job next, and if its
+  // ask does not fit the free capacity, wait — lower-priority jobs do not
+  // jump it (a wide job cannot be starved; asks are clamped to the pool
+  // width, so it fits as soon as the pool drains).
+  for (;;) {
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (best == queue_.end() ||
+          std::pair((*it)->options.priority, -static_cast<std::int64_t>((*it)->id)) >
+              std::pair((*best)->options.priority,
+                        -static_cast<std::int64_t>((*best)->id))) {
+        best = it;
+      }
+    }
+    if (best == queue_.end() || (*best)->slots > free_slots_) return;
+    auto job = *best;
+    queue_.erase(best);
+    free_slots_ -= job->slots;
+    running_.emplace(job->id, job);
+    const std::uint64_t seq = next_start_sequence_++;
+    job_threads_.emplace(job->id,
+                         std::thread([this, job, seq] { run_job(job, seq); }));
+  }
+}
+
+void SolverService::reap_finished_locked(std::unique_lock<std::mutex>& lock) {
+  // Joining under the lock is safe: a finished thread's only remaining work
+  // is returning from its function (it never re-acquires the mutex).
+  (void)lock;
+  for (JobId id : finished_) {
+    auto it = job_threads_.find(id);
+    if (it == job_threads_.end()) continue;
+    it->second.join();
+    job_threads_.erase(it);
+  }
+  finished_.clear();
+}
+
+void SolverService::scheduler_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    reap_finished_locked(lock);
+    sweep_queue_locked();
+    if (!stopping_) dispatch_ready_locked();
+    if (stopping_ && queue_.empty() && running_.empty() && job_threads_.empty()) {
+      return;
+    }
+    // Timed wait: deadline sweeps need a tick even when nothing notifies.
+    wake_.wait_for(lock, 10ms);
+  }
+}
+
+void SolverService::run_job(const std::shared_ptr<Job>& job,
+                            std::uint64_t start_sequence) {
+  JobResult result;
+  result.id = job->id;
+  result.instance = job->instance;
+  result.queue_seconds = job->since_submit.elapsed_seconds();
+  result.start_sequence = start_sequence;
+
+  // Budget: the job's own solve budget, truncated by whatever the deadline
+  // has left. The engine needs a positive bound even when the deadline
+  // passed between dispatch and here; the token stops it within one check.
+  double budget = job->options.time_budget_seconds;
+  bool deadline_limited = false;
+  if (job->deadline.is_bounded()) {
+    const double remaining = job->deadline.remaining_seconds();
+    if (remaining < budget) {
+      budget = remaining;
+      deadline_limited = true;
+    }
+  }
+  parallel::ParallelConfig config = job->config;
+  config.time_limit_seconds = std::max(budget, 1e-3);
+  config.cancel = job->cancel.token();
+
+  Stopwatch run_watch;
+  auto run = parallel::run_parallel_tabu_search(*job->instance, config);
+  result.run_seconds = run_watch.elapsed_seconds();
+
+  result.best_value = run.best_value;
+  result.best = std::move(run.best);
+  result.total_moves = run.total_moves;
+  result.reached_target = run.reached_target;
+  result.slave_faults = run.master.slave_faults;
+  result.counters = run.master.counters;
+  result.anytime = std::move(run.master.anytime);
+
+  const auto token = job->cancel.token();
+  if (run.reached_target) {
+    result.status = Status{};
+  } else if (token.cancel_requested()) {
+    result.status = Status::cancelled("cancelled while running");
+  } else if (deadline_limited && token.deadline_expired()) {
+    result.status = Status::deadline_exceeded("deadline passed while running");
+  } else {
+    result.status = Status{};
+  }
+
+  // Retire the job from the books BEFORE resolving the promise, so "the
+  // future is ready" implies "cancel(id) returns false". The scheduler may
+  // join this thread before set_value runs; that is fine — the join only
+  // waits for the return below, and no lock is held past this block.
+  {
+    std::lock_guard lock(mutex_);
+    free_slots_ += job->slots;
+    running_.erase(job->id);
+    finished_.push_back(job->id);
+    stats_.slave_faults += result.slave_faults;
+    switch (result.status.code()) {
+      case StatusCode::kOk: ++stats_.completed; break;
+      case StatusCode::kCancelled: ++stats_.cancelled; break;
+      case StatusCode::kDeadlineExceeded: ++stats_.deadline_expired; break;
+      default: break;
+    }
+  }
+  wake_.notify_all();
+  job->promise.set_value(std::move(result));
+}
+
+}  // namespace pts::service

@@ -1,0 +1,108 @@
+#pragma once
+// SolverService: many MKP solve jobs over one fixed-width worker pool, with
+// futures that resolve to a result **or a structured error** — never an
+// abort, never a dangling future.
+//
+// Scheduling. submit() validates and enqueues; a scheduler thread dispatches
+// the highest-priority queued job (ties by submission order) whenever its
+// thread ask fits the pool's free capacity. A job's ask is its preset's
+// num_slaves clamped to the pool width (SEQ jobs ask for one); the master
+// thread of a cooperative job blocks on the rendezvous and is not counted.
+// Capacity accounting — not per-job thread reuse — is what bounds
+// concurrency: at most `num_workers` search threads ever run at once.
+//
+// Cancellation. Every job owns a CancelSource armed with its deadline; the
+// token threads through the master's round loop, every mailbox wait, and
+// each slave engine's inner move loop, so cancel(id) or a passing deadline
+// stops a running job within one inner-loop check plus one mailbox poll
+// slice. Queued jobs resolve immediately without running.
+//
+// Fault model. A slave round that throws becomes a SlaveFault message; the
+// master's gather completes with P-1 reports and respawns the slave's
+// record (see parallel/master.cpp). The service surfaces the per-job fault
+// count in JobResult and aggregates it in ServiceStats.
+//
+// DESIGN.md §7 covers the full design; examples/batch_server.cpp drives a
+// mixed workload through it.
+
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/job.hpp"
+#include "util/cancel.hpp"
+#include "util/timer.hpp"
+
+namespace pts::service {
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceConfig config = {});
+  ~SolverService();  ///< shutdown(): cancels outstanding work, joins all threads
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  struct Submission {
+    JobId id = 0;
+    std::future<JobResult> result;
+  };
+
+  /// Non-blocking and abort-free: option validation failures and queue
+  /// overflow resolve the returned future immediately with a structured
+  /// error. The instance is shared into the job (and into its JobResult) so
+  /// its lifetime is independent of the caller's copy.
+  Submission submit(mkp::Instance instance, JobOptions options = {});
+  Submission submit(std::shared_ptr<const mkp::Instance> instance,
+                    JobOptions options = {});
+
+  /// Queued job: resolves kCancelled immediately without running. Running
+  /// job: fires its cancel token; the future resolves kCancelled with the
+  /// best found so far. Returns false for ids that are unknown or already
+  /// resolved.
+  bool cancel(JobId id);
+
+  /// Stops accepting work, cancels every queued and running job, and joins
+  /// all threads. Every outstanding future resolves. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] std::size_t queued_jobs() const;
+  [[nodiscard]] std::size_t running_jobs() const;
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  struct Job;
+
+  Submission submit_impl(std::shared_ptr<const mkp::Instance> instance,
+                         JobOptions options);
+  void scheduler_loop();
+  void dispatch_ready_locked();
+  void sweep_queue_locked();
+  void reap_finished_locked(std::unique_lock<std::mutex>& lock);
+  void run_job(const std::shared_ptr<Job>& job, std::uint64_t start_sequence);
+  static void resolve_without_run(Job& job, Status status);
+
+  ServiceConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+
+  std::vector<std::shared_ptr<Job>> queue_;  // unsorted; dispatch scans
+  std::map<JobId, std::shared_ptr<Job>> running_;
+  std::map<JobId, std::thread> job_threads_;
+  std::vector<JobId> finished_;  ///< job threads done, awaiting join
+
+  std::size_t free_slots_ = 0;
+  JobId next_id_ = 1;
+  std::uint64_t next_start_sequence_ = 1;
+  bool stopping_ = false;
+  ServiceStats stats_;
+
+  std::thread scheduler_;  // started last, joined by shutdown()
+};
+
+}  // namespace pts::service

@@ -97,6 +97,7 @@ class Run {
     if (result_.reached_target) return true;
     if (params_.max_moves > 0 && result_.moves >= params_.max_moves) return true;
     if (deadline_.expired()) return true;
+    if (params_.cancel.stop_requested()) return true;
     return false;
   }
 

@@ -9,6 +9,8 @@
 #include <optional>
 #include <string>
 
+#include "util/cancel.hpp"
+
 namespace pts::tabu {
 
 struct Strategy {
@@ -81,6 +83,11 @@ struct TsParams {
   std::uint64_t max_moves = 100'000;
   double time_limit_seconds = 0.0;
   std::optional<double> target_value;  ///< stop early on reaching this
+
+  /// Cooperative stop (external cancel and/or a job deadline), polled once
+  /// per inner-loop move. The default token never stops and costs one null
+  /// check, so runs without a service above them pay nothing.
+  CancelToken cancel;
 
   /// When true (default) the Nb_div outer loop restarts until the budget is
   /// exhausted, so a fixed move budget is actually consumed; when false the

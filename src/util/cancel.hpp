@@ -1,0 +1,81 @@
+#pragma once
+// Cooperative cancellation for long-running solves.
+//
+// A CancelSource owns the stop state (an external cancel flag plus an
+// optional wall-clock deadline); CancelTokens are cheap shared views of it
+// that the engine checks once per inner-loop move and every mailbox wait
+// checks while blocked. A default-constructed token can never stop — the
+// zero-cost path every pre-existing call site keeps.
+//
+// This is std::stop_token's shape, but with a deadline folded in (the two
+// stop reasons a solver job needs are "the caller gave up" and "the SLA
+// passed") and with the source copyable so a job record can own it.
+
+#include <atomic>
+#include <memory>
+
+#include "util/timer.hpp"
+
+namespace pts {
+
+class CancelSource;
+
+/// Shared, thread-safe view of a CancelSource. Copies observe the same state.
+class CancelToken {
+ public:
+  /// A token that never requests a stop (and costs one null check to poll).
+  CancelToken() = default;
+
+  /// True once the owning source's request_cancel() ran.
+  [[nodiscard]] bool cancel_requested() const {
+    return state_ && state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// True once the source's deadline (if any) passed.
+  [[nodiscard]] bool deadline_expired() const {
+    return state_ && state_->deadline.expired();
+  }
+
+  /// The poll the engine's inner loop and the mailbox waits use: cancel OR
+  /// deadline.
+  [[nodiscard]] bool stop_requested() const {
+    return state_ && (state_->cancelled.load(std::memory_order_relaxed) ||
+                      state_->deadline.expired());
+  }
+
+  /// False for the default token — lets waits skip the timed-poll slicing
+  /// when no stop can ever arrive.
+  [[nodiscard]] bool can_stop() const { return state_ != nullptr; }
+
+ private:
+  friend class CancelSource;
+  struct State {
+    std::atomic<bool> cancelled{false};
+    Deadline deadline;
+  };
+  explicit CancelToken(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+/// Owns the stop state; hand out token() to everything that should observe
+/// it. Copies of a source share the same state.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<CancelToken::State>()) {}
+  explicit CancelSource(Deadline deadline) : CancelSource() {
+    state_->deadline = deadline;
+  }
+
+  void request_cancel() {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CancelToken token() const { return CancelToken(state_); }
+
+ private:
+  std::shared_ptr<CancelToken::State> state_;
+};
+
+}  // namespace pts

@@ -4,12 +4,15 @@
 // mailboxes: values are *moved* through a mutex-protected queue, so no
 // mutable state is ever shared between search threads (CP.3 / CP.mess).
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/cancel.hpp"
 
 namespace pts {
 
@@ -41,6 +44,28 @@ class Mailbox {
     T message = std::move(queue_.front());
     queue_.pop_front();
     return message;
+  }
+
+  /// Blocks until a message arrives, the box is closed and empty, or `token`
+  /// requests a stop — the cancellable rendezvous wait. Returns nullopt on
+  /// close-and-drained or stop; callers that need to tell the two apart ask
+  /// the token. A token that can never stop degrades to the plain wait.
+  std::optional<T> receive(const CancelToken& token) {
+    if (!token.can_stop()) return receive();
+    using namespace std::chrono_literals;
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (!queue_.empty()) {
+        T message = std::move(queue_.front());
+        queue_.pop_front();
+        return message;
+      }
+      if (closed_ || token.stop_requested()) return std::nullopt;
+      // Sliced wait: no notification reaches us when the token fires, so
+      // poll it at a granularity well under the service's latency bound.
+      available_.wait_for(lock, 5ms,
+                          [this] { return !queue_.empty() || closed_; });
+    }
   }
 
   /// Non-blocking receive.

@@ -41,11 +41,12 @@ TEST(EndToEndEdges, ParsedInstanceSolvesAndPersists) {
   options.time_budget_seconds = 0.1;
   options.preset = "quick";
   const auto summary = parallel::solve(reread, options);
+  ASSERT_TRUE(summary.has_value()) << summary.status().to_string();
 
   std::stringstream solution_file;
-  mkp::write_solution(solution_file, summary.best);
+  mkp::write_solution(solution_file, summary->best);
   const auto restored = mkp::read_solution(solution_file, reread);
-  EXPECT_EQ(restored, summary.best);
+  EXPECT_EQ(restored, summary->best);
   EXPECT_TRUE(restored.is_feasible());
 }
 
@@ -83,8 +84,9 @@ TEST(EndToEndEdges, SolveOnCatalogReachesOptimaFast) {
     options.preset = "quick";
     options.target_value = entry.optimum;
     const auto summary = parallel::solve(entry.instance, options);
-    EXPECT_DOUBLE_EQ(summary.best_value, entry.optimum) << entry.instance.name();
-    EXPECT_TRUE(summary.reached_target) << entry.instance.name();
+    ASSERT_TRUE(summary.has_value()) << summary.status().to_string();
+    EXPECT_DOUBLE_EQ(summary->best_value, entry.optimum) << entry.instance.name();
+    EXPECT_TRUE(summary->reached_target) << entry.instance.name();
   }
 }
 

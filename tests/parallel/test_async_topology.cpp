@@ -25,6 +25,20 @@ TEST(AsyncTopology_, NamesCovered) {
   EXPECT_EQ(to_string(AsyncTopology::kRandomPeer), "random-peer");
 }
 
+TEST(AsyncTopology_, NamesRoundTripThroughFromString) {
+  for (auto topology : {AsyncTopology::kFullBroadcast, AsyncTopology::kRing,
+                        AsyncTopology::kRandomPeer}) {
+    const auto parsed = topology_from_string(to_string(topology));
+    ASSERT_TRUE(parsed.has_value()) << to_string(topology);
+    EXPECT_EQ(*parsed, topology);
+  }
+  EXPECT_EQ(*topology_from_string("RING"), AsyncTopology::kRing);
+  const auto bad = topology_from_string("mesh");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("ring"), std::string::npos);
+}
+
 TEST(AsyncTopology_, AllTopologiesProduceFeasibleResults) {
   const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 1);
   for (auto topology : {AsyncTopology::kFullBroadcast, AsyncTopology::kRing,

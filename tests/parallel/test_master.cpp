@@ -13,7 +13,7 @@ namespace {
 
 struct Harness {
   explicit Harness(const mkp::Instance& instance, std::size_t num_slaves)
-      : inst(instance), reports(std::make_unique<Mailbox<Report>>()) {
+      : inst(instance), reports(std::make_unique<Mailbox<FromSlave>>()) {
     for (std::size_t i = 0; i < num_slaves; ++i) {
       inboxes.push_back(std::make_unique<Mailbox<ToSlave>>());
       channels.push_back(SlaveChannels{inboxes.back().get(), reports.get()});
@@ -31,7 +31,7 @@ struct Harness {
 
   const mkp::Instance& inst;
   std::vector<std::unique_ptr<Mailbox<ToSlave>>> inboxes;
-  std::unique_ptr<Mailbox<Report>> reports;
+  std::unique_ptr<Mailbox<FromSlave>> reports;
   std::vector<SlaveChannels> channels;
   std::vector<std::jthread> slaves;
 };

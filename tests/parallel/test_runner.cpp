@@ -86,6 +86,52 @@ TEST(Runner, ModeNamesMatchThePaper) {
   EXPECT_EQ(to_string(CooperationMode::kCooperativeAdaptive), "CTS2");
 }
 
+TEST(Runner, ModeNamesRoundTripThroughFromString) {
+  for (auto mode :
+       {CooperationMode::kSequential, CooperationMode::kIndependent,
+        CooperationMode::kCooperativePool, CooperationMode::kCooperativeAdaptive}) {
+    const auto parsed = cooperation_mode_from_string(to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << to_string(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  // Case-insensitive, so CLI flags accept what users actually type.
+  EXPECT_EQ(*cooperation_mode_from_string("cts2"),
+            CooperationMode::kCooperativeAdaptive);
+  const auto bad = cooperation_mode_from_string("PVM");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // The error names the accepted spellings — flag parsers print it as-is.
+  EXPECT_NE(bad.status().message().find("CTS2"), std::string::npos);
+}
+
+class CountingTrace : public MasterTrace {
+ public:
+  void on_round_start(std::size_t) override { ++rounds; }
+  std::size_t rounds = 0;
+};
+
+TEST(Runner, ObserverFieldSeesEveryRound) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 8);
+  CountingTrace trace;
+  auto config = quick_config(CooperationMode::kCooperativeAdaptive);
+  config.observer = &trace;
+  const auto result = run_parallel_tabu_search(inst, config);
+  EXPECT_EQ(trace.rounds, result.master.rounds_completed);
+  EXPECT_GT(trace.rounds, 0U);
+}
+
+TEST(Runner, DeprecatedTraceShimForwardsToObserver) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 8);
+  CountingTrace trace;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto result = run_parallel_tabu_search(
+      inst, quick_config(CooperationMode::kCooperativeAdaptive), &trace);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(trace.rounds, result.master.rounds_completed);
+  EXPECT_GT(trace.rounds, 0U);
+}
+
 TEST(Runner, SingleSlaveDegenerateCase) {
   const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 6);
   auto config = quick_config(CooperationMode::kCooperativeAdaptive);

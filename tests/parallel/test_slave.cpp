@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <variant>
 
 #include "bounds/greedy.hpp"
 #include "mkp/generator.hpp"
@@ -78,14 +79,17 @@ TEST(RunAssignment, TargetPropagates) {
 TEST(SlaveLoop, ProcessesAssignmentsUntilStop) {
   const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 5);
   Mailbox<ToSlave> inbox;
-  Mailbox<Report> outbox;
+  Mailbox<FromSlave> outbox;
   std::jthread slave(
       [&] { slave_loop(inst, 0, 11, SlaveChannels{&inbox, &outbox}); });
 
   inbox.send(make_assignment(inst, 0));
   inbox.send(make_assignment(inst, 1));
-  const auto r0 = outbox.receive();
-  const auto r1 = outbox.receive();
+  const auto m0 = outbox.receive();
+  const auto m1 = outbox.receive();
+  ASSERT_TRUE(m0 && m1);
+  const auto* r0 = std::get_if<Report>(&*m0);
+  const auto* r1 = std::get_if<Report>(&*m1);
   ASSERT_TRUE(r0 && r1);
   EXPECT_EQ(r0->round, 0U);
   EXPECT_EQ(r1->round, 1U);
@@ -97,7 +101,7 @@ TEST(SlaveLoop, ProcessesAssignmentsUntilStop) {
 TEST(SlaveLoop, ClosedInboxTerminates) {
   const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 6);
   Mailbox<ToSlave> inbox;
-  Mailbox<Report> outbox;
+  Mailbox<FromSlave> outbox;
   std::jthread slave(
       [&] { slave_loop(inst, 0, 11, SlaveChannels{&inbox, &outbox}); });
   inbox.close();

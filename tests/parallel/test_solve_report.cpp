@@ -18,12 +18,13 @@ TEST(Solve, OneCallProducesAGoodFeasibleSolution) {
   options.time_budget_seconds = 0.3;
   options.seed = 2;
   const auto summary = solve(inst, options);
-  EXPECT_TRUE(summary.best.is_feasible());
-  EXPECT_DOUBLE_EQ(summary.best.value(), summary.best_value);
-  EXPECT_GT(summary.total_moves, 0U);
-  ASSERT_FALSE(std::isnan(summary.lp_gap_percent));
-  EXPECT_GE(summary.lp_gap_percent, 0.0);
-  EXPECT_LT(summary.lp_gap_percent, 10.0);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_TRUE(summary->best.is_feasible());
+  EXPECT_DOUBLE_EQ(summary->best.value(), summary->best_value);
+  EXPECT_GT(summary->total_moves, 0U);
+  ASSERT_FALSE(std::isnan(summary->lp_gap_percent));
+  EXPECT_GE(summary->lp_gap_percent, 0.0);
+  EXPECT_LT(summary->lp_gap_percent, 10.0);
 }
 
 TEST(Solve, RespectsTheTimeBudget) {
@@ -31,7 +32,8 @@ TEST(Solve, RespectsTheTimeBudget) {
   SolveOptions options;
   options.time_budget_seconds = 0.15;
   const auto summary = solve(inst, options);
-  EXPECT_LT(summary.seconds, 5.0);  // generous slack for slow machines
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_LT(summary->seconds, 5.0);  // generous slack for slow machines
 }
 
 TEST(Solve, TargetShortCircuits) {
@@ -40,8 +42,9 @@ TEST(Solve, TargetShortCircuits) {
   options.time_budget_seconds = 30.0;
   options.target_value = 1.0;
   const auto summary = solve(inst, options);
-  EXPECT_TRUE(summary.reached_target);
-  EXPECT_LT(summary.seconds, 10.0);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_TRUE(summary->reached_target);
+  EXPECT_LT(summary->seconds, 10.0);
 }
 
 TEST(Solve, PresetNamesWork) {
@@ -50,15 +53,28 @@ TEST(Solve, PresetNamesWork) {
     SolveOptions options;
     options.preset = preset;
     options.time_budget_seconds = 0.1;
-    EXPECT_TRUE(solve(inst, options).best.is_feasible()) << preset;
+    EXPECT_TRUE(solve(inst, options)->best.is_feasible()) << preset;
   }
 }
 
-TEST(SolveDeath, UnknownPresetAborts) {
+TEST(Solve, UnknownPresetIsAStructuredErrorNotAnAbort) {
   const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 5);
   SolveOptions options;
   options.preset = "warp-speed";
-  EXPECT_DEATH((void)solve(inst, options), "unknown preset");
+  const auto summary = solve(inst, options);
+  ASSERT_FALSE(summary.has_value());
+  EXPECT_EQ(summary.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(summary.status().message().find("warp-speed"), std::string::npos);
+  EXPECT_NE(summary.status().message().find("quick"), std::string::npos);
+}
+
+TEST(Solve, NonPositiveBudgetIsRejected) {
+  const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 5);
+  SolveOptions options;
+  options.time_budget_seconds = 0.0;
+  const auto summary = solve(inst, options);
+  ASSERT_FALSE(summary.has_value());
+  EXPECT_EQ(summary.status().code(), StatusCode::kInvalidArgument);
 }
 
 ParallelResult small_run(std::uint64_t seed) {

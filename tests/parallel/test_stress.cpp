@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <variant>
 
 #include "mkp/generator.hpp"
 #include "parallel/async_swarm.hpp"
@@ -79,7 +80,7 @@ TEST(Stress, SlaveSurvivesBurstOfQueuedAssignments) {
   // Queue everything up front, then drain: exercises mailbox buffering.
   const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 5);
   Mailbox<ToSlave> inbox;
-  Mailbox<Report> outbox;
+  Mailbox<FromSlave> outbox;
   Rng rng(6);
   constexpr std::size_t kAssignments = 30;
   for (std::size_t k = 0; k < kAssignments; ++k) {
@@ -93,7 +94,9 @@ TEST(Stress, SlaveSurvivesBurstOfQueuedAssignments) {
   slave.join();
   EXPECT_EQ(outbox.size(), kAssignments);
   std::size_t next_round = 0;
-  while (auto report = outbox.try_receive()) {
+  while (auto message = outbox.try_receive()) {
+    const auto* report = std::get_if<Report>(&*message);
+    ASSERT_TRUE(report != nullptr);
     EXPECT_EQ(report->round, next_round++);  // in-order processing
   }
 }

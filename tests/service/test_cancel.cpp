@@ -1,0 +1,143 @@
+// Cooperative cancellation: the token itself, the cancellable mailbox wait,
+// and the latency with which a fired token unwinds a running search.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "mkp/generator.hpp"
+#include "parallel/runner.hpp"
+#include "tabu/engine.hpp"
+#include "util/cancel.hpp"
+#include "util/mailbox.hpp"
+#include "util/timer.hpp"
+
+namespace pts {
+namespace {
+
+TEST(CancelToken, DefaultTokenNeverStops) {
+  CancelToken token;
+  EXPECT_FALSE(token.can_stop());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_FALSE(token.deadline_expired());
+}
+
+TEST(CancelToken, SourceCancelReachesEveryTokenCopy) {
+  CancelSource source;
+  CancelToken a = source.token();
+  CancelToken b = a;  // copies observe the same state
+  EXPECT_FALSE(a.stop_requested());
+  source.request_cancel();
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_TRUE(b.cancel_requested());
+  EXPECT_FALSE(b.deadline_expired());
+}
+
+TEST(CancelToken, DeadlineFiresWithoutExplicitCancel) {
+  CancelSource source(Deadline::after_seconds(0.02));
+  CancelToken token = source.token();
+  EXPECT_TRUE(token.can_stop());
+  EXPECT_FALSE(token.cancel_requested());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_FALSE(token.cancel_requested());
+}
+
+TEST(CancelToken, TokenOutlivesItsSource) {
+  CancelToken token;
+  {
+    CancelSource source;
+    token = source.token();
+    source.request_cancel();
+  }
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(MailboxCancel, BlockedReceiveUnblocksOnCancel) {
+  Mailbox<int> box;
+  CancelSource source;
+  Stopwatch watch;
+  std::thread firer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    source.request_cancel();
+  });
+  const auto message = box.receive(source.token());
+  firer.join();
+  EXPECT_FALSE(message.has_value());
+  // One 5 ms poll slice past the cancel, with generous slack for CI.
+  EXPECT_LT(watch.elapsed_seconds(), 2.0);
+}
+
+TEST(MailboxCancel, QueuedMessagesDrainBeforeTheCancelWins) {
+  Mailbox<int> box;
+  box.send(7);
+  CancelSource source;
+  source.request_cancel();
+  // A message already queued is still delivered; only an empty wait stops.
+  const auto message = box.receive(source.token());
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, 7);
+  EXPECT_FALSE(box.receive(source.token()).has_value());
+}
+
+TEST(EngineCancel, InnerLoopStopsPromptlyMidRun) {
+  // A budget that would run for many seconds; the cancel must cut it short
+  // within the one-check-per-move latency.
+  const auto inst = mkp::generate_gk({.num_items = 100, .num_constraints = 10}, 1);
+  CancelSource source;
+  tabu::TsParams params;
+  params.max_moves = 50'000'000;
+  params.cancel = source.token();
+  Rng rng(1);
+  Stopwatch watch;
+  std::thread firer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    source.request_cancel();
+  });
+  const auto result = tabu::tabu_search_from_scratch(inst, params, rng);
+  firer.join();
+  EXPECT_LT(watch.elapsed_seconds(), 5.0);  // vs tens of seconds uncancelled
+  EXPECT_LT(result.moves, 50'000'000U);
+  EXPECT_TRUE(result.best.is_feasible());
+}
+
+TEST(RunnerCancel, WholeFarmUnwindsAndReportsCancelled) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 5}, 2);
+  CancelSource source;
+  parallel::ParallelConfig config;
+  config.num_slaves = 3;
+  config.search_iterations = 100'000;  // would run for a very long time
+  config.work_per_slave_round = 2'000;
+  config.base_params.strategy.nb_local = 10;
+  config.cancel = source.token();
+  Stopwatch watch;
+  std::thread firer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    source.request_cancel();
+  });
+  const auto result = parallel::run_parallel_tabu_search(inst, config);
+  firer.join();
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_LT(watch.elapsed_seconds(), 10.0);
+  EXPECT_TRUE(result.best.is_feasible());
+}
+
+TEST(RunnerCancel, SequentialModeHonoursTheTokenToo) {
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 5}, 3);
+  CancelSource source;
+  source.request_cancel();  // already fired: the run should be near-instant
+  parallel::ParallelConfig config;
+  config.mode = parallel::CooperationMode::kSequential;
+  config.search_iterations = 100'000;
+  config.work_per_slave_round = 2'000;
+  config.cancel = source.token();
+  Stopwatch watch;
+  const auto result = parallel::run_parallel_tabu_search(inst, config);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_LT(watch.elapsed_seconds(), 5.0);
+}
+
+}  // namespace
+}  // namespace pts

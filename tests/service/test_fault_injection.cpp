@@ -1,0 +1,114 @@
+// Fault tolerance in the master-slave farm: a slave whose round throws must
+// degrade that round to P-1 reports — never hang the rendezvous — and be
+// respawned with a fresh strategy for the next round.
+#include <gtest/gtest.h>
+
+#include "mkp/generator.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/runner.hpp"
+#include "service/solver_service.hpp"
+
+namespace pts::parallel {
+namespace {
+
+ParallelConfig cts2_config(std::size_t slaves, std::size_t rounds) {
+  ParallelConfig config;
+  config.mode = CooperationMode::kCooperativeAdaptive;
+  config.num_slaves = slaves;
+  config.search_iterations = rounds;
+  config.work_per_slave_round = 500;
+  config.base_params.strategy.nb_local = 10;
+  config.seed = 11;
+  return config;
+}
+
+TEST(FaultInjection, OnePermanentlyFaultySlaveNeverHangsTheGather) {
+  // Slave 0 throws every round: each gather completes with P-1 reports and
+  // the run still terminates with a usable best solution.
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 1);
+  FaultInjector injector;
+  injector.should_throw = [](std::size_t slave_id, std::size_t) {
+    return slave_id == 0;
+  };
+  auto config = cts2_config(3, 4);
+  config.fault_injector = &injector;
+  const auto result = run_parallel_tabu_search(inst, config);
+
+  EXPECT_EQ(result.master.rounds_completed, 4U);
+  EXPECT_EQ(result.master.slave_faults, 4U);    // one per round
+  EXPECT_EQ(result.master.slave_respawns, 4U);  // respawned each time
+  // Timeline only logs real reports: (P-1) per round.
+  EXPECT_EQ(result.master.timeline.size(), 4U * 2U);
+  for (const auto& log : result.master.timeline) {
+    EXPECT_NE(log.slave, 0U);
+  }
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_GT(result.best_value, 0.0);
+}
+
+TEST(FaultInjection, SingleRoundFaultRecoversTheNextRound) {
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 2);
+  FaultInjector injector;
+  injector.should_throw = [](std::size_t slave_id, std::size_t round) {
+    return slave_id == 1 && round == 1;
+  };
+  auto config = cts2_config(3, 4);
+  config.fault_injector = &injector;
+  const auto result = run_parallel_tabu_search(inst, config);
+
+  EXPECT_EQ(result.master.slave_faults, 1U);
+  EXPECT_EQ(result.master.slave_respawns, 1U);
+  EXPECT_EQ(result.master.rounds_completed, 4U);
+  EXPECT_EQ(result.master.timeline.size(), 4U * 3U - 1U);
+  // The respawned slave reports again after its faulty round.
+  bool slave1_after_fault = false;
+  for (const auto& log : result.master.timeline) {
+    if (log.slave == 1 && log.round > 1) slave1_after_fault = true;
+  }
+  EXPECT_TRUE(slave1_after_fault);
+}
+
+TEST(FaultInjection, EverySlaveFaultingStillTerminates) {
+  // The degenerate case: all P slaves throw in every round, so every gather
+  // completes with zero reports. The run must still terminate cleanly.
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 3);
+  FaultInjector injector;
+  injector.should_throw = [](std::size_t, std::size_t) { return true; };
+  auto config = cts2_config(2, 3);
+  config.fault_injector = &injector;
+  const auto result = run_parallel_tabu_search(inst, config);
+
+  EXPECT_EQ(result.master.rounds_completed, 3U);
+  EXPECT_EQ(result.master.slave_faults, 2U * 3U);
+  EXPECT_TRUE(result.master.timeline.empty());
+}
+
+TEST(FaultInjection, ServiceSurfacesPerJobFaultCounts) {
+  // The same injector threaded through the service: the job still resolves
+  // OK and carries its fault count; the service aggregates it.
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 5}, 4);
+  FaultInjector injector;
+  injector.should_throw = [](std::size_t slave_id, std::size_t) {
+    return slave_id == 0;
+  };
+  service::ServiceConfig pool;
+  pool.num_workers = 2;
+  pool.fault_injector = &injector;
+  service::SolverService server(pool);
+
+  service::JobOptions options;
+  options.preset = "quick";
+  options.time_budget_seconds = 0.3;
+  auto submission = server.submit(inst, options);
+  const auto result = submission.result.get();
+
+  EXPECT_TRUE(result.status.ok()) << result.status.to_string();
+  EXPECT_GT(result.slave_faults, 0U);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_TRUE(result.best->is_feasible());
+  server.shutdown();
+  EXPECT_EQ(server.stats().slave_faults, result.slave_faults);
+}
+
+}  // namespace
+}  // namespace pts::parallel
