@@ -8,6 +8,8 @@
 //   options: --slaves=4 --rounds=5 --work=8000 --seed=1
 //           --preset=quick|balanced|thorough|paper  (overrides the above)
 //           --mode=SEQ|ITS|CTS1|CTS2  force one cooperation mode
+//           --backend=thread|proc  slave execution (proc spawns pts_worker
+//               processes; --worker=<path> overrides the binary location)
 //           --save=<dir>   write each best solution as <dir>/<name>.mkpsol
 //           --log-level=info --metrics --trace-out=trace.json  (telemetry)
 #include <cstdio>
@@ -83,6 +85,17 @@ int main(int argc, char** argv) {
     }
     config.mode = *mode;
   }
+  if (args.has("backend")) {
+    const auto backend =
+        parallel::backend_from_string(args.get_string("backend", ""));
+    if (!backend) {
+      std::fprintf(stderr, "--backend: %s\n",
+                   backend.status().to_string().c_str());
+      return 1;
+    }
+    config.backend = *backend;
+    config.proc.worker_path = args.get_string("worker", "");
+  }
   const auto save_dir = args.get_string("save", "");
 
   TextTable table({"problem", "n", "m", "best found", "reference", "gap (%)",
@@ -94,6 +107,11 @@ int main(int argc, char** argv) {
     parallel::scale_budget_to_instance(problem_config, inst);
     if (inst.known_optimum()) problem_config.target_value = *inst.known_optimum();
     const auto result = parallel::run_parallel_tabu_search(inst, problem_config);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "%s: backend failed: %s\n", inst.name().c_str(),
+                   result.status.to_string().c_str());
+      return 1;
+    }
     counter_stats.merge(result.master.counter_stats);
 
     if (!save_dir.empty()) {

@@ -4,6 +4,7 @@
 //
 //   ./suite_runner [--suite=cb|fp57|table1] [--preset=quick|balanced|...]
 //                  [--mode=SEQ|ITS|CTS1|CTS2] [--scale=0.25] [--seed=1]
+//                  [--backend=thread|proc] [--worker=<pts_worker path>]
 //                  [--autotune]
 //                  [--log-level=info] [--metrics] [--trace-out=trace.json]
 #include <cstdio>
@@ -79,6 +80,17 @@ int main(int argc, char** argv) {
     }
     preset->mode = *mode;
   }
+  if (args.has("backend")) {
+    const auto backend =
+        parallel::backend_from_string(args.get_string("backend", ""));
+    if (!backend) {
+      std::fprintf(stderr, "--backend: %s\n",
+                   backend.status().to_string().c_str());
+      return 1;
+    }
+    preset->backend = *backend;
+    preset->proc.worker_path = args.get_string("worker", "");
+  }
 
   const auto classes = load_suite(suite_name, seed, scale);
   std::printf("suite '%s' (%zu class(es)), preset '%s'%s\n\n", suite_name.c_str(),
@@ -97,6 +109,11 @@ int main(int argc, char** argv) {
       auto config = *preset;
       parallel::scale_budget_to_instance(config, inst);
       const auto result = parallel::run_parallel_tabu_search(inst, config);
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "backend failed: %s\n",
+                     result.status.to_string().c_str());
+        return 1;
+      }
       counter_stats.merge(result.master.counter_stats);
       const auto lp = bounds::solve_lp_relaxation(inst);
       if (lp.optimal()) {

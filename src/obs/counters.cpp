@@ -34,6 +34,7 @@ const char* counter_name(Counter c) {
     case Counter::kIntensifications: return "intensifications";
     case Counter::kOscillations: return "oscillations";
     case Counter::kDiversifications: return "diversifications";
+    case Counter::kDroppedMessages: return "dropped_messages";
     case Counter::kCount: break;
   }
   return "?";

@@ -42,6 +42,7 @@ enum class Counter : std::size_t {
   kIntensifications, ///< intensification phases entered
   kOscillations,     ///< of those, strategic-oscillation phases
   kDiversifications, ///< diversification phases entered
+  kDroppedMessages,  ///< sends explicitly discarded on a closed/dead endpoint
   kCount
 };
 

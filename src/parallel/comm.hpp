@@ -79,6 +79,13 @@ struct FaultInjector {
 };
 
 /// The endpoints a slave needs, plus the stop/fault plumbing.
+///
+/// Wiring invariant: `inbox` is private to the slave, but every slave's
+/// `outbox` must alias ONE shared report mailbox — the master's rendezvous
+/// drains exactly that box (channels[0].outbox) for its P messages per
+/// round. run_master PTS_CHECKs the aliasing up front, so a caller that
+/// wires per-slave report boxes dies with a diagnostic instead of hanging
+/// the gather on messages nobody reads.
 struct SlaveChannels {
   Mailbox<ToSlave>* inbox = nullptr;
   Mailbox<FromSlave>* outbox = nullptr;

@@ -31,6 +31,16 @@ MasterResult run_master(const mkp::Instance& inst,
   PTS_CHECK(channels.size() == config.num_slaves);
   PTS_CHECK(config.search_iterations >= 1);
   for (const auto& ch : channels) PTS_CHECK(ch.inbox && ch.outbox);
+  // The gather below drains channels[0].outbox only: the protocol requires
+  // every slave to report into ONE shared mailbox (see SlaveChannels). A
+  // caller that wires per-slave report boxes would hang the rendezvous
+  // forever waiting for messages that sit in boxes nobody reads — fail
+  // loudly instead.
+  for (const auto& ch : channels) {
+    PTS_CHECK_MSG(ch.outbox == channels[0].outbox,
+                  "all SlaveChannels::outbox must alias one shared report "
+                  "mailbox; per-slave report boxes would hang the gather");
+  }
 
   Stopwatch watch;
   const auto deadline = config.time_limit_seconds > 0.0
@@ -189,6 +199,7 @@ MasterResult run_master(const mkp::Instance& inst,
 
     // Extension: path-relink the global best against each slave's best —
     // solutions combining the structure of two elites often sit on the path.
+    const double best_before_relink = result.best_value;
     if (config.relink_elites && result.best_value > 0.0) {
       for (std::size_t i = 0; i < config.num_slaves; ++i) {
         if (!reports[i]) continue;
@@ -206,6 +217,13 @@ MasterResult run_master(const mkp::Instance& inst,
           }
         }
       }
+    }
+    if (telemetry_on && result.best_value > best_before_relink) {
+      // Relink wins land after the round's report merge, so they need their
+      // own global sample — otherwise the anytime envelope under-reports the
+      // best until the next round improves it again.
+      result.anytime.push_back({obs::kGlobalSource, watch.elapsed_seconds(),
+                                result.total_moves, result.best_value});
     }
 
     // Per-slave bookkeeping, deterministic order.
@@ -294,7 +312,18 @@ MasterResult run_master(const mkp::Instance& inst,
     ++result.rounds_completed;
   }
 
-  for (const auto& ch : channels) ch.inbox->send(Stop{});
+  for (const auto& ch : channels) {
+    // A closed inbox here means the harness tore the slave down first (an
+    // orderly wind-down races the broadcast); the Stop is redundant for that
+    // slave, but the drop is counted, never silently ignored.
+    if (!ch.inbox->send(Stop{})) {
+      ++result.dropped_messages;
+      if (telemetry_on) ++result.counters[obs::Counter::kDroppedMessages];
+      if (obs::tracer().enabled()) {
+        obs::tracer().instant("dropped_message", {}, "kind", "stop");
+      }
+    }
+  }
   result.seconds = watch.elapsed_seconds();
   return result;
 }

@@ -104,6 +104,12 @@ struct MasterResult {
   /// Accumulated gap between the first and last report of each round —
   /// the rendezvous idle cost of the synchronous scheme (ablation A5).
   double rendezvous_idle_seconds = 0.0;
+  /// Messages whose send hit a closed endpoint and was explicitly discarded
+  /// (the master's Stop broadcast racing an orderly teardown, plus — when
+  /// the runner collects them — slave reports dropped on a closed report
+  /// box). Mirrored into counters under "dropped_messages"; nonzero outside
+  /// a teardown race indicates a wiring bug.
+  std::size_t dropped_messages = 0;
 
   /// Telemetry (obs/): exact merged totals over every (slave, round) report,
   /// the per-snapshot distributions behind them, and the stitched anytime

@@ -1,0 +1,328 @@
+#include "parallel/proc_backend.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <variant>
+
+#include "obs/trace.hpp"
+#include "parallel/slave.hpp"
+#include "parallel/wire.hpp"
+#include "util/check.hpp"
+
+extern char** environ;
+
+namespace pts::parallel {
+
+namespace {
+
+/// The fd number a worker finds its socket on; pts_worker receives it as
+/// `--fd=3`. Fixed so the spawn can dup2 onto it, which clears CLOEXEC on
+/// exactly the one descriptor the child is meant to keep.
+constexpr int kWorkerFd = 3;
+
+Status errno_status(const char* op) {
+  return Status::unavailable(std::string(op) + " failed: " +
+                             std::strerror(errno));
+}
+
+/// Moves an fd above the low range (keeping CLOEXEC) so it can never collide
+/// with the dup2 target kWorkerFd — dup2(fd, fd) would leave CLOEXEC set and
+/// the child would exec with its socket already closed.
+Expected<int> raise_fd(int fd) {
+  if (fd > kWorkerFd + 1) return fd;
+  const int raised = ::fcntl(fd, F_DUPFD_CLOEXEC, 10);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (raised < 0) {
+    errno = saved_errno;
+    return errno_status("fcntl(F_DUPFD_CLOEXEC)");
+  }
+  return raised;
+}
+
+ProcOptions resolve_options(ProcOptions options) {
+  if (options.worker_path.empty()) options.worker_path = default_worker_path();
+  return options;
+}
+
+}  // namespace
+
+std::string default_worker_path() {
+  if (const char* env = std::getenv("PTS_WORKER_BIN"); env && *env) return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    std::string self(buf);
+    if (const auto slash = self.rfind('/'); slash != std::string::npos) {
+      std::string sibling = self.substr(0, slash + 1) + "pts_worker";
+      if (::access(sibling.c_str(), X_OK) == 0) return sibling;
+    }
+  }
+  return "pts_worker";  // last resort: let $PATH resolve it
+}
+
+ProcSupervisor::ProcSupervisor(const mkp::Instance& inst,
+                               std::size_t num_slaves, std::uint64_t seed,
+                               ProcOptions options, CancelToken cancel)
+    : inst_(inst),
+      num_slaves_(num_slaves),
+      seed_(seed),
+      options_(resolve_options(std::move(options))),
+      cancel_(std::move(cancel)) {
+  PTS_CHECK(num_slaves_ > 0);
+  reports_ = std::make_unique<Mailbox<FromSlave>>();
+  slots_.resize(num_slaves_);
+  inboxes_.reserve(num_slaves_);
+  channels_.reserve(num_slaves_);
+  for (std::size_t i = 0; i < num_slaves_; ++i) {
+    inboxes_.push_back(std::make_unique<Mailbox<ToSlave>>());
+    channels_.push_back(
+        SlaveChannels{inboxes_[i].get(), reports_.get(), cancel_, nullptr});
+  }
+}
+
+ProcSupervisor::~ProcSupervisor() { shutdown(); }
+
+void ProcSupervisor::shutdown() {
+  // Order matters: fire the teardown token first so a pump blocked in a
+  // heartbeat read aborts within one poll slice, then close the inboxes so
+  // idle pumps wake (a close still drains any queued Stop first), then join.
+  teardown_.request_cancel();
+  for (auto& inbox : inboxes_) inbox->close();
+  for (auto& pump : pumps_) {
+    if (pump.joinable()) pump.join();
+  }
+  reports_->close();
+}
+
+Status ProcSupervisor::start() {
+  PTS_CHECK(!started_);
+  if (options_.worker_path.find('/') != std::string::npos &&
+      ::access(options_.worker_path.c_str(), X_OK) != 0) {
+    return Status::invalid_argument("worker binary not executable: " +
+                                    options_.worker_path);
+  }
+  for (std::size_t i = 0; i < num_slaves_; ++i) {
+    if (auto status = spawn_worker(i); !status.ok()) {
+      for (std::size_t k = 0; k < i; ++k) stop_worker(k, /*send_stop=*/true);
+      return status;
+    }
+  }
+  pumps_.reserve(num_slaves_);
+  for (std::size_t i = 0; i < num_slaves_; ++i) {
+    pumps_.emplace_back([this, i] { pump(i); });
+  }
+  started_ = true;
+  return Status{};
+}
+
+ProcStats ProcSupervisor::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+pid_t ProcSupervisor::worker_pid(std::size_t i) const {
+  PTS_CHECK(i < num_slaves_);
+  std::scoped_lock lock(mutex_);
+  return slots_[i].pid;
+}
+
+Status ProcSupervisor::spawn_worker(std::size_t i) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    return errno_status("socketpair");
+  }
+  // Both ends carry CLOEXEC, so a respawn racing on another pump thread
+  // cannot leak this pair into its own child — a leaked parent end would
+  // mask the EOF that detects this worker's death. The dup2 below un-CLOEXECs
+  // only the child's end, only in the child.
+  auto parent_fd = raise_fd(fds[0]);
+  auto child_fd = raise_fd(fds[1]);
+  if (!parent_fd || !child_fd) {
+    if (parent_fd) ::close(*parent_fd);
+    if (child_fd) ::close(*child_fd);
+    return parent_fd ? child_fd.status() : parent_fd.status();
+  }
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_adddup2(&actions, *child_fd, kWorkerFd);
+
+  std::string fd_arg = "--fd=" + std::to_string(kWorkerFd);
+  char* argv[] = {const_cast<char*>(options_.worker_path.c_str()),
+                  fd_arg.data(), nullptr};
+  pid_t pid = -1;
+  // posix_spawnp (not fork): safe no matter how many pump threads exist, and
+  // exec failure (missing binary) is reported here as an error code.
+  const int rc = ::posix_spawnp(&pid, options_.worker_path.c_str(), &actions,
+                                nullptr, argv, environ);
+  posix_spawn_file_actions_destroy(&actions);
+  ::close(*child_fd);
+  if (rc != 0) {
+    ::close(*parent_fd);
+    return Status::unavailable("posix_spawn " + options_.worker_path +
+                               " failed: " + std::strerror(rc));
+  }
+
+  FrameSocket socket(*parent_fd);
+  // Handshake: identity, seed, and the problem data — the paper's "send
+  // problem data to the slaves" step, repeated on every respawn so a fresh
+  // worker is indistinguishable from the one it replaces.
+  wire::Hello hello{static_cast<std::uint32_t>(i), seed_, inst_};
+  if (auto status = socket.send_frame(wire::encode_hello(hello));
+      !status.ok()) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return status;
+  }
+
+  std::scoped_lock lock(mutex_);
+  slots_[i].socket = std::move(socket);
+  slots_[i].pid = pid;
+  ++stats_.workers_spawned;
+  return Status{};
+}
+
+void ProcSupervisor::stop_worker(std::size_t i, bool send_stop) {
+  pid_t pid = -1;
+  {
+    std::scoped_lock lock(mutex_);
+    pid = slots_[i].pid;
+    slots_[i].pid = -1;
+  }
+  auto& socket = slots_[i].socket;
+  if (send_stop && socket.valid() && pid > 0) {
+    (void)socket.send_frame(wire::encode_to_slave(Stop{}));
+  }
+  socket.close();  // a worker blocked in read sees EOF even if Stop raced
+  if (pid <= 0) return;
+  // Short grace for an orderly exit, then SIGKILL. An idle worker exits on
+  // Stop/EOF within milliseconds; only a wedged one eats the kill.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    const pid_t reaped = ::waitpid(pid, nullptr, WNOHANG);
+    if (reaped == pid || (reaped < 0 && errno == ECHILD)) return;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+void ProcSupervisor::fault_and_respawn(std::size_t i, std::size_t round,
+                                       const std::string& why) {
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant("worker_fault",
+                          {{"slave", static_cast<double>(i)},
+                           {"round", static_cast<double>(round)}});
+  }
+  stop_worker(i, /*send_stop=*/false);  // it already failed us: kill + reap
+  // The fault message is what keeps the master's rendezvous alive: one
+  // message per (slave, round), dead worker or not.
+  if (!reports_->send(SlaveFault{i, round, why})) {
+    std::scoped_lock lock(mutex_);
+    ++stats_.dropped_messages;
+  }
+  std::size_t used = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    used = slots_[i].respawns;
+  }
+  if (used >= options_.max_respawns_per_slave) {
+    return;  // budget spent: the slot stays dead and faults every round
+  }
+  if (auto status = spawn_worker(i); status.ok()) {
+    std::scoped_lock lock(mutex_);
+    ++slots_[i].respawns;
+    ++stats_.worker_respawns;
+  }
+  // A failed spawn leaves pid = -1; the next assignment faults immediately.
+}
+
+void ProcSupervisor::pump(std::size_t i) {
+  for (;;) {
+    auto message = inboxes_[i]->receive(cancel_);
+    if (!message || std::holds_alternative<Stop>(*message)) {
+      // Stop, a closed inbox, or a fired run token: orderly worker shutdown.
+      stop_worker(i, /*send_stop=*/true);
+      return;
+    }
+    const auto& assignment = std::get<Assignment>(*message);
+
+    bool alive = false;
+    {
+      std::scoped_lock lock(mutex_);
+      alive = slots_[i].pid > 0;
+    }
+    if (!alive) {
+      // Dead slot (respawn budget exhausted or spawn failed): fault the
+      // round up front so the rendezvous never waits on a ghost.
+      if (!reports_->send(
+              SlaveFault{i, assignment.round, "worker process unavailable"})) {
+        std::scoped_lock lock(mutex_);
+        ++stats_.dropped_messages;
+      }
+      continue;
+    }
+
+    if (auto status =
+            slots_[i].socket.send_frame(wire::encode_to_slave(*message));
+        !status.ok()) {
+      fault_and_respawn(i, assignment.round,
+                        "assignment write failed: " + status.message());
+      continue;
+    }
+
+    // The heartbeat: a worker owes its reply within worker_timeout_seconds.
+    // EOF here is a dead worker (kill -9 lands on this branch); timeout is a
+    // hung one; a malformed frame is a corrupt one. All three map onto the
+    // same SlaveFault -> respawn path a throwing in-thread slave takes.
+    auto frame = slots_[i].socket.read_frame(options_.worker_timeout_seconds,
+                                             teardown_.token());
+    if (!frame) {
+      if (frame.status().code() == StatusCode::kCancelled) {
+        stop_worker(i, /*send_stop=*/false);  // destructor is unwinding
+        return;
+      }
+      fault_and_respawn(i, assignment.round, frame.status().message());
+      continue;
+    }
+    auto reply = wire::decode_from_slave(frame->type, frame->payload, inst_);
+    if (!reply) {
+      fault_and_respawn(i, assignment.round, reply.status().message());
+      continue;
+    }
+    if (!reports_->send(*std::move(reply))) {
+      std::scoped_lock lock(mutex_);
+      ++stats_.dropped_messages;
+    }
+  }
+}
+
+int run_worker(int fd) {
+  FrameSocket socket(fd);
+  auto frame = socket.read_frame(std::nullopt);
+  if (!frame || frame->type != wire::MessageType::kHello) return 2;
+  auto hello = wire::decode_hello(frame->payload);
+  if (!hello) return 2;
+  SocketTransport transport(socket, hello->instance);
+  // Drops counted by the loop have nowhere to go from a dying link; the
+  // supervisor observes the same event from its side of the socket.
+  (void)slave_loop(hello->instance, hello->slave_id, hello->seed, transport);
+  return 0;
+}
+
+}  // namespace pts::parallel

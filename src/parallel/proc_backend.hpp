@@ -1,0 +1,136 @@
+#pragma once
+// The multi-process backend (`--backend=proc`): the paper's PVM farm, for
+// real. The master keeps running the unchanged run_master() over mailboxes;
+// underneath, a ProcSupervisor spawns one pts_worker process per slave over
+// a Unix socketpair and bridges each mailbox pair onto wire.hpp frames.
+//
+// Per worker the supervisor runs one pump thread:
+//
+//   idle ──Assignment──▶ deliver frame ──▶ await reply (heartbeat-bounded)
+//     ▲                       │                   │
+//     │                    write fails        reply / timeout / EOF / corrupt
+//     │                       ▼                   │
+//     │                 ┌───────────────◀─────────┘ (non-reply outcomes)
+//     └──reply──────────┤ fault: SlaveFault into the report box,
+//        forwarded      │ SIGKILL + reap, eager respawn (bounded)
+//                       └──▶ idle
+//
+// Fault mapping is the point: a worker that is killed (EOF), hangs past the
+// heartbeat timeout, or emits garbage becomes a SlaveFault for exactly the
+// round it owed — the same message a throwing in-thread slave produces — so
+// the master's rendezvous completes with P-1 reports and its existing
+// respawn path reseeds the record, while the supervisor respawns the
+// process. Determinism: each round's search derives its rng from
+// (seed, slave, round) and doubles travel bit-exact, so a fault-free proc
+// run reproduces the thread backend's results on a fixed seed.
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mkp/instance.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/transport.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+
+namespace pts::parallel {
+
+struct ProcOptions {
+  /// pts_worker binary to exec; empty means default_worker_path().
+  std::string worker_path;
+  /// Heartbeat bound: a worker that holds an assignment longer than this
+  /// without replying is declared hung, killed, and mapped to a SlaveFault.
+  /// Size it well above the per-round work budget.
+  double worker_timeout_seconds = 120.0;
+  /// Respawn budget per slave slot; a slot that exhausts it stays dead and
+  /// faults every subsequent round (the master keeps degrading to P-1).
+  std::size_t max_respawns_per_slave = 8;
+};
+
+/// Supervisor-side counters (the master-side fault/respawn counters live in
+/// MasterResult; these add the process-level view).
+struct ProcStats {
+  std::size_t workers_spawned = 0;   ///< initial spawns + respawns
+  std::size_t worker_respawns = 0;   ///< replacements after a fault
+  std::uint64_t dropped_messages = 0;///< forwards lost on a closed report box
+};
+
+/// Resolution order: $PTS_WORKER_BIN, then pts_worker next to the current
+/// executable (/proc/self/exe), then "pts_worker" on PATH.
+[[nodiscard]] std::string default_worker_path();
+
+/// Owns the worker processes and the mailbox facade run_master drives.
+/// Lifecycle: construct → start() → run_master(channels()) → destroy (joins
+/// pumps, stops workers; a hung worker is SIGKILLed after a short grace).
+class ProcSupervisor {
+ public:
+  ProcSupervisor(const mkp::Instance& inst, std::size_t num_slaves,
+                 std::uint64_t seed, ProcOptions options, CancelToken cancel);
+  ~ProcSupervisor();
+
+  ProcSupervisor(const ProcSupervisor&) = delete;
+  ProcSupervisor& operator=(const ProcSupervisor&) = delete;
+
+  /// Spawns every worker, performs the Hello handshake, starts the pumps.
+  /// On error the supervisor is left stopped (safe to destroy).
+  [[nodiscard]] Status start();
+
+  /// Joins the pumps and stops the workers (what the destructor does), so a
+  /// caller can read final stats() before the object goes away. Idempotent.
+  void shutdown();
+
+  /// Mailbox endpoints for run_master: one private inbox per slave, one
+  /// shared report box — the wiring invariant SlaveChannels documents.
+  [[nodiscard]] const std::vector<SlaveChannels>& channels() const {
+    return channels_;
+  }
+
+  [[nodiscard]] ProcStats stats() const;
+
+  /// Test hook (kill -9 fault injection): pid of slave i's current worker,
+  /// -1 while dead/respawning.
+  [[nodiscard]] pid_t worker_pid(std::size_t i) const;
+
+ private:
+  struct WorkerSlot {
+    FrameSocket socket;
+    pid_t pid = -1;
+    std::size_t respawns = 0;
+  };
+
+  [[nodiscard]] Status spawn_worker(std::size_t i);
+  void stop_worker(std::size_t i, bool send_stop);
+  void fault_and_respawn(std::size_t i, std::size_t round, const std::string& why);
+  void pump(std::size_t i);
+
+  const mkp::Instance& inst_;
+  const std::size_t num_slaves_;
+  const std::uint64_t seed_;
+  const ProcOptions options_;
+  const CancelToken cancel_;     ///< the run's token (idle-pump unblock)
+  CancelSource teardown_;        ///< fired by the destructor (hung-read abort)
+
+  std::vector<std::unique_ptr<Mailbox<ToSlave>>> inboxes_;
+  std::unique_ptr<Mailbox<FromSlave>> reports_;
+  std::vector<SlaveChannels> channels_;
+
+  mutable std::mutex mutex_;  ///< guards slots_ pids/respawns and stats_
+  std::vector<WorkerSlot> slots_;
+  ProcStats stats_;
+
+  std::vector<std::thread> pumps_;
+  bool started_ = false;
+};
+
+/// The pts_worker entry body: Hello handshake on `fd`, then slave_loop over
+/// a SocketTransport until Stop or EOF. Returns the process exit code
+/// (0 = orderly stop, 2 = handshake/protocol failure).
+int run_worker(int fd);
+
+}  // namespace pts::parallel

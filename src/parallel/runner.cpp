@@ -1,10 +1,14 @@
 #include "parallel/runner.hpp"
 
+#include <atomic>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bounds/greedy.hpp"
+#include "obs/counters.hpp"
+#include "parallel/proc_backend.hpp"
 #include "parallel/slave.hpp"
 #include "tabu/engine.hpp"
 #include "util/check.hpp"
@@ -43,6 +47,22 @@ Expected<CooperationMode> cooperation_mode_from_string(const std::string& text) 
   }
   return Status::invalid_argument("unknown cooperation mode '" + text +
                                   "' (accepted: SEQ, ITS, CTS1, CTS2)");
+}
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kThread: return "thread";
+    case Backend::kProcess: return "proc";
+  }
+  return "?";
+}
+
+Expected<Backend> backend_from_string(const std::string& text) {
+  const auto upper = ascii_upper(text);
+  if (upper == "THREAD") return Backend::kThread;
+  if (upper == "PROC" || upper == "PROCESS") return Backend::kProcess;
+  return Status::invalid_argument("unknown backend '" + text +
+                                  "' (accepted: thread, proc)");
 }
 
 namespace {
@@ -105,32 +125,71 @@ ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
   master_config.time_limit_seconds = config.time_limit_seconds;
   master_config.cancel = config.cancel;
 
-  // Wire the mailboxes: one inbox per slave, one shared report box. Every
-  // channel carries the run's cancel token (so idle slaves unblock without
-  // waiting for Stop) and the test-only fault injector.
-  std::vector<std::unique_ptr<Mailbox<ToSlave>>> inboxes;
-  inboxes.reserve(config.num_slaves);
-  auto reports = std::make_unique<Mailbox<FromSlave>>();
-  std::vector<SlaveChannels> channels(config.num_slaves);
-  for (std::size_t i = 0; i < config.num_slaves; ++i) {
-    inboxes.push_back(std::make_unique<Mailbox<ToSlave>>());
-    channels[i] = SlaveChannels{inboxes.back().get(), reports.get(), config.cancel,
-                                config.fault_injector};
-  }
-
   MasterResult master_result{mkp::Solution(inst)};
-  {
-    // jthreads join on scope exit; run_master sends Stop to every slave (and
-    // a fired cancel token unblocks them too), so the joins cannot block
-    // (CP.23/CP.25: threads as scoped containers).
-    std::vector<std::jthread> slaves;
-    slaves.reserve(config.num_slaves);
-    for (std::size_t i = 0; i < config.num_slaves; ++i) {
-      slaves.emplace_back([&inst, i, seed = config.seed, ch = channels[i]] {
-        slave_loop(inst, i, seed, ch);
-      });
+  ProcStats proc_stats;
+  if (config.backend == Backend::kProcess) {
+    // Proc backend: the supervisor owns the mailbox facade and the worker
+    // processes; run_master drives it exactly as it would drive threads.
+    ProcSupervisor supervisor(inst, config.num_slaves, config.seed,
+                              config.proc, config.cancel);
+    if (auto status = supervisor.start(); !status.ok()) {
+      ParallelResult failed{config.mode,
+                            mkp::Solution(inst),
+                            0.0,
+                            0,
+                            watch.elapsed_seconds(),
+                            false,
+                            false,
+                            MasterResult{mkp::Solution(inst)}};
+      failed.status = std::move(status);
+      return failed;
     }
-    master_result = run_master(inst, channels, master_config, config.observer);
+    master_result =
+        run_master(inst, supervisor.channels(), master_config, config.observer);
+    // Join the pumps (and stop the workers) before sampling the stats so
+    // respawn/drop counts are final.
+    supervisor.shutdown();
+    proc_stats = supervisor.stats();
+    master_result.dropped_messages += proc_stats.dropped_messages;
+  } else {
+    // Thread backend. Wire the mailboxes: one inbox per slave, one shared
+    // report box. Every channel carries the run's cancel token (so idle
+    // slaves unblock without waiting for Stop) and the test-only fault
+    // injector.
+    std::vector<std::unique_ptr<Mailbox<ToSlave>>> inboxes;
+    inboxes.reserve(config.num_slaves);
+    auto reports = std::make_unique<Mailbox<FromSlave>>();
+    std::vector<SlaveChannels> channels(config.num_slaves);
+    for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      inboxes.push_back(std::make_unique<Mailbox<ToSlave>>());
+      channels[i] = SlaveChannels{inboxes.back().get(), reports.get(),
+                                  config.cancel, config.fault_injector};
+    }
+
+    std::atomic<std::uint64_t> slave_drops{0};
+    {
+      // jthreads join on scope exit; run_master sends Stop to every slave
+      // (and a fired cancel token unblocks them too), so the joins cannot
+      // block (CP.23/CP.25: threads as scoped containers).
+      std::vector<std::jthread> slaves;
+      slaves.reserve(config.num_slaves);
+      for (std::size_t i = 0; i < config.num_slaves; ++i) {
+        slaves.emplace_back(
+            [&inst, i, seed = config.seed, ch = channels[i], &slave_drops] {
+              slave_drops.fetch_add(slave_loop(inst, i, seed, ch).dropped_messages,
+                                    std::memory_order_relaxed);
+            });
+      }
+      master_result = run_master(inst, channels, master_config, config.observer);
+    }
+    // Slaves are joined: fold their counted drops into the master's tally
+    // (see MasterResult::dropped_messages).
+    master_result.dropped_messages +=
+        slave_drops.load(std::memory_order_relaxed);
+  }
+  if (obs::kTelemetryCompiled && obs::telemetry_enabled()) {
+    master_result.counters[obs::Counter::kDroppedMessages] =
+        master_result.dropped_messages;
   }
 
   ParallelResult result{config.mode,
@@ -141,6 +200,7 @@ ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
                         master_result.reached_target,
                         master_result.cancelled,
                         std::move(master_result)};
+  result.proc = proc_stats;
   return result;
 }
 

@@ -19,6 +19,7 @@
 
 #include "mkp/instance.hpp"
 #include "parallel/master.hpp"
+#include "parallel/proc_backend.hpp"
 #include "util/status.hpp"
 
 namespace pts::parallel {
@@ -37,6 +38,19 @@ enum class CooperationMode : std::uint8_t {
 /// the accepted names — flag parsers surface it verbatim.
 [[nodiscard]] Expected<CooperationMode> cooperation_mode_from_string(
     const std::string& text);
+
+/// How the slaves execute. Both backends run the identical master and slave
+/// logic with the same per-(slave, round) rng derivation, so on a fixed seed
+/// a fault-free run produces the same best value either way.
+enum class Backend : std::uint8_t {
+  kThread,   ///< slaves are std::jthreads over in-proc mailboxes (default)
+  kProcess,  ///< slaves are pts_worker processes over socket frames
+};
+
+[[nodiscard]] std::string to_string(Backend backend);
+
+/// Parses "thread" / "proc" (case-insensitive), mirroring --backend flags.
+[[nodiscard]] Expected<Backend> backend_from_string(const std::string& text);
 
 struct ParallelConfig {
   CooperationMode mode = CooperationMode::kCooperativeAdaptive;
@@ -70,7 +84,16 @@ struct ParallelConfig {
   MasterTrace* observer = nullptr;
 
   /// Test-only fault injection, forwarded to every slave (see comm.hpp).
+  /// Thread backend only — a worker process has no in-address-space hook
+  /// (kill its pid instead; ProcSupervisor::worker_pid is the test handle).
   const FaultInjector* fault_injector = nullptr;
+
+  /// Slave execution backend; ignored for SEQ (which has no slaves).
+  Backend backend = Backend::kThread;
+
+  /// Process-backend knobs (worker binary, heartbeat, respawn budget);
+  /// unused by the thread backend.
+  ProcOptions proc;
 };
 
 struct ParallelResult {
@@ -86,6 +109,14 @@ struct ParallelResult {
 
   /// Populated for the master-driven modes (empty for SEQ).
   MasterResult master;
+
+  /// Non-OK when the run could not execute at all — today that means the
+  /// proc backend failed to start its workers (missing pts_worker binary,
+  /// spawn failure). The solve fields above are then all defaults.
+  Status status;
+
+  /// Process-level counters, populated only for Backend::kProcess.
+  ProcStats proc;
 };
 
 ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,

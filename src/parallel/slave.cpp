@@ -38,29 +38,53 @@ Report run_assignment(const mkp::Instance& inst, std::size_t slave_id,
   return report;
 }
 
-void slave_loop(const mkp::Instance& inst, std::size_t slave_id, std::uint64_t seed,
-                SlaveChannels channels) {
-  PTS_CHECK(channels.inbox && channels.outbox);
+SlaveLoopStats slave_loop(const mkp::Instance& inst, std::size_t slave_id,
+                          std::uint64_t seed, Transport& transport,
+                          const FaultInjector* fault, CancelToken cancel) {
+  SlaveLoopStats stats;
   // Logical trace id: master = 0, slave i = i + 1.
   obs::TidScope tid_scope(static_cast<std::uint32_t>(slave_id) + 1);
-  while (auto message = channels.inbox->receive(channels.cancel)) {
+  const auto send_counted = [&](FromSlave message) {
+    // A false send means the report box closed (or the socket died) under
+    // us: the harness is tearing down, our message cannot arrive. Discard
+    // explicitly and count it — a silent drop here is exactly the bug class
+    // that hangs a rendezvous with no trace to show for it.
+    if (!transport.send(std::move(message))) {
+      ++stats.dropped_messages;
+      if (obs::tracer().enabled()) {
+        obs::tracer().instant("dropped_message",
+                              {{"slave", static_cast<double>(slave_id)}},
+                              "kind", "report");
+      }
+    }
+  };
+  while (auto message = transport.receive(cancel)) {
     if (std::holds_alternative<Stop>(*message)) break;
     const auto& assignment = std::get<Assignment>(*message);
     // A throwing round must never silence the rendezvous: convert every
     // escape into a SlaveFault so the master still gets one message for this
     // (slave, round) and can degrade gracefully instead of hanging.
     try {
-      if (channels.fault && channels.fault->should_throw &&
-          channels.fault->should_throw(slave_id, assignment.round)) {
+      if (fault && fault->should_throw &&
+          fault->should_throw(slave_id, assignment.round)) {
         throw std::runtime_error("injected slave fault");
       }
-      channels.outbox->send(run_assignment(inst, slave_id, seed, assignment));
+      send_counted(run_assignment(inst, slave_id, seed, assignment));
     } catch (const std::exception& error) {
-      channels.outbox->send(SlaveFault{slave_id, assignment.round, error.what()});
+      send_counted(SlaveFault{slave_id, assignment.round, error.what()});
     } catch (...) {
-      channels.outbox->send(SlaveFault{slave_id, assignment.round, "unknown exception"});
+      send_counted(SlaveFault{slave_id, assignment.round, "unknown exception"});
     }
   }
+  return stats;
+}
+
+SlaveLoopStats slave_loop(const mkp::Instance& inst, std::size_t slave_id,
+                          std::uint64_t seed, SlaveChannels channels) {
+  PTS_CHECK(channels.inbox && channels.outbox);
+  MailboxTransport transport(channels.inbox, channels.outbox);
+  return slave_loop(inst, slave_id, seed, transport, channels.fault,
+                    channels.cancel);
 }
 
 }  // namespace pts::parallel

@@ -5,18 +5,37 @@
 // as a SlaveFault rather than swallowed, so the master's rendezvous always
 // completes. Each assignment's randomness derives deterministically from
 // (seed, slave_id, round), so a parallel run is reproducible regardless of
-// thread interleaving.
+// thread interleaving — and regardless of transport: the same loop runs over
+// in-proc mailboxes (thread backend) and over a socket inside a pts_worker
+// process (proc backend).
 
 #include <cstdint>
 
 #include "mkp/instance.hpp"
 #include "parallel/comm.hpp"
+#include "parallel/transport.hpp"
 
 namespace pts::parallel {
 
-/// Blocks until Stop (or the inbox closes). Intended as a std::jthread body.
-void slave_loop(const mkp::Instance& inst, std::size_t slave_id, std::uint64_t seed,
-                SlaveChannels channels);
+/// What a finished slave loop hands back to its harness. A send can fail
+/// when the link closed underneath us (an orderly teardown racing the last
+/// report); the loop discards the message but counts it — the runner folds
+/// the counts into MasterResult::dropped_messages, never silently.
+struct SlaveLoopStats {
+  std::uint64_t dropped_messages = 0;
+};
+
+/// Blocks until Stop, a closed link, or a fired `cancel` while idle.
+/// `fault` is the test-only injector (nullptr in production).
+SlaveLoopStats slave_loop(const mkp::Instance& inst, std::size_t slave_id,
+                          std::uint64_t seed, Transport& transport,
+                          const FaultInjector* fault = nullptr,
+                          CancelToken cancel = {});
+
+/// Mailbox-channel convenience: wraps `channels` in a MailboxTransport.
+/// Intended as a std::jthread body (the thread backend's slaves).
+SlaveLoopStats slave_loop(const mkp::Instance& inst, std::size_t slave_id,
+                          std::uint64_t seed, SlaveChannels channels);
 
 /// One assignment worth of work — what slave_loop does per message, exposed
 /// separately so tests can drive a slave without threads.

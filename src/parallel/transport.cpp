@@ -1,0 +1,128 @@
+#include "parallel/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pts::parallel {
+
+namespace {
+
+/// Poll slice while waiting for readability: short enough that a fired
+/// cancel token is honoured promptly, long enough not to spin.
+constexpr int kPollSliceMs = 50;
+
+Status errno_status(const char* op) {
+  return Status::unavailable(std::string(op) + " failed: " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FrameSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status FrameSocket::send_frame(std::span<const std::uint8_t> frame) {
+  if (fd_ < 0) return Status::unavailable("send on a closed socket");
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not as a
+    // process-killing SIGPIPE — a kill -9'd worker is an expected event.
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status{};
+}
+
+Status FrameSocket::read_exact(std::vector<std::uint8_t>& out, std::size_t n) {
+  out.resize(n);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd_, out.data() + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("read");
+    }
+    if (r == 0) return Status::unavailable("peer closed the connection");
+    got += static_cast<std::size_t>(r);
+  }
+  return Status{};
+}
+
+Expected<wire::Frame> FrameSocket::read_frame(std::optional<double> timeout_seconds,
+                                              const CancelToken& cancel) {
+  if (fd_ < 0) return Status::unavailable("read on a closed socket");
+
+  // Wait for the first byte under the heartbeat bound. Once a header has
+  // started arriving the rest is read blocking: a live peer writes a whole
+  // frame promptly, and a dead one hits EOF.
+  double waited = 0.0;
+  for (;;) {
+    if (cancel.stop_requested()) {
+      return Status::cancelled("cancelled while waiting for a frame");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollSliceMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("poll");
+    }
+    if (rc > 0) break;  // readable (or HUP — the read below will surface it)
+    waited += kPollSliceMs / 1000.0;
+    if (timeout_seconds && waited >= *timeout_seconds) {
+      return Status::deadline_exceeded("no frame within the heartbeat timeout");
+    }
+  }
+
+  std::vector<std::uint8_t> header_bytes;
+  if (auto status = read_exact(header_bytes, wire::kHeaderBytes); !status.ok()) {
+    return status;
+  }
+  auto header = wire::decode_header(header_bytes);
+  if (!header) return header.status();
+
+  wire::Frame frame;
+  frame.type = header->type;
+  if (header->payload_size > 0) {
+    if (auto status = read_exact(frame.payload, header->payload_size);
+        !status.ok()) {
+      return status;
+    }
+  }
+  return frame;
+}
+
+std::optional<ToSlave> SocketTransport::receive(const CancelToken& token) {
+  auto frame = socket_->read_frame(std::nullopt, token);
+  if (!frame) return std::nullopt;  // EOF / cancel: treated as a closed link
+  auto message = wire::decode_to_slave(frame->type, frame->payload, *inst_);
+  if (!message) return std::nullopt;  // corrupt directive: stop, don't guess
+  return *std::move(message);
+}
+
+bool SocketTransport::send(FromSlave message) {
+  return socket_->send_frame(wire::encode_from_slave(message)).ok();
+}
+
+}  // namespace pts::parallel

@@ -1,0 +1,122 @@
+#pragma once
+// Transport: the seam between the Section-4 message protocol and how the
+// bytes actually move. A slave runs the same loop whether its master lives
+// in the next thread (MailboxTransport over the in-proc mailboxes) or in
+// another process at the end of a stream socket (SocketTransport over
+// wire.hpp frames) — the paper's PVM boundary, made pluggable.
+//
+// The master side of the socket path lives in proc_backend.hpp: the
+// supervisor bridges run_master's mailboxes onto per-worker FrameSockets, so
+// run_master itself never learns which transport is underneath.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mkp/instance.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/wire.hpp"
+#include "util/status.hpp"
+
+namespace pts::parallel {
+
+/// A slave's view of its link to the master: where the next directive comes
+/// from and where round outcomes go.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocks for the next directive. nullopt means the link is closed (or the
+  /// token fired) — the slave loop exits as if it had received Stop.
+  [[nodiscard]] virtual std::optional<ToSlave> receive(const CancelToken& token) = 0;
+
+  /// Posts a round outcome. Returns false when the link is down and the
+  /// message was dropped — callers must count the drop, never ignore it.
+  [[nodiscard]] virtual bool send(FromSlave message) = 0;
+};
+
+/// In-process transport: the Mailbox pair of SlaveChannels. This is the
+/// default `--backend=thread` path — and the reference semantics the socket
+/// transport must reproduce.
+class MailboxTransport final : public Transport {
+ public:
+  MailboxTransport(Mailbox<ToSlave>* inbox, Mailbox<FromSlave>* outbox)
+      : inbox_(inbox), outbox_(outbox) {
+    PTS_CHECK(inbox_ && outbox_);
+  }
+
+  [[nodiscard]] std::optional<ToSlave> receive(const CancelToken& token) override {
+    return inbox_->receive(token);
+  }
+
+  [[nodiscard]] bool send(FromSlave message) override {
+    return outbox_->send(std::move(message));
+  }
+
+ private:
+  Mailbox<ToSlave>* inbox_;
+  Mailbox<FromSlave>* outbox_;
+};
+
+/// Framed byte pipe over a connected stream socket (Unix socketpair or TCP —
+/// anything read()/write() works on). Owns the fd. One frame per message,
+/// header validated on the way in (magic, version, type, length ceiling).
+///
+/// Not internally synchronized: one reader and one writer thread at most
+/// (the proc backend's pump is a single thread per worker, so in practice
+/// one thread does both).
+class FrameSocket {
+ public:
+  FrameSocket() = default;
+  explicit FrameSocket(int fd) : fd_(fd) {}
+  ~FrameSocket() { close(); }
+
+  FrameSocket(FrameSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FrameSocket& operator=(FrameSocket&& other) noexcept;
+  FrameSocket(const FrameSocket&) = delete;
+  FrameSocket& operator=(const FrameSocket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Closes the fd (idempotent). A blocked peer sees EOF.
+  void close();
+
+  /// Writes one already-encoded frame, retrying short writes. Returns
+  /// kUnavailable when the peer is gone (EPIPE/closed fd).
+  Status send_frame(std::span<const std::uint8_t> frame);
+
+  /// Reads one full frame. `timeout_seconds` bounds the wait for the FIRST
+  /// byte (the hung-worker heartbeat bound); nullopt blocks indefinitely.
+  /// The wait polls in short slices so `cancel` is honoured within one
+  /// slice. Errors: kDeadlineExceeded (timeout), kCancelled (token fired),
+  /// kUnavailable (EOF or socket error — a dead peer), kInvalidArgument
+  /// (malformed header, from wire::decode_header).
+  Expected<wire::Frame> read_frame(std::optional<double> timeout_seconds,
+                                   const CancelToken& cancel = {});
+
+ private:
+  /// Reads exactly n bytes into out (which it resizes).
+  Status read_exact(std::vector<std::uint8_t>& out, std::size_t n);
+
+  int fd_ = -1;
+};
+
+/// Worker-side socket transport: decodes directives against the instance
+/// from the handshake, encodes outcomes back. receive() blocks on the
+/// socket; a vanished master (EOF) reads as a closed link.
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport(FrameSocket& socket, const mkp::Instance& inst)
+      : socket_(&socket), inst_(&inst) {}
+
+  [[nodiscard]] std::optional<ToSlave> receive(const CancelToken& token) override;
+  [[nodiscard]] bool send(FromSlave message) override;
+
+ private:
+  FrameSocket* socket_;
+  const mkp::Instance* inst_;
+};
+
+}  // namespace pts::parallel

@@ -1,0 +1,111 @@
+#pragma once
+// Wire format of the distributed backend (DESIGN.md §8): length-prefixed
+// binary frames carrying the Section-4 protocol between the master's
+// supervisor and a pts_worker process.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset 0  u16  magic   0x5054 ("PT")
+//   offset 2  u8   version kVersion — bumped on any payload layout change
+//   offset 3  u8   type    MessageType
+//   offset 4  u32  size    payload byte count (<= kMaxPayloadBytes)
+//   offset 8  ...  payload
+//
+// Doubles travel as IEEE-754 bit patterns (bit-exact round trip), which is
+// what makes `--backend=proc` reproduce `--backend=thread` result-for-result
+// on a fixed seed: the worker computes on exactly the numbers the master
+// serialized, not on a formatted approximation.
+//
+// Every decoder is total: truncated payloads, bad magic, unsupported
+// versions, oversized or inconsistent length prefixes and absurd element
+// counts all come back as a Status — never a crash, never an unbounded
+// allocation. The frames originate from a child process we spawned, but the
+// decoder trusts nothing: a crashing worker can hand us half a frame.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mkp/instance.hpp"
+#include "parallel/comm.hpp"
+#include "util/status.hpp"
+
+namespace pts::parallel::wire {
+
+inline constexpr std::uint16_t kMagic = 0x5054;  // "PT"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 8;
+
+/// Ceiling on one payload. A corrupt length prefix must be rejected before
+/// any allocation happens, so a dying worker cannot OOM the supervisor.
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,       ///< master -> worker: identity + problem data
+  kAssignment = 2,  ///< master -> worker: one round of work
+  kStop = 3,        ///< master -> worker: shut down
+  kReport = 4,      ///< worker -> master: round outcome
+  kFault = 5,       ///< worker -> master: round died; SlaveFault payload
+};
+
+/// Validated header fields of one frame.
+struct FrameHeader {
+  std::uint8_t version = 0;
+  MessageType type = MessageType::kStop;
+  std::uint32_t payload_size = 0;
+};
+
+/// One frame after header validation: its type plus the raw payload.
+struct Frame {
+  MessageType type = MessageType::kStop;
+  std::vector<std::uint8_t> payload;
+};
+
+/// The proc backend's handshake — the paper's "read and send problem data
+/// to the slaves" step, performed once per spawned worker (and again on
+/// every respawn).
+struct Hello {
+  std::uint32_t slave_id = 0;
+  std::uint64_t seed = 0;
+  mkp::Instance instance;
+};
+
+/// Rejects bad magic, unsupported version, and a payload_size beyond
+/// kMaxPayloadBytes. `bytes` must hold at least kHeaderBytes.
+[[nodiscard]] Expected<FrameHeader> decode_header(
+    std::span<const std::uint8_t> bytes);
+
+// -- Encoders. Each returns a complete frame, header included. --
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const Hello& hello);
+[[nodiscard]] std::vector<std::uint8_t> encode_to_slave(const ToSlave& message);
+[[nodiscard]] std::vector<std::uint8_t> encode_from_slave(const FromSlave& message);
+
+// -- Payload decoders (payload only — the header is consumed by the frame
+//    reader). Solutions are rebuilt against `inst`, whose item count must
+//    match what was serialized. --
+
+[[nodiscard]] Expected<Hello> decode_hello(std::span<const std::uint8_t> payload);
+[[nodiscard]] Expected<ToSlave> decode_to_slave(
+    MessageType type, std::span<const std::uint8_t> payload,
+    const mkp::Instance& inst);
+[[nodiscard]] Expected<FromSlave> decode_from_slave(
+    MessageType type, std::span<const std::uint8_t> payload,
+    const mkp::Instance& inst);
+
+// -- Standalone sub-codecs for the two structured value types the protocol
+//    nests (tests and tooling drive these directly). Decoding requires the
+//    buffer to be fully consumed. --
+
+[[nodiscard]] std::vector<std::uint8_t> encode_solution(
+    const mkp::Solution& solution);
+[[nodiscard]] Expected<mkp::Solution> decode_solution(
+    std::span<const std::uint8_t> bytes, const mkp::Instance& inst);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_strategy(
+    const tabu::Strategy& strategy);
+[[nodiscard]] Expected<tabu::Strategy> decode_strategy(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace pts::parallel::wire

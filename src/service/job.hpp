@@ -39,6 +39,12 @@ struct JobOptions {
   std::optional<double> target_value;
   /// Override the preset's cooperation mode (SEQ/ITS/CTS1/CTS2).
   std::optional<parallel::CooperationMode> mode;
+  /// Override the slave execution backend (thread/proc). With
+  /// Backend::kProcess, `proc` shapes the worker farm (binary path,
+  /// heartbeat, respawn budget); a backend that fails to start resolves the
+  /// job's future kUnavailable with the supervisor's error.
+  std::optional<parallel::Backend> backend;
+  parallel::ProcOptions proc;
 };
 
 /// What a job's future resolves to — always. The service never aborts and

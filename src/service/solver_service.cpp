@@ -102,6 +102,10 @@ SolverService::Submission SolverService::submit_impl(
   job->config = *preset;
   parallel::scale_budget_to_instance(job->config, *job->instance);
   if (job->options.mode) job->config.mode = *job->options.mode;
+  if (job->options.backend) {
+    job->config.backend = *job->options.backend;
+    job->config.proc = job->options.proc;
+  }
   job->config.seed = job->options.seed;
   job->config.target_value = job->options.target_value;
   job->config.fault_injector = config_.fault_injector;
@@ -322,6 +326,23 @@ void SolverService::run_job(const std::shared_ptr<Job>& job,
   Stopwatch run_watch;
   auto run = parallel::run_parallel_tabu_search(*job->instance, config);
   result.run_seconds = run_watch.elapsed_seconds();
+
+  if (!run.status.ok()) {
+    // The backend never started (e.g. proc backend with no worker binary):
+    // there is no partial solution, only the supervisor's error.
+    result.status = Status::unavailable("backend failed to start: " +
+                                        run.status.message());
+    {
+      std::lock_guard lock(mutex_);
+      free_slots_ += job->slots;
+      running_.erase(job->id);
+      finished_.push_back(job->id);
+      ++stats_.cancelled;
+    }
+    wake_.notify_all();
+    job->promise.set_value(std::move(result));
+    return;
+  }
 
   result.best_value = run.best_value;
   result.best = std::move(run.best);

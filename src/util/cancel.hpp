@@ -7,12 +7,24 @@
 // checks while blocked. A default-constructed token can never stop — the
 // zero-cost path every pre-existing call site keeps.
 //
+// Blocked waiters don't have to poll the flag: a wait can register its
+// condition variable (with the mutex guarding its predicate) on the token,
+// and request_cancel() notifies every registered waiter — cancellation
+// wakes an idle mailbox wait immediately instead of on the next poll slice.
+// Only deadline expiry still needs a timed wait, because a deadline has no
+// notifier.
+//
 // This is std::stop_token's shape, but with a deadline folded in (the two
 // stop reasons a solver job needs are "the caller gave up" and "the SLA
 // passed") and with the source copyable so a job record can own it.
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <limits>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "util/timer.hpp"
 
@@ -47,11 +59,55 @@ class CancelToken {
   /// when no stop can ever arrive.
   [[nodiscard]] bool can_stop() const { return state_ != nullptr; }
 
+  /// True when the source carries a wall-clock deadline. A waiter whose
+  /// token has no deadline can block indefinitely and rely purely on
+  /// request_cancel()'s notification; one with a deadline must keep a timed
+  /// wait to observe expiry.
+  [[nodiscard]] bool has_deadline() const {
+    return state_ && state_->deadline.is_bounded();
+  }
+
+  /// Seconds until the deadline (infinity when unbounded / default token).
+  [[nodiscard]] double deadline_remaining_seconds() const {
+    if (!has_deadline()) return std::numeric_limits<double>::infinity();
+    return state_->deadline.remaining_seconds();
+  }
+
+  /// Registers `cv` — whose wait predicate is guarded by `mutex` — to be
+  /// notified by request_cancel(). The notifier locks `mutex` before
+  /// notifying, so a waiter that checked cancel_requested() under that mutex
+  /// and then blocked cannot miss the wake (no lost-wakeup window). No-op on
+  /// a token that cannot stop. Prefer the RAII CancelWaiter below.
+  void add_cancel_waiter(std::condition_variable* cv, std::mutex* mutex) const {
+    if (!state_) return;
+    std::scoped_lock lock(state_->waiters_mutex);
+    state_->waiters.push_back({cv, mutex});
+  }
+
+  /// Removes a registration. Blocks until any in-flight notification of
+  /// `cv` has finished, so the caller may destroy the cv afterwards.
+  void remove_cancel_waiter(std::condition_variable* cv) const {
+    if (!state_) return;
+    std::scoped_lock lock(state_->waiters_mutex);
+    auto& waiters = state_->waiters;
+    waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                                 [cv](const auto& w) { return w.cv == cv; }),
+                  waiters.end());
+  }
+
  private:
   friend class CancelSource;
+  struct Waiter {
+    std::condition_variable* cv;
+    std::mutex* mutex;
+  };
   struct State {
     std::atomic<bool> cancelled{false};
     Deadline deadline;
+    // Waiter registry, mutated through const token views (registration does
+    // not change the observable stop state).
+    mutable std::mutex waiters_mutex;
+    mutable std::vector<Waiter> waiters;
   };
   explicit CancelToken(std::shared_ptr<const State> state)
       : state_(std::move(state)) {}
@@ -70,12 +126,40 @@ class CancelSource {
 
   void request_cancel() {
     state_->cancelled.store(true, std::memory_order_relaxed);
+    // Wake every registered waiter. Holding waiters_mutex across the loop
+    // means remove_cancel_waiter() cannot return (and the cv cannot be
+    // destroyed) mid-notify. Briefly taking each waiter's own mutex orders
+    // this notify after the waiter's predicate check: the waiter either saw
+    // the flag, or is inside wait() and receives the notification.
+    std::scoped_lock registry_lock(state_->waiters_mutex);
+    for (const auto& waiter : state_->waiters) {
+      { std::scoped_lock waiter_lock(*waiter.mutex); }
+      waiter.cv->notify_all();
+    }
   }
 
   [[nodiscard]] CancelToken token() const { return CancelToken(state_); }
 
  private:
   std::shared_ptr<CancelToken::State> state_;
+};
+
+/// RAII registration of a blocked wait on a token: construct before taking
+/// the wait's lock, destroy after releasing it.
+class CancelWaiter {
+ public:
+  CancelWaiter(const CancelToken& token, std::condition_variable& cv,
+               std::mutex& mutex)
+      : token_(token), cv_(&cv) {
+    token_.add_cancel_waiter(cv_, &mutex);
+  }
+  ~CancelWaiter() { token_.remove_cancel_waiter(cv_); }
+  CancelWaiter(const CancelWaiter&) = delete;
+  CancelWaiter& operator=(const CancelWaiter&) = delete;
+
+ private:
+  CancelToken token_;
+  std::condition_variable* cv_;
 };
 
 }  // namespace pts

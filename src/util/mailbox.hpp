@@ -4,6 +4,7 @@
 // mailboxes: values are *moved* through a mutex-protected queue, so no
 // mutable state is ever shared between search threads (CP.3 / CP.mess).
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -50,10 +51,20 @@ class Mailbox {
   /// requests a stop — the cancellable rendezvous wait. Returns nullopt on
   /// close-and-drained or stop; callers that need to tell the two apart ask
   /// the token. A token that can never stop degrades to the plain wait.
+  ///
+  /// request_cancel() notifies our condition variable through the token's
+  /// waiter registry, so an idle wait sleeps indefinitely instead of polling
+  /// and still wakes within the notification latency. Only a token carrying
+  /// a deadline keeps a timed wait — deadline expiry has no notifier — and
+  /// that wait is sized to the deadline's remaining time, not a fixed slice.
   std::optional<T> receive(const CancelToken& token) {
     if (!token.can_stop()) return receive();
-    using namespace std::chrono_literals;
+    // Register before taking the lock; unregisters after releasing it.
+    CancelWaiter waiter(token, available_, mutex_);
     std::unique_lock lock(mutex_);
+    const auto ready = [&] {
+      return !queue_.empty() || closed_ || token.cancel_requested();
+    };
     for (;;) {
       if (!queue_.empty()) {
         T message = std::move(queue_.front());
@@ -61,10 +72,16 @@ class Mailbox {
         return message;
       }
       if (closed_ || token.stop_requested()) return std::nullopt;
-      // Sliced wait: no notification reaches us when the token fires, so
-      // poll it at a granularity well under the service's latency bound.
-      available_.wait_for(lock, 5ms,
-                          [this] { return !queue_.empty() || closed_; });
+      if (token.has_deadline()) {
+        // Sleep until the deadline (re-checked each lap; bounded laps keep
+        // the wait robust against clock quirks), or until send/close/cancel
+        // notifies earlier.
+        const double remaining =
+            std::clamp(token.deadline_remaining_seconds(), 1e-4, 60.0);
+        available_.wait_for(lock, std::chrono::duration<double>(remaining), ready);
+      } else {
+        available_.wait(lock, ready);
+      }
     }
   }
 

@@ -1,0 +1,144 @@
+// Multi-process backend integration: thread/proc equivalence on a fixed
+// seed, worker death (kill -9) mid-run mapped onto the SlaveFault -> respawn
+// path, and clean errors when the worker binary is missing. The worker path
+// comes from the build (PTS_WORKER_BIN_FOR_TESTS points at the pts_worker
+// target), so these tests exercise the real spawned binary.
+#include "parallel/proc_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <atomic>
+
+#include "mkp/generator.hpp"
+#include "parallel/master.hpp"
+#include "parallel/runner.hpp"
+
+#ifndef PTS_WORKER_BIN_FOR_TESTS
+#error "build must define PTS_WORKER_BIN_FOR_TESTS (see tests/CMakeLists.txt)"
+#endif
+
+namespace pts::parallel {
+namespace {
+
+constexpr const char* kWorkerBin = PTS_WORKER_BIN_FOR_TESTS;
+
+ParallelConfig base_config() {
+  ParallelConfig config;
+  config.mode = CooperationMode::kCooperativeAdaptive;
+  config.num_slaves = 3;
+  config.search_iterations = 3;
+  config.work_per_slave_round = 2'000;
+  config.seed = 5;
+  return config;
+}
+
+TEST(ProcBackend, MatchesThreadBackendOnFixedSeed) {
+  // The core determinism claim of DESIGN.md §8: same seed, same preset,
+  // same best value and solution whether slaves are threads or processes —
+  // doubles travel as bit patterns and every round's rng derives from
+  // (seed, slave, round) only.
+  const auto inst = mkp::generate_gk({.num_items = 100, .num_constraints = 10}, 11);
+
+  auto thread_config = base_config();
+  const auto thread_run = run_parallel_tabu_search(inst, thread_config);
+  ASSERT_TRUE(thread_run.status.ok());
+
+  auto proc_config = base_config();
+  proc_config.backend = Backend::kProcess;
+  proc_config.proc.worker_path = kWorkerBin;
+  const auto proc_run = run_parallel_tabu_search(inst, proc_config);
+  ASSERT_TRUE(proc_run.status.ok()) << proc_run.status.to_string();
+
+  EXPECT_DOUBLE_EQ(proc_run.best_value, thread_run.best_value);
+  EXPECT_EQ(proc_run.best, thread_run.best);
+  EXPECT_EQ(proc_run.master.rounds_completed, thread_run.master.rounds_completed);
+  EXPECT_EQ(proc_run.master.slave_faults, 0U);
+  EXPECT_EQ(proc_run.proc.workers_spawned, 3U);
+  EXPECT_EQ(proc_run.proc.worker_respawns, 0U);
+}
+
+TEST(ProcBackend, KillNineMidRoundStillCompletesWithRespawn) {
+  // The acceptance scenario: SIGKILL one worker while the farm runs. The
+  // supervisor must map the death onto a SlaveFault (so the round completes
+  // with P-1 reports), respawn the process, and finish every round.
+  const auto inst = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 3);
+
+  ProcOptions options;
+  options.worker_path = kWorkerBin;
+  ProcSupervisor supervisor(inst, /*num_slaves=*/3, /*seed=*/9, options, {});
+  ASSERT_TRUE(supervisor.start().ok());
+
+  struct Killer : MasterTrace {
+    ProcSupervisor* supervisor = nullptr;
+    std::atomic<bool> fired{false};
+    void on_round_start(std::size_t round) override {
+      if (round == 2 && !fired.exchange(true)) {
+        const pid_t pid = supervisor->worker_pid(0);
+        ASSERT_GT(pid, 0);
+        ASSERT_EQ(::kill(pid, SIGKILL), 0);
+      }
+    }
+  } killer;
+  killer.supervisor = &supervisor;
+
+  MasterConfig master_config;
+  master_config.num_slaves = 3;
+  master_config.search_iterations = 6;
+  master_config.work_per_slave_round = 1'500;
+  master_config.seed = 9;
+
+  const auto result =
+      run_master(inst, supervisor.channels(), master_config, &killer);
+  supervisor.shutdown();
+
+  EXPECT_TRUE(killer.fired.load());
+  EXPECT_EQ(result.rounds_completed, 6U);
+  EXPECT_GE(result.slave_faults, 1U);
+  EXPECT_GE(result.slave_respawns, 1U);
+  EXPECT_GT(result.best_value, 0.0);
+  const auto stats = supervisor.stats();
+  EXPECT_GE(stats.worker_respawns, 1U);
+  EXPECT_EQ(stats.workers_spawned, 3U + stats.worker_respawns);
+}
+
+TEST(ProcBackend, MissingWorkerBinaryIsACleanStatus) {
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 1);
+  auto config = base_config();
+  config.search_iterations = 1;
+  config.backend = Backend::kProcess;
+  config.proc.worker_path = "/nonexistent/dir/pts_worker";
+  const auto result = run_parallel_tabu_search(inst, config);
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.master.rounds_completed, 0U);
+}
+
+TEST(ProcBackend, BackendNamesRoundTripWithFlags) {
+  EXPECT_EQ(to_string(Backend::kThread), "thread");
+  EXPECT_EQ(to_string(Backend::kProcess), "proc");
+  ASSERT_TRUE(backend_from_string("proc"));
+  EXPECT_EQ(*backend_from_string("PROC"), Backend::kProcess);
+  EXPECT_EQ(*backend_from_string("Thread"), Backend::kThread);
+  EXPECT_FALSE(backend_from_string("pvm"));
+}
+
+TEST(ProcBackend, IndependentModeAlsoMatchesAcrossBackends) {
+  // ITS never shares solutions, so any cross-backend divergence here would
+  // isolate a serialization bug (no cooperative masking).
+  const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = 5}, 21);
+  auto thread_config = base_config();
+  thread_config.mode = CooperationMode::kIndependent;
+  const auto thread_run = run_parallel_tabu_search(inst, thread_config);
+
+  auto proc_config = thread_config;
+  proc_config.backend = Backend::kProcess;
+  proc_config.proc.worker_path = kWorkerBin;
+  const auto proc_run = run_parallel_tabu_search(inst, proc_config);
+  ASSERT_TRUE(proc_run.status.ok()) << proc_run.status.to_string();
+  EXPECT_DOUBLE_EQ(proc_run.best_value, thread_run.best_value);
+}
+
+}  // namespace
+}  // namespace pts::parallel

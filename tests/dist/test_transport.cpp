@@ -1,0 +1,160 @@
+// FrameSocket / SocketTransport behaviour over a real socketpair: framed
+// round trips, the heartbeat timeout, EOF-as-dead-peer, and cancel.
+#include "parallel/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <thread>
+#include <variant>
+
+#include "bounds/greedy.hpp"
+#include "mkp/generator.hpp"
+#include "parallel/wire.hpp"
+#include "util/rng.hpp"
+
+namespace pts::parallel {
+namespace {
+
+struct SocketPair {
+  FrameSocket a;
+  FrameSocket b;
+};
+
+SocketPair make_pair_sockets() {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {FrameSocket(fds[0]), FrameSocket(fds[1])};
+}
+
+mkp::Instance make_instance() {
+  return mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 1);
+}
+
+TEST(FrameSocket, FrameRoundTripAcrossThePair) {
+  auto [a, b] = make_pair_sockets();
+  ASSERT_TRUE(a.send_frame(wire::encode_to_slave(Stop{})).ok());
+  auto frame = b.read_frame(/*timeout_seconds=*/5.0);
+  ASSERT_TRUE(frame) << frame.status().to_string();
+  EXPECT_EQ(frame->type, wire::MessageType::kStop);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(FrameSocket, LargePayloadArrivesWhole) {
+  const auto inst = mkp::generate_gk({.num_items = 400, .num_constraints = 30}, 2);
+  auto [a, b] = make_pair_sockets();
+  const auto sent = wire::encode_hello({1, 2, inst});
+  // Writer thread: a large frame can exceed the socketpair buffer, so the
+  // write must be concurrent with the read (exactly the pump's situation).
+  std::jthread writer([&a, &sent] { ASSERT_TRUE(a.send_frame(sent).ok()); });
+  auto frame = b.read_frame(10.0);
+  ASSERT_TRUE(frame) << frame.status().to_string();
+  ASSERT_EQ(frame->type, wire::MessageType::kHello);
+  const auto hello = wire::decode_hello(frame->payload);
+  ASSERT_TRUE(hello);
+  EXPECT_EQ(hello->instance.num_items(), 400U);
+}
+
+TEST(FrameSocket, TimeoutIsDeadlineExceeded) {
+  auto [a, b] = make_pair_sockets();
+  const auto frame = b.read_frame(/*timeout_seconds=*/0.15);
+  ASSERT_FALSE(frame);
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FrameSocket, PeerCloseIsUnavailable) {
+  auto [a, b] = make_pair_sockets();
+  a.close();
+  const auto frame = b.read_frame(5.0);
+  ASSERT_FALSE(frame);
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameSocket, TruncatedFrameIsUnavailableNotHang) {
+  // A peer that dies mid-frame leaves a short read; the reader must surface
+  // a dead-peer Status once EOF lands, never block forever.
+  auto [a, b] = make_pair_sockets();
+  const auto full = wire::encode_from_slave(SlaveFault{0, 1, "dying words"});
+  const std::size_t cut = wire::kHeaderBytes + 3;
+  ASSERT_TRUE(a.send_frame({full.data(), cut}).ok());
+  a.close();
+  const auto frame = b.read_frame(5.0);
+  ASSERT_FALSE(frame);
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameSocket, CorruptHeaderIsInvalidArgument) {
+  auto [a, b] = make_pair_sockets();
+  auto bad = wire::encode_to_slave(Stop{});
+  bad[0] ^= 0xFF;  // break the magic
+  ASSERT_TRUE(a.send_frame(bad).ok());
+  const auto frame = b.read_frame(5.0);
+  ASSERT_FALSE(frame);
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameSocket, CancelAbortsTheWait) {
+  auto [a, b] = make_pair_sockets();
+  CancelSource cancel;
+  std::jthread firer([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    cancel.request_cancel();
+  });
+  const auto frame = b.read_frame(/*timeout_seconds=*/30.0, cancel.token());
+  ASSERT_FALSE(frame);
+  EXPECT_EQ(frame.status().code(), StatusCode::kCancelled);
+}
+
+TEST(SocketTransport, DeliversDirectivesAndOutcomes) {
+  const auto inst = make_instance();
+  auto [master_side, worker_side] = make_pair_sockets();
+  SocketTransport transport(worker_side, inst);
+
+  Rng rng(7);
+  Assignment assignment{4, bounds::greedy_randomized(inst, rng), {}};
+  assignment.params.max_moves = 50;
+  ASSERT_TRUE(
+      master_side.send_frame(wire::encode_to_slave(assignment)).ok());
+
+  auto received = transport.receive({});
+  ASSERT_TRUE(received.has_value());
+  const auto* got = std::get_if<Assignment>(&*received);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->round, 4U);
+
+  Report report;
+  report.slave_id = 0;
+  report.round = 4;
+  report.final_value = 123.0;
+  ASSERT_TRUE(transport.send(report));
+  auto frame = master_side.read_frame(5.0);
+  ASSERT_TRUE(frame);
+  const auto decoded = wire::decode_from_slave(frame->type, frame->payload, inst);
+  ASSERT_TRUE(decoded);
+  EXPECT_DOUBLE_EQ(std::get<Report>(*decoded).final_value, 123.0);
+}
+
+TEST(SocketTransport, EofReadsAsClosedLink) {
+  const auto inst = make_instance();
+  auto [master_side, worker_side] = make_pair_sockets();
+  SocketTransport transport(worker_side, inst);
+  master_side.close();
+  EXPECT_FALSE(transport.receive({}).has_value());
+}
+
+TEST(SocketTransport, SendOnDeadPeerReturnsFalse) {
+  const auto inst = make_instance();
+  auto [master_side, worker_side] = make_pair_sockets();
+  SocketTransport transport(worker_side, inst);
+  master_side.close();
+  // First write may succeed into the kernel buffer; the second must fail
+  // with EPIPE. Either way no crash (SIGPIPE must not fire).
+  Report report;
+  const bool first = transport.send(report);
+  const bool second = transport.send(report);
+  EXPECT_FALSE(first && second);
+}
+
+}  // namespace
+}  // namespace pts::parallel

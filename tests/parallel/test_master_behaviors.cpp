@@ -2,11 +2,15 @@
 // mechanisms observed end-to-end through the timeline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <thread>
+#include <variant>
 
 #include "mkp/generator.hpp"
 #include "parallel/runner.hpp"
+#include "parallel/slave.hpp"
 
 namespace pts::parallel {
 namespace {
@@ -109,6 +113,86 @@ TEST(MasterBehavior, WorkBudgetSplitsExactlyAcrossRounds) {
   for (const auto& log : result.master.timeline) {
     EXPECT_EQ(log.moves, 600U / log.strategy.nb_drop);
   }
+}
+
+TEST(MasterBehavior, RelinkImprovementsAppearInTheGlobalAnytimeCurve) {
+  // Regression: path-relink could improve the global best AFTER the round's
+  // envelope sample was emitted, leaving an anytime curve whose maximum lay
+  // below the returned best_value. The invariant now holds unconditionally:
+  // whenever global samples exist, their max IS the best value. Hunt seeds
+  // until at least one run actually exercises the relink-improvement path.
+  bool exercised = false;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto inst =
+        mkp::generate_gk({.num_items = 60, .num_constraints = 6}, seed);
+    auto config = base_config(seed, 6);
+    config.relink_elites = true;
+    const auto result = run_parallel_tabu_search(inst, config);
+
+    double max_global = -std::numeric_limits<double>::infinity();
+    bool any_global = false;
+    for (const auto& sample : result.master.anytime) {
+      if (sample.source == obs::kGlobalSource) {
+        any_global = true;
+        max_global = std::max(max_global, sample.value);
+      }
+    }
+    if (any_global) {
+      EXPECT_DOUBLE_EQ(max_global, result.best_value) << "seed " << seed;
+    }
+    if (result.master.relink_improvements > 0) {
+      exercised = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(exercised)
+      << "no seed in the hunt produced a relink improvement; widen the range";
+}
+
+TEST(MasterBehavior, StopBroadcastDropIsCountedNeverSilent) {
+  // Regression: the master's final Stop broadcast ignored send() failures.
+  // Play a slave that answers round 0 and then closes its inbox BEFORE
+  // reporting, so the master's Stop lands on a closed box deterministically.
+  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 12);
+  Mailbox<ToSlave> inbox;
+  Mailbox<FromSlave> reports;
+  std::vector<SlaveChannels> channels{SlaveChannels{&inbox, &reports}};
+
+  std::jthread helper([&] {
+    auto message = inbox.receive();
+    ASSERT_TRUE(message.has_value());
+    const auto* assignment = std::get_if<Assignment>(&*message);
+    ASSERT_NE(assignment, nullptr);
+    inbox.close();  // happens-before the report, hence before the broadcast
+    ASSERT_TRUE(reports.send(run_assignment(inst, 0, 12, *assignment)));
+  });
+
+  MasterConfig config;
+  config.num_slaves = 1;
+  config.search_iterations = 1;
+  config.work_per_slave_round = 300;
+  config.seed = 12;
+  const auto result = run_master(inst, channels, config);
+
+  EXPECT_EQ(result.dropped_messages, 1U);
+  if (obs::telemetry_enabled()) {
+    EXPECT_EQ(result.counters[obs::Counter::kDroppedMessages], 1U);
+  }
+}
+
+TEST(MasterBehaviorDeath, PerSlaveReportBoxesAreRejectedUpFront) {
+  // The gather drains channels[0].outbox only; wiring per-slave report boxes
+  // would hang it forever on messages nobody reads. run_master must die with
+  // a diagnostic instead (see SlaveChannels' wiring invariant).
+  const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 1);
+  Mailbox<ToSlave> inbox0, inbox1;
+  Mailbox<FromSlave> reports0, reports1;
+  std::vector<SlaveChannels> channels{SlaveChannels{&inbox0, &reports0},
+                                      SlaveChannels{&inbox1, &reports1}};
+  MasterConfig config;
+  config.num_slaves = 2;
+  config.search_iterations = 1;
+  EXPECT_DEATH((void)run_master(inst, channels, config), "alias");
 }
 
 }  // namespace

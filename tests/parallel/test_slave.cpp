@@ -98,6 +98,20 @@ TEST(SlaveLoop, ProcessesAssignmentsUntilStop) {
   EXPECT_EQ(outbox.size(), 0U);
 }
 
+TEST(SlaveLoop, ClosedOutboxDropIsCountedNeverSilent) {
+  // Regression: a report send onto a closed outbox was discarded with no
+  // trace. The loop still discards it (orderly teardown races the last
+  // report) but must count it in the returned stats.
+  const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 7);
+  Mailbox<ToSlave> inbox;
+  Mailbox<FromSlave> outbox;
+  outbox.close();  // the link is already gone before the first report
+  inbox.send(make_assignment(inst, 0));
+  inbox.send(Stop{});
+  const auto stats = slave_loop(inst, 0, 11, SlaveChannels{&inbox, &outbox});
+  EXPECT_EQ(stats.dropped_messages, 1U);
+}
+
 TEST(SlaveLoop, ClosedInboxTerminates) {
   const auto inst = mkp::generate_gk({.num_items = 20, .num_constraints = 3}, 6);
   Mailbox<ToSlave> inbox;

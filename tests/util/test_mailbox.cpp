@@ -134,6 +134,77 @@ TEST(Mailbox, ManyProducersOneConsumer) {
   EXPECT_EQ(box.size(), 0U);
 }
 
+TEST(MailboxCancel, RequestCancelWakesBlockedReceiver) {
+  // Regression: receive(token) used to poll in 5ms timed slices even for
+  // tokens without a deadline. Cancellation must arrive as a notification —
+  // the receiver returns promptly and without spinning.
+  Mailbox<int> box;
+  CancelSource cancel;
+  std::atomic<bool> woke{false};
+  std::jthread receiver([&] {
+    EXPECT_FALSE(box.receive(cancel.token()).has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(woke.load());
+  const auto fired_at = std::chrono::steady_clock::now();
+  cancel.request_cancel();
+  receiver.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_LT(std::chrono::steady_clock::now() - fired_at,
+            std::chrono::seconds(1));
+}
+
+TEST(MailboxCancel, QueuedMessagesDrainBeforeCancelledNullopt) {
+  Mailbox<int> box;
+  CancelSource cancel;
+  cancel.request_cancel();
+  box.send(42);
+  EXPECT_EQ(box.receive(cancel.token()).value(), 42);
+  EXPECT_FALSE(box.receive(cancel.token()).has_value());
+}
+
+TEST(MailboxCancel, DeadlineStillExpiresWithoutANotifier) {
+  // The one case that must keep a timed wait: a deadline has no notifier.
+  Mailbox<int> box;
+  CancelSource cancel(Deadline::after_seconds(0.1));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.receive(cancel.token()).has_value());
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, std::chrono::milliseconds(90));
+  EXPECT_LT(waited, std::chrono::seconds(30));
+}
+
+TEST(MailboxCancel, SendStillWakesACancellableWait) {
+  Mailbox<int> box;
+  CancelSource cancel;  // never fired: the wait must still react to sends
+  std::jthread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    box.send(7);
+  });
+  EXPECT_EQ(box.receive(cancel.token()).value(), 7);
+}
+
+TEST(MailboxCancel, WaiterRegistryHandlesManyBoxesAndRepeatedCancels) {
+  // Waiters register on the token and unregister when their wait ends; a
+  // second request_cancel() must not touch the destroyed cvs.
+  CancelSource cancel;
+  {
+    std::vector<std::unique_ptr<Mailbox<int>>> boxes;
+    std::vector<std::jthread> receivers;
+    for (int i = 0; i < 8; ++i) {
+      boxes.push_back(std::make_unique<Mailbox<int>>());
+      receivers.emplace_back([&cancel, box = boxes.back().get()] {
+        EXPECT_FALSE(box->receive(cancel.token()).has_value());
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.request_cancel();
+  }  // receivers joined, mailboxes (and their cvs) destroyed
+  cancel.request_cancel();  // registry must be empty, not dangling
+  SUCCEED();
+}
+
 TEST(Mailbox, PerProducerOrderPreserved) {
   // FIFO holds per sender even with interleaving.
   Mailbox<std::pair<int, int>> box;
