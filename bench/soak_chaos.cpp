@@ -1,0 +1,153 @@
+// Chaos soak: hammer the SolverService with proc-backend jobs while the
+// PTS_CHAOS_* knobs kill, corrupt and stall the spawned pts_worker
+// processes on a schedule, and randomly cancel jobs mid-flight. The single
+// hard invariant under all of that noise: every submitted future resolves —
+// zero hangs, zero lost jobs. Chaos may cost quality, spawns and respawn
+// budget, never liveness.
+//
+//   ./soak_chaos --seconds=10 --workers=3 --seed=1
+//   ./soak_chaos --quick            2-second smoke (the ctest wiring)
+//
+// The 30-second soak runs under `ctest -L soak` when the build was
+// configured with -DPTS_SOAK=ON.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <string>
+
+#include "mkp/generator.hpp"
+#include "service/solver_service.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+#ifndef PTS_WORKER_BIN_FOR_TESTS
+#error "build must define PTS_WORKER_BIN_FOR_TESTS (see bench/CMakeLists.txt)"
+#endif
+
+namespace {
+
+/// Chaos defaults, injected only when the caller has not already set a knob
+/// (so a CI job can dial the storm up or down through the environment).
+void default_chaos_env() {
+  ::setenv("PTS_CHAOS_CRASH_PPM", "120000", /*overwrite=*/0);
+  ::setenv("PTS_CHAOS_CORRUPT_PPM", "80000", /*overwrite=*/0);
+  ::setenv("PTS_CHAOS_STALL_MS", "1", /*overwrite=*/0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  using Clock = std::chrono::steady_clock;
+  const auto args = CliArgs::parse(argc, argv);
+
+  const bool quick = args.get_bool("quick", false);
+  const double seconds = quick ? 2.0 : args.get_int("seconds", 10);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  default_chaos_env();
+
+  service::ServiceConfig pool;
+  pool.num_workers = static_cast<std::size_t>(args.get_int("workers", 3));
+  pool.queue_capacity = 64;
+  service::SolverService server(pool);
+  std::printf("soak: %.0fs, %zu service workers, chaos crash/corrupt/stall = "
+              "%s/%s/%s ppm/ppm/ms\n",
+              seconds, pool.num_workers, std::getenv("PTS_CHAOS_CRASH_PPM"),
+              std::getenv("PTS_CHAOS_CORRUPT_PPM"),
+              std::getenv("PTS_CHAOS_STALL_MS"));
+
+  Rng rng(seed ^ 0x50A7C4A05ULL);
+  std::deque<service::SolverService::Submission> in_flight;
+  std::uint64_t submitted = 0, resolved = 0, ok = 0, cancelled = 0,
+                errored = 0, faults_seen = 0, cancels_requested = 0;
+
+  const auto drain_one = [&](bool must_resolve) -> bool {
+    auto& front = in_flight.front();
+    // A generous bound: a hung future is the exact bug this soak exists to
+    // catch, so a timeout is a hard failure, not a skip.
+    const auto wait = must_resolve ? std::chrono::seconds(120)
+                                   : std::chrono::seconds(0);
+    if (front.result.wait_for(wait) != std::future_status::ready) {
+      if (!must_resolve) return false;
+      std::printf("FAIL: job %llu never resolved\n",
+                  static_cast<unsigned long long>(front.id));
+      return false;
+    }
+    const auto result = front.result.get();
+    ++resolved;
+    faults_seen += result.slave_faults;
+    if (result.status.ok()) {
+      ++ok;
+    } else if (result.status.code() == StatusCode::kCancelled) {
+      ++cancelled;
+    } else {
+      ++errored;
+    }
+    in_flight.pop_front();
+    return true;
+  };
+
+  const auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < deadline) {
+    auto inst = mkp::generate_gk(
+        {.num_items = 40 + 10 * static_cast<std::size_t>(rng.index(3)),
+         .num_constraints = 5},
+        seed + submitted);
+    service::JobOptions options;
+    options.preset = "quick";
+    options.time_budget_seconds = 0.25;
+    options.seed = seed + submitted;
+    options.backend = parallel::Backend::kProcess;
+    options.proc.worker_path = PTS_WORKER_BIN_FOR_TESTS;
+    options.proc.max_respawns_per_slave = 3;
+    options.proc.respawn_backoff_base_seconds = 0.02;
+    options.proc.respawn_backoff_cap_seconds = 0.1;
+    in_flight.push_back(server.submit(std::move(inst), options));
+    ++submitted;
+
+    // Every seventh job gets cancelled shortly after submission — the
+    // cancel path must stay correct while workers are dying underneath it.
+    if (submitted % 7 == 0) {
+      ++cancels_requested;
+      server.cancel(in_flight.back().id);
+    }
+
+    // Keep a bounded backlog: drain opportunistically, block when deep.
+    while (in_flight.size() > 2 * pool.num_workers) {
+      if (!drain_one(/*must_resolve=*/true)) return 1;
+    }
+    while (!in_flight.empty() && drain_one(/*must_resolve=*/false)) {
+    }
+  }
+
+  // Submission stopped; every outstanding future must still resolve.
+  while (!in_flight.empty()) {
+    if (!drain_one(/*must_resolve=*/true)) return 1;
+  }
+  server.shutdown();
+
+  const auto stats = server.stats();
+  std::printf(
+      "\nsoak result: %llu submitted, %llu resolved (%llu ok, %llu "
+      "cancelled, %llu errored), %llu cancel requests, %llu slave faults "
+      "observed\n",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(resolved),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(errored),
+      static_cast<unsigned long long>(cancels_requested),
+      static_cast<unsigned long long>(faults_seen));
+  std::printf("service: %llu completed, %llu cancelled, %llu slave faults\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.cancelled),
+              static_cast<unsigned long long>(stats.slave_faults));
+  if (resolved != submitted) {
+    std::printf("FAIL: %llu job(s) unaccounted for\n",
+                static_cast<unsigned long long>(submitted - resolved));
+    return 1;
+  }
+  std::printf("PASS: every future resolved\n");
+  return 0;
+}

@@ -8,6 +8,10 @@
 //            --mode=SEQ|ITS|CTS1|CTS2   force one cooperation mode
 //            --shed                     queue overflow sheds lowest priority
 //                                       (default rejects the newcomer)
+//            --journal=<path>           crash-safe job journal: jobs left
+//                                       unresolved by a crash or shutdown are
+//                                       re-enqueued as "resumed" on the next
+//                                       start (DESIGN.md §9)
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -43,16 +47,26 @@ int main(int argc, char** argv) {
   pool.overflow = args.get_bool("shed", false)
                       ? service::OverflowPolicy::kShedLowest
                       : service::OverflowPolicy::kRejectNew;
+  pool.journal_path = args.get_string("journal", "");
   service::SolverService server(pool);
   std::printf("pool: %zu workers, queue capacity %zu\n\n", pool.num_workers,
               pool.queue_capacity);
+
+  // Jobs the previous incarnation never resolved (crash or shutdown
+  // mid-flight) come back automatically; fold their futures into the batch.
+  auto recovered = server.take_recovered();
+  if (!recovered.empty()) {
+    std::printf("recovered %zu unresolved job(s) from %s\n\n", recovered.size(),
+                pool.journal_path.c_str());
+  }
 
   // A mixed workload: alternating sizes and presets, a couple of urgent
   // high-priority jobs with tight deadlines, one deliberately bogus preset
   // (the error comes back on the future, not as an abort), and one job we
   // cancel mid-flight below.
   std::vector<service::SolverService::Submission> submissions;
-  submissions.reserve(num_jobs + 1);
+  submissions.reserve(num_jobs + recovered.size() + 1);
+  for (auto& submission : recovered) submissions.push_back(std::move(submission));
   for (std::size_t k = 0; k < num_jobs; ++k) {
     auto inst = mkp::generate_gk(
         {.num_items = 40 + 20 * (k % 3), .num_constraints = 5}, seed + k);
@@ -89,11 +103,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(doomed_id));
   }
 
-  TextTable table({"job", "status", "best", "faults", "queued (s)", "ran (s)",
-                   "start#"});
+  TextTable table({"job", "origin", "status", "best", "faults", "queued (s)",
+                   "ran (s)", "start#"});
   for (auto& submission : submissions) {
     auto r = submission.result.get();  // every future resolves — no timeouts
     table.add_row({TextTable::fmt(r.id),
+                   r.origin == service::JobOrigin::kResumed ? "resumed" : "fresh",
                    r.status.ok() ? "OK" : r.status.to_string(),
                    r.best ? TextTable::fmt(r.best_value, 1) : "-",
                    TextTable::fmt(r.slave_faults), TextTable::fmt(r.queue_seconds, 3),
@@ -104,9 +119,11 @@ int main(int argc, char** argv) {
   server.shutdown();
   const auto stats = server.stats();
   std::printf(
-      "\nservice stats: %llu submitted, %llu completed, %llu cancelled, "
-      "%llu deadline-expired, %llu invalid, %llu rejected, %llu slave faults\n",
+      "\nservice stats: %llu submitted (%llu resumed), %llu completed, "
+      "%llu cancelled, %llu deadline-expired, %llu invalid, %llu rejected, "
+      "%llu slave faults\n",
       static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.resumed),
       static_cast<unsigned long long>(stats.completed),
       static_cast<unsigned long long>(stats.cancelled),
       static_cast<unsigned long long>(stats.deadline_expired),

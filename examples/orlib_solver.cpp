@@ -11,8 +11,13 @@
 //           --backend=thread|proc  slave execution (proc spawns pts_worker
 //               processes; --worker=<path> overrides the binary location)
 //           --save=<dir>   write each best solution as <dir>/<name>.mkpsol
+//           --checkpoint=<path> --checkpoint-every=N --resume  crash safety:
+//               checkpoint the master every N rounds (problem k of a multi-
+//               problem file uses <path>.k); --resume continues from the
+//               checkpoint after a kill -9 (DESIGN.md §9)
 //           --log-level=info --metrics --trace-out=trace.json  (telemetry)
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "bounds/simplex.hpp"
@@ -22,6 +27,7 @@
 #include "obs/telemetry.hpp"
 #include "parallel/presets.hpp"
 #include "parallel/runner.hpp"
+#include "parallel/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -97,15 +103,64 @@ int main(int argc, char** argv) {
     config.proc.worker_path = args.get_string("worker", "");
   }
   const auto save_dir = args.get_string("save", "");
+  const auto checkpoint_base = args.get_string("checkpoint", "");
+  const auto checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 1));
+  const bool resume = args.get_bool("resume", false);
+  if (resume && checkpoint_base.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint=<path>\n");
+    return 1;
+  }
 
   TextTable table({"problem", "n", "m", "best found", "reference", "gap (%)",
                    "time (s)"});
   int not_reached = 0;
   obs::CounterStats counter_stats;
+  std::size_t problem_index = 0;
   for (const auto& inst : problems) {
     auto problem_config = config;
     parallel::scale_budget_to_instance(problem_config, inst);
     if (inst.known_optimum()) problem_config.target_value = *inst.known_optimum();
+
+    // Crash safety: checkpoint this problem's master state as it runs, and
+    // with --resume continue from wherever the previous (killed) invocation
+    // got to. A missing checkpoint just means "start from round 0".
+    std::optional<parallel::snapshot::MasterCheckpoint> checkpoint;
+    if (!checkpoint_base.empty()) {
+      problem_config.checkpoint_path =
+          problems.size() == 1
+              ? checkpoint_base
+              : checkpoint_base + "." + std::to_string(problem_index);
+      problem_config.checkpoint_every_rounds = checkpoint_every;
+      if (resume) {
+        auto loaded = parallel::snapshot::load_checkpoint(
+            problem_config.checkpoint_path, inst);
+        if (loaded) {
+          const auto compat = parallel::snapshot::check_compatible(
+              *loaded, inst, problem_config.seed, problem_config.num_slaves,
+              problem_config.mode != parallel::CooperationMode::kIndependent,
+              problem_config.mode ==
+                  parallel::CooperationMode::kCooperativeAdaptive);
+          if (!compat.ok()) {
+            std::fprintf(stderr, "%s: cannot resume: %s\n", inst.name().c_str(),
+                         compat.to_string().c_str());
+            return 1;
+          }
+          checkpoint = *std::move(loaded);
+          problem_config.resume = &*checkpoint;
+          std::printf("%s: resuming from round %llu (best so far %.1f)\n",
+                      inst.name().c_str(),
+                      static_cast<unsigned long long>(checkpoint->next_round),
+                      checkpoint->best.value());
+        } else if (loaded.status().code() != StatusCode::kUnavailable) {
+          std::fprintf(stderr, "%s: %s\n", inst.name().c_str(),
+                       loaded.status().to_string().c_str());
+          return 1;
+        }
+      }
+    }
+    ++problem_index;
+
     const auto result = parallel::run_parallel_tabu_search(inst, problem_config);
     if (!result.status.ok()) {
       std::fprintf(stderr, "%s: backend failed: %s\n", inst.name().c_str(),

@@ -6,10 +6,15 @@
 //                  [--mode=SEQ|ITS|CTS1|CTS2] [--scale=0.25] [--seed=1]
 //                  [--backend=thread|proc] [--worker=<pts_worker path>]
 //                  [--autotune]
+//                  [--checkpoint=<base>] [--checkpoint-every=N] [--resume]
+//                    (crash safety: instance k of the sweep checkpoints to
+//                     <base>.k; --resume skips/continues from those files)
 //                  [--log-level=info] [--metrics] [--trace-out=trace.json]
 #include <cstdio>
+#include <optional>
 
 #include "bounds/simplex.hpp"
+#include "parallel/snapshot.hpp"
 #include "mkp/generator.hpp"
 #include "mkp/suites.hpp"
 #include "obs/telemetry.hpp"
@@ -92,6 +97,15 @@ int main(int argc, char** argv) {
     preset->proc.worker_path = args.get_string("worker", "");
   }
 
+  const auto checkpoint_base = args.get_string("checkpoint", "");
+  const auto checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 1));
+  const bool resume = args.get_bool("resume", false);
+  if (resume && checkpoint_base.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint=<base>\n");
+    return 1;
+  }
+
   const auto classes = load_suite(suite_name, seed, scale);
   std::printf("suite '%s' (%zu class(es)), preset '%s'%s\n\n", suite_name.c_str(),
               classes.size(), args.get_string("preset", "quick").c_str(),
@@ -102,12 +116,47 @@ int main(int argc, char** argv) {
                            : std::vector<std::string>{"class", "mean LP gap (%)",
                                                       "time (s)"});
   obs::CounterStats counter_stats;
+  std::size_t instance_index = 0;
   for (const auto& cls : classes) {
     RunningStats gaps, tuned_gaps;
     Stopwatch watch;
     for (const auto& inst : cls.instances) {
       auto config = *preset;
       parallel::scale_budget_to_instance(config, inst);
+
+      // Crash safety for long sweeps: every instance checkpoints to its own
+      // numbered file; a resumed sweep fast-forwards through the instances
+      // whose checkpoints are already complete and continues the one that
+      // was mid-run when the driver died.
+      std::optional<parallel::snapshot::MasterCheckpoint> checkpoint;
+      if (!checkpoint_base.empty()) {
+        config.checkpoint_path =
+            checkpoint_base + "." + std::to_string(instance_index);
+        config.checkpoint_every_rounds = checkpoint_every;
+        if (resume) {
+          auto loaded =
+              parallel::snapshot::load_checkpoint(config.checkpoint_path, inst);
+          if (loaded) {
+            const auto compat = parallel::snapshot::check_compatible(
+                *loaded, inst, config.seed, config.num_slaves,
+                config.mode != parallel::CooperationMode::kIndependent,
+                config.mode == parallel::CooperationMode::kCooperativeAdaptive);
+            if (!compat.ok()) {
+              std::fprintf(stderr, "%s: cannot resume: %s\n",
+                           inst.name().c_str(), compat.to_string().c_str());
+              return 1;
+            }
+            checkpoint = *std::move(loaded);
+            config.resume = &*checkpoint;
+          } else if (loaded.status().code() != StatusCode::kUnavailable) {
+            std::fprintf(stderr, "%s: %s\n", inst.name().c_str(),
+                         loaded.status().to_string().c_str());
+            return 1;
+          }
+        }
+      }
+      ++instance_index;
+
       const auto result = parallel::run_parallel_tabu_search(inst, config);
       if (!result.status.ok()) {
         std::fprintf(stderr, "backend failed: %s\n",

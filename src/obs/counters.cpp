@@ -35,6 +35,8 @@ const char* counter_name(Counter c) {
     case Counter::kOscillations: return "oscillations";
     case Counter::kDiversifications: return "diversifications";
     case Counter::kDroppedMessages: return "dropped_messages";
+    case Counter::kCheckpointsWritten: return "checkpoints_written";
+    case Counter::kPoolDegraded: return "pool_degraded";
     case Counter::kCount: break;
   }
   return "?";

@@ -43,6 +43,8 @@ enum class Counter : std::size_t {
   kOscillations,     ///< of those, strategic-oscillation phases
   kDiversifications, ///< diversification phases entered
   kDroppedMessages,  ///< sends explicitly discarded on a closed/dead endpoint
+  kCheckpointsWritten, ///< master snapshots durably written to disk
+  kPoolDegraded,     ///< slaves retired by the pool-degradation policy
   kCount
 };
 

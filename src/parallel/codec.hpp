@@ -1,0 +1,123 @@
+#pragma once
+// The byte-level codec shared by every binary format in the system: the
+// socket wire protocol (parallel/wire.cpp), the crash-safe master snapshot
+// (parallel/snapshot.cpp) and the solver-service job journal
+// (service/journal.cpp). Extracted from wire.cpp so the on-disk formats
+// inherit the exact conventions the wire fuzz tests already pin down.
+//
+// Writer appends little-endian scalars to a byte buffer. Reader consumes
+// them with bounds checking, latching an error instead of reading past the
+// end — decode code reads every field unconditionally and checks ok()/done()
+// once, so a truncation anywhere surfaces as a single Status at the call
+// site (the "total decoder" convention of DESIGN.md §8).
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pts::parallel::codec {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void f64_span(std::span<const double> values) {
+    for (const double v : values) f64(v);
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* data = static_cast<const std::uint8_t*>(p);
+    // Little-endian host assumed (x86/ARM Linux); static_assert the premise.
+    static_assert(std::endian::native == std::endian::little,
+                  "binary formats are little-endian; add byte swaps for this host");
+    out_.insert(out_.end(), data, data + n);
+  }
+
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str(std::size_t max_len) {
+    const auto len = u32();
+    if (len > max_len || len > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::vector<double> f64_vec(std::size_t count) {
+    std::vector<double> v;
+    if (count > remaining() / sizeof(double)) {
+      ok_ = false;
+      return v;
+    }
+    v.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) v.push_back(f64());
+    return v;
+  }
+
+  /// Bound check for a count prefix: every element needs at least
+  /// `min_element_bytes` more input, so a count beyond remaining/min is
+  /// corrupt regardless of content — reject before reserving anything.
+  [[nodiscard]] bool plausible_count(std::uint64_t count,
+                                     std::size_t min_element_bytes) {
+    if (min_element_bytes == 0) min_element_bytes = 1;
+    if (count > remaining() / min_element_bytes) ok_ = false;
+    return ok_;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool done() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  template <typename T>
+  T take() {
+    if (remaining() < sizeof(T)) {
+      ok_ = false;
+      pos_ = bytes_.size();
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace pts::parallel::codec

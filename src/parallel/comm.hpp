@@ -76,6 +76,11 @@ using FromSlave = std::variant<Report, SlaveFault>;
 /// without bespoke test slaves.
 struct FaultInjector {
   std::function<bool(std::size_t slave_id, std::size_t round)> should_throw;
+  /// Chaos schedule: seconds to sleep at the top of the round before doing
+  /// any work (0 or unset = no stall) — a slow slave the rendezvous must
+  /// wait out, distinct from a fault. The chaos harness uses this to verify
+  /// that stalls delay rounds without ever losing a message.
+  std::function<double(std::size_t slave_id, std::size_t round)> stall_seconds;
 };
 
 /// The endpoints a slave needs, plus the stop/fault plumbing.

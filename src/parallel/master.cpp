@@ -10,17 +10,42 @@
 
 namespace pts::parallel {
 
+// The master's per-slave record — the paper's data structure entry (strategy
+// St_i, initial solution S_i, B best solutions best_i, score_i) — is
+// snapshot::SlaveState so a checkpoint captures it field-for-field.
+using SlaveState = snapshot::SlaveState;
+
 namespace {
 
-/// The master's per-slave record — the paper's data structure entry:
-/// strategy St_i, initial solution S_i, B best solutions best_i, score_i.
-struct SlaveRecord {
-  tabu::Strategy strategy;
-  std::optional<mkp::Solution> initial;
-  std::vector<mkp::Solution> b_best;
-  int score = 0;
-  std::size_t rounds_unchanged = 0;
-};
+/// Builds the resumable image of the master's state at a round boundary.
+snapshot::MasterCheckpoint make_checkpoint(const mkp::Instance& inst,
+                                           const MasterConfig& config,
+                                           const MasterResult& result,
+                                           const std::vector<SlaveState>& records,
+                                           const Rng& master_rng,
+                                           std::size_t next_round,
+                                           double elapsed_seconds) {
+  snapshot::MasterCheckpoint cp(inst);
+  cp.instance_fingerprint = snapshot::instance_fingerprint(inst);
+  cp.seed = config.seed;
+  cp.num_slaves = static_cast<std::uint32_t>(config.num_slaves);
+  cp.share_solutions = config.share_solutions;
+  cp.adapt_strategies = config.adapt_strategies;
+  cp.next_round = next_round;
+  cp.best = result.best;
+  cp.master_rng_state = master_rng.state();
+  cp.slaves = records;
+  cp.total_moves = result.total_moves;
+  cp.elapsed_seconds = elapsed_seconds;
+  cp.rounds_completed = result.rounds_completed;
+  cp.strategy_retunes = result.strategy_retunes;
+  cp.global_best_injections = result.global_best_injections;
+  cp.random_restarts = result.random_restarts;
+  cp.relink_improvements = result.relink_improvements;
+  cp.slave_faults = result.slave_faults;
+  cp.slave_respawns = result.slave_respawns;
+  return cp;
+}
 
 }  // namespace
 
@@ -63,23 +88,90 @@ MasterResult run_master(const mkp::Instance& inst,
                                 "slave-" + std::to_string(i));
     }
   }
-  // Work-unit offset per slave so stitched anytime samples count moves
-  // monotonically across rounds.
-  std::vector<std::uint64_t> moves_before_round(config.num_slaves, 0);
-
-  // Initialization: random strategies, randomized-greedy initial solutions.
-  std::vector<SlaveRecord> records(config.num_slaves);
-  for (std::size_t i = 0; i < config.num_slaves; ++i) {
-    records[i].strategy = random_strategy(master_rng, config.sgp.bounds);
-    records[i].score = config.sgp.initial_score;
-    records[i].initial = bounds::greedy_randomized(inst, master_rng);
-    if (records[i].initial->value() > result.best_value) {
-      result.best = *records[i].initial;
-      result.best_value = records[i].initial->value();
+  std::vector<SlaveState> records(config.num_slaves);
+  std::size_t first_round = 0;
+  // Wall-clock and work offsets already earned before this process started
+  // (zero on a fresh run); resumed telemetry continues the original curves.
+  double time_offset = 0.0;
+  if (config.resume != nullptr) {
+    // Restore instead of initialize: the checkpoint holds every record, the
+    // global best, the aggregates, and — critically — the master RNG's raw
+    // state, so the draw sequence continues exactly where the killed run
+    // stopped. The caller validated compatibility (snapshot::check_compatible);
+    // these CHECKs only guard against wiring bugs.
+    const auto& cp = *config.resume;
+    PTS_CHECK_MSG(cp.slaves.size() == config.num_slaves,
+                  "resume checkpoint slave count does not match the config");
+    PTS_CHECK_MSG(cp.seed == config.seed,
+                  "resume checkpoint seed does not match the config");
+    records = cp.slaves;
+    master_rng.set_state(cp.master_rng_state);
+    result.best = cp.best;
+    result.best_value = cp.best.value();
+    result.total_moves = cp.total_moves;
+    result.rounds_completed = static_cast<std::size_t>(cp.rounds_completed);
+    result.strategy_retunes = static_cast<std::size_t>(cp.strategy_retunes);
+    result.global_best_injections =
+        static_cast<std::size_t>(cp.global_best_injections);
+    result.random_restarts = static_cast<std::size_t>(cp.random_restarts);
+    result.relink_improvements =
+        static_cast<std::size_t>(cp.relink_improvements);
+    result.slave_faults = static_cast<std::size_t>(cp.slave_faults);
+    result.slave_respawns = static_cast<std::size_t>(cp.slave_respawns);
+    first_round = static_cast<std::size_t>(cp.next_round);
+    result.resumed_from_round = first_round;
+    time_offset = cp.elapsed_seconds;
+    if (telemetry_on) {
+      // Re-anchor the global envelope: the resumed curve's max equals the
+      // checkpointed best from its very first sample (§9 invariant).
+      result.anytime.push_back({obs::kGlobalSource, time_offset,
+                                result.total_moves, result.best_value});
+    }
+    if (obs::tracer().enabled()) {
+      obs::tracer().instant("resume",
+                            {{"round", static_cast<double>(first_round)},
+                             {"best", result.best_value}});
+    }
+  } else {
+    // Initialization: random strategies, randomized-greedy initial solutions.
+    for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      records[i].strategy = random_strategy(master_rng, config.sgp.bounds);
+      records[i].score = config.sgp.initial_score;
+      records[i].initial = bounds::greedy_randomized(inst, master_rng);
+      if (records[i].initial->value() > result.best_value) {
+        result.best = *records[i].initial;
+        result.best_value = records[i].initial->value();
+      }
     }
   }
 
-  for (std::size_t round = 0; round < config.search_iterations; ++round) {
+  const auto active_count = [&records] {
+    std::size_t n = 0;
+    for (const auto& record : records) n += record.active ? 1 : 0;
+    return n;
+  };
+  std::size_t last_checkpoint_round = first_round;  // nothing written yet
+  const auto write_checkpoint = [&](std::size_t next_round) {
+    auto cp = make_checkpoint(inst, config, result, records, master_rng,
+                              next_round,
+                              time_offset + watch.elapsed_seconds());
+    const auto status = snapshot::save_checkpoint(config.checkpoint_path, cp);
+    if (status.ok()) {
+      ++result.checkpoints_written;
+      if (telemetry_on) ++result.counters[obs::Counter::kCheckpointsWritten];
+    } else {
+      ++result.checkpoint_failures;
+    }
+    if (obs::tracer().enabled()) {
+      obs::tracer().instant("checkpoint",
+                            {{"round", static_cast<double>(next_round)},
+                             {"ok", status.ok() ? 1.0 : 0.0}});
+    }
+    last_checkpoint_round = next_round;
+  };
+
+  for (std::size_t round = first_round; round < config.search_iterations;
+       ++round) {
     if (config.cancel.stop_requested()) {
       result.cancelled = true;
       break;
@@ -87,12 +179,19 @@ MasterResult run_master(const mkp::Instance& inst,
     if (deadline.expired() || result.reached_target) break;
     if (trace) trace->on_round_start(round);
 
-    // Scatter: one assignment per slave. Work balancing: slaves with larger
-    // Nb_drop get proportionally fewer moves.
+    // Scatter: one assignment per active slave. Work balancing: slaves with
+    // larger Nb_drop get proportionally fewer moves. When the pool has
+    // degraded to P-k survivors, each absorbs the retired slaves' share so
+    // the round's total work budget stays what the mode comparison assumes.
+    const std::size_t assigned = active_count();
+    PTS_CHECK_MSG(assigned >= 1, "every slave has been retired");
+    const std::uint64_t round_work =
+        config.work_per_slave_round * config.num_slaves / assigned;
     const double round_start_seconds = watch.elapsed_seconds();
     {
       obs::SpanScope scatter_span("scatter", {{"round", static_cast<double>(round)}});
       for (std::size_t i = 0; i < config.num_slaves; ++i) {
+        if (!records[i].active) continue;
         Assignment assignment{round, *records[i].initial, config.base_params};
         if (config.mix_intensification) {
           assignment.params.intensification =
@@ -101,7 +200,7 @@ MasterResult run_master(const mkp::Instance& inst,
         }
         assignment.params.strategy = records[i].strategy;
         assignment.params.max_moves = std::max<std::uint64_t>(
-            1, config.work_per_slave_round / records[i].strategy.nb_drop);
+            1, round_work / records[i].strategy.nb_drop);
         assignment.params.target_value = config.target_value;
         assignment.params.run_to_budget = true;
         assignment.params.cancel = config.cancel;
@@ -109,24 +208,24 @@ MasterResult run_master(const mkp::Instance& inst,
         PTS_CHECK_MSG(sent, "slave inbox closed while the master is running");
       }
     }
-    if (trace) trace->on_assignments_sent(round, config.num_slaves);
+    if (trace) trace->on_assignments_sent(round, assigned);
     if (obs::tracer().enabled()) {
       std::size_t backlog = 0;
       for (const auto& ch : channels) backlog += ch.inbox->depth();
       obs::tracer().sample("assign_backlog", static_cast<double>(backlog));
     }
 
-    // Gather: the synchronous rendezvous — one message per slave, where a
-    // message is either the round's Report or a SlaveFault. Faults count
-    // toward the rendezvous (so it always completes) but leave their slot
-    // empty; every consumer below must tolerate a missing report.
+    // Gather: the synchronous rendezvous — one message per assigned slave,
+    // where a message is either the round's Report or a SlaveFault. Faults
+    // count toward the rendezvous (so it always completes) but leave their
+    // slot empty; every consumer below must tolerate a missing report.
     std::vector<std::optional<Report>> reports(config.num_slaves);
     std::vector<bool> faulted(config.num_slaves, false);
     std::optional<double> first_report_at;
     std::size_t gathered = 0;
     {
       obs::SpanScope gather_span("gather", {{"round", static_cast<double>(round)}});
-      for (std::size_t k = 0; k < config.num_slaves; ++k) {
+      for (std::size_t k = 0; k < assigned; ++k) {
         auto message = channels[0].outbox->receive(config.cancel);
         if (!message) {
           // Either the cancel token fired mid-wait or the harness closed the
@@ -181,19 +280,20 @@ MasterResult run_master(const mkp::Instance& inst,
       if (telemetry_on) {
         result.counters.add(report.counters);
         result.counter_stats.observe(report.counters);
-        // Re-base the slave's curve: its clock starts at the scatter, its
-        // work units continue from the moves it had already spent.
+        // Re-base the slave's curve: its clock starts at the scatter (plus
+        // any wall time a resumed run inherited), its work units continue
+        // from the moves it had already spent.
         for (const auto& sample : report.anytime) {
-          result.anytime.push_back({sample.source,
-                                    round_start_seconds + sample.seconds,
-                                    moves_before_round[i] + sample.work_units,
-                                    sample.value});
+          result.anytime.push_back(
+              {sample.source, time_offset + round_start_seconds + sample.seconds,
+               records[i].moves_before_round + sample.work_units, sample.value});
         }
-        moves_before_round[i] += report.moves;
+        records[i].moves_before_round += report.moves;
       }
     }
     if (telemetry_on && result.best_value > best_before_round) {
-      result.anytime.push_back({obs::kGlobalSource, watch.elapsed_seconds(),
+      result.anytime.push_back({obs::kGlobalSource,
+                                time_offset + watch.elapsed_seconds(),
                                 result.total_moves, result.best_value});
     }
 
@@ -222,12 +322,14 @@ MasterResult run_master(const mkp::Instance& inst,
       // Relink wins land after the round's report merge, so they need their
       // own global sample — otherwise the anytime envelope under-reports the
       // best until the next round improves it again.
-      result.anytime.push_back({obs::kGlobalSource, watch.elapsed_seconds(),
+      result.anytime.push_back({obs::kGlobalSource,
+                                time_offset + watch.elapsed_seconds(),
                                 result.total_moves, result.best_value});
     }
 
     // Per-slave bookkeeping, deterministic order.
     for (std::size_t i = 0; i < config.num_slaves; ++i) {
+      if (!records[i].active) continue;
       if (!reports[i]) {
         // Respawn the faulted slave: the thread itself survived (slave_loop
         // caught the escape), so a respawn is purely master-side — a fresh
@@ -239,11 +341,15 @@ MasterResult run_master(const mkp::Instance& inst,
         record.initial = bounds::greedy_randomized(inst, master_rng);
         record.b_best.clear();
         record.rounds_unchanged = 0;
-        if (faulted[i]) ++result.slave_respawns;
+        if (faulted[i]) {
+          ++result.slave_respawns;
+          ++record.consecutive_faults;
+        }
         continue;
       }
       const auto& report = *reports[i];
       auto& record = records[i];
+      record.consecutive_faults = 0;
       record.b_best = report.elite;
 
       RoundLog log;
@@ -309,7 +415,60 @@ MasterResult run_master(const mkp::Instance& inst,
       log.init_kind = kind;
       result.timeline.push_back(std::move(log));
     }
+
+    // Pool degradation: a slave whose last `degrade_after_faults` rounds all
+    // faulted is retired rather than respawned forever — the run continues
+    // on the surviving P-k slaves (§9). Its strategy outlives it when it
+    // out-scores the weakest survivor. The last slave always stays.
+    if (config.degrade_after_faults > 0) {
+      for (std::size_t i = 0; i < config.num_slaves; ++i) {
+        auto& record = records[i];
+        if (!record.active ||
+            record.consecutive_faults < config.degrade_after_faults) {
+          continue;
+        }
+        if (active_count() <= 1) break;
+        record.active = false;
+        ++result.slaves_retired;
+        if (telemetry_on) ++result.counters[obs::Counter::kPoolDegraded];
+        if (obs::tracer().enabled()) {
+          obs::tracer().instant("pool_degraded",
+                                {{"round", static_cast<double>(round)},
+                                 {"slave", static_cast<double>(i)},
+                                 {"survivors",
+                                  static_cast<double>(active_count())}});
+        }
+        SlaveState* weakest = nullptr;
+        for (auto& other : records) {
+          if (!other.active) continue;
+          if (weakest == nullptr || other.score < weakest->score) {
+            weakest = &other;
+          }
+        }
+        if (weakest != nullptr && record.score > weakest->score) {
+          weakest->strategy = record.strategy;
+          weakest->score = record.score;
+        }
+      }
+    }
+
     ++result.rounds_completed;
+    if (!config.checkpoint_path.empty() &&
+        (round + 1 - first_round) %
+                std::max<std::size_t>(1, config.checkpoint_every_rounds) ==
+            0) {
+      write_checkpoint(round + 1);
+    }
+  }
+
+  // A final checkpoint when the cadence missed the last executed round, so
+  // --resume after an orderly exit (target hit, deadline) starts from the
+  // true frontier rather than replaying finished work.
+  if (!config.checkpoint_path.empty() &&
+      result.rounds_completed > last_checkpoint_round && !result.cancelled) {
+    // rounds_completed is carried across restarts, so it equals the index of
+    // the next unexecuted round.
+    write_checkpoint(result.rounds_completed);
   }
 
   for (const auto& ch : channels) {
@@ -324,7 +483,9 @@ MasterResult run_master(const mkp::Instance& inst,
       }
     }
   }
-  result.seconds = watch.elapsed_seconds();
+  // Whole-run wall time: a resumed run reports the original run's elapsed
+  // seconds plus its own, matching the carried aggregate counters.
+  result.seconds = time_offset + watch.elapsed_seconds();
   return result;
 }
 

@@ -13,11 +13,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mkp/instance.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/init_gen.hpp"
+#include "parallel/snapshot.hpp"
 #include "parallel/strategy_gen.hpp"
 #include "tabu/strategy.hpp"
 
@@ -61,6 +63,27 @@ struct MasterConfig {
   /// assignment — a fired token unwinds the whole farm within one
   /// inner-loop check per slave plus one mailbox poll slice.
   CancelToken cancel;
+
+  /// Crash safety (DESIGN.md §9). Non-empty: atomically write a
+  /// snapshot::MasterCheckpoint here every `checkpoint_every_rounds` rounds
+  /// (and after the final round). A write failure is counted, traced and
+  /// tolerated — durability must never kill the search it protects.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every_rounds = 1;
+
+  /// Resume from a previously loaded checkpoint (must outlive the run, and
+  /// must pass snapshot::check_compatible against this config — the caller
+  /// validates; run_master CHECKs the structural invariants). The run
+  /// restores the master RNG mid-stream, so a fault-free resumed run
+  /// reproduces the uninterrupted run's final best bit for bit.
+  const snapshot::MasterCheckpoint* resume = nullptr;
+
+  /// Pool degradation: after this many back-to-back faulted rounds a slave
+  /// is retired — no further assignments; the survivors absorb its work
+  /// share and, when it out-scores them, its strategy. 0 disables (the
+  /// pre-recovery behavior: reseed and retry forever). The last active
+  /// slave is never retired.
+  std::size_t degrade_after_faults = 0;
 };
 
 /// One line of the run's audit log (one slave in one round).
@@ -101,6 +124,13 @@ struct MasterResult {
   /// if newly spawned.
   std::size_t slave_faults = 0;
   std::size_t slave_respawns = 0;
+  /// Slaves retired by the degradation policy (never recovers within a run).
+  std::size_t slaves_retired = 0;
+  /// Checkpoints durably written / write attempts that failed.
+  std::size_t checkpoints_written = 0;
+  std::size_t checkpoint_failures = 0;
+  /// First round this run executed (nonzero only when resumed).
+  std::size_t resumed_from_round = 0;
   /// Accumulated gap between the first and last report of each round —
   /// the rendezvous idle cost of the synchronous scheme (ablation A5).
   double rendezvous_idle_seconds = 0.0;

@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -19,6 +20,7 @@
 #include "parallel/slave.hpp"
 #include "parallel/wire.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 extern char** environ;
 
@@ -222,8 +224,8 @@ void ProcSupervisor::stop_worker(std::size_t i, bool send_stop) {
   ::waitpid(pid, nullptr, 0);
 }
 
-void ProcSupervisor::fault_and_respawn(std::size_t i, std::size_t round,
-                                       const std::string& why) {
+void ProcSupervisor::record_fault(std::size_t i, std::size_t round,
+                                  const std::string& why) {
   if (obs::tracer().enabled()) {
     obs::tracer().instant("worker_fault",
                           {{"slave", static_cast<double>(i)},
@@ -236,20 +238,85 @@ void ProcSupervisor::fault_and_respawn(std::size_t i, std::size_t round,
     std::scoped_lock lock(mutex_);
     ++stats_.dropped_messages;
   }
-  std::size_t used = 0;
-  {
-    std::scoped_lock lock(mutex_);
-    used = slots_[i].respawns;
+  // No respawn here — that is the policy change. The fault only schedules
+  // the earliest next attempt; the pump decides at the next assignment.
+  const auto now = std::chrono::steady_clock::now();
+  std::scoped_lock lock(mutex_);
+  auto& slot = slots_[i];
+  const auto window = std::chrono::duration<double>(
+      options_.breaker_window_seconds);
+  if (slot.consecutive_faults > 0 && now - slot.last_fault_at > window) {
+    slot.consecutive_faults = 0;  // slow-burn faults are not a storm
   }
-  if (used >= options_.max_respawns_per_slave) {
-    return;  // budget spent: the slot stays dead and faults every round
+  ++slot.consecutive_faults;
+  ++slot.fault_serial;
+  slot.last_fault_at = now;
+
+  // Exponential backoff with deterministic jitter. An isolated death (k=1)
+  // respawns at the very next assignment — a single OOM kill must not idle
+  // the slot — while a streak backs off base * 2^(k-2) capped, plus a
+  // [0, base) jitter derived from (seed, slot, fault serial) so co-dying
+  // slots never thunder back in lockstep yet tests can reason about the
+  // schedule.
+  double delay = 0.0;
+  if (slot.consecutive_faults > 1) {
+    delay = options_.respawn_backoff_base_seconds;
+    for (std::size_t k = 2; k < slot.consecutive_faults; ++k) {
+      delay *= 2.0;
+      if (delay >= options_.respawn_backoff_cap_seconds) break;
+    }
+    delay = std::min(delay, options_.respawn_backoff_cap_seconds);
+    std::uint64_t jitter_state = seed_ ^
+                                 (static_cast<std::uint64_t>(i) << 32) ^
+                                 slot.fault_serial;
+    const double jitter01 =
+        static_cast<double>(splitmix64(jitter_state) >> 11) * 0x1.0p-53;
+    delay += jitter01 * options_.respawn_backoff_base_seconds;
   }
-  if (auto status = spawn_worker(i); status.ok()) {
-    std::scoped_lock lock(mutex_);
-    ++slots_[i].respawns;
-    ++stats_.worker_respawns;
+  slot.respawn_not_before =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(delay));
+
+  if (options_.breaker_threshold > 0 && !slot.breaker_open &&
+      slot.consecutive_faults >= options_.breaker_threshold) {
+    slot.breaker_open = true;
+    slot.breaker_until =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      options_.breaker_cooloff_seconds));
+    ++stats_.breaker_opens;
+    if (obs::tracer().enabled()) {
+      obs::tracer().instant("breaker_open",
+                            {{"slave", static_cast<double>(i)},
+                             {"faults",
+                              static_cast<double>(slot.consecutive_faults)}});
+    }
   }
-  // A failed spawn leaves pid = -1; the next assignment faults immediately.
+}
+
+bool ProcSupervisor::may_respawn_now(std::size_t i, std::string& reason) {
+  const auto now = std::chrono::steady_clock::now();
+  std::scoped_lock lock(mutex_);
+  auto& slot = slots_[i];
+  if (slot.respawns >= options_.max_respawns_per_slave) {
+    reason = "worker process unavailable (respawn budget exhausted)";
+    return false;
+  }
+  if (slot.breaker_open) {
+    if (now < slot.breaker_until) {
+      reason = "worker in circuit-breaker cooloff";
+      ++stats_.respawn_backoff_skips;
+      return false;
+    }
+    // Half-open: one probe respawn is allowed; success closes the breaker
+    // only when the worker later completes a round (see pump).
+  }
+  if (now < slot.respawn_not_before) {
+    reason = "worker in respawn backoff";
+    ++stats_.respawn_backoff_skips;
+    return false;
+  }
+  return true;
 }
 
 void ProcSupervisor::pump(std::size_t i) {
@@ -268,21 +335,37 @@ void ProcSupervisor::pump(std::size_t i) {
       alive = slots_[i].pid > 0;
     }
     if (!alive) {
-      // Dead slot (respawn budget exhausted or spawn failed): fault the
-      // round up front so the rendezvous never waits on a ghost.
-      if (!reports_->send(
-              SlaveFault{i, assignment.round, "worker process unavailable"})) {
-        std::scoped_lock lock(mutex_);
-        ++stats_.dropped_messages;
+      // Dead slot: the recovery policy decides between respawning now and
+      // faulting fast. Either way the rendezvous never waits on a ghost —
+      // a backoff/breaker fault is immediate and burns no respawn budget.
+      std::string reason;
+      if (!may_respawn_now(i, reason)) {
+        if (!reports_->send(SlaveFault{i, assignment.round, reason})) {
+          std::scoped_lock lock(mutex_);
+          ++stats_.dropped_messages;
+        }
+        continue;
       }
-      continue;
+      if (auto status = spawn_worker(i); status.ok()) {
+        std::scoped_lock lock(mutex_);
+        ++slots_[i].respawns;
+        ++stats_.worker_respawns;
+      } else {
+        if (!reports_->send(SlaveFault{i, assignment.round,
+                                       "worker respawn failed: " +
+                                           status.message()})) {
+          std::scoped_lock lock(mutex_);
+          ++stats_.dropped_messages;
+        }
+        continue;
+      }
     }
 
     if (auto status =
             slots_[i].socket.send_frame(wire::encode_to_slave(*message));
         !status.ok()) {
-      fault_and_respawn(i, assignment.round,
-                        "assignment write failed: " + status.message());
+      record_fault(i, assignment.round,
+                   "assignment write failed: " + status.message());
       continue;
     }
 
@@ -297,13 +380,33 @@ void ProcSupervisor::pump(std::size_t i) {
         stop_worker(i, /*send_stop=*/false);  // destructor is unwinding
         return;
       }
-      fault_and_respawn(i, assignment.round, frame.status().message());
+      record_fault(i, assignment.round, frame.status().message());
       continue;
     }
     auto reply = wire::decode_from_slave(frame->type, frame->payload, inst_);
     if (!reply) {
-      fault_and_respawn(i, assignment.round, reply.status().message());
+      record_fault(i, assignment.round, reply.status().message());
       continue;
+    }
+    // A frame that decodes but claims a foreign identity is still corruption
+    // (a flipped byte lands in the slave_id/round fields as easily as in a
+    // payload double). Forwarding it would poison the master's rendezvous
+    // accounting — or trip its slave_id range check — so it maps onto the
+    // same fault path as a frame that fails to decode.
+    const auto [claimed_slave, claimed_round] = std::visit(
+        [](const auto& m) { return std::make_pair(m.slave_id, m.round); },
+        *reply);
+    if (claimed_slave != i || claimed_round != assignment.round) {
+      record_fault(i, assignment.round,
+                   "frame claims foreign (slave, round) identity");
+      continue;
+    }
+    {
+      // A completed round is the real health signal: it clears the fault
+      // streak and closes a half-open breaker.
+      std::scoped_lock lock(mutex_);
+      slots_[i].consecutive_faults = 0;
+      slots_[i].breaker_open = false;
     }
     if (!reports_->send(*std::move(reply))) {
       std::scoped_lock lock(mutex_);
@@ -311,6 +414,98 @@ void ProcSupervisor::pump(std::size_t i) {
     }
   }
 }
+
+namespace {
+
+/// Worker-side chaos schedule, parsed from the environment so the chaos
+/// harness (tests/dist, bench/soak_chaos) can misbehave a real pts_worker
+/// without a special build. All off by default; see DESIGN.md §9.
+struct ChaosSettings {
+  std::uint32_t crash_ppm = 0;    ///< P(_exit(9) on assignment) * 1e6
+  std::uint32_t corrupt_ppm = 0;  ///< P(flip a report payload byte) * 1e6
+  std::uint32_t stall_ms = 0;     ///< sleep before every report
+  bool slow_write = false;        ///< trickle report frames in small chunks
+
+  [[nodiscard]] bool any() const {
+    return crash_ppm > 0 || corrupt_ppm > 0 || stall_ms > 0 || slow_write;
+  }
+
+  static std::uint32_t env_u32(const char* name) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') return 0;
+    return static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+  }
+
+  static ChaosSettings from_env() {
+    ChaosSettings s;
+    s.crash_ppm = env_u32("PTS_CHAOS_CRASH_PPM");
+    s.corrupt_ppm = env_u32("PTS_CHAOS_CORRUPT_PPM");
+    s.stall_ms = env_u32("PTS_CHAOS_STALL_MS");
+    s.slow_write = env_u32("PTS_CHAOS_SLOW_WRITE") != 0;
+    return s;
+  }
+};
+
+/// Decorates the worker's transport with scheduled misbehavior. Every fault
+/// mode lands on a supervisor path the production code must already handle:
+/// crash -> EOF, corrupt frame -> decode failure, stall -> heartbeat
+/// timeout, slow write -> framed read reassembly.
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(SocketTransport inner, FrameSocket& socket,
+                 ChaosSettings settings, Rng rng)
+      : inner_(inner), socket_(&socket), settings_(settings), rng_(rng) {}
+
+  [[nodiscard]] std::optional<ToSlave> receive(const CancelToken& token) override {
+    auto message = inner_.receive(token);
+    if (message && std::holds_alternative<Assignment>(*message) &&
+        roll(settings_.crash_ppm)) {
+      // The scheduled "kill": from the supervisor's side indistinguishable
+      // from an OOM kill or a kernel-delivered SIGKILL mid-round.
+      std::_Exit(9);
+    }
+    return message;
+  }
+
+  [[nodiscard]] bool send(FromSlave message) override {
+    if (settings_.stall_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(settings_.stall_ms));
+    }
+    const bool corrupt = roll(settings_.corrupt_ppm);
+    if (!corrupt && !settings_.slow_write) return inner_.send(std::move(message));
+    auto frame = wire::encode_from_slave(message);
+    if (corrupt && frame.size() > wire::kHeaderBytes) {
+      // Flip one payload byte; the header stays valid so the frame passes
+      // header checks and dies in the payload decoder (the hard case).
+      const std::size_t at =
+          wire::kHeaderBytes +
+          static_cast<std::size_t>(rng_.index(frame.size() - wire::kHeaderBytes));
+      frame[at] ^= 0x5A;
+    }
+    if (!settings_.slow_write) return socket_->send_frame(frame).ok();
+    std::span<const std::uint8_t> rest(frame);
+    while (!rest.empty()) {
+      const std::size_t n = std::min<std::size_t>(rest.size(), 7);
+      if (!socket_->send_frame(rest.first(n)).ok()) return false;
+      rest = rest.subspan(n);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] bool roll(std::uint32_t ppm) {
+    if (ppm == 0) return false;
+    return rng_.next_below(1'000'000) < ppm;
+  }
+
+  SocketTransport inner_;
+  FrameSocket* socket_;
+  ChaosSettings settings_;
+  Rng rng_;
+};
+
+}  // namespace
 
 int run_worker(int fd) {
   FrameSocket socket(fd);
@@ -321,6 +516,14 @@ int run_worker(int fd) {
   SocketTransport transport(socket, hello->instance);
   // Drops counted by the loop have nowhere to go from a dying link; the
   // supervisor observes the same event from its side of the socket.
+  const auto chaos = ChaosSettings::from_env();
+  if (chaos.any()) {
+    ChaosTransport chaotic(transport, socket, chaos,
+                           Rng(hello->seed ^ 0xC4A05C4A05ULL)
+                               .derive(hello->slave_id));
+    (void)slave_loop(hello->instance, hello->slave_id, hello->seed, chaotic);
+    return 0;
+  }
   (void)slave_loop(hello->instance, hello->slave_id, hello->seed, transport);
   return 0;
 }

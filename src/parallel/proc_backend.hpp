@@ -12,8 +12,8 @@
 //     │                       ▼                   │
 //     │                 ┌───────────────◀─────────┘ (non-reply outcomes)
 //     └──reply──────────┤ fault: SlaveFault into the report box,
-//        forwarded      │ SIGKILL + reap, eager respawn (bounded)
-//                       └──▶ idle
+//        forwarded      │ SIGKILL + reap, deferred respawn (jittered
+//                       └──▶ idle          exponential backoff + breaker)
 //
 // Fault mapping is the point: a worker that is killed (EOF), hangs past the
 // heartbeat timeout, or emits garbage becomes a SlaveFault for exactly the
@@ -26,6 +26,7 @@
 
 #include <sys/types.h>
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,26 @@ struct ProcOptions {
   /// Respawn budget per slave slot; a slot that exhausts it stays dead and
   /// faults every subsequent round (the master keeps degrading to P-1).
   std::size_t max_respawns_per_slave = 8;
+
+  // -- Recovery policy (DESIGN.md §9). Respawns are deferred, not eager: a
+  //    fault schedules the earliest next respawn attempt with jittered
+  //    exponential backoff, and assignments that arrive before then fault
+  //    immediately WITHOUT consuming the respawn budget — a worker dying
+  //    three times in 100ms costs backoff skips, not three respawns. --
+
+  /// Backoff for the SECOND consecutive fault (an isolated death respawns
+  /// at the next assignment); doubles per further fault up to the cap.
+  /// A deterministic jitter in [0, base) (splitmix64 of seed, slot and fault
+  /// count) decorrelates a storm of slots all dying at once.
+  double respawn_backoff_base_seconds = 0.05;
+  double respawn_backoff_cap_seconds = 2.0;
+
+  /// Circuit breaker: this many faults, each within `breaker_window_seconds`
+  /// of the previous one, open the breaker for `breaker_cooloff_seconds` —
+  /// no respawn attempts at all until it half-opens. 0 disables the breaker.
+  std::size_t breaker_threshold = 3;
+  double breaker_window_seconds = 1.0;
+  double breaker_cooloff_seconds = 5.0;
 };
 
 /// Supervisor-side counters (the master-side fault/respawn counters live in
@@ -59,6 +80,10 @@ struct ProcStats {
   std::size_t workers_spawned = 0;   ///< initial spawns + respawns
   std::size_t worker_respawns = 0;   ///< replacements after a fault
   std::uint64_t dropped_messages = 0;///< forwards lost on a closed report box
+  /// Assignments faulted fast because the slot was in backoff or breaker
+  /// cooloff — rounds that did NOT consume respawn budget.
+  std::size_t respawn_backoff_skips = 0;
+  std::size_t breaker_opens = 0;     ///< circuit-breaker trips
 };
 
 /// Resolution order: $PTS_WORKER_BIN, then pts_worker next to the current
@@ -102,11 +127,21 @@ class ProcSupervisor {
     FrameSocket socket;
     pid_t pid = -1;
     std::size_t respawns = 0;
+    // Recovery-policy bookkeeping (guarded by mutex_).
+    std::size_t consecutive_faults = 0;  ///< reset by a completed round
+    std::size_t fault_serial = 0;        ///< total faults (jitter stream index)
+    std::chrono::steady_clock::time_point last_fault_at{};
+    std::chrono::steady_clock::time_point respawn_not_before{};
+    bool breaker_open = false;
+    std::chrono::steady_clock::time_point breaker_until{};
   };
 
   [[nodiscard]] Status spawn_worker(std::size_t i);
   void stop_worker(std::size_t i, bool send_stop);
-  void fault_and_respawn(std::size_t i, std::size_t round, const std::string& why);
+  void record_fault(std::size_t i, std::size_t round, const std::string& why);
+  /// Dead-slot policy decision at assignment time: respawn now (half-open
+  /// probe / backoff elapsed), or fault fast with `reason` set.
+  [[nodiscard]] bool may_respawn_now(std::size_t i, std::string& reason);
   void pump(std::size_t i);
 
   const mkp::Instance& inst_;

@@ -124,6 +124,10 @@ ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
   master_config.target_value = config.target_value;
   master_config.time_limit_seconds = config.time_limit_seconds;
   master_config.cancel = config.cancel;
+  master_config.checkpoint_path = config.checkpoint_path;
+  master_config.checkpoint_every_rounds = config.checkpoint_every_rounds;
+  master_config.resume = config.resume;
+  master_config.degrade_after_faults = config.degrade_after_faults;
 
   MasterResult master_result{mkp::Solution(inst)};
   ProcStats proc_stats;

@@ -91,9 +91,23 @@ struct ParallelConfig {
   /// Slave execution backend; ignored for SEQ (which has no slaves).
   Backend backend = Backend::kThread;
 
-  /// Process-backend knobs (worker binary, heartbeat, respawn budget);
-  /// unused by the thread backend.
+  /// Process-backend knobs (worker binary, heartbeat, respawn budget,
+  /// recovery policy); unused by the thread backend.
   ProcOptions proc;
+
+  /// Crash safety (DESIGN.md §9): non-empty = checkpoint the master state
+  /// here every `checkpoint_every_rounds` rounds. SEQ has no master and
+  /// ignores both. See MasterConfig::checkpoint_path.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every_rounds = 1;
+
+  /// Resume from an already-loaded checkpoint (caller validates it with
+  /// snapshot::check_compatible and keeps it alive for the run).
+  const snapshot::MasterCheckpoint* resume = nullptr;
+
+  /// Retire a slave after this many back-to-back faulted rounds
+  /// (see MasterConfig::degrade_after_faults); 0 = never retire.
+  std::size_t degrade_after_faults = 0;
 };
 
 struct ParallelResult {

@@ -1,6 +1,8 @@
 #include "parallel/slave.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/trace.hpp"
 #include "tabu/engine.hpp"
@@ -65,6 +67,12 @@ SlaveLoopStats slave_loop(const mkp::Instance& inst, std::size_t slave_id,
     // escape into a SlaveFault so the master still gets one message for this
     // (slave, round) and can degrade gracefully instead of hanging.
     try {
+      if (fault && fault->stall_seconds) {
+        const double stall = fault->stall_seconds(slave_id, assignment.round);
+        if (stall > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+        }
+      }
       if (fault && fault->should_throw &&
           fault->should_throw(slave_id, assignment.round)) {
         throw std::runtime_error("injected slave fault");

@@ -7,116 +7,19 @@
 
 namespace pts::parallel::wire {
 
+// Byte-level primitives live in parallel/codec.hpp, shared with the on-disk
+// snapshot and journal formats so the fuzz tests here pin all three down.
+using codec::Reader;
+using codec::Writer;
+
 namespace {
-
-// ---------------------------------------------------------------------------
-// Primitives. The writer appends little-endian scalars to a byte buffer; the
-// reader consumes them with bounds checking, latching an error instead of
-// reading past the end — decode code reads every field unconditionally and
-// checks ok() once, so a truncation anywhere surfaces as one Status.
-// ---------------------------------------------------------------------------
-
-class Writer {
- public:
-  void u8(std::uint8_t v) { out_.push_back(v); }
-  void u16(std::uint16_t v) { raw(&v, sizeof v); }
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void u64(std::uint64_t v) { raw(&v, sizeof v); }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_.insert(out_.end(), s.begin(), s.end());
-  }
-  void f64_span(std::span<const double> values) {
-    for (const double v : values) f64(v);
-  }
-
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
-  [[nodiscard]] std::size_t size() const { return out_.size(); }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    const auto* bytes = static_cast<const std::uint8_t*>(p);
-    // Little-endian host assumed (x86/ARM Linux); static_assert the premise.
-    static_assert(std::endian::native == std::endian::little,
-                  "wire format is little-endian; add byte swaps for this host");
-    out_.insert(out_.end(), bytes, bytes + n);
-  }
-
-  std::vector<std::uint8_t> out_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  std::uint8_t u8() { return take<std::uint8_t>(); }
-  std::uint16_t u16() { return take<std::uint16_t>(); }
-  std::uint32_t u32() { return take<std::uint32_t>(); }
-  std::uint64_t u64() { return take<std::uint64_t>(); }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  std::string str(std::size_t max_len) {
-    const auto len = u32();
-    if (len > max_len || len > remaining()) {
-      ok_ = false;
-      return {};
-    }
-    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
-    pos_ += len;
-    return s;
-  }
-
-  std::vector<double> f64_vec(std::size_t count) {
-    std::vector<double> v;
-    if (count > remaining() / sizeof(double)) {
-      ok_ = false;
-      return v;
-    }
-    v.reserve(count);
-    for (std::size_t k = 0; k < count; ++k) v.push_back(f64());
-    return v;
-  }
-
-  /// Bound check for a count prefix: every element needs at least
-  /// `min_element_bytes` more input, so a count beyond remaining/min is
-  /// corrupt regardless of content — reject before reserving anything.
-  [[nodiscard]] bool plausible_count(std::uint64_t count,
-                                     std::size_t min_element_bytes) {
-    if (min_element_bytes == 0) min_element_bytes = 1;
-    if (count > remaining() / min_element_bytes) ok_ = false;
-    return ok_;
-  }
-
-  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
-  [[nodiscard]] bool ok() const { return ok_; }
-  [[nodiscard]] bool done() const { return ok_ && pos_ == bytes_.size(); }
-
- private:
-  template <typename T>
-  T take() {
-    if (remaining() < sizeof(T)) {
-      ok_ = false;
-      pos_ = bytes_.size();
-      return T{};
-    }
-    T v;
-    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return v;
-  }
-
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
 
 Status truncated(const char* what) {
   return Status::invalid_argument(std::string("wire: truncated or corrupt ") +
                                   what + " payload");
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Sub-codecs. put_* appends into an open Writer; get_* consumes from a
@@ -186,6 +89,45 @@ tabu::Strategy get_strategy(Reader& r) {
   s.nb_candidates = static_cast<std::size_t>(r.u64());
   return s;
 }
+
+void put_instance(Writer& w, const mkp::Instance& inst) {
+  w.str(inst.name());
+  w.u32(static_cast<std::uint32_t>(inst.num_items()));
+  w.u32(static_cast<std::uint32_t>(inst.num_constraints()));
+  w.f64_span(inst.profits());
+  for (std::size_t i = 0; i < inst.num_constraints(); ++i) {
+    w.f64_span(inst.weights_row(i));
+  }
+  w.f64_span(inst.capacities());
+  w.u8(inst.known_optimum().has_value() ? 1 : 0);
+  w.f64(inst.known_optimum().value_or(0.0));
+}
+
+Expected<mkp::Instance> get_instance(Reader& r) {
+  auto name = r.str(/*max_len=*/4096);
+  const auto n = r.u32();
+  const auto m = r.u32();
+  if (!r.ok()) return truncated("instance");
+  if (n == 0 || m == 0) {
+    return Status::invalid_argument("wire: serialized instance is empty");
+  }
+  // Every matrix entry still has to fit in the remaining payload.
+  if (!r.plausible_count(static_cast<std::uint64_t>(n) * m + n + m, 8)) {
+    return truncated("instance matrix");
+  }
+  auto profits = r.f64_vec(n);
+  auto weights = r.f64_vec(static_cast<std::size_t>(n) * m);
+  auto capacities = r.f64_vec(m);
+  const bool has_opt = r.u8() != 0;
+  const double opt = r.f64();
+  if (!r.ok()) return truncated("instance");
+  mkp::Instance inst(std::move(name), std::move(profits), std::move(weights),
+                     std::move(capacities));
+  if (has_opt) inst.set_known_optimum(opt);
+  return inst;
+}
+
+namespace {
 
 void put_params(Writer& w, const tabu::TsParams& p) {
   put_strategy(w, p.strategy);
@@ -291,17 +233,7 @@ std::vector<std::uint8_t> encode_hello(const Hello& hello) {
   Writer w;
   w.u32(hello.slave_id);
   w.u64(hello.seed);
-  const auto& inst = hello.instance;
-  w.str(inst.name());
-  w.u32(static_cast<std::uint32_t>(inst.num_items()));
-  w.u32(static_cast<std::uint32_t>(inst.num_constraints()));
-  w.f64_span(inst.profits());
-  for (std::size_t i = 0; i < inst.num_constraints(); ++i) {
-    w.f64_span(inst.weights_row(i));
-  }
-  w.f64_span(inst.capacities());
-  w.u8(inst.known_optimum().has_value() ? 1 : 0);
-  w.f64(inst.known_optimum().value_or(0.0));
+  put_instance(w, hello.instance);
   return finish_frame(MessageType::kHello, std::move(w));
 }
 
@@ -309,27 +241,11 @@ Expected<Hello> decode_hello(std::span<const std::uint8_t> payload) {
   Reader r(payload);
   const auto slave_id = r.u32();
   const auto seed = r.u64();
-  auto name = r.str(/*max_len=*/4096);
-  const auto n = r.u32();
-  const auto m = r.u32();
   if (!r.ok()) return truncated("hello");
-  if (n == 0 || m == 0) {
-    return Status::invalid_argument("wire: hello with an empty instance");
-  }
-  // Every matrix entry still has to fit in the remaining payload.
-  if (!r.plausible_count(static_cast<std::uint64_t>(n) * m + n + m, 8)) {
-    return truncated("hello matrix");
-  }
-  auto profits = r.f64_vec(n);
-  auto weights = r.f64_vec(static_cast<std::size_t>(n) * m);
-  auto capacities = r.f64_vec(m);
-  const bool has_opt = r.u8() != 0;
-  const double opt = r.f64();
+  auto inst = get_instance(r);
+  if (!inst) return inst.status();
   if (!r.done()) return truncated("hello");
-  mkp::Instance inst(std::move(name), std::move(profits), std::move(weights),
-                     std::move(capacities));
-  if (has_opt) inst.set_known_optimum(opt);
-  return Hello{slave_id, seed, std::move(inst)};
+  return Hello{slave_id, seed, *std::move(inst)};
 }
 
 std::vector<std::uint8_t> encode_to_slave(const ToSlave& message) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "mkp/instance.hpp"
+#include "parallel/codec.hpp"
 #include "parallel/comm.hpp"
 #include "util/status.hpp"
 
@@ -107,5 +108,27 @@ struct Hello {
     const tabu::Strategy& strategy);
 [[nodiscard]] Expected<tabu::Strategy> decode_strategy(
     std::span<const std::uint8_t> bytes);
+
+// -- Open-stream sub-codecs over the shared codec (parallel/codec.hpp).
+//    The crash-safe snapshot (parallel/snapshot.cpp) and the job journal
+//    (service/journal.cpp) embed these mid-stream inside their own CRC-
+//    guarded containers; the frame encoders above wrap the same functions,
+//    so one set of byte layouts serves the socket and the disk. get_* latch
+//    failures in the reader (or return a Status where rebuilding needs an
+//    instance); callers check once, per the total-decoder convention. --
+
+void put_solution(codec::Writer& w, const mkp::Solution& solution);
+[[nodiscard]] Expected<mkp::Solution> get_solution(codec::Reader& r,
+                                                   const mkp::Instance& inst);
+
+void put_strategy(codec::Writer& w, const tabu::Strategy& strategy);
+[[nodiscard]] tabu::Strategy get_strategy(codec::Reader& r);
+
+/// The instance section of the Hello handshake (name, sizes, profits,
+/// weights, capacities, known optimum), reusable standalone: the journal
+/// persists submitted jobs' instances with it, and the snapshot fingerprints
+/// the running instance by hashing these bytes.
+void put_instance(codec::Writer& w, const mkp::Instance& inst);
+[[nodiscard]] Expected<mkp::Instance> get_instance(codec::Reader& r);
 
 }  // namespace pts::parallel::wire

@@ -21,6 +21,14 @@ namespace pts::service {
 
 using JobId = std::uint64_t;
 
+/// How a job entered the service. kResumed jobs were replayed from the job
+/// journal after a crash or restart (DESIGN.md §9); they run identically to
+/// fresh jobs, the tag only surfaces provenance in JobResult and stats.
+enum class JobOrigin : std::uint8_t {
+  kFresh = 0,
+  kResumed = 1,
+};
+
 struct JobOptions {
   /// Named preset resolving the search shape; an unknown name resolves the
   /// job's future to kInvalidArgument immediately — never an abort.
@@ -51,6 +59,8 @@ struct JobOptions {
 /// never leaves a future unresolved, including through shutdown.
 struct JobResult {
   JobId id = 0;
+  /// kResumed when this job was re-enqueued from the journal on restart.
+  JobOrigin origin = JobOrigin::kFresh;
   /// OK: ran its budget (or hit its target). kDeadlineExceeded/kCancelled
   /// still carry the best found if the job got to run at all.
   /// kInvalidArgument (bad options), kResourceExhausted (queue backpressure)
@@ -96,6 +106,13 @@ struct ServiceConfig {
   /// Bounded backlog of not-yet-running jobs; overflow applies `overflow`.
   std::size_t queue_capacity = 64;
   OverflowPolicy overflow = OverflowPolicy::kRejectNew;
+  /// Crash safety (DESIGN.md §9): non-empty = journal every accepted job and
+  /// every terminal resolution here. On construction the service replays the
+  /// file and re-enqueues the jobs whose futures never resolved (including
+  /// jobs the previous incarnation's shutdown() cancelled) as
+  /// JobOrigin::kResumed; their futures come back via take_recovered().
+  /// Journaling is best-effort: an unwritable path degrades to no journal.
+  std::string journal_path;
   /// Test-only: forwarded to every job's slaves (see parallel/comm.hpp).
   const parallel::FaultInjector* fault_injector = nullptr;
 };
@@ -109,6 +126,7 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;         ///< resolved kCancelled / kUnavailable
   std::uint64_t deadline_expired = 0;  ///< resolved kDeadlineExceeded
   std::uint64_t slave_faults = 0;      ///< summed over finished runs
+  std::uint64_t resumed = 0;           ///< re-enqueued from the journal
 };
 
 }  // namespace pts::service

@@ -1,0 +1,243 @@
+#include "service/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "parallel/runner.hpp"
+#include "parallel/wire.hpp"
+#include "util/crc32.hpp"
+
+namespace pts::service::journal {
+
+namespace {
+
+using parallel::codec::Reader;
+using parallel::codec::Writer;
+
+constexpr std::uint8_t kMagic[4] = {'P', 'T', 'S', 'J'};
+
+Status io_error(const std::string& what) {
+  return Status::internal("journal: " + what + ": " + std::strerror(errno));
+}
+
+/// write(2) until done; short writes happen on signals even for regular files.
+bool write_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const auto n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void put_job_options(Writer& w, const JobOptions& options) {
+  w.str(options.preset);
+  w.f64(options.time_budget_seconds);
+  w.u8(options.deadline_seconds.has_value() ? 1 : 0);
+  w.f64(options.deadline_seconds.value_or(0.0));
+  w.i32(options.priority);
+  w.u64(options.seed);
+  w.u8(options.target_value.has_value() ? 1 : 0);
+  w.f64(options.target_value.value_or(0.0));
+  w.u8(options.mode.has_value() ? 1 : 0);
+  w.u8(options.mode ? static_cast<std::uint8_t>(*options.mode) : 0);
+  w.u8(options.backend.has_value() ? 1 : 0);
+  w.u8(options.backend ? static_cast<std::uint8_t>(*options.backend) : 0);
+  // The proc farm shape: a resumed proc job must respawn the same workers
+  // under the same recovery policy.
+  w.str(options.proc.worker_path);
+  w.f64(options.proc.worker_timeout_seconds);
+  w.u64(options.proc.max_respawns_per_slave);
+  w.f64(options.proc.respawn_backoff_base_seconds);
+  w.f64(options.proc.respawn_backoff_cap_seconds);
+  w.u64(options.proc.breaker_threshold);
+  w.f64(options.proc.breaker_window_seconds);
+  w.f64(options.proc.breaker_cooloff_seconds);
+}
+
+Expected<JobOptions> get_job_options(Reader& r) {
+  JobOptions o;
+  o.preset = r.str(/*max_len=*/256);
+  o.time_budget_seconds = r.f64();
+  const bool has_deadline = r.u8() != 0;
+  const double deadline = r.f64();
+  if (has_deadline) o.deadline_seconds = deadline;
+  o.priority = r.i32();
+  o.seed = r.u64();
+  const bool has_target = r.u8() != 0;
+  const double target = r.f64();
+  if (has_target) o.target_value = target;
+  const bool has_mode = r.u8() != 0;
+  const auto mode = r.u8();
+  const bool has_backend = r.u8() != 0;
+  const auto backend = r.u8();
+  o.proc.worker_path = r.str(/*max_len=*/4096);
+  o.proc.worker_timeout_seconds = r.f64();
+  o.proc.max_respawns_per_slave = static_cast<std::size_t>(r.u64());
+  o.proc.respawn_backoff_base_seconds = r.f64();
+  o.proc.respawn_backoff_cap_seconds = r.f64();
+  o.proc.breaker_threshold = static_cast<std::size_t>(r.u64());
+  o.proc.breaker_window_seconds = r.f64();
+  o.proc.breaker_cooloff_seconds = r.f64();
+  if (!r.ok()) {
+    return Status::invalid_argument("journal: truncated or corrupt job options");
+  }
+  if (has_mode) {
+    if (mode > static_cast<std::uint8_t>(
+                   parallel::CooperationMode::kCooperativeAdaptive)) {
+      return Status::invalid_argument("journal: unknown cooperation mode " +
+                                      std::to_string(mode));
+    }
+    o.mode = static_cast<parallel::CooperationMode>(mode);
+  }
+  if (has_backend) {
+    if (backend > static_cast<std::uint8_t>(parallel::Backend::kProcess)) {
+      return Status::invalid_argument("journal: unknown backend " +
+                                      std::to_string(backend));
+    }
+    o.backend = static_cast<parallel::Backend>(backend);
+  }
+  return o;
+}
+
+JobJournal::~JobJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Expected<std::unique_ptr<JobJournal>> JobJournal::open_truncate(
+    const std::string& path) {
+  if (path.empty()) {
+    return Status::invalid_argument("journal: empty journal path");
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_error("open " + path);
+  Writer w;
+  for (const auto b : kMagic) w.u8(b);
+  w.u8(kJournalVersion);
+  const auto header = w.take();
+  if (!write_all(fd, header) || ::fsync(fd) != 0) {
+    const auto status = io_error("write header " + path);
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<JobJournal>(new JobJournal(fd));
+}
+
+Status JobJournal::append(RecordType type, const std::vector<std::uint8_t>& body) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(crc32(body));
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.bytes(body);
+  const auto frame = w.take();
+  std::lock_guard lock(mutex_);
+  // One write, then fsync: a crash can tear at most the tail record, which
+  // the reader detects (CRC) and discards — the replay contract.
+  if (!write_all(fd_, frame)) return io_error("append");
+  if (::fsync(fd_) != 0) return io_error("fsync");
+  return Status{};
+}
+
+Status JobJournal::append_submitted(JobId id, const mkp::Instance& instance,
+                                    const JobOptions& options) {
+  Writer w;
+  w.u64(id);
+  parallel::wire::put_instance(w, instance);
+  put_job_options(w, options);
+  return append(RecordType::kSubmitted, w.take());
+}
+
+Status JobJournal::append_resolved(JobId id) {
+  Writer w;
+  w.u64(id);
+  return append(RecordType::kResolved, w.take());
+}
+
+Expected<std::vector<RecoveredJob>> recover_jobs(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::vector<RecoveredJob>{};  // fresh start
+    return io_error("open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const auto n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const auto status = io_error("read " + path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+
+  if (bytes.empty()) return std::vector<RecoveredJob>{};
+  if (bytes.size() < kJournalHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::invalid_argument("journal: bad magic (not a job journal)");
+  }
+  if (bytes[4] != kJournalVersion) {
+    return Status::invalid_argument(
+        "journal: unsupported version " + std::to_string(bytes[4]) +
+        " (expected " + std::to_string(kJournalVersion) + ")");
+  }
+
+  // Replay. Ordered map keyed by the old id keeps submission order; a
+  // resolved record erases its submission. Any malformed record is treated
+  // as the torn tail of a crashed append: stop there, trust what came before.
+  std::map<JobId, RecoveredJob> open;
+  std::span<const std::uint8_t> rest =
+      std::span(bytes).subspan(kJournalHeaderBytes);
+  while (rest.size() >= kRecordHeaderBytes) {
+    Reader header(rest.first(kRecordHeaderBytes));
+    const auto type = header.u8();
+    const auto crc = header.u32();
+    const auto body_len = header.u32();
+    if (body_len > kMaxRecordBytes ||
+        body_len > rest.size() - kRecordHeaderBytes) {
+      break;  // torn tail
+    }
+    const auto body = rest.subspan(kRecordHeaderBytes, body_len);
+    if (crc32(body) != crc) break;  // torn tail
+    rest = rest.subspan(kRecordHeaderBytes + body_len);
+
+    if (type == static_cast<std::uint8_t>(RecordType::kResolved)) {
+      Reader r(body);
+      const auto id = r.u64();
+      if (!r.done()) break;
+      open.erase(id);
+      continue;
+    }
+    if (type != static_cast<std::uint8_t>(RecordType::kSubmitted)) {
+      break;  // unknown record type: written by a future version, stop
+    }
+    Reader r(body);
+    const auto id = r.u64();
+    auto instance = parallel::wire::get_instance(r);
+    if (!instance) break;
+    auto options = get_job_options(r);
+    if (!options || !r.done()) break;
+    open.insert_or_assign(
+        id, RecoveredJob{id, *std::move(instance), *std::move(options)});
+  }
+
+  std::vector<RecoveredJob> out;
+  out.reserve(open.size());
+  for (auto& [id, job] : open) out.push_back(std::move(job));
+  return out;
+}
+
+}  // namespace pts::service::journal

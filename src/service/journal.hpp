@@ -1,0 +1,104 @@
+#pragma once
+// Crash-safe job journal for the solver service (DESIGN.md §9). An append-
+// only log of two record kinds — "job submitted" (with the full instance and
+// options, enough to re-run it) and "job resolved" — so a service that is
+// killed mid-flight can replay the file on restart and re-enqueue exactly
+// the jobs whose futures never resolved. Those jobs re-enter the queue as
+// JobOrigin::kResumed.
+//
+// Format. One file header (magic 'PTSJ', version byte), then records:
+//
+//   u8 type | u32 crc32(body) | u32 body_len | body
+//
+// Appends are written with a single write(2) followed by fsync, so a crash
+// leaves at most one torn record — always at the tail. The reader treats any
+// malformed tail (short header, impossible length, CRC mismatch) as the
+// crash point and cleanly stops there; everything before it is trusted. The
+// journal therefore gives at-least-once semantics: a job resolved in the
+// instant between its run and the resolved-record fsync runs again after
+// restart, which is safe because solves are idempotent.
+//
+// The instance travels via wire::put_instance / get_instance and the options
+// via the codec conventions of parallel/codec.hpp, so the journal inherits
+// the bounds-checked total-decoder behavior the wire fuzz tests pin down.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mkp/instance.hpp"
+#include "parallel/codec.hpp"
+#include "service/job.hpp"
+#include "util/status.hpp"
+
+namespace pts::service::journal {
+
+inline constexpr std::uint8_t kJournalVersion = 1;
+/// File header: 4 magic bytes + 1 version byte.
+inline constexpr std::size_t kJournalHeaderBytes = 5;
+/// Record frame: type (1) + crc (4) + body_len (4).
+inline constexpr std::size_t kRecordHeaderBytes = 9;
+/// Per-record body ceiling — far above any real instance, far below an
+/// allocation that a corrupt length prefix could weaponize.
+inline constexpr std::uint64_t kMaxRecordBytes = 256ull << 20;
+
+enum class RecordType : std::uint8_t {
+  kSubmitted = 1,  ///< body: job id + instance + options
+  kResolved = 2,   ///< body: job id (the future resolved, any status)
+};
+
+/// A submission that survived replay: journaled but never resolved.
+struct RecoveredJob {
+  JobId id = 0;  ///< id in the previous incarnation (resubmit assigns a new one)
+  mkp::Instance instance;
+  JobOptions options;
+};
+
+/// Append-only journal writer. Thread-safe: the service appends from the
+/// submit path, the scheduler and every job thread.
+class JobJournal {
+ public:
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Creates (or truncates) `path` and writes the file header. Recovery
+  /// reads the old journal FIRST (recover_jobs), then truncates — the
+  /// surviving jobs are re-appended by the service as it resubmits them,
+  /// which compacts the log on every restart.
+  [[nodiscard]] static Expected<std::unique_ptr<JobJournal>> open_truncate(
+      const std::string& path);
+
+  /// Journals an accepted submission (id + everything needed to re-run it).
+  Status append_submitted(JobId id, const mkp::Instance& instance,
+                          const JobOptions& options);
+
+  /// Journals a terminal resolution; the pair (submitted, resolved) cancels
+  /// out at replay. Shutdown-caused resolutions are deliberately NOT
+  /// journaled by the service, so those jobs recover on restart.
+  Status append_resolved(JobId id);
+
+ private:
+  explicit JobJournal(int fd) : fd_(fd) {}
+  Status append(RecordType type, const std::vector<std::uint8_t>& body);
+
+  std::mutex mutex_;
+  int fd_ = -1;
+};
+
+/// Replays `path`: every kSubmitted record without a matching kResolved
+/// record survives, in submission order. A missing file is an empty journal
+/// (fresh start), and a torn or corrupt tail record ends the replay cleanly;
+/// a bad file header (foreign magic, unknown version) is an error.
+[[nodiscard]] Expected<std::vector<RecoveredJob>> recover_jobs(
+    const std::string& path);
+
+// -- Sub-codecs, exposed for the recover-label fuzz tests. --
+
+void put_job_options(parallel::codec::Writer& w, const JobOptions& options);
+[[nodiscard]] Expected<JobOptions> get_job_options(parallel::codec::Reader& r);
+
+}  // namespace pts::service::journal

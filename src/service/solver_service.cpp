@@ -15,6 +15,8 @@ using namespace std::chrono_literals;
 /// is resolved exactly once, by whichever path terminates the job.
 struct SolverService::Job {
   JobId id = 0;
+  JobOrigin origin = JobOrigin::kFresh;
+  bool journaled = false;  ///< has a kSubmitted record awaiting its strike
   std::shared_ptr<const mkp::Instance> instance;
   JobOptions options;
   parallel::ParallelConfig config;  ///< resolved at submit; budget set at dispatch
@@ -25,11 +27,34 @@ struct SolverService::Job {
   std::promise<JobResult> promise;
 };
 
-SolverService::SolverService(ServiceConfig config) : config_(config) {
+SolverService::SolverService(ServiceConfig config) : config_(std::move(config)) {
   PTS_CHECK_MSG(config_.num_workers >= 1, "the pool needs at least one worker");
   PTS_CHECK_MSG(config_.queue_capacity >= 1, "the queue needs at least one slot");
   free_slots_ = config_.num_workers;
+
+  // Crash recovery: replay the previous incarnation's journal BEFORE
+  // truncating it, then re-enqueue every job whose future never resolved.
+  // Resubmitting re-journals the survivors, which compacts the log.
+  std::vector<journal::RecoveredJob> replayed;
+  if (!config_.journal_path.empty()) {
+    auto jobs = journal::recover_jobs(config_.journal_path);
+    if (jobs) {
+      replayed = std::move(*jobs);
+      if (auto opened = journal::JobJournal::open_truncate(config_.journal_path)) {
+        journal_ = std::move(*opened);
+      }
+    }
+    // A file that is not a job journal (bad magic/version) is left untouched
+    // and journaling stays off — never truncate what we cannot parse.
+  }
+
   scheduler_ = std::thread([this] { scheduler_loop(); });
+
+  for (auto& job : replayed) {
+    recovered_.push_back(submit_impl(
+        std::make_shared<const mkp::Instance>(std::move(job.instance)),
+        std::move(job.options), JobOrigin::kResumed));
+  }
 }
 
 SolverService::~SolverService() { shutdown(); }
@@ -37,17 +62,27 @@ SolverService::~SolverService() { shutdown(); }
 SolverService::Submission SolverService::submit(mkp::Instance instance,
                                                 JobOptions options) {
   return submit_impl(std::make_shared<const mkp::Instance>(std::move(instance)),
-                     std::move(options));
+                     std::move(options), JobOrigin::kFresh);
 }
 
 SolverService::Submission SolverService::submit(
     std::shared_ptr<const mkp::Instance> instance, JobOptions options) {
-  return submit_impl(std::move(instance), std::move(options));
+  return submit_impl(std::move(instance), std::move(options), JobOrigin::kFresh);
+}
+
+std::vector<SolverService::Submission> SolverService::take_recovered() {
+  std::lock_guard lock(mutex_);
+  return std::move(recovered_);
+}
+
+void SolverService::journal_resolved(const Job& job) {
+  if (journal_ && job.journaled) (void)journal_->append_resolved(job.id);
 }
 
 void SolverService::resolve_without_run(Job& job, Status status) {
   JobResult result;
   result.id = job.id;
+  result.origin = job.origin;
   result.status = std::move(status);
   result.instance = job.instance;
   result.queue_seconds = job.since_submit.elapsed_seconds();
@@ -55,8 +90,10 @@ void SolverService::resolve_without_run(Job& job, Status status) {
 }
 
 SolverService::Submission SolverService::submit_impl(
-    std::shared_ptr<const mkp::Instance> instance, JobOptions options) {
+    std::shared_ptr<const mkp::Instance> instance, JobOptions options,
+    JobOrigin origin) {
   auto job = std::make_shared<Job>();
+  job->origin = origin;
   job->instance = std::move(instance);
   job->options = std::move(options);
 
@@ -66,6 +103,7 @@ SolverService::Submission SolverService::submit_impl(
     std::lock_guard lock(mutex_);
     job->id = next_id_++;
     ++stats_.submitted;
+    if (origin == JobOrigin::kResumed) ++stats_.resumed;
   }
   out.id = job->id;
 
@@ -148,11 +186,19 @@ SolverService::Submission SolverService::submit_impl(
         shed = *weakest;
         queue_.erase(weakest);
         queue_.push_back(job);
+        // Journaled under the lock: the job is not dispatchable until the
+        // unlock below, so its kSubmitted record always precedes any strike.
+        if (journal_ && journal_->append_submitted(job->id, *job->instance,
+                                                   job->options)
+                            .ok()) {
+          job->journaled = true;
+        }
       }
     }
     ++stats_.rejected;
     lock.unlock();
     if (shed) {
+      journal_resolved(*shed);
       resolve_without_run(*shed,
                           Status::resource_exhausted(
                               "shed by a higher-priority submission (queue full)"));
@@ -166,6 +212,12 @@ SolverService::Submission SolverService::submit_impl(
     return out;
   }
   queue_.push_back(job);
+  // Journaled under the lock (see the shed branch above for the ordering
+  // argument). A failed append leaves the job un-journaled but still runs it.
+  if (journal_ &&
+      journal_->append_submitted(job->id, *job->instance, job->options).ok()) {
+    job->journaled = true;
+  }
   lock.unlock();
   wake_.notify_all();
   return out;
@@ -180,6 +232,7 @@ bool SolverService::cancel(JobId id) {
     queue_.erase(queued);
     ++stats_.cancelled;
     lock.unlock();
+    journal_resolved(*job);
     resolve_without_run(*job, Status::cancelled("cancelled while queued"));
     return true;
   }
@@ -209,6 +262,8 @@ void SolverService::shutdown() {
   }
   wake_.notify_all();
   for (auto& job : to_resolve) {
+    // Deliberately NOT struck from the journal: a queued job cancelled by
+    // shutdown is exactly what the next incarnation should resume.
     resolve_without_run(*job, Status::cancelled("service shutting down"));
   }
   if (scheduler_.joinable()) scheduler_.join();
@@ -238,6 +293,7 @@ void SolverService::sweep_queue_locked() {
       queue_[k] = queue_.back();
       queue_.pop_back();
       ++stats_.deadline_expired;
+      journal_resolved(*job);
       resolve_without_run(*job,
                           Status::deadline_exceeded("deadline passed while queued"));
     } else {
@@ -303,6 +359,7 @@ void SolverService::run_job(const std::shared_ptr<Job>& job,
                             std::uint64_t start_sequence) {
   JobResult result;
   result.id = job->id;
+  result.origin = job->origin;
   result.instance = job->instance;
   result.queue_seconds = job->since_submit.elapsed_seconds();
   result.start_sequence = start_sequence;
@@ -340,6 +397,7 @@ void SolverService::run_job(const std::shared_ptr<Job>& job,
       ++stats_.cancelled;
     }
     wake_.notify_all();
+    journal_resolved(*job);
     job->promise.set_value(std::move(result));
     return;
   }
@@ -367,6 +425,7 @@ void SolverService::run_job(const std::shared_ptr<Job>& job,
   // future is ready" implies "cancel(id) returns false". The scheduler may
   // join this thread before set_value runs; that is fine — the join only
   // waits for the return below, and no lock is held past this block.
+  bool strike = true;
   {
     std::lock_guard lock(mutex_);
     free_slots_ += job->slots;
@@ -379,8 +438,12 @@ void SolverService::run_job(const std::shared_ptr<Job>& job,
       case StatusCode::kDeadlineExceeded: ++stats_.deadline_expired; break;
       default: break;
     }
+    // A run cancelled by shutdown stays open in the journal so the next
+    // incarnation re-runs it from scratch (solves are idempotent).
+    strike = !(stopping_ && result.status.code() == StatusCode::kCancelled);
   }
   wake_.notify_all();
+  if (strike) journal_resolved(*job);
   job->promise.set_value(std::move(result));
 }
 

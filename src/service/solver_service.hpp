@@ -22,6 +22,12 @@
 // record (see parallel/master.cpp). The service surfaces the per-job fault
 // count in JobResult and aggregates it in ServiceStats.
 //
+// Crash safety. With ServiceConfig::journal_path set, every accepted job is
+// journaled at submit and struck at terminal resolution — EXCEPT resolutions
+// caused by shutdown(), which are deliberately left open so a restarted
+// service replays them. The constructor re-enqueues the survivors as
+// JobOrigin::kResumed; take_recovered() hands their futures to the caller.
+//
 // DESIGN.md §7 covers the full design; examples/batch_server.cpp drives a
 // mixed workload through it.
 
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "service/job.hpp"
+#include "service/journal.hpp"
 #include "util/cancel.hpp"
 #include "util/timer.hpp"
 
@@ -68,8 +75,14 @@ class SolverService {
 
   /// Stops accepting work, cancels every queued and running job, and joins
   /// all threads. Every outstanding future resolves. Idempotent; the
-  /// destructor calls it.
+  /// destructor calls it. Journaled jobs it cancels stay open in the journal
+  /// and come back as kResumed in the next incarnation.
   void shutdown();
+
+  /// Jobs replayed from the journal and re-enqueued by the constructor, in
+  /// their original submission order. Single-shot: moves the submissions
+  /// (with their futures) out; later calls return empty.
+  [[nodiscard]] std::vector<Submission> take_recovered();
 
   [[nodiscard]] std::size_t queued_jobs() const;
   [[nodiscard]] std::size_t running_jobs() const;
@@ -79,7 +92,10 @@ class SolverService {
   struct Job;
 
   Submission submit_impl(std::shared_ptr<const mkp::Instance> instance,
-                         JobOptions options);
+                         JobOptions options, JobOrigin origin);
+  /// Strikes a journaled job's submission record (no-op when journaling is
+  /// off or the job never made it into the journal).
+  void journal_resolved(const Job& job);
   void scheduler_loop();
   void dispatch_ready_locked();
   void sweep_queue_locked();
@@ -101,6 +117,10 @@ class SolverService {
   std::uint64_t next_start_sequence_ = 1;
   bool stopping_ = false;
   ServiceStats stats_;
+
+  /// Null when journaling is off (empty path or the journal failed to open).
+  std::unique_ptr<journal::JobJournal> journal_;
+  std::vector<Submission> recovered_;  ///< replayed jobs, until take_recovered()
 
   std::thread scheduler_;  // started last, joined by shutdown()
 };

@@ -1,0 +1,21 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity check
+// guarding on-disk formats (parallel/snapshot, service/journal). The wire
+// protocol gets its integrity from a same-machine socketpair plus semantic
+// validation; files survive crashes and partial writes, so they carry an
+// explicit checksum the loader verifies before trusting any field.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pts {
+
+/// One-shot CRC-32 of `bytes`. crc32(a ++ b) == crc32_continue(crc32(a), b).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Streaming form: feed the previous return value back in as `seed`.
+[[nodiscard]] std::uint32_t crc32_continue(std::uint32_t seed,
+                                           std::span<const std::uint8_t> bytes);
+
+}  // namespace pts

@@ -6,6 +6,7 @@
 // statistically independent streams via Rng::derive(stream_id), which reseeds
 // through splitmix64 — the recommended seeding procedure for xoshiro.
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -109,6 +110,16 @@ class Rng {
     Rng child(0);
     for (auto& word : child.state_) word = splitmix64(sm);
     return child;
+  }
+
+  /// Raw xoshiro state, for checkpointing: a restored stream continues the
+  /// exact draw sequence the snapshot interrupted (bit-identical resume).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = s[i];
   }
 
  private:

@@ -10,6 +10,8 @@
 #include <signal.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "mkp/generator.hpp"
 #include "parallel/master.hpp"
@@ -101,6 +103,59 @@ TEST(ProcBackend, KillNineMidRoundStillCompletesWithRespawn) {
   const auto stats = supervisor.stats();
   EXPECT_GE(stats.worker_respawns, 1U);
   EXPECT_EQ(stats.workers_spawned, 3U + stats.worker_respawns);
+}
+
+TEST(ProcBackend, RapidDeathBurstDoesNotBurnRespawnBudget) {
+  // Regression: the old policy respawned eagerly inside the fault handler,
+  // so a worker dying three times in under 100ms burned three respawns in
+  // one round. The backoff policy respawns an isolated death immediately
+  // but defers a streak — assignments landing inside the backoff window
+  // fault fast (respawn_backoff_skips) and cost no budget.
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 7);
+
+  ProcOptions options;
+  options.worker_path = kWorkerBin;
+  options.max_respawns_per_slave = 8;
+  options.respawn_backoff_base_seconds = 0.25;
+  options.respawn_backoff_cap_seconds = 1.0;
+  options.breaker_threshold = 0;  // isolate the backoff from the breaker
+  ProcSupervisor supervisor(inst, /*num_slaves=*/2, /*seed=*/13, options, {});
+  ASSERT_TRUE(supervisor.start().ok());
+
+  // Kill worker 0 the moment it exists, continuously — every respawned
+  // process dies within milliseconds, the tightest death loop we can make.
+  std::atomic<bool> done{false};
+  std::thread killer([&] {
+    while (!done.load()) {
+      const pid_t pid = supervisor.worker_pid(0);
+      if (pid > 0) ::kill(pid, SIGKILL);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  MasterConfig master_config;
+  master_config.num_slaves = 2;
+  master_config.search_iterations = 8;
+  master_config.work_per_slave_round = 500;
+  master_config.seed = 13;
+
+  const auto result =
+      run_master(inst, supervisor.channels(), master_config, nullptr);
+  done.store(true);
+  killer.join();
+  supervisor.shutdown();
+
+  const auto stats = supervisor.stats();
+  // Every round still completed (faults keep the rendezvous alive) and the
+  // surviving slave kept the search going.
+  EXPECT_EQ(result.rounds_completed, 8U);
+  EXPECT_GT(result.best_value, 0.0);
+  EXPECT_GE(result.slave_faults, 3U);
+  // The budget survived the burst: strictly fewer respawns than faults, the
+  // difference absorbed by backoff fast-faults.
+  EXPECT_LT(stats.worker_respawns, options.max_respawns_per_slave);
+  EXPECT_LT(stats.worker_respawns, result.slave_faults);
+  EXPECT_GE(stats.respawn_backoff_skips, 1U);
 }
 
 TEST(ProcBackend, MissingWorkerBinaryIsACleanStatus) {

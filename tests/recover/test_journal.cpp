@@ -1,0 +1,253 @@
+// Job-journal semantics: the append-only submitted/resolved log replays to
+// exactly the jobs whose futures never resolved, tolerates the torn tail a
+// kill -9 mid-append leaves behind, refuses to parse foreign files, and —
+// at the service level — carries shutdown-stranded jobs into the next
+// incarnation as JobOrigin::kResumed.
+#include "service/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mkp/generator.hpp"
+#include "parallel/snapshot.hpp"
+#include "service/solver_service.hpp"
+
+namespace pts::service::journal {
+namespace {
+
+mkp::Instance test_instance(std::uint64_t seed) {
+  return mkp::generate_gk({.num_items = 40, .num_constraints = 4}, seed);
+}
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
+
+JobOptions fancy_options() {
+  JobOptions options;
+  options.preset = "thorough";
+  options.time_budget_seconds = 3.5;
+  options.deadline_seconds = 12.0;
+  options.priority = 7;
+  options.seed = 99;
+  options.target_value = 1234.5;
+  options.mode = parallel::CooperationMode::kCooperativePool;
+  options.backend = parallel::Backend::kProcess;
+  options.proc.worker_path = "/opt/bin/pts_worker";
+  options.proc.max_respawns_per_slave = 5;
+  options.proc.breaker_threshold = 2;
+  return options;
+}
+
+TEST(Journal, JobOptionsRoundTripEveryField) {
+  const auto options = fancy_options();
+  parallel::codec::Writer w;
+  put_job_options(w, options);
+  const auto bytes = w.take();
+  parallel::codec::Reader r(bytes);
+  const auto decoded = get_job_options(r);
+  ASSERT_TRUE(decoded) << decoded.status().to_string();
+  EXPECT_EQ(decoded->preset, "thorough");
+  EXPECT_DOUBLE_EQ(decoded->time_budget_seconds, 3.5);
+  ASSERT_TRUE(decoded->deadline_seconds);
+  EXPECT_DOUBLE_EQ(*decoded->deadline_seconds, 12.0);
+  EXPECT_EQ(decoded->priority, 7);
+  EXPECT_EQ(decoded->seed, 99U);
+  ASSERT_TRUE(decoded->target_value);
+  EXPECT_DOUBLE_EQ(*decoded->target_value, 1234.5);
+  ASSERT_TRUE(decoded->mode);
+  EXPECT_EQ(*decoded->mode, parallel::CooperationMode::kCooperativePool);
+  ASSERT_TRUE(decoded->backend);
+  EXPECT_EQ(*decoded->backend, parallel::Backend::kProcess);
+  EXPECT_EQ(decoded->proc.worker_path, "/opt/bin/pts_worker");
+  EXPECT_EQ(decoded->proc.max_respawns_per_slave, 5U);
+  EXPECT_EQ(decoded->proc.breaker_threshold, 2U);
+}
+
+TEST(Journal, ReplayKeepsOnlyUnresolvedSubmissions) {
+  const auto path = temp_path("journal_replay.jnl");
+  {
+    auto opened = JobJournal::open_truncate(path);
+    ASSERT_TRUE(opened) << opened.status().to_string();
+    auto& journal = **opened;
+    ASSERT_TRUE(journal.append_submitted(1, test_instance(1), JobOptions{}).ok());
+    ASSERT_TRUE(journal.append_submitted(2, test_instance(2), fancy_options()).ok());
+    ASSERT_TRUE(journal.append_submitted(3, test_instance(3), JobOptions{}).ok());
+    ASSERT_TRUE(journal.append_resolved(2).ok());
+  }
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered) << recovered.status().to_string();
+  ASSERT_EQ(recovered->size(), 2U);
+  EXPECT_EQ((*recovered)[0].id, 1U);
+  EXPECT_EQ((*recovered)[1].id, 3U);
+  // The instance travels intact: fingerprints match what was submitted.
+  EXPECT_EQ(parallel::snapshot::instance_fingerprint((*recovered)[0].instance),
+            parallel::snapshot::instance_fingerprint(test_instance(1)));
+  EXPECT_EQ(parallel::snapshot::instance_fingerprint((*recovered)[1].instance),
+            parallel::snapshot::instance_fingerprint(test_instance(3)));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailRecordIsDiscardedCleanly) {
+  const auto path = temp_path("journal_torn.jnl");
+  {
+    auto opened = JobJournal::open_truncate(path);
+    ASSERT_TRUE(opened);
+    ASSERT_TRUE((*opened)->append_submitted(1, test_instance(1), JobOptions{}).ok());
+    ASSERT_TRUE((*opened)->append_submitted(2, test_instance(2), JobOptions{}).ok());
+  }
+  // A kill -9 mid-append leaves a partial last record: cut 5 bytes off.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 5);
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered) << recovered.status().to_string();
+  ASSERT_EQ(recovered->size(), 1U);
+  EXPECT_EQ((*recovered)[0].id, 1U);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptTailCrcStopsReplayAtTheCrashPoint) {
+  const auto path = temp_path("journal_crc.jnl");
+  {
+    auto opened = JobJournal::open_truncate(path);
+    ASSERT_TRUE(opened);
+    ASSERT_TRUE((*opened)->append_submitted(1, test_instance(1), JobOptions{}).ok());
+    ASSERT_TRUE((*opened)->append_submitted(2, test_instance(2), JobOptions{}).ok());
+  }
+  // Flip the last byte (inside record 2's body): its CRC no longer matches,
+  // so replay treats it as the torn tail — record 1 is still trusted.
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(-1, std::ios::end);
+  const char last = static_cast<char>(file.get());
+  file.seekp(-1, std::ios::end);
+  file.put(static_cast<char>(last ^ 0x40));
+  file.close();
+
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered);
+  ASSERT_EQ(recovered->size(), 1U);
+  EXPECT_EQ((*recovered)[0].id, 1U);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ForeignFilesAreErrorsNotEmptyJournals) {
+  const auto path = temp_path("journal_foreign.jnl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a job journal";
+  }
+  const auto garbage = recover_jobs(path);
+  ASSERT_FALSE(garbage);
+  EXPECT_NE(garbage.status().to_string().find("magic"), std::string::npos);
+
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "PTSJ" << static_cast<char>(kJournalVersion + 1);
+  }
+  const auto future = recover_jobs(path);
+  ASSERT_FALSE(future);
+  EXPECT_NE(future.status().to_string().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MissingFileIsAnEmptyJournal) {
+  const auto recovered = recover_jobs(temp_path("no_such_journal.jnl"));
+  ASSERT_TRUE(recovered);
+  EXPECT_TRUE(recovered->empty());
+}
+
+TEST(Journal, ServiceRecoversShutdownStrandedJobsAsResumed) {
+  const auto path = temp_path("journal_service.jnl");
+  std::remove(path.c_str());
+
+  // Incarnation 1: a one-wide pool with three half-second jobs, shut down
+  // immediately — one job is cancelled mid-run, two are cancelled while
+  // queued. None of the three resolutions strikes the journal.
+  {
+    ServiceConfig config;
+    config.num_workers = 1;
+    config.journal_path = path;
+    SolverService server(config);
+    std::vector<SolverService::Submission> submissions;
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      JobOptions options;
+      options.preset = "quick";
+      options.time_budget_seconds = 0.5;
+      options.seed = k;
+      submissions.push_back(server.submit(test_instance(k), options));
+    }
+    server.shutdown();
+    for (auto& submission : submissions) {
+      const auto result = submission.result.get();
+      EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+      EXPECT_EQ(result.origin, JobOrigin::kFresh);
+    }
+  }
+
+  // Incarnation 2: all three come back as kResumed, run to completion, and
+  // their normal resolutions strike the journal.
+  {
+    ServiceConfig config;
+    config.num_workers = 4;
+    config.journal_path = path;
+    SolverService server(config);
+    auto recovered = server.take_recovered();
+    ASSERT_EQ(recovered.size(), 3U);
+    EXPECT_TRUE(server.take_recovered().empty());  // single-shot
+    for (auto& submission : recovered) {
+      const auto result = submission.result.get();
+      EXPECT_TRUE(result.status.ok()) << result.status.to_string();
+      EXPECT_EQ(result.origin, JobOrigin::kResumed);
+      EXPECT_GT(result.best_value, 0.0);
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.resumed, 3U);
+    EXPECT_EQ(stats.completed, 3U);
+    server.shutdown();
+  }
+
+  // Incarnation 3: everything resolved last time, so nothing recovers.
+  {
+    ServiceConfig config;
+    config.journal_path = path;
+    SolverService server(config);
+    EXPECT_TRUE(server.take_recovered().empty());
+    EXPECT_EQ(server.stats().resumed, 0U);
+    server.shutdown();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CancelledJobIsStruckAndDoesNotRecover) {
+  const auto path = temp_path("journal_cancel.jnl");
+  std::remove(path.c_str());
+  {
+    ServiceConfig config;
+    config.num_workers = 1;
+    config.journal_path = path;
+    SolverService server(config);
+    JobOptions slow;
+    slow.preset = "quick";
+    slow.time_budget_seconds = 30.0;
+    auto a = server.submit(test_instance(1), slow);   // runs
+    auto b = server.submit(test_instance(2), slow);   // queued
+    EXPECT_TRUE(server.cancel(b.id));                 // deliberate cancel
+    EXPECT_EQ(b.result.get().status.code(), StatusCode::kCancelled);
+    server.cancel(a.id);
+    (void)a.result.get();
+    server.shutdown();
+  }
+  // The deliberate cancels were struck; nothing recovers.
+  ServiceConfig config;
+  config.journal_path = path;
+  SolverService server(config);
+  EXPECT_TRUE(server.take_recovered().empty());
+  server.shutdown();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pts::service::journal

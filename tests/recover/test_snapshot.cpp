@@ -1,0 +1,243 @@
+// Snapshot format hardening: a checkpoint written by a real run must load
+// back exactly, and every corruption a crash or a stray file can produce —
+// truncation, flipped bytes, foreign magic, version drift, oversized length
+// prefixes, a checkpoint for a different instance — must come back as a
+// Status from the total decoder, never a crash or an unbounded allocation.
+#include "parallel/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mkp/generator.hpp"
+#include "parallel/runner.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace pts::parallel::snapshot {
+namespace {
+
+mkp::Instance test_instance() {
+  return mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 17);
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Runs a short CTS2 run that checkpoints to `path`, so every test works on
+/// a file the real write path produced (atomic tmp+rename, real state).
+ParallelResult run_with_checkpoint(const mkp::Instance& inst,
+                                   const std::string& path,
+                                   std::size_t rounds = 4) {
+  ParallelConfig config;
+  config.mode = CooperationMode::kCooperativeAdaptive;
+  config.num_slaves = 3;
+  config.search_iterations = rounds;
+  config.work_per_slave_round = 1'000;
+  config.seed = 29;
+  config.checkpoint_path = path;
+  return run_parallel_tabu_search(inst, config);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Snapshot, RoundTripsThroughARealRun) {
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_roundtrip.ckpt");
+  const auto run = run_with_checkpoint(inst, path);
+  ASSERT_TRUE(run.status.ok());
+  EXPECT_GE(run.master.checkpoints_written, 1U);
+  EXPECT_EQ(run.master.checkpoint_failures, 0U);
+
+  auto loaded = load_checkpoint(path, inst);
+  ASSERT_TRUE(loaded) << loaded.status().to_string();
+  EXPECT_EQ(loaded->seed, 29U);
+  EXPECT_EQ(loaded->num_slaves, 3U);
+  EXPECT_TRUE(loaded->share_solutions);
+  EXPECT_TRUE(loaded->adapt_strategies);
+  EXPECT_EQ(loaded->next_round, 4U);
+  EXPECT_EQ(loaded->rounds_completed, 4U);
+  EXPECT_EQ(loaded->slaves.size(), 3U);
+  EXPECT_DOUBLE_EQ(loaded->best.value(), run.best_value);
+  EXPECT_EQ(loaded->best, run.best);
+  EXPECT_EQ(loaded->instance_fingerprint, instance_fingerprint(inst));
+  EXPECT_TRUE(check_compatible(*loaded, inst, 29, 3, true, true).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, EncodeDecodeRoundTripsInMemory) {
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_mem.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  const auto image = read_file(path);
+  auto decoded = decode_checkpoint(image, inst);
+  ASSERT_TRUE(decoded) << decoded.status().to_string();
+  EXPECT_EQ(encode_checkpoint(*decoded), image);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, TruncatedFileIsRejectedAtEveryLength) {
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_trunc.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  auto image = read_file(path);
+  ASSERT_GT(image.size(), kSnapshotHeaderBytes);
+
+  // Sample truncation points across the whole file, including the header.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, kSnapshotHeaderBytes - 1,
+        kSnapshotHeaderBytes, image.size() / 2, image.size() - 1}) {
+    auto cut = image;
+    cut.resize(keep);
+    const auto decoded = decode_checkpoint(cut, inst);
+    EXPECT_FALSE(decoded) << "accepted a " << keep << "-byte prefix";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, AnySingleFlippedByteIsRejected) {
+  // Every byte of the image is load-bearing: magic, version, CRC, length and
+  // body are each covered by a dedicated check. Fuzz positions across the
+  // file; no flip may decode (and none may crash or over-allocate).
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_flip.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  const auto image = read_file(path);
+
+  Rng rng(2026);
+  for (int trial = 0; trial < 64; ++trial) {
+    auto fuzzed = image;
+    const auto pos = rng.index(fuzzed.size());
+    fuzzed[pos] ^= static_cast<std::uint8_t>(1 + rng.index(255));
+    const auto decoded = decode_checkpoint(fuzzed, inst);
+    EXPECT_FALSE(decoded) << "accepted a flip at byte " << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, FlippedCrcOnDiskIsRejected) {
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_crc.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  auto image = read_file(path);
+  image[5] ^= 0xFF;  // CRC field lives at offset 5 (after magic + version)
+  write_file(path, image);
+  const auto loaded = load_checkpoint(path, inst);
+  ASSERT_FALSE(loaded);
+  EXPECT_NE(loaded.status().to_string().find("CRC"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, WrongMagicAndVersionAreRejected) {
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_magic.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  const auto image = read_file(path);
+
+  auto foreign = image;
+  foreign[0] = 'X';
+  auto magic_result = decode_checkpoint(foreign, inst);
+  ASSERT_FALSE(magic_result);
+  EXPECT_NE(magic_result.status().to_string().find("magic"), std::string::npos);
+
+  auto future_version = image;
+  future_version[4] = kSnapshotVersion + 1;
+  auto version_result = decode_checkpoint(future_version, inst);
+  ASSERT_FALSE(version_result);
+  EXPECT_NE(version_result.status().to_string().find("version"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, OversizedLengthPrefixesAreRejectedBeforeAllocating) {
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_len.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  const auto image = read_file(path);
+
+  // Body-size header pumped past the ceiling: rejected by the cap check.
+  auto huge = image;
+  const std::uint64_t absurd = kMaxBodyBytes + 1;
+  std::memcpy(huge.data() + 9, &absurd, sizeof absurd);
+  auto capped = decode_checkpoint(huge, inst);
+  ASSERT_FALSE(capped);
+  EXPECT_NE(capped.status().to_string().find("ceiling"), std::string::npos);
+
+  // Body-size merely wrong (claims more than the file holds): rejected by
+  // the length/file-size agreement check.
+  auto wrong = image;
+  const std::uint64_t off_by_some = image.size();  // > actual body size
+  std::memcpy(wrong.data() + 9, &off_by_some, sizeof off_by_some);
+  EXPECT_FALSE(decode_checkpoint(wrong, inst));
+
+  // Corrupt in-body counts with a RECOMPUTED CRC, so the plausible_count
+  // bounds — not the checksum — must do the rejecting: splice 0xFFFFFFFF
+  // over every aligned u32 in the body and re-CRC. Splices landing in fields
+  // where any bit pattern is legal (rng state, aggregates) may still decode;
+  // the ones hitting a count or a solution must fail, and none may crash or
+  // trigger an unbounded allocation.
+  std::size_t rejected = 0;
+  for (std::size_t pos = kSnapshotHeaderBytes; pos + 4 <= image.size();
+       pos += 4) {
+    auto spliced = image;
+    const std::uint32_t absurd_count = 0xFFFFFFFF;
+    std::memcpy(spliced.data() + pos, &absurd_count, sizeof absurd_count);
+    const std::uint32_t crc =
+        crc32(std::span(spliced).subspan(kSnapshotHeaderBytes));
+    std::memcpy(spliced.data() + 5, &crc, sizeof crc);
+    if (!decode_checkpoint(spliced, inst)) ++rejected;
+  }
+  EXPECT_GT(rejected, 0U);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CheckpointForAnotherInstanceIsForeign) {
+  const auto inst = test_instance();
+  const auto other = mkp::generate_gk({.num_items = 50, .num_constraints = 5}, 18);
+  const auto path = temp_path("snapshot_foreign.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  const auto loaded = load_checkpoint(path, other);
+  ASSERT_FALSE(loaded);
+  EXPECT_NE(loaded.status().to_string().find("different instance"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CheckCompatibleRejectsConfigDrift) {
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_drift.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  auto cp = load_checkpoint(path, inst);
+  ASSERT_TRUE(cp);
+  EXPECT_TRUE(check_compatible(*cp, inst, 29, 3, true, true).ok());
+  EXPECT_FALSE(check_compatible(*cp, inst, 30, 3, true, true).ok());   // seed
+  EXPECT_FALSE(check_compatible(*cp, inst, 29, 4, true, true).ok());   // width
+  EXPECT_FALSE(check_compatible(*cp, inst, 29, 3, false, true).ok());  // mode
+  EXPECT_FALSE(check_compatible(*cp, inst, 29, 3, true, false).ok());  // mode
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileIsUnavailableNotCorrupt) {
+  const auto inst = test_instance();
+  const auto loaded = load_checkpoint(temp_path("no_such_checkpoint.ckpt"), inst);
+  ASSERT_FALSE(loaded);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace pts::parallel::snapshot

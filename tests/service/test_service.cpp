@@ -246,6 +246,26 @@ TEST(Service, ShutdownResolvesEverythingAndRejectsNewWork) {
   server.reset();  // double-shutdown via the destructor must be safe
 }
 
+TEST(Service, SubmitAfterShutdownResolvesUnavailableImmediately) {
+  // Pinned contract: a submit that loses the race with shutdown() still gets
+  // a valid id and an immediately-ready future carrying kUnavailable with no
+  // solution — never a hang, never an abort, never an unresolved future.
+  SolverService server({.num_workers = 1});
+  server.shutdown();
+  auto submission = server.submit(small_instance(40), JobOptions{});
+  EXPECT_GT(submission.id, 0U);
+  ASSERT_EQ(submission.result.wait_for(0s), std::future_status::ready);
+  const auto result = submission.result.get();
+  EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status.message().find("shut down"), std::string::npos);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_EQ(result.start_sequence, 0U);  // never ran
+  EXPECT_EQ(result.origin, JobOrigin::kFresh);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 1U);
+  EXPECT_EQ(stats.cancelled, 1U);
+}
+
 TEST(ServiceStress, FiftyJobsOnFourWorkersEveryFutureResolves) {
   // The tentpole acceptance load: 50 mixed jobs on a 4-wide pool — short
   // solves, tight deadlines, a bogus preset, mid-flight cancels — and every
