@@ -15,6 +15,15 @@
 //               checkpoint the master every N rounds (problem k of a multi-
 //               problem file uses <path>.k); --resume continues from the
 //               checkpoint after a kill -9 (DESIGN.md §9)
+//           --core-reduction  fix variables by LP reduced cost before the
+//               search and run the cooperative search on the residual core
+//               (results are lifted back to full space; composes with
+//               --checkpoint/--resume — the runner validates the stored
+//               fixing itself)
+//           --core-gap=EPS  approximate core: also fix variables whose
+//               flip could only improve the bound by < EPS (larger cores
+//               fix more but may cut near-ties; 0 = strict, never cuts a
+//               strictly better solution)
 //           --log-level=info --metrics --trace-out=trace.json  (telemetry)
 #include <cstdio>
 #include <optional>
@@ -102,6 +111,8 @@ int main(int argc, char** argv) {
     config.backend = *backend;
     config.proc.worker_path = args.get_string("worker", "");
   }
+  config.core.enabled = args.get_bool("core-reduction", false);
+  config.core.gap_eps = args.get_double("core-gap", 0.0);
   const auto save_dir = args.get_string("save", "");
   const auto checkpoint_base = args.get_string("checkpoint", "");
   const auto checkpoint_every =
@@ -132,7 +143,13 @@ int main(int argc, char** argv) {
               ? checkpoint_base
               : checkpoint_base + "." + std::to_string(problem_index);
       problem_config.checkpoint_every_rounds = checkpoint_every;
-      if (resume) {
+      if (resume && problem_config.core.enabled) {
+        // Under core reduction the checkpoint's solutions live in core
+        // coordinates; only the runner (which rederives the reduction) can
+        // decode and validate them. Hand it the path instead of a loaded
+        // checkpoint.
+        problem_config.resume_from_path = problem_config.checkpoint_path;
+      } else if (resume) {
         auto loaded = parallel::snapshot::load_checkpoint(
             problem_config.checkpoint_path, inst);
         if (loaded) {
@@ -168,6 +185,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     counter_stats.merge(result.master.counter_stats);
+    if (result.core_engaged) {
+      std::printf(
+          "%s: core reduction fixed %zu to 0, %zu to 1 (%zu of %zu free)\n",
+          inst.name().c_str(), result.core_fixed_zero, result.core_fixed_one,
+          inst.num_items() - result.core_fixed_zero - result.core_fixed_one,
+          inst.num_items());
+    }
 
     if (!save_dir.empty()) {
       auto safe_name = inst.name();

@@ -1,0 +1,34 @@
+#include "bounds/core.hpp"
+
+#include <algorithm>
+
+#include "bounds/greedy.hpp"
+
+namespace pts::bounds {
+
+CoreProblem build_core_problem(const mkp::Instance& inst,
+                               const CoreOptions& options) {
+  CoreProblem core;
+
+  // Deterministic feasible bound: the scaled-density greedy, raised by the
+  // caller's incumbent when one is known. reduced_cost_fixing requires the
+  // bound to be attainable; both sources are values of feasible solutions.
+  const double greedy_value = greedy_construct(inst).value();
+  core.lower_bound = greedy_value;
+  if (options.lower_bound_hint) {
+    core.lower_bound = std::max(core.lower_bound, *options.lower_bound_hint);
+  }
+
+  core.fixing = reduced_cost_fixing(inst, core.lower_bound,
+                                    {.gap_eps = options.gap_eps});
+  if (!core.fixing.lp_solved) return core;  // use_core stays false
+
+  const double fixed_fraction = core.fixing.fixed_fraction(inst.num_items());
+  if (fixed_fraction < options.min_fixed_fraction) return core;
+
+  core.reduced = build_reduced(inst, core.fixing);
+  core.use_core = true;
+  return core;
+}
+
+}  // namespace pts::bounds

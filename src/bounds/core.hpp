@@ -1,0 +1,90 @@
+#pragma once
+// The core-problem layer: shrink an MKP before searching it.
+//
+// Boussier et al.'s resolution search and Xu et al.'s "promising search
+// space" (PAPERS.md) both win on the hard GK 10×500 / 30×500 family by the
+// same move — don't search all n variables, search the residual core the LP
+// cannot settle. This module packages that as one deterministic step on top
+// of bounds/reduction:
+//
+//   greedy lower bound (optionally raised by a caller-supplied incumbent)
+//     → LP reduced-cost fixing (reduced_cost_fixing)
+//       → residual core Instance + index map + banked profit (build_reduced)
+//
+// and the inverse lift back to full space. The parallel runner wraps a whole
+// cooperative run with it (ParallelConfig::core): master and slaves operate
+// entirely in core coordinates — smaller columns for the SIMD kernels,
+// smaller bitvecs on the wire — and only the runner's boundary translates.
+// Soundness is inherited from reduced_cost_fixing: with gap_eps = 0 no
+// solution strictly better than the lower bound is ever cut off, so the
+// optimum survives whenever it beats the greedy value (tests/bounds pin
+// this on instances with known optima).
+
+#include <cstddef>
+#include <optional>
+
+#include "bounds/reduction.hpp"
+#include "mkp/instance.hpp"
+#include "mkp/solution.hpp"
+
+namespace pts::bounds {
+
+struct CoreOptions {
+  /// Master switch (`--core-reduction`). Off = the runner never calls us.
+  bool enabled = false;
+
+  /// Forwarded to reduced_cost_fixing: solutions within gap_eps of the lower
+  /// bound may be lost. 0 preserves ties (never excludes an optimum that
+  /// beats the greedy bound).
+  double gap_eps = 0.0;
+
+  /// Engage only when at least this fraction of the variables was fixed; a
+  /// reduction that settles almost nothing just adds remap overhead on both
+  /// sides of the run.
+  double min_fixed_fraction = 0.02;
+
+  /// Optional known feasible value (an incumbent from an earlier run or a
+  /// presolve pass); the fixing uses max(greedy value, hint). A tighter
+  /// bound fixes more variables — this is how "reduce again at restarts
+  /// with the current incumbent" composes.
+  std::optional<double> lower_bound_hint;
+};
+
+/// The outcome of one reduction attempt. `use_core` is the runner's switch:
+/// false means run the full instance untouched (LP failed or the fixing was
+/// below min_fixed_fraction); `reduced` is only populated when true.
+struct CoreProblem {
+  ReductionResult fixing;
+  ReducedInstance reduced;
+  double lower_bound = 0.0;  ///< the feasible value the fixing used
+  bool use_core = false;
+
+  /// Every variable settled: no search needed, lift(nullptr) reconstructs
+  /// the (unique surviving) full-space solution.
+  [[nodiscard]] bool solved_outright() const {
+    return use_core && !reduced.instance.has_value();
+  }
+
+  [[nodiscard]] const mkp::Instance& core_instance() const {
+    PTS_CHECK(use_core && reduced.instance.has_value());
+    return *reduced.instance;
+  }
+
+  [[nodiscard]] double banked_profit() const { return reduced.banked_profit; }
+
+  /// Full-space solution from a core-space one (nullptr when
+  /// solved_outright). Aborts on an infeasible lift — that means the fixing
+  /// belongs to a different instance.
+  [[nodiscard]] mkp::Solution lift(const mkp::Instance& original,
+                                   const mkp::Solution* core_solution) const {
+    return reduced.lift(original, core_solution);
+  }
+};
+
+/// Deterministic: same instance + options → same fixing, same core. The
+/// greedy bound is exact-arithmetic-free but fixed-order, so a resumed run
+/// rederives the identical reduction it checkpointed under.
+[[nodiscard]] CoreProblem build_core_problem(const mkp::Instance& inst,
+                                             const CoreOptions& options);
+
+}  // namespace pts::bounds

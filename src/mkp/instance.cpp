@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/simd.hpp"
+
 namespace pts::mkp {
 
 Instance::Instance(std::string name, std::vector<double> profits,
@@ -17,8 +19,9 @@ Instance::Instance(std::string name, std::vector<double> profits,
   PTS_CHECK_MSG(m_ > 0, "instance needs at least one constraint");
   PTS_CHECK_MSG(weights_.size() == n_ * m_, "weight matrix must be m*n");
 
+  m_pad_ = (m_ + simd::kLaneWidth - 1) / simd::kLaneWidth * simd::kLaneWidth;
   column_sums_.assign(n_, 0.0);
-  weights_col_.resize(n_ * m_);
+  weights_col_.assign(n_ * m_pad_, 0.0);  // pad lanes stay exactly +0.0
   col_min_weight_.assign(n_, std::numeric_limits<double>::infinity());
   col_max_weight_.assign(n_, 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
@@ -26,11 +29,14 @@ Instance::Instance(std::string name, std::vector<double> profits,
     for (std::size_t j = 0; j < n_; ++j) {
       const double w = row[j];
       column_sums_[j] += w;
-      weights_col_[j * m_ + i] = w;
+      weights_col_[j * m_pad_ + i] = w;
       col_min_weight_[j] = std::min(col_min_weight_[j], w);
       col_max_weight_[j] = std::max(col_max_weight_[j], w);
     }
   }
+
+  capacities_padded_.assign(m_pad_, std::numeric_limits<double>::infinity());
+  std::copy(capacities_.begin(), capacities_.end(), capacities_padded_.begin());
 
   relative_scale_.resize(m_);
   for (std::size_t i = 0; i < m_; ++i) {

@@ -14,6 +14,15 @@
 // built once at construction together with per-item min/max weight
 // summaries that let the move kernels reject non-fitting candidates in
 // O(1) without touching the column at all.
+//
+// The mirror's per-column stride is padded to a multiple of simd::kLaneWidth
+// (pad weights are 0.0) and a padded capacity vector (+infinity pads) is kept
+// alongside, so the vector kernels can issue full-width loads and feasibility
+// compares over the tail group without masking: a pad lane adds 0 load
+// against an infinite capacity and can never report a violation, and a pad
+// weight contributes exactly +0.0 to any score accumulator. All public
+// m-sized spans keep logical size m; the *_padded accessors expose the wide
+// views.
 
 #include <cstddef>
 #include <optional>
@@ -34,6 +43,10 @@ class Instance {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t num_items() const { return n_; }
   [[nodiscard]] std::size_t num_constraints() const { return m_; }
+
+  /// m rounded up to a multiple of simd::kLaneWidth — the stride of the
+  /// column-major mirror and the length of the padded load/slack vectors.
+  [[nodiscard]] std::size_t num_constraints_padded() const { return m_pad_; }
 
   [[nodiscard]] double profit(std::size_t j) const {
     PTS_DCHECK(j < n_);
@@ -60,7 +73,20 @@ class Instance {
   /// Column-major mirror: item j's m weights a_0j .. a_{m-1},j, contiguous.
   [[nodiscard]] std::span<const double> weights_col(std::size_t j) const {
     PTS_DCHECK(j < n_);
-    return {weights_col_.data() + j * m_, m_};
+    return {weights_col_.data() + j * m_pad_, m_};
+  }
+
+  /// The same column including its zero pad lanes (length m_pad_), safe for
+  /// full-width vector loads over the final partial group.
+  [[nodiscard]] std::span<const double> weights_col_padded(std::size_t j) const {
+    PTS_DCHECK(j < n_);
+    return {weights_col_.data() + j * m_pad_, m_pad_};
+  }
+
+  /// Capacities extended with +infinity pad lanes (length m_pad_): a pad
+  /// lane's feasibility compare `0 + 0 > +inf` is false by construction.
+  [[nodiscard]] std::span<const double> capacities_padded() const {
+    return capacities_padded_;
   }
 
   /// min_i a_ij. If this exceeds the solution's minimum slack, item j cannot
@@ -119,10 +145,12 @@ class Instance {
   std::string name_;
   std::size_t n_ = 0;
   std::size_t m_ = 0;
+  std::size_t m_pad_ = 0;            // m_ rounded up to simd::kLaneWidth
   std::vector<double> profits_;
   std::vector<double> weights_;      // row-major, m_ rows of n_
-  std::vector<double> weights_col_;  // column-major mirror, n_ columns of m_
+  std::vector<double> weights_col_;  // column-major mirror, n_ columns of m_pad_
   std::vector<double> capacities_;
+  std::vector<double> capacities_padded_;  // capacities_ + inf pad lanes
   std::vector<double> col_min_weight_;
   std::vector<double> col_max_weight_;
   std::vector<double> relative_scale_;  // 1/b_i (1.0 when b_i <= 0)

@@ -8,14 +8,14 @@ namespace pts::mkp {
 Solution::Solution(const Instance& inst)
     : inst_(&inst),
       bits_(inst.num_items()),
-      loads_(inst.num_constraints(), 0.0),
-      inv_slack_(inst.num_constraints(), 0.0) {
+      loads_(inst.num_constraints_padded(), 0.0),
+      inv_slack_(inst.num_constraints_padded(), 0.0) {
   recompute_slack_summaries();
 }
 
 void Solution::recompute_slack_summaries() {
   const auto caps = inst_->capacities();
-  const std::size_t m = loads_.size();
+  const std::size_t m = inst_->num_constraints();
   double min_slack = caps[0] - loads_[0];
   for (std::size_t i = 0; i < m; ++i) {
     const double slack = caps[i] - loads_[i];
@@ -31,7 +31,7 @@ void Solution::add(std::size_t j) {
   value_ += inst_->profit(j);
   ++cardinality_;
   const auto col = inst_->weights_col(j);
-  const std::size_t m = loads_.size();
+  const std::size_t m = inst_->num_constraints();
   for (std::size_t i = 0; i < m; ++i) loads_[i] += col[i];
   recompute_slack_summaries();
 }
@@ -42,7 +42,7 @@ void Solution::drop(std::size_t j) {
   value_ -= inst_->profit(j);
   --cardinality_;
   const auto col = inst_->weights_col(j);
-  const std::size_t m = loads_.size();
+  const std::size_t m = inst_->num_constraints();
   for (std::size_t i = 0; i < m; ++i) loads_[i] -= col[i];
   recompute_slack_summaries();
 }
@@ -61,7 +61,7 @@ bool Solution::is_feasible() const { return min_slack_ >= 0.0; }
 
 double Solution::total_violation() const {
   double violation = 0.0;
-  const std::size_t m = loads_.size();
+  const std::size_t m = inst_->num_constraints();
   for (std::size_t i = 0; i < m; ++i) {
     const double excess = loads_[i] - inst_->capacity(i);
     if (excess > 0.0) violation += excess;
@@ -78,7 +78,7 @@ bool Solution::fits(std::size_t j) const {
   if (inst_->min_col_weight(j) > min_slack_) return false;
   const auto col = inst_->weights_col(j);
   const auto caps = inst_->capacities();
-  const std::size_t m = loads_.size();
+  const std::size_t m = inst_->num_constraints();
   for (std::size_t i = 0; i < m; ++i) {
     if (loads_[i] + col[i] > caps[i]) return false;
   }
@@ -87,7 +87,7 @@ bool Solution::fits(std::size_t j) const {
 
 std::size_t Solution::most_saturated_constraint(bool relative) const {
   const auto caps = inst_->capacities();
-  const std::size_t m = loads_.size();
+  const std::size_t m = inst_->num_constraints();
   std::size_t best = 0;
   if (relative) {
     // Normalization hoisted out of the loop: scale by the precomputed 1/b_i
@@ -126,10 +126,10 @@ std::vector<std::size_t> Solution::selected_items() const {
 
 bool Solution::check_consistency(double tolerance) const {
   double value = 0.0;
-  std::vector<double> loads(loads_.size(), 0.0);
+  std::vector<double> loads(inst_->num_constraints(), 0.0);
   std::size_t cardinality = 0;
   const std::size_t n = bits_.size();
-  const std::size_t m = loads_.size();
+  const std::size_t m = inst_->num_constraints();
   for (std::size_t j = 0; j < n; ++j) {
     if (!bits_.test(j)) continue;
     ++cardinality;

@@ -32,10 +32,17 @@ class Solution {
 
   /// Current load of constraint i: sum_j a_ij x_j.
   [[nodiscard]] double load(std::size_t i) const {
-    PTS_DCHECK(i < loads_.size());
+    PTS_DCHECK(i < inst_->num_constraints());
     return loads_[i];
   }
-  [[nodiscard]] std::span<const double> loads() const { return loads_; }
+  [[nodiscard]] std::span<const double> loads() const {
+    return {loads_.data(), inst_->num_constraints()};
+  }
+
+  /// loads() extended with zero pad lanes to num_constraints_padded(), for
+  /// full-width vector loads in the SIMD kernels. Pads are exactly +0.0 and
+  /// never written by add()/drop().
+  [[nodiscard]] std::span<const double> loads_padded() const { return loads_; }
 
   /// Remaining capacity b_i - load_i (negative when violated).
   [[nodiscard]] double slack(std::size_t i) const {
@@ -55,7 +62,13 @@ class Solution {
   /// by add()/drop(). Move scoring divides weights by slack for every
   /// candidate; slacks only change once per move, so precomputing the
   /// reciprocals here turns m divisions per candidate into m multiplies.
-  [[nodiscard]] std::span<const double> inv_slack() const { return inv_slack_; }
+  [[nodiscard]] std::span<const double> inv_slack() const {
+    return {inv_slack_.data(), inst_->num_constraints()};
+  }
+
+  /// inv_slack() extended with zero pad lanes (pad weight × pad reciprocal
+  /// contributes exactly +0.0 to a score accumulator).
+  [[nodiscard]] std::span<const double> inv_slack_padded() const { return inv_slack_; }
 
   void add(std::size_t j);   ///< item must be absent
   void drop(std::size_t j);  ///< item must be present

@@ -44,6 +44,7 @@ snapshot::MasterCheckpoint make_checkpoint(const mkp::Instance& inst,
   cp.relink_improvements = result.relink_improvements;
   cp.slave_faults = result.slave_faults;
   cp.slave_respawns = result.slave_respawns;
+  cp.core = config.core_section;
   return cp;
 }
 

@@ -78,6 +78,12 @@ struct MasterConfig {
   /// reproduces the uninterrupted run's final best bit for bit.
   const snapshot::MasterCheckpoint* resume = nullptr;
 
+  /// Core-reduction provenance copied verbatim into every checkpoint this
+  /// run writes (empty when the run searches the full instance). The master
+  /// itself never looks inside — the runner's core layer owns the mapping;
+  /// the master just keeps the snapshot self-describing.
+  snapshot::CoreSection core_section;
+
   /// Pool degradation: after this many back-to-back faulted rounds a slave
   /// is retired — no further assignments; the survivors absorb its work
   /// share and, when it out-scores them, its strategy. 0 disables (the

@@ -6,10 +6,12 @@
 #include <utility>
 #include <vector>
 
+#include "bounds/core.hpp"
 #include "bounds/greedy.hpp"
 #include "obs/counters.hpp"
 #include "parallel/proc_backend.hpp"
 #include "parallel/slave.hpp"
+#include "parallel/snapshot.hpp"
 #include "tabu/engine.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -98,15 +100,11 @@ ParallelResult run_sequential(const mkp::Instance& inst, const ParallelConfig& c
   return result;
 }
 
-}  // namespace
-
-ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
-                                        const ParallelConfig& config) {
-  PTS_CHECK(config.num_slaves >= 1);
-  if (config.mode == CooperationMode::kSequential) {
-    return run_sequential(inst, config);
-  }
-
+/// The master-driven modes (ITS/CTS1/CTS2) over whichever instance the
+/// caller resolved — full or core. Everything above the backend choice is
+/// mode-independent wiring of MasterConfig.
+ParallelResult run_parallel_impl(const mkp::Instance& inst,
+                                 const ParallelConfig& config) {
   Stopwatch watch;
 
   MasterConfig master_config;
@@ -127,6 +125,7 @@ ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
   master_config.checkpoint_path = config.checkpoint_path;
   master_config.checkpoint_every_rounds = config.checkpoint_every_rounds;
   master_config.resume = config.resume;
+  master_config.core_section = config.core_section;
   master_config.degrade_after_faults = config.degrade_after_faults;
 
   MasterResult master_result{mkp::Solution(inst)};
@@ -206,6 +205,160 @@ ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
                         std::move(master_result)};
   result.proc = proc_stats;
   return result;
+}
+
+/// A run that could not start at all (bad checkpoint, dead backend): default
+/// solve fields over `inst`, the failure in `status`.
+ParallelResult failed_result(const mkp::Instance& inst,
+                             const ParallelConfig& config, Status status) {
+  ParallelResult failed{config.mode,
+                        mkp::Solution(inst),
+                        0.0,
+                        0,
+                        0.0,
+                        false,
+                        false,
+                        MasterResult{mkp::Solution(inst)}};
+  failed.status = std::move(status);
+  return failed;
+}
+
+/// Resolves ParallelConfig::resume_from_path (when set) into a loaded and
+/// validated ParallelConfig::resume, then dispatches to SEQ or the master
+/// impl. `inst` here is the instance the run actually searches — under core
+/// reduction the caller (run_core_reduced) already swapped in the core, so
+/// the checkpoint's solutions decode against the right bit width and its
+/// core section is compared against the rederived fixing.
+ParallelResult run_resolved(const mkp::Instance& inst,
+                            const ParallelConfig& config) {
+  if (config.mode == CooperationMode::kSequential) {
+    // SEQ has no master, hence no checkpoints: nothing to resume.
+    return run_sequential(inst, config);
+  }
+  if (config.resume_from_path.empty() || config.resume != nullptr) {
+    return run_parallel_impl(inst, config);
+  }
+  auto loaded = snapshot::load_checkpoint(config.resume_from_path, inst);
+  if (!loaded) {
+    if (loaded.status().code() == StatusCode::kUnavailable) {
+      // No checkpoint yet — the first run of a --resume loop starts fresh.
+      return run_parallel_impl(inst, config);
+    }
+    return failed_result(inst, config, loaded.status());
+  }
+  if (!(loaded->core == config.core_section)) {
+    return failed_result(
+        inst, config,
+        Status::invalid_argument(
+            "snapshot: checkpoint core-reduction section does not match this "
+            "run (was the checkpoint written with a different --core-reduction "
+            "setting, bound, or instance?)"));
+  }
+  const bool share = config.mode != CooperationMode::kIndependent;
+  const bool adapt = config.mode == CooperationMode::kCooperativeAdaptive;
+  if (auto status = snapshot::check_compatible(*loaded, inst, config.seed,
+                                               config.num_slaves, share, adapt);
+      !status.ok()) {
+    return failed_result(inst, config, std::move(status));
+  }
+  ParallelConfig resumed = config;
+  resumed.resume = &*loaded;
+  return run_parallel_impl(inst, resumed);
+}
+
+/// The core-reduction wrapper: reduce, search the residual core with the
+/// whole cooperative machinery, lift the result back to full space. All
+/// core-space Solutions are replaced before return — the core Instance dies
+/// with this frame.
+ParallelResult run_core_reduced(const mkp::Instance& inst,
+                                const ParallelConfig& config) {
+  Stopwatch watch;
+  const auto core = bounds::build_core_problem(inst, config.core);
+
+  if (!core.use_core) {
+    // LP failed or the fixing was below min_fixed_fraction: run the full
+    // instance untouched (checkpoints carry an empty core section).
+    ParallelConfig full = config;
+    full.core.enabled = false;
+    return run_resolved(inst, full);
+  }
+
+  if (core.solved_outright()) {
+    // Every variable settled by reduced cost — no search to run.
+    ParallelResult result{config.mode,
+                          core.lift(inst, nullptr),
+                          0.0,
+                          0,
+                          watch.elapsed_seconds(),
+                          false,
+                          false,
+                          MasterResult{mkp::Solution(inst)}};
+    result.best_value = result.best.value();
+    result.reached_target = config.target_value.has_value() &&
+                            result.best_value >= *config.target_value;
+    result.core_engaged = true;
+    result.core_fixed_zero = core.fixing.fixed_to_zero;
+    result.core_fixed_one = core.fixing.fixed_to_one;
+    result.core_banked_profit = core.banked_profit();
+    return result;
+  }
+
+  const mkp::Instance& core_inst = core.core_instance();
+  const double banked = core.banked_profit();
+
+  ParallelConfig core_config = config;
+  core_config.core.enabled = false;  // the inner run must not reduce again
+  // Everything value-shaped the inner run compares against lives in core
+  // coordinates: the target drops by the banked profit...
+  if (config.target_value) {
+    core_config.target_value = *config.target_value - banked;
+  }
+  // ...and checkpoints record which reduction their solutions assume.
+  core_config.core_section.full_instance_fingerprint =
+      snapshot::instance_fingerprint(inst);
+  core_config.core_section.status = core.fixing.status;
+
+  ParallelResult result = run_resolved(core_inst, core_config);
+  result.core_engaged = true;
+  result.core_fixed_zero = core.fixing.fixed_to_zero;
+  result.core_fixed_one = core.fixing.fixed_to_one;
+  result.core_banked_profit = banked;
+  result.seconds = watch.elapsed_seconds();  // include the reduction itself
+
+  if (!result.status.ok()) {
+    // The inner run never started; its default Solutions reference the core
+    // instance, which dies here — replace them with full-space defaults.
+    result.best = mkp::Solution(inst);
+    result.master.best = mkp::Solution(inst);
+    return result;
+  }
+
+  // Lift the winner and re-base every reported value to full space. The
+  // MasterResult's only Solution is `best`; RoundLog and anytime samples
+  // carry plain objective values, which shift by the banked profit.
+  mkp::Solution lifted = core.lift(inst, &result.best);
+  result.best_value = lifted.value();
+  result.master.best_value = result.best_value;
+  result.best = lifted;
+  result.master.best = std::move(lifted);
+  for (auto& round : result.master.timeline) {
+    round.initial_value += banked;
+    round.final_value += banked;
+  }
+  for (auto& sample : result.master.anytime) sample.value += banked;
+  return result;
+}
+
+}  // namespace
+
+ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
+                                        const ParallelConfig& config) {
+  PTS_CHECK(config.num_slaves >= 1);
+  PTS_CHECK_MSG(config.resume == nullptr || !config.core.enabled,
+                "core reduction requires resume_from_path, not a pre-loaded "
+                "checkpoint (its solutions are in core coordinates)");
+  if (config.core.enabled) return run_core_reduced(inst, config);
+  return run_resolved(inst, config);
 }
 
 }  // namespace pts::parallel

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "bounds/core.hpp"
 #include "mkp/instance.hpp"
 #include "parallel/master.hpp"
 #include "parallel/proc_backend.hpp"
@@ -102,12 +103,38 @@ struct ParallelConfig {
   std::size_t checkpoint_every_rounds = 1;
 
   /// Resume from an already-loaded checkpoint (caller validates it with
-  /// snapshot::check_compatible and keeps it alive for the run).
+  /// snapshot::check_compatible and keeps it alive for the run). Only usable
+  /// when core reduction is off — a core-reduced checkpoint's solutions are
+  /// in core coordinates, which the caller cannot validate; use
+  /// `resume_from_path` instead and the runner does both steps itself.
   const snapshot::MasterCheckpoint* resume = nullptr;
+
+  /// Resume from a checkpoint FILE. Unlike `resume`, the runner loads and
+  /// validates it against the instance it actually searches — which, under
+  /// core reduction, is the rederived core, not the full instance — and also
+  /// checks the checkpoint's embedded core section (snapshot::CoreSection)
+  /// matches the rederived fixing. A missing file is not an error: the run
+  /// starts fresh (first run of a --resume loop). Any malformed or
+  /// incompatible checkpoint fails the run with a non-OK status.
+  std::string resume_from_path;
 
   /// Retire a slave after this many back-to-back faulted rounds
   /// (see MasterConfig::degrade_after_faults); 0 = never retire.
   std::size_t degrade_after_faults = 0;
+
+  /// Core-problem reduction (bounds/core.hpp): when enabled, fix variables
+  /// by LP reduced cost at run start and hand master and slaves the smaller
+  /// residual instance; the runner lifts everything back to full space
+  /// before returning. Off by default — it changes the searched space, so
+  /// fixed-seed trajectories differ from a non-reduced run (values are
+  /// lifted, never lost: with gap_eps 0 the optimum survives whenever it
+  /// beats the greedy bound).
+  bounds::CoreOptions core;
+
+  /// Core-reduction provenance stamped into every checkpoint (see
+  /// snapshot::CoreSection). Filled by the runner's core layer; leave
+  /// default — setting it by hand only mislabels checkpoints.
+  snapshot::CoreSection core_section;
 };
 
 struct ParallelResult {
@@ -131,6 +158,14 @@ struct ParallelResult {
 
   /// Process-level counters, populated only for Backend::kProcess.
   ProcStats proc;
+
+  // -- Core-reduction telemetry (all zero when ParallelConfig::core is off
+  //    or the reduction declined to engage). `best` and `best_value` above
+  //    are always full-space regardless. --
+  bool core_engaged = false;
+  std::size_t core_fixed_zero = 0;
+  std::size_t core_fixed_one = 0;
+  double core_banked_profit = 0.0;
 };
 
 ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,

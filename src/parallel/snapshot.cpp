@@ -101,10 +101,18 @@ std::vector<std::uint8_t> encode_body(const MasterCheckpoint& cp) {
   w.u64(cp.relink_improvements);
   w.u64(cp.slave_faults);
   w.u64(cp.slave_respawns);
+  // v2 core-reduction section. Always written (we always emit version 2);
+  // a disengaged run writes the single 0 flag byte.
+  w.u8(cp.core.engaged() ? 1 : 0);
+  if (cp.core.engaged()) {
+    w.u32(cp.core.full_instance_fingerprint);
+    wire::put_fixed_status(w, cp.core.status);
+  }
   return w.take();
 }
 
 Expected<MasterCheckpoint> decode_body(std::span<const std::uint8_t> body,
+                                       std::uint8_t version,
                                        const mkp::Instance& inst) {
   Reader r(body);
   MasterCheckpoint cp(inst);
@@ -150,6 +158,18 @@ Expected<MasterCheckpoint> decode_body(std::span<const std::uint8_t> body,
   cp.relink_improvements = r.u64();
   cp.slave_faults = r.u64();
   cp.slave_respawns = r.u64();
+  if (version >= 2) {
+    const bool engaged = r.u8() != 0;
+    if (!r.ok()) return corrupt("core section flag");
+    if (engaged) {
+      cp.core.full_instance_fingerprint = r.u32();
+      if (!r.ok()) return corrupt("core section fingerprint");
+      auto status = wire::get_fixed_status(r);
+      if (!status) return status.status();
+      if (status->empty()) return corrupt("core section (engaged but empty)");
+      cp.core.status = *std::move(status);
+    }
+  }
   if (!r.done()) return corrupt("checkpoint tail");
   return cp;
 }
@@ -207,10 +227,11 @@ Expected<MasterCheckpoint> decode_checkpoint(std::span<const std::uint8_t> bytes
   if (std::memcmp(magic, kMagic, 4) != 0) {
     return Status::invalid_argument("snapshot: bad magic (not a checkpoint file)");
   }
-  if (version != kSnapshotVersion) {
+  if (version < kSnapshotMinVersion || version > kSnapshotVersion) {
     return Status::invalid_argument(
         "snapshot: unsupported version " + std::to_string(version) +
-        " (expected " + std::to_string(kSnapshotVersion) + ")");
+        " (accepted " + std::to_string(kSnapshotMinVersion) + ".." +
+        std::to_string(kSnapshotVersion) + ")");
   }
   if (body_size > kMaxBodyBytes) {
     return Status::invalid_argument("snapshot: body length " +
@@ -224,7 +245,7 @@ Expected<MasterCheckpoint> decode_checkpoint(std::span<const std::uint8_t> bytes
   if (crc32(body) != crc) {
     return Status::invalid_argument("snapshot: CRC mismatch (corrupt checkpoint)");
   }
-  return decode_body(body, inst);
+  return decode_body(body, version, inst);
 }
 
 Status save_checkpoint(const std::string& path,

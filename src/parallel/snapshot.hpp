@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bounds/reduction.hpp"
 #include "mkp/instance.hpp"
 #include "mkp/solution.hpp"
 #include "tabu/strategy.hpp"
@@ -40,7 +41,10 @@
 
 namespace pts::parallel::snapshot {
 
-inline constexpr std::uint8_t kSnapshotVersion = 1;
+/// v2 appends the core-reduction section (see CoreSection). v1 files are
+/// still accepted — they decode with an empty (disengaged) core section.
+inline constexpr std::uint8_t kSnapshotVersion = 2;
+inline constexpr std::uint8_t kSnapshotMinVersion = 1;
 inline constexpr std::size_t kSnapshotHeaderBytes = 17;
 
 /// Ceiling on one checkpoint body, mirroring wire::kMaxPayloadBytes: a
@@ -64,6 +68,26 @@ struct SlaveState {
   /// False once the master retired this slave (pool degradation): it gets no
   /// further assignments and the survivors absorb its work share.
   bool active = true;
+};
+
+/// Provenance of a core-reduced run (DESIGN.md "Core-problem reduction").
+/// When ParallelConfig::core engaged, every solution in the checkpoint —
+/// best, initials, elite pools — lives in CORE coordinates, and the
+/// instance_fingerprint above is the fingerprint of the core instance the
+/// master actually searched. This section records the reduction that built
+/// that core: the FULL instance's fingerprint plus the per-variable fixing
+/// status. A resumed run rederives the reduction from the full instance
+/// (build_core_problem is deterministic) and refuses to resume if it does
+/// not reproduce this section bit-for-bit — a drifted reduction would remap
+/// the checkpointed core bits onto the wrong variables.
+struct CoreSection {
+  std::uint32_t full_instance_fingerprint = 0;
+  std::vector<bounds::FixedValue> status;  ///< one entry per FULL variable
+
+  /// Disengaged sections (no core reduction, or a v1 file) are empty.
+  [[nodiscard]] bool engaged() const { return !status.empty(); }
+
+  friend bool operator==(const CoreSection&, const CoreSection&) = default;
 };
 
 /// The master's full resumable state at a round boundary.
@@ -96,6 +120,9 @@ struct MasterCheckpoint {
   std::uint64_t relink_improvements = 0;
   std::uint64_t slave_faults = 0;
   std::uint64_t slave_respawns = 0;
+
+  // -- Core-reduction provenance (v2; empty = not core-reduced). --
+  CoreSection core;
 };
 
 /// Identity hash of an instance: CRC-32 over its wire encoding (name, sizes,

@@ -32,6 +32,7 @@ Expected<SolveSummary> solve(const mkp::Instance& inst, const SolveOptions& opti
   config.time_limit_seconds = options.time_budget_seconds;
   config.target_value = options.target_value;
   config.relink_elites = options.relink_elites;
+  config.core.enabled = options.core_reduction;
   config.cancel = options.cancel;
 
   const auto result = run_parallel_tabu_search(inst, config);

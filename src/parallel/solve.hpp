@@ -24,6 +24,11 @@ struct SolveOptions {
   std::uint64_t seed = 1;
   std::optional<double> target_value;
   bool relink_elites = true;  ///< the extension earns its keep by default here
+  /// LP core-problem reduction before the search (ParallelConfig::core):
+  /// fix variables by reduced cost and search only the residual core. The
+  /// returned best is always full-space. Off by default — it changes the
+  /// searched space, so fixed-seed results differ from a non-reduced solve.
+  bool core_reduction = false;
   /// Cooperative stop (external cancel and/or deadline); the best found so
   /// far is still returned when it fires.
   CancelToken cancel;

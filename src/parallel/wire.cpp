@@ -127,6 +127,30 @@ Expected<mkp::Instance> get_instance(Reader& r) {
   return inst;
 }
 
+void put_fixed_status(Writer& w, std::span<const bounds::FixedValue> status) {
+  w.u32(static_cast<std::uint32_t>(status.size()));
+  for (const auto value : status) w.u8(static_cast<std::uint8_t>(value));
+}
+
+Expected<std::vector<bounds::FixedValue>> get_fixed_status(Reader& r) {
+  const auto count = r.u32();
+  if (!r.ok() || !r.plausible_count(count, 1)) {
+    return truncated("fixing status");
+  }
+  std::vector<bounds::FixedValue> status;
+  status.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const auto byte = r.u8();
+    if (byte > static_cast<std::uint8_t>(bounds::FixedValue::kOne)) {
+      return Status::invalid_argument(
+          "wire: fixing status byte is not a FixedValue");
+    }
+    status.push_back(static_cast<bounds::FixedValue>(byte));
+  }
+  if (!r.ok()) return truncated("fixing status");
+  return status;
+}
+
 namespace {
 
 void put_params(Writer& w, const tabu::TsParams& p) {

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bounds/reduction.hpp"
 #include "mkp/instance.hpp"
 #include "parallel/codec.hpp"
 #include "parallel/comm.hpp"
@@ -130,5 +131,14 @@ void put_strategy(codec::Writer& w, const tabu::Strategy& strategy);
 /// the running instance by hashing these bytes.
 void put_instance(codec::Writer& w, const mkp::Instance& inst);
 [[nodiscard]] Expected<mkp::Instance> get_instance(codec::Reader& r);
+
+/// Core-reduction fixing status (bounds::FixedValue per original variable),
+/// one byte each behind a count. The v2 snapshot embeds it so a resumed
+/// run can verify its rederived reduction matches the checkpointed one.
+/// Rejects counts that cannot fit the remaining buffer and any byte that is
+/// not a FixedValue enumerator.
+void put_fixed_status(codec::Writer& w, std::span<const bounds::FixedValue> status);
+[[nodiscard]] Expected<std::vector<bounds::FixedValue>> get_fixed_status(
+    codec::Reader& r);
 
 }  // namespace pts::parallel::wire

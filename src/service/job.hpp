@@ -53,6 +53,9 @@ struct JobOptions {
   /// job's future kUnavailable with the supervisor's error.
   std::optional<parallel::Backend> backend;
   parallel::ProcOptions proc;
+  /// LP core-problem reduction before the search (ParallelConfig::core).
+  /// The job's best is always reported in full space.
+  bool core_reduction = false;
 };
 
 /// What a job's future resolves to — always. The service never aborts and

@@ -63,9 +63,11 @@ void put_job_options(Writer& w, const JobOptions& options) {
   w.u64(options.proc.breaker_threshold);
   w.f64(options.proc.breaker_window_seconds);
   w.f64(options.proc.breaker_cooloff_seconds);
+  // v2 tail.
+  w.u8(options.core_reduction ? 1 : 0);
 }
 
-Expected<JobOptions> get_job_options(Reader& r) {
+Expected<JobOptions> get_job_options(Reader& r, std::uint8_t version) {
   JobOptions o;
   o.preset = r.str(/*max_len=*/256);
   o.time_budget_seconds = r.f64();
@@ -89,6 +91,7 @@ Expected<JobOptions> get_job_options(Reader& r) {
   o.proc.breaker_threshold = static_cast<std::size_t>(r.u64());
   o.proc.breaker_window_seconds = r.f64();
   o.proc.breaker_cooloff_seconds = r.f64();
+  if (version >= 2) o.core_reduction = r.u8() != 0;
   if (!r.ok()) {
     return Status::invalid_argument("journal: truncated or corrupt job options");
   }
@@ -157,6 +160,13 @@ Status JobJournal::append_submitted(JobId id, const mkp::Instance& instance,
   return append(RecordType::kSubmitted, w.take());
 }
 
+Status JobJournal::append_dispatched(JobId id, std::uint64_t start_sequence) {
+  Writer w;
+  w.u64(id);
+  w.u64(start_sequence);
+  return append(RecordType::kDispatched, w.take());
+}
+
 Status JobJournal::append_resolved(JobId id) {
   Writer w;
   w.u64(id);
@@ -189,10 +199,12 @@ Expected<std::vector<RecoveredJob>> recover_jobs(const std::string& path) {
       std::memcmp(bytes.data(), kMagic, 4) != 0) {
     return Status::invalid_argument("journal: bad magic (not a job journal)");
   }
-  if (bytes[4] != kJournalVersion) {
+  const std::uint8_t version = bytes[4];
+  if (version < kJournalMinVersion || version > kJournalVersion) {
     return Status::invalid_argument(
-        "journal: unsupported version " + std::to_string(bytes[4]) +
-        " (expected " + std::to_string(kJournalVersion) + ")");
+        "journal: unsupported version " + std::to_string(version) +
+        " (accepted " + std::to_string(kJournalMinVersion) + ".." +
+        std::to_string(kJournalVersion) + ")");
   }
 
   // Replay. Ordered map keyed by the old id keeps submission order; a
@@ -221,6 +233,18 @@ Expected<std::vector<RecoveredJob>> recover_jobs(const std::string& path) {
       open.erase(id);
       continue;
     }
+    if (type == static_cast<std::uint8_t>(RecordType::kDispatched)) {
+      Reader r(body);
+      const auto id = r.u64();
+      const auto sequence = r.u64();
+      if (!r.done()) break;
+      // Attaches to the open submission; a dispatch record whose job was
+      // since resolved (or whose submission the tail tore away) is inert.
+      if (auto it = open.find(id); it != open.end()) {
+        it->second.dispatch_sequence = sequence;
+      }
+      continue;
+    }
     if (type != static_cast<std::uint8_t>(RecordType::kSubmitted)) {
       break;  // unknown record type: written by a future version, stop
     }
@@ -228,7 +252,7 @@ Expected<std::vector<RecoveredJob>> recover_jobs(const std::string& path) {
     const auto id = r.u64();
     auto instance = parallel::wire::get_instance(r);
     if (!instance) break;
-    auto options = get_job_options(r);
+    auto options = get_job_options(r, version);
     if (!options || !r.done()) break;
     open.insert_or_assign(
         id, RecoveredJob{id, *std::move(instance), *std::move(options)});

@@ -1,10 +1,13 @@
 #pragma once
 // Crash-safe job journal for the solver service (DESIGN.md §9). An append-
-// only log of two record kinds — "job submitted" (with the full instance and
-// options, enough to re-run it) and "job resolved" — so a service that is
-// killed mid-flight can replay the file on restart and re-enqueue exactly
-// the jobs whose futures never resolved. Those jobs re-enter the queue as
-// JobOrigin::kResumed.
+// only log of three record kinds — "job submitted" (with the full instance
+// and options, enough to re-run it), "job dispatched" (the scheduler's
+// global start sequence, so a restart can restore dispatch ORDER, not just
+// the job set) and "job resolved" — so a service that is killed mid-flight
+// can replay the file on restart and re-enqueue exactly the jobs whose
+// futures never resolved. Those jobs re-enter the queue as
+// JobOrigin::kResumed, and the ones that had already started run first, in
+// their original dispatch order, before any not-yet-dispatched job.
 //
 // Format. One file header (magic 'PTSJ', version byte), then records:
 //
@@ -35,7 +38,10 @@
 
 namespace pts::service::journal {
 
-inline constexpr std::uint8_t kJournalVersion = 1;
+/// v2 adds the kDispatched record and the options' core_reduction flag.
+/// v1 files replay fine: no dispatch records, flag defaults to off.
+inline constexpr std::uint8_t kJournalVersion = 2;
+inline constexpr std::uint8_t kJournalMinVersion = 1;
 /// File header: 4 magic bytes + 1 version byte.
 inline constexpr std::size_t kJournalHeaderBytes = 5;
 /// Record frame: type (1) + crc (4) + body_len (4).
@@ -45,8 +51,9 @@ inline constexpr std::size_t kRecordHeaderBytes = 9;
 inline constexpr std::uint64_t kMaxRecordBytes = 256ull << 20;
 
 enum class RecordType : std::uint8_t {
-  kSubmitted = 1,  ///< body: job id + instance + options
-  kResolved = 2,   ///< body: job id (the future resolved, any status)
+  kSubmitted = 1,   ///< body: job id + instance + options
+  kResolved = 2,    ///< body: job id (the future resolved, any status)
+  kDispatched = 3,  ///< body: job id + scheduler start sequence (v2)
 };
 
 /// A submission that survived replay: journaled but never resolved.
@@ -54,6 +61,11 @@ struct RecoveredJob {
   JobId id = 0;  ///< id in the previous incarnation (resubmit assigns a new one)
   mkp::Instance instance;
   JobOptions options;
+  /// The previous incarnation's dispatch order (1-based start sequence);
+  /// 0 when the job was still queued at the crash. The service dispatches
+  /// nonzero holders first, in ascending sequence — a restart continues the
+  /// schedule, it does not re-derive one from priorities alone.
+  std::uint64_t dispatch_sequence = 0;
 };
 
 /// Append-only journal writer. Thread-safe: the service appends from the
@@ -75,6 +87,11 @@ class JobJournal {
   /// Journals an accepted submission (id + everything needed to re-run it).
   Status append_submitted(JobId id, const mkp::Instance& instance,
                           const JobOptions& options);
+
+  /// Journals the moment the scheduler starts a job, with its global start
+  /// sequence. Replay attaches it to the open submission so a restarted
+  /// service can restore the dispatch order the crashed one had committed to.
+  Status append_dispatched(JobId id, std::uint64_t start_sequence);
 
   /// Journals a terminal resolution; the pair (submitted, resolved) cancels
   /// out at replay. Shutdown-caused resolutions are deliberately NOT
@@ -99,6 +116,9 @@ class JobJournal {
 // -- Sub-codecs, exposed for the recover-label fuzz tests. --
 
 void put_job_options(parallel::codec::Writer& w, const JobOptions& options);
-[[nodiscard]] Expected<JobOptions> get_job_options(parallel::codec::Reader& r);
+/// `version` is the journal file's header version: v1 bodies end before the
+/// core_reduction flag, which then defaults to off.
+[[nodiscard]] Expected<JobOptions> get_job_options(
+    parallel::codec::Reader& r, std::uint8_t version = kJournalVersion);
 
 }  // namespace pts::service::journal

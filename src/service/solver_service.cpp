@@ -21,6 +21,10 @@ struct SolverService::Job {
   JobOptions options;
   parallel::ParallelConfig config;  ///< resolved at submit; budget set at dispatch
   std::size_t slots = 1;            ///< pool capacity the job occupies while running
+  /// Nonzero = this job had been dispatched by the crashed incarnation with
+  /// this start sequence; it outranks all ordinary queued jobs and replays
+  /// in ascending-rank order (see dispatches_before).
+  std::uint64_t resume_rank = 0;
   Deadline deadline;                ///< unbounded when no deadline was requested
   CancelSource cancel;              ///< armed with `deadline`; cancel(id) fires it
   Stopwatch since_submit;
@@ -53,7 +57,7 @@ SolverService::SolverService(ServiceConfig config) : config_(std::move(config)) 
   for (auto& job : replayed) {
     recovered_.push_back(submit_impl(
         std::make_shared<const mkp::Instance>(std::move(job.instance)),
-        std::move(job.options), JobOrigin::kResumed));
+        std::move(job.options), JobOrigin::kResumed, job.dispatch_sequence));
   }
 }
 
@@ -91,11 +95,12 @@ void SolverService::resolve_without_run(Job& job, Status status) {
 
 SolverService::Submission SolverService::submit_impl(
     std::shared_ptr<const mkp::Instance> instance, JobOptions options,
-    JobOrigin origin) {
+    JobOrigin origin, std::uint64_t resume_rank) {
   auto job = std::make_shared<Job>();
   job->origin = origin;
   job->instance = std::move(instance);
   job->options = std::move(options);
+  job->resume_rank = resume_rank;
 
   Submission out;
   out.result = job->promise.get_future();
@@ -146,6 +151,7 @@ SolverService::Submission SolverService::submit_impl(
   }
   job->config.seed = job->options.seed;
   job->config.target_value = job->options.target_value;
+  job->config.core.enabled = job->options.core_reduction;
   job->config.fault_injector = config_.fault_injector;
   // Time is the binding limit (set at dispatch); rounds get enough headroom
   // that they can never run out before the budget or deadline does.
@@ -303,6 +309,19 @@ void SolverService::sweep_queue_locked() {
 }
 
 void SolverService::dispatch_ready_locked() {
+  // Dispatch order: jobs the crashed incarnation had already dispatched come
+  // first, replayed in their original start order; everyone else by strict
+  // priority, ties in submission order.
+  const auto dispatches_before = [](const Job& a, const Job& b) {
+    const bool a_resumed = a.resume_rank != 0;
+    const bool b_resumed = b.resume_rank != 0;
+    if (a_resumed != b_resumed) return a_resumed;
+    if (a_resumed) return a.resume_rank < b.resume_rank;
+    if (a.options.priority != b.options.priority) {
+      return a.options.priority > b.options.priority;
+    }
+    return a.id < b.id;
+  };
   // Strict priority: always dispatch the best queued job next, and if its
   // ask does not fit the free capacity, wait — lower-priority jobs do not
   // jump it (a wide job cannot be starved; asks are clamped to the pool
@@ -310,12 +329,7 @@ void SolverService::dispatch_ready_locked() {
   for (;;) {
     auto best = queue_.end();
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (best == queue_.end() ||
-          std::pair((*it)->options.priority, -static_cast<std::int64_t>((*it)->id)) >
-              std::pair((*best)->options.priority,
-                        -static_cast<std::int64_t>((*best)->id))) {
-        best = it;
-      }
+      if (best == queue_.end() || dispatches_before(**it, **best)) best = it;
     }
     if (best == queue_.end() || (*best)->slots > free_slots_) return;
     auto job = *best;
@@ -323,6 +337,12 @@ void SolverService::dispatch_ready_locked() {
     free_slots_ -= job->slots;
     running_.emplace(job->id, job);
     const std::uint64_t seq = next_start_sequence_++;
+    // Stamp the commitment before the thread exists: if we crash between
+    // the append and the spawn, replay still restores this job at the front
+    // in this order — exactly what the dispatch decision promised.
+    if (journal_ && job->journaled) {
+      (void)journal_->append_dispatched(job->id, seq);
+    }
     job_threads_.emplace(job->id,
                          std::thread([this, job, seq] { run_job(job, seq); }));
   }

@@ -23,10 +23,15 @@
 // count in JobResult and aggregates it in ServiceStats.
 //
 // Crash safety. With ServiceConfig::journal_path set, every accepted job is
-// journaled at submit and struck at terminal resolution — EXCEPT resolutions
+// journaled at submit, stamped at dispatch (with the scheduler's global
+// start sequence) and struck at terminal resolution — EXCEPT resolutions
 // caused by shutdown(), which are deliberately left open so a restarted
 // service replays them. The constructor re-enqueues the survivors as
 // JobOrigin::kResumed; take_recovered() hands their futures to the caller.
+// Survivors that had already been dispatched outrank every other queued job
+// and run in their original dispatch order — the restart continues the
+// schedule the crashed incarnation committed to, rather than re-deriving
+// one from priorities (which ties or later submissions could reorder).
 //
 // DESIGN.md §7 covers the full design; examples/batch_server.cpp drives a
 // mixed workload through it.
@@ -92,7 +97,8 @@ class SolverService {
   struct Job;
 
   Submission submit_impl(std::shared_ptr<const mkp::Instance> instance,
-                         JobOptions options, JobOrigin origin);
+                         JobOptions options, JobOrigin origin,
+                         std::uint64_t resume_rank = 0);
   /// Strikes a journaled job's submission record (no-op when journaling is
   /// off or the job never made it into the journal).
   void journal_resolved(const Job& job);

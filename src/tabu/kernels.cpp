@@ -3,21 +3,18 @@
 #include <algorithm>
 
 #include "obs/counters.hpp"
+#include "tabu/kernels_detail.hpp"
 
 namespace pts::tabu::kernels {
 
-FitScore fit_and_score(const mkp::Solution& x, std::size_t j) {
-  const mkp::Instance& inst = x.instance();
-  if (inst.min_col_weight(j) > x.min_slack()) {  // O(1) reject
-    obs::bump(obs::Counter::kPruneEarlyOuts);
-    return {};
-  }
-  obs::bump(obs::Counter::kFitScoreCalls);
-  const double* col = inst.weights_col(j).data();
-  const double* loads = x.loads().data();
-  const double* caps = inst.capacities().data();
-  const double* inv = x.inv_slack().data();
-  const std::size_t m = inst.num_constraints();
+namespace detail {
+
+FitScore fit_and_score_scalar_body(const ScanCtx& ctx, std::size_t j) {
+  const double* col = ctx.mirror + j * ctx.stride;
+  const double* loads = ctx.loads;
+  const double* caps = ctx.caps;
+  const double* inv = ctx.inv;
+  const std::size_t m = ctx.m;
   // Two latency-hiding tricks on top of the fused single pass:
   //  - multiply by the precomputed floored reciprocal slack
   //    (Solution::inv_slack) instead of dividing — slacks are loop-invariant
@@ -29,6 +26,10 @@ FitScore fit_and_score(const mkp::Solution& x, std::size_t j) {
   // `load + w > cap` form, ascending i, early-out on the first violation).
   // A zero weight contributes exactly +0.0, so the scalar path's explicit
   // w == 0 skip needs no branch here.
+  //
+  // The vector bodies (kernels_simd.cpp) replicate this accumulation tree
+  // lane-for-lane (chain s_k == vector lane k, scalar tail into s0, final
+  // (s0+s1)+(s2+s3) reduction), so their results are bitwise equal.
   double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
   std::size_t i = 0;
   for (; i + 3 < m; i += 4) {
@@ -45,11 +46,92 @@ FitScore fit_and_score(const mkp::Solution& x, std::size_t j) {
     if (loads[i] + col[i] > caps[i]) return {};
     s0 += col[i] * inv[i];
   }
-  const double scaled_weight = (s0 + s1) + (s2 + s3);
-  if (scaled_weight == 0.0) {
-    return {true, std::numeric_limits<double>::infinity()};
+  return finish_score(ctx.profits[j], s0, s1, s2, s3);
+}
+
+}  // namespace detail
+
+namespace {
+
+detail::ScanBody pick_body(simd::Kind kind) {
+  switch (kind) {
+#if PTS_HAVE_AVX2_KERNELS
+    case simd::Kind::kAvx2:
+      return detail::fit_and_score_avx2_body;
+#endif
+#if PTS_HAVE_NEON_KERNELS
+    case simd::Kind::kNeon:
+      return detail::fit_and_score_neon_body;
+#endif
+    default:
+      return detail::fit_and_score_scalar_body;
   }
-  return {true, inst.profit(j) / scaled_weight};
+}
+
+// The certain-fit fast path is a vector-body feature: the scalar body is
+// the frozen bitwise reference (and the benchmark's fused-scalar baseline),
+// so kScalar gets no score-only variant and always runs the checked body.
+detail::ScanBody pick_score_only(simd::Kind kind) {
+  switch (kind) {
+#if PTS_HAVE_AVX2_KERNELS
+    case simd::Kind::kAvx2:
+      return detail::score_only_avx2_body;
+#endif
+#if PTS_HAVE_NEON_KERNELS
+    case simd::Kind::kNeon:
+      return detail::score_only_neon_body;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+AddScan::AddScan(const mkp::Solution& x, simd::Kind kind)
+    : inst_(&x.instance()),
+      ctx_(detail::make_scan_ctx(x)),
+      checked_(pick_body(kind)),
+      score_only_(pick_score_only(kind)),
+      min_slack_(x.min_slack()) {}
+
+FitScore AddScan::operator()(std::size_t j) const {
+  if (inst_->min_col_weight(j) > min_slack_) {  // O(1) reject
+    obs::bump(obs::Counter::kPruneEarlyOuts);
+    return {};
+  }
+  obs::bump(obs::Counter::kFitScoreCalls);
+  if (score_only_ != nullptr && inst_->max_col_weight(j) <= min_slack_) {
+    return score_only_(ctx_, j);  // O(1) accept: no feasibility lanes
+  }
+  return checked_(ctx_, j);
+}
+
+FitScore fit_and_score(const mkp::Solution& x, std::size_t j) {
+  if (prune_add_candidate(x, j)) {  // O(1) reject
+    obs::bump(obs::Counter::kPruneEarlyOuts);
+    return {};
+  }
+  obs::bump(obs::Counter::kFitScoreCalls);
+  return pick_body(simd::active())(detail::make_scan_ctx(x), j);
+}
+
+FitScore fit_and_score_scalar(const mkp::Solution& x, std::size_t j) {
+  if (prune_add_candidate(x, j)) {
+    obs::bump(obs::Counter::kPruneEarlyOuts);
+    return {};
+  }
+  obs::bump(obs::Counter::kFitScoreCalls);
+  return detail::fit_and_score_scalar_body(detail::make_scan_ctx(x), j);
+}
+
+FitScore fit_and_score_vector(const mkp::Solution& x, std::size_t j, simd::Kind kind) {
+  if (prune_add_candidate(x, j)) {
+    obs::bump(obs::Counter::kPruneEarlyOuts);
+    return {};
+  }
+  obs::bump(obs::Counter::kFitScoreCalls);
+  return pick_body(kind)(detail::make_scan_ctx(x), j);
 }
 
 FitScore fit_and_score_reference(const mkp::Solution& x, std::size_t j) {

@@ -1,0 +1,69 @@
+#pragma once
+// Internal seam between the dispatching kernels.cpp and the intrinsics TU
+// (kernels_simd.cpp). Not part of the public kernels API.
+//
+// PTS_HAVE_AVX2_KERNELS / PTS_HAVE_NEON_KERNELS say whether this BINARY
+// contains the respective vector body (a compile-time architecture fact);
+// whether it may be EXECUTED is the separate runtime question simd::active()
+// answers. AVX2 bodies are built with per-function target attributes, so
+// portable -march builds still carry them and gate execution at runtime.
+
+#include <cstddef>
+
+#include "mkp/solution.hpp"
+#include "tabu/kernels.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PTS_HAVE_AVX2_KERNELS 1
+#else
+#define PTS_HAVE_AVX2_KERNELS 0
+#endif
+
+#if defined(__aarch64__)
+#define PTS_HAVE_NEON_KERNELS 1
+#else
+#define PTS_HAVE_NEON_KERNELS 0
+#endif
+
+namespace pts::tabu::kernels::detail {
+
+/// Builds the per-sweep pointer bundle every body reads (kernels.hpp's
+/// ScanCtx). The padded mirrors alias the unpadded spans over [0, m), so
+/// scalar bodies reading through the ctx see exactly the same values.
+inline ScanCtx make_scan_ctx(const mkp::Solution& x) {
+  const mkp::Instance& inst = x.instance();
+  ScanCtx ctx;
+  ctx.mirror = inst.weights_col_padded(0).data();
+  ctx.loads = x.loads_padded().data();
+  ctx.caps = inst.capacities_padded().data();
+  ctx.inv = x.inv_slack_padded().data();
+  ctx.profits = inst.profits().data();
+  ctx.m = inst.num_constraints();
+  ctx.stride = inst.num_constraints_padded();
+  return ctx;
+}
+
+/// Shared epilogue: the exact (s0+s1)+(s2+s3) reduction and the zero-weight
+/// → +infinity score rule, identical across scalar and vector bodies.
+inline FitScore finish_score(double profit, double s0, double s1, double s2,
+                             double s3) {
+  const double scaled_weight = (s0 + s1) + (s2 + s3);
+  if (scaled_weight == 0.0) {
+    return {true, std::numeric_limits<double>::infinity()};
+  }
+  return {true, profit / scaled_weight};
+}
+
+FitScore fit_and_score_scalar_body(const ScanCtx& ctx, std::size_t j);
+#if PTS_HAVE_AVX2_KERNELS
+FitScore fit_and_score_avx2_body(const ScanCtx& ctx, std::size_t j);
+/// Certain-fit fast path: score accumulation only, no feasibility lanes.
+/// Callers must have proven feasibility (max_col_weight <= min_slack).
+FitScore score_only_avx2_body(const ScanCtx& ctx, std::size_t j);
+#endif
+#if PTS_HAVE_NEON_KERNELS
+FitScore fit_and_score_neon_body(const ScanCtx& ctx, std::size_t j);
+FitScore score_only_neon_body(const ScanCtx& ctx, std::size_t j);
+#endif
+
+}  // namespace pts::tabu::kernels::detail

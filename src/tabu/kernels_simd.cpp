@@ -1,0 +1,206 @@
+// Vector bodies for fit_and_score (DESIGN.md "Runtime SIMD dispatch").
+//
+// Bit-compatibility contract with the scalar fused kernel, term by term:
+//
+//   * the scalar body keeps FOUR independent accumulator chains s0..s3 with
+//     chain k summing terms col[i+k]*inv[i+k] of each full group of 4 — an
+//     AVX2 4-lane accumulator IS that set of chains (lane k == chain s_k),
+//     and two NEON 2-lane accumulators split them pairwise ((s0,s1),(s2,s3));
+//   * multiply and add stay separate instructions (no FMA contraction — the
+//     scalar TU is compiled without -ffast-math and never fuses either);
+//   * the tail (m mod 4 trailing constraints) is accumulated SCALARLY into
+//     s0 in ascending order, exactly like the scalar tail loop. The padded
+//     mirror still buys the tail a full-width FEASIBILITY compare: pad lanes
+//     carry weight +0.0 and capacity +inf, so `0 + 0 > inf` never fires and
+//     the vector verdict equals the scalar early-out verdict;
+//   * the reduction is the same (s0+s1)+(s2+s3) tree (detail::finish_score).
+//
+// A violated group makes both paths return the same zero-initialized
+// FitScore, so mid-group early-out asymmetry (scalar stops at the first
+// violating lane, the AVX2 body tests two groups at a time, NEON one) is
+// unobservable — early-out granularity is a performance knob only.
+//
+// The score_only_* bodies are the certain-fit fast path (kernels.hpp
+// AddScan): when the caller has proven feasibility from the
+// max_col_weight <= min_slack bound, the feasibility lanes are dead weight
+// and only the accumulation tree runs. The tree is IDENTICAL (same chains,
+// same tail, same reduction), so the score is bitwise equal to what the
+// checked body would have produced — the fast path can never change a
+// trajectory, only the time it takes.
+//
+// The AVX2 bodies carry a per-function target attribute instead of the TU
+// being compiled with -mavx2, so portable builds still contain them and
+// simd::active() (which consults the CPUID probe) gates execution at
+// runtime. NEON is architecturally baseline on AArch64 — no attribute.
+
+#include "tabu/kernels_detail.hpp"
+
+#if PTS_HAVE_AVX2_KERNELS
+#include <immintrin.h>
+#endif
+#if PTS_HAVE_NEON_KERNELS
+#include <arm_neon.h>
+#endif
+
+namespace pts::tabu::kernels::detail {
+
+#if PTS_HAVE_AVX2_KERNELS
+
+__attribute__((target("avx2"))) FitScore fit_and_score_avx2_body(
+    const ScanCtx& ctx, std::size_t j) {
+  const double* col = ctx.mirror + j * ctx.stride;
+  const double* loads = ctx.loads;
+  const double* caps = ctx.caps;
+  const double* inv = ctx.inv;
+  const std::size_t m = ctx.m;
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  // Paired groups: OR the two violation masks and branch once per 8
+  // constraints. Bench states are dominated by items whose whole column is
+  // feasible (full scans), so per-group movemask+branch latency is the main
+  // cost the vector path still pays; the accumulator adds stay in the same
+  // group order, so the chains are unchanged. Items violating in the first
+  // group of a pair scan at most 4 extra constraints before exiting.
+  for (; i + 7 < m; i += 8) {
+    const __m256d w0 = _mm256_loadu_pd(col + i);
+    const __m256d w1 = _mm256_loadu_pd(col + i + 4);
+    const __m256d over0 = _mm256_cmp_pd(
+        _mm256_add_pd(_mm256_loadu_pd(loads + i), w0),
+        _mm256_loadu_pd(caps + i), _CMP_GT_OQ);
+    const __m256d over1 = _mm256_cmp_pd(
+        _mm256_add_pd(_mm256_loadu_pd(loads + i + 4), w1),
+        _mm256_loadu_pd(caps + i + 4), _CMP_GT_OQ);
+    if (_mm256_movemask_pd(_mm256_or_pd(over0, over1)) != 0) return {};
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(w0, _mm256_loadu_pd(inv + i)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(w1, _mm256_loadu_pd(inv + i + 4)));
+  }
+  for (; i + 3 < m; i += 4) {
+    const __m256d w = _mm256_loadu_pd(col + i);
+    const __m256d load = _mm256_loadu_pd(loads + i);
+    const __m256d cap = _mm256_loadu_pd(caps + i);
+    // Same ordered-quiet `load + w > cap` compare as the scalar body; any
+    // set lane means some constraint in the group is violated.
+    const __m256d over = _mm256_cmp_pd(_mm256_add_pd(load, w), cap, _CMP_GT_OQ);
+    if (_mm256_movemask_pd(over) != 0) return {};
+    // Multiply THEN add as two instructions — contracting to an FMA would
+    // skip the intermediate rounding the scalar chains perform.
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(w, _mm256_loadu_pd(inv + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double s0 = lanes[0];
+  const double s1 = lanes[1], s2 = lanes[2], s3 = lanes[3];
+  if (i < m) {
+    // Tail group: full-width feasibility over the padded lanes (pads can
+    // never violate), then the scalar-ordered accumulation into chain s0.
+    const __m256d w = _mm256_loadu_pd(col + i);
+    const __m256d load = _mm256_loadu_pd(loads + i);
+    const __m256d cap = _mm256_loadu_pd(caps + i);
+    if (_mm256_movemask_pd(
+            _mm256_cmp_pd(_mm256_add_pd(load, w), cap, _CMP_GT_OQ)) != 0) {
+      return {};
+    }
+    for (; i < m; ++i) s0 += col[i] * inv[i];
+  }
+  return finish_score(ctx.profits[j], s0, s1, s2, s3);
+}
+
+__attribute__((target("avx2"))) FitScore score_only_avx2_body(
+    const ScanCtx& ctx, std::size_t j) {
+  const double* col = ctx.mirror + j * ctx.stride;
+  const double* inv = ctx.inv;
+  const std::size_t m = ctx.m;
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  // Same group order and mul-then-add chains as the checked body — only the
+  // compare/movemask/branch per group is gone.
+  for (; i + 7 < m; i += 8) {
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(col + i),
+                                           _mm256_loadu_pd(inv + i)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(col + i + 4),
+                                           _mm256_loadu_pd(inv + i + 4)));
+  }
+  for (; i + 3 < m; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(col + i),
+                                           _mm256_loadu_pd(inv + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double s0 = lanes[0];
+  const double s1 = lanes[1], s2 = lanes[2], s3 = lanes[3];
+  for (; i < m; ++i) s0 += col[i] * inv[i];
+  return finish_score(ctx.profits[j], s0, s1, s2, s3);
+}
+
+#endif  // PTS_HAVE_AVX2_KERNELS
+
+#if PTS_HAVE_NEON_KERNELS
+
+FitScore fit_and_score_neon_body(const ScanCtx& ctx, std::size_t j) {
+  const double* col = ctx.mirror + j * ctx.stride;
+  const double* loads = ctx.loads;
+  const double* caps = ctx.caps;
+  const double* inv = ctx.inv;
+  const std::size_t m = ctx.m;
+  // Two 2-lane accumulators hold the scalar chains pairwise: acc01 = (s0,s1),
+  // acc23 = (s2,s3). Group-of-4 stride matches the scalar unroll exactly.
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 3 < m; i += 4) {
+    const float64x2_t w0 = vld1q_f64(col + i);
+    const float64x2_t w1 = vld1q_f64(col + i + 2);
+    const uint64x2_t over0 = vcgtq_f64(vaddq_f64(vld1q_f64(loads + i), w0),
+                                       vld1q_f64(caps + i));
+    const uint64x2_t over1 = vcgtq_f64(vaddq_f64(vld1q_f64(loads + i + 2), w1),
+                                       vld1q_f64(caps + i + 2));
+    if (vmaxvq_u32(vreinterpretq_u32_u64(vorrq_u64(over0, over1))) != 0) {
+      return {};
+    }
+    acc01 = vaddq_f64(acc01, vmulq_f64(w0, vld1q_f64(inv + i)));
+    acc23 = vaddq_f64(acc23, vmulq_f64(w1, vld1q_f64(inv + i + 2)));
+  }
+  double s0 = vgetq_lane_f64(acc01, 0);
+  const double s1 = vgetq_lane_f64(acc01, 1);
+  const double s2 = vgetq_lane_f64(acc23, 0);
+  const double s3 = vgetq_lane_f64(acc23, 1);
+  // Tail: identical to the scalar tail (check-then-accumulate, chain s0).
+  for (; i < m; ++i) {
+    if (loads[i] + col[i] > caps[i]) return {};
+    s0 += col[i] * inv[i];
+  }
+  return finish_score(ctx.profits[j], s0, s1, s2, s3);
+}
+
+FitScore score_only_neon_body(const ScanCtx& ctx, std::size_t j) {
+  const double* col = ctx.mirror + j * ctx.stride;
+  const double* inv = ctx.inv;
+  const std::size_t m = ctx.m;
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 3 < m; i += 4) {
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(col + i),
+                                       vld1q_f64(inv + i)));
+    acc23 = vaddq_f64(acc23, vmulq_f64(vld1q_f64(col + i + 2),
+                                       vld1q_f64(inv + i + 2)));
+  }
+  double s0 = vgetq_lane_f64(acc01, 0);
+  const double s1 = vgetq_lane_f64(acc01, 1);
+  const double s2 = vgetq_lane_f64(acc23, 0);
+  const double s3 = vgetq_lane_f64(acc23, 1);
+  for (; i < m; ++i) s0 += col[i] * inv[i];
+  return finish_score(ctx.profits[j], s0, s1, s2, s3);
+}
+
+#endif  // PTS_HAVE_NEON_KERNELS
+
+#if !PTS_HAVE_AVX2_KERNELS && !PTS_HAVE_NEON_KERNELS
+// Keep the TU non-empty on architectures with no vector body; the
+// dispatcher falls back to the scalar body via pick_body().
+namespace {
+[[maybe_unused]] constexpr int kNoVectorKernels = 0;
+}
+#endif
+
+}  // namespace pts::tabu::kernels::detail

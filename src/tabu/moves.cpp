@@ -80,12 +80,11 @@ std::optional<std::size_t> MoveKernel::select_add(const mkp::Solution& x,
   // budget. max_candidates therefore bounds the number of score comparisons
   // per move (the paper's "neighbor solutions evaluated"), independent of
   // how dense the selection mask or the tabu list happens to be.
+  // Hoist the dispatch resolve and the solution-invariant pointer bundle out
+  // of the per-candidate loop; scan(j) == fit_and_score(x, j) bitwise.
+  const kernels::AddScan scan(x);
   auto consider = [&](std::size_t j) -> bool {  // false stops the scan
-    if (kernels::prune_add_candidate(x, j)) {
-      obs::bump(obs::Counter::kPruneEarlyOuts);
-      return true;
-    }
-    const auto fs = kernels::fit_and_score(x, j);
+    const auto fs = scan(j);
     if (!fs.fit) return true;
     if (tabu.is_add_tabu(j, iter)) {
       // Aspiration (§3.1): the tabu barrier falls when accepting the item

@@ -1,0 +1,136 @@
+// Core-problem soundness (bounds/core.hpp): the reduction must never exclude
+// a verified optimum, must engage only when it fixes enough to pay for the
+// remapping, and must be deterministic — the same instance and options
+// rederive the identical fixing (the property the snapshot resume path
+// stands on). Optima come from the embedded catalog (hand-verified) and the
+// exhaustive brute-force oracle on small generated instances.
+#include "bounds/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bounds/greedy.hpp"
+#include "exact/brute_force.hpp"
+#include "mkp/catalog.hpp"
+#include "mkp/generator.hpp"
+
+namespace pts::bounds {
+namespace {
+
+CoreOptions engaged_options() {
+  CoreOptions options;
+  options.enabled = true;
+  options.min_fixed_fraction = 0.0;  // engage on any successful fixing
+  return options;
+}
+
+TEST(Core, NeverExcludesTheCatalogOptimum) {
+  // Every embedded instance has a hand-verified optimum. Whatever the core
+  // fixes, lifting the residual's exact optimum must reproduce it.
+  for (const auto& entry : mkp::catalog()) {
+    const auto core = build_core_problem(entry.instance, engaged_options());
+    if (!core.use_core) continue;  // LP declined; nothing was cut
+    double best = core.lower_bound;  // the bound's solution survives by construction
+    if (core.solved_outright()) {
+      best = std::max(best, core.lift(entry.instance, nullptr).value());
+    } else {
+      const auto residual = exact::brute_force(core.core_instance());
+      mkp::Solution residual_best = residual.best;
+      const auto full = core.lift(entry.instance, &residual_best);
+      EXPECT_DOUBLE_EQ(full.value(), core.banked_profit() + residual.optimum);
+      best = std::max(best, full.value());
+    }
+    EXPECT_DOUBLE_EQ(best, entry.optimum) << entry.instance.name();
+  }
+}
+
+TEST(Core, NeverExcludesTheBruteForceOptimumOnGeneratedInstances) {
+  for (std::uint64_t seed : {1, 2, 3, 5, 8, 13, 21}) {
+    const auto inst = mkp::generate_uncorrelated(17, 4, seed, 150.0, 0.5);
+    const auto oracle = exact::brute_force(inst);
+    const auto core = build_core_problem(inst, engaged_options());
+    if (!core.use_core) continue;
+    double best = core.lower_bound;
+    if (core.solved_outright()) {
+      best = std::max(best, core.lift(inst, nullptr).value());
+    } else {
+      const auto residual = exact::brute_force(core.core_instance());
+      best = std::max(best, core.banked_profit() + residual.optimum);
+    }
+    EXPECT_DOUBLE_EQ(best, oracle.optimum) << "seed " << seed;
+  }
+}
+
+TEST(Core, FixingsAgreeWithTheOptimumItemByItem) {
+  // Stronger than value preservation: whenever the optimum strictly beats
+  // the bound the fixing used, every fixed variable must take its fixed
+  // value IN the optimum (gap_eps = 0 preserves ties; strict improvement is
+  // never cut).
+  for (std::uint64_t seed : {4, 6, 9}) {
+    const auto inst = mkp::generate_uncorrelated(16, 3, seed, 120.0, 0.5);
+    const auto oracle = exact::brute_force(inst);
+    const auto core = build_core_problem(inst, engaged_options());
+    if (!core.use_core || oracle.optimum <= core.lower_bound) continue;
+    for (std::size_t j = 0; j < inst.num_items(); ++j) {
+      if (core.fixing.status[j] == FixedValue::kZero) {
+        EXPECT_FALSE(oracle.best.contains(j)) << "seed " << seed << " item " << j;
+      } else if (core.fixing.status[j] == FixedValue::kOne) {
+        EXPECT_TRUE(oracle.best.contains(j)) << "seed " << seed << " item " << j;
+      }
+    }
+  }
+}
+
+TEST(Core, IsDeterministic) {
+  const auto inst = mkp::generate_gk({.num_items = 120, .num_constraints = 5}, 7);
+  const auto a = build_core_problem(inst, engaged_options());
+  const auto b = build_core_problem(inst, engaged_options());
+  EXPECT_EQ(a.use_core, b.use_core);
+  EXPECT_EQ(a.fixing.status, b.fixing.status);
+  EXPECT_DOUBLE_EQ(a.lower_bound, b.lower_bound);
+  if (a.use_core && !a.solved_outright()) {
+    EXPECT_EQ(a.core_instance().num_items(), b.core_instance().num_items());
+  }
+}
+
+TEST(Core, MinFixedFractionGate) {
+  // An impossible threshold keeps the core disengaged even when the LP
+  // fixes variables — the fixing is still reported for telemetry.
+  const auto inst = mkp::generate_uncorrelated(60, 3, 2, 1000.0, 0.5);
+  CoreOptions demanding = engaged_options();
+  demanding.min_fixed_fraction = 1.1;
+  const auto core = build_core_problem(inst, demanding);
+  EXPECT_FALSE(core.use_core);
+  EXPECT_TRUE(core.fixing.lp_solved);
+}
+
+TEST(Core, LowerBoundHintRaisesTheBound) {
+  const auto inst = mkp::generate_uncorrelated(60, 3, 2, 1000.0, 0.5);
+  const double greedy = greedy_construct(inst).value();
+  CoreOptions hinted = engaged_options();
+  hinted.lower_bound_hint = greedy + 10.0;
+  const auto core = build_core_problem(inst, hinted);
+  EXPECT_DOUBLE_EQ(core.lower_bound, greedy + 10.0);
+  // A (possibly infeasible-to-attain) tighter bound can only fix more.
+  const auto baseline = build_core_problem(inst, engaged_options());
+  EXPECT_GE(core.fixing.fixed_total(), baseline.fixing.fixed_total());
+}
+
+TEST(Core, CoreInstanceShrinksAndBanksProfit) {
+  const auto inst = mkp::generate_uncorrelated(60, 3, 2, 1000.0, 0.5);
+  const auto core = build_core_problem(inst, engaged_options());
+  ASSERT_TRUE(core.use_core);
+  ASSERT_FALSE(core.solved_outright());
+  EXPECT_LT(core.core_instance().num_items(), inst.num_items());
+  EXPECT_EQ(core.core_instance().num_items(),
+            inst.num_items() - core.fixing.fixed_total());
+  double banked = 0.0;
+  for (std::size_t j = 0; j < inst.num_items(); ++j) {
+    if (core.fixing.status[j] == FixedValue::kOne) banked += inst.profit(j);
+  }
+  EXPECT_DOUBLE_EQ(core.banked_profit(), banked);
+}
+
+}  // namespace
+}  // namespace pts::bounds

@@ -327,5 +327,45 @@ TEST(WireFuzz, AbsurdElementCountIsRejectedWithoutAllocating) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(WireFixedStatus, RoundTripsEveryValue) {
+  const std::vector<bounds::FixedValue> status = {
+      bounds::FixedValue::kFree, bounds::FixedValue::kZero,
+      bounds::FixedValue::kOne,  bounds::FixedValue::kFree,
+      bounds::FixedValue::kOne};
+  codec::Writer w;
+  wire::put_fixed_status(w, status);
+  const auto bytes = w.take();
+  codec::Reader r(bytes);
+  const auto decoded = wire::get_fixed_status(r);
+  ASSERT_TRUE(decoded) << decoded.status().to_string();
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(*decoded, status);
+}
+
+TEST(WireFixedStatus, RejectsOutOfRangeByte) {
+  codec::Writer w;
+  w.u32(2);
+  w.u8(0);
+  w.u8(3);  // no FixedValue has this encoding
+  const auto bytes = w.take();
+  codec::Reader r(bytes);
+  const auto decoded = wire::get_fixed_status(r);
+  ASSERT_FALSE(decoded);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFixedStatus, TruncationReturnsStatusNotGarbage) {
+  std::vector<bounds::FixedValue> status(9, bounds::FixedValue::kZero);
+  codec::Writer w;
+  wire::put_fixed_status(w, status);
+  auto bytes = w.take();
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    codec::Reader r(std::span<const std::uint8_t>(bytes.data(), keep));
+    const auto decoded = wire::get_fixed_status(r);
+    EXPECT_FALSE(decoded) << "decoded from " << keep << " of " << bytes.size()
+                          << " bytes";
+  }
+}
+
 }  // namespace
 }  // namespace pts::parallel

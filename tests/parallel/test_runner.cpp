@@ -1,8 +1,11 @@
 #include "parallel/runner.hpp"
 
+
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "mkp/generator.hpp"
+#include "obs/anytime.hpp"
 
 namespace pts::parallel {
 namespace {
@@ -139,6 +142,87 @@ TEST(Runner, SingleSlaveDegenerateCase) {
   const auto result = run_parallel_tabu_search(inst, config);
   EXPECT_TRUE(result.best.is_feasible());
   EXPECT_EQ(result.master.timeline.size(), 3U);
+}
+
+TEST(Runner, CoreReductionLiftsToFullSpace) {
+  // With core reduction on, the search runs over the residual instance but
+  // everything the caller sees — best, best_value, feasibility — must be in
+  // full space, with every LP-fixed variable at its fixed value.
+  const auto inst = mkp::generate_uncorrelated(80, 3, 3, 1000.0, 0.5);
+  auto config = quick_config(CooperationMode::kCooperativeAdaptive);
+  config.core.enabled = true;
+  config.core.min_fixed_fraction = 0.0;
+  const auto result = run_parallel_tabu_search(inst, config);
+  ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+  ASSERT_TRUE(result.core_engaged)
+      << "fixing did not engage; pick a different instance";
+  EXPECT_GT(result.core_fixed_zero + result.core_fixed_one, 0U);
+
+  EXPECT_TRUE(result.best.is_feasible());
+  EXPECT_DOUBLE_EQ(result.best_value, result.best.value());
+  EXPECT_DOUBLE_EQ(result.master.best_value, result.best_value);
+
+  // The reduction is deterministic, so rederiving it recovers the fixing
+  // this run used; the lifted best must honour every fixed variable.
+  bounds::CoreOptions options;
+  options.enabled = true;
+  options.min_fixed_fraction = 0.0;
+  const auto core = bounds::build_core_problem(inst, options);
+  ASSERT_TRUE(core.use_core);
+  EXPECT_EQ(core.fixing.fixed_to_zero, result.core_fixed_zero);
+  EXPECT_EQ(core.fixing.fixed_to_one, result.core_fixed_one);
+  EXPECT_DOUBLE_EQ(core.banked_profit(), result.core_banked_profit);
+  for (std::size_t j = 0; j < inst.num_items(); ++j) {
+    if (core.fixing.status[j] == bounds::FixedValue::kOne) {
+      EXPECT_TRUE(result.best.contains(j)) << "item " << j;
+    } else if (core.fixing.status[j] == bounds::FixedValue::kZero) {
+      EXPECT_FALSE(result.best.contains(j)) << "item " << j;
+    }
+  }
+}
+
+TEST(Runner, CoreReductionMatchesTelemetryOffsets) {
+  if (!obs::kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  // Timeline values and anytime samples are reported in FULL-space profit:
+  // the banked constant is folded back in, so a plot of a core-reduced run
+  // is directly comparable with an unreduced one.
+  const auto inst = mkp::generate_uncorrelated(80, 3, 3, 1000.0, 0.5);
+  auto config = quick_config(CooperationMode::kCooperativeAdaptive);
+  config.core.enabled = true;
+  config.core.min_fixed_fraction = 0.0;
+  const auto result = run_parallel_tabu_search(inst, config);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_TRUE(result.core_engaged);
+  ASSERT_FALSE(result.master.timeline.empty());
+  // The best slave round must land exactly on the global best; without the
+  // banked offset it would be short by core_banked_profit (> 0 here).
+  ASSERT_GT(result.core_banked_profit, 0.0);
+  double timeline_best = 0.0;
+  for (const auto& log : result.master.timeline) {
+    timeline_best = std::max(timeline_best, log.final_value);
+  }
+  EXPECT_DOUBLE_EQ(timeline_best, result.best_value);
+  for (const auto& sample : result.master.anytime) {
+    EXPECT_GE(sample.value, result.core_banked_profit);
+  }
+}
+
+TEST(Runner, CoreReductionDisengagedIsAPlainRun) {
+  // An impossible engagement threshold must leave the run byte-identical to
+  // one with the core layer off entirely.
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 9);
+  auto plain = quick_config(CooperationMode::kCooperativePool);
+  const auto reference = run_parallel_tabu_search(inst, plain);
+
+  auto gated = plain;
+  gated.core.enabled = true;
+  gated.core.min_fixed_fraction = 1.1;  // can never be met
+  const auto result = run_parallel_tabu_search(inst, gated);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_FALSE(result.core_engaged);
+  EXPECT_DOUBLE_EQ(result.best_value, reference.best_value);
+  EXPECT_EQ(result.best, reference.best);
+  EXPECT_EQ(result.total_moves, reference.total_moves);
 }
 
 TEST(Runner, AdaptiveModeRecordsCooperationEvents) {

@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mkp/generator.hpp"
@@ -65,6 +67,59 @@ TEST(Journal, JobOptionsRoundTripEveryField) {
   EXPECT_EQ(decoded->proc.worker_path, "/opt/bin/pts_worker");
   EXPECT_EQ(decoded->proc.max_respawns_per_slave, 5U);
   EXPECT_EQ(decoded->proc.breaker_threshold, 2U);
+}
+
+TEST(Journal, JobOptionsCoreReductionFlagRoundTrips) {
+  JobOptions options;
+  options.core_reduction = true;
+  parallel::codec::Writer w;
+  put_job_options(w, options);
+  const auto bytes = w.take();
+  parallel::codec::Reader r(bytes);
+  const auto decoded = get_job_options(r);
+  ASSERT_TRUE(decoded) << decoded.status().to_string();
+  EXPECT_TRUE(decoded->core_reduction);
+}
+
+TEST(Journal, V1OptionsBodyDecodesWithCoreReductionOff) {
+  // A v1 journal's options body ends before the core_reduction byte. Decode
+  // the truncated body under version 1: every v1 field intact, flag off.
+  const auto options = fancy_options();
+  parallel::codec::Writer w;
+  put_job_options(w, options);
+  auto bytes = w.take();
+  bytes.pop_back();  // strip the v2 tail (one flag byte)
+  parallel::codec::Reader r(bytes);
+  const auto decoded = get_job_options(r, /*version=*/1);
+  ASSERT_TRUE(decoded) << decoded.status().to_string();
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(decoded->preset, "thorough");
+  EXPECT_EQ(decoded->priority, 7);
+  EXPECT_FALSE(decoded->core_reduction);
+}
+
+TEST(Journal, DispatchRecordsAttachStartSequencesToOpenJobs) {
+  const auto path = temp_path("journal_dispatch.jnl");
+  {
+    auto opened = JobJournal::open_truncate(path);
+    ASSERT_TRUE(opened) << opened.status().to_string();
+    auto& journal = **opened;
+    ASSERT_TRUE(journal.append_submitted(1, test_instance(1), JobOptions{}).ok());
+    ASSERT_TRUE(journal.append_submitted(2, test_instance(2), JobOptions{}).ok());
+    ASSERT_TRUE(journal.append_submitted(3, test_instance(3), JobOptions{}).ok());
+    ASSERT_TRUE(journal.append_dispatched(2, 1).ok());
+    ASSERT_TRUE(journal.append_dispatched(1, 2).ok());
+    // Job 2 finished: its dispatch record is struck along with the submission.
+    ASSERT_TRUE(journal.append_resolved(2).ok());
+  }
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered) << recovered.status().to_string();
+  ASSERT_EQ(recovered->size(), 2U);
+  EXPECT_EQ((*recovered)[0].id, 1U);
+  EXPECT_EQ((*recovered)[0].dispatch_sequence, 2U);
+  EXPECT_EQ((*recovered)[1].id, 3U);
+  EXPECT_EQ((*recovered)[1].dispatch_sequence, 0U);  // never dispatched
+  std::remove(path.c_str());
 }
 
 TEST(Journal, ReplayKeepsOnlyUnresolvedSubmissions) {
@@ -216,6 +271,59 @@ TEST(Journal, ServiceRecoversShutdownStrandedJobsAsResumed) {
     SolverService server(config);
     EXPECT_TRUE(server.take_recovered().empty());
     EXPECT_EQ(server.stats().resumed, 0U);
+    server.shutdown();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ServiceRestoresDispatchOrderNotJustTheJobSet) {
+  const auto path = temp_path("journal_order.jnl");
+  std::remove(path.c_str());
+
+  // Incarnation 1, one-wide pool: job A (lowest priority) is dispatched
+  // first because it arrives alone; B and C queue behind it with HIGHER
+  // priorities. Kill (shutdown) before any of them resolves.
+  {
+    ServiceConfig config;
+    config.num_workers = 1;
+    config.journal_path = path;
+    SolverService server(config);
+    JobOptions slow;
+    slow.preset = "quick";
+    slow.time_budget_seconds = 1.0;  // long enough to outlive the shutdown
+    slow.priority = 0;
+    auto a = server.submit(test_instance(1), slow);
+    // Wait until A is actually running (its kDispatched record is written
+    // under the same lock that moves it to running_).
+    while (server.running_jobs() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    slow.priority = 5;
+    auto b = server.submit(test_instance(2), slow);
+    slow.priority = 10;
+    auto c = server.submit(test_instance(3), slow);
+    server.shutdown();
+    (void)a.result.get();
+    (void)b.result.get();
+    (void)c.result.get();
+  }
+
+  // Incarnation 2, still one-wide: priority alone would run C, B, A. The
+  // dispatch record must put A — the job the crashed service had committed
+  // to — first; C and B follow by priority.
+  {
+    ServiceConfig config;
+    config.num_workers = 1;
+    config.journal_path = path;
+    SolverService server(config);
+    auto recovered = server.take_recovered();
+    ASSERT_EQ(recovered.size(), 3U);  // submission order: A, B, C
+    JobResult results[3];
+    for (std::size_t k = 0; k < 3; ++k) results[k] = recovered[k].result.get();
+    EXPECT_LT(results[0].start_sequence, results[2].start_sequence)
+        << "resumed-dispatched A must run before C";
+    EXPECT_LT(results[2].start_sequence, results[1].start_sequence)
+        << "C outranks B by priority";
     server.shutdown();
   }
   std::remove(path.c_str());

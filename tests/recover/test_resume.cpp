@@ -172,5 +172,77 @@ TEST(Resume, AnytimeEnvelopeReanchorsAtTheCheckpointedBest) {
   std::remove(path.c_str());
 }
 
+TEST(Resume, CoreReducedRunResumesBitForBitViaPath) {
+  // A core-reduced run's checkpoint holds core-space solutions; resuming it
+  // through resume_from_path rederives the identical fixing, validates the
+  // checkpointed CoreSection against it, and replays the remaining rounds in
+  // core space — bit-identical to a run that was never interrupted.
+  const auto inst = mkp::generate_uncorrelated(80, 3, 3, 1000.0, 0.5);
+  auto base = cts2_config(6);
+  base.core.enabled = true;
+  base.core.min_fixed_fraction = 0.0;
+
+  const auto uninterrupted = run_parallel_tabu_search(inst, base);
+  ASSERT_TRUE(uninterrupted.status.ok());
+  ASSERT_TRUE(uninterrupted.core_engaged)
+      << "fixing did not engage; pick a different instance";
+
+  const auto path = temp_path("resume_core.ckpt");
+  auto first_half = base;
+  first_half.search_iterations = 3;
+  first_half.checkpoint_path = path;
+  const auto partial = run_parallel_tabu_search(inst, first_half);
+  ASSERT_TRUE(partial.status.ok());
+  ASSERT_TRUE(partial.core_engaged);
+
+  auto second_half = base;
+  second_half.checkpoint_path.clear();
+  second_half.resume_from_path = path;
+  const auto resumed = run_parallel_tabu_search(inst, second_half);
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status.to_string();
+  EXPECT_TRUE(resumed.core_engaged);
+  EXPECT_EQ(resumed.master.resumed_from_round, 3U);
+  EXPECT_EQ(resumed.master.rounds_completed, 6U);
+  EXPECT_DOUBLE_EQ(resumed.best_value, uninterrupted.best_value);
+  EXPECT_EQ(resumed.best, uninterrupted.best);
+  EXPECT_EQ(resumed.total_moves, uninterrupted.total_moves);
+  std::remove(path.c_str());
+}
+
+TEST(Resume, CoreCheckpointRefusesACoreDisabledResume) {
+  // The checkpoint's solutions live in core coordinates, so a full-space
+  // run must not be allowed to adopt them: the fingerprint (which is the
+  // CORE instance's) fails against the full instance and the run errors out
+  // instead of resuming garbage.
+  const auto inst = mkp::generate_uncorrelated(80, 3, 3, 1000.0, 0.5);
+  const auto path = temp_path("resume_core_mismatch.ckpt");
+  auto core_run = cts2_config(3);
+  core_run.core.enabled = true;
+  core_run.core.min_fixed_fraction = 0.0;
+  core_run.checkpoint_path = path;
+  const auto partial = run_parallel_tabu_search(inst, core_run);
+  ASSERT_TRUE(partial.status.ok());
+  ASSERT_TRUE(partial.core_engaged);
+
+  auto full_run = cts2_config(6);
+  full_run.resume_from_path = path;
+  const auto refused = run_parallel_tabu_search(inst, full_run);
+  EXPECT_FALSE(refused.status.ok());
+  EXPECT_EQ(refused.status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Resume, MissingResumePathStartsFresh) {
+  // resume_from_path names a file that does not exist: that is the normal
+  // first launch of a crash-safe deployment, not an error.
+  const auto inst = test_instance();
+  auto config = cts2_config(3);
+  config.resume_from_path = temp_path("never_written.ckpt");
+  const auto result = run_parallel_tabu_search(inst, config);
+  ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+  EXPECT_EQ(result.master.resumed_from_round, 0U);
+  EXPECT_EQ(result.master.rounds_completed, 3U);
+}
+
 }  // namespace
 }  // namespace pts::parallel

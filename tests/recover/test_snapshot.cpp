@@ -239,5 +239,82 @@ TEST(Snapshot, MissingFileIsUnavailableNotCorrupt) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
 }
 
+TEST(Snapshot, CoreSectionRoundTrips) {
+  // The v2 body tail carries the core-reduction fixing verbatim; it must
+  // survive encode → decode bit-for-bit alongside everything else.
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_core.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  auto loaded = load_checkpoint(path, inst);
+  ASSERT_TRUE(loaded);
+  EXPECT_FALSE(loaded->core.engaged());  // plain run writes a disengaged tail
+
+  MasterCheckpoint with_core = *loaded;
+  with_core.core.full_instance_fingerprint = 0xDEADBEEFu;
+  with_core.core.status = {bounds::FixedValue::kZero, bounds::FixedValue::kFree,
+                           bounds::FixedValue::kOne, bounds::FixedValue::kOne,
+                           bounds::FixedValue::kFree};
+  const auto image = encode_checkpoint(with_core);
+  auto decoded = decode_checkpoint(image, inst);
+  ASSERT_TRUE(decoded) << decoded.status().to_string();
+  EXPECT_TRUE(decoded->core.engaged());
+  EXPECT_EQ(decoded->core, with_core.core);
+  EXPECT_EQ(decoded->best, with_core.best);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, V1ImageStillDecodes) {
+  // Forward compatibility promise: a checkpoint written by the previous
+  // format version (no core tail at all) must load with a disengaged core
+  // section, not be rejected as corrupt.
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_v1.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  auto image = read_file(path);
+  ASSERT_GT(image.size(), kSnapshotHeaderBytes + 1);
+
+  // A disengaged v2 body is exactly the v1 body plus one engaged=0 byte:
+  // strip it, stamp version 1, and re-seal the CRC and length fields.
+  image.pop_back();
+  image[4] = 1;  // version byte (after the 4-byte magic)
+  const std::span<const std::uint8_t> body(image.data() + kSnapshotHeaderBytes,
+                                           image.size() - kSnapshotHeaderBytes);
+  const std::uint32_t crc = crc32(body);
+  const std::uint64_t size = body.size();
+  std::memcpy(image.data() + 5, &crc, sizeof(crc));
+  std::memcpy(image.data() + 9, &size, sizeof(size));
+
+  auto decoded = decode_checkpoint(image, inst);
+  ASSERT_TRUE(decoded) << decoded.status().to_string();
+  EXPECT_FALSE(decoded->core.engaged());
+  EXPECT_EQ(decoded->next_round, 4U);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, EngagedFlagWithEmptyStatusIsCorrupt) {
+  // engaged=1 followed by a zero-length status vector is self-contradictory
+  // — engaged() is defined by non-emptiness — so the decoder rejects it
+  // rather than materialising a lying section.
+  const auto inst = test_instance();
+  const auto path = temp_path("snapshot_core_lie.ckpt");
+  ASSERT_TRUE(run_with_checkpoint(inst, path).status.ok());
+  auto image = read_file(path);
+  // Replace the trailing engaged=0 byte with engaged=1 + fingerprint + count=0.
+  image.pop_back();
+  image.push_back(1);
+  for (int k = 0; k < 8; ++k) image.push_back(0);  // fingerprint u32 + count u32
+  const std::span<const std::uint8_t> body(image.data() + kSnapshotHeaderBytes,
+                                           image.size() - kSnapshotHeaderBytes);
+  const std::uint32_t crc = crc32(body);
+  const std::uint64_t size = body.size();
+  std::memcpy(image.data() + 5, &crc, sizeof(crc));
+  std::memcpy(image.data() + 9, &size, sizeof(size));
+
+  const auto decoded = decode_checkpoint(image, inst);
+  ASSERT_FALSE(decoded);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace pts::parallel::snapshot

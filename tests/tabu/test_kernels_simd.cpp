@@ -1,0 +1,188 @@
+// Scalar == SIMD bit-compatibility for the dispatched fit_and_score bodies
+// (DESIGN.md "Runtime SIMD dispatch"): the vector kernels replicate the
+// scalar accumulation tree lane-for-lane, so their results must be BITWISE
+// equal — not merely within tolerance — across every m mod 4 remainder
+// (exercising the padded-tail path), unaligned column bases, empty/partial/
+// saturated/infeasible states, and whole fixed-seed search trajectories.
+// When this binary/CPU has no vector kind, the suite records itself skipped
+// rather than silently passing on the scalar==scalar identity.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "bounds/greedy.hpp"
+#include "mkp/generator.hpp"
+#include "tabu/engine.hpp"
+#include "tabu/kernels.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace pts::tabu {
+namespace {
+
+// Restores the process-wide dispatch no matter how a test exits.
+class DispatchGuard {
+ public:
+  DispatchGuard() : saved_(simd::active()) {}
+  ~DispatchGuard() { simd::set_active(saved_); }
+
+ private:
+  simd::Kind saved_;
+};
+
+bool bitwise_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+TEST(SimdKernel, BitwiseEqualToScalarAcrossAllRemainders) {
+  const simd::Kind kind = simd::best_supported();
+  if (kind == simd::Kind::kScalar) {
+    GTEST_SKIP() << "no vector kernel on this CPU/build";
+  }
+  // m = 1..9 covers every lane remainder twice (tail-only, one-group+tail,
+  // two-groups+tail); the larger shapes match the GK benchmark family.
+  const std::vector<std::size_t> ms = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 25, 30, 33};
+  for (const std::size_t m : ms) {
+    const auto inst = mkp::generate_gk({.num_items = 60, .num_constraints = m},
+                                       0xBEEF ^ m);
+    mkp::Solution x(inst);
+    Rng rng(0x5EED ^ m);
+    std::size_t compared = 0;
+    for (int step = 0; step < 300; ++step) {
+      x.flip(rng.index(inst.num_items()));
+      if (step % 10 != 0) continue;
+      for (std::size_t j = 0; j < inst.num_items(); ++j) {
+        if (x.contains(j)) continue;
+        const auto scalar = kernels::fit_and_score_scalar(x, j);
+        const auto vector = kernels::fit_and_score_vector(x, j, kind);
+        ASSERT_EQ(scalar.fit, vector.fit) << "m=" << m << " item " << j;
+        ASSERT_TRUE(bitwise_equal(scalar.score, vector.score))
+            << "m=" << m << " item " << j << " scalar=" << scalar.score
+            << " vector=" << vector.score;
+        ++compared;
+      }
+    }
+    ASSERT_GT(compared, 0U);
+  }
+}
+
+TEST(SimdKernel, BitwiseEqualOnSaturatedAndDegenerateColumns) {
+  const simd::Kind kind = simd::best_supported();
+  if (kind == simd::Kind::kScalar) {
+    GTEST_SKIP() << "no vector kernel on this CPU/build";
+  }
+  // All-zero columns (infinite score), a column that exactly saturates a
+  // constraint (slack floor engaged), and a never-fitting column: the edge
+  // rules (+inf score, floored reciprocal, early-out verdict) must agree.
+  //                      j:  0  1   2  3
+  mkp::Instance inst("edges", {5, 7, 11, 3},
+                     {0, 4, 30, 2,   //
+                      0, 6, 1, 2,    //
+                      0, 10, 1, 10}, //
+                     {10, 6, 10});
+  mkp::Solution x(inst);
+  for (std::size_t j = 0; j < inst.num_items(); ++j) {
+    const auto scalar = kernels::fit_and_score_scalar(x, j);
+    const auto vector = kernels::fit_and_score_vector(x, j, kind);
+    ASSERT_EQ(scalar.fit, vector.fit) << "item " << j;
+    ASSERT_TRUE(bitwise_equal(scalar.score, vector.score)) << "item " << j;
+  }
+  x.add(1);  // saturates constraint 1 (weight 6 == capacity 6): slack 0 → floor
+  for (std::size_t j = 0; j < inst.num_items(); ++j) {
+    if (x.contains(j)) continue;
+    const auto scalar = kernels::fit_and_score_scalar(x, j);
+    const auto vector = kernels::fit_and_score_vector(x, j, kind);
+    ASSERT_EQ(scalar.fit, vector.fit) << "item " << j;
+    ASSERT_TRUE(bitwise_equal(scalar.score, vector.score)) << "item " << j;
+  }
+}
+
+// AddScan is the hoisted sweep evaluator the engine and benchmark scan
+// through; it must agree bitwise with the per-call API under BOTH dispatch
+// kinds, including on a loose post-drop state where the certain-fit
+// score-only fast path (max_col_weight <= min_slack) actually fires.
+TEST(SimdKernel, AddScanMatchesPerCallApiBitwise) {
+  const simd::Kind kind = simd::best_supported();
+  for (const std::size_t m : {3UL, 5UL, 10UL, 25UL, 30UL}) {
+    const auto inst = mkp::generate_gk({.num_items = 80, .num_constraints = m},
+                                       0xADD ^ m);
+    // Greedy-fill then drop a third of the selection: elevated slack makes a
+    // sizeable fraction of candidates certainly-fitting, like the state right
+    // after the engine's drop phase.
+    auto x = bounds::greedy_construct(inst);
+    Rng rng(0xCAFE ^ m);
+    const auto selected = x.selected_items();
+    for (std::size_t k = 0; k < selected.size() / 3; ++k) {
+      const std::size_t j = selected[rng.index(selected.size())];
+      if (x.contains(j)) x.drop(j);
+    }
+    const kernels::AddScan scan_scalar(x, simd::Kind::kScalar);
+    const kernels::AddScan scan_vector(x, kind);
+    std::size_t certain = 0;
+    for (std::size_t j = 0; j < inst.num_items(); ++j) {
+      if (x.contains(j)) continue;
+      const auto reference = kernels::fit_and_score_scalar(x, j);
+      const auto via_scalar = scan_scalar(j);
+      const auto via_vector = scan_vector(j);
+      ASSERT_EQ(reference.fit, via_scalar.fit) << "m=" << m << " item " << j;
+      ASSERT_EQ(reference.fit, via_vector.fit) << "m=" << m << " item " << j;
+      ASSERT_TRUE(bitwise_equal(reference.score, via_scalar.score))
+          << "m=" << m << " item " << j;
+      ASSERT_TRUE(bitwise_equal(reference.score, via_vector.score))
+          << "m=" << m << " item " << j;
+      if (inst.max_col_weight(j) <= x.min_slack()) ++certain;
+    }
+    ASSERT_GT(certain, 0U) << "m=" << m
+                           << ": state never exercised the certain-fit path";
+  }
+}
+
+// The ctest-asserted acceptance property: a fixed-seed engine run dispatched
+// through the vector kernels follows the EXACT trajectory of the scalar run
+// — same incumbent bits, same improvement history, same move counts.
+TEST(SimdKernel, FixedSeedTrajectoryUnchangedByDispatch) {
+  const simd::Kind kind = simd::best_supported();
+  if (kind == simd::Kind::kScalar) {
+    GTEST_SKIP() << "no vector kernel on this CPU/build";
+  }
+  DispatchGuard guard;
+  for (const std::size_t m : {6UL, 10UL, 30UL}) {
+    const auto inst = mkp::generate_gk({.num_items = 120, .num_constraints = m},
+                                       0xD15 ^ m);
+    TsParams params;
+    params.strategy.tabu_tenure = 7;
+    params.strategy.nb_local = 40;
+    params.max_moves = 4000;
+
+    ASSERT_TRUE(simd::set_active(simd::Kind::kScalar));
+    Rng rng_scalar(99);
+    const auto scalar = tabu_search_from_scratch(inst, params, rng_scalar);
+
+    ASSERT_TRUE(simd::set_active(kind));
+    Rng rng_vector(99);
+    const auto vector = tabu_search_from_scratch(inst, params, rng_vector);
+
+    ASSERT_TRUE(bitwise_equal(scalar.best_value, vector.best_value)) << "m=" << m;
+    ASSERT_EQ(scalar.best.bits(), vector.best.bits()) << "m=" << m;
+    ASSERT_EQ(scalar.moves, vector.moves) << "m=" << m;
+    ASSERT_EQ(scalar.improvements, vector.improvements) << "m=" << m;
+  }
+}
+
+TEST(SimdDispatch, SetActiveRejectsUnsupportedAndScalarAlwaysWorks) {
+  DispatchGuard guard;
+  EXPECT_TRUE(simd::set_active(simd::Kind::kScalar));
+  EXPECT_EQ(simd::active(), simd::Kind::kScalar);
+  const simd::Kind best = simd::best_supported();
+  EXPECT_TRUE(simd::set_active(best));
+  EXPECT_EQ(simd::active(), best);
+#if defined(__x86_64__)
+  EXPECT_FALSE(simd::set_active(simd::Kind::kNeon));
+  EXPECT_EQ(simd::active(), best) << "failed set_active must not change dispatch";
+#endif
+}
+
+}  // namespace
+}  // namespace pts::tabu

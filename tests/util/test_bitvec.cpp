@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace pts {
 namespace {
@@ -168,6 +169,48 @@ TEST(BitVec, NextScansAgreeWithPerBitLoop) {
     ++zeros;
   }
   EXPECT_EQ(zeros, v.size() - v.popcount());
+}
+
+// The vector word-skip paths (util/bitvec.cpp) only fast-forward over word
+// groups proven entirely skippable, so next_one/next_zero must return the
+// EXACT scalar answer under every dispatch kind — across word-boundary
+// starts, dense/sparse/empty/full patterns, and sizes that leave 0..3
+// trailing words after the 4-word groups.
+TEST(BitVecSimd, ScansMatchScalarUnderVectorDispatch) {
+  const simd::Kind kind = simd::best_supported();
+  if (kind == simd::Kind::kScalar) {
+    GTEST_SKIP() << "no vector scan on this CPU/build";
+  }
+  const simd::Kind saved = simd::active();
+  Rng rng(0xB17);
+  for (const std::size_t nbits : {1UL, 63UL, 64UL, 65UL, 128UL, 200UL, 257UL,
+                                  500UL, 1000UL, 4096UL, 4100UL}) {
+    for (int density = 0; density <= 4; ++density) {
+      BitVec v(nbits);
+      if (density == 4) {
+        for (std::size_t i = 0; i < nbits; ++i) v.set(i);  // all-ones
+      } else if (density > 0) {
+        // density 1: ~1/64 set (long zero runs); 2: half; 3: ~63/64 set
+        const std::size_t mod = density == 1 ? 64 : density == 2 ? 2 : 64;
+        for (std::size_t i = 0; i < nbits; ++i) {
+          const bool bit = density == 3 ? rng.index(mod) != 0 : rng.index(mod) == 0;
+          if (bit) v.set(i);
+        }
+      }
+      for (int probe = 0; probe < 64; ++probe) {
+        const std::size_t from = rng.index(nbits + 8);
+        ASSERT_TRUE(simd::set_active(simd::Kind::kScalar));
+        const std::size_t one_scalar = v.next_one(from);
+        const std::size_t zero_scalar = v.next_zero(from);
+        ASSERT_TRUE(simd::set_active(kind));
+        ASSERT_EQ(v.next_one(from), one_scalar)
+            << "nbits=" << nbits << " density=" << density << " from=" << from;
+        ASSERT_EQ(v.next_zero(from), zero_scalar)
+            << "nbits=" << nbits << " density=" << density << " from=" << from;
+      }
+    }
+  }
+  simd::set_active(saved);
 }
 
 }  // namespace
