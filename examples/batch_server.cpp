@@ -12,6 +12,13 @@
 //                                       unresolved by a crash or shutdown are
 //                                       re-enqueued as "resumed" on the next
 //                                       start (DESIGN.md §9)
+//            --log-level=info --metrics --trace-out=trace.json  (telemetry)
+//            --metrics-out=PATH         metrics snapshot at exit (Prometheus
+//                                       text, or JSONL with a .jsonl suffix):
+//                                       service queue/job gauges, journal
+//                                       write histograms, job latency
+//                                       p50/p99; --metrics-every=S rewrites
+//                                       it periodically while serving
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "mkp/generator.hpp"
+#include "obs/telemetry.hpp"
 #include "service/solver_service.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -27,6 +35,7 @@
 int main(int argc, char** argv) {
   using namespace pts;
   const auto args = CliArgs::parse(argc, argv);
+  obs::TelemetrySession telemetry(obs::TelemetryOptions::from_cli(args));
 
   const auto num_jobs = static_cast<std::size_t>(args.get_int("jobs", 12));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));

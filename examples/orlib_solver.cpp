@@ -25,6 +25,12 @@
 //               fix more but may cut near-ties; 0 = strict, never cuts a
 //               strictly better solution)
 //           --log-level=info --metrics --trace-out=trace.json  (telemetry)
+//           --metrics-out=PATH  write a metrics snapshot at exit (Prometheus
+//               text; a .jsonl suffix selects JSONL); --metrics-every=S
+//               additionally rewrites it every S seconds while running.
+//               With --backend=proc the snapshot folds in every worker's
+//               counters and --trace-out merges worker spans into one
+//               timeline (DESIGN.md §6)
 #include <cstdio>
 #include <optional>
 #include <string>

@@ -10,6 +10,10 @@
 //                    (crash safety: instance k of the sweep checkpoints to
 //                     <base>.k; --resume skips/continues from those files)
 //                  [--log-level=info] [--metrics] [--trace-out=trace.json]
+//                  [--metrics-out=PATH] [--metrics-every=S]
+//                    (metrics-registry snapshots: Prometheus text, or JSONL
+//                     with a .jsonl suffix; rewritten every S seconds while
+//                     the sweep runs, final snapshot at exit)
 #include <cstdio>
 #include <optional>
 

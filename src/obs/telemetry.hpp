@@ -10,9 +10,18 @@
 //                      JSONL event stream at PATH.jsonl
 //   --metrics          callers print a per-counter report after the run
 //                      (TelemetrySession only latches the flag)
+//   --metrics-out=PATH metrics-registry snapshots: Prometheus text
+//                      exposition, or one-object-per-line JSONL when PATH
+//                      ends in .jsonl; rewritten atomically (tmp + rename)
+//                      so a scraper never sees a torn file
+//   --metrics-every=S  rewrite the snapshot every S seconds while the run
+//                      is live (0 = only the final snapshot at exit)
 
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "obs/counters.hpp"
 #include "util/cli.hpp"
@@ -20,17 +29,22 @@
 namespace pts::obs {
 
 struct TelemetryOptions {
-  std::string trace_path;  ///< empty = tracing stays off
+  std::string trace_path;        ///< empty = tracing stays off
   bool metrics = false;
+  std::string metrics_out_path;  ///< empty = no metrics snapshots
+  double metrics_every_seconds = 0.0;  ///< 0 = final snapshot only
 
-  /// Reads the three flags; applies --log-level immediately (an unknown
-  /// level warns on stderr and leaves the threshold unchanged).
+  /// Reads the flags; applies --log-level immediately (an unknown level
+  /// warns on stderr and leaves the threshold unchanged).
   static TelemetryOptions from_cli(const CliArgs& args);
 };
 
 /// Enables the global tracer on construction when options.trace_path is set;
 /// on destruction (or an explicit finalize()) writes the Chrome trace and
-/// JSONL files and disables tracing again.
+/// JSONL files and disables tracing again. When options.metrics_out_path is
+/// set, also snapshots the metrics registry there — periodically from a
+/// background thread if metrics_every_seconds > 0, and always once at
+/// finalize.
 class TelemetrySession {
  public:
   TelemetrySession() = default;
@@ -39,7 +53,8 @@ class TelemetrySession {
   TelemetrySession(const TelemetrySession&) = delete;
   TelemetrySession& operator=(const TelemetrySession&) = delete;
 
-  /// Writes the trace files (if tracing was requested) and disables the
+  /// Writes the trace files (if tracing was requested) and the final metrics
+  /// snapshot (if requested), stops the periodic writer, and disables the
   /// tracer. Idempotent. Returns false when a file could not be written.
   bool finalize();
 
@@ -48,9 +63,21 @@ class TelemetrySession {
   [[nodiscard]] const TelemetryOptions& options() const { return options_; }
 
  private:
+  bool write_metrics_snapshot();
+  void stop_periodic_writer();
+
   TelemetryOptions options_;
   bool finalized_ = false;
+  std::thread writer_;
+  std::mutex writer_mutex_;
+  std::condition_variable writer_cv_;
+  bool writer_stop_ = false;
 };
+
+/// Atomic (tmp + rename) metrics-registry snapshot: Prometheus text, or
+/// JSONL when the path ends in ".jsonl". Exposed for drivers that want a
+/// snapshot at a specific moment (suite boundaries) without a session.
+bool write_metrics_snapshot_file(const std::string& path);
 
 /// Per-counter table (total, and per-snapshot mean/min/max when the stats
 /// aggregate more than one snapshot) for --metrics output.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
+#include <set>
+#include <utility>
 
 namespace pts::obs {
 
@@ -46,7 +48,8 @@ std::string event_json(const TraceEvent& event) {
   line += event.phase;
   line += "\",\"ts\":" + std::to_string(event.ts_us);
   if (event.phase == 'X') line += ",\"dur\":" + std::to_string(event.dur_us);
-  line += ",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+  line += ",\"pid\":" + std::to_string(event.pid) +
+          ",\"tid\":" + std::to_string(event.tid);
   if (!event.args.empty() || event.detail_key != nullptr) {
     line += ",\"args\":{";
     bool first = true;
@@ -73,6 +76,19 @@ std::string event_json(const TraceEvent& event) {
 }
 
 }  // namespace
+
+const char* intern_name(std::string_view name) {
+  // Node-based set: element addresses are stable across insertions, so the
+  // returned c_str() lives for the process. Guarded by its own mutex — the
+  // interner is only hit on the chunk-merge path (per round, not per event
+  // name lookup in steady state misses rarely).
+  static std::mutex mutex;
+  static std::set<std::string, std::less<>> names;
+  std::scoped_lock lock(mutex);
+  auto it = names.find(name);
+  if (it == names.end()) it = names.emplace(name).first;
+  return it->c_str();
+}
 
 std::uint32_t thread_tid() { return tl_tid; }
 
@@ -152,10 +168,28 @@ void Tracer::name_thread(std::uint32_t tid, std::string name) {
   record_event(std::move(event));
 }
 
+void Tracer::name_process(std::uint32_t pid, std::string name) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = "process_name";
+  event.phase = 'M';
+  event.pid = pid;
+  event.tid = 0;
+  event.ts_us = 0;
+  event.detail_key = "name";
+  event.detail = std::move(name);
+  record_event(std::move(event));
+}
+
 void Tracer::clear() {
   std::scoped_lock lock(mutex_);
   events_.clear();
   epoch_ = std::chrono::steady_clock::now();
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::scoped_lock lock(mutex_);
+  return std::exchange(events_, {});
 }
 
 std::size_t Tracer::size() const {

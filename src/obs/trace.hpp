@@ -43,7 +43,17 @@ struct TraceEvent {
   std::vector<TraceArg> args;
   const char* detail_key = nullptr;  ///< optional string arg (e.g. "kind")
   std::string detail;
+  /// Logical process (master = 1, merged proc worker i = 2+i). Trails the
+  /// aggregate so pre-merge brace-init call sites stay valid.
+  std::uint32_t pid = 1;
 };
+
+/// Interns a dynamic string into process-lifetime storage and returns a
+/// stable pointer, so strings that arrive over the wire (worker trace-event
+/// names in TelemetryChunks) can flow through TraceEvent's literal-pointer
+/// fields. The set only grows — names are drawn from a small fixed
+/// vocabulary of instrumentation sites, not from payload data.
+[[nodiscard]] const char* intern_name(std::string_view name);
 
 /// Logical trace id of the calling thread (0 unless a TidScope is active).
 [[nodiscard]] std::uint32_t thread_tid();
@@ -86,9 +96,19 @@ class Tracer {
   /// Names the logical thread in the viewer ('M' metadata event).
   void name_thread(std::uint32_t tid, std::string name);
 
+  /// Names a logical process in the viewer ('M' process_name event) — the
+  /// supervisor labels each merged worker's pid this way.
+  void name_process(std::uint32_t pid, std::string name);
+
   void clear();
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Moves the buffered events out WITHOUT resetting the epoch (unlike
+  /// clear()), so timestamps across successive drains share one timeline.
+  /// The proc-backend worker drains before every report send and ships the
+  /// batch to the supervisor as a TelemetryChunk.
+  [[nodiscard]] std::vector<TraceEvent> drain();
 
   /// {"traceEvents":[...]} — one event per line, sorted by timestamp so
   /// per-thread timestamps are monotone in file order.

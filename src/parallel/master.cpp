@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bounds/greedy.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tabu/path_relink.hpp"
 #include "util/check.hpp"
@@ -156,10 +157,15 @@ MasterResult run_master(const mkp::Instance& inst,
     auto cp = make_checkpoint(inst, config, result, records, master_rng,
                               next_round,
                               time_offset + watch.elapsed_seconds());
+    const Stopwatch checkpoint_watch;
     const auto status = snapshot::save_checkpoint(config.checkpoint_path, cp);
     if (status.ok()) {
       ++result.checkpoints_written;
       if (telemetry_on) ++result.counters[obs::Counter::kCheckpointsWritten];
+      obs::metrics().counter("checkpoint_writes_total").add();
+      obs::metrics()
+          .histogram("checkpoint_write_seconds")
+          .record(checkpoint_watch.elapsed_seconds());
     } else {
       ++result.checkpoint_failures;
     }
@@ -454,6 +460,10 @@ MasterResult run_master(const mkp::Instance& inst,
     }
 
     ++result.rounds_completed;
+    obs::metrics().counter("master_rounds_total").add();
+    obs::metrics()
+        .histogram("coop_round_seconds")
+        .record(watch.elapsed_seconds() - round_start_seconds);
     if (!config.checkpoint_path.empty() &&
         (round + 1 - first_round) %
                 std::max<std::size_t>(1, config.checkpoint_every_rounds) ==

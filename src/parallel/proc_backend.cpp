@@ -16,11 +16,13 @@
 #include <utility>
 #include <variant>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/slave.hpp"
 #include "parallel/wire.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 extern char** environ;
 
@@ -58,6 +60,12 @@ ProcOptions resolve_options(ProcOptions options) {
   return options;
 }
 
+std::uint32_t env_u32(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return 0;
+  return static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+}
+
 }  // namespace
 
 std::string default_worker_path() {
@@ -84,6 +92,9 @@ ProcSupervisor::ProcSupervisor(const mkp::Instance& inst,
       options_(resolve_options(std::move(options))),
       cancel_(std::move(cancel)) {
   PTS_CHECK(num_slaves_ > 0);
+  master_chaos_.corrupt_ppm = env_u32("PTS_CHAOS_MASTER_CORRUPT_PPM");
+  master_chaos_.stall_ms = env_u32("PTS_CHAOS_MASTER_STALL_MS");
+  master_chaos_.slow_write = env_u32("PTS_CHAOS_MASTER_SLOW_WRITE") != 0;
   reports_ = std::make_unique<Mailbox<FromSlave>>();
   slots_.resize(num_slaves_);
   inboxes_.reserve(num_slaves_);
@@ -181,8 +192,12 @@ Status ProcSupervisor::spawn_worker(std::size_t i) {
   FrameSocket socket(*parent_fd);
   // Handshake: identity, seed, and the problem data — the paper's "send
   // problem data to the slaves" step, repeated on every respawn so a fresh
-  // worker is indistinguishable from the one it replaces.
+  // worker is indistinguishable from the one it replaces. The flags byte
+  // tells the worker whether to run its own telemetry session and ship
+  // TelemetryChunks back (DESIGN.md §6).
   wire::Hello hello{static_cast<std::uint32_t>(i), seed_, inst_};
+  if (obs::tracer().enabled()) hello.flags |= wire::kHelloFlagTrace;
+  if (obs::telemetry_enabled()) hello.flags |= wire::kHelloFlagMetrics;
   if (auto status = socket.send_frame(wire::encode_hello(hello));
       !status.ok()) {
     ::kill(pid, SIGKILL);
@@ -190,11 +205,21 @@ Status ProcSupervisor::spawn_worker(std::size_t i) {
     return status;
   }
 
+  obs::metrics().counter("proc_workers_spawned_total").add();
   std::scoped_lock lock(mutex_);
   slots_[i].socket = std::move(socket);
   slots_[i].pid = pid;
   ++stats_.workers_spawned;
+  update_workers_alive_locked();
   return Status{};
+}
+
+void ProcSupervisor::update_workers_alive_locked() {
+  std::size_t alive = 0;
+  for (const auto& slot : slots_) {
+    if (slot.pid > 0) ++alive;
+  }
+  obs::metrics().gauge("proc_workers_alive").set(static_cast<double>(alive));
 }
 
 void ProcSupervisor::stop_worker(std::size_t i, bool send_stop) {
@@ -203,6 +228,7 @@ void ProcSupervisor::stop_worker(std::size_t i, bool send_stop) {
     std::scoped_lock lock(mutex_);
     pid = slots_[i].pid;
     slots_[i].pid = -1;
+    update_workers_alive_locked();
   }
   auto& socket = slots_[i].socket;
   if (send_stop && socket.valid() && pid > 0) {
@@ -231,6 +257,7 @@ void ProcSupervisor::record_fault(std::size_t i, std::size_t round,
                           {{"slave", static_cast<double>(i)},
                            {"round", static_cast<double>(round)}});
   }
+  obs::metrics().counter("proc_worker_faults_total").add();
   stop_worker(i, /*send_stop=*/false);  // it already failed us: kill + reap
   // The fault message is what keeps the master's rendezvous alive: one
   // message per (slave, round), dead worker or not.
@@ -285,6 +312,7 @@ void ProcSupervisor::record_fault(std::size_t i, std::size_t round,
                   std::chrono::duration<double>(
                       options_.breaker_cooloff_seconds));
     ++stats_.breaker_opens;
+    obs::metrics().counter("proc_breaker_opens_total").add();
     if (obs::tracer().enabled()) {
       obs::tracer().instant("breaker_open",
                             {{"slave", static_cast<double>(i)},
@@ -306,6 +334,7 @@ bool ProcSupervisor::may_respawn_now(std::size_t i, std::string& reason) {
     if (now < slot.breaker_until) {
       reason = "worker in circuit-breaker cooloff";
       ++stats_.respawn_backoff_skips;
+      obs::metrics().counter("proc_backoff_skips_total").add();
       return false;
     }
     // Half-open: one probe respawn is allowed; success closes the breaker
@@ -314,12 +343,107 @@ bool ProcSupervisor::may_respawn_now(std::size_t i, std::string& reason) {
   if (now < slot.respawn_not_before) {
     reason = "worker in respawn backoff";
     ++stats_.respawn_backoff_skips;
+    obs::metrics().counter("proc_backoff_skips_total").add();
     return false;
   }
   return true;
 }
 
+Status ProcSupervisor::send_assignment(std::size_t i, Rng& chaos_rng,
+                                       std::vector<std::uint8_t> frame) {
+  if (!master_chaos_.any()) return slots_[i].socket.send_frame(frame);
+  bool injected = false;
+  if (master_chaos_.stall_ms > 0) {
+    injected = true;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(master_chaos_.stall_ms));
+  }
+  if (master_chaos_.corrupt_ppm > 0 &&
+      chaos_rng.next_below(1'000'000) < master_chaos_.corrupt_ppm &&
+      frame.size() > wire::kHeaderBytes) {
+    // Flip one payload byte; the header stays valid so the frame reaches the
+    // worker's payload decoder — the hard case. The worker's total decoder
+    // rejects it, the worker exits, the heartbeat read sees EOF, and the
+    // round completes degraded via SlaveFault + respawn.
+    injected = true;
+    const std::size_t at =
+        wire::kHeaderBytes +
+        chaos_rng.index(frame.size() - wire::kHeaderBytes);
+    frame[at] ^= 0x5A;
+  }
+  if (injected || master_chaos_.slow_write) {
+    obs::metrics().counter("proc_chaos_injections_total").add();
+    std::scoped_lock lock(mutex_);
+    ++stats_.chaos_injections;
+  }
+  if (!master_chaos_.slow_write) return slots_[i].socket.send_frame(frame);
+  std::span<const std::uint8_t> rest(frame);
+  while (!rest.empty()) {
+    const std::size_t n = std::min<std::size_t>(rest.size(), 7);
+    if (auto status = slots_[i].socket.send_frame(rest.first(n)); !status.ok()) {
+      return status;
+    }
+    rest = rest.subspan(n);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status{};
+}
+
+void ProcSupervisor::merge_telemetry_chunk(std::size_t i,
+                                           const wire::TelemetryChunk& chunk) {
+  {
+    std::scoped_lock lock(mutex_);
+    ++stats_.telemetry_chunks;
+  }
+  auto& registry = obs::metrics();
+  registry.counter("proc_telemetry_chunks_total").add();
+  for (const auto& [name, delta] : chunk.counter_deltas) {
+    registry.apply_counter_delta(name, delta);
+  }
+  auto& tr = obs::tracer();
+  if (!tr.enabled() || chunk.events.empty()) return;
+  registry.counter("proc_telemetry_events_total").add(chunk.events.size());
+  bool name_now = false;
+  {
+    std::scoped_lock lock(mutex_);
+    if (!slots_[i].process_named) {
+      slots_[i].process_named = true;
+      name_now = true;
+    }
+  }
+  const auto pid = static_cast<std::uint32_t>(2 + i);  // master keeps pid 1
+  if (name_now) tr.name_process(pid, "pts_worker " + std::to_string(i));
+  // Clock offset: the chunk carries the worker's tracer clock as of encode
+  // time; sampling ours at merge time aligns the two timelines to within the
+  // frame's transit latency (microseconds on a socketpair). Offsets are
+  // per-chunk, so drift across a long run is re-anchored every round.
+  const std::int64_t offset = tr.now_us() - chunk.worker_now_us;
+  for (const auto& incoming : chunk.events) {
+    obs::TraceEvent event;
+    event.name = obs::intern_name(incoming.name);
+    event.phase = incoming.phase;
+    event.pid = pid;
+    event.tid = incoming.tid;
+    event.ts_us = incoming.phase == 'M'
+                      ? incoming.ts_us  // metadata is timeless
+                      : std::max<std::int64_t>(0, incoming.ts_us + offset);
+    event.dur_us = incoming.dur_us;
+    event.args.reserve(incoming.args.size());
+    for (const auto& [key, value] : incoming.args) {
+      event.args.push_back({obs::intern_name(key), value});
+    }
+    if (incoming.has_detail) {
+      event.detail_key = obs::intern_name(incoming.detail_key);
+      event.detail = incoming.detail;
+    }
+    tr.record_event(std::move(event));
+  }
+}
+
 void ProcSupervisor::pump(std::size_t i) {
+  // Slot-local deterministic stream for the master chaos schedule, separated
+  // from the worker-side chaos constant so the two schedules decorrelate.
+  Rng chaos_rng = Rng(seed_ ^ 0x3A57E25C4A05ULL).derive(i);
   for (;;) {
     auto message = inboxes_[i]->receive(cancel_);
     if (!message || std::holds_alternative<Stop>(*message)) {
@@ -347,6 +471,7 @@ void ProcSupervisor::pump(std::size_t i) {
         continue;
       }
       if (auto status = spawn_worker(i); status.ok()) {
+        obs::metrics().counter("proc_worker_respawns_total").add();
         std::scoped_lock lock(mutex_);
         ++slots_[i].respawns;
         ++stats_.worker_respawns;
@@ -361,8 +486,9 @@ void ProcSupervisor::pump(std::size_t i) {
       }
     }
 
+    const Stopwatch rtt_watch;
     if (auto status =
-            slots_[i].socket.send_frame(wire::encode_to_slave(*message));
+            send_assignment(i, chaos_rng, wire::encode_to_slave(*message));
         !status.ok()) {
       record_fault(i, assignment.round,
                    "assignment write failed: " + status.message());
@@ -373,8 +499,27 @@ void ProcSupervisor::pump(std::size_t i) {
     // EOF here is a dead worker (kill -9 lands on this branch); timeout is a
     // hung one; a malformed frame is a corrupt one. All three map onto the
     // same SlaveFault -> respawn path a throwing in-thread slave takes.
+    // TelemetryChunk frames may precede the reply: each is folded into the
+    // master's tracer/registry, and the read continues for the real reply
+    // under the same per-read heartbeat bound.
     auto frame = slots_[i].socket.read_frame(options_.worker_timeout_seconds,
                                              teardown_.token());
+    bool chunk_fault = false;
+    while (frame && frame->type == wire::MessageType::kTelemetry) {
+      auto chunk = wire::decode_telemetry_chunk(frame->payload);
+      if (!chunk) {
+        // A corrupt chunk is a corrupt worker: same fault path as a corrupt
+        // report, and crucially only ONE fault for the round.
+        record_fault(i, assignment.round,
+                     "telemetry chunk: " + chunk.status().message());
+        chunk_fault = true;
+        break;
+      }
+      merge_telemetry_chunk(i, *chunk);
+      frame = slots_[i].socket.read_frame(options_.worker_timeout_seconds,
+                                          teardown_.token());
+    }
+    if (chunk_fault) continue;
     if (!frame) {
       if (frame.status().code() == StatusCode::kCancelled) {
         stop_worker(i, /*send_stop=*/false);  // destructor is unwinding
@@ -408,6 +553,12 @@ void ProcSupervisor::pump(std::size_t i) {
       slots_[i].consecutive_faults = 0;
       slots_[i].breaker_open = false;
     }
+    // Frame round trip: assignment write through reply decode. The gauge is
+    // the freshness signal ("age of the newest heartbeat"); the histogram
+    // is the distribution the efficiency accounting wants.
+    const double rtt = rtt_watch.elapsed_seconds();
+    obs::metrics().histogram("proc_frame_rtt_seconds").record(rtt);
+    obs::metrics().gauge("proc_heartbeat_age_seconds").set(rtt);
     if (!reports_->send(*std::move(reply))) {
       std::scoped_lock lock(mutex_);
       ++stats_.dropped_messages;
@@ -505,6 +656,67 @@ class ChaosTransport final : public Transport {
   Rng rng_;
 };
 
+/// Worker-side half of the cross-process aggregation: before every outgoing
+/// report/fault, drain the worker's tracer and metrics registry and ship the
+/// batch as a kTelemetry frame. Wraps OUTERMOST (outside chaos), so the
+/// chunk goes out clean before a possibly chaos-mangled report — telemetry
+/// must observe the chaos, not be destroyed by it.
+class TelemetryChunkTransport final : public Transport {
+ public:
+  TelemetryChunkTransport(Transport& inner, FrameSocket& socket,
+                          std::uint32_t slave_id)
+      : inner_(&inner), socket_(&socket), slave_id_(slave_id) {}
+
+  [[nodiscard]] std::optional<ToSlave> receive(const CancelToken& token) override {
+    return inner_->receive(token);
+  }
+
+  [[nodiscard]] bool send(FromSlave message) override {
+    obs::metrics().counter("worker_reports_total").add();
+    ship_chunk();
+    return inner_->send(std::move(message));
+  }
+
+ private:
+  void ship_chunk() {
+    wire::TelemetryChunk chunk;
+    chunk.slave_id = slave_id_;
+    auto& tr = obs::tracer();
+    chunk.worker_now_us = tr.now_us();
+    if (tr.enabled()) {
+      for (auto& event : tr.drain()) {
+        wire::ChunkEvent out;
+        out.name = event.name;
+        out.phase = event.phase;
+        out.tid = event.tid;
+        out.ts_us = event.ts_us;
+        out.dur_us = event.dur_us;
+        out.args.reserve(event.args.size());
+        for (const auto& arg : event.args) {
+          out.args.emplace_back(arg.key, arg.value);
+        }
+        if (event.detail_key != nullptr) {
+          out.has_detail = true;
+          out.detail_key = event.detail_key;
+          out.detail = std::move(event.detail);
+        }
+        chunk.events.push_back(std::move(out));
+      }
+    }
+    for (auto& delta : obs::metrics().drain_counter_deltas()) {
+      chunk.counter_deltas.emplace_back(std::move(delta.name), delta.delta);
+    }
+    if (chunk.events.empty() && chunk.counter_deltas.empty()) return;
+    // Best-effort: on a dying link the report send right after fails too,
+    // and the supervisor maps that to a fault from its own side.
+    (void)socket_->send_frame(wire::encode_telemetry_chunk(chunk));
+  }
+
+  Transport* inner_;
+  FrameSocket* socket_;
+  std::uint32_t slave_id_;
+};
+
 }  // namespace
 
 int run_worker(int fd) {
@@ -513,6 +725,13 @@ int run_worker(int fd) {
   if (!frame || frame->type != wire::MessageType::kHello) return 2;
   auto hello = wire::decode_hello(frame->payload);
   if (!hello) return 2;
+  // The Hello flags mirror the master's telemetry state into this process:
+  // the kill switch tracks the master's, and tracing starts a worker-side
+  // timeline whose events ship back in TelemetryChunks.
+  const bool want_trace = (hello->flags & wire::kHelloFlagTrace) != 0;
+  const bool want_metrics = (hello->flags & wire::kHelloFlagMetrics) != 0;
+  obs::set_telemetry_enabled(want_metrics || want_trace);
+  if (want_trace) obs::tracer().set_enabled(true);
   SocketTransport transport(socket, hello->instance);
   // Drops counted by the loop have nowhere to go from a dying link; the
   // supervisor observes the same event from its side of the socket.
@@ -521,7 +740,17 @@ int run_worker(int fd) {
     ChaosTransport chaotic(transport, socket, chaos,
                            Rng(hello->seed ^ 0xC4A05C4A05ULL)
                                .derive(hello->slave_id));
-    (void)slave_loop(hello->instance, hello->slave_id, hello->seed, chaotic);
+    if (want_trace || want_metrics) {
+      TelemetryChunkTransport shipping(chaotic, socket, hello->slave_id);
+      (void)slave_loop(hello->instance, hello->slave_id, hello->seed, shipping);
+    } else {
+      (void)slave_loop(hello->instance, hello->slave_id, hello->seed, chaotic);
+    }
+    return 0;
+  }
+  if (want_trace || want_metrics) {
+    TelemetryChunkTransport shipping(transport, socket, hello->slave_id);
+    (void)slave_loop(hello->instance, hello->slave_id, hello->seed, shipping);
     return 0;
   }
   (void)slave_loop(hello->instance, hello->slave_id, hello->seed, transport);

@@ -38,9 +38,14 @@
 #include "parallel/comm.hpp"
 #include "parallel/transport.hpp"
 #include "util/cancel.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace pts::parallel {
+
+namespace wire {
+struct TelemetryChunk;
+}  // namespace wire
 
 struct ProcOptions {
   /// pts_worker binary to exec; empty means default_worker_path().
@@ -84,6 +89,11 @@ struct ProcStats {
   /// cooloff — rounds that did NOT consume respawn budget.
   std::size_t respawn_backoff_skips = 0;
   std::size_t breaker_opens = 0;     ///< circuit-breaker trips
+  /// Master-side chaos schedule activations (stall/corrupt/slow-write on the
+  /// supervisor's assignment sends; see PTS_CHAOS_MASTER_* below).
+  std::size_t chaos_injections = 0;
+  /// TelemetryChunk frames folded into the master's tracer/registry.
+  std::size_t telemetry_chunks = 0;
 };
 
 /// Resolution order: $PTS_WORKER_BIN, then pts_worker next to the current
@@ -127,6 +137,7 @@ class ProcSupervisor {
     FrameSocket socket;
     pid_t pid = -1;
     std::size_t respawns = 0;
+    bool process_named = false;  ///< merged pid labelled in the trace yet?
     // Recovery-policy bookkeeping (guarded by mutex_).
     std::size_t consecutive_faults = 0;  ///< reset by a completed round
     std::size_t fault_serial = 0;        ///< total faults (jitter stream index)
@@ -136,6 +147,24 @@ class ProcSupervisor {
     std::chrono::steady_clock::time_point breaker_until{};
   };
 
+  /// Master-side chaos schedule (the mirror of the worker-side PTS_CHAOS_*
+  /// knobs, applied to the supervisor's own assignment sends):
+  ///   PTS_CHAOS_MASTER_CORRUPT_PPM  flip one payload byte of an assignment
+  ///   PTS_CHAOS_MASTER_STALL_MS     sleep before each assignment send
+  ///   PTS_CHAOS_MASTER_SLOW_WRITE   trickle assignment frames in 7-byte
+  ///                                 chunks
+  /// A corrupted assignment fails the worker's total decoder; the worker
+  /// exits cleanly, the heartbeat read sees EOF, and the round completes
+  /// degraded via the normal SlaveFault + respawn path.
+  struct MasterChaos {
+    std::uint32_t corrupt_ppm = 0;
+    std::uint32_t stall_ms = 0;
+    bool slow_write = false;
+    [[nodiscard]] bool any() const {
+      return corrupt_ppm > 0 || stall_ms > 0 || slow_write;
+    }
+  };
+
   [[nodiscard]] Status spawn_worker(std::size_t i);
   void stop_worker(std::size_t i, bool send_stop);
   void record_fault(std::size_t i, std::size_t round, const std::string& why);
@@ -143,6 +172,14 @@ class ProcSupervisor {
   /// probe / backoff elapsed), or fault fast with `reason` set.
   [[nodiscard]] bool may_respawn_now(std::size_t i, std::string& reason);
   void pump(std::size_t i);
+  /// Assignment send with the master chaos schedule applied. `chaos_rng` is
+  /// the pump's slot-local deterministic stream.
+  [[nodiscard]] Status send_assignment(std::size_t i, Rng& chaos_rng,
+                                       std::vector<std::uint8_t> frame);
+  /// Folds one worker TelemetryChunk into the master's tracer (pid/tid remap
+  /// + clock offset) and metrics registry (counter deltas).
+  void merge_telemetry_chunk(std::size_t i, const wire::TelemetryChunk& chunk);
+  void update_workers_alive_locked();
 
   const mkp::Instance& inst_;
   const std::size_t num_slaves_;
@@ -158,6 +195,7 @@ class ProcSupervisor {
   mutable std::mutex mutex_;  ///< guards slots_ pids/respawns and stats_
   std::vector<WorkerSlot> slots_;
   ProcStats stats_;
+  MasterChaos master_chaos_;  ///< parsed once from the environment
 
   std::vector<std::thread> pumps_;
   bool started_ = false;

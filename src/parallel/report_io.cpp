@@ -3,6 +3,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace pts::parallel {
@@ -75,6 +76,11 @@ void write_report_files(const std::string& path_prefix, const ParallelResult& re
     std::ofstream out(path_prefix + "-anytime.csv");
     PTS_CHECK_MSG(static_cast<bool>(out), "cannot open anytime csv for writing");
     anytime_to_csv(out, result.master);
+  }
+  if (obs::metrics().has_histogram_samples()) {
+    std::ofstream out(path_prefix + "-latency.csv");
+    PTS_CHECK_MSG(static_cast<bool>(out), "cannot open latency csv for writing");
+    obs::metrics().write_histogram_csv(out);
   }
 }
 

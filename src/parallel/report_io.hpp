@@ -30,7 +30,10 @@ void anytime_to_csv(std::ostream& out, const MasterResult& result);
 
 /// Writes <prefix>-timeline.csv and <prefix>-summary.csv, plus
 /// <prefix>-counters.csv / <prefix>-anytime.csv when the run carries
-/// telemetry (skipped when empty so pre-telemetry consumers see no change).
+/// telemetry (skipped when empty so pre-telemetry consumers see no change),
+/// and <prefix>-latency.csv (the metrics registry's histogram table —
+/// round/frame/checkpoint/job latencies with p50/p90/p99) when any latency
+/// histogram recorded a sample.
 void write_report_files(const std::string& path_prefix, const ParallelResult& result);
 
 }  // namespace pts::parallel

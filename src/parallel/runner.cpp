@@ -9,11 +9,13 @@
 #include "bounds/core.hpp"
 #include "bounds/greedy.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/proc_backend.hpp"
 #include "parallel/slave.hpp"
 #include "parallel/snapshot.hpp"
 #include "tabu/engine.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 namespace pts::parallel {
@@ -299,6 +301,8 @@ ParallelResult run_core_reduced(const mkp::Instance& inst,
     result.core_engaged = true;
     result.core_fixed_zero = core.fixing.fixed_to_zero;
     result.core_fixed_one = core.fixing.fixed_to_one;
+    obs::metrics().gauge("core_fixed_vars").set(static_cast<double>(
+        result.core_fixed_zero + result.core_fixed_one));
     result.core_banked_profit = core.banked_profit();
     return result;
   }
@@ -322,6 +326,8 @@ ParallelResult run_core_reduced(const mkp::Instance& inst,
   result.core_engaged = true;
   result.core_fixed_zero = core.fixing.fixed_to_zero;
   result.core_fixed_one = core.fixing.fixed_to_one;
+  obs::metrics().gauge("core_fixed_vars").set(static_cast<double>(
+      result.core_fixed_zero + result.core_fixed_one));
   result.core_banked_profit = banked;
   result.seconds = watch.elapsed_seconds();  // include the reduction itself
 
@@ -354,6 +360,8 @@ ParallelResult run_core_reduced(const mkp::Instance& inst,
 ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
                                         const ParallelConfig& config) {
   PTS_CHECK(config.num_slaves >= 1);
+  obs::metrics().gauge("simd_dispatch_kind")
+      .set(static_cast<double>(simd::active()));
   PTS_CHECK_MSG(config.resume == nullptr || !config.core.enabled,
                 "core reduction requires resume_from_path, not a pre-loaded "
                 "checkpoint (its solutions are in core coordinates)");

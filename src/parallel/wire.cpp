@@ -240,7 +240,7 @@ Expected<FrameHeader> decode_header(std::span<const std::uint8_t> bytes) {
                                     " (expected " + std::to_string(kVersion) + ")");
   }
   if (type < static_cast<std::uint8_t>(MessageType::kHello) ||
-      type > static_cast<std::uint8_t>(MessageType::kFault)) {
+      type > static_cast<std::uint8_t>(MessageType::kTelemetry)) {
     return Status::invalid_argument("wire: unknown message type " +
                                     std::to_string(type));
   }
@@ -258,6 +258,7 @@ std::vector<std::uint8_t> encode_hello(const Hello& hello) {
   w.u32(hello.slave_id);
   w.u64(hello.seed);
   put_instance(w, hello.instance);
+  w.u8(hello.flags);
   return finish_frame(MessageType::kHello, std::move(w));
 }
 
@@ -268,8 +269,95 @@ Expected<Hello> decode_hello(std::span<const std::uint8_t> payload) {
   if (!r.ok()) return truncated("hello");
   auto inst = get_instance(r);
   if (!inst) return inst.status();
-  if (!r.done()) return truncated("hello");
-  return Hello{slave_id, seed, *std::move(inst)};
+  const auto flags = r.u8();
+  if (!r.ok() || !r.done()) return truncated("hello");
+  return Hello{slave_id, seed, *std::move(inst), flags};
+}
+
+std::vector<std::uint8_t> encode_telemetry_chunk(const TelemetryChunk& chunk) {
+  Writer w;
+  w.u32(chunk.slave_id);
+  w.u64(static_cast<std::uint64_t>(chunk.worker_now_us));
+  w.u32(static_cast<std::uint32_t>(chunk.events.size()));
+  for (const auto& event : chunk.events) {
+    w.str(event.name);
+    w.u8(static_cast<std::uint8_t>(event.phase));
+    w.u32(event.tid);
+    w.u64(static_cast<std::uint64_t>(event.ts_us));
+    w.u64(static_cast<std::uint64_t>(event.dur_us));
+    w.u32(static_cast<std::uint32_t>(event.args.size()));
+    for (const auto& [key, value] : event.args) {
+      w.str(key);
+      w.f64(value);
+    }
+    w.u8(event.has_detail ? 1 : 0);
+    if (event.has_detail) {
+      w.str(event.detail_key);
+      w.str(event.detail);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(chunk.counter_deltas.size()));
+  for (const auto& [name, delta] : chunk.counter_deltas) {
+    w.str(name);
+    w.u64(delta);
+  }
+  return finish_frame(MessageType::kTelemetry, std::move(w));
+}
+
+Expected<TelemetryChunk> decode_telemetry_chunk(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  TelemetryChunk chunk;
+  chunk.slave_id = r.u32();
+  chunk.worker_now_us = static_cast<std::int64_t>(r.u64());
+  const auto event_count = r.u32();
+  // A serialized event costs at least name-length + fixed fields.
+  if (!r.ok() || !r.plausible_count(event_count, 24)) {
+    return truncated("telemetry chunk");
+  }
+  chunk.events.reserve(event_count);
+  for (std::uint32_t k = 0; k < event_count; ++k) {
+    ChunkEvent event;
+    event.name = r.str(/*max_len=*/256);
+    const auto phase = r.u8();
+    // The tracer only ever emits these phases; anything else is corruption.
+    if (phase != 'X' && phase != 'i' && phase != 'C' && phase != 'M') {
+      return Status::invalid_argument("wire: telemetry event has unknown phase");
+    }
+    event.phase = static_cast<char>(phase);
+    event.tid = r.u32();
+    event.ts_us = static_cast<std::int64_t>(r.u64());
+    event.dur_us = static_cast<std::int64_t>(r.u64());
+    const auto arg_count = r.u32();
+    if (!r.ok() || arg_count > 64 || !r.plausible_count(arg_count, 10)) {
+      return truncated("telemetry event args");
+    }
+    event.args.reserve(arg_count);
+    for (std::uint32_t a = 0; a < arg_count; ++a) {
+      auto key = r.str(/*max_len=*/256);
+      const auto value = r.f64();
+      event.args.emplace_back(std::move(key), value);
+    }
+    event.has_detail = r.u8() != 0;
+    if (event.has_detail) {
+      event.detail_key = r.str(/*max_len=*/256);
+      event.detail = r.str(/*max_len=*/4096);
+    }
+    if (!r.ok()) return truncated("telemetry event");
+    chunk.events.push_back(std::move(event));
+  }
+  const auto delta_count = r.u32();
+  if (!r.ok() || !r.plausible_count(delta_count, 10)) {
+    return truncated("telemetry counter deltas");
+  }
+  chunk.counter_deltas.reserve(delta_count);
+  for (std::uint32_t k = 0; k < delta_count; ++k) {
+    auto name = r.str(/*max_len=*/256);
+    const auto delta = r.u64();
+    chunk.counter_deltas.emplace_back(std::move(name), delta);
+  }
+  if (!r.done()) return truncated("telemetry chunk");
+  return chunk;
 }
 
 std::vector<std::uint8_t> encode_to_slave(const ToSlave& message) {

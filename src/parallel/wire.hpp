@@ -36,7 +36,9 @@
 namespace pts::parallel::wire {
 
 inline constexpr std::uint16_t kMagic = 0x5054;  // "PT"
-inline constexpr std::uint8_t kVersion = 1;
+/// v2: Hello carries a trailing flags byte (telemetry opt-in) and the
+/// worker->master direction gains the kTelemetry chunk message.
+inline constexpr std::uint8_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 8;
 
 /// Ceiling on one payload. A corrupt length prefix must be rejected before
@@ -49,6 +51,7 @@ enum class MessageType : std::uint8_t {
   kStop = 3,        ///< master -> worker: shut down
   kReport = 4,      ///< worker -> master: round outcome
   kFault = 5,       ///< worker -> master: round died; SlaveFault payload
+  kTelemetry = 6,   ///< worker -> master: TelemetryChunk (trace + metrics)
 };
 
 /// Validated header fields of one frame.
@@ -64,6 +67,15 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+/// Hello.flags bit: the master is tracing — enable the worker's tracer and
+/// ship its drained trace events in TelemetryChunks before each report.
+inline constexpr std::uint8_t kHelloFlagTrace = 1;
+/// Hello.flags bit: the master's telemetry kill switch is on — keep the
+/// worker's switch on too and ship its metrics-counter deltas in
+/// TelemetryChunks. Cleared when the master runs with telemetry off, so the
+/// kill-switch-off baseline pays zero chunk traffic.
+inline constexpr std::uint8_t kHelloFlagMetrics = 2;
+
 /// The proc backend's handshake — the paper's "read and send problem data
 /// to the slaves" step, performed once per spawned worker (and again on
 /// every respawn).
@@ -71,6 +83,33 @@ struct Hello {
   std::uint32_t slave_id = 0;
   std::uint64_t seed = 0;
   mkp::Instance instance;
+  std::uint8_t flags = 0;
+};
+
+/// One trace event in transit inside a TelemetryChunk. Mirrors
+/// obs::TraceEvent, but strings are owned — the receiving supervisor interns
+/// names back into stable pointers before recording into its tracer.
+struct ChunkEvent {
+  std::string name;
+  char phase = 'i';
+  std::uint32_t tid = 0;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::vector<std::pair<std::string, double>> args;
+  bool has_detail = false;
+  std::string detail_key;
+  std::string detail;
+};
+
+/// Worker -> master telemetry batch (DESIGN.md §6): the trace events the
+/// worker recorded since its previous chunk plus the growth of its metrics
+/// counters, stamped with the worker's current tracer clock so the
+/// supervisor can offset timestamps onto the master timeline.
+struct TelemetryChunk {
+  std::uint32_t slave_id = 0;
+  std::int64_t worker_now_us = 0;  ///< worker tracer clock at encode time
+  std::vector<ChunkEvent> events;
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
 };
 
 /// Rejects bad magic, unsupported version, and a payload_size beyond
@@ -83,6 +122,8 @@ struct Hello {
 [[nodiscard]] std::vector<std::uint8_t> encode_hello(const Hello& hello);
 [[nodiscard]] std::vector<std::uint8_t> encode_to_slave(const ToSlave& message);
 [[nodiscard]] std::vector<std::uint8_t> encode_from_slave(const FromSlave& message);
+[[nodiscard]] std::vector<std::uint8_t> encode_telemetry_chunk(
+    const TelemetryChunk& chunk);
 
 // -- Payload decoders (payload only — the header is consumed by the frame
 //    reader). Solutions are rebuilt against `inst`, whose item count must
@@ -95,6 +136,8 @@ struct Hello {
 [[nodiscard]] Expected<FromSlave> decode_from_slave(
     MessageType type, std::span<const std::uint8_t> payload,
     const mkp::Instance& inst);
+[[nodiscard]] Expected<TelemetryChunk> decode_telemetry_chunk(
+    std::span<const std::uint8_t> payload);
 
 // -- Standalone sub-codecs for the two structured value types the protocol
 //    nests (tests and tooling drive these directly). Decoding requires the

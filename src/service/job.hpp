@@ -116,6 +116,11 @@ struct ServiceConfig {
   /// JobOrigin::kResumed; their futures come back via take_recovered().
   /// Journaling is best-effort: an unwritable path degrades to no journal.
   std::string journal_path;
+  /// Compact the journal in place (rewrite to just the still-open jobs, see
+  /// JobJournal::compact) once it has accumulated this many records AND the
+  /// rewrite would shrink it — no restart required. 0 disables periodic
+  /// compaction (the replay-then-truncate on construction still compacts).
+  std::uint64_t journal_compact_every_records = 256;
   /// Test-only: forwarded to every job's slaves (see parallel/comm.hpp).
   const parallel::FaultInjector* fault_injector = nullptr;
 };

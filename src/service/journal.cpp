@@ -5,11 +5,14 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <map>
 
+#include "obs/metrics.hpp"
 #include "parallel/runner.hpp"
 #include "parallel/wire.hpp"
 #include "util/crc32.hpp"
+#include "util/timer.hpp"
 
 namespace pts::service::journal {
 
@@ -36,6 +39,25 @@ bool write_all(int fd, std::span<const std::uint8_t> bytes) {
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// Frames one record (type | crc | len | body) into `w` — shared between the
+/// append path and the compaction rewrite so both produce identical bytes.
+void put_record(Writer& w, RecordType type,
+                const std::vector<std::uint8_t>& body) {
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(crc32(body));
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.bytes(body);
+}
+
+std::vector<std::uint8_t> submitted_body(JobId id, const mkp::Instance& inst,
+                                         const JobOptions& options) {
+  Writer w;
+  w.u64(id);
+  parallel::wire::put_instance(w, inst);
+  put_job_options(w, options);
+  return w.take();
 }
 
 }  // namespace
@@ -133,31 +155,29 @@ Expected<std::unique_ptr<JobJournal>> JobJournal::open_truncate(
     ::close(fd);
     return status;
   }
-  return std::unique_ptr<JobJournal>(new JobJournal(fd));
+  return std::unique_ptr<JobJournal>(new JobJournal(fd, path));
 }
 
 Status JobJournal::append(RecordType type, const std::vector<std::uint8_t>& body) {
   Writer w;
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u32(crc32(body));
-  w.u32(static_cast<std::uint32_t>(body.size()));
-  w.bytes(body);
+  put_record(w, type, body);
   const auto frame = w.take();
+  const Stopwatch watch;
   std::lock_guard lock(mutex_);
   // One write, then fsync: a crash can tear at most the tail record, which
   // the reader detects (CRC) and discards — the replay contract.
   if (!write_all(fd_, frame)) return io_error("append");
   if (::fsync(fd_) != 0) return io_error("fsync");
+  ++records_appended_;
+  obs::metrics().counter("journal_appends_total").add();
+  obs::metrics().histogram("journal_append_seconds")
+      .record(watch.elapsed_seconds());
   return Status{};
 }
 
 Status JobJournal::append_submitted(JobId id, const mkp::Instance& instance,
                                     const JobOptions& options) {
-  Writer w;
-  w.u64(id);
-  parallel::wire::put_instance(w, instance);
-  put_job_options(w, options);
-  return append(RecordType::kSubmitted, w.take());
+  return append(RecordType::kSubmitted, submitted_body(id, instance, options));
 }
 
 Status JobJournal::append_dispatched(JobId id, std::uint64_t start_sequence) {
@@ -171,6 +191,72 @@ Status JobJournal::append_resolved(JobId id) {
   Writer w;
   w.u64(id);
   return append(RecordType::kResolved, w.take());
+}
+
+std::uint64_t JobJournal::records_appended() const {
+  std::lock_guard lock(mutex_);
+  return records_appended_;
+}
+
+Status JobJournal::compact(const std::vector<LiveJob>& live) {
+  const Stopwatch watch;
+  // Build the full compacted image first — header, then one kSubmitted per
+  // open job (plus kDispatched for the already-started ones, preserving the
+  // committed start order) — so the file write is a single pass.
+  Writer w;
+  for (const auto b : kMagic) w.u8(b);
+  w.u8(kJournalVersion);
+  std::uint64_t records = 0;
+  for (const auto& job : live) {
+    put_record(w, RecordType::kSubmitted,
+               submitted_body(job.id, *job.instance, *job.options));
+    ++records;
+    if (job.dispatch_sequence != 0) {
+      Writer body;
+      body.u64(job.id);
+      body.u64(job.dispatch_sequence);
+      put_record(w, RecordType::kDispatched, body.take());
+      ++records;
+    }
+  }
+  const auto image = w.take();
+
+  std::lock_guard lock(mutex_);
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_error("open " + tmp);
+  // fsync before rename — the same ordering argument as the snapshot writer:
+  // the compacted file must never become visible while its bytes are still
+  // only in the page cache.
+  if (!write_all(fd, image) || ::fsync(fd) != 0) {
+    const auto status = io_error("write " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const auto status = io_error("rename " + tmp + " -> " + path_);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Persist the rename itself; the data is already synced, so a failure here
+  // only delays durability of the directory entry.
+  const auto dir = std::filesystem::path(path_).parent_path();
+  const std::string dir_path = dir.empty() ? "." : dir.string();
+  const int dir_fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  // Future appends go to the new file: fd still names the renamed inode.
+  ::close(fd_);
+  fd_ = fd;
+  records_appended_ = records;
+  obs::metrics().counter("service_journal_compactions_total").add();
+  obs::metrics().histogram("journal_compact_seconds")
+      .record(watch.elapsed_seconds());
+  return Status{};
 }
 
 Expected<std::vector<RecoveredJob>> recover_jobs(const std::string& path) {

@@ -68,6 +68,19 @@ struct RecoveredJob {
   std::uint64_t dispatch_sequence = 0;
 };
 
+/// One still-open job at compaction time: everything the compacted file must
+/// preserve so a crash right after the rewrite replays the same set. The
+/// pointers borrow from the service's job table; the caller holds its lock
+/// across the compact() call.
+struct LiveJob {
+  JobId id = 0;
+  const mkp::Instance* instance = nullptr;
+  const JobOptions* options = nullptr;
+  /// Nonzero when the scheduler already dispatched the job: the rewrite
+  /// emits a kDispatched record so replay keeps the committed start order.
+  std::uint64_t dispatch_sequence = 0;
+};
+
 /// Append-only journal writer. Thread-safe: the service appends from the
 /// submit path, the scheduler and every job thread.
 class JobJournal {
@@ -98,12 +111,28 @@ class JobJournal {
   /// journaled by the service, so those jobs recover on restart.
   Status append_resolved(JobId id);
 
+  /// Rewrites the journal in place to exactly the still-open jobs, without a
+  /// restart: full image (header + one kSubmitted per job + kDispatched for
+  /// the already-started ones) to `path.tmp`, fsync, rename over `path`,
+  /// directory fsync — the snapshot discipline — then future appends go to
+  /// the new file. A crash at ANY point replays either the old log or the
+  /// compacted one, never a mix. The caller must guarantee no concurrent
+  /// submissions race the `live` set (the service compacts under its own
+  /// mutex, which also serializes append_submitted).
+  Status compact(const std::vector<LiveJob>& live);
+
+  /// Records appended (or rewritten by compact) since open — the size signal
+  /// the service's compaction trigger watches.
+  [[nodiscard]] std::uint64_t records_appended() const;
+
  private:
-  explicit JobJournal(int fd) : fd_(fd) {}
+  JobJournal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
   Status append(RecordType type, const std::vector<std::uint8_t>& body);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   int fd_ = -1;
+  std::string path_;
+  std::uint64_t records_appended_ = 0;
 };
 
 /// Replays `path`: every kSubmitted record without a matching kResolved

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "parallel/presets.hpp"
 #include "util/check.hpp"
 
@@ -25,6 +26,9 @@ struct SolverService::Job {
   /// this start sequence; it outranks all ordinary queued jobs and replays
   /// in ascending-rank order (see dispatches_before).
   std::uint64_t resume_rank = 0;
+  /// Stamped at dispatch (0 while queued): journal compaction re-emits the
+  /// kDispatched record for running jobs from here.
+  std::uint64_t start_sequence = 0;
   Deadline deadline;                ///< unbounded when no deadline was requested
   CancelSource cancel;              ///< armed with `deadline`; cancel(id) fires it
   Stopwatch since_submit;
@@ -110,6 +114,10 @@ SolverService::Submission SolverService::submit_impl(
     ++stats_.submitted;
     if (origin == JobOrigin::kResumed) ++stats_.resumed;
   }
+  obs::metrics().counter("service_submitted_total").add();
+  if (origin == JobOrigin::kResumed) {
+    obs::metrics().counter("service_resumed_total").add();
+  }
   out.id = job->id;
 
   // Validation: every failure is a resolved future, never an abort.
@@ -138,6 +146,7 @@ SolverService::Submission SolverService::submit_impl(
       std::lock_guard lock(mutex_);
       ++stats_.invalid;
     }
+    obs::metrics().counter("service_invalid_total").add();
     resolve_without_run(*job, std::move(invalid));
     return out;
   }
@@ -173,6 +182,7 @@ SolverService::Submission SolverService::submit_impl(
   if (stopping_) {
     ++stats_.cancelled;
     lock.unlock();
+    obs::metrics().counter("service_cancelled_total").add();
     resolve_without_run(*job, Status::unavailable("service is shut down"));
     return out;
   }
@@ -204,12 +214,14 @@ SolverService::Submission SolverService::submit_impl(
     ++stats_.rejected;
     lock.unlock();
     if (shed) {
+      obs::metrics().counter("service_shed_total").add();
       journal_resolved(*shed);
       resolve_without_run(*shed,
                           Status::resource_exhausted(
                               "shed by a higher-priority submission (queue full)"));
       wake_.notify_all();
     } else {
+      obs::metrics().counter("service_rejected_total").add();
       resolve_without_run(
           *job, Status::resource_exhausted(
                     "queue full (capacity " +
@@ -238,6 +250,7 @@ bool SolverService::cancel(JobId id) {
     queue_.erase(queued);
     ++stats_.cancelled;
     lock.unlock();
+    obs::metrics().counter("service_cancelled_total").add();
     journal_resolved(*job);
     resolve_without_run(*job, Status::cancelled("cancelled while queued"));
     return true;
@@ -267,6 +280,8 @@ void SolverService::shutdown() {
     for (auto& [id, job] : running_) job->cancel.request_cancel();
   }
   wake_.notify_all();
+  obs::metrics().counter("service_cancelled_total")
+      .add(static_cast<std::uint64_t>(to_resolve.size()));
   for (auto& job : to_resolve) {
     // Deliberately NOT struck from the journal: a queued job cancelled by
     // shutdown is exactly what the next incarnation should resume.
@@ -299,6 +314,7 @@ void SolverService::sweep_queue_locked() {
       queue_[k] = queue_.back();
       queue_.pop_back();
       ++stats_.deadline_expired;
+      obs::metrics().counter("service_deadline_missed_total").add();
       journal_resolved(*job);
       resolve_without_run(*job,
                           Status::deadline_exceeded("deadline passed while queued"));
@@ -337,6 +353,9 @@ void SolverService::dispatch_ready_locked() {
     free_slots_ -= job->slots;
     running_.emplace(job->id, job);
     const std::uint64_t seq = next_start_sequence_++;
+    job->start_sequence = seq;
+    obs::metrics().histogram("job_queue_seconds")
+        .record(job->since_submit.elapsed_seconds());
     // Stamp the commitment before the thread exists: if we crash between
     // the append and the spawn, replay still restores this job at the front
     // in this order — exactly what the dispatch decision promised.
@@ -361,12 +380,52 @@ void SolverService::reap_finished_locked(std::unique_lock<std::mutex>& lock) {
   finished_.clear();
 }
 
+void SolverService::maybe_compact_journal_locked() {
+  if (!journal_ || config_.journal_compact_every_records == 0) return;
+  const std::uint64_t appended = journal_->records_appended();
+  if (appended < config_.journal_compact_every_records) return;
+
+  // The compacted image holds one kSubmitted per open journaled job plus one
+  // kDispatched per running one. Only rewrite when that at least halves the
+  // log — without the hysteresis a standing queue of N jobs would re-trigger
+  // every `journal_compact_every_records` appends for no space gain.
+  std::vector<journal::LiveJob> live;
+  live.reserve(queue_.size() + running_.size());
+  for (const auto& job : queue_) {
+    if (!job->journaled) continue;
+    live.push_back(journal::LiveJob{job->id, job->instance.get(),
+                                    &job->options, /*dispatch_sequence=*/0});
+  }
+  for (const auto& [id, job] : running_) {
+    if (!job->journaled) continue;
+    live.push_back(journal::LiveJob{id, job->instance.get(), &job->options,
+                                    job->start_sequence});
+  }
+  std::uint64_t needed = 0;
+  for (const auto& job : live) needed += job.dispatch_sequence != 0 ? 2 : 1;
+  if (appended < 2 * needed + 1) return;
+  // Holding the service mutex across the rewrite is the correctness
+  // argument: every append_submitted happens under this lock, so no new
+  // submission can land in the file being replaced. A concurrent
+  // append_resolved (job threads strike outside the lock) serializes on the
+  // journal's own mutex and lands in whichever file wins — both orders
+  // replay correctly (an unmatched kResolved is inert).
+  (void)journal_->compact(live);
+}
+
 void SolverService::scheduler_loop() {
   std::unique_lock lock(mutex_);
+  auto& queue_depth = obs::metrics().gauge("service_queue_depth");
+  auto& active_jobs = obs::metrics().gauge("service_active_jobs");
+  auto& free_slots = obs::metrics().gauge("service_free_slots");
   for (;;) {
     reap_finished_locked(lock);
     sweep_queue_locked();
     if (!stopping_) dispatch_ready_locked();
+    maybe_compact_journal_locked();
+    queue_depth.set(static_cast<double>(queue_.size()));
+    active_jobs.set(static_cast<double>(running_.size()));
+    free_slots.set(static_cast<double>(free_slots_));
     if (stopping_ && queue_.empty() && running_.empty() && job_threads_.empty()) {
       return;
     }
@@ -417,6 +476,7 @@ void SolverService::run_job(const std::shared_ptr<Job>& job,
       ++stats_.cancelled;
     }
     wake_.notify_all();
+    obs::metrics().counter("service_cancelled_total").add();
     journal_resolved(*job);
     job->promise.set_value(std::move(result));
     return;
@@ -462,6 +522,21 @@ void SolverService::run_job(const std::shared_ptr<Job>& job,
     // incarnation re-runs it from scratch (solves are idempotent).
     strike = !(stopping_ && result.status.code() == StatusCode::kCancelled);
   }
+  switch (result.status.code()) {
+    case StatusCode::kOk:
+      obs::metrics().counter("service_completed_total").add();
+      break;
+    case StatusCode::kCancelled:
+      obs::metrics().counter("service_cancelled_total").add();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      obs::metrics().counter("service_deadline_missed_total").add();
+      break;
+    default: break;
+  }
+  obs::metrics().histogram("job_run_seconds").record(result.run_seconds);
+  obs::metrics().histogram("job_total_seconds")
+      .record(result.queue_seconds + result.run_seconds);
   wake_.notify_all();
   if (strike) journal_resolved(*job);
   job->promise.set_value(std::move(result));

@@ -105,6 +105,12 @@ class SolverService {
   void scheduler_loop();
   void dispatch_ready_locked();
   void sweep_queue_locked();
+  /// Rewrites the journal to just the open jobs once enough records have
+  /// accumulated AND the rewrite would shrink the log (hysteresis, so a
+  /// large standing queue does not trigger a rewrite every tick). Runs under
+  /// the service mutex — the same lock every append_submitted holds — so no
+  /// submission can race into the about-to-be-replaced file.
+  void maybe_compact_journal_locked();
   void reap_finished_locked(std::unique_lock<std::mutex>& lock);
   void run_job(const std::shared_ptr<Job>& job, std::uint64_t start_sequence);
   static void resolve_without_run(Job& job, Status status);

@@ -145,6 +145,71 @@ TEST(Chaos, CorruptAndTrickledFramesNeverHangTheRendezvous) {
   EXPECT_GT(result.best_value, 0.0);
 }
 
+TEST(Chaos, MasterSideScheduleCorruptsAssignmentsYetEveryRoundCompletes) {
+  // The mirror of the worker-side knobs: PTS_CHAOS_MASTER_* applies to the
+  // SUPERVISOR'S assignment sends. A corrupted assignment fails the worker's
+  // total decoder — the worker exits, the heartbeat read sees EOF, and the
+  // round completes degraded through the SlaveFault + respawn path. The
+  // stall fires on every send, so injections are guaranteed nonzero.
+  EnvGuard chaos({{"PTS_CHAOS_MASTER_CORRUPT_PPM", "200000"},
+                  {"PTS_CHAOS_MASTER_STALL_MS", "1"}});
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 13);
+
+  ProcOptions options;
+  options.worker_path = kWorkerBin;
+  options.respawn_backoff_base_seconds = 0.05;
+  options.respawn_backoff_cap_seconds = 0.2;
+  // The schedule is parsed from the environment at construction time.
+  ProcSupervisor supervisor(inst, /*num_slaves=*/3, /*seed=*/23, options, {});
+  ASSERT_TRUE(supervisor.start().ok());
+
+  MasterConfig master_config;
+  master_config.num_slaves = 3;
+  master_config.search_iterations = 8;
+  master_config.work_per_slave_round = 600;
+  master_config.seed = 23;
+
+  const auto result =
+      run_master(inst, supervisor.channels(), master_config, nullptr);
+  supervisor.shutdown();
+
+  EXPECT_EQ(result.rounds_completed, 8U);
+  EXPECT_GT(result.best_value, 0.0);
+  const auto stats = supervisor.stats();
+  // Every assignment send stalled, so at least slaves * rounds injections.
+  EXPECT_GE(stats.chaos_injections, 3U * 8U);
+}
+
+TEST(Chaos, MasterSideSlowWriteTricklesAssignmentsWithoutFaults) {
+  // Trickling the master's frames in 7-byte chunks exercises the WORKER'S
+  // framed-read reassembly. Slowness is not failure: no faults, no respawns,
+  // and the run stays bit-identical to a chaos-free one.
+  const auto inst = mkp::generate_gk({.num_items = 40, .num_constraints = 4}, 29);
+
+  ParallelConfig config;
+  config.mode = CooperationMode::kCooperativeAdaptive;
+  config.num_slaves = 2;
+  config.search_iterations = 3;
+  config.work_per_slave_round = 500;
+  config.seed = 41;
+  config.backend = Backend::kProcess;
+  config.proc.worker_path = kWorkerBin;
+
+  const auto clean = run_parallel_tabu_search(inst, config);
+  ASSERT_TRUE(clean.status.ok()) << clean.status.to_string();
+
+  EnvGuard chaos({{"PTS_CHAOS_MASTER_SLOW_WRITE", "1"}});
+  const auto trickled = run_parallel_tabu_search(inst, config);
+  ASSERT_TRUE(trickled.status.ok()) << trickled.status.to_string();
+
+  EXPECT_EQ(trickled.master.rounds_completed, 3U);
+  EXPECT_EQ(trickled.master.slave_faults, 0U);
+  EXPECT_EQ(trickled.proc.worker_respawns, 0U);
+  EXPECT_GE(trickled.proc.chaos_injections, 2U * 3U);
+  EXPECT_DOUBLE_EQ(trickled.best_value, clean.best_value);
+  EXPECT_EQ(trickled.best, clean.best);
+}
+
 TEST(Chaos, StallScheduleDelaysARoundWithoutFaultingIt) {
   // Thread-backend counterpart: FaultInjector.stall_seconds makes slave 1
   // sleep through round 1. A stall is slowness, not failure — the round

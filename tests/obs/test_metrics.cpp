@@ -1,0 +1,212 @@
+// MetricsRegistry: get-or-create handle stability, kill-switch gating, the
+// drain/apply counter-delta path the proc backend rides, exporter formats,
+// and concurrent recording (the TSan smoke targets Metrics*).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pts::obs {
+namespace {
+
+/// Restores the kill switch for whatever test runs next.
+struct TelemetryGuard {
+  ~TelemetryGuard() { set_telemetry_enabled(true); }
+};
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry reg;
+  reg.counter("events_total").add();
+  reg.counter("events_total").add(4);
+  EXPECT_EQ(reg.counter("events_total").value(), 5U);
+
+  reg.gauge("depth").set(3.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 3.5);
+
+  reg.histogram("latency_seconds").record(0.25);
+  reg.histogram("latency_seconds").record(0.5);
+  const auto snap = reg.histogram("latency_seconds").snapshot();
+  EXPECT_EQ(snap.count(), 2U);
+  EXPECT_DOUBLE_EQ(snap.sum(), 0.75);
+}
+
+TEST(Metrics, HandlesAreStableAcrossInsertionsAndResetValues) {
+  MetricsRegistry reg;
+  auto& first = reg.counter("a_total");
+  first.add(7);
+  // Force rebalancing-shaped churn: many later insertions.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("churn_" + std::to_string(i)).add();
+  }
+  EXPECT_EQ(&first, &reg.counter("a_total"));
+  EXPECT_EQ(first.value(), 7U);
+
+  reg.reset_values();
+  // Same handle, zeroed value — cached references survive a reset.
+  EXPECT_EQ(&first, &reg.counter("a_total"));
+  EXPECT_EQ(first.value(), 0U);
+  first.add(2);
+  EXPECT_EQ(reg.counter("a_total").value(), 2U);
+}
+
+TEST(Metrics, KillSwitchGatesRecordingButNotRawFolds) {
+  const TelemetryGuard guard;
+  MetricsRegistry reg;
+  set_telemetry_enabled(false);
+  reg.counter("gated_total").add(5);
+  reg.gauge("gated_depth").set(9.0);
+  reg.histogram("gated_seconds").record(1.0);
+  EXPECT_EQ(reg.counter("gated_total").value(), 0U);
+  EXPECT_DOUBLE_EQ(reg.gauge("gated_depth").value(), 0.0);
+  EXPECT_EQ(reg.histogram("gated_seconds").snapshot().count(), 0U);
+
+  // The supervisor's chunk fold bypasses the switch: those events were
+  // recorded (and gated) on the worker side already.
+  reg.apply_counter_delta("gated_total", 3);
+  EXPECT_EQ(reg.counter("gated_total").value(), 3U);
+
+  set_telemetry_enabled(true);
+  reg.counter("gated_total").add(5);
+  EXPECT_EQ(reg.counter("gated_total").value(), 8U);
+}
+
+TEST(Metrics, DrainCounterDeltasReportsGrowthSinceLastDrain) {
+  MetricsRegistry reg;
+  reg.counter("x_total").add(10);
+  reg.counter("y_total").add(2);
+  reg.gauge("ignored").set(1.0);
+
+  auto first = reg.drain_counter_deltas();
+  ASSERT_EQ(first.size(), 2U);
+  EXPECT_EQ(first[0].name, "x_total");
+  EXPECT_EQ(first[0].delta, 10U);
+  EXPECT_EQ(first[1].name, "y_total");
+  EXPECT_EQ(first[1].delta, 2U);
+
+  // No growth: nothing to ship.
+  EXPECT_TRUE(reg.drain_counter_deltas().empty());
+
+  reg.counter("x_total").add(5);
+  auto second = reg.drain_counter_deltas();
+  ASSERT_EQ(second.size(), 1U);
+  EXPECT_EQ(second[0].name, "x_total");
+  EXPECT_EQ(second[0].delta, 5U);
+}
+
+TEST(Metrics, DrainThenApplyReproducesTotals) {
+  // The full worker -> chunk -> supervisor path in miniature: draining one
+  // registry in stages and applying every delta into another must reproduce
+  // the totals exactly.
+  MetricsRegistry worker;
+  MetricsRegistry master;
+  for (int round = 0; round < 5; ++round) {
+    worker.counter("moves_total").add(static_cast<std::uint64_t>(100 + round));
+    if (round % 2 == 0) worker.counter("faults_total").add();
+    for (const auto& delta : worker.drain_counter_deltas()) {
+      master.apply_counter_delta(delta.name, delta.delta);
+    }
+  }
+  EXPECT_EQ(master.counter("moves_total").value(),
+            worker.counter("moves_total").value());
+  EXPECT_EQ(master.counter("faults_total").value(),
+            worker.counter("faults_total").value());
+}
+
+TEST(Metrics, PrometheusExportCarriesTypesAndQuantiles) {
+  MetricsRegistry reg;
+  reg.counter("jobs_total").add(3);
+  reg.gauge("queue_depth").set(2.0);
+  reg.histogram("rtt_seconds").record(0.001);
+  reg.histogram("rtt_seconds").record(0.002);
+
+  std::ostringstream out;
+  reg.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE pts_jobs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("pts_jobs_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pts_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pts_rtt_seconds summary"), std::string::npos);
+  EXPECT_NE(text.find("pts_rtt_seconds{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("pts_rtt_seconds{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("pts_rtt_seconds_count 2"), std::string::npos);
+}
+
+TEST(Metrics, JsonlExportIsOneObjectPerLine) {
+  MetricsRegistry reg;
+  reg.counter("jobs_total").add(1);
+  reg.histogram("rtt_seconds").record(0.5);
+
+  std::ostringstream out;
+  reg.write_jsonl(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t objects = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++objects;
+  }
+  EXPECT_EQ(objects, 2U);
+  EXPECT_NE(out.str().find("\"metric\":\"rtt_seconds\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"p99\":"), std::string::npos);
+}
+
+TEST(Metrics, HistogramCsvListsEveryHistogram) {
+  MetricsRegistry reg;
+  reg.histogram("a_seconds").record(1.0);
+  reg.histogram("b_seconds");
+
+  std::ostringstream out;
+  reg.write_histogram_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name,count,sum,min,max,p50,p90,p99\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("a_seconds,1,"), std::string::npos);
+  EXPECT_NE(text.find("b_seconds,0,"), std::string::npos);
+  EXPECT_TRUE(reg.has_histogram_samples());
+  reg.reset_values();
+  EXPECT_FALSE(reg.has_histogram_samples());
+}
+
+TEST(Metrics, ConcurrentRecordingLosesNothing) {
+  // 8 threads hammering one counter and one histogram through the same
+  // handles: totals must be exact (the TSan smoke runs this instrumented).
+  MetricsRegistry reg;
+  auto& hits = reg.counter("hits_total");
+  auto& latency = reg.histogram("lat_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hits, &latency, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.add();
+        if (i % 100 == 0) latency.record(0.001 * (t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hits.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(latency.snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * (kPerThread / 100));
+}
+
+TEST(Metrics, GlobalRegistryIsASingleton) {
+  auto& a = metrics();
+  auto& b = metrics();
+  EXPECT_EQ(&a, &b);
+  // Register-and-read through the global instance (unique name so other
+  // tests' instrumentation cannot collide).
+  metrics().counter("test_metrics_singleton_total").add();
+  EXPECT_GE(metrics().counter("test_metrics_singleton_total").value(), 1U);
+}
+
+}  // namespace
+}  // namespace pts::obs

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mkp/generator.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/snapshot.hpp"
 #include "service/solver_service.hpp"
 
@@ -212,6 +213,137 @@ TEST(Journal, MissingFileIsAnEmptyJournal) {
   const auto recovered = recover_jobs(temp_path("no_such_journal.jnl"));
   ASSERT_TRUE(recovered);
   EXPECT_TRUE(recovered->empty());
+}
+
+TEST(Journal, CompactRewritesToExactlyTheLiveSet) {
+  const auto path = temp_path("journal_compact.jnl");
+  auto opened = JobJournal::open_truncate(path);
+  ASSERT_TRUE(opened) << opened.status().to_string();
+  auto& journal = **opened;
+
+  std::vector<mkp::Instance> instances;
+  for (std::uint64_t k = 1; k <= 6; ++k) instances.push_back(test_instance(k));
+  const JobOptions options;
+  for (std::uint64_t k = 1; k <= 6; ++k) {
+    ASSERT_TRUE(journal.append_submitted(k, instances[k - 1], options).ok());
+  }
+  ASSERT_TRUE(journal.append_dispatched(2, 1).ok());
+  ASSERT_TRUE(journal.append_dispatched(4, 2).ok());
+  ASSERT_TRUE(journal.append_resolved(2).ok());
+  ASSERT_TRUE(journal.append_resolved(5).ok());
+  ASSERT_TRUE(journal.append_resolved(6).ok());
+  EXPECT_EQ(journal.records_appended(), 11U);
+  const auto before = std::filesystem::file_size(path);
+
+  // Still open: 1 and 3 queued, 4 running with start sequence 2.
+  const std::vector<LiveJob> live = {
+      {1, &instances[0], &options, 0},
+      {3, &instances[2], &options, 0},
+      {4, &instances[3], &options, 2},
+  };
+  ASSERT_TRUE(journal.compact(live).ok());
+  // 3 kSubmitted + 1 kDispatched — the counter restarts at the image size.
+  EXPECT_EQ(journal.records_appended(), 4U);
+  EXPECT_LT(std::filesystem::file_size(path), before);
+
+  // Appends after the rewrite land in the NEW file (the renamed inode).
+  ASSERT_TRUE(journal.append_submitted(7, instances[0], options).ok());
+  ASSERT_TRUE(journal.append_resolved(1).ok());
+  EXPECT_EQ(journal.records_appended(), 6U);
+
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered) << recovered.status().to_string();
+  ASSERT_EQ(recovered->size(), 3U);
+  EXPECT_EQ((*recovered)[0].id, 3U);
+  EXPECT_EQ((*recovered)[0].dispatch_sequence, 0U);
+  EXPECT_EQ((*recovered)[1].id, 4U);
+  EXPECT_EQ((*recovered)[1].dispatch_sequence, 2U);  // survived the rewrite
+  EXPECT_EQ((*recovered)[2].id, 7U);
+  EXPECT_EQ(parallel::snapshot::instance_fingerprint((*recovered)[1].instance),
+            parallel::snapshot::instance_fingerprint(instances[3]));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CompactWithNothingOpenLeavesJustTheHeader) {
+  const auto path = temp_path("journal_compact_empty.jnl");
+  auto opened = JobJournal::open_truncate(path);
+  ASSERT_TRUE(opened) << opened.status().to_string();
+  auto& journal = **opened;
+  const auto inst = test_instance(1);
+  ASSERT_TRUE(journal.append_submitted(1, inst, JobOptions{}).ok());
+  ASSERT_TRUE(journal.append_resolved(1).ok());
+
+  ASSERT_TRUE(journal.compact({}).ok());
+  EXPECT_EQ(journal.records_appended(), 0U);
+  EXPECT_EQ(std::filesystem::file_size(path), kJournalHeaderBytes);
+  {
+    auto recovered = recover_jobs(path);
+    ASSERT_TRUE(recovered) << recovered.status().to_string();
+    EXPECT_TRUE(recovered->empty());
+  }
+
+  // The journal is still live after shrinking to nothing.
+  ASSERT_TRUE(journal.append_submitted(2, inst, JobOptions{}).ok());
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered);
+  ASSERT_EQ(recovered->size(), 1U);
+  EXPECT_EQ((*recovered)[0].id, 2U);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ServiceCompactsPeriodicallyWithoutRestart) {
+  // A long-lived service must not grow its journal without bound: with the
+  // compaction cadence configured, a batch of completed jobs shrinks the file
+  // back to (near) the header while the service keeps running — no restart.
+  const auto path = temp_path("journal_service_compact.jnl");
+  std::remove(path.c_str());
+  const auto compactions_before =
+      obs::metrics().counter("service_journal_compactions_total").value();
+
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.journal_path = path;
+  config.journal_compact_every_records = 8;
+  SolverService server(config);
+
+  std::vector<SolverService::Submission> submissions;
+  for (std::uint64_t k = 1; k <= 12; ++k) {
+    JobOptions options;
+    options.preset = "quick";
+    options.time_budget_seconds = 0.05;
+    options.seed = k;
+    submissions.push_back(server.submit(test_instance(k), options));
+  }
+  // High-water mark: 12 submitted records (each carrying a full instance)
+  // are on disk before any compaction can fire — the hysteresis refuses to
+  // rewrite while (almost) everything is still live.
+  const auto after_submit = std::filesystem::file_size(path);
+  for (auto& submission : submissions) {
+    EXPECT_TRUE(submission.result.get().status.ok());
+  }
+
+  // As resolutions accumulate, a scheduler tick rewrites the log down to the
+  // few still-open jobs. Poll for the compaction — the final strikes race
+  // the future resolutions by design. (The file does NOT shrink to the bare
+  // header: the appends that land after the last rewrite stay until the
+  // counter reaches the cadence again.)
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (obs::metrics().counter("service_journal_compactions_total").value() ==
+             compactions_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(obs::metrics().counter("service_journal_compactions_total").value(),
+            compactions_before);
+  EXPECT_LT(std::filesystem::file_size(path), after_submit);
+
+  // After shutdown every job thread has struck its resolution, so the
+  // compacted-and-appended file replays to exactly nothing.
+  server.shutdown();
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered) << recovered.status().to_string();
+  EXPECT_TRUE(recovered->empty());
+  std::remove(path.c_str());
 }
 
 TEST(Journal, ServiceRecoversShutdownStrandedJobsAsResumed) {
