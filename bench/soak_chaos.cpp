@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
               std::getenv("PTS_CHAOS_STALL_MS"));
 
   Rng rng(seed ^ 0x50A7C4A05ULL);
-  std::deque<service::SolverService::Submission> in_flight;
+  std::deque<service::JobHandle> in_flight;
   std::uint64_t submitted = 0, resolved = 0, ok = 0, cancelled = 0,
                 errored = 0, faults_seen = 0, cancels_requested = 0;
 
@@ -94,16 +94,24 @@ int main(int argc, char** argv) {
         {.num_items = 40 + 10 * static_cast<std::size_t>(rng.index(3)),
          .num_constraints = 5},
         seed + submitted);
-    service::JobOptions options;
-    options.preset = "quick";
-    options.time_budget_seconds = 0.25;
-    options.seed = seed + submitted;
-    options.backend = parallel::Backend::kProcess;
-    options.proc.worker_path = PTS_WORKER_BIN_FOR_TESTS;
-    options.proc.max_respawns_per_slave = 3;
-    options.proc.respawn_backoff_base_seconds = 0.02;
-    options.proc.respawn_backoff_cap_seconds = 0.1;
-    in_flight.push_back(server.submit(std::move(inst), options));
+    service::SubmitRequest request;
+    request.instance = std::make_shared<const mkp::Instance>(std::move(inst));
+    request.options.preset = "quick";
+    request.options.time_budget_seconds = 0.25;
+    request.options.seed = seed + submitted;
+    request.options.backend = parallel::Backend::kProcess;
+    request.options.proc.worker_path = PTS_WORKER_BIN_FOR_TESTS;
+    request.options.proc.max_respawns_per_slave = 3;
+    request.options.proc.respawn_backoff_base_seconds = 0.02;
+    request.options.proc.respawn_backoff_cap_seconds = 0.1;
+    auto handle = server.submit(std::move(request));
+    if (!handle) {
+      // Valid options on an open service: any refusal here is a soak failure.
+      std::printf("FAIL: submit refused: %s\n",
+                  handle.status().to_string().c_str());
+      return 1;
+    }
+    in_flight.push_back(std::move(*handle));
     ++submitted;
 
     // Every seventh job gets cancelled shortly after submission — the

@@ -1,24 +1,38 @@
-// Batch solve server: drive a mixed workload of MKP jobs through the
-// SolverService and show the full result-or-error surface — every submitted
-// job resolves its future exactly once, as solved, deadline-expired,
-// cancelled, rejected, or invalid; nothing aborts.
+// Batch solve server: drive a mixed multi-tenant workload of MKP jobs
+// through the SolverService and show the redesigned submission surface —
+// submit(SubmitRequest) returns Expected<JobHandle>: admission failures
+// (bad options, backpressure, shutdown) come back as a Status, accepted
+// work returns a handle whose future always resolves. The demo workload
+// exercises weighted-fair scheduling across two tenants, content-addressed
+// dedup (identical submissions share one solve), per-waiter deadlines and
+// a mid-flight cancel; nothing aborts.
 //
 //   ./batch_server                      default 12-job mix on 4 workers
 //   options: --jobs=12 --workers=4 --queue-cap=64 --seed=1
 //            --mode=SEQ|ITS|CTS1|CTS2   force one cooperation mode
-//            --shed                     queue overflow sheds lowest priority
-//                                       (default rejects the newcomer)
+//            --shed                     queue overflow sheds the weakest
+//                                       queued job (lowest tenant weight,
+//                                       then lowest priority) when the
+//                                       newcomer outranks it
+//            --tenant=<name>            submit everything as this tenant
+//                                       (default: a prod/batch demo mix with
+//                                       weights 3:1 and a batch slot quota)
 //            --journal=<path>           crash-safe job journal: jobs left
 //                                       unresolved by a crash or shutdown are
 //                                       re-enqueued as "resumed" on the next
 //                                       start (DESIGN.md §9)
+//            --warm-start=off|exact|similar --warm-start-dir=<dir>
+//                                       persistent cross-job warm starts:
+//                                       completed runs seed later jobs for
+//                                       the same (or a similar) instance
 //            --log-level=info --metrics --trace-out=trace.json  (telemetry)
 //            --metrics-out=PATH         metrics snapshot at exit (Prometheus
 //                                       text, or JSONL with a .jsonl suffix):
-//                                       service queue/job gauges, journal
-//                                       write histograms, job latency
-//                                       p50/p99; --metrics-every=S rewrites
-//                                       it periodically while serving
+//                                       per-tenant queue/dispatch gauges and
+//                                       histograms, dedup and warm-start
+//                                       counters, journal write histograms;
+//                                       --metrics-every=S rewrites it
+//                                       periodically while serving
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -28,27 +42,33 @@
 
 #include "mkp/generator.hpp"
 #include "obs/telemetry.hpp"
+#include "service/options.hpp"
 #include "service/solver_service.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+struct Pending {
+  pts::service::TenantId tenant;
+  bool deduplicated = false;
+  std::future<pts::service::JobResult> result;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pts;
   const auto args = CliArgs::parse(argc, argv);
   obs::TelemetrySession telemetry(obs::TelemetryOptions::from_cli(args));
+  const auto common = service::CommonOptions::from_cli(args);
+  if (!common) {
+    std::fprintf(stderr, "%s\n", common.status().to_string().c_str());
+    return 1;
+  }
 
   const auto num_jobs = static_cast<std::size_t>(args.get_int("jobs", 12));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-
-  std::optional<parallel::CooperationMode> forced_mode;
-  if (args.has("mode")) {
-    auto parsed = parallel::cooperation_mode_from_string(args.get_string("mode", ""));
-    if (!parsed) {
-      std::fprintf(stderr, "--mode: %s\n", parsed.status().to_string().c_str());
-      return 1;
-    }
-    forced_mode = *parsed;
-  }
+  const auto seed = common->seed;
 
   service::ServiceConfig pool;
   pool.num_workers = static_cast<std::size_t>(args.get_int("workers", 4));
@@ -56,10 +76,15 @@ int main(int argc, char** argv) {
   pool.overflow = args.get_bool("shed", false)
                       ? service::OverflowPolicy::kShedLowest
                       : service::OverflowPolicy::kRejectNew;
-  pool.journal_path = args.get_string("journal", "");
+  common->apply_service(pool);  // --journal, --warm-start-dir
+  // The demo tenant roster: interactive "prod" work gets 3x the share of
+  // bulk "batch" work, and batch may hold at most 2 pool slots at once. A
+  // --tenant override routes every job to that one tenant instead.
+  pool.tenants = {{"prod", 3.0, 0}, {"batch", 1.0, 2}};
   service::SolverService server(pool);
-  std::printf("pool: %zu workers, queue capacity %zu\n\n", pool.num_workers,
-              pool.queue_capacity);
+  std::printf("pool: %zu workers, queue capacity %zu, tenants prod(w=3) / "
+              "batch(w=1, <=2 slots)\n\n",
+              pool.num_workers, pool.queue_capacity);
 
   // Jobs the previous incarnation never resolved (crash or shutdown
   // mid-flight) come back automatically; fold their futures into the batch.
@@ -68,60 +93,107 @@ int main(int argc, char** argv) {
     std::printf("recovered %zu unresolved job(s) from %s\n\n", recovered.size(),
                 pool.journal_path.c_str());
   }
+  std::vector<Pending> pending;
+  pending.reserve(num_jobs + recovered.size() + 3);
+  for (auto& submission : recovered) {
+    pending.push_back(Pending{"", false, std::move(submission.result)});
+  }
 
-  // A mixed workload: alternating sizes and presets, a couple of urgent
-  // high-priority jobs with tight deadlines, one deliberately bogus preset
-  // (the error comes back on the future, not as an abort), and one job we
-  // cancel mid-flight below.
-  std::vector<service::SolverService::Submission> submissions;
-  submissions.reserve(num_jobs + recovered.size() + 1);
-  for (auto& submission : recovered) submissions.push_back(std::move(submission));
+  // A mixed workload: alternating sizes and presets across the two tenants,
+  // a couple of urgent high-priority jobs with tight deadlines, and one
+  // deliberately bogus preset — under the new API that is an ADMISSION
+  // error: submit() returns the Status, no future ever exists.
   for (std::size_t k = 0; k < num_jobs; ++k) {
-    auto inst = mkp::generate_gk(
-        {.num_items = 40 + 20 * (k % 3), .num_constraints = 5}, seed + k);
-
-    service::JobOptions options;
-    options.seed = seed + k;
-    options.mode = forced_mode;
-    options.preset = (k % 4 == 0) ? "quick" : "balanced";
-    options.time_budget_seconds = 0.5;
-    if (k % 5 == 1) {  // urgent: jumps the queue but must land inside 1 s
-      options.priority = 10;
-      options.deadline_seconds = 1.0;
+    service::SubmitRequest request;
+    request.instance = std::make_shared<const mkp::Instance>(mkp::generate_gk(
+        {.num_items = 40 + 20 * (k % 3), .num_constraints = 5}, seed + k));
+    request.tenant =
+        !common->tenant.empty() ? common->tenant : (k % 3 ? "batch" : "prod");
+    request.warm_start = common->warm_start;
+    request.options.seed = seed + k;
+    request.options.mode = common->mode;
+    request.options.preset = (k % 4 == 0) ? "quick" : "balanced";
+    request.options.time_budget_seconds = 0.5;
+    if (k % 5 == 1) {  // urgent: jumps its tenant's queue, must land in 1 s
+      request.priority = 10;
+      request.deadline_seconds = 1.0;
     }
-    if (k == 2) options.preset = "warp-speed";  // structured error, not a crash
-    submissions.push_back(server.submit(std::move(inst), options));
+    if (k == 2) request.options.preset = "warp-speed";  // structured error
+    auto handle = server.submit(std::move(request));
+    if (!handle) {
+      std::printf("job %zu refused at admission: %s\n", k,
+                  handle.status().to_string().c_str());
+      continue;
+    }
+    pending.push_back(Pending{handle->tenant, handle->deduplicated,
+                              std::move(handle->result)});
+  }
+
+  // Content-addressed dedup: two tenants ask for the SAME instance with the
+  // same solve shape — the service runs it once and fans the result out to
+  // both futures.
+  {
+    const auto shared_inst = std::make_shared<const mkp::Instance>(
+        mkp::generate_gk({.num_items = 80, .num_constraints = 5}, seed + 500));
+    for (const char* tenant : {"prod", "batch"}) {
+      service::SubmitRequest request;
+      request.instance = shared_inst;
+      request.tenant = common->tenant.empty() ? tenant : common->tenant;
+      request.warm_start = common->warm_start;
+      request.options.preset = "balanced";
+      request.options.time_budget_seconds = 0.5;
+      request.options.seed = seed + 500;
+      request.options.mode = common->mode;
+      auto handle = server.submit(std::move(request));
+      if (!handle) continue;
+      if (handle->deduplicated) {
+        std::printf("job %llu attached to an identical in-flight solve "
+                    "(content hash %016llx)\n",
+                    static_cast<unsigned long long>(handle->id),
+                    static_cast<unsigned long long>(handle->content_hash));
+      }
+      pending.push_back(Pending{handle->tenant, handle->deduplicated,
+                                std::move(handle->result)});
+    }
+    std::printf("\n");
   }
 
   // One long-budget job we cancel while it runs: its future still resolves,
   // carrying the best solution found up to the cancel.
   {
-    service::JobOptions options;
-    options.preset = "thorough";
-    options.time_budget_seconds = 30.0;
-    options.seed = seed;
-    options.mode = forced_mode;
-    auto doomed = server.submit(
-        mkp::generate_gk({.num_items = 100, .num_constraints = 10}, seed + 99),
-        options);
-    const service::JobId doomed_id = doomed.id;
-    submissions.push_back(std::move(doomed));
-    std::this_thread::sleep_for(std::chrono::milliseconds(200));
-    server.cancel(doomed_id);
-    std::printf("cancelled job %llu mid-flight\n\n",
-                static_cast<unsigned long long>(doomed_id));
+    service::SubmitRequest request;
+    request.instance = std::make_shared<const mkp::Instance>(
+        mkp::generate_gk({.num_items = 100, .num_constraints = 10}, seed + 99));
+    request.tenant = common->tenant.empty() ? "prod" : common->tenant;
+    request.options.preset = "thorough";
+    request.options.time_budget_seconds = 30.0;
+    request.options.seed = seed;
+    request.options.mode = common->mode;
+    auto doomed = server.submit(std::move(request));
+    if (doomed) {
+      const service::JobId doomed_id = doomed->id;
+      pending.push_back(
+          Pending{doomed->tenant, doomed->deduplicated, std::move(doomed->result)});
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      server.cancel(doomed_id);
+      std::printf("cancelled job %llu mid-flight\n\n",
+                  static_cast<unsigned long long>(doomed_id));
+    }
   }
 
-  TextTable table({"job", "origin", "status", "best", "faults", "queued (s)",
-                   "ran (s)", "start#"});
-  for (auto& submission : submissions) {
-    auto r = submission.result.get();  // every future resolves — no timeouts
+  TextTable table({"job", "tenant", "origin", "status", "best", "dedup", "warm",
+                   "queued (s)", "ran (s)", "start#"});
+  for (auto& entry : pending) {
+    auto r = entry.result.get();  // every future resolves — no timeouts
     table.add_row({TextTable::fmt(r.id),
+                   r.tenant.empty() ? "default" : r.tenant,
                    r.origin == service::JobOrigin::kResumed ? "resumed" : "fresh",
                    r.status.ok() ? "OK" : r.status.to_string(),
                    r.best ? TextTable::fmt(r.best_value, 1) : "-",
-                   TextTable::fmt(r.slave_faults), TextTable::fmt(r.queue_seconds, 3),
-                   TextTable::fmt(r.run_seconds, 3), TextTable::fmt(r.start_sequence)});
+                   r.deduplicated ? "yes" : "-", r.warm_started ? "yes" : "-",
+                   TextTable::fmt(r.queue_seconds, 3),
+                   TextTable::fmt(r.run_seconds, 3),
+                   TextTable::fmt(r.start_sequence)});
   }
   std::fputs(table.render().c_str(), stdout);
 
@@ -130,7 +202,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nservice stats: %llu submitted (%llu resumed), %llu completed, "
       "%llu cancelled, %llu deadline-expired, %llu invalid, %llu rejected, "
-      "%llu slave faults\n",
+      "%llu dedup hits, %llu warm-started, %llu slave faults\n",
       static_cast<unsigned long long>(stats.submitted),
       static_cast<unsigned long long>(stats.resumed),
       static_cast<unsigned long long>(stats.completed),
@@ -138,6 +210,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.deadline_expired),
       static_cast<unsigned long long>(stats.invalid),
       static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.dedup_hits),
+      static_cast<unsigned long long>(stats.warm_started),
       static_cast<unsigned long long>(stats.slave_faults));
   return 0;
 }

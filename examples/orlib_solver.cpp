@@ -43,6 +43,7 @@
 #include "parallel/presets.hpp"
 #include "parallel/runner.hpp"
 #include "parallel/snapshot.hpp"
+#include "service/options.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -76,58 +77,32 @@ int main(int argc, char** argv) {
   }
   std::printf("%zu problem(s) in %s\n", problems.size(), path.c_str());
 
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto common = service::CommonOptions::from_cli(args);
+  if (!common) {
+    std::fprintf(stderr, "%s\n", common.status().to_string().c_str());
+    return 1;
+  }
   parallel::ParallelConfig config;
-  if (args.has("preset")) {
-    const auto preset = parallel::preset_by_name(args.get_string("preset", ""), seed);
-    if (!preset) {
-      std::fprintf(stderr, "unknown preset '%s'; known:",
-                   args.get_string("preset", "").c_str());
-      for (const auto& name : parallel::known_preset_names()) {
-        std::fprintf(stderr, " %s", name.c_str());
-      }
-      std::fprintf(stderr, "\n");
+  if (common->preset_name) {
+    auto resolved = common->resolve_config(*common->preset_name);
+    if (!resolved) {
+      std::fprintf(stderr, "%s\n", resolved.status().to_string().c_str());
       return 1;
     }
-    config = *preset;
+    config = *std::move(resolved);
   } else {
     config.num_slaves = static_cast<std::size_t>(args.get_int("slaves", 4));
     config.search_iterations = static_cast<std::size_t>(args.get_int("rounds", 5));
     config.work_per_slave_round =
         static_cast<std::uint64_t>(args.get_int("work", 8000));
-    config.seed = seed;
-  }
-  if (args.has("mode")) {
-    const auto mode =
-        parallel::cooperation_mode_from_string(args.get_string("mode", ""));
-    if (!mode) {
-      std::fprintf(stderr, "--mode: %s\n", mode.status().to_string().c_str());
-      return 1;
-    }
-    config.mode = *mode;
-  }
-  if (args.has("backend")) {
-    const auto backend =
-        parallel::backend_from_string(args.get_string("backend", ""));
-    if (!backend) {
-      std::fprintf(stderr, "--backend: %s\n",
-                   backend.status().to_string().c_str());
-      return 1;
-    }
-    config.backend = *backend;
-    config.proc.worker_path = args.get_string("worker", "");
+    common->apply_overrides(config);
   }
   config.core.enabled = args.get_bool("core-reduction", false);
   config.core.gap_eps = args.get_double("core-gap", 0.0);
   const auto save_dir = args.get_string("save", "");
-  const auto checkpoint_base = args.get_string("checkpoint", "");
-  const auto checkpoint_every =
-      static_cast<std::size_t>(args.get_int("checkpoint-every", 1));
-  const bool resume = args.get_bool("resume", false);
-  if (resume && checkpoint_base.empty()) {
-    std::fprintf(stderr, "--resume needs --checkpoint=<path>\n");
-    return 1;
-  }
+  const auto checkpoint_base = common->checkpoint_path;
+  const auto checkpoint_every = common->checkpoint_every_rounds;
+  const bool resume = common->resume;
 
   TextTable table({"problem", "n", "m", "best found", "reference", "gap (%)",
                    "time (s)"});

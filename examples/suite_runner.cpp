@@ -25,6 +25,7 @@
 #include "parallel/autotune.hpp"
 #include "parallel/presets.hpp"
 #include "parallel/runner.hpp"
+#include "service/options.hpp"
 #include "tabu/engine.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -70,49 +71,29 @@ int main(int argc, char** argv) {
   using namespace pts;
   const auto args = CliArgs::parse(argc, argv);
   obs::TelemetrySession telemetry(obs::TelemetryOptions::from_cli(args));
+  const auto common = service::CommonOptions::from_cli(args);
+  if (!common) {
+    std::fprintf(stderr, "%s\n", common.status().to_string().c_str());
+    return 1;
+  }
   const auto suite_name = args.get_string("suite", "cb");
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto seed = common->seed;
   const auto scale = args.get_double("scale", 0.5);
   const bool autotune = args.get_bool("autotune", false);
 
-  auto preset = parallel::preset_by_name(args.get_string("preset", "quick"), seed);
+  auto preset = common->resolve_config(/*fallback_preset=*/"quick");
   if (!preset) {
-    std::fprintf(stderr, "unknown preset\n");
+    std::fprintf(stderr, "%s\n", preset.status().to_string().c_str());
     return 1;
-  }
-  if (args.has("mode")) {
-    const auto mode =
-        parallel::cooperation_mode_from_string(args.get_string("mode", ""));
-    if (!mode) {
-      std::fprintf(stderr, "--mode: %s\n", mode.status().to_string().c_str());
-      return 1;
-    }
-    preset->mode = *mode;
-  }
-  if (args.has("backend")) {
-    const auto backend =
-        parallel::backend_from_string(args.get_string("backend", ""));
-    if (!backend) {
-      std::fprintf(stderr, "--backend: %s\n",
-                   backend.status().to_string().c_str());
-      return 1;
-    }
-    preset->backend = *backend;
-    preset->proc.worker_path = args.get_string("worker", "");
   }
 
-  const auto checkpoint_base = args.get_string("checkpoint", "");
-  const auto checkpoint_every =
-      static_cast<std::size_t>(args.get_int("checkpoint-every", 1));
-  const bool resume = args.get_bool("resume", false);
-  if (resume && checkpoint_base.empty()) {
-    std::fprintf(stderr, "--resume needs --checkpoint=<base>\n");
-    return 1;
-  }
+  const auto checkpoint_base = common->checkpoint_path;
+  const auto checkpoint_every = common->checkpoint_every_rounds;
+  const bool resume = common->resume;
 
   const auto classes = load_suite(suite_name, seed, scale);
   std::printf("suite '%s' (%zu class(es)), preset '%s'%s\n\n", suite_name.c_str(),
-              classes.size(), args.get_string("preset", "quick").c_str(),
+              classes.size(), common->preset_name.value_or("quick").c_str(),
               autotune ? ", with autotuned sequential rerun" : "");
 
   TextTable table(autotune ? std::vector<std::string>{"class", "mean LP gap (%)",

@@ -136,15 +136,36 @@ MasterResult run_master(const mkp::Instance& inst,
     }
   } else {
     // Initialization: random strategies, randomized-greedy initial solutions.
+    // A warm start substitutes harvested state for slave i's draws while its
+    // entries last; slaves beyond the warm material fall through to the
+    // random path. With no warm start the draw sequence is untouched, so
+    // cold runs stay bit-identical to the pre-warm-start code.
+    const WarmStart* ws = config.warm_start;
     for (std::size_t i = 0; i < config.num_slaves; ++i) {
-      records[i].strategy = random_strategy(master_rng, config.sgp.bounds);
-      records[i].score = config.sgp.initial_score;
-      records[i].initial = bounds::greedy_randomized(inst, master_rng);
+      if (ws != nullptr && i < ws->strategies.size()) {
+        records[i].strategy = ws->strategies[i];
+        records[i].score =
+            i < ws->scores.size() ? ws->scores[i] : config.sgp.initial_score;
+      } else {
+        records[i].strategy = random_strategy(master_rng, config.sgp.bounds);
+        records[i].score = config.sgp.initial_score;
+      }
+      if (ws != nullptr && i < ws->initials.size()) {
+        records[i].initial = ws->initials[i];
+      } else {
+        records[i].initial = bounds::greedy_randomized(inst, master_rng);
+      }
       if (records[i].initial->value() > result.best_value) {
         result.best = *records[i].initial;
         result.best_value = records[i].initial->value();
       }
     }
+  }
+
+  // A warm-started (or resumed) best can already meet the target; searching
+  // would only burn the budget re-finding a value the run starts with.
+  if (config.target_value && result.best_value >= *config.target_value) {
+    result.reached_target = true;
   }
 
   const auto active_count = [&records] {
@@ -494,6 +515,9 @@ MasterResult run_master(const mkp::Instance& inst,
       }
     }
   }
+  // Export the end-of-run slave records so a warm-start store can persist
+  // them; `records` has no further reader past this point.
+  result.final_slaves = std::move(records);
   // Whole-run wall time: a resumed run reports the original run's elapsed
   // seconds plus its own, matching the carried aggregate counters.
   result.seconds = time_offset + watch.elapsed_seconds();

@@ -25,6 +25,21 @@
 
 namespace pts::parallel {
 
+/// Cross-run seeding material (DESIGN.md §7): per-slave strategies, SGP
+/// scores and initial solutions harvested from an earlier run's final
+/// records. The master consumes entry i for slave i while entries last and
+/// falls back to its usual random draws beyond them — crucially WITHOUT
+/// consuming the RNG draws the replaced initialization would have made only
+/// when no warm start is supplied at all, so a run with warm_start == nullptr
+/// is bit-identical to the pre-warm-start code. All vectors may be shorter
+/// than num_slaves (or empty); `initials` entries must reference the same
+/// instance the run searches.
+struct WarmStart {
+  std::vector<tabu::Strategy> strategies;
+  std::vector<int> scores;  ///< parallel to `strategies`; missing = initial_score
+  std::vector<mkp::Solution> initials;
+};
+
 struct MasterConfig {
   std::size_t num_slaves = 8;
   std::size_t search_iterations = 10;  ///< the paper's Nb_search_it
@@ -90,6 +105,11 @@ struct MasterConfig {
   /// pre-recovery behavior: reseed and retry forever). The last active
   /// slave is never retired.
   std::size_t degrade_after_faults = 0;
+
+  /// Seed the fresh-init path from an earlier run's state (ignored when
+  /// resuming from a checkpoint, which restores the full state anyway).
+  /// Must outlive the run. nullptr = the classic cold start.
+  const WarmStart* warm_start = nullptr;
 };
 
 /// One line of the run's audit log (one slave in one round).
@@ -155,6 +175,12 @@ struct MasterResult {
   obs::Counters counters;
   obs::CounterStats counter_stats;
   std::vector<obs::AnytimeSample> anytime;
+
+  /// End-of-run per-slave records (strategies, SGP scores, elite pools) —
+  /// the raw material a warm-start store persists for future runs. Same
+  /// shape as a checkpoint's slave section; empty only for runs that never
+  /// built records (SEQ has no master and never produces a MasterResult).
+  std::vector<snapshot::SlaveState> final_slaves;
 };
 
 /// Observer for the master's control flow (Fig. 2 structural tests).

@@ -129,6 +129,7 @@ ParallelResult run_parallel_impl(const mkp::Instance& inst,
   master_config.resume = config.resume;
   master_config.core_section = config.core_section;
   master_config.degrade_after_faults = config.degrade_after_faults;
+  master_config.warm_start = config.warm_start;
 
   MasterResult master_result{mkp::Solution(inst)};
   ProcStats proc_stats;

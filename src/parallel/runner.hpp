@@ -135,6 +135,12 @@ struct ParallelConfig {
   /// snapshot::CoreSection). Filled by the runner's core layer; leave
   /// default — setting it by hand only mislabels checkpoints.
   snapshot::CoreSection core_section;
+
+  /// Cross-run warm start (see MasterConfig::warm_start): seeds the fresh-
+  /// init path from an earlier run's strategies/scores/initials. Must
+  /// outlive the run; ignored by SEQ and by checkpoint resumes. nullptr
+  /// keeps the cold start bit-identical to pre-warm-start behavior.
+  const WarmStart* warm_start = nullptr;
 };
 
 struct ParallelResult {
@@ -170,16 +176,5 @@ struct ParallelResult {
 
 ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
                                         const ParallelConfig& config);
-
-/// Transitional shim for the old trace out-param; set
-/// ParallelConfig::observer instead. Kept for one release.
-[[deprecated("set ParallelConfig::observer instead of passing a MasterTrace*")]]
-inline ParallelResult run_parallel_tabu_search(const mkp::Instance& inst,
-                                               const ParallelConfig& config,
-                                               MasterTrace* trace) {
-  ParallelConfig patched = config;
-  if (trace != nullptr) patched.observer = trace;
-  return run_parallel_tabu_search(inst, patched);
-}
 
 }  // namespace pts::parallel

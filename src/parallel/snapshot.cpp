@@ -201,6 +201,20 @@ std::uint32_t instance_fingerprint(const mkp::Instance& inst) {
   return crc32(bytes);
 }
 
+std::uint64_t instance_hash64(const mkp::Instance& inst) {
+  Writer w;
+  wire::put_instance(w, inst);
+  const auto bytes = w.take();
+  // FNV-1a 64: tiny, stable across platforms, and strong enough for a
+  // byte-verified content index.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 std::vector<std::uint8_t> encode_checkpoint(const MasterCheckpoint& checkpoint) {
   const auto body = encode_body(checkpoint);
   Writer header;

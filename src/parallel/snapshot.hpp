@@ -130,6 +130,12 @@ struct MasterCheckpoint {
 /// equal iff a worker handshake would serialize them identically.
 [[nodiscard]] std::uint32_t instance_fingerprint(const mkp::Instance& inst);
 
+/// 64-bit content address over the same canonical wire encoding (FNV-1a).
+/// The service's dedup index and warm-start store key on this — the wider
+/// width keeps accidental collisions out of cross-tenant state sharing (and
+/// collisions are verified by byte comparison anyway, never trusted).
+[[nodiscard]] std::uint64_t instance_hash64(const mkp::Instance& inst);
+
 // -- Byte-level round trip (tests and tooling drive these directly). --
 
 [[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(

@@ -4,6 +4,7 @@
 // scheduling machinery lives in solver_service.hpp.
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,6 +21,40 @@
 namespace pts::service {
 
 using JobId = std::uint64_t;
+
+/// Tenant identity: who a submission runs on behalf of. Plain names ("prod",
+/// "batch-lowpri"); the empty string means the default tenant. Names appear
+/// mangled into per-tenant metric names, so stick to [a-zA-Z0-9_-].
+using TenantId = std::string;
+
+/// Fair-share configuration for one tenant (ServiceConfig::tenants). Tenants
+/// not listed run with weight 1 and no quota.
+struct TenantConfig {
+  TenantId name;
+  /// Relative share of pool capacity under contention (weighted-fair
+  /// queuing: a tenant's virtual time advances by slots/weight per
+  /// dispatch, and the scheduler always serves the smallest virtual time).
+  /// Also the shed rank under backpressure: lowest-weight work sheds first.
+  double weight = 1.0;
+  /// Hard cap on this tenant's concurrently running slots; 0 = uncapped.
+  std::size_t max_running_slots = 0;
+};
+
+/// Whether (and how) a submission may be seeded from the warm-start store.
+enum class WarmStartPolicy : std::uint8_t {
+  kDisabled = 0,  ///< classic cold start (bit-identical to pre-store behavior)
+  kExact = 1,     ///< seed only from a run of the byte-identical instance
+  /// Exact hit preferred; otherwise a (m, n, tightness)-similar instance's
+  /// strategies and SGP scores seed the run (its solutions cannot — they
+  /// belong to a different instance).
+  kSimilar = 2,
+};
+
+[[nodiscard]] std::string to_string(WarmStartPolicy policy);
+/// Parses "off" / "exact" / "similar" (case-insensitive) — the --warm-start
+/// flag vocabulary.
+[[nodiscard]] Expected<WarmStartPolicy> warm_start_policy_from_string(
+    const std::string& text);
 
 /// How a job entered the service. kResumed jobs were replayed from the job
 /// journal after a crash or restart (DESIGN.md §9); they run identically to
@@ -58,6 +93,25 @@ struct JobOptions {
   bool core_reduction = false;
 };
 
+/// One submission under the redesigned API: everything the service needs to
+/// admit, schedule and (maybe) share a solve. The request-level `priority`
+/// and `deadline_seconds` are authoritative — they overwrite the same-named
+/// JobOptions fields at submit, so per-caller urgency never fragments the
+/// dedup key (two tenants with different deadlines can still share one
+/// solve of the same instance).
+struct SubmitRequest {
+  std::shared_ptr<const mkp::Instance> instance;
+  TenantId tenant;  ///< empty = the default tenant (weight 1, no quota)
+  int priority = 0;
+  std::optional<double> deadline_seconds;
+  WarmStartPolicy warm_start = WarmStartPolicy::kDisabled;
+  /// Opt out of in-flight dedup for this submission only (the config-level
+  /// ServiceConfig::dedup_in_flight switch gates the whole mechanism).
+  bool allow_dedup = true;
+  JobOptions options;
+};
+
+
 /// What a job's future resolves to — always. The service never aborts and
 /// never leaves a future unresolved, including through shutdown.
 struct JobResult {
@@ -88,6 +142,28 @@ struct JobResult {
   /// stitched anytime curve (empty when telemetry is disabled).
   obs::Counters counters;
   std::vector<obs::AnytimeSample> anytime;
+
+  // -- Multi-tenant provenance. --
+  TenantId tenant;                 ///< empty for the default tenant
+  std::uint64_t content_hash = 0;  ///< instance content address (0 if invalid)
+  /// This future was resolved by a shared solve it attached to (dedup).
+  bool deduplicated = false;
+  /// The solve was seeded from the warm-start store (exact or similar hit).
+  bool warm_started = false;
+};
+
+/// What a successful submit() returns: the job's identity plus the future.
+/// `deduplicated` means this submission attached to an identical in-flight
+/// solve instead of enqueuing its own — the future still resolves
+/// independently, with this submission's own deadline semantics.
+struct JobHandle {
+  JobId id = 0;
+  TenantId tenant;
+  /// Content address of the instance (snapshot::instance_hash64 over the
+  /// canonical wire serialization) — the dedup and warm-start store key.
+  std::uint64_t content_hash = 0;
+  bool deduplicated = false;
+  std::future<JobResult> result;
 };
 
 /// What to do when the bounded queue is full.
@@ -123,6 +199,25 @@ struct ServiceConfig {
   std::uint64_t journal_compact_every_records = 256;
   /// Test-only: forwarded to every job's slaves (see parallel/comm.hpp).
   const parallel::FaultInjector* fault_injector = nullptr;
+
+  // -- Multi-tenant scheduling (DESIGN.md §7). --
+
+  /// Per-tenant weights and quotas. Tenants not listed (and the default
+  /// tenant) run with weight 1 and no quota — a config with no entries
+  /// degrades exactly to the pre-tenant strict-priority scheduler.
+  std::vector<TenantConfig> tenants;
+  /// Master switch for content-addressed in-flight dedup: identical
+  /// instance + identical solve-shaped options coalesce into one solve
+  /// fanned out to every submitter's future. Requests opt out individually
+  /// via SubmitRequest::allow_dedup.
+  bool dedup_in_flight = true;
+  /// Non-empty: directory of the persistent warm-start store. Completed
+  /// cooperative runs save their final per-slave state here, and new jobs
+  /// whose WarmStartPolicy allows it are seeded from matching entries.
+  std::string warm_start_dir;
+  /// How far a candidate's mean tightness may sit from the submitted
+  /// instance's for a WarmStartPolicy::kSimilar feature match.
+  double warm_start_tightness_tolerance = 0.05;
 };
 
 /// Cumulative service counters (all monotone).
@@ -135,6 +230,8 @@ struct ServiceStats {
   std::uint64_t deadline_expired = 0;  ///< resolved kDeadlineExceeded
   std::uint64_t slave_faults = 0;      ///< summed over finished runs
   std::uint64_t resumed = 0;           ///< re-enqueued from the journal
+  std::uint64_t dedup_hits = 0;        ///< submissions attached to an in-flight solve
+  std::uint64_t warm_started = 0;      ///< runs seeded from the warm-start store
 };
 
 }  // namespace pts::service

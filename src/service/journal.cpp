@@ -52,11 +52,16 @@ void put_record(Writer& w, RecordType type,
 }
 
 std::vector<std::uint8_t> submitted_body(JobId id, const mkp::Instance& inst,
-                                         const JobOptions& options) {
+                                         const JobOptions& options,
+                                         const TenantId& tenant,
+                                         WarmStartPolicy warm_start) {
   Writer w;
   w.u64(id);
   parallel::wire::put_instance(w, inst);
   put_job_options(w, options);
+  // v3 tail: tenant identity + warm-start policy.
+  w.str(tenant);
+  w.u8(static_cast<std::uint8_t>(warm_start));
   return w.take();
 }
 
@@ -176,8 +181,18 @@ Status JobJournal::append(RecordType type, const std::vector<std::uint8_t>& body
 }
 
 Status JobJournal::append_submitted(JobId id, const mkp::Instance& instance,
-                                    const JobOptions& options) {
-  return append(RecordType::kSubmitted, submitted_body(id, instance, options));
+                                    const JobOptions& options,
+                                    const TenantId& tenant,
+                                    WarmStartPolicy warm_start) {
+  return append(RecordType::kSubmitted,
+                submitted_body(id, instance, options, tenant, warm_start));
+}
+
+Status JobJournal::append_dedup(JobId follower, JobId primary) {
+  Writer w;
+  w.u64(follower);
+  w.u64(primary);
+  return append(RecordType::kDedup, w.take());
 }
 
 Status JobJournal::append_dispatched(JobId id, std::uint64_t start_sequence) {
@@ -207,15 +222,26 @@ Status JobJournal::compact(const std::vector<LiveJob>& live) {
   for (const auto b : kMagic) w.u8(b);
   w.u8(kJournalVersion);
   std::uint64_t records = 0;
+  const TenantId default_tenant;
   for (const auto& job : live) {
     put_record(w, RecordType::kSubmitted,
-               submitted_body(job.id, *job.instance, *job.options));
+               submitted_body(job.id, *job.instance, *job.options,
+                              job.tenant != nullptr ? *job.tenant
+                                                    : default_tenant,
+                              job.warm_start));
     ++records;
     if (job.dispatch_sequence != 0) {
       Writer body;
       body.u64(job.id);
       body.u64(job.dispatch_sequence);
       put_record(w, RecordType::kDispatched, body.take());
+      ++records;
+    }
+    if (job.dedup_primary != 0) {
+      Writer body;
+      body.u64(job.id);
+      body.u64(job.dedup_primary);
+      put_record(w, RecordType::kDedup, body.take());
       ++records;
     }
   }
@@ -317,6 +343,12 @@ Expected<std::vector<RecoveredJob>> recover_jobs(const std::string& path) {
       const auto id = r.u64();
       if (!r.done()) break;
       open.erase(id);
+      // A dedup link into a resolved primary is inert provenance — the
+      // follower recovers as a plain job rather than pointing at a solve
+      // that no longer exists.
+      for (auto& [other_id, other] : open) {
+        if (other.dedup_primary == id) other.dedup_primary = 0;
+      }
       continue;
     }
     if (type == static_cast<std::uint8_t>(RecordType::kDispatched)) {
@@ -331,6 +363,19 @@ Expected<std::vector<RecoveredJob>> recover_jobs(const std::string& path) {
       }
       continue;
     }
+    if (type == static_cast<std::uint8_t>(RecordType::kDedup)) {
+      Reader r(body);
+      const auto follower = r.u64();
+      const auto primary = r.u64();
+      if (!r.done()) break;
+      // Provenance on the open follower; the link only stands while the
+      // primary itself is still open (its solve never resolved anyone).
+      if (auto it = open.find(follower);
+          it != open.end() && open.count(primary) != 0) {
+        it->second.dedup_primary = primary;
+      }
+      continue;
+    }
     if (type != static_cast<std::uint8_t>(RecordType::kSubmitted)) {
       break;  // unknown record type: written by a future version, stop
     }
@@ -339,9 +384,20 @@ Expected<std::vector<RecoveredJob>> recover_jobs(const std::string& path) {
     auto instance = parallel::wire::get_instance(r);
     if (!instance) break;
     auto options = get_job_options(r, version);
-    if (!options || !r.done()) break;
-    open.insert_or_assign(
-        id, RecoveredJob{id, *std::move(instance), *std::move(options)});
+    if (!options) break;
+    RecoveredJob job{id, *std::move(instance), *std::move(options)};
+    if (version >= 3) {
+      // v3 tail: tenant + warm-start policy.
+      job.tenant = r.str(/*max_len=*/256);
+      const auto warm = r.u8();
+      if (!r.ok() ||
+          warm > static_cast<std::uint8_t>(WarmStartPolicy::kSimilar)) {
+        break;
+      }
+      job.warm_start = static_cast<WarmStartPolicy>(warm);
+    }
+    if (!r.done()) break;
+    open.insert_or_assign(id, std::move(job));
   }
 
   std::vector<RecoveredJob> out;

@@ -38,9 +38,13 @@
 
 namespace pts::service::journal {
 
-/// v2 adds the kDispatched record and the options' core_reduction flag.
-/// v1 files replay fine: no dispatch records, flag defaults to off.
-inline constexpr std::uint8_t kJournalVersion = 2;
+/// v3 adds multi-tenant metadata (tenant + warm-start policy tail on the
+/// kSubmitted body) and the kDedup record linking a deduplicated follower
+/// submission to the primary job whose solve it shares. v2 added the
+/// kDispatched record and the options' core_reduction flag. Older files
+/// replay fine: missing tails default (no tenant, warm start off) and the
+/// new record type simply never appears.
+inline constexpr std::uint8_t kJournalVersion = 3;
 inline constexpr std::uint8_t kJournalMinVersion = 1;
 /// File header: 4 magic bytes + 1 version byte.
 inline constexpr std::size_t kJournalHeaderBytes = 5;
@@ -51,9 +55,10 @@ inline constexpr std::size_t kRecordHeaderBytes = 9;
 inline constexpr std::uint64_t kMaxRecordBytes = 256ull << 20;
 
 enum class RecordType : std::uint8_t {
-  kSubmitted = 1,   ///< body: job id + instance + options
+  kSubmitted = 1,   ///< body: job id + instance + options [+ tenant, warm (v3)]
   kResolved = 2,    ///< body: job id (the future resolved, any status)
   kDispatched = 3,  ///< body: job id + scheduler start sequence (v2)
+  kDedup = 4,       ///< body: follower job id + primary job id (v3)
 };
 
 /// A submission that survived replay: journaled but never resolved.
@@ -66,6 +71,13 @@ struct RecoveredJob {
   /// nonzero holders first, in ascending sequence — a restart continues the
   /// schedule, it does not re-derive one from priorities alone.
   std::uint64_t dispatch_sequence = 0;
+  /// Multi-tenant metadata (v3; defaults for older files).
+  TenantId tenant;
+  WarmStartPolicy warm_start = WarmStartPolicy::kDisabled;
+  /// Nonzero: this submission had attached to that primary job's in-flight
+  /// solve (kDedup). Provenance only — resubmitting both re-coalesces them
+  /// naturally, since their instance bytes and solve shape still match.
+  JobId dedup_primary = 0;
 };
 
 /// One still-open job at compaction time: everything the compacted file must
@@ -79,6 +91,10 @@ struct LiveJob {
   /// Nonzero when the scheduler already dispatched the job: the rewrite
   /// emits a kDispatched record so replay keeps the committed start order.
   std::uint64_t dispatch_sequence = 0;
+  const TenantId* tenant = nullptr;  ///< nullptr = default tenant
+  WarmStartPolicy warm_start = WarmStartPolicy::kDisabled;
+  /// Nonzero: re-emit the kDedup link to this primary job.
+  JobId dedup_primary = 0;
 };
 
 /// Append-only journal writer. Thread-safe: the service appends from the
@@ -97,9 +113,17 @@ class JobJournal {
   [[nodiscard]] static Expected<std::unique_ptr<JobJournal>> open_truncate(
       const std::string& path);
 
-  /// Journals an accepted submission (id + everything needed to re-run it).
+  /// Journals an accepted submission (id + everything needed to re-run it,
+  /// including its tenant and warm-start policy).
   Status append_submitted(JobId id, const mkp::Instance& instance,
-                          const JobOptions& options);
+                          const JobOptions& options,
+                          const TenantId& tenant = {},
+                          WarmStartPolicy warm_start = WarmStartPolicy::kDisabled);
+
+  /// Journals a deduplicated submission: `follower` attached to `primary`'s
+  /// in-flight solve. Replay keeps the provenance on the follower's
+  /// RecoveredJob; an unmatched link (either side resolved) is inert.
+  Status append_dedup(JobId follower, JobId primary);
 
   /// Journals the moment the scheduler starts a job, with its global start
   /// sequence. Replay attaches it to the open submission so a restarted

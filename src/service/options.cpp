@@ -1,0 +1,89 @@
+#include "service/options.hpp"
+
+#include "parallel/presets.hpp"
+#include "service/warm_start.hpp"
+
+namespace pts::service {
+
+Expected<CommonOptions> CommonOptions::from_cli(const CliArgs& args) {
+  CommonOptions options;
+  if (args.has("preset")) {
+    options.preset_name = args.get_string("preset", "");
+  }
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("mode")) {
+    auto mode = parallel::cooperation_mode_from_string(args.get_string("mode", ""));
+    if (!mode) {
+      return Status::invalid_argument("--mode: " + mode.status().message());
+    }
+    options.mode = *mode;
+  }
+  if (args.has("backend")) {
+    auto backend = parallel::backend_from_string(args.get_string("backend", ""));
+    if (!backend) {
+      return Status::invalid_argument("--backend: " + backend.status().message());
+    }
+    options.backend = *backend;
+  }
+  options.worker_path = args.get_string("worker", "");
+
+  options.checkpoint_path = args.get_string("checkpoint", "");
+  options.checkpoint_every_rounds =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 1));
+  options.resume = args.get_bool("resume", false);
+  if (options.resume && options.checkpoint_path.empty()) {
+    return Status::invalid_argument("--resume needs --checkpoint=<path>");
+  }
+
+  options.journal_path = args.get_string("journal", "");
+  options.tenant = args.get_string("tenant", "");
+  if (args.has("warm-start")) {
+    auto policy =
+        warm_start_policy_from_string(args.get_string("warm-start", ""));
+    if (!policy) {
+      return Status::invalid_argument("--warm-start: " +
+                                      policy.status().message());
+    }
+    options.warm_start = *policy;
+  }
+  options.warm_start_dir = args.get_string("warm-start-dir", "");
+  if (options.warm_start != WarmStartPolicy::kDisabled &&
+      options.warm_start_dir.empty()) {
+    return Status::invalid_argument(
+        "--warm-start needs --warm-start-dir=<dir>");
+  }
+  return options;
+}
+
+Expected<parallel::ParallelConfig> CommonOptions::resolve_config(
+    const std::string& fallback_preset) const {
+  const std::string name = preset_name.value_or(fallback_preset);
+  auto preset = parallel::preset_by_name(name, seed);
+  if (!preset) {
+    std::string known;
+    for (const auto& known_name : parallel::known_preset_names()) {
+      if (!known.empty()) known += ", ";
+      known += known_name;
+    }
+    return Status::invalid_argument("unknown preset '" + name +
+                                    "' (known: " + known + ")");
+  }
+  apply_overrides(*preset);
+  return *preset;
+}
+
+void CommonOptions::apply_overrides(parallel::ParallelConfig& config) const {
+  config.seed = seed;
+  if (mode) config.mode = *mode;
+  if (backend) {
+    config.backend = *backend;
+    config.proc.worker_path = worker_path;
+  }
+}
+
+void CommonOptions::apply_service(ServiceConfig& config) const {
+  config.journal_path = journal_path;
+  config.warm_start_dir = warm_start_dir;
+}
+
+}  // namespace pts::service

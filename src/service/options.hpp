@@ -1,0 +1,69 @@
+#pragma once
+// The CLI flag vocabulary shared by every driver that builds a solve or a
+// service from the command line (orlib_solver, suite_runner, batch_server,
+// the service benches). One parser, so --backend, --journal, --tenant and
+// --warm-start are spelled — and validated — identically everywhere:
+//
+//   --preset=quick|balanced|thorough|paper   named search shape
+//   --seed=N                                 RNG seed (default 1)
+//   --mode=SEQ|ITS|CTS1|CTS2                 force one cooperation mode
+//   --backend=thread|proc                    slave execution backend
+//   --worker=<path>                          pts_worker binary (proc backend)
+//   --checkpoint=<path> --checkpoint-every=N --resume    crash safety
+//   --journal=<path>                         service job journal
+//   --tenant=<name>                          tenant identity for submissions
+//   --warm-start=off|exact|similar           warm-start policy
+//   --warm-start-dir=<dir>                   persistent warm-start store
+//
+// Telemetry flags (--metrics, --metrics-out, --trace-out, --log-level, ...)
+// stay with obs::TelemetryOptions::from_cli — this header covers the solver-
+// and service-shaping flags only.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "parallel/runner.hpp"
+#include "service/job.hpp"
+#include "util/cli.hpp"
+#include "util/status.hpp"
+
+namespace pts::service {
+
+struct CommonOptions {
+  std::optional<std::string> preset_name;  ///< --preset (absent = caller's default)
+  std::uint64_t seed = 1;
+  std::optional<parallel::CooperationMode> mode;
+  std::optional<parallel::Backend> backend;
+  std::string worker_path;  ///< --worker; only meaningful with --backend=proc
+
+  std::string checkpoint_path;              ///< --checkpoint
+  std::size_t checkpoint_every_rounds = 1;  ///< --checkpoint-every
+  bool resume = false;                      ///< --resume
+
+  std::string journal_path;  ///< --journal
+  TenantId tenant;           ///< --tenant ("" = default tenant)
+  WarmStartPolicy warm_start = WarmStartPolicy::kDisabled;  ///< --warm-start
+  std::string warm_start_dir;                               ///< --warm-start-dir
+
+  /// Parses and validates the shared flags. Malformed values (unknown mode,
+  /// backend or warm-start policy; --resume without --checkpoint) come back
+  /// as a Status carrying the exact flag that failed.
+  [[nodiscard]] static Expected<CommonOptions> from_cli(const CliArgs& args);
+
+  /// The ParallelConfig the flags describe: the named preset — or
+  /// `fallback_preset` when --preset was not given — with the overrides
+  /// (--mode, --backend, --worker, --seed) applied on top.
+  [[nodiscard]] Expected<parallel::ParallelConfig> resolve_config(
+      const std::string& fallback_preset) const;
+
+  /// Applies just the override flags (--mode, --backend, --worker, --seed)
+  /// to a config the caller assembled by hand.
+  void apply_overrides(parallel::ParallelConfig& config) const;
+
+  /// Folds the service-level flags (--journal, --warm-start-dir) into a
+  /// ServiceConfig.
+  void apply_service(ServiceConfig& config) const;
+};
+
+}  // namespace pts::service

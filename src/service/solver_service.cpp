@@ -2,43 +2,129 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <tuple>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "parallel/codec.hpp"
 #include "parallel/presets.hpp"
+#include "parallel/snapshot.hpp"
+#include "parallel/wire.hpp"
 #include "util/check.hpp"
 
 namespace pts::service {
 
 using namespace std::chrono_literals;
 
-/// Everything the service tracks for one job, queued or running. The promise
-/// is resolved exactly once, by whichever path terminates the job.
-struct SolverService::Job {
+namespace {
+
+/// Per-tenant metric name: "tenant_<name><suffix>", with the name sanitized
+/// to the metrics registry's identifier alphabet. The default tenant (empty
+/// name) reports as "tenant_default...".
+std::string tenant_metric(const TenantId& tenant, const char* suffix) {
+  std::string name = "tenant_";
+  if (tenant.empty()) {
+    name += "default";
+  } else {
+    for (const char c : tenant) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      name += ok ? c : '_';
+    }
+  }
+  name += suffix;
+  return name;
+}
+
+/// The dedup identity of a submission's solve shape: its options serialized
+/// with the per-caller fields (priority, deadline) neutralized, plus the
+/// warm-start policy. Two submissions coalesce only when this — and the
+/// instance bytes — match, so sharing a solve never changes what runs.
+std::vector<std::uint8_t> solve_key_bytes(const JobOptions& options,
+                                          WarmStartPolicy warm_start) {
+  JobOptions shape = options;
+  shape.priority = 0;
+  shape.deadline_seconds.reset();
+  parallel::codec::Writer w;
+  journal::put_job_options(w, shape);
+  w.u8(static_cast<std::uint8_t>(warm_start));
+  return w.take();
+}
+
+}  // namespace
+
+/// One submission's stake in a solve: its own identity, deadline, journal
+/// record and promise. A job starts with one waiter; dedup attaches more.
+/// The promise is resolved exactly once, by whichever path terminates the
+/// waiter (run fan-out, per-waiter deadline sweep, cancel, shed, shutdown).
+struct SolverService::Waiter {
   JobId id = 0;
   JobOrigin origin = JobOrigin::kFresh;
-  bool journaled = false;  ///< has a kSubmitted record awaiting its strike
+  TenantId tenant;
   std::shared_ptr<const mkp::Instance> instance;
+  /// Per-waiter copy with the caller's own priority/deadline — the journal
+  /// identity that lets a crashed follower replay as itself.
   JobOptions options;
+  WarmStartPolicy warm_start = WarmStartPolicy::kDisabled;
+  bool journaled = false;    ///< has a kSubmitted record awaiting its strike
+  bool deduplicated = false; ///< attached to an existing job's solve
+  JobId dedup_primary = 0;   ///< the job it attached to (compaction re-link)
+  Deadline deadline;         ///< unbounded when no deadline was requested
+  double queue_seconds = 0.0;  ///< stamped at dispatch (or attach-to-running)
+  Stopwatch since_submit;
+  std::promise<JobResult> promise;
+};
+
+/// One solve, queued or running, fanned out to one or more waiters. The
+/// content address + instance bytes + solve key triple is the dedup
+/// identity; the tenant charged in the fair-queuing ledger is the primary
+/// waiter's.
+struct SolverService::Job {
+  JobId id = 0;  ///< primary (first) waiter's id; the running_ map key
+  std::shared_ptr<const mkp::Instance> instance;
+  std::vector<std::uint8_t> instance_bytes;  ///< canonical wire serialization
+  std::uint64_t content_hash = 0;            ///< FNV-1a over instance_bytes
+  std::vector<std::uint8_t> solve_key;       ///< options minus caller fields
+  JobOptions options;                        ///< the solve shape (primary's)
   parallel::ParallelConfig config;  ///< resolved at submit; budget set at dispatch
-  std::size_t slots = 1;            ///< pool capacity the job occupies while running
-  /// Nonzero = this job had been dispatched by the crashed incarnation with
-  /// this start sequence; it outranks all ordinary queued jobs and replays
-  /// in ascending-rank order (see dispatches_before).
+  std::size_t slots = 1;            ///< pool capacity occupied while running
+  int priority = 0;                 ///< max over attached waiters
+  TenantId tenant;                  ///< WFQ account charged for the slots
+  WarmStartPolicy warm_start = WarmStartPolicy::kDisabled;
+  /// Nonzero = the crashed incarnation had dispatched this job with this
+  /// start sequence; it outranks every ordinary queued job and replays in
+  /// ascending-rank order.
   std::uint64_t resume_rank = 0;
   /// Stamped at dispatch (0 while queued): journal compaction re-emits the
   /// kDispatched record for running jobs from here.
   std::uint64_t start_sequence = 0;
-  Deadline deadline;                ///< unbounded when no deadline was requested
-  CancelSource cancel;              ///< armed with `deadline`; cancel(id) fires it
-  Stopwatch since_submit;
-  std::promise<JobResult> promise;
+  JobId dispatch_anchor = 0;  ///< first journaled waiter; kDispatched target
+  /// The most generous live waiter deadline, fixed at dispatch — the run
+  /// gets the longest leash any of its waiters paid for.
+  Deadline solve_deadline;
+  CancelSource cancel;  ///< armed with solve_deadline at dispatch
+  std::vector<std::unique_ptr<Waiter>> waiters;
 };
 
 SolverService::SolverService(ServiceConfig config) : config_(std::move(config)) {
   PTS_CHECK_MSG(config_.num_workers >= 1, "the pool needs at least one worker");
   PTS_CHECK_MSG(config_.queue_capacity >= 1, "the queue needs at least one slot");
   free_slots_ = config_.num_workers;
+
+  // Tenant ledgers exist from the start so their gauges report even before
+  // the first submission; unlisted tenants get lazily created defaults.
+  for (const auto& tenant : config_.tenants) {
+    TenantState state;
+    state.weight = tenant.weight > 0.0 ? tenant.weight : 1.0;
+    state.max_running_slots = tenant.max_running_slots;
+    tenants_.emplace(tenant.name, state);
+  }
+
+  if (!config_.warm_start_dir.empty()) {
+    warm_store_ = std::make_unique<WarmStartStore>(
+        config_.warm_start_dir, config_.warm_start_tightness_tolerance);
+  }
 
   // Crash recovery: replay the previous incarnation's journal BEFORE
   // truncating it, then re-enqueue every job whose future never resolved.
@@ -59,23 +145,60 @@ SolverService::SolverService(ServiceConfig config) : config_(std::move(config)) 
   scheduler_ = std::thread([this] { scheduler_loop(); });
 
   for (auto& job : replayed) {
-    recovered_.push_back(submit_impl(
-        std::make_shared<const mkp::Instance>(std::move(job.instance)),
-        std::move(job.options), JobOrigin::kResumed, job.dispatch_sequence));
+    SubmitRequest request;
+    request.instance =
+        std::make_shared<const mkp::Instance>(std::move(job.instance));
+    request.tenant = std::move(job.tenant);
+    request.priority = job.options.priority;
+    request.deadline_seconds = job.options.deadline_seconds;
+    request.warm_start = job.warm_start;
+    request.options = std::move(job.options);
+    // Recovered duplicates re-coalesce here: a follower's instance bytes and
+    // solve key still match its primary's, so resubmitting both in the old
+    // submission order re-attaches them.
+    auto outcome = submit_full(std::move(request), JobOrigin::kResumed,
+                               job.dispatch_sequence);
+    recovered_.push_back(Submission{outcome.id, std::move(outcome.future)});
   }
 }
 
 SolverService::~SolverService() { shutdown(); }
 
+Expected<JobHandle> SolverService::submit(SubmitRequest request) {
+  auto outcome = submit_full(std::move(request), JobOrigin::kFresh);
+  if (!outcome.error.ok()) return outcome.error;
+  JobHandle handle;
+  handle.id = outcome.id;
+  handle.tenant = std::move(outcome.tenant);
+  handle.content_hash = outcome.content_hash;
+  handle.deduplicated = outcome.deduplicated;
+  handle.result = std::move(outcome.future);
+  return handle;
+}
+
 SolverService::Submission SolverService::submit(mkp::Instance instance,
                                                 JobOptions options) {
-  return submit_impl(std::make_shared<const mkp::Instance>(std::move(instance)),
-                     std::move(options), JobOrigin::kFresh);
+  SubmitRequest request;
+  request.instance =
+      std::make_shared<const mkp::Instance>(std::move(instance));
+  request.priority = options.priority;
+  request.deadline_seconds = options.deadline_seconds;
+  request.allow_dedup = false;  // the positional contract: one submit, one run
+  request.options = std::move(options);
+  auto outcome = submit_full(std::move(request), JobOrigin::kFresh);
+  return Submission{outcome.id, std::move(outcome.future)};
 }
 
 SolverService::Submission SolverService::submit(
     std::shared_ptr<const mkp::Instance> instance, JobOptions options) {
-  return submit_impl(std::move(instance), std::move(options), JobOrigin::kFresh);
+  SubmitRequest request;
+  request.instance = std::move(instance);
+  request.priority = options.priority;
+  request.deadline_seconds = options.deadline_seconds;
+  request.allow_dedup = false;
+  request.options = std::move(options);
+  auto outcome = submit_full(std::move(request), JobOrigin::kFresh);
+  return Submission{outcome.id, std::move(outcome.future)};
 }
 
 std::vector<SolverService::Submission> SolverService::take_recovered() {
@@ -83,34 +206,59 @@ std::vector<SolverService::Submission> SolverService::take_recovered() {
   return std::move(recovered_);
 }
 
-void SolverService::journal_resolved(const Job& job) {
-  if (journal_ && job.journaled) (void)journal_->append_resolved(job.id);
+void SolverService::journal_resolved(const Waiter& waiter) {
+  if (journal_ && waiter.journaled) (void)journal_->append_resolved(waiter.id);
 }
 
-void SolverService::resolve_without_run(Job& job, Status status) {
+void SolverService::resolve_waiter(Waiter& waiter, const Job* job,
+                                   Status status) {
   JobResult result;
-  result.id = job.id;
-  result.origin = job.origin;
+  result.id = waiter.id;
+  result.origin = waiter.origin;
   result.status = std::move(status);
-  result.instance = job.instance;
-  result.queue_seconds = job.since_submit.elapsed_seconds();
-  job.promise.set_value(std::move(result));
+  result.instance = waiter.instance;
+  result.queue_seconds = waiter.since_submit.elapsed_seconds();
+  result.tenant = waiter.tenant;
+  result.deduplicated = waiter.deduplicated;
+  if (job != nullptr) {
+    result.content_hash = job->content_hash;
+    result.start_sequence = job->start_sequence;
+  }
+  waiter.promise.set_value(std::move(result));
 }
 
-SolverService::Submission SolverService::submit_impl(
-    std::shared_ptr<const mkp::Instance> instance, JobOptions options,
-    JobOrigin origin, std::uint64_t resume_rank) {
-  auto job = std::make_shared<Job>();
-  job->origin = origin;
-  job->instance = std::move(instance);
-  job->options = std::move(options);
-  job->resume_rank = resume_rank;
+SolverService::TenantState& SolverService::tenant_state_locked(
+    const TenantId& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second;
+  TenantState state;  // unlisted tenant: weight 1, no quota
+  // A tenant entering the ledger starts level with the busiest one — idle
+  // time earns no credit it could later spend starving everyone else.
+  state.vtime = global_vtime_;
+  return tenants_.emplace(tenant, state).first->second;
+}
 
-  Submission out;
-  out.result = job->promise.get_future();
+SolverService::SubmitOutcome SolverService::submit_full(
+    SubmitRequest request, JobOrigin origin, std::uint64_t resume_rank) {
+  // The request-level urgency fields are authoritative: fold them into the
+  // options copy the waiter keeps, so the journal replays them and the solve
+  // key (which neutralizes exactly these fields) stays caller-independent.
+  request.options.priority = request.priority;
+  request.options.deadline_seconds = request.deadline_seconds;
+
+  auto waiter = std::make_unique<Waiter>();
+  waiter->origin = origin;
+  waiter->tenant = request.tenant;
+  waiter->instance = request.instance;
+  waiter->options = request.options;
+  waiter->warm_start = request.warm_start;
+
+  SubmitOutcome out;
+  out.tenant = request.tenant;
+  out.future = waiter->promise.get_future();
   {
     std::lock_guard lock(mutex_);
-    job->id = next_id_++;
+    waiter->id = next_id_++;
     ++stats_.submitted;
     if (origin == JobOrigin::kResumed) ++stats_.resumed;
   }
@@ -118,26 +266,31 @@ SolverService::Submission SolverService::submit_impl(
   if (origin == JobOrigin::kResumed) {
     obs::metrics().counter("service_resumed_total").add();
   }
-  out.id = job->id;
+  out.id = waiter->id;
 
-  // Validation: every failure is a resolved future, never an abort.
+  // Validation: every failure is a structured Status, never an abort. The
+  // future is resolved with it too, so the positional shim keeps the old
+  // resolved-future contract.
   Status invalid;
   std::optional<parallel::ParallelConfig> preset;
-  if (!job->instance) {
+  if (!waiter->instance) {
     invalid = Status::invalid_argument("null instance");
-  } else if (job->options.time_budget_seconds <= 0.0) {
+  } else if (waiter->options.time_budget_seconds <= 0.0) {
     invalid = Status::invalid_argument("time_budget_seconds must be positive");
-  } else if (job->options.deadline_seconds && *job->options.deadline_seconds < 0.0) {
+  } else if (waiter->options.deadline_seconds &&
+             *waiter->options.deadline_seconds < 0.0) {
     invalid = Status::invalid_argument("deadline_seconds must be non-negative");
   } else {
-    preset = parallel::preset_by_name(job->options.preset, job->options.seed);
+    preset = parallel::preset_by_name(waiter->options.preset,
+                                      waiter->options.seed);
     if (!preset) {
       std::string known;
       for (const auto& name : parallel::known_preset_names()) {
         if (!known.empty()) known += ", ";
         known += name;
       }
-      invalid = Status::invalid_argument("unknown preset '" + job->options.preset +
+      invalid = Status::invalid_argument("unknown preset '" +
+                                         waiter->options.preset +
                                          "' (known: " + known + ")");
     }
   }
@@ -147,10 +300,18 @@ SolverService::Submission SolverService::submit_impl(
       ++stats_.invalid;
     }
     obs::metrics().counter("service_invalid_total").add();
-    resolve_without_run(*job, std::move(invalid));
+    out.error = invalid;
+    resolve_waiter(*waiter, nullptr, std::move(invalid));
     return out;
   }
 
+  auto job = std::make_shared<Job>();
+  job->instance = waiter->instance;
+  job->options = waiter->options;
+  job->priority = waiter->options.priority;
+  job->tenant = waiter->tenant;
+  job->warm_start = waiter->warm_start;
+  job->resume_rank = resume_rank;
   job->config = *preset;
   parallel::scale_budget_to_instance(job->config, *job->instance);
   if (job->options.mode) job->config.mode = *job->options.mode;
@@ -173,41 +334,118 @@ SolverService::Submission SolverService::submit_impl(
   job->slots = job->config.mode == parallel::CooperationMode::kSequential
                    ? 1
                    : job->config.num_slaves;
-  if (job->options.deadline_seconds) {
-    job->deadline = Deadline::after_seconds(*job->options.deadline_seconds);
+  if (waiter->options.deadline_seconds) {
+    waiter->deadline = Deadline::after_seconds(*waiter->options.deadline_seconds);
   }
-  job->cancel = CancelSource(job->deadline);
+
+  // Content address: hash and bytes of the canonical wire serialization.
+  {
+    parallel::codec::Writer w;
+    parallel::wire::put_instance(w, *job->instance);
+    job->instance_bytes = w.take();
+  }
+  job->content_hash = parallel::snapshot::instance_hash64(*job->instance);
+  job->solve_key = solve_key_bytes(job->options, job->warm_start);
+  out.content_hash = job->content_hash;
 
   std::unique_lock lock(mutex_);
   if (stopping_) {
     ++stats_.cancelled;
     lock.unlock();
     obs::metrics().counter("service_cancelled_total").add();
-    resolve_without_run(*job, Status::unavailable("service is shut down"));
+    out.error = Status::unavailable("service is shut down");
+    resolve_waiter(*waiter, nullptr, Status::unavailable("service is shut down"));
     return out;
   }
+
+  // In-flight dedup: an identical solve already queued or running adopts
+  // this submission as an extra waiter instead of a second run. Running jobs
+  // only qualify when their committed deadline covers this waiter's — a
+  // shared solve must never stop earlier than a waiter paid for.
+  if (config_.dedup_in_flight && request.allow_dedup) {
+    std::shared_ptr<Job> target;
+    const auto matches = [&](const Job& other) {
+      return other.content_hash == job->content_hash &&
+             other.solve_key == job->solve_key &&
+             other.instance_bytes == job->instance_bytes;
+    };
+    for (const auto& queued : queue_) {
+      if (matches(*queued)) {
+        target = queued;
+        break;
+      }
+    }
+    if (!target) {
+      for (const auto& [id, running] : running_) {
+        if (!matches(*running)) continue;
+        if (running->cancel.token().cancel_requested()) continue;
+        const bool covered =
+            !running->solve_deadline.is_bounded() ||
+            (waiter->deadline.is_bounded() &&
+             waiter->deadline.remaining_seconds() <=
+                 running->solve_deadline.remaining_seconds());
+        if (!covered) continue;
+        target = running;
+        break;
+      }
+    }
+    if (target) {
+      waiter->deduplicated = true;
+      waiter->dedup_primary = target->id;
+      target->priority = std::max(target->priority, waiter->options.priority);
+      if (target->start_sequence != 0) {
+        waiter->queue_seconds = waiter->since_submit.elapsed_seconds();
+      }
+      if (journal_ &&
+          journal_->append_submitted(waiter->id, *job->instance,
+                                     waiter->options, waiter->tenant,
+                                     waiter->warm_start)
+              .ok()) {
+        waiter->journaled = true;
+        (void)journal_->append_dedup(waiter->id, target->id);
+        if (target->dispatch_anchor == 0) target->dispatch_anchor = waiter->id;
+      }
+      ++stats_.dedup_hits;
+      out.deduplicated = true;
+      target->waiters.push_back(std::move(waiter));
+      lock.unlock();
+      obs::metrics().counter("service_dedup_hits_total").add();
+      obs::metrics().counter(tenant_metric(out.tenant, "_dedup_hits_total")).add();
+      return out;
+    }
+  }
+
   if (queue_.size() >= config_.queue_capacity) {
-    // Backpressure. Shedding evicts the weakest queued job only when the
-    // incoming one strictly outranks it; otherwise the incoming job is the
-    // one rejected.
+    // Backpressure. Shedding evicts the weakest queued job — lowest tenant
+    // weight first, then lowest priority, newest on ties — and only when the
+    // incoming submission strictly outranks it on (weight, priority);
+    // otherwise the incoming submission is the one rejected. With every
+    // tenant at the default weight this degrades to the pre-tenant
+    // priority-only rule.
     std::shared_ptr<Job> shed;
     if (config_.overflow == OverflowPolicy::kShedLowest) {
+      const auto rank = [this](const Job& j) {
+        return std::pair(tenant_state_locked(j.tenant).weight, j.priority);
+      };
       auto weakest = std::min_element(
-          queue_.begin(), queue_.end(), [](const auto& a, const auto& b) {
-            return std::pair(a->options.priority, b->id) <
-                   std::pair(b->options.priority, a->id);  // lowest prio, newest
+          queue_.begin(), queue_.end(), [&](const auto& a, const auto& b) {
+            return std::tuple(rank(*a), b->id) < std::tuple(rank(*b), a->id);
           });
-      if (weakest != queue_.end() &&
-          (*weakest)->options.priority < job->options.priority) {
+      if (weakest != queue_.end() && rank(**weakest) < rank(*job)) {
         shed = *weakest;
         queue_.erase(weakest);
+        job->waiters.push_back(std::move(waiter));
         queue_.push_back(job);
         // Journaled under the lock: the job is not dispatchable until the
         // unlock below, so its kSubmitted record always precedes any strike.
-        if (journal_ && journal_->append_submitted(job->id, *job->instance,
-                                                   job->options)
-                            .ok()) {
-          job->journaled = true;
+        auto& accepted = *job->waiters.front();
+        if (journal_ &&
+            journal_->append_submitted(accepted.id, *job->instance,
+                                       accepted.options, accepted.tenant,
+                                       accepted.warm_start)
+                .ok()) {
+          accepted.journaled = true;
+          job->dispatch_anchor = accepted.id;
         }
       }
     }
@@ -215,26 +453,45 @@ SolverService::Submission SolverService::submit_impl(
     lock.unlock();
     if (shed) {
       obs::metrics().counter("service_shed_total").add();
-      journal_resolved(*shed);
-      resolve_without_run(*shed,
-                          Status::resource_exhausted(
-                              "shed by a higher-priority submission (queue full)"));
+      for (auto& lost : shed->waiters) {
+        journal_resolved(*lost);
+        resolve_waiter(*lost, shed.get(),
+                       Status::resource_exhausted(
+                           "shed by a higher-priority submission (queue full)"));
+      }
       wake_.notify_all();
     } else {
       obs::metrics().counter("service_rejected_total").add();
-      resolve_without_run(
-          *job, Status::resource_exhausted(
-                    "queue full (capacity " +
-                    std::to_string(config_.queue_capacity) + ")"));
+      out.error = Status::resource_exhausted(
+          "queue full (capacity " + std::to_string(config_.queue_capacity) +
+          ")");
+      resolve_waiter(*waiter, nullptr, out.error);
     }
     return out;
   }
+
+  // Accept. An idle tenant re-entering the queue catches up to the global
+  // virtual clock: fairness shares the pool while you're active, it does not
+  // bank credit while you're away.
+  auto& tenant = tenant_state_locked(job->tenant);
+  if (tenant.running_slots == 0 &&
+      std::none_of(queue_.begin(), queue_.end(), [&](const auto& queued) {
+        return queued->tenant == job->tenant;
+      })) {
+    tenant.vtime = std::max(tenant.vtime, global_vtime_);
+  }
+  job->id = waiter->id;
+  job->waiters.push_back(std::move(waiter));
   queue_.push_back(job);
   // Journaled under the lock (see the shed branch above for the ordering
   // argument). A failed append leaves the job un-journaled but still runs it.
+  auto& accepted = *job->waiters.front();
   if (journal_ &&
-      journal_->append_submitted(job->id, *job->instance, job->options).ok()) {
-    job->journaled = true;
+      journal_->append_submitted(accepted.id, *job->instance, accepted.options,
+                                 accepted.tenant, accepted.warm_start)
+          .ok()) {
+    accepted.journaled = true;
+    job->dispatch_anchor = accepted.id;
   }
   lock.unlock();
   wake_.notify_all();
@@ -243,24 +500,47 @@ SolverService::Submission SolverService::submit_impl(
 
 bool SolverService::cancel(JobId id) {
   std::unique_lock lock(mutex_);
-  auto queued = std::find_if(queue_.begin(), queue_.end(),
-                             [id](const auto& job) { return job->id == id; });
-  if (queued != queue_.end()) {
-    auto job = *queued;
-    queue_.erase(queued);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    auto& job = *it;
+    auto found = std::find_if(
+        job->waiters.begin(), job->waiters.end(),
+        [id](const auto& waiter) { return waiter->id == id; });
+    if (found == job->waiters.end()) continue;
+    auto waiter = std::move(*found);
+    job->waiters.erase(found);
+    const auto keep = job;  // resolve needs the job after possible erase
+    if (job->waiters.empty()) queue_.erase(it);
     ++stats_.cancelled;
     lock.unlock();
     obs::metrics().counter("service_cancelled_total").add();
-    journal_resolved(*job);
-    resolve_without_run(*job, Status::cancelled("cancelled while queued"));
+    journal_resolved(*waiter);
+    resolve_waiter(*waiter, keep.get(),
+                   Status::cancelled("cancelled while queued"));
     return true;
   }
-  auto running = running_.find(id);
-  if (running != running_.end()) {
-    // The token does the rest: the engine notices within one inner-loop
-    // check, the master within one mailbox poll slice; the job thread then
-    // resolves the future as kCancelled.
-    running->second->cancel.request_cancel();
+  for (auto& [job_id, job] : running_) {
+    auto found = std::find_if(
+        job->waiters.begin(), job->waiters.end(),
+        [id](const auto& waiter) { return waiter->id == id; });
+    if (found == job->waiters.end()) continue;
+    if (job->waiters.size() == 1) {
+      // Last (or only) waiter: the token does the rest — the engine notices
+      // within one inner-loop check, the master within one mailbox poll
+      // slice; the job thread then resolves the future as kCancelled.
+      job->cancel.request_cancel();
+      return true;
+    }
+    // A shared solve loses just this waiter; the run continues for the rest.
+    auto waiter = std::move(*found);
+    job->waiters.erase(found);
+    ++stats_.cancelled;
+    const auto keep = job;
+    lock.unlock();
+    obs::metrics().counter("service_cancelled_total").add();
+    journal_resolved(*waiter);
+    resolve_waiter(*waiter, keep.get(),
+                   Status::cancelled("cancelled while running (detached from "
+                                     "shared solve)"));
     return true;
   }
   return false;
@@ -268,6 +548,7 @@ bool SolverService::cancel(JobId id) {
 
 void SolverService::shutdown() {
   std::vector<std::shared_ptr<Job>> to_resolve;
+  std::size_t cancelled_waiters = 0;
   {
     std::lock_guard lock(mutex_);
     if (stopping_) {
@@ -276,16 +557,20 @@ void SolverService::shutdown() {
     }
     stopping_ = true;
     to_resolve.swap(queue_);
-    stats_.cancelled += to_resolve.size();
+    for (const auto& job : to_resolve) cancelled_waiters += job->waiters.size();
+    stats_.cancelled += cancelled_waiters;
     for (auto& [id, job] : running_) job->cancel.request_cancel();
   }
   wake_.notify_all();
   obs::metrics().counter("service_cancelled_total")
-      .add(static_cast<std::uint64_t>(to_resolve.size()));
+      .add(static_cast<std::uint64_t>(cancelled_waiters));
   for (auto& job : to_resolve) {
     // Deliberately NOT struck from the journal: a queued job cancelled by
     // shutdown is exactly what the next incarnation should resume.
-    resolve_without_run(*job, Status::cancelled("service shutting down"));
+    for (auto& waiter : job->waiters) {
+      resolve_waiter(*waiter, job.get(),
+                     Status::cancelled("service shutting down"));
+    }
   }
   if (scheduler_.joinable()) scheduler_.join();
 }
@@ -306,61 +591,136 @@ ServiceStats SolverService::stats() const {
 }
 
 void SolverService::sweep_queue_locked() {
-  // Resolve queued jobs whose deadline passed before they ever ran. Swap-
-  // and-pop is fine: dispatch re-scans for the best job every time.
+  // Queued waiters whose deadline passed before their job ever ran resolve
+  // kDeadlineExceeded; a job whose last waiter expires leaves the queue.
+  // Swap-and-pop is fine: dispatch re-scans for the best job every time.
   for (std::size_t k = 0; k < queue_.size();) {
-    if (queue_[k]->deadline.expired()) {
-      auto job = queue_[k];
-      queue_[k] = queue_.back();
-      queue_.pop_back();
+    auto& job = queue_[k];
+    for (std::size_t w = 0; w < job->waiters.size();) {
+      if (!job->waiters[w]->deadline.expired()) {
+        ++w;
+        continue;
+      }
+      auto waiter = std::move(job->waiters[w]);
+      job->waiters.erase(job->waiters.begin() + static_cast<std::ptrdiff_t>(w));
       ++stats_.deadline_expired;
       obs::metrics().counter("service_deadline_missed_total").add();
-      journal_resolved(*job);
-      resolve_without_run(*job,
-                          Status::deadline_exceeded("deadline passed while queued"));
+      journal_resolved(*waiter);
+      resolve_waiter(*waiter, job.get(),
+                     Status::deadline_exceeded("deadline passed while queued"));
+    }
+    if (job->waiters.empty()) {
+      queue_[k] = queue_.back();
+      queue_.pop_back();
     } else {
       ++k;
     }
   }
+  // Waiters on a shared RUNNING solve with a stricter deadline than the
+  // run's own: resolve them the moment their deadline passes. Only when the
+  // solve's deadline itself still stands — a single-waiter job's deadline IS
+  // the solve deadline, so this never fires for it and the legacy
+  // run-resolves-the-future path is untouched.
+  for (auto& [id, job] : running_) {
+    if (job->waiters.size() < 2 || job->solve_deadline.expired()) continue;
+    for (std::size_t w = 0; w < job->waiters.size();) {
+      if (!job->waiters[w]->deadline.expired()) {
+        ++w;
+        continue;
+      }
+      auto waiter = std::move(job->waiters[w]);
+      job->waiters.erase(job->waiters.begin() + static_cast<std::ptrdiff_t>(w));
+      ++stats_.deadline_expired;
+      obs::metrics().counter("service_deadline_missed_total").add();
+      journal_resolved(*waiter);
+      resolve_waiter(*waiter, job.get(),
+                     Status::deadline_exceeded("deadline passed while running"));
+    }
+    if (job->waiters.empty()) job->cancel.request_cancel();
+  }
 }
 
 void SolverService::dispatch_ready_locked() {
-  // Dispatch order: jobs the crashed incarnation had already dispatched come
-  // first, replayed in their original start order; everyone else by strict
-  // priority, ties in submission order.
-  const auto dispatches_before = [](const Job& a, const Job& b) {
-    const bool a_resumed = a.resume_rank != 0;
-    const bool b_resumed = b.resume_rank != 0;
-    if (a_resumed != b_resumed) return a_resumed;
-    if (a_resumed) return a.resume_rank < b.resume_rank;
-    if (a.options.priority != b.options.priority) {
-      return a.options.priority > b.options.priority;
-    }
-    return a.id < b.id;
-  };
-  // Strict priority: always dispatch the best queued job next, and if its
-  // ask does not fit the free capacity, wait — lower-priority jobs do not
-  // jump it (a wide job cannot be starved; asks are clamped to the pool
-  // width, so it fits as soon as the pool drains).
   for (;;) {
+    // Jobs the crashed incarnation had already dispatched come first,
+    // replayed in their original start order — strictly: if the next one in
+    // line does not fit the free capacity, nothing jumps it.
     auto best = queue_.end();
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (best == queue_.end() || dispatches_before(**it, **best)) best = it;
+      if ((*it)->resume_rank == 0) continue;
+      if (best == queue_.end() || (*it)->resume_rank < (*best)->resume_rank) {
+        best = it;
+      }
+    }
+    if (best == queue_.end()) {
+      // Weighted-fair queuing: each tenant nominates its best queued job
+      // (priority desc, ties in submission order) and the eligible tenant
+      // with the least virtual time wins. A tenant at its running-slot quota
+      // is skipped entirely; the winner's job waits for capacity at the head
+      // of the line (strict: no smaller job overtakes it). With one tenant
+      // this is exactly the old strict-priority order.
+      const auto job_before = [](const Job& a, const Job& b) {
+        if (a.priority != b.priority) return a.priority > b.priority;
+        return a.id < b.id;
+      };
+      double best_vtime = std::numeric_limits<double>::infinity();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        auto& tenant = tenant_state_locked((*it)->tenant);
+        if (tenant.max_running_slots != 0 &&
+            tenant.running_slots + (*it)->slots > tenant.max_running_slots) {
+          continue;
+        }
+        const bool wins =
+            best == queue_.end() || tenant.vtime < best_vtime ||
+            (tenant.vtime == best_vtime && job_before(**it, **best));
+        if (wins) {
+          best = it;
+          best_vtime = tenant.vtime;
+        }
+      }
     }
     if (best == queue_.end() || (*best)->slots > free_slots_) return;
     auto job = *best;
     queue_.erase(best);
     free_slots_ -= job->slots;
     running_.emplace(job->id, job);
+    auto& tenant = tenant_state_locked(job->tenant);
+    tenant.running_slots += job->slots;
+    tenant.vtime += static_cast<double>(job->slots) / tenant.weight;
+    global_vtime_ = std::max(global_vtime_, tenant.vtime);
     const std::uint64_t seq = next_start_sequence_++;
     job->start_sequence = seq;
+    // The solve runs on the longest leash any live waiter paid for; the
+    // cancel source is armed with it here, which is equivalent to arming at
+    // submit (deadlines are absolute points in time).
+    bool any_unbounded = false;
+    const Waiter* most_generous = nullptr;
+    double most_remaining = -1.0;
+    for (auto& waiter : job->waiters) {
+      waiter->queue_seconds = waiter->since_submit.elapsed_seconds();
+      if (!waiter->deadline.is_bounded()) {
+        any_unbounded = true;
+        continue;
+      }
+      const double remaining = waiter->deadline.remaining_seconds();
+      if (remaining > most_remaining) {
+        most_remaining = remaining;
+        most_generous = waiter.get();
+      }
+    }
+    job->solve_deadline = any_unbounded || most_generous == nullptr
+                              ? Deadline{}
+                              : most_generous->deadline;
+    job->cancel = CancelSource(job->solve_deadline);
     obs::metrics().histogram("job_queue_seconds")
-        .record(job->since_submit.elapsed_seconds());
+        .record(job->waiters.front()->queue_seconds);
+    obs::metrics().histogram(tenant_metric(job->tenant, "_dispatch_seconds"))
+        .record(job->waiters.front()->queue_seconds);
     // Stamp the commitment before the thread exists: if we crash between
     // the append and the spawn, replay still restores this job at the front
     // in this order — exactly what the dispatch decision promised.
-    if (journal_ && job->journaled) {
-      (void)journal_->append_dispatched(job->id, seq);
+    if (journal_ && job->dispatch_anchor != 0) {
+      (void)journal_->append_dispatched(job->dispatch_anchor, seq);
     }
     job_threads_.emplace(job->id,
                          std::thread([this, job, seq] { run_job(job, seq); }));
@@ -385,24 +745,35 @@ void SolverService::maybe_compact_journal_locked() {
   const std::uint64_t appended = journal_->records_appended();
   if (appended < config_.journal_compact_every_records) return;
 
-  // The compacted image holds one kSubmitted per open journaled job plus one
-  // kDispatched per running one. Only rewrite when that at least halves the
-  // log — without the hysteresis a standing queue of N jobs would re-trigger
-  // every `journal_compact_every_records` appends for no space gain.
+  // The compacted image holds one kSubmitted per open journaled waiter, one
+  // kDispatched for the anchor of each running job, and one kDedup per
+  // attached follower. Only rewrite when that at least halves the log —
+  // without the hysteresis a standing queue of N jobs would re-trigger every
+  // `journal_compact_every_records` appends for no space gain.
   std::vector<journal::LiveJob> live;
-  live.reserve(queue_.size() + running_.size());
-  for (const auto& job : queue_) {
-    if (!job->journaled) continue;
-    live.push_back(journal::LiveJob{job->id, job->instance.get(),
-                                    &job->options, /*dispatch_sequence=*/0});
-  }
-  for (const auto& [id, job] : running_) {
-    if (!job->journaled) continue;
-    live.push_back(journal::LiveJob{id, job->instance.get(), &job->options,
-                                    job->start_sequence});
-  }
+  const auto collect = [&](const Job& job) {
+    for (const auto& waiter : job.waiters) {
+      if (!waiter->journaled) continue;
+      journal::LiveJob entry;
+      entry.id = waiter->id;
+      entry.instance = job.instance.get();
+      entry.options = &waiter->options;
+      entry.dispatch_sequence =
+          waiter->id == job.dispatch_anchor ? job.start_sequence : 0;
+      entry.tenant = &waiter->tenant;
+      entry.warm_start = waiter->warm_start;
+      entry.dedup_primary = waiter->dedup_primary;
+      live.push_back(entry);
+    }
+  };
+  for (const auto& job : queue_) collect(*job);
+  for (const auto& [id, job] : running_) collect(*job);
   std::uint64_t needed = 0;
-  for (const auto& job : live) needed += job.dispatch_sequence != 0 ? 2 : 1;
+  for (const auto& entry : live) {
+    needed += 1;
+    if (entry.dispatch_sequence != 0) needed += 1;
+    if (entry.dedup_primary != 0) needed += 1;
+  }
   if (appended < 2 * needed + 1) return;
   // Holding the service mutex across the rewrite is the correctness
   // argument: every append_submitted happens under this lock, so no new
@@ -426,6 +797,18 @@ void SolverService::scheduler_loop() {
     queue_depth.set(static_cast<double>(queue_.size()));
     active_jobs.set(static_cast<double>(running_.size()));
     free_slots.set(static_cast<double>(free_slots_));
+    for (const auto& [name, state] : tenants_) {
+      std::size_t waiting = 0;
+      for (const auto& job : queue_) {
+        for (const auto& waiter : job->waiters) {
+          if (waiter->tenant == name) ++waiting;
+        }
+      }
+      obs::metrics().gauge(tenant_metric(name, "_queue_depth"))
+          .set(static_cast<double>(waiting));
+      obs::metrics().gauge(tenant_metric(name, "_running_slots"))
+          .set(static_cast<double>(state.running_slots));
+    }
     if (stopping_ && queue_.empty() && running_.empty() && job_threads_.empty()) {
       return;
     }
@@ -436,110 +819,178 @@ void SolverService::scheduler_loop() {
 
 void SolverService::run_job(const std::shared_ptr<Job>& job,
                             std::uint64_t start_sequence) {
-  JobResult result;
-  result.id = job->id;
-  result.origin = job->origin;
-  result.instance = job->instance;
-  result.queue_seconds = job->since_submit.elapsed_seconds();
-  result.start_sequence = start_sequence;
+  // Warm start: seed the run from the store before it spins up. The lookup
+  // runs here, on the job thread, so disk reads never sit under the service
+  // mutex or stall the scheduler tick. Core-reduced runs are excluded — the
+  // store's solutions live in full-variable space.
+  std::optional<WarmStartStore::Hit> warm;
+  parallel::ParallelConfig config = job->config;
+  if (warm_store_ && job->warm_start != WarmStartPolicy::kDisabled &&
+      !config.core.enabled) {
+    warm = warm_store_->lookup(*job->instance, job->content_hash,
+                               job->warm_start);
+    if (warm) {
+      config.warm_start = &warm->warm;
+      {
+        std::lock_guard lock(mutex_);
+        ++stats_.warm_started;
+      }
+      obs::metrics().counter("service_warm_started_total").add();
+    }
+  }
 
-  // Budget: the job's own solve budget, truncated by whatever the deadline
-  // has left. The engine needs a positive bound even when the deadline
-  // passed between dispatch and here; the token stops it within one check.
+  // Budget: the job's own solve budget, truncated by whatever the solve
+  // deadline has left. The engine needs a positive bound even when the
+  // deadline passed between dispatch and here; the token stops it within one
+  // check.
   double budget = job->options.time_budget_seconds;
   bool deadline_limited = false;
-  if (job->deadline.is_bounded()) {
-    const double remaining = job->deadline.remaining_seconds();
+  if (job->solve_deadline.is_bounded()) {
+    const double remaining = job->solve_deadline.remaining_seconds();
     if (remaining < budget) {
       budget = remaining;
       deadline_limited = true;
     }
   }
-  parallel::ParallelConfig config = job->config;
   config.time_limit_seconds = std::max(budget, 1e-3);
   config.cancel = job->cancel.token();
 
   Stopwatch run_watch;
   auto run = parallel::run_parallel_tabu_search(*job->instance, config);
-  result.run_seconds = run_watch.elapsed_seconds();
+  const double run_seconds = run_watch.elapsed_seconds();
+
+  // Shared result template; each waiter's copy gets its own identity fields.
+  JobResult base;
+  base.instance = job->instance;
+  base.run_seconds = run_seconds;
+  base.start_sequence = start_sequence;
+  base.content_hash = job->content_hash;
+  base.tenant = job->tenant;
+  base.warm_started = warm.has_value();
 
   if (!run.status.ok()) {
     // The backend never started (e.g. proc backend with no worker binary):
     // there is no partial solution, only the supervisor's error.
-    result.status = Status::unavailable("backend failed to start: " +
-                                        run.status.message());
+    base.status = Status::unavailable("backend failed to start: " +
+                                      run.status.message());
+    std::vector<std::unique_ptr<Waiter>> waiters;
     {
       std::lock_guard lock(mutex_);
       free_slots_ += job->slots;
+      tenant_state_locked(job->tenant).running_slots -= job->slots;
       running_.erase(job->id);
       finished_.push_back(job->id);
-      ++stats_.cancelled;
+      waiters.swap(job->waiters);
+      stats_.cancelled += waiters.size();
     }
     wake_.notify_all();
-    obs::metrics().counter("service_cancelled_total").add();
-    journal_resolved(*job);
-    job->promise.set_value(std::move(result));
+    obs::metrics().counter("service_cancelled_total")
+        .add(static_cast<std::uint64_t>(waiters.size()));
+    for (auto& waiter : waiters) {
+      journal_resolved(*waiter);
+      JobResult result = base;
+      result.id = waiter->id;
+      result.origin = waiter->origin;
+      result.tenant = waiter->tenant;
+      result.deduplicated = waiter->deduplicated;
+      result.queue_seconds = waiter->queue_seconds;
+      waiter->promise.set_value(std::move(result));
+    }
     return;
   }
 
-  result.best_value = run.best_value;
-  result.best = std::move(run.best);
-  result.total_moves = run.total_moves;
-  result.reached_target = run.reached_target;
-  result.slave_faults = run.master.slave_faults;
-  result.counters = run.master.counters;
-  result.anytime = std::move(run.master.anytime);
+  base.best_value = run.best_value;
+  // The store is written after the fan-out, but run.best moves into the
+  // results below — keep it a copy of the best for the save.
+  std::optional<mkp::Solution> warm_best;
+  if (warm_store_ && !job->config.core.enabled &&
+      !run.master.final_slaves.empty()) {
+    warm_best = run.best;
+  }
+  base.best = std::move(run.best);
+  base.total_moves = run.total_moves;
+  base.reached_target = run.reached_target;
+  base.slave_faults = run.master.slave_faults;
+  base.counters = run.master.counters;
+  base.anytime = std::move(run.master.anytime);
 
   const auto token = job->cancel.token();
   if (run.reached_target) {
-    result.status = Status{};
+    base.status = Status{};
   } else if (token.cancel_requested()) {
-    result.status = Status::cancelled("cancelled while running");
+    base.status = Status::cancelled("cancelled while running");
   } else if (deadline_limited && token.deadline_expired()) {
-    result.status = Status::deadline_exceeded("deadline passed while running");
+    base.status = Status::deadline_exceeded("deadline passed while running");
   } else {
-    result.status = Status{};
+    base.status = Status{};
   }
 
-  // Retire the job from the books BEFORE resolving the promise, so "the
+  // Retire the job from the books BEFORE resolving the promises, so "the
   // future is ready" implies "cancel(id) returns false". The scheduler may
   // join this thread before set_value runs; that is fine — the join only
   // waits for the return below, and no lock is held past this block.
   bool strike = true;
+  std::vector<std::unique_ptr<Waiter>> waiters;
   {
     std::lock_guard lock(mutex_);
     free_slots_ += job->slots;
+    tenant_state_locked(job->tenant).running_slots -= job->slots;
     running_.erase(job->id);
     finished_.push_back(job->id);
-    stats_.slave_faults += result.slave_faults;
-    switch (result.status.code()) {
-      case StatusCode::kOk: ++stats_.completed; break;
-      case StatusCode::kCancelled: ++stats_.cancelled; break;
-      case StatusCode::kDeadlineExceeded: ++stats_.deadline_expired; break;
-      default: break;
+    waiters.swap(job->waiters);
+    stats_.slave_faults += base.slave_faults;
+    for (std::size_t i = 0; i < waiters.size(); ++i) {
+      switch (base.status.code()) {
+        case StatusCode::kOk: ++stats_.completed; break;
+        case StatusCode::kCancelled: ++stats_.cancelled; break;
+        case StatusCode::kDeadlineExceeded: ++stats_.deadline_expired; break;
+        default: break;
+      }
     }
     // A run cancelled by shutdown stays open in the journal so the next
     // incarnation re-runs it from scratch (solves are idempotent).
-    strike = !(stopping_ && result.status.code() == StatusCode::kCancelled);
+    strike = !(stopping_ && base.status.code() == StatusCode::kCancelled);
   }
-  switch (result.status.code()) {
-    case StatusCode::kOk:
-      obs::metrics().counter("service_completed_total").add();
-      break;
-    case StatusCode::kCancelled:
-      obs::metrics().counter("service_cancelled_total").add();
-      break;
-    case StatusCode::kDeadlineExceeded:
-      obs::metrics().counter("service_deadline_missed_total").add();
-      break;
-    default: break;
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    switch (base.status.code()) {
+      case StatusCode::kOk:
+        obs::metrics().counter("service_completed_total").add();
+        break;
+      case StatusCode::kCancelled:
+        obs::metrics().counter("service_cancelled_total").add();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        obs::metrics().counter("service_deadline_missed_total").add();
+        break;
+      default: break;
+    }
   }
-  obs::metrics().histogram("job_run_seconds").record(result.run_seconds);
+  obs::metrics().histogram("job_run_seconds").record(base.run_seconds);
   obs::metrics().histogram("job_total_seconds")
-      .record(result.queue_seconds + result.run_seconds);
+      .record((waiters.empty() ? 0.0 : waiters.front()->queue_seconds) +
+              base.run_seconds);
   wake_.notify_all();
-  if (strike) journal_resolved(*job);
-  job->promise.set_value(std::move(result));
+  const bool run_completed_ok = base.status.ok();  // base moves in the fan-out
+  // Fan the one run out to every waiter that stayed attached to the end.
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    auto& waiter = waiters[i];
+    if (strike) journal_resolved(*waiter);
+    JobResult result = i + 1 == waiters.size() ? std::move(base) : base;
+    result.id = waiter->id;
+    result.origin = waiter->origin;
+    result.tenant = waiter->tenant;
+    result.deduplicated = waiter->deduplicated;
+    result.queue_seconds = waiter->queue_seconds;
+    waiter->promise.set_value(std::move(result));
+  }
+
+  // Persist the finished run's per-slave state for future warm starts. Only
+  // clean, full-space, cooperative runs qualify; keep-the-best filtering
+  // happens inside the store.
+  if (warm_store_ && run_completed_ok && warm_best) {
+    (void)warm_store_->save(*job->instance, job->content_hash, *warm_best,
+                            run.master.final_slaves);
+  }
 }
 
 }  // namespace pts::service

@@ -1,40 +1,61 @@
 #pragma once
 // SolverService: many MKP solve jobs over one fixed-width worker pool, with
 // futures that resolve to a result **or a structured error** — never an
-// abort, never a dangling future.
+// abort, never a dangling future. Multi-tenant (DESIGN.md §7): submissions
+// carry a tenant identity, dispatch is weighted-fair across tenants, and
+// identical in-flight work is deduplicated into one shared solve.
 //
-// Scheduling. submit() validates and enqueues; a scheduler thread dispatches
-// the highest-priority queued job (ties by submission order) whenever its
-// thread ask fits the pool's free capacity. A job's ask is its preset's
-// num_slaves clamped to the pool width (SEQ jobs ask for one); the master
-// thread of a cooperative job blocks on the rendezvous and is not counted.
-// Capacity accounting — not per-job thread reuse — is what bounds
-// concurrency: at most `num_workers` search threads ever run at once.
+// Submission. submit(SubmitRequest) validates and enqueues, returning
+// Expected<JobHandle>: admission failures (bad options, backpressure,
+// shutdown) come back as a Status; accepted work returns a handle whose
+// future always resolves. Every submitted instance is content-addressed
+// (snapshot::instance_hash64 over its canonical wire bytes); a submission
+// whose instance bytes AND solve-shaped options match an in-flight job
+// attaches to that job as an extra *waiter* instead of enqueuing a new
+// solve — one run fans out to every waiter's future, each with its own
+// deadline semantics. A positional submit(instance, options) shim keeps the
+// old resolved-future error contract for one release.
 //
-// Cancellation. Every job owns a CancelSource armed with its deadline; the
-// token threads through the master's round loop, every mailbox wait, and
-// each slave engine's inner move loop, so cancel(id) or a passing deadline
-// stops a running job within one inner-loop check plus one mailbox poll
-// slice. Queued jobs resolve immediately without running.
+// Scheduling. A scheduler thread dispatches whenever capacity frees up.
+// Jobs resumed from the journal go absolutely first, in their original
+// dispatch order. Everything else is weighted-fair queuing over tenants:
+// each tenant accrues virtual time slots/weight per dispatched slot and the
+// tenant with the least virtual time is served next (its own jobs ordered
+// by priority, ties in submission order), subject to its max_running_slots
+// quota. With a single tenant (or none configured) this degrades exactly to
+// the old strict-priority order. Backpressure sheds the lowest-weight,
+// lowest-priority queued job first, and only when the incoming submission
+// strictly outranks it.
+//
+// Warm starts. With ServiceConfig::warm_start_dir set, completed
+// cooperative runs persist their final per-slave state (strategies, SGP
+// scores, elite solutions) keyed by instance content hash; a new job whose
+// WarmStartPolicy allows it is seeded from the exact entry — or, under
+// kSimilar, from an (m, n, tightness)-neighboring one — before it runs.
+//
+// Cancellation. Every dispatched job owns a CancelSource armed with the
+// most generous waiter deadline; the token threads through the master's
+// round loop, every mailbox wait, and each slave engine's inner move loop.
+// cancel(id) on a shared solve detaches just that waiter (the solve
+// continues for the rest); cancelling the last waiter stops the run.
 //
 // Fault model. A slave round that throws becomes a SlaveFault message; the
 // master's gather completes with P-1 reports and respawns the slave's
 // record (see parallel/master.cpp). The service surfaces the per-job fault
 // count in JobResult and aggregates it in ServiceStats.
 //
-// Crash safety. With ServiceConfig::journal_path set, every accepted job is
-// journaled at submit, stamped at dispatch (with the scheduler's global
-// start sequence) and struck at terminal resolution — EXCEPT resolutions
-// caused by shutdown(), which are deliberately left open so a restarted
-// service replays them. The constructor re-enqueues the survivors as
-// JobOrigin::kResumed; take_recovered() hands their futures to the caller.
-// Survivors that had already been dispatched outrank every other queued job
-// and run in their original dispatch order — the restart continues the
-// schedule the crashed incarnation committed to, rather than re-deriving
-// one from priorities (which ties or later submissions could reorder).
+// Crash safety. With ServiceConfig::journal_path set, every accepted waiter
+// is journaled at submit (with its tenant and warm-start policy), dedup
+// attachments are linked with a kDedup record, the scheduler's dispatch is
+// stamped with its global start sequence, and every terminal resolution is
+// struck — EXCEPT resolutions caused by shutdown(), which are deliberately
+// left open so a restarted service replays them. The constructor
+// re-enqueues the survivors as JobOrigin::kResumed; take_recovered() hands
+// their futures to the caller. Recovered duplicate submissions re-coalesce
+// naturally at resubmit (their content bytes still match).
 //
 // DESIGN.md §7 covers the full design; examples/batch_server.cpp drives a
-// mixed workload through it.
+// mixed multi-tenant workload through it.
 
 #include <condition_variable>
 #include <future>
@@ -46,6 +67,7 @@
 
 #include "service/job.hpp"
 #include "service/journal.hpp"
+#include "service/warm_start.hpp"
 #include "util/cancel.hpp"
 #include "util/timer.hpp"
 
@@ -64,18 +86,28 @@ class SolverService {
     std::future<JobResult> result;
   };
 
-  /// Non-blocking and abort-free: option validation failures and queue
-  /// overflow resolve the returned future immediately with a structured
-  /// error. The instance is shared into the job (and into its JobResult) so
-  /// its lifetime is independent of the caller's copy.
+  /// The submission API. Non-blocking and abort-free: admission failures
+  /// (invalid options, queue backpressure, shutdown) return a Status;
+  /// an accepted submission's future always resolves — run-time failures
+  /// (backend death, deadline, cancellation) arrive as the JobResult's
+  /// own Status. The instance is shared into the job (and its JobResult)
+  /// so its lifetime is independent of the caller's copy.
+  [[nodiscard]] Expected<JobHandle> submit(SubmitRequest request);
+
+  /// Transitional positional API: default tenant, no dedup, no warm start,
+  /// admission failures resolved INTO the future (the pre-tenant
+  /// contract). Kept for one release.
+  [[deprecated("build a SubmitRequest and call submit(SubmitRequest)")]]
   Submission submit(mkp::Instance instance, JobOptions options = {});
+  [[deprecated("build a SubmitRequest and call submit(SubmitRequest)")]]
   Submission submit(std::shared_ptr<const mkp::Instance> instance,
                     JobOptions options = {});
 
-  /// Queued job: resolves kCancelled immediately without running. Running
-  /// job: fires its cancel token; the future resolves kCancelled with the
-  /// best found so far. Returns false for ids that are unknown or already
-  /// resolved.
+  /// Queued waiter: resolves kCancelled immediately without running.
+  /// Waiter on a running solve: detaches it (the shared solve continues for
+  /// any other waiters; the last waiter's cancel fires the run's token and
+  /// its future resolves kCancelled with the best found so far). Returns
+  /// false for ids that are unknown or already resolved.
   bool cancel(JobId id);
 
   /// Stops accepting work, cancels every queued and running job, and joins
@@ -94,26 +126,43 @@ class SolverService {
   [[nodiscard]] ServiceStats stats() const;
 
  private:
+  struct Waiter;
   struct Job;
 
-  Submission submit_impl(std::shared_ptr<const mkp::Instance> instance,
-                         JobOptions options, JobOrigin origin,
-                         std::uint64_t resume_rank = 0);
-  /// Strikes a journaled job's submission record (no-op when journaling is
-  /// off or the job never made it into the journal).
-  void journal_resolved(const Job& job);
+  /// Weighted-fair-queuing ledger for one tenant.
+  struct TenantState {
+    double weight = 1.0;
+    std::size_t max_running_slots = 0;  ///< 0 = no quota
+    double vtime = 0.0;                 ///< accrued virtual time
+    std::size_t running_slots = 0;
+  };
+
+  /// What the internal submit path reports to both public faces. The future
+  /// is always valid; when `error` is non-OK it has already been resolved
+  /// with that error (the shim hands it out; the new API drops it).
+  struct SubmitOutcome {
+    JobId id = 0;
+    TenantId tenant;
+    std::uint64_t content_hash = 0;
+    bool deduplicated = false;
+    Status error;
+    std::future<JobResult> future;
+  };
+
+  SubmitOutcome submit_full(SubmitRequest request, JobOrigin origin,
+                            std::uint64_t resume_rank = 0);
+  /// Strikes a journaled waiter's submission record (no-op when journaling
+  /// is off or the waiter never made it into the journal).
+  void journal_resolved(const Waiter& waiter);
+  TenantState& tenant_state_locked(const TenantId& tenant);
   void scheduler_loop();
   void dispatch_ready_locked();
   void sweep_queue_locked();
-  /// Rewrites the journal to just the open jobs once enough records have
-  /// accumulated AND the rewrite would shrink the log (hysteresis, so a
-  /// large standing queue does not trigger a rewrite every tick). Runs under
-  /// the service mutex — the same lock every append_submitted holds — so no
-  /// submission can race into the about-to-be-replaced file.
   void maybe_compact_journal_locked();
   void reap_finished_locked(std::unique_lock<std::mutex>& lock);
   void run_job(const std::shared_ptr<Job>& job, std::uint64_t start_sequence);
-  static void resolve_without_run(Job& job, Status status);
+  /// Resolves one waiter that never got (or never will get) a run result.
+  static void resolve_waiter(Waiter& waiter, const Job* job, Status status);
 
   ServiceConfig config_;
   mutable std::mutex mutex_;
@@ -130,9 +179,17 @@ class SolverService {
   bool stopping_ = false;
   ServiceStats stats_;
 
+  /// WFQ ledgers, lazily populated; the global virtual clock tracks the
+  /// busiest tenant so a newly active one starts level, not ahead.
+  std::map<TenantId, TenantState> tenants_;
+  double global_vtime_ = 0.0;
+
   /// Null when journaling is off (empty path or the journal failed to open).
   std::unique_ptr<journal::JobJournal> journal_;
   std::vector<Submission> recovered_;  ///< replayed jobs, until take_recovered()
+
+  /// Null when ServiceConfig::warm_start_dir is empty.
+  std::unique_ptr<WarmStartStore> warm_store_;
 
   std::thread scheduler_;  // started last, joined by shutdown()
 };

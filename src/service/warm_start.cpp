@@ -1,0 +1,332 @@
+#include "service/warm_start.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/metrics.hpp"
+#include "parallel/codec.hpp"
+#include "parallel/wire.hpp"
+#include "util/crc32.hpp"
+
+namespace pts::service {
+
+namespace {
+
+using parallel::codec::Reader;
+using parallel::codec::Writer;
+
+constexpr std::uint8_t kMagic[4] = {'P', 'T', 'S', 'W'};
+
+Status io_error(const std::string& what) {
+  return Status::internal("warm-start store: " + what + ": " +
+                          std::strerror(errno));
+}
+
+bool write_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const auto n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string entry_name(std::uint64_t content_hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "ws_%016llx.ptsw",
+                static_cast<unsigned long long>(content_hash));
+  return buf;
+}
+
+/// The strategy/score section decoded; the solutions tail left unread (the
+/// caller decodes it only on an exact hit, against the live instance).
+struct EntryPrefix {
+  std::uint64_t content_hash = 0;
+  std::uint32_t m = 0;
+  std::uint32_t n = 0;
+  double tightness = 0.0;
+  double best_value = 0.0;
+  std::vector<tabu::Strategy> strategies;
+  std::vector<int> scores;
+};
+
+/// Reads one entry file into validated body bytes. Any malformation is a
+/// Status — lookup treats it as a miss for that entry.
+Expected<std::vector<std::uint8_t>> read_body(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return io_error("open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const auto n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const auto status = io_error("read " + path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+
+  if (bytes.size() < kWarmStartHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::invalid_argument("warm-start store: bad magic in " + path);
+  }
+  const std::span<const std::uint8_t> head(bytes.data(), kWarmStartHeaderBytes);
+  Reader header(head);
+  (void)header.u32();  // magic, already compared
+  const auto version = header.u8();
+  const auto crc = header.u32();
+  const auto size = header.u64();
+  if (version != kWarmStartVersion) {
+    return Status::invalid_argument("warm-start store: unsupported version " +
+                                    std::to_string(version));
+  }
+  if (size > kMaxWarmStartBytes ||
+      size != bytes.size() - kWarmStartHeaderBytes) {
+    return Status::invalid_argument("warm-start store: size mismatch in " + path);
+  }
+  std::vector<std::uint8_t> body(bytes.begin() + kWarmStartHeaderBytes,
+                                 bytes.end());
+  if (crc32(body) != crc) {
+    return Status::invalid_argument("warm-start store: CRC mismatch in " + path);
+  }
+  return body;
+}
+
+/// Decodes the feature + strategy prefix; leaves `r` positioned at the
+/// solutions section.
+Expected<EntryPrefix> get_prefix(Reader& r) {
+  EntryPrefix p;
+  p.content_hash = r.u64();
+  p.m = r.u32();
+  p.n = r.u32();
+  p.tightness = r.f64();
+  p.best_value = r.f64();
+  const auto nslaves = r.u32();
+  if (!r.plausible_count(nslaves, 8)) {
+    return Status::invalid_argument("warm-start store: implausible slave count");
+  }
+  p.strategies.reserve(nslaves);
+  p.scores.reserve(nslaves);
+  for (std::uint32_t i = 0; i < nslaves; ++i) {
+    p.strategies.push_back(parallel::wire::get_strategy(r));
+    p.scores.push_back(r.i32());
+  }
+  if (!r.ok()) {
+    return Status::invalid_argument("warm-start store: truncated entry");
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string to_string(WarmStartPolicy policy) {
+  switch (policy) {
+    case WarmStartPolicy::kDisabled: return "off";
+    case WarmStartPolicy::kExact: return "exact";
+    case WarmStartPolicy::kSimilar: return "similar";
+  }
+  return "?";
+}
+
+Expected<WarmStartPolicy> warm_start_policy_from_string(const std::string& text) {
+  std::string lower = text;
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "off" || lower == "none" || lower == "disabled") {
+    return WarmStartPolicy::kDisabled;
+  }
+  if (lower == "exact") return WarmStartPolicy::kExact;
+  if (lower == "similar") return WarmStartPolicy::kSimilar;
+  return Status::invalid_argument("unknown warm-start policy '" + text +
+                                  "' (accepted: off, exact, similar)");
+}
+
+double mean_tightness(const mkp::Instance& inst) {
+  const std::size_t m = inst.num_constraints();
+  if (m == 0) return 1.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = inst.weights_row(i);
+    double row_sum = 0.0;
+    for (double w : row) row_sum += w;
+    sum += row_sum > 0.0 ? inst.capacity(i) / row_sum : 1.0;
+  }
+  return sum / static_cast<double>(m);
+}
+
+WarmStartStore::WarmStartStore(std::string dir, double tightness_tolerance)
+    : dir_(std::move(dir)), tightness_tolerance_(tightness_tolerance) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // A failed create degrades to a store that never hits and never saves.
+}
+
+std::optional<WarmStartStore::Hit> WarmStartStore::lookup(
+    const mkp::Instance& inst, std::uint64_t content_hash,
+    WarmStartPolicy policy) const {
+  if (policy == WarmStartPolicy::kDisabled) return std::nullopt;
+
+  // Exact: one file, addressed by content.
+  const auto exact_path =
+      (std::filesystem::path(dir_) / entry_name(content_hash)).string();
+  if (auto body = read_body(exact_path)) {
+    const std::span<const std::uint8_t> body_span(body->data(), body->size());
+    Reader r(body_span);
+    if (auto prefix = get_prefix(r); prefix &&
+                                     prefix->content_hash == content_hash) {
+      Hit hit;
+      hit.exact = true;
+      hit.stored_best = prefix->best_value;
+      hit.warm.strategies = std::move(prefix->strategies);
+      hit.warm.scores = std::move(prefix->scores);
+      // Exact hit: the saved elite solutions are solutions OF this
+      // instance — decode and seed them as initials.
+      const auto nsol = r.u32();
+      if (r.plausible_count(nsol, 8 + inst.num_items() / 8)) {
+        for (std::uint32_t k = 0; k < nsol; ++k) {
+          auto solution = parallel::wire::get_solution(r, inst);
+          if (!solution) break;  // partial seed beats none
+          hit.warm.initials.push_back(*std::move(solution));
+        }
+      }
+      obs::metrics().counter("warm_start_exact_hits_total").add();
+      return hit;
+    }
+  }
+  if (policy != WarmStartPolicy::kSimilar) return std::nullopt;
+
+  // Approximate: closest mean-tightness neighbor with the same shape.
+  // Strategies and SGP scores transfer; solutions never do.
+  const double t = mean_tightness(inst);
+  std::optional<Hit> best;
+  double best_dt = tightness_tolerance_;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() != ".ptsw") continue;
+    auto body = read_body(entry.path().string());
+    if (!body) continue;  // corrupt entry: skip, never fatal
+    const std::span<const std::uint8_t> body_span(body->data(), body->size());
+    Reader r(body_span);
+    auto prefix = get_prefix(r);
+    if (!prefix) continue;
+    if (prefix->m != inst.num_constraints() || prefix->n != inst.num_items()) {
+      continue;
+    }
+    const double dt = std::abs(prefix->tightness - t);
+    if (dt > best_dt) continue;
+    if (best && dt == best_dt && prefix->best_value <= best->stored_best) {
+      continue;
+    }
+    Hit hit;
+    hit.exact = false;
+    hit.stored_best = prefix->best_value;
+    hit.warm.strategies = std::move(prefix->strategies);
+    hit.warm.scores = std::move(prefix->scores);
+    best_dt = dt;
+    best = std::move(hit);
+  }
+  if (best) obs::metrics().counter("warm_start_similar_hits_total").add();
+  return best;
+}
+
+Status WarmStartStore::save(
+    const mkp::Instance& inst, std::uint64_t content_hash,
+    const mkp::Solution& best,
+    const std::vector<parallel::snapshot::SlaveState>& slaves) {
+  if (slaves.empty()) {
+    return Status::invalid_argument("warm-start store: nothing to save");
+  }
+  const double best_value = best.value();
+  const auto path =
+      (std::filesystem::path(dir_) / entry_name(content_hash)).string();
+
+  // Keep-the-best policy: a weaker run never clobbers a stronger entry.
+  if (auto body = read_body(path)) {
+    const std::span<const std::uint8_t> body_span(body->data(), body->size());
+    Reader r(body_span);
+    if (auto prefix = get_prefix(r);
+        prefix && prefix->best_value > best_value) {
+      return Status{};
+    }
+  }
+
+  Writer body;
+  body.u64(content_hash);
+  body.u32(static_cast<std::uint32_t>(inst.num_constraints()));
+  body.u32(static_cast<std::uint32_t>(inst.num_items()));
+  body.f64(mean_tightness(inst));
+  body.f64(best_value);
+  body.u32(static_cast<std::uint32_t>(slaves.size()));
+  for (const auto& slave : slaves) {
+    parallel::wire::put_strategy(body, slave.strategy);
+    body.i32(slave.score);
+  }
+  // Seed solutions: the run's best first (it may be in no slave's final
+  // pool), then each slave's strongest elite, else its last initial.
+  std::vector<const mkp::Solution*> seeds;
+  seeds.push_back(&best);
+  for (const auto& slave : slaves) {
+    const mkp::Solution* seed = nullptr;
+    for (const auto& elite : slave.b_best) {
+      if (seed == nullptr || elite.value() > seed->value()) seed = &elite;
+    }
+    if (seed == nullptr && slave.initial) seed = &*slave.initial;
+    if (seed != nullptr) seeds.push_back(seed);
+  }
+  body.u32(static_cast<std::uint32_t>(seeds.size()));
+  for (const auto* seed : seeds) parallel::wire::put_solution(body, *seed);
+  const auto body_bytes = body.take();
+
+  Writer file;
+  for (const auto b : kMagic) file.u8(b);
+  file.u8(kWarmStartVersion);
+  file.u32(crc32(body_bytes));
+  file.u64(body_bytes.size());
+  file.bytes(body_bytes);
+  const auto image = file.take();
+
+  // Snapshot write discipline: tmp + fsync + rename + directory fsync, so a
+  // crash leaves the old entry or the new one, never a torn file.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_error("open " + tmp);
+  if (!write_all(fd, image) || ::fsync(fd) != 0) {
+    const auto status = io_error("write " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const auto status = io_error("rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  const int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  obs::metrics().counter("warm_start_saves_total").add();
+  return Status{};
+}
+
+}  // namespace pts::service

@@ -123,18 +123,6 @@ TEST(Runner, ObserverFieldSeesEveryRound) {
   EXPECT_GT(trace.rounds, 0U);
 }
 
-TEST(Runner, DeprecatedTraceShimForwardsToObserver) {
-  const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 8);
-  CountingTrace trace;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto result = run_parallel_tabu_search(
-      inst, quick_config(CooperationMode::kCooperativeAdaptive), &trace);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(trace.rounds, result.master.rounds_completed);
-  EXPECT_GT(trace.rounds, 0U);
-}
-
 TEST(Runner, SingleSlaveDegenerateCase) {
   const auto inst = mkp::generate_gk({.num_items = 30, .num_constraints = 4}, 6);
   auto config = quick_config(CooperationMode::kCooperativeAdaptive);

@@ -29,6 +29,20 @@ mkp::Instance test_instance(std::uint64_t seed) {
 
 std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
 
+/// Submits through the redesigned aggregate API; a refusal fails the test.
+JobHandle must_submit(SolverService& server, std::uint64_t seed,
+                      JobOptions options) {
+  SubmitRequest request;
+  request.instance = std::make_shared<const mkp::Instance>(test_instance(seed));
+  request.priority = options.priority;
+  request.deadline_seconds = options.deadline_seconds;
+  request.options = std::move(options);
+  auto handle = server.submit(std::move(request));
+  EXPECT_TRUE(handle) << handle.status().to_string();
+  if (!handle) return {};
+  return std::move(*handle);
+}
+
 JobOptions fancy_options() {
   JobOptions options;
   options.preset = "thorough";
@@ -306,13 +320,13 @@ TEST(Journal, ServiceCompactsPeriodicallyWithoutRestart) {
   config.journal_compact_every_records = 8;
   SolverService server(config);
 
-  std::vector<SolverService::Submission> submissions;
+  std::vector<JobHandle> submissions;
   for (std::uint64_t k = 1; k <= 12; ++k) {
     JobOptions options;
     options.preset = "quick";
     options.time_budget_seconds = 0.05;
     options.seed = k;
-    submissions.push_back(server.submit(test_instance(k), options));
+    submissions.push_back(must_submit(server, k, options));
   }
   // High-water mark: 12 submitted records (each carrying a full instance)
   // are on disk before any compaction can fire — the hysteresis refuses to
@@ -358,13 +372,13 @@ TEST(Journal, ServiceRecoversShutdownStrandedJobsAsResumed) {
     config.num_workers = 1;
     config.journal_path = path;
     SolverService server(config);
-    std::vector<SolverService::Submission> submissions;
+    std::vector<JobHandle> submissions;
     for (std::uint64_t k = 1; k <= 3; ++k) {
       JobOptions options;
       options.preset = "quick";
       options.time_budget_seconds = 0.5;
       options.seed = k;
-      submissions.push_back(server.submit(test_instance(k), options));
+      submissions.push_back(must_submit(server, k, options));
     }
     server.shutdown();
     for (auto& submission : submissions) {
@@ -424,16 +438,16 @@ TEST(Journal, ServiceRestoresDispatchOrderNotJustTheJobSet) {
     slow.preset = "quick";
     slow.time_budget_seconds = 1.0;  // long enough to outlive the shutdown
     slow.priority = 0;
-    auto a = server.submit(test_instance(1), slow);
+    auto a = must_submit(server, 1, slow);
     // Wait until A is actually running (its kDispatched record is written
     // under the same lock that moves it to running_).
     while (server.running_jobs() == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     slow.priority = 5;
-    auto b = server.submit(test_instance(2), slow);
+    auto b = must_submit(server, 2, slow);
     slow.priority = 10;
-    auto c = server.submit(test_instance(3), slow);
+    auto c = must_submit(server, 3, slow);
     server.shutdown();
     (void)a.result.get();
     (void)b.result.get();
@@ -461,6 +475,174 @@ TEST(Journal, ServiceRestoresDispatchOrderNotJustTheJobSet) {
   std::remove(path.c_str());
 }
 
+TEST(Journal, TenantAndWarmPolicyRoundTripThroughReplay) {
+  // The v3 kSubmitted tail: tenant and warm-start policy survive replay;
+  // records written without them default to the pre-tenant values.
+  const auto path = temp_path("journal_v3_tail.jnl");
+  std::remove(path.c_str());
+  {
+    auto journal = JobJournal::open_truncate(path);
+    ASSERT_TRUE(journal) << journal.status().to_string();
+    ASSERT_TRUE((*journal)
+                    ->append_submitted(7, test_instance(1), fancy_options(),
+                                       "prod", WarmStartPolicy::kSimilar)
+                    .ok());
+    ASSERT_TRUE((*journal)->append_submitted(8, test_instance(2), JobOptions{}).ok());
+  }
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered) << recovered.status().to_string();
+  ASSERT_EQ(recovered->size(), 2U);
+  EXPECT_EQ((*recovered)[0].id, 7U);
+  EXPECT_EQ((*recovered)[0].tenant, "prod");
+  EXPECT_EQ((*recovered)[0].warm_start, WarmStartPolicy::kSimilar);
+  EXPECT_EQ((*recovered)[0].options.priority, 7);
+  EXPECT_TRUE((*recovered)[1].tenant.empty());
+  EXPECT_EQ((*recovered)[1].warm_start, WarmStartPolicy::kDisabled);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, DedupLinkReplaysOnlyWhileBothSidesAreOpen) {
+  const auto path = temp_path("journal_dedup_link.jnl");
+  std::remove(path.c_str());
+  auto journal = JobJournal::open_truncate(path);
+  ASSERT_TRUE(journal) << journal.status().to_string();
+  ASSERT_TRUE((*journal)->append_submitted(1, test_instance(1), JobOptions{}).ok());
+  ASSERT_TRUE((*journal)->append_submitted(2, test_instance(1), JobOptions{}).ok());
+  ASSERT_TRUE((*journal)->append_dedup(2, 1).ok());
+  {
+    auto recovered = recover_jobs(path);
+    ASSERT_TRUE(recovered) << recovered.status().to_string();
+    ASSERT_EQ(recovered->size(), 2U);
+    EXPECT_EQ((*recovered)[0].dedup_primary, 0U);
+    EXPECT_EQ((*recovered)[1].dedup_primary, 1U);
+  }
+  // Once the primary resolved, the link is inert provenance: the follower
+  // still recovers, as a plain job.
+  ASSERT_TRUE((*journal)->append_resolved(1).ok());
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered) << recovered.status().to_string();
+  ASSERT_EQ(recovered->size(), 1U);
+  EXPECT_EQ((*recovered)[0].id, 2U);
+  EXPECT_EQ((*recovered)[0].dedup_primary, 0U);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailOnV3RecordsEndsReplayCleanly) {
+  // kill -9 mid-append of a v3 record (tenant-tailed kSubmitted, then a
+  // kDedup torn a few bytes short): everything before the torn record is
+  // trusted, the tear itself is the clean end of the log.
+  const auto path = temp_path("journal_v3_torn.jnl");
+  std::remove(path.c_str());
+  {
+    auto journal = JobJournal::open_truncate(path);
+    ASSERT_TRUE(journal) << journal.status().to_string();
+    ASSERT_TRUE((*journal)
+                    ->append_submitted(1, test_instance(1), JobOptions{},
+                                       "prod", WarmStartPolicy::kExact)
+                    .ok());
+    ASSERT_TRUE((*journal)
+                    ->append_submitted(2, test_instance(1), JobOptions{},
+                                       "batch", WarmStartPolicy::kDisabled)
+                    .ok());
+    ASSERT_TRUE((*journal)->append_dedup(2, 1).ok());
+  }
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 3);  // tear the kDedup record
+  auto recovered = recover_jobs(path);
+  ASSERT_TRUE(recovered) << recovered.status().to_string();
+  ASSERT_EQ(recovered->size(), 2U);
+  EXPECT_EQ((*recovered)[0].tenant, "prod");
+  EXPECT_EQ((*recovered)[0].warm_start, WarmStartPolicy::kExact);
+  EXPECT_EQ((*recovered)[1].dedup_primary, 0U);  // the link never landed
+
+  // Garbage appended after a valid log is likewise a torn tail, not an error.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("\x07garbage", 8);
+  }
+  auto again = recover_jobs(path);
+  ASSERT_TRUE(again) << again.status().to_string();
+  EXPECT_EQ(again->size(), 2U);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ServiceRecoversDedupedJobsAcrossThreeIncarnations) {
+  // A deduplicated pair in flight at shutdown must come back as TWO open
+  // submissions that re-coalesce on resubmit — in every later incarnation —
+  // and a final clean run strikes them both.
+  const auto path = temp_path("journal_dedup_service.jnl");
+  std::remove(path.c_str());
+  JobOptions slow;
+  slow.preset = "quick";
+  slow.time_budget_seconds = 0.5;
+  slow.seed = 3;
+
+  // Incarnation 1: blocker runs, an identical pair queues and coalesces;
+  // shutdown strands all three.
+  {
+    ServiceConfig config;
+    config.num_workers = 1;
+    config.journal_path = path;
+    SolverService server(config);
+    auto blocker = must_submit(server, 1, slow);
+    while (server.running_jobs() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    auto primary = must_submit(server, 2, slow);
+    auto follower = must_submit(server, 2, slow);  // byte-identical: attaches
+    EXPECT_FALSE(primary.deduplicated);
+    EXPECT_TRUE(follower.deduplicated);
+    EXPECT_EQ(server.stats().dedup_hits, 1U);
+    server.shutdown();
+    (void)blocker.result.get();
+    (void)primary.result.get();
+    (void)follower.result.get();
+  }
+
+  // Incarnation 2: three open submissions replay and the pair re-coalesces
+  // at resubmit; shut down again before anything resolves — still open.
+  {
+    ServiceConfig config;
+    config.num_workers = 1;
+    config.journal_path = path;
+    SolverService server(config);
+    auto recovered = server.take_recovered();
+    ASSERT_EQ(recovered.size(), 3U);
+    EXPECT_EQ(server.stats().dedup_hits, 1U);
+    server.shutdown();
+    for (auto& submission : recovered) (void)submission.result.get();
+  }
+
+  // Incarnation 3: let everything run. The pair still shares one solve
+  // (same start sequence) and all three resolve OK as kResumed.
+  {
+    ServiceConfig config;
+    config.num_workers = 2;
+    config.journal_path = path;
+    SolverService server(config);
+    auto recovered = server.take_recovered();
+    ASSERT_EQ(recovered.size(), 3U);
+    EXPECT_EQ(server.stats().dedup_hits, 1U);
+    std::vector<JobResult> results;
+    for (auto& submission : recovered) results.push_back(submission.result.get());
+    for (const auto& result : results) {
+      EXPECT_TRUE(result.status.ok()) << result.status.to_string();
+      EXPECT_EQ(result.origin, JobOrigin::kResumed);
+    }
+    // Submission order was blocker, primary, follower.
+    EXPECT_EQ(results[1].start_sequence, results[2].start_sequence);
+    EXPECT_EQ(results[1].best_value, results[2].best_value);
+    EXPECT_TRUE(results[2].deduplicated);
+    server.shutdown();
+  }
+
+  // Everything resolved: a fourth incarnation recovers nothing.
+  auto empty = recover_jobs(path);
+  ASSERT_TRUE(empty) << empty.status().to_string();
+  EXPECT_TRUE(empty->empty());
+  std::remove(path.c_str());
+}
+
 TEST(Journal, CancelledJobIsStruckAndDoesNotRecover) {
   const auto path = temp_path("journal_cancel.jnl");
   std::remove(path.c_str());
@@ -472,8 +654,8 @@ TEST(Journal, CancelledJobIsStruckAndDoesNotRecover) {
     JobOptions slow;
     slow.preset = "quick";
     slow.time_budget_seconds = 30.0;
-    auto a = server.submit(test_instance(1), slow);   // runs
-    auto b = server.submit(test_instance(2), slow);   // queued
+    auto a = must_submit(server, 1, slow);  // runs
+    auto b = must_submit(server, 2, slow);  // queued
     EXPECT_TRUE(server.cancel(b.id));                 // deliberate cancel
     EXPECT_EQ(b.result.get().status.code(), StatusCode::kCancelled);
     server.cancel(a.id);

@@ -96,11 +96,13 @@ TEST(FaultInjection, ServiceSurfacesPerJobFaultCounts) {
   pool.fault_injector = &injector;
   service::SolverService server(pool);
 
-  service::JobOptions options;
-  options.preset = "quick";
-  options.time_budget_seconds = 0.3;
-  auto submission = server.submit(inst, options);
-  const auto result = submission.result.get();
+  service::SubmitRequest request;
+  request.instance = std::make_shared<const mkp::Instance>(inst);
+  request.options.preset = "quick";
+  request.options.time_budget_seconds = 0.3;
+  auto handle = server.submit(std::move(request));
+  ASSERT_TRUE(handle) << handle.status().to_string();
+  const auto result = handle->result.get();
 
   EXPECT_TRUE(result.status.ok()) << result.status.to_string();
   EXPECT_GT(result.slave_faults, 0U);
