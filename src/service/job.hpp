@@ -227,6 +227,9 @@ struct ServiceStats {
   std::uint64_t rejected = 0;          ///< backpressure (kResourceExhausted)
   std::uint64_t completed = 0;         ///< resolved OK
   std::uint64_t cancelled = 0;         ///< resolved kCancelled / kUnavailable
+                                       ///< (cancel, shutdown)
+  std::uint64_t backend_failures = 0;  ///< resolved kUnavailable because the
+                                       ///< solve backend failed to start
   std::uint64_t deadline_expired = 0;  ///< resolved kDeadlineExceeded
   std::uint64_t slave_faults = 0;      ///< summed over finished runs
   std::uint64_t resumed = 0;           ///< re-enqueued from the journal

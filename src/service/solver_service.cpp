@@ -434,19 +434,7 @@ SolverService::SubmitOutcome SolverService::submit_full(
       if (weakest != queue_.end() && rank(**weakest) < rank(*job)) {
         shed = *weakest;
         queue_.erase(weakest);
-        job->waiters.push_back(std::move(waiter));
-        queue_.push_back(job);
-        // Journaled under the lock: the job is not dispatchable until the
-        // unlock below, so its kSubmitted record always precedes any strike.
-        auto& accepted = *job->waiters.front();
-        if (journal_ &&
-            journal_->append_submitted(accepted.id, *job->instance,
-                                       accepted.options, accepted.tenant,
-                                       accepted.warm_start)
-                .ok()) {
-          accepted.journaled = true;
-          job->dispatch_anchor = accepted.id;
-        }
+        accept_job_locked(job, std::move(waiter));
       }
     }
     ++stats_.rejected;
@@ -470,9 +458,17 @@ SolverService::SubmitOutcome SolverService::submit_full(
     return out;
   }
 
-  // Accept. An idle tenant re-entering the queue catches up to the global
-  // virtual clock: fairness shares the pool while you're active, it does not
-  // bank credit while you're away.
+  accept_job_locked(job, std::move(waiter));
+  lock.unlock();
+  wake_.notify_all();
+  return out;
+}
+
+void SolverService::accept_job_locked(const std::shared_ptr<Job>& job,
+                                      std::unique_ptr<Waiter> waiter) {
+  // An idle tenant re-entering the queue catches up to the global virtual
+  // clock: fairness shares the pool while you're active, it does not bank
+  // credit while you're away.
   auto& tenant = tenant_state_locked(job->tenant);
   if (tenant.running_slots == 0 &&
       std::none_of(queue_.begin(), queue_.end(), [&](const auto& queued) {
@@ -483,8 +479,9 @@ SolverService::SubmitOutcome SolverService::submit_full(
   job->id = waiter->id;
   job->waiters.push_back(std::move(waiter));
   queue_.push_back(job);
-  // Journaled under the lock (see the shed branch above for the ordering
-  // argument). A failed append leaves the job un-journaled but still runs it.
+  // Journaled under the lock: the job is not dispatchable until the caller
+  // unlocks, so its kSubmitted record always precedes any strike. A failed
+  // append leaves the job un-journaled but still runs it.
   auto& accepted = *job->waiters.front();
   if (journal_ &&
       journal_->append_submitted(accepted.id, *job->instance, accepted.options,
@@ -493,9 +490,6 @@ SolverService::SubmitOutcome SolverService::submit_full(
     accepted.journaled = true;
     job->dispatch_anchor = accepted.id;
   }
-  lock.unlock();
-  wake_.notify_all();
-  return out;
 }
 
 bool SolverService::cancel(JobId id) {
@@ -616,13 +610,16 @@ void SolverService::sweep_queue_locked() {
       ++k;
     }
   }
-  // Waiters on a shared RUNNING solve with a stricter deadline than the
-  // run's own: resolve them the moment their deadline passes. Only when the
-  // solve's deadline itself still stands — a single-waiter job's deadline IS
-  // the solve deadline, so this never fires for it and the legacy
-  // run-resolves-the-future path is untouched.
+  // Waiters on a RUNNING solve with a stricter deadline than the run's own:
+  // resolve them the moment their deadline passes. Only while the solve's
+  // deadline itself still stands — a never-shared job's waiter deadline IS
+  // the solve deadline (they expire together), so this never fires for it
+  // and the legacy run-resolves-the-future path is untouched. No waiter
+  // count guard: a shared solve whose most generous waiter detached leaves
+  // ONE waiter under a longer solve deadline, and its own deadline must
+  // still be honored.
   for (auto& [id, job] : running_) {
-    if (job->waiters.size() < 2 || job->solve_deadline.expired()) continue;
+    if (job->solve_deadline.expired()) continue;
     for (std::size_t w = 0; w < job->waiters.size();) {
       if (!job->waiters[w]->deadline.expired()) {
         ++w;
@@ -881,10 +878,10 @@ void SolverService::run_job(const std::shared_ptr<Job>& job,
       running_.erase(job->id);
       finished_.push_back(job->id);
       waiters.swap(job->waiters);
-      stats_.cancelled += waiters.size();
+      stats_.backend_failures += waiters.size();
     }
     wake_.notify_all();
-    obs::metrics().counter("service_cancelled_total")
+    obs::metrics().counter("service_backend_failures_total")
         .add(static_cast<std::uint64_t>(waiters.size()));
     for (auto& waiter : waiters) {
       journal_resolved(*waiter);

@@ -151,6 +151,12 @@ class SolverService {
 
   SubmitOutcome submit_full(SubmitRequest request, JobOrigin origin,
                             std::uint64_t resume_rank = 0);
+  /// Admits a fresh job into the queue: idle-tenant vtime catch-up, id
+  /// assignment from its first waiter, enqueue, and the kSubmitted journal
+  /// append. Shared by the normal accept path and shed-admission so both
+  /// produce identically-initialized jobs.
+  void accept_job_locked(const std::shared_ptr<Job>& job,
+                         std::unique_ptr<Waiter> waiter);
   /// Strikes a journaled waiter's submission record (no-op when journaling
   /// is off or the waiter never made it into the journal).
   void journal_resolved(const Waiter& waiter);

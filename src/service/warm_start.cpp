@@ -175,6 +175,16 @@ WarmStartStore::WarmStartStore(std::string dir, double tightness_tolerance)
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   // A failed create degrades to a store that never hits and never saves.
+  // Uniquely-named tmp files orphaned by a crash would otherwise accumulate
+  // forever; lookup ignores them (wrong extension), so reclaim them here.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().filename().string().find(".ptsw.tmp") ==
+        std::string::npos) {
+      continue;
+    }
+    std::filesystem::remove(entry.path(), ec);
+  }
 }
 
 std::optional<WarmStartStore::Hit> WarmStartStore::lookup(
@@ -258,6 +268,11 @@ Status WarmStartStore::save(
   const auto path =
       (std::filesystem::path(dir_) / entry_name(content_hash)).string();
 
+  // Serialize saves: the keep-the-best read below and the rename at the end
+  // must be atomic as a pair, or a concurrent save for the same hash could
+  // clobber a stronger entry written between the check and the rename.
+  std::lock_guard save_lock(save_mutex_);
+
   // Keep-the-best policy: a weaker run never clobbers a stronger entry.
   if (auto body = read_body(path)) {
     const std::span<const std::uint8_t> body_span(body->data(), body->size());
@@ -304,8 +319,13 @@ Status WarmStartStore::save(
   const auto image = file.take();
 
   // Snapshot write discipline: tmp + fsync + rename + directory fsync, so a
-  // crash leaves the old entry or the new one, never a torn file.
-  const std::string tmp = path + ".tmp";
+  // crash leaves the old entry or the new one, never a torn file. The tmp
+  // name is unique per (process, save) so writers never share a tmp file —
+  // the mutex above covers this process, the pid covers siblings on a
+  // shared store directory.
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long long>(::getpid())) +
+                          "." + std::to_string(tmp_seq_.fetch_add(1));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return io_error("open " + tmp);
   if (!write_all(fd, image) || ::fsync(fd) != 0) {

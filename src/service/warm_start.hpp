@@ -26,7 +26,9 @@
 // rename + directory fsync); the loader is total (truncation, bitflips and
 // oversized counts come back as a Status, never a crash).
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -78,6 +80,10 @@ class WarmStartStore {
   /// entry only when `best.value()` is at least as good — the store keeps
   /// its strongest known state per content address. Callers must not save
   /// core-reduced runs (their slave solutions live in core coordinates).
+  /// Thread-safe: concurrent saves from multiple job threads are serialized
+  /// (the keep-the-best check and the rename must be atomic as a pair) and
+  /// each writes its own uniquely-named tmp file, so two processes sharing
+  /// the store directory can never interleave writes into one tmp.
   Status save(const mkp::Instance& inst, std::uint64_t content_hash,
               const mkp::Solution& best,
               const std::vector<parallel::snapshot::SlaveState>& slaves);
@@ -87,6 +93,11 @@ class WarmStartStore {
  private:
   std::string dir_;
   double tightness_tolerance_;
+  /// Serializes save(): read-check + write + rename must not interleave.
+  std::mutex save_mutex_;
+  /// Distinguishes tmp files across threads of one process; the pid in the
+  /// tmp name distinguishes processes sharing the directory.
+  std::atomic<std::uint64_t> tmp_seq_{0};
 };
 
 }  // namespace pts::service

@@ -286,6 +286,92 @@ TEST(ServiceTenants, BackpressureShedsByWeightBeforePriority) {
   EXPECT_EQ(server.stats().rejected, 1U);
 }
 
+TEST(ServiceTenants, ConcurrentShedAdmissionsRunUnderDistinctJobIds) {
+  // Regression: shed admission must stamp the job's id exactly like the
+  // normal accept path. Two shed-admitted jobs alive at once used to
+  // collide on the id-0 sentinel in the running books — the duplicate
+  // job-thread key destroyed a joinable std::thread and aborted the
+  // process.
+  ServiceConfig config;
+  config.num_workers = 4;  // room for two 2-slot quick jobs at once
+  config.queue_capacity = 1;
+  config.overflow = OverflowPolicy::kShedLowest;
+  config.tenants = {{"prod", 3.0, 0}, {"batch", 1.0, 0}};
+  SolverService server(config);
+
+  // Two staggered pool-fillers: the first frees capacity for the first
+  // shed-admitted job while the second still pins the rest of the pool.
+  auto filler_a = submit_ok(
+      server, make_request(std::make_shared<const mkp::Instance>(small_instance(80)),
+                           quick_options(0.25), "setup"));
+  wait_until_running(server, 1);  // capacity 1: drain the queue between fillers
+  auto filler_b = submit_ok(
+      server, make_request(std::make_shared<const mkp::Instance>(small_instance(81)),
+                           quick_options(0.8), "setup"));
+  wait_until_running(server, 2);
+
+  auto victim1 = submit_ok(
+      server, make_request(std::make_shared<const mkp::Instance>(small_instance(82)),
+                           quick_options(0.1), "batch"));
+  auto usurper1 = submit_ok(
+      server, make_request(std::make_shared<const mkp::Instance>(small_instance(83)),
+                           quick_options(1.5), "prod"));
+  EXPECT_EQ(victim1.result.get().status.code(), StatusCode::kResourceExhausted);
+
+  // filler_a ends first; the shed-admitted usurper1 leaves the queue.
+  Stopwatch watch;
+  while (server.queued_jobs() != 0 && watch.elapsed_seconds() < 10.0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(server.queued_jobs(), 0U);
+
+  auto victim2 = submit_ok(
+      server, make_request(std::make_shared<const mkp::Instance>(small_instance(84)),
+                           quick_options(0.1), "batch"));
+  auto usurper2 = submit_ok(
+      server, make_request(std::make_shared<const mkp::Instance>(small_instance(85)),
+                           quick_options(0.5), "prod"));
+  EXPECT_EQ(victim2.result.get().status.code(), StatusCode::kResourceExhausted);
+
+  // filler_b ends while usurper1 still runs: both shed-admitted jobs are in
+  // the running books together, each under its own id.
+  (void)filler_a.result.get();
+  (void)filler_b.result.get();
+  const auto first = usurper1.result.get();
+  const auto second = usurper2.result.get();
+  EXPECT_TRUE(first.status.ok()) << first.status.to_string();
+  EXPECT_TRUE(second.status.ok()) << second.status.to_string();
+  EXPECT_NE(first.start_sequence, second.start_sequence);
+}
+
+TEST(ServiceDedup, DetachedGenerousWaiterDoesNotStrandTheStricterDeadline) {
+  // Regression: when the most generous waiter of a shared RUNNING solve
+  // cancels, the remaining waiter's own stricter deadline must still be
+  // swept — it used to wait out the full (longer) solve deadline.
+  SolverService server({.num_workers = 2});
+  const auto shared = std::make_shared<const mkp::Instance>(small_instance(90));
+  auto patient_options = quick_options(30.0, 5);
+  patient_options.deadline_seconds = 30.0;  // the solve's committed leash
+  auto patient = submit_ok(server, make_request(shared, patient_options, "prod"));
+  wait_until_running(server, 1);
+
+  auto hurried_options = quick_options(30.0, 5);
+  hurried_options.deadline_seconds = 1.0;
+  auto hurried = submit_ok(server, make_request(shared, hurried_options, "batch"));
+  ASSERT_TRUE(hurried.deduplicated);  // covered: 1 s fits inside 30 s
+
+  EXPECT_TRUE(server.cancel(patient.id));  // detach the generous waiter
+  ASSERT_EQ(patient.result.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(patient.result.get().status.code(), StatusCode::kCancelled);
+
+  // The lone remaining waiter's deadline fires at ~1 s, not at 30 s.
+  Stopwatch watch;
+  ASSERT_EQ(hurried.result.wait_for(10s), std::future_status::ready);
+  EXPECT_LT(watch.elapsed_seconds(), 8.0);
+  EXPECT_EQ(hurried.result.get().status.code(),
+            StatusCode::kDeadlineExceeded);
+}
+
 TEST(ServiceWarm, ExactEntrySeedsARepeatAcrossServiceInstances) {
   const auto dir = ::testing::TempDir() + "pts_warm_store_exact";
   std::filesystem::remove_all(dir);
