@@ -1,14 +1,18 @@
 // Batch solve server: drive a mixed multi-tenant workload of MKP jobs
-// through the SolverService and show the redesigned submission surface —
-// submit(SubmitRequest) returns Expected<JobHandle>: admission failures
-// (bad options, backpressure, shutdown) come back as a Status, accepted
-// work returns a handle whose future always resolves. The demo workload
-// exercises weighted-fair scheduling across two tenants, content-addressed
-// dedup (identical submissions share one solve), per-waiter deadlines and
-// a mid-flight cancel; nothing aborts.
+// through the solver service — now over the NETWORK client path. By default
+// the demo embeds a SolverService, stands a net::Server up on an ephemeral
+// loopback port and talks to itself through net::Client, exactly the frames
+// a remote pts_client would send; --connect=host:port points the same
+// workload at an external pts_serve instead. The workload exercises
+// weighted-fair scheduling across two tenants, content-addressed dedup
+// (identical submissions share one solve — visible in the ack), per-waiter
+// deadlines, an admission error and a mid-flight remote cancel; nothing
+// aborts.
 //
 //   ./batch_server                      default 12-job mix on 4 workers
-//   options: --jobs=12 --workers=4 --queue-cap=64 --seed=1
+//   options: --connect=host:port        drive an external pts_serve (pool
+//                                       flags below then have no effect)
+//            --jobs=12 --workers=4 --queue-cap=64 --seed=1
 //            --mode=SEQ|ITS|CTS1|CTS2   force one cooperation mode
 //            --shed                     queue overflow sheds the weakest
 //                                       queued job (lowest tenant weight,
@@ -27,20 +31,18 @@
 //                                       the same (or a similar) instance
 //            --log-level=info --metrics --trace-out=trace.json  (telemetry)
 //            --metrics-out=PATH         metrics snapshot at exit (Prometheus
-//                                       text, or JSONL with a .jsonl suffix):
-//                                       per-tenant queue/dispatch gauges and
-//                                       histograms, dedup and warm-start
-//                                       counters, journal write histograms;
-//                                       --metrics-every=S rewrites it
-//                                       periodically while serving
+//                                       text, or JSONL with a .jsonl suffix)
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "mkp/generator.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/telemetry.hpp"
 #include "service/options.hpp"
 #include "service/solver_service.hpp"
@@ -52,7 +54,7 @@ namespace {
 struct Pending {
   pts::service::TenantId tenant;
   bool deduplicated = false;
-  std::future<pts::service::JobResult> result;
+  pts::net::RemoteJob job;
 };
 
 }  // namespace
@@ -70,39 +72,81 @@ int main(int argc, char** argv) {
   const auto num_jobs = static_cast<std::size_t>(args.get_int("jobs", 12));
   const auto seed = common->seed;
 
-  service::ServiceConfig pool;
-  pool.num_workers = static_cast<std::size_t>(args.get_int("workers", 4));
-  pool.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
-  pool.overflow = args.get_bool("shed", false)
-                      ? service::OverflowPolicy::kShedLowest
-                      : service::OverflowPolicy::kRejectNew;
-  common->apply_service(pool);  // --journal, --warm-start-dir
-  // The demo tenant roster: interactive "prod" work gets 3x the share of
-  // bulk "batch" work, and batch may hold at most 2 pool slots at once. A
-  // --tenant override routes every job to that one tenant instead.
-  pool.tenants = {{"prod", 3.0, 0}, {"batch", 1.0, 2}};
-  service::SolverService server(pool);
-  std::printf("pool: %zu workers, queue capacity %zu, tenants prod(w=3) / "
-              "batch(w=1, <=2 slots)\n\n",
-              pool.num_workers, pool.queue_capacity);
+  // Embedded mode: a real service + network front-end on a loopback
+  // ephemeral port, so the demo exercises the exact frames a remote client
+  // sends. --connect skips all of this and targets an external pts_serve.
+  std::unique_ptr<service::SolverService> service;
+  std::unique_ptr<net::Server> server;
+  std::vector<std::future<service::JobResult>> recovered;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  if (const auto target = args.get_string("connect", ""); !target.empty()) {
+    const auto colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect wants host:port, got '%s'\n",
+                   target.c_str());
+      return 1;
+    }
+    host = target.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+  } else {
+    service::ServiceConfig pool;
+    pool.num_workers = static_cast<std::size_t>(args.get_int("workers", 4));
+    pool.queue_capacity =
+        static_cast<std::size_t>(args.get_int("queue-cap", 64));
+    pool.overflow = args.get_bool("shed", false)
+                        ? service::OverflowPolicy::kShedLowest
+                        : service::OverflowPolicy::kRejectNew;
+    common->apply_service(pool);  // --journal, --warm-start-dir
+    // The demo tenant roster: interactive "prod" work gets 3x the share of
+    // bulk "batch" work, and batch may hold at most 2 pool slots at once. A
+    // --tenant override routes every job to that one tenant instead.
+    pool.tenants = {{"prod", 3.0, 0}, {"batch", 1.0, 2}};
+    service = std::make_unique<service::SolverService>(pool);
+    std::printf("pool: %zu workers, queue capacity %zu, tenants prod(w=3) / "
+                "batch(w=1, <=2 slots)\n",
+                pool.num_workers, pool.queue_capacity);
 
-  // Jobs the previous incarnation never resolved (crash or shutdown
-  // mid-flight) come back automatically; fold their futures into the batch.
-  auto recovered = server.take_recovered();
-  if (!recovered.empty()) {
-    std::printf("recovered %zu unresolved job(s) from %s\n\n", recovered.size(),
-                pool.journal_path.c_str());
+    // Jobs the previous incarnation never resolved (crash or shutdown
+    // mid-flight) come back automatically; fold their futures into the
+    // batch. These are service-side futures — they never crossed the wire.
+    auto resumed = service->take_recovered();
+    if (!resumed.empty()) {
+      std::printf("recovered %zu unresolved job(s) from %s\n", resumed.size(),
+                  pool.journal_path.c_str());
+    }
+    for (auto& submission : resumed) {
+      recovered.push_back(std::move(submission.result));
+    }
+
+    net::ServerConfig net_config;
+    net_config.worker_path = common->worker_path;
+    auto started = net::Server::start(*service, net_config);
+    if (!started) {
+      std::fprintf(stderr, "%s\n", started.status().to_string().c_str());
+      return 1;
+    }
+    server = std::move(*started);
+    port = server->port();
+    std::printf("embedded pts_serve on 127.0.0.1:%u\n", port);
   }
+  std::printf("\n");
+
+  auto connected = net::Client::connect(host, port);
+  if (!connected) {
+    std::fprintf(stderr, "%s\n", connected.status().to_string().c_str());
+    return 1;
+  }
+  net::Client client = std::move(*connected);
+
   std::vector<Pending> pending;
-  pending.reserve(num_jobs + recovered.size() + 3);
-  for (auto& submission : recovered) {
-    pending.push_back(Pending{"", false, std::move(submission.result)});
-  }
+  pending.reserve(num_jobs + 3);
 
   // A mixed workload: alternating sizes and presets across the two tenants,
   // a couple of urgent high-priority jobs with tight deadlines, and one
-  // deliberately bogus preset — under the new API that is an ADMISSION
-  // error: submit() returns the Status, no future ever exists.
+  // deliberately bogus preset — an ADMISSION error: the ack carries the
+  // Status, no result frame ever follows.
   for (std::size_t k = 0; k < num_jobs; ++k) {
     service::SubmitRequest request;
     request.instance = std::make_shared<const mkp::Instance>(mkp::generate_gk(
@@ -119,19 +163,18 @@ int main(int argc, char** argv) {
       request.deadline_seconds = 1.0;
     }
     if (k == 2) request.options.preset = "warp-speed";  // structured error
-    auto handle = server.submit(std::move(request));
-    if (!handle) {
+    auto job = client.submit(request);
+    if (!job) {
       std::printf("job %zu refused at admission: %s\n", k,
-                  handle.status().to_string().c_str());
+                  job.status().to_string().c_str());
       continue;
     }
-    pending.push_back(Pending{handle->tenant, handle->deduplicated,
-                              std::move(handle->result)});
+    pending.push_back(Pending{request.tenant, job->deduplicated, *job});
   }
 
   // Content-addressed dedup: two tenants ask for the SAME instance with the
   // same solve shape — the service runs it once and fans the result out to
-  // both futures.
+  // both waiters, and the ack says so.
   {
     const auto shared_inst = std::make_shared<const mkp::Instance>(
         mkp::generate_gk({.num_items = 80, .num_constraints = 5}, seed + 500));
@@ -144,22 +187,22 @@ int main(int argc, char** argv) {
       request.options.time_budget_seconds = 0.5;
       request.options.seed = seed + 500;
       request.options.mode = common->mode;
-      auto handle = server.submit(std::move(request));
-      if (!handle) continue;
-      if (handle->deduplicated) {
+      auto job = client.submit(request);
+      if (!job) continue;
+      if (job->deduplicated) {
         std::printf("job %llu attached to an identical in-flight solve "
                     "(content hash %016llx)\n",
-                    static_cast<unsigned long long>(handle->id),
-                    static_cast<unsigned long long>(handle->content_hash));
+                    static_cast<unsigned long long>(job->job_id),
+                    static_cast<unsigned long long>(job->content_hash));
       }
-      pending.push_back(Pending{handle->tenant, handle->deduplicated,
-                                std::move(handle->result)});
+      pending.push_back(Pending{request.tenant, job->deduplicated, *job});
     }
     std::printf("\n");
   }
 
-  // One long-budget job we cancel while it runs: its future still resolves,
-  // carrying the best solution found up to the cancel.
+  // One long-budget job we cancel while it runs — over the wire, with a
+  // kCancelJob frame: its result frame still arrives, carrying the best
+  // solution found up to the cancel.
   {
     service::SubmitRequest request;
     request.instance = std::make_shared<const mkp::Instance>(
@@ -169,22 +212,19 @@ int main(int argc, char** argv) {
     request.options.time_budget_seconds = 30.0;
     request.options.seed = seed;
     request.options.mode = common->mode;
-    auto doomed = server.submit(std::move(request));
+    auto doomed = client.submit(request);
     if (doomed) {
-      const service::JobId doomed_id = doomed->id;
-      pending.push_back(
-          Pending{doomed->tenant, doomed->deduplicated, std::move(doomed->result)});
+      pending.push_back(Pending{request.tenant, doomed->deduplicated, *doomed});
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
-      server.cancel(doomed_id);
+      (void)client.cancel(*doomed);
       std::printf("cancelled job %llu mid-flight\n\n",
-                  static_cast<unsigned long long>(doomed_id));
+                  static_cast<unsigned long long>(doomed->job_id));
     }
   }
 
   TextTable table({"job", "tenant", "origin", "status", "best", "dedup", "warm",
                    "queued (s)", "ran (s)", "start#"});
-  for (auto& entry : pending) {
-    auto r = entry.result.get();  // every future resolves — no timeouts
+  const auto add_row = [&table](const service::JobResult& r) {
     table.add_row({TextTable::fmt(r.id),
                    r.tenant.empty() ? "default" : r.tenant,
                    r.origin == service::JobOrigin::kResumed ? "resumed" : "fresh",
@@ -194,24 +234,42 @@ int main(int argc, char** argv) {
                    TextTable::fmt(r.queue_seconds, 3),
                    TextTable::fmt(r.run_seconds, 3),
                    TextTable::fmt(r.start_sequence)});
+  };
+  for (auto& entry : pending) {
+    auto result = client.wait(entry.job);  // every accepted job answers
+    if (!result) {
+      std::fprintf(stderr, "wait for job %llu failed: %s\n",
+                   static_cast<unsigned long long>(entry.job.job_id),
+                   result.status().to_string().c_str());
+      continue;
+    }
+    add_row(*result);
   }
+  for (auto& future : recovered) add_row(future.get());
   std::fputs(table.render().c_str(), stdout);
 
-  server.shutdown();
-  const auto stats = server.stats();
-  std::printf(
-      "\nservice stats: %llu submitted (%llu resumed), %llu completed, "
-      "%llu cancelled, %llu deadline-expired, %llu invalid, %llu rejected, "
-      "%llu dedup hits, %llu warm-started, %llu slave faults\n",
-      static_cast<unsigned long long>(stats.submitted),
-      static_cast<unsigned long long>(stats.resumed),
-      static_cast<unsigned long long>(stats.completed),
-      static_cast<unsigned long long>(stats.cancelled),
-      static_cast<unsigned long long>(stats.deadline_expired),
-      static_cast<unsigned long long>(stats.invalid),
-      static_cast<unsigned long long>(stats.rejected),
-      static_cast<unsigned long long>(stats.dedup_hits),
-      static_cast<unsigned long long>(stats.warm_started),
-      static_cast<unsigned long long>(stats.slave_faults));
+  client.close();
+  if (server) {
+    server->drain(/*timeout_seconds=*/5.0);
+    server->stop();
+  }
+  if (service) {
+    service->shutdown();
+    const auto stats = service->stats();
+    std::printf(
+        "\nservice stats: %llu submitted (%llu resumed), %llu completed, "
+        "%llu cancelled, %llu deadline-expired, %llu invalid, %llu rejected, "
+        "%llu dedup hits, %llu warm-started, %llu slave faults\n",
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.resumed),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.deadline_expired),
+        static_cast<unsigned long long>(stats.invalid),
+        static_cast<unsigned long long>(stats.rejected),
+        static_cast<unsigned long long>(stats.dedup_hits),
+        static_cast<unsigned long long>(stats.warm_started),
+        static_cast<unsigned long long>(stats.slave_faults));
+  }
   return 0;
 }

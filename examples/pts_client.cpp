@@ -1,0 +1,151 @@
+// pts_client: submit MKP jobs to a running pts_serve daemon and wait for
+// the results — the thin-CLI face of the net::Client library. The same
+// SubmitRequest issued here and through the in-process service produces a
+// bit-identical trajectory on a fixed seed: the wire carries IEEE-754 bit
+// patterns, never formatted approximations.
+//
+//   ./pts_client --port=7075 problems.txt          every instance in the file
+//   ./pts_client --port=7075 --generate=100x5      one generated instance
+//   options: --host=127.0.0.1 --port=N   where pts_serve listens (required)
+//            --generate=NxM              generate an NxM instance (--seed
+//                                        shapes it) instead of reading files
+//            --preset=... --seed=N --mode=... --backend=thread|proc
+//                                        solve shape (shared vocabulary,
+//                                        service/options.hpp)
+//            --budget=2.0                per-job time budget (seconds)
+//            --tenant=<name>             tenant identity; sticky on the
+//                                        connection once set
+//            --priority=N --deadline=S   per-submission urgency
+//            --warm-start=off|exact|similar   seed from the server's store
+//            --no-dedup                  opt out of in-flight dedup
+//            --cancel-after=S            cancel every job S seconds after
+//                                        submission (demo of remote cancel)
+//
+// Positional arguments are ORLIB-format files (mkp/parser.hpp); each file
+// may hold several instances and every instance becomes one submission.
+// All jobs are submitted first, then awaited — the connection multiplexes.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "mkp/generator.hpp"
+#include "mkp/parser.hpp"
+#include "net/client.hpp"
+#include "service/options.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto args = CliArgs::parse(argc, argv);
+  const auto common = service::CommonOptions::from_cli(args);
+  if (!common) {
+    std::fprintf(stderr, "%s\n", common.status().to_string().c_str());
+    return 1;
+  }
+  const auto port = args.get_int("port", 0);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "pts_client: --port=N (1..65535) is required\n");
+    return 1;
+  }
+
+  // Assemble the instance list: ORLIB files, or one generated instance.
+  std::vector<std::shared_ptr<const mkp::Instance>> instances;
+  if (const auto spec = args.get_string("generate", ""); !spec.empty()) {
+    const auto cross = spec.find('x');
+    const std::size_t n = std::strtoul(spec.c_str(), nullptr, 10);
+    const std::size_t m = cross == std::string::npos
+                              ? 5
+                              : std::strtoul(spec.c_str() + cross + 1, nullptr, 10);
+    if (n == 0 || m == 0) {
+      std::fprintf(stderr, "pts_client: bad --generate spec '%s' (want NxM)\n",
+                   spec.c_str());
+      return 1;
+    }
+    instances.push_back(std::make_shared<const mkp::Instance>(mkp::generate_gk(
+        {.num_items = n, .num_constraints = m}, common->seed)));
+  }
+  for (const auto& path : args.positional()) {
+    for (auto& inst : mkp::read_orlib_file(path)) {
+      instances.push_back(std::make_shared<const mkp::Instance>(std::move(inst)));
+    }
+  }
+  if (instances.empty()) {
+    std::fprintf(stderr,
+                 "pts_client: nothing to solve (pass ORLIB files or "
+                 "--generate=NxM)\n");
+    return 1;
+  }
+
+  auto client = net::Client::connect(args.get_string("host", "127.0.0.1"),
+                                     static_cast<std::uint16_t>(port));
+  if (!client) {
+    std::fprintf(stderr, "%s\n", client.status().to_string().c_str());
+    return 1;
+  }
+
+  // Submit everything up front; the connection multiplexes the waits.
+  std::vector<net::RemoteJob> jobs;
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    service::SubmitRequest request;
+    request.instance = instances[k];
+    request.tenant = common->tenant;
+    request.priority = static_cast<int>(args.get_int("priority", 0));
+    if (args.has("deadline")) {
+      request.deadline_seconds = args.get_double("deadline", 0.0);
+    }
+    request.warm_start = common->warm_start;
+    request.allow_dedup = !args.get_bool("no-dedup", false);
+    if (common->preset_name) request.options.preset = *common->preset_name;
+    request.options.time_budget_seconds = args.get_double("budget", 2.0);
+    request.options.seed = common->seed + k;
+    request.options.mode = common->mode;
+    request.options.backend = common->backend;
+    auto job = client->submit(request);
+    if (!job) {
+      std::printf("instance %zu refused: %s\n", k,
+                  job.status().to_string().c_str());
+      continue;
+    }
+    std::printf("submitted %s as job %llu%s\n",
+                instances[k]->name().c_str(),
+                static_cast<unsigned long long>(job->job_id),
+                job->deduplicated ? " (deduplicated)" : "");
+    jobs.push_back(std::move(*job));
+  }
+
+  if (const double after = args.get_double("cancel-after", 0.0); after > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(after));
+    for (const auto& job : jobs) (void)client->cancel(job);
+    std::printf("cancelled %zu job(s) after %.2fs\n", jobs.size(), after);
+  }
+
+  TextTable table({"job", "status", "best", "moves", "dedup", "warm",
+                   "queued (s)", "ran (s)"});
+  int failures = 0;
+  for (const auto& job : jobs) {
+    auto result = client->wait(job);
+    if (!result) {
+      std::fprintf(stderr, "wait for job %llu failed: %s\n",
+                   static_cast<unsigned long long>(job.job_id),
+                   result.status().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    table.add_row({TextTable::fmt(result->id),
+                   result->status.ok() ? "OK" : result->status.to_string(),
+                   result->best ? TextTable::fmt(result->best_value, 1) : "-",
+                   TextTable::fmt(result->total_moves),
+                   result->deduplicated ? "yes" : "-",
+                   result->warm_started ? "yes" : "-",
+                   TextTable::fmt(result->queue_seconds, 3),
+                   TextTable::fmt(result->run_seconds, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (client->goodbye_reason()) {
+    std::printf("server said goodbye: %s\n", client->goodbye_reason()->c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

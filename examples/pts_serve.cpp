@@ -1,0 +1,126 @@
+// pts_serve: the solver service as a network daemon (DESIGN.md §10). Binds
+// a TCP listener, speaks the framed client protocol (net/protocol.hpp) and
+// runs every accepted submission on an in-process SolverService — the same
+// scheduler, dedup, warm-start store and journal the embedded API uses, now
+// shared by any number of pts_client processes.
+//
+//   ./pts_serve --port=7075 --workers=8 --journal=jobs.journal
+//   options: --bind=127.0.0.1     interface (loopback by default — the
+//                                 protocol has no authentication layer)
+//            --port=0             TCP port; 0 picks an ephemeral one (the
+//                                 bound port is printed either way)
+//            --workers=4 --queue-cap=64 --shed      pool shape (batch_server
+//                                 flags, same semantics)
+//            --max-connections=64 concurrent client cap; the connection over
+//                                 the cap is told Goodbye and closed
+//            --drain-timeout=10   seconds SIGTERM/SIGINT waits for in-flight
+//                                 work to ship before hard-stopping
+//            --worker=<path>      pts_worker binary for proc-backend jobs
+//                                 (client-sent paths are never trusted;
+//                                 default: sibling-of-binary discovery)
+//            --journal=<path>     crash-safe job journal: jobs stranded by a
+//                                 kill -9 are re-enqueued on the next start
+//                                 and a "recovered N" line is printed
+//            --warm-start-dir=<dir>  persistent warm-start store, shareable
+//                                 with other services on the same filesystem
+//            --log-level=info --metrics --metrics-out=PATH   (telemetry)
+//
+// Graceful shutdown: SIGTERM (or SIGINT) stops accepting, sends every
+// client a Goodbye frame, waits up to --drain-timeout for outstanding
+// results to ship, then cancels the rest. Journaled jobs cancelled by the
+// shutdown stay open in the journal and come back on the next start.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "net/server.hpp"
+#include "obs/telemetry.hpp"
+#include "service/options.hpp"
+#include "service/solver_service.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_signal(int) { g_shutdown = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto args = CliArgs::parse(argc, argv);
+  obs::TelemetrySession telemetry(obs::TelemetryOptions::from_cli(args));
+  const auto common = service::CommonOptions::from_cli(args);
+  if (!common) {
+    std::fprintf(stderr, "%s\n", common.status().to_string().c_str());
+    return 1;
+  }
+
+  service::ServiceConfig pool;
+  pool.num_workers = static_cast<std::size_t>(args.get_int("workers", 4));
+  pool.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  pool.overflow = args.get_bool("shed", false)
+                      ? service::OverflowPolicy::kShedLowest
+                      : service::OverflowPolicy::kRejectNew;
+  common->apply_service(pool);  // --journal, --warm-start-dir
+  service::SolverService service(pool);
+
+  // Jobs a previous incarnation never resolved (crash, kill -9, shutdown
+  // mid-flight) were re-enqueued by the constructor; say so on stdout —
+  // operators (and tests/net) key off this line.
+  auto recovered = service.take_recovered();
+  if (!recovered.empty()) {
+    std::printf("recovered %zu unresolved job(s) from %s\n", recovered.size(),
+                pool.journal_path.c_str());
+  }
+
+  net::ServerConfig net_config;
+  net_config.bind_address = args.get_string("bind", "127.0.0.1");
+  net_config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  net_config.max_connections =
+      static_cast<std::size_t>(args.get_int("max-connections", 64));
+  net_config.worker_path = common->worker_path;
+  auto server = net::Server::start(service, net_config);
+  if (!server) {
+    std::fprintf(stderr, "%s\n", server.status().to_string().c_str());
+    return 1;
+  }
+  // Tests and scripts parse this line for the ephemeral port; flush so a
+  // piped reader sees it immediately.
+  std::printf("pts_serve listening on %s:%u (%zu workers)\n",
+              net_config.bind_address.c_str(), (*server)->port(),
+              pool.num_workers);
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  while (!g_shutdown) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const double drain_timeout = args.get_double("drain-timeout", 10.0);
+  std::printf("pts_serve draining (up to %.1fs)\n", drain_timeout);
+  std::fflush(stdout);
+  const bool drained = (*server)->drain(drain_timeout);
+  (*server)->stop();
+  service.shutdown();  // journaled leftovers stay open -> recovered next start
+
+  const auto net_stats = (*server)->stats();
+  const auto stats = service.stats();
+  std::printf(
+      "pts_serve %s: %llu connections (%llu turned away), %llu submissions, "
+      "%llu protocol errors, %llu disconnect cancels; service: %llu "
+      "submitted, %llu completed, %llu cancelled\n",
+      drained ? "drained" : "drain timed out",
+      static_cast<unsigned long long>(net_stats.connections_accepted),
+      static_cast<unsigned long long>(net_stats.connections_turned_away),
+      static_cast<unsigned long long>(net_stats.submissions),
+      static_cast<unsigned long long>(net_stats.protocol_errors),
+      static_cast<unsigned long long>(net_stats.disconnect_cancels),
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.cancelled));
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "net/client.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace pts::net {
+
+namespace {
+
+/// Connects one resolved address with a bounded wait (non-blocking connect +
+/// poll), restoring blocking mode on success. Returns -1 on failure.
+int connect_with_timeout(const addrinfo& ai, double timeout_seconds) {
+  const int fd = ::socket(ai.ai_family, ai.ai_socktype | SOCK_CLOEXEC,
+                          ai.ai_protocol);
+  if (fd < 0) return -1;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, ai.ai_addr, ai.ai_addrlen) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms =
+        static_cast<int>(std::max(1.0, timeout_seconds * 1000.0));
+    if (::poll(&pfd, 1, timeout_ms) != 1) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
+}  // namespace
+
+Expected<Client> Client::connect(const std::string& host, std::uint16_t port,
+                                 double timeout_seconds) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* list = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &list);
+  if (rc != 0) {
+    return Status::unavailable("net: cannot resolve '" + host +
+                               "': " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  for (const addrinfo* ai = list; ai != nullptr && fd < 0; ai = ai->ai_next) {
+    fd = connect_with_timeout(*ai, timeout_seconds);
+  }
+  ::freeaddrinfo(list);
+  if (fd < 0) {
+    return Status::unavailable("net: cannot connect to " + host + ":" +
+                               port_text);
+  }
+  return Client(parallel::FrameSocket(fd));
+}
+
+Expected<RemoteJob> Client::submit(const service::SubmitRequest& request) {
+  if (!socket_.valid()) {
+    return Status::unavailable("net: client is not connected");
+  }
+  if (!request.instance) {
+    return Status::invalid_argument("net: submit requires an instance");
+  }
+  if (goodbye_) {
+    return Status::unavailable("net: server said goodbye: " + *goodbye_);
+  }
+
+  // The instance is copied into the frame; the shared_ptr copy stays in
+  // outstanding_ as the decode context for the eventual result frame.
+  SubmitJob m{next_request_id_++,
+              request.tenant,
+              request.priority,
+              request.deadline_seconds,
+              request.warm_start,
+              request.allow_dedup,
+              request.options,
+              *request.instance};
+  if (auto status = socket_.send_frame(encode_submit_job(m)); !status.ok()) {
+    return status;
+  }
+  outstanding_[m.request_id] = request.instance;
+
+  // Pump until this submission's ack lands (other requests' frames file
+  // away normally — a result for job 3 may well beat the ack for job 5).
+  while (!acks_.contains(m.request_id)) {
+    if (auto status = pump_one(std::nullopt); !status.ok()) {
+      outstanding_.erase(m.request_id);
+      return status;
+    }
+  }
+  auto node = acks_.extract(m.request_id);
+  const SubmitAck& ack = node.mapped();
+  if (!ack.status.ok()) {
+    outstanding_.erase(m.request_id);
+    return ack.status;
+  }
+  RemoteJob job;
+  job.request_id = ack.request_id;
+  job.job_id = ack.job_id;
+  job.content_hash = ack.content_hash;
+  job.deduplicated = ack.deduplicated;
+  return job;
+}
+
+Expected<service::JobResult> Client::wait(
+    const RemoteJob& job, std::optional<double> timeout_seconds) {
+  const Deadline deadline = timeout_seconds
+                                ? Deadline::after_seconds(*timeout_seconds)
+                                : Deadline();
+  while (!results_.contains(job.request_id)) {
+    if (!socket_.valid()) {
+      return Status::unavailable("net: connection closed before the result");
+    }
+    std::optional<double> slice;
+    if (deadline.is_bounded()) {
+      const double remaining = deadline.remaining_seconds();
+      if (remaining <= 0.0) {
+        return Status::deadline_exceeded("net: wait timed out");
+      }
+      slice = remaining;
+    }
+    if (auto status = pump_one(slice); !status.ok()) return status;
+  }
+  auto node = results_.extract(job.request_id);
+  node.mapped().id = job.job_id;  // restore the server-side identity
+  return std::move(node.mapped());
+}
+
+Status Client::cancel(const RemoteJob& job) {
+  if (!socket_.valid()) {
+    return Status::unavailable("net: client is not connected");
+  }
+  return socket_.send_frame(encode_cancel_job({job.request_id}));
+}
+
+Status Client::pump_one(std::optional<double> timeout_seconds) {
+  auto frame = socket_.read_frame(timeout_seconds);
+  if (!frame) return frame.status();
+  switch (frame->type) {
+    case parallel::wire::MessageType::kSubmitAck: {
+      auto ack = decode_submit_ack(frame->payload);
+      if (!ack) return ack.status();
+      acks_[ack->request_id] = std::move(*ack);
+      return Status();
+    }
+    case parallel::wire::MessageType::kJobEvent: {
+      auto event = decode_job_event(frame->payload);
+      if (!event) return event.status();
+      auto& samples = chunks_[event->request_id];
+      samples.insert(samples.end(), event->anytime.begin(),
+                     event->anytime.end());
+      return Status();
+    }
+    case parallel::wire::MessageType::kJobResult: {
+      // The solution decodes against the submitter's own instance copy; a
+      // result for a request we never made is a protocol violation.
+      auto instance_it = outstanding_.begin();
+      {
+        // Peek the request id (first u64 of the payload) to find the
+        // instance without decoding twice.
+        parallel::codec::Reader r(frame->payload);
+        const std::uint64_t request_id = r.u64();
+        if (!r.ok()) {
+          return Status::invalid_argument("net: truncated job-result frame");
+        }
+        instance_it = outstanding_.find(request_id);
+      }
+      if (instance_it == outstanding_.end()) {
+        return Status::invalid_argument(
+            "net: result frame for an unknown request");
+      }
+      auto decoded = decode_job_result(frame->payload, *instance_it->second);
+      if (!decoded) return decoded.status();
+      JobResultFrame m = std::move(*decoded);
+
+      service::JobResult result;
+      result.id = m.request_id;  // wait() replaces this with the server job id
+      result.origin = m.origin;
+      result.status = std::move(m.status);
+      result.instance = instance_it->second;
+      result.best = std::move(m.best);
+      result.best_value = m.best_value;
+      result.total_moves = m.total_moves;
+      result.reached_target = m.reached_target;
+      result.slave_faults = m.slave_faults;
+      result.queue_seconds = m.queue_seconds;
+      result.run_seconds = m.run_seconds;
+      result.start_sequence = m.start_sequence;
+      result.tenant = std::move(m.tenant);
+      result.content_hash = m.content_hash;
+      result.deduplicated = m.deduplicated;
+      result.warm_started = m.warm_started;
+      if (auto chunk = chunks_.find(m.request_id); chunk != chunks_.end()) {
+        result.anytime = std::move(chunk->second);
+        chunks_.erase(chunk);
+      }
+      results_[m.request_id] = std::move(result);
+      outstanding_.erase(instance_it);
+      return Status();
+    }
+    case parallel::wire::MessageType::kGoodbye: {
+      auto goodbye = decode_goodbye(frame->payload);
+      if (!goodbye) return goodbye.status();
+      goodbye_ = std::move(goodbye->reason);
+      return Status();
+    }
+    default:
+      return Status::invalid_argument(
+          "net: unexpected frame type from the server");
+  }
+}
+
+}  // namespace pts::net

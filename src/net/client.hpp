@@ -1,0 +1,105 @@
+#pragma once
+// Client half of the network front-end (DESIGN.md §10): connect to a
+// pts_serve daemon, submit jobs over the framed protocol, wait for results.
+// pts_client wraps this in a CLI; examples/batch_server drives its demo
+// workload through it.
+//
+// The API deliberately mirrors the in-process SolverService shape —
+// submit() returns a handle, wait() resolves to a service::JobResult — so a
+// caller can swap the embedded service for a remote one without rethinking
+// its control flow. A fixed seed submitted through here produces the same
+// trajectory as the same SubmitRequest issued in-process (the wire carries
+// IEEE-754 bit patterns, never formatted approximations); tests/net/ holds
+// that bit-for-bit.
+//
+// Concurrency model: NOT thread-safe — one Client per thread. Multiplexing
+// is still supported on one connection: submit several jobs back to back,
+// then wait for each in any order. wait() pumps the socket and files frames
+// for other requests as they arrive, so out-of-order completion costs
+// nothing.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "parallel/transport.hpp"
+#include "service/job.hpp"
+#include "util/status.hpp"
+
+namespace pts::net {
+
+/// One accepted remote submission: the connection-local request id (the
+/// wait/cancel key) plus the server-side identity echoed in the ack.
+struct RemoteJob {
+  std::uint64_t request_id = 0;
+  service::JobId job_id = 0;       ///< server-side id (journal identity)
+  std::uint64_t content_hash = 0;  ///< instance content address
+  bool deduplicated = false;       ///< attached to an in-flight solve server-side
+};
+
+class Client {
+ public:
+  Client() = default;  ///< disconnected; connect() builds a live one
+  ~Client() = default;
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Resolves `host` (name or dotted quad), connects with a bounded wait.
+  [[nodiscard]] static Expected<Client> connect(const std::string& host,
+                                               std::uint16_t port,
+                                               double timeout_seconds = 5.0);
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+
+  /// Ships the submission and blocks for the ack. An admission failure
+  /// (invalid options, backpressure, draining server) comes back as its
+  /// Status; request.instance must be non-null. The client's own copy of
+  /// the instance is retained until the result arrives — result frames
+  /// decode their solution against it.
+  [[nodiscard]] Expected<RemoteJob> submit(const service::SubmitRequest& request);
+
+  /// Blocks until the job's terminal frame arrives (pumping the shared
+  /// socket; frames for other requests are filed, not dropped). Returns the
+  /// reassembled service::JobResult — including the streamed anytime curve —
+  /// or kDeadlineExceeded when `timeout_seconds` passes first (the job stays
+  /// waitable), or kUnavailable when the connection died.
+  [[nodiscard]] Expected<service::JobResult> wait(
+      const RemoteJob& job, std::optional<double> timeout_seconds = {});
+
+  /// Fire-and-forget cancel of one accepted submission. The authoritative
+  /// outcome is still the result frame (usually kCancelled).
+  [[nodiscard]] Status cancel(const RemoteJob& job);
+
+  /// Non-empty once the server said Goodbye (draining / at capacity):
+  /// outstanding work still resolves, new submits will be refused.
+  [[nodiscard]] const std::optional<std::string>& goodbye_reason() const {
+    return goodbye_;
+  }
+
+  void close() { socket_.close(); }
+
+ private:
+  explicit Client(parallel::FrameSocket socket) : socket_(std::move(socket)) {}
+
+  /// Reads one frame and files it (ack / event chunk / result / goodbye).
+  Status pump_one(std::optional<double> timeout_seconds);
+
+  parallel::FrameSocket socket_;
+  std::uint64_t next_request_id_ = 1;
+  /// Instances of submissions whose result has not arrived (decode context).
+  std::map<std::uint64_t, std::shared_ptr<const mkp::Instance>> outstanding_;
+  std::map<std::uint64_t, SubmitAck> acks_;
+  /// Anytime chunks accumulated ahead of their terminal frame.
+  std::map<std::uint64_t, std::vector<obs::AnytimeSample>> chunks_;
+  std::map<std::uint64_t, service::JobResult> results_;
+  std::optional<std::string> goodbye_;
+};
+
+}  // namespace pts::net

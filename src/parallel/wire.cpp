@@ -239,8 +239,13 @@ Expected<FrameHeader> decode_header(std::span<const std::uint8_t> bytes) {
                                     std::to_string(header.version) +
                                     " (expected " + std::to_string(kVersion) + ")");
   }
-  if (type < static_cast<std::uint8_t>(MessageType::kHello) ||
-      type > static_cast<std::uint8_t>(MessageType::kTelemetry)) {
+  const bool worker_range =
+      type >= static_cast<std::uint8_t>(MessageType::kHello) &&
+      type <= static_cast<std::uint8_t>(MessageType::kTelemetry);
+  const bool client_range =
+      type >= static_cast<std::uint8_t>(MessageType::kSubmitJob) &&
+      type <= static_cast<std::uint8_t>(MessageType::kGoodbye);
+  if (!worker_range && !client_range) {
     return Status::invalid_argument("wire: unknown message type " +
                                     std::to_string(type));
   }

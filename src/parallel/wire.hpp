@@ -38,7 +38,10 @@ namespace pts::parallel::wire {
 inline constexpr std::uint16_t kMagic = 0x5054;  // "PT"
 /// v2: Hello carries a trailing flags byte (telemetry opt-in) and the
 /// worker->master direction gains the kTelemetry chunk message.
-inline constexpr std::uint8_t kVersion = 2;
+/// v3: the client/server frame range (kSubmitJob..kGoodbye) joins the
+/// protocol — the network front-end (src/net/) speaks the same framed
+/// header, so FrameSocket serves both the worker farm and remote clients.
+inline constexpr std::uint8_t kVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 8;
 
 /// Ceiling on one payload. A corrupt length prefix must be rejected before
@@ -52,6 +55,17 @@ enum class MessageType : std::uint8_t {
   kReport = 4,      ///< worker -> master: round outcome
   kFault = 5,       ///< worker -> master: round died; SlaveFault payload
   kTelemetry = 6,   ///< worker -> master: TelemetryChunk (trace + metrics)
+
+  // -- Client/server range (v3): the network front-end's request/response
+  //    protocol. Payload layouts and codecs live in net/protocol.hpp; the
+  //    types are registered here so decode_header stays the single
+  //    total-decoder gate for every frame a FrameSocket can carry. --
+  kSubmitJob = 16,  ///< client -> server: one submission (instance + options)
+  kSubmitAck = 17,  ///< server -> client: admission verdict for a submission
+  kJobEvent = 18,   ///< server -> client: streamed progress (anytime chunks)
+  kJobResult = 19,  ///< server -> client: terminal result of a submission
+  kCancelJob = 20,  ///< client -> server: cancel one accepted submission
+  kGoodbye = 21,    ///< server -> client: draining / at capacity; no new work
 };
 
 /// Validated header fields of one frame.

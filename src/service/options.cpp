@@ -10,7 +10,12 @@ Expected<CommonOptions> CommonOptions::from_cli(const CliArgs& args) {
   if (args.has("preset")) {
     options.preset_name = args.get_string("preset", "");
   }
-  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto seed = args.get_int("seed", 1);
+  if (seed < 0) {
+    return Status::invalid_argument("--seed must be non-negative, got " +
+                                    std::to_string(seed));
+  }
+  options.seed = static_cast<std::uint64_t>(seed);
   if (args.has("mode")) {
     auto mode = parallel::cooperation_mode_from_string(args.get_string("mode", ""));
     if (!mode) {
@@ -75,10 +80,11 @@ Expected<parallel::ParallelConfig> CommonOptions::resolve_config(
 void CommonOptions::apply_overrides(parallel::ParallelConfig& config) const {
   config.seed = seed;
   if (mode) config.mode = *mode;
-  if (backend) {
-    config.backend = *backend;
-    config.proc.worker_path = worker_path;
-  }
+  if (backend) config.backend = *backend;
+  // --worker applies whether or not --backend was given on the same command
+  // line: a preset may already select the process backend, and dropping the
+  // explicit worker path there leaves it spawning the wrong binary.
+  if (!worker_path.empty()) config.proc.worker_path = worker_path;
 }
 
 void CommonOptions::apply_service(ServiceConfig& config) const {

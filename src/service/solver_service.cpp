@@ -331,6 +331,18 @@ SolverService::SubmitOutcome SolverService::submit_full(
   // no-oversubscription guarantee.
   job->config.num_slaves =
       std::clamp<std::size_t>(job->config.num_slaves, 1, config_.num_workers);
+  // ... and to the tenant's running-slot quota: a job asking more slots than
+  // its tenant may ever hold would be permanently ineligible for dispatch —
+  // the scheduler would skip it forever and its future would never resolve.
+  // Shrinking the ask keeps the quota's meaning (concurrency cap) without
+  // turning it into a starvation trap.
+  for (const auto& tenant : config_.tenants) {
+    if (tenant.name == waiter->tenant && tenant.max_running_slots != 0) {
+      job->config.num_slaves =
+          std::min(job->config.num_slaves, tenant.max_running_slots);
+      break;
+    }
+  }
   job->slots = job->config.mode == parallel::CooperationMode::kSequential
                    ? 1
                    : job->config.num_slaves;

@@ -107,6 +107,38 @@ Expected<std::vector<std::uint8_t>> read_body(const std::string& path) {
   return body;
 }
 
+/// How much of an entry the kSimilar scan reads per file. The feature +
+/// strategy prefix is a few hundred bytes even for wide pools; 64 KiB is
+/// ludicrously generous while still bounding the scan's I/O — a directory
+/// of large entries no longer costs a full read + CRC of every file.
+constexpr std::size_t kScanPrefixBytes = 64u << 10;
+
+/// Reads at most `limit` bytes from the head of `path` (bounded pread;
+/// never the whole file). Returns however many bytes the file had, up to
+/// the limit.
+Expected<std::vector<std::uint8_t>> read_prefix(const std::string& path,
+                                                std::size_t limit) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return io_error("open " + path);
+  std::vector<std::uint8_t> bytes(limit);
+  std::size_t off = 0;
+  while (off < limit) {
+    const auto n = ::pread(fd, bytes.data() + off, limit - off,
+                           static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const auto status = io_error("read " + path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  bytes.resize(off);
+  return bytes;
+}
+
 /// Decodes the feature + strategy prefix; leaves `r` positioned at the
 /// solutions section.
 Expected<EntryPrefix> get_prefix(Reader& r) {
@@ -223,38 +255,72 @@ std::optional<WarmStartStore::Hit> WarmStartStore::lookup(
 
   // Approximate: closest mean-tightness neighbor with the same shape.
   // Strategies and SGP scores transfer; solutions never do.
+  //
+  // Two passes. The scan reads only a bounded prefix of each entry (header
+  // + features + strategies — no solution tails, no CRC over megabytes of
+  // body) to rank candidates; the full read + CRC validation then runs
+  // only on the ranked candidates, best first, and the first one that
+  // validates wins. A store full of large entries costs a handful of
+  // page-sized preads per lookup instead of a full read of every file.
   const double t = mean_tightness(inst);
-  std::optional<Hit> best;
-  double best_dt = tightness_tolerance_;
+  struct Candidate {
+    std::string path;
+    double dt = 0.0;
+    double best_value = 0.0;
+  };
+  std::vector<Candidate> candidates;
   std::error_code ec;
   for (const auto& entry :
        std::filesystem::directory_iterator(dir_, ec)) {
     if (!entry.is_regular_file(ec)) continue;
     if (entry.path().extension() != ".ptsw") continue;
-    auto body = read_body(entry.path().string());
-    if (!body) continue;  // corrupt entry: skip, never fatal
-    const std::span<const std::uint8_t> body_span(body->data(), body->size());
-    Reader r(body_span);
+    auto head = read_prefix(entry.path().string(), kScanPrefixBytes);
+    if (!head) continue;  // unreadable entry: skip, never fatal
+    if (head->size() < kWarmStartHeaderBytes ||
+        std::memcmp(head->data(), kMagic, 4) != 0) {
+      continue;
+    }
+    Reader header({head->data(), kWarmStartHeaderBytes});
+    (void)header.u32();  // magic, already compared
+    const auto version = header.u8();
+    (void)header.u32();  // CRC deferred to the validation pass
+    const auto size = header.u64();
+    if (version != kWarmStartVersion || size > kMaxWarmStartBytes) continue;
+    // A prefix that outruns the 64 KiB window decodes as truncated and the
+    // entry is skipped — fine, a legitimate strategy section never gets
+    // anywhere near that large.
+    Reader r({head->data() + kWarmStartHeaderBytes,
+              head->size() - kWarmStartHeaderBytes});
     auto prefix = get_prefix(r);
     if (!prefix) continue;
     if (prefix->m != inst.num_constraints() || prefix->n != inst.num_items()) {
       continue;
     }
     const double dt = std::abs(prefix->tightness - t);
-    if (dt > best_dt) continue;
-    if (best && dt == best_dt && prefix->best_value <= best->stored_best) {
-      continue;
-    }
+    if (dt > tightness_tolerance_) continue;
+    candidates.push_back({entry.path().string(), dt, prefix->best_value});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.dt != b.dt) return a.dt < b.dt;
+              return a.best_value > b.best_value;
+            });
+  for (const auto& candidate : candidates) {
+    auto body = read_body(candidate.path);  // full read + CRC, only now
+    if (!body) continue;  // corrupt entry: fall through to the runner-up
+    const std::span<const std::uint8_t> body_span(body->data(), body->size());
+    Reader r(body_span);
+    auto prefix = get_prefix(r);
+    if (!prefix) continue;
     Hit hit;
     hit.exact = false;
     hit.stored_best = prefix->best_value;
     hit.warm.strategies = std::move(prefix->strategies);
     hit.warm.scores = std::move(prefix->scores);
-    best_dt = dt;
-    best = std::move(hit);
+    obs::metrics().counter("warm_start_similar_hits_total").add();
+    return hit;
   }
-  if (best) obs::metrics().counter("warm_start_similar_hits_total").add();
-  return best;
+  return std::nullopt;
 }
 
 Status WarmStartStore::save(

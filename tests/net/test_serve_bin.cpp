@@ -1,0 +1,145 @@
+// The pts_serve daemon acceptance loop (DESIGN.md §9 + §10): kill -9 a
+// serving daemon with a job in flight, restart it on the same --journal, and
+// the stranded job is re-enqueued — the "recovered N unresolved job(s)" line
+// is the observable contract. Drives the REAL pts_serve binary end to end:
+// spawn, parse the bound port off its stdout, submit over TCP, SIGKILL,
+// restart, SIGTERM, clean exit.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mkp/generator.hpp"
+#include "net/client.hpp"
+
+namespace pts::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr const char* kServeBin = PTS_SERVE_BIN_FOR_TESTS;
+
+/// fork/exec with stdout captured to `out_path` (the test parses the bound
+/// port and the recovery banner off it); stderr is discarded.
+pid_t spawn_to_file(const std::vector<std::string>& argv_strings,
+                    const std::string& out_path) {
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  for (const auto& arg : argv_strings) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int out =
+        ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (out >= 0) ::dup2(out, STDOUT_FILENO);
+    if (devnull >= 0) ::dup2(devnull, STDERR_FILENO);
+    ::execv(argv[0], argv.data());
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Polls `path` until its contents contain `needle`; returns the full
+/// contents (empty-needle-free) or what was there at timeout.
+std::string wait_for_output(const std::string& path, const std::string& needle,
+                            double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    auto text = slurp(path);
+    if (text.find(needle) != std::string::npos ||
+        std::chrono::steady_clock::now() >= deadline) {
+      return text;
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+}
+
+std::uint16_t parse_port(const std::string& banner) {
+  const std::string key = "listening on 127.0.0.1:";
+  const auto at = banner.find(key);
+  if (at == std::string::npos) return 0;
+  return static_cast<std::uint16_t>(
+      std::strtoul(banner.c_str() + at + key.size(), nullptr, 10));
+}
+
+TEST(PtsServe, Kill9ThenRestartWithJournalReenqueuesStrandedJobs) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pts_serve_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto journal = (dir / "jobs.journal").string();
+  const auto out1 = (dir / "serve1.out").string();
+  const auto out2 = (dir / "serve2.out").string();
+
+  // First incarnation: serve, accept one long job, die without warning.
+  pid_t pid = spawn_to_file({kServeBin, "--port=0", "--workers=2",
+                             "--journal=" + journal, "--drain-timeout=2"},
+                            out1);
+  ASSERT_GT(pid, 0);
+  const auto banner = wait_for_output(out1, "listening on", 20.0);
+  const auto port = parse_port(banner);
+  ASSERT_NE(port, 0) << "pts_serve never announced its port: " << banner;
+
+  {
+    auto client = Client::connect("127.0.0.1", port, /*timeout_seconds=*/10.0);
+    ASSERT_TRUE(client) << client.status().to_string();
+    service::SubmitRequest request;
+    request.instance = std::make_shared<const mkp::Instance>(
+        mkp::generate_gk({.num_items = 60, .num_constraints = 5}, 11));
+    request.tenant = "prod";
+    request.options.preset = "thorough";
+    request.options.time_budget_seconds = 30.0;
+    request.options.seed = 11;
+    auto job = client->submit(request);  // the ack means the job is journaled
+    ASSERT_TRUE(job) << job.status().to_string();
+
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+  }
+
+  // Second incarnation, same journal: the stranded job must come back.
+  pid = spawn_to_file({kServeBin, "--port=0", "--workers=2",
+                       "--journal=" + journal, "--drain-timeout=2"},
+                      out2);
+  ASSERT_GT(pid, 0);
+  const auto recovered = wait_for_output(out2, "listening on", 20.0);
+  EXPECT_NE(recovered.find("recovered 1 unresolved job(s)"), std::string::npos)
+      << "restart output was: " << recovered;
+
+  // Graceful shutdown: SIGTERM drains and exits 0 (the recovered job is
+  // cancelled by service shutdown; journaled jobs stay open by design).
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace pts::net

@@ -1,0 +1,120 @@
+// CommonOptions: the shared CLI vocabulary of every driver binary. The
+// rejection paths matter as much as the happy path — a typo'd flag must be
+// a structured Status naming the flag, never a silent fallback (a --seed=-1
+// silently wrapping to 2^64-1 once cost a confusing non-repro).
+#include "service/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parallel/presets.hpp"
+
+namespace pts::service {
+namespace {
+
+template <int N>
+Expected<CommonOptions> parse(const char* (&argv)[N]) {
+  return CommonOptions::from_cli(CliArgs::parse(N, argv));
+}
+
+TEST(CommonOptions, RejectsUnknownMode) {
+  const char* argv[] = {"prog", "--mode=bogus"};
+  const auto options = parse(argv);
+  ASSERT_FALSE(options);
+  EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(options.status().message().find("--mode"), std::string::npos);
+}
+
+TEST(CommonOptions, RejectsUnknownBackend) {
+  const char* argv[] = {"prog", "--backend=quantum"};
+  const auto options = parse(argv);
+  ASSERT_FALSE(options);
+  EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(options.status().message().find("--backend"), std::string::npos);
+}
+
+TEST(CommonOptions, RejectsUnknownWarmStartPolicy) {
+  const char* argv[] = {"prog", "--warm-start=sometimes",
+                        "--warm-start-dir=/tmp/ws"};
+  const auto options = parse(argv);
+  ASSERT_FALSE(options);
+  EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(options.status().message().find("--warm-start"), std::string::npos);
+}
+
+TEST(CommonOptions, RejectsResumeWithoutCheckpoint) {
+  const char* argv[] = {"prog", "--resume"};
+  const auto options = parse(argv);
+  ASSERT_FALSE(options);
+  EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(options.status().message().find("--checkpoint"), std::string::npos);
+}
+
+TEST(CommonOptions, RejectsWarmStartWithoutDir) {
+  const char* argv[] = {"prog", "--warm-start=exact"};
+  const auto options = parse(argv);
+  ASSERT_FALSE(options);
+  EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(options.status().message().find("--warm-start-dir"),
+            std::string::npos);
+}
+
+TEST(CommonOptions, WarmStartOffNeedsNoDir) {
+  const char* argv[] = {"prog", "--warm-start=off"};
+  const auto options = parse(argv);
+  ASSERT_TRUE(options) << options.status().to_string();
+  EXPECT_EQ(options->warm_start, WarmStartPolicy::kDisabled);
+}
+
+TEST(CommonOptions, RejectsNegativeSeed) {
+  // A negative seed used to wrap through the uint64 cast to a perfectly
+  // valid-looking giant seed — a silent non-repro instead of an error.
+  const char* argv[] = {"prog", "--seed=-1"};
+  const auto options = parse(argv);
+  ASSERT_FALSE(options);
+  EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(options.status().message().find("--seed"), std::string::npos);
+}
+
+TEST(CommonOptions, AcceptsZeroSeed) {
+  const char* argv[] = {"prog", "--seed=0"};
+  const auto options = parse(argv);
+  ASSERT_TRUE(options) << options.status().to_string();
+  EXPECT_EQ(options->seed, 0u);
+}
+
+TEST(CommonOptions, ApplyOverridesPropagatesWorkerWithoutBackendFlag) {
+  // --worker must land in proc.worker_path even when --backend is not on
+  // the same command line: a preset (or the submitting service) may already
+  // select the process backend, and the explicit worker path must win there.
+  const char* argv[] = {"prog", "--worker=/opt/bin/pts_worker"};
+  const auto options = parse(argv);
+  ASSERT_TRUE(options) << options.status().to_string();
+  auto config = *parallel::preset_by_name("quick", /*seed=*/1);
+  options->apply_overrides(config);
+  EXPECT_EQ(config.proc.worker_path, "/opt/bin/pts_worker");
+  EXPECT_EQ(config.backend, parallel::Backend::kThread);  // not forced
+}
+
+TEST(CommonOptions, ApplyOverridesKeepsExistingWorkerWhenFlagAbsent) {
+  const char* argv[] = {"prog", "--seed=3"};
+  const auto options = parse(argv);
+  ASSERT_TRUE(options) << options.status().to_string();
+  auto config = *parallel::preset_by_name("quick", /*seed=*/1);
+  config.proc.worker_path = "/from/the/preset";
+  options->apply_overrides(config);
+  EXPECT_EQ(config.proc.worker_path, "/from/the/preset");
+  EXPECT_EQ(config.seed, 3u);
+}
+
+TEST(CommonOptions, ApplyOverridesSetsWorkerAlongsideBackend) {
+  const char* argv[] = {"prog", "--backend=proc", "--worker=/opt/bin/w"};
+  const auto options = parse(argv);
+  ASSERT_TRUE(options) << options.status().to_string();
+  auto config = *parallel::preset_by_name("quick", /*seed=*/1);
+  options->apply_overrides(config);
+  EXPECT_EQ(config.backend, parallel::Backend::kProcess);
+  EXPECT_EQ(config.proc.worker_path, "/opt/bin/w");
+}
+
+}  // namespace
+}  // namespace pts::service

@@ -460,5 +460,25 @@ TEST(ServiceWarm, SimilarPolicySeedsFromANeighboringInstance) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Tenants, SlotAskAboveQuotaIsClampedNotStarved) {
+  // Regression: a job whose preset asks for more slots than its tenant's
+  // max_running_slots quota was permanently ineligible for dispatch — the
+  // scheduler skipped it forever and its future never resolved. The ask is
+  // clamped to the quota at submit instead, so the job runs narrower.
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.tenants = {{"capped", 1.0, 1}};  // below the quick preset's 2-slot ask
+  SolverService server(config);
+  auto handle = submit_ok(
+      server,
+      make_request(std::make_shared<const mkp::Instance>(small_instance(1)),
+                   quick_options(0.3), "capped"));
+  ASSERT_EQ(handle.result.wait_for(30s), std::future_status::ready)
+      << "quota-capped job never dispatched";
+  const auto result = handle.result.get();
+  EXPECT_TRUE(result.status.ok()) << result.status.to_string();
+  server.shutdown();
+}
+
 }  // namespace
 }  // namespace pts::service
