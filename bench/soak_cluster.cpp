@@ -1,0 +1,207 @@
+// Cluster chaos soak: a coordinator + worker mesh under sustained node
+// failure. A churn thread kills (stop()) a random worker and boots a
+// replacement on the same port on a schedule, while the node-level chaos
+// knobs stall and partition the survivors' peer links; a submit storm of
+// mixed-size jobs runs through all of it. The single hard invariant, same
+// as soak_chaos: every submitted future resolves — zero hangs, zero lost
+// jobs. Node churn may cost failovers, resubmissions and (past the retry
+// budget) kUnavailable verdicts, never liveness.
+//
+//   ./soak_cluster --seconds=10 --nodes=3 --seed=1
+//   ./soak_cluster --quick          2-second smoke (the ctest wiring)
+//
+// The 30-second soak runs under `ctest -L soak` when the build was
+// configured with -DPTS_SOAK=ON.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.hpp"
+#include "cluster/worker_node.hpp"
+#include "mkp/generator.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pts;
+using Clock = std::chrono::steady_clock;
+
+/// Chaos defaults, injected only when the caller has not already set a knob
+/// (so a CI job can dial the storm up or down through the environment).
+/// The kill knob stays OFF here — these nodes live in the soak's own
+/// process, so raise(SIGKILL) would take the harness down with them; real
+/// out-of-process kills are test_cluster_bin.cpp's job. Node death in this
+/// soak is the churn thread's stop()/replace cycle, which severs the
+/// socket exactly the way SIGKILL does.
+void default_chaos_env() {
+  ::setenv("PTS_CHAOS_NODE_STALL_MS", "2", /*overwrite=*/0);
+  ::setenv("PTS_CHAOS_NODE_PARTITION_PPM", "20000", /*overwrite=*/0);
+  ::setenv("PTS_CHAOS_NODE_PARTITION_MS", "300", /*overwrite=*/0);
+}
+
+std::unique_ptr<cluster::WorkerNode> start_worker(std::uint16_t port) {
+  cluster::WorkerNodeConfig config;
+  config.service.num_workers = 2;
+  config.server.port = port;
+  auto node = cluster::WorkerNode::start(std::move(config));
+  if (!node) {
+    std::fprintf(stderr, "worker start failed: %s\n",
+                 node.status().to_string().c_str());
+    return nullptr;
+  }
+  return std::move(*node);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto args = CliArgs::parse(argc, argv);
+  const bool quick = args.get_bool("quick", false);
+  const double seconds = quick ? 2.0 : args.get_int("seconds", 10);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto node_count =
+      static_cast<std::size_t>(args.get_int("nodes", 3));
+  default_chaos_env();
+
+  std::vector<std::unique_ptr<cluster::WorkerNode>> nodes;
+  cluster::CoordinatorConfig config;
+  for (std::size_t k = 0; k < node_count; ++k) {
+    auto node = start_worker(0);
+    if (!node) return 1;
+    config.peers.push_back({"127.0.0.1", node->port()});
+    nodes.push_back(std::move(node));
+  }
+  config.heartbeat_interval_seconds = 0.05;
+  config.heartbeat_misses = 5;
+  config.resubmit_backoff_seconds = 0.02;
+  config.max_resubmits = 6;
+  auto started = cluster::Coordinator::start(config);
+  if (!started) {
+    std::fprintf(stderr, "coordinator start failed: %s\n",
+                 started.status().to_string().c_str());
+    return 1;
+  }
+  auto& coordinator = **started;
+  std::printf("soak: %.0fs, %zu nodes, chaos stall/partition = %s ms / %s "
+              "ppm (%s ms windows), churn every ~1.2s\n",
+              seconds, node_count, std::getenv("PTS_CHAOS_NODE_STALL_MS"),
+              std::getenv("PTS_CHAOS_NODE_PARTITION_PPM"),
+              std::getenv("PTS_CHAOS_NODE_PARTITION_MS"));
+
+  // Churn thread: stop a random node, give the coordinator a beat to
+  // notice, boot a replacement on the same port.
+  std::atomic<bool> stop_churn{false};
+  std::atomic<std::uint64_t> churn_kills{0};
+  std::thread churn([&] {
+    Rng rng(seed ^ 0xC0DEULL);
+    while (!stop_churn.load()) {
+      for (int slice = 0; slice < 12 && !stop_churn.load(); ++slice) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (stop_churn.load()) break;
+      const auto pick = rng.index(nodes.size());
+      const auto port = nodes[pick]->port();
+      nodes[pick]->stop();
+      churn_kills.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      if (auto replacement = start_worker(port)) {
+        nodes[pick] = std::move(replacement);
+      }
+    }
+  });
+
+  Rng rng(seed ^ 0x50A7ULL);
+  std::deque<service::JobHandle> in_flight;
+  std::uint64_t submitted = 0, resolved = 0, ok_jobs = 0, unavailable = 0,
+                other = 0;
+  bool ok = true;
+
+  const auto drain_one = [&](bool must_resolve) -> bool {
+    auto& front = in_flight.front();
+    // A hung future is the exact bug this soak exists to catch, so a
+    // timeout is a hard failure, not a skip.
+    const auto wait = must_resolve ? std::chrono::seconds(120)
+                                   : std::chrono::seconds(0);
+    if (front.result.wait_for(wait) != std::future_status::ready) {
+      return false;
+    }
+    const auto result = front.result.get();
+    ++resolved;
+    if (result.status.ok()) ++ok_jobs;
+    else if (result.status.code() == StatusCode::kUnavailable) ++unavailable;
+    else ++other;
+    in_flight.pop_front();
+    return true;
+  };
+
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < deadline) {
+    service::SubmitRequest request;
+    request.instance = std::make_shared<const mkp::Instance>(mkp::generate_gk(
+        {.num_items = 30 + 10 * (submitted % 3), .num_constraints = 4},
+        seed + submitted));
+    request.options.preset = "quick";
+    request.options.time_budget_seconds = 0.05 + 0.1 * (submitted % 4);
+    request.options.seed = seed + submitted;
+    request.allow_dedup = (submitted % 5) != 0;
+    auto handle = coordinator.submit(std::move(request));
+    if (!handle) {
+      std::fprintf(stderr, "submit refused: %s\n",
+                   handle.status().to_string().c_str());
+      ok = false;
+      break;
+    }
+    ++submitted;
+    in_flight.push_back(std::move(*handle));
+    while (in_flight.size() > 8) {
+      if (!drain_one(/*must_resolve=*/true)) {
+        std::fprintf(stderr, "FAIL: future hung with %zu in flight\n",
+                     in_flight.size());
+        ok = false;
+        in_flight.pop_front();
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(10 + rng.index(40)));
+  }
+  while (!in_flight.empty() && ok) {
+    if (!drain_one(/*must_resolve=*/true)) {
+      std::fprintf(stderr, "FAIL: future hung during final drain\n");
+      ok = false;
+    }
+  }
+
+  stop_churn.store(true);
+  churn.join();
+  (*started)->stop();
+
+  const auto stats = coordinator.stats();
+  std::printf(
+      "soak done: %llu submitted, %llu resolved (%llu ok, %llu unavailable, "
+      "%llu other), %llu churn kills, %llu failovers, %llu exhausted, "
+      "%llu dedup hits\n",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(resolved),
+      static_cast<unsigned long long>(ok_jobs),
+      static_cast<unsigned long long>(unavailable),
+      static_cast<unsigned long long>(other),
+      static_cast<unsigned long long>(churn_kills.load()),
+      static_cast<unsigned long long>(stats.failovers),
+      static_cast<unsigned long long>(stats.exhausted),
+      static_cast<unsigned long long>(stats.dedup_hits));
+  if (resolved != submitted) {
+    std::fprintf(stderr, "FAIL: %llu futures never resolved\n",
+                 static_cast<unsigned long long>(submitted - resolved));
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "SOAK PASS" : "SOAK FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,210 @@
+// pts_cluster: one node of the fault-tolerant solver cluster (DESIGN.md
+// §11). The same binary runs either role:
+//
+//   worker — a SolverService + net::Server that answers the cluster peer
+//   range (membership, heartbeats, journal replication into a local
+//   replica) alongside normal job traffic:
+//
+//     ./pts_cluster --role=worker --port=0 --workers=4 --replica=w.journal
+//
+//   coordinator — the client-facing front door: accepts pts_client
+//   submissions, shards them across the worker endpoints, heartbeats every
+//   node, replicates its job journal to all of them and fails work over
+//   when a node dies (kill -9 included):
+//
+//     ./pts_cluster --role=coordinator --port=7075 --journal=coord.journal
+//                   --peers=127.0.0.1:9101,127.0.0.1:9102
+//
+//   shared flags: --bind=127.0.0.1  --cluster=pts  --drain-timeout=10
+//   worker flags: --name=<node>  --workers=N  --queue-cap=N  --shed
+//                 --replica=<path>   replica of the coordinator's journal
+//                 --journal=<path>   the node's OWN service journal
+//                 --worker=<path>    pts_worker binary for proc jobs
+//                 --idle-timeout=S   reap byte-silent idle connections
+//   coordinator flags: --peers=h:p[,h:p...]  --journal=<path>  --epoch=N
+//                 --heartbeat-interval=0.1  --heartbeat-misses=5
+//                 --max-resubmits=3
+//
+// A coordinator pointed (via --journal) at a worker's replica file is the
+// promotion path: it replays the replica and re-owns every open job.
+//
+// Both roles drain on SIGTERM/SIGINT. A killed worker's jobs fail over to
+// the survivors; a killed coordinator's jobs replay from its journal (or
+// any replica) on the next start.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.hpp"
+#include "cluster/worker_node.hpp"
+#include "net/server.hpp"
+#include "obs/telemetry.hpp"
+#include "service/options.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_signal(int) { g_shutdown = 1; }
+
+/// Parses "host:port,host:port,..." (host defaults to loopback for a bare
+/// ":port" or "port" entry).
+std::vector<pts::cluster::PeerAddress> parse_peers(const std::string& text) {
+  std::vector<pts::cluster::PeerAddress> peers;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string entry = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!entry.empty()) {
+      pts::cluster::PeerAddress addr;
+      const std::size_t colon = entry.rfind(':');
+      if (colon == std::string::npos) {
+        addr.port = static_cast<std::uint16_t>(std::stoul(entry));
+      } else {
+        if (colon > 0) addr.host = entry.substr(0, colon);
+        addr.port = static_cast<std::uint16_t>(std::stoul(entry.substr(colon + 1)));
+      }
+      peers.push_back(std::move(addr));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return peers;
+}
+
+void wait_for_shutdown() {
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  while (!g_shutdown) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+int run_worker(const pts::CliArgs& args) {
+  using namespace pts;
+  const auto common = service::CommonOptions::from_cli(args);
+  if (!common) {
+    std::fprintf(stderr, "%s\n", common.status().to_string().c_str());
+    return 1;
+  }
+
+  cluster::WorkerNodeConfig config;
+  config.node_name = args.get_string("name", "worker");
+  config.cluster_name = args.get_string("cluster", "pts");
+  config.replica_journal_path = args.get_string("replica", "");
+  config.service.num_workers =
+      static_cast<std::size_t>(args.get_int("workers", 4));
+  config.service.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  config.service.overflow = args.get_bool("shed", false)
+                                ? service::OverflowPolicy::kShedLowest
+                                : service::OverflowPolicy::kRejectNew;
+  common->apply_service(config.service);  // --journal, --warm-start-dir
+  config.server.bind_address = args.get_string("bind", "127.0.0.1");
+  config.server.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  config.server.worker_path = common->worker_path;
+  config.server.idle_timeout_seconds = args.get_double("idle-timeout", 300.0);
+
+  auto node = cluster::WorkerNode::start(std::move(config));
+  if (!node) {
+    std::fprintf(stderr, "%s\n", node.status().to_string().c_str());
+    return 1;
+  }
+  // Tests and scripts parse this line for the ephemeral port.
+  std::printf("pts_cluster worker '%s' listening on %s:%u (%zu workers)\n",
+              args.get_string("name", "worker").c_str(),
+              args.get_string("bind", "127.0.0.1").c_str(), (*node)->port(),
+              static_cast<std::size_t>(args.get_int("workers", 4)));
+  std::fflush(stdout);
+
+  wait_for_shutdown();
+
+  const double drain_timeout = args.get_double("drain-timeout", 10.0);
+  const bool drained = (*node)->drain(drain_timeout);
+  (*node)->stop();
+  std::printf("pts_cluster worker %s (applied_seq=%llu)\n",
+              drained ? "drained" : "drain timed out",
+              static_cast<unsigned long long>((*node)->last_applied_seq()));
+  return 0;
+}
+
+int run_coordinator(const pts::CliArgs& args) {
+  using namespace pts;
+  cluster::CoordinatorConfig config;
+  config.cluster_name = args.get_string("cluster", "pts");
+  config.peers = parse_peers(args.get_string("peers", ""));
+  config.epoch = static_cast<std::uint64_t>(args.get_int("epoch", 1));
+  config.heartbeat_interval_seconds =
+      args.get_double("heartbeat-interval", 0.1);
+  config.heartbeat_misses =
+      static_cast<int>(args.get_int("heartbeat-misses", 5));
+  config.max_resubmits = static_cast<int>(args.get_int("max-resubmits", 3));
+  config.journal_path = args.get_string("journal", "");
+
+  auto coordinator = cluster::Coordinator::start(std::move(config));
+  if (!coordinator) {
+    std::fprintf(stderr, "%s\n", coordinator.status().to_string().c_str());
+    return 1;
+  }
+  auto recovered = (*coordinator)->take_recovered();
+  if (!recovered.empty()) {
+    std::printf("recovered %zu unresolved job(s) from %s\n", recovered.size(),
+                args.get_string("journal", "").c_str());
+  }
+
+  net::ServerConfig net_config;
+  net_config.bind_address = args.get_string("bind", "127.0.0.1");
+  net_config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  net_config.max_connections =
+      static_cast<std::size_t>(args.get_int("max-connections", 64));
+  net_config.idle_timeout_seconds = args.get_double("idle-timeout", 300.0);
+  auto server = net::Server::start(**coordinator, net_config);
+  if (!server) {
+    std::fprintf(stderr, "%s\n", server.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("pts_cluster coordinator listening on %s:%u (%zu peers)\n",
+              net_config.bind_address.c_str(), (*server)->port(),
+              parse_peers(args.get_string("peers", "")).size());
+  std::fflush(stdout);
+
+  wait_for_shutdown();
+
+  const double drain_timeout = args.get_double("drain-timeout", 10.0);
+  const bool drained = (*server)->drain(drain_timeout);
+  (*server)->stop();
+  (*coordinator)->stop();  // journal records stay open -> recovered next start
+
+  const auto stats = (*coordinator)->stats();
+  std::printf(
+      "pts_cluster coordinator %s: %llu submitted (%llu dedup), %llu "
+      "dispatched, %llu failovers, %llu exhausted, %llu nodes lost, %llu "
+      "records replicated\n",
+      drained ? "drained" : "drain timed out",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.dedup_hits),
+      static_cast<unsigned long long>(stats.dispatched),
+      static_cast<unsigned long long>(stats.failovers),
+      static_cast<unsigned long long>(stats.exhausted),
+      static_cast<unsigned long long>(stats.nodes_lost),
+      static_cast<unsigned long long>(stats.records_replicated));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pts;
+  const auto args = CliArgs::parse(argc, argv);
+  obs::TelemetrySession telemetry(obs::TelemetryOptions::from_cli(args));
+  const std::string role = args.get_string("role", "");
+  if (role == "worker") return run_worker(args);
+  if (role == "coordinator") return run_coordinator(args);
+  std::fprintf(stderr, "pts_cluster: --role=worker|coordinator is required\n");
+  return 1;
+}

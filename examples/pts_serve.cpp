@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   net_config.max_connections =
       static_cast<std::size_t>(args.get_int("max-connections", 64));
   net_config.worker_path = common->worker_path;
+  net_config.idle_timeout_seconds = args.get_double("idle-timeout", 300.0);
   auto server = net::Server::start(service, net_config);
   if (!server) {
     std::fprintf(stderr, "%s\n", server.status().to_string().c_str());

@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "util/timer.hpp"
@@ -51,8 +53,9 @@ int connect_with_timeout(const addrinfo& ai, double timeout_seconds) {
 
 }  // namespace
 
-Expected<Client> Client::connect(const std::string& host, std::uint16_t port,
-                                 double timeout_seconds) {
+Expected<parallel::FrameSocket> dial(const std::string& host,
+                                     std::uint16_t port,
+                                     double timeout_seconds) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -72,7 +75,86 @@ Expected<Client> Client::connect(const std::string& host, std::uint16_t port,
     return Status::unavailable("net: cannot connect to " + host + ":" +
                                port_text);
   }
-  return Client(parallel::FrameSocket(fd));
+  return parallel::FrameSocket(fd);
+}
+
+Client::Client(parallel::FrameSocket socket, std::string host,
+               std::uint16_t port, double connect_timeout_seconds,
+               ReconnectPolicy policy)
+    : socket_(std::move(socket)),
+      host_(std::move(host)),
+      port_(port),
+      connect_timeout_seconds_(connect_timeout_seconds),
+      policy_(policy),
+      backoff_rng_(0x706172616c6c656cull ^
+                   (static_cast<std::uint64_t>(port) << 16)) {}
+
+Expected<Client> Client::connect(const std::string& host, std::uint16_t port,
+                                 double timeout_seconds,
+                                 ReconnectPolicy policy) {
+  auto socket = dial(host, port, timeout_seconds);
+  if (!socket) return socket.status();
+  return Client(std::move(*socket), host, port, timeout_seconds, policy);
+}
+
+bool Client::should_reconnect(const Status& status) const {
+  return policy_.enabled && status.code() == StatusCode::kUnavailable;
+}
+
+Status Client::send_submission(std::uint64_t request_id,
+                               const PendingSubmission& pending) {
+  SubmitJob m{request_id,
+              pending.tenant,
+              pending.priority,
+              pending.deadline_seconds,
+              pending.warm_start,
+              pending.allow_dedup,
+              pending.options,
+              *pending.instance};
+  return socket_.send_frame(encode_submit_job(m));
+}
+
+Status Client::reconnect_and_resubmit() {
+  if (!policy_.enabled) {
+    return Status::unavailable("net: connection lost (reconnect disabled)");
+  }
+  socket_.close();
+  double backoff = policy_.initial_backoff_seconds;
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    // Jitter to [backoff/2, backoff]: a herd of clients reconnecting to a
+    // freshly restarted server must not arrive in lockstep.
+    const double jittered =
+        backoff * (0.5 + static_cast<double>(backoff_rng_.next_below(1000)) /
+                             2000.0);
+    std::this_thread::sleep_for(std::chrono::duration<double>(jittered));
+    backoff = std::min(backoff * 2.0, policy_.max_backoff_seconds);
+
+    auto fresh = dial(host_, port_, connect_timeout_seconds_);
+    if (!fresh) continue;
+    socket_ = std::move(*fresh);
+    goodbye_.reset();
+
+    // Replay every unresolved submission under its ORIGINAL request id.
+    // Server-side content addressing makes this idempotent: the retry either
+    // attaches to the still-running (journal-recovered) solve or re-runs the
+    // same deterministic job; pump_one cross-checks the fresh ack's hash.
+    bool replay_ok = true;
+    for (const auto& [request_id, pending] : pending_) {
+      if (!send_submission(request_id, pending).ok()) {
+        replay_ok = false;
+        break;
+      }
+    }
+    if (!replay_ok) {
+      socket_.close();
+      continue;  // the server vanished again mid-replay — next attempt
+    }
+    ++reconnects_;
+    return Status();
+  }
+  socket_.close();
+  return Status::unavailable("net: reconnect attempts exhausted after " +
+                             std::to_string(policy_.max_attempts) + " tries");
 }
 
 Expected<RemoteJob> Client::submit(const service::SubmitRequest& request) {
@@ -86,34 +168,46 @@ Expected<RemoteJob> Client::submit(const service::SubmitRequest& request) {
     return Status::unavailable("net: server said goodbye: " + *goodbye_);
   }
 
-  // The instance is copied into the frame; the shared_ptr copy stays in
-  // outstanding_ as the decode context for the eventual result frame.
-  SubmitJob m{next_request_id_++,
-              request.tenant,
-              request.priority,
-              request.deadline_seconds,
-              request.warm_start,
-              request.allow_dedup,
-              request.options,
-              *request.instance};
-  if (auto status = socket_.send_frame(encode_submit_job(m)); !status.ok()) {
-    return status;
-  }
-  outstanding_[m.request_id] = request.instance;
+  const std::uint64_t request_id = next_request_id_++;
+  // Filed before the send so a reconnect triggered anywhere below replays
+  // this submission along with the rest.
+  PendingSubmission pending;
+  pending.instance = request.instance;
+  pending.tenant = request.tenant;
+  pending.priority = request.priority;
+  pending.deadline_seconds = request.deadline_seconds;
+  pending.warm_start = request.warm_start;
+  pending.allow_dedup = request.allow_dedup;
+  pending.options = request.options;
+  auto [it, inserted] = pending_.emplace(request_id, std::move(pending));
+  (void)inserted;
 
-  // Pump until this submission's ack lands (other requests' frames file
-  // away normally — a result for job 3 may well beat the ack for job 5).
-  while (!acks_.contains(m.request_id)) {
-    if (auto status = pump_one(std::nullopt); !status.ok()) {
-      outstanding_.erase(m.request_id);
+  if (auto status = send_submission(request_id, it->second); !status.ok()) {
+    if (!should_reconnect(status) || !reconnect_and_resubmit().ok()) {
+      pending_.erase(request_id);
       return status;
     }
   }
-  auto node = acks_.extract(m.request_id);
+
+  // Pump until this submission's ack lands (other requests' frames file
+  // away normally — a result for job 3 may well beat the ack for job 5).
+  while (!acks_.contains(request_id)) {
+    if (auto status = pump_one(std::nullopt); !status.ok()) {
+      if (should_reconnect(status) && reconnect_and_resubmit().ok()) continue;
+      pending_.erase(request_id);
+      return status;
+    }
+  }
+  auto node = acks_.extract(request_id);
   const SubmitAck& ack = node.mapped();
   if (!ack.status.ok()) {
-    outstanding_.erase(m.request_id);
+    pending_.erase(request_id);
     return ack.status;
+  }
+  // The idempotency anchor: a post-reconnect replay of this request must
+  // come back with this same content hash.
+  if (auto live = pending_.find(request_id); live != pending_.end()) {
+    live->second.acked_content_hash = ack.content_hash;
   }
   RemoteJob job;
   job.request_id = ack.request_id;
@@ -140,7 +234,10 @@ Expected<service::JobResult> Client::wait(
       }
       slice = remaining;
     }
-    if (auto status = pump_one(slice); !status.ok()) return status;
+    if (auto status = pump_one(slice); !status.ok()) {
+      if (should_reconnect(status) && reconnect_and_resubmit().ok()) continue;
+      return status;
+    }
   }
   auto node = results_.extract(job.request_id);
   node.mapped().id = job.job_id;  // restore the server-side identity
@@ -161,6 +258,29 @@ Status Client::pump_one(std::optional<double> timeout_seconds) {
     case parallel::wire::MessageType::kSubmitAck: {
       auto ack = decode_submit_ack(frame->payload);
       if (!ack) return ack.status();
+      auto pending = pending_.find(ack->request_id);
+      if (pending != pending_.end() &&
+          pending->second.acked_content_hash.has_value()) {
+        // A replay ack for a submission the old connection already accepted.
+        if (!ack->status.ok()) {
+          // The retry was refused (draining / backpressure): resolve the
+          // wait with that verdict instead of blocking forever.
+          service::JobResult refused;
+          refused.id = ack->request_id;
+          refused.status = ack->status;
+          refused.instance = pending->second.instance;
+          refused.tenant = pending->second.tenant;
+          results_[ack->request_id] = std::move(refused);
+          pending_.erase(pending);
+          return Status();
+        }
+        if (ack->content_hash != *pending->second.acked_content_hash) {
+          return Status::internal(
+              "net: resubmission acked a different content hash — refusing "
+              "to wait on somebody else's job");
+        }
+        return Status();  // idempotent replay confirmed; result still coming
+      }
       acks_[ack->request_id] = std::move(*ack);
       return Status();
     }
@@ -175,7 +295,7 @@ Status Client::pump_one(std::optional<double> timeout_seconds) {
     case parallel::wire::MessageType::kJobResult: {
       // The solution decodes against the submitter's own instance copy; a
       // result for a request we never made is a protocol violation.
-      auto instance_it = outstanding_.begin();
+      auto pending_it = pending_.begin();
       {
         // Peek the request id (first u64 of the payload) to find the
         // instance without decoding twice.
@@ -184,13 +304,14 @@ Status Client::pump_one(std::optional<double> timeout_seconds) {
         if (!r.ok()) {
           return Status::invalid_argument("net: truncated job-result frame");
         }
-        instance_it = outstanding_.find(request_id);
+        pending_it = pending_.find(request_id);
       }
-      if (instance_it == outstanding_.end()) {
+      if (pending_it == pending_.end()) {
         return Status::invalid_argument(
             "net: result frame for an unknown request");
       }
-      auto decoded = decode_job_result(frame->payload, *instance_it->second);
+      auto decoded =
+          decode_job_result(frame->payload, *pending_it->second.instance);
       if (!decoded) return decoded.status();
       JobResultFrame m = std::move(*decoded);
 
@@ -198,7 +319,7 @@ Status Client::pump_one(std::optional<double> timeout_seconds) {
       result.id = m.request_id;  // wait() replaces this with the server job id
       result.origin = m.origin;
       result.status = std::move(m.status);
-      result.instance = instance_it->second;
+      result.instance = pending_it->second.instance;
       result.best = std::move(m.best);
       result.best_value = m.best_value;
       result.total_moves = m.total_moves;
@@ -216,7 +337,7 @@ Status Client::pump_one(std::optional<double> timeout_seconds) {
         chunks_.erase(chunk);
       }
       results_[m.request_id] = std::move(result);
-      outstanding_.erase(instance_it);
+      pending_.erase(pending_it);
       return Status();
     }
     case parallel::wire::MessageType::kGoodbye: {

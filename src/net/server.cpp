@@ -34,6 +34,14 @@ Status errno_status(const char* what) {
                              std::strerror(errno));
 }
 
+bool is_peer_type(parallel::wire::MessageType type) {
+  const auto byte = static_cast<std::uint8_t>(type);
+  return byte >= static_cast<std::uint8_t>(
+                     parallel::wire::MessageType::kPeerHello) &&
+         byte <= static_cast<std::uint8_t>(
+                     parallel::wire::MessageType::kPeerReplicateAck);
+}
+
 }  // namespace
 
 /// Per-connection state. The reader thread owns `waiters` and the socket's
@@ -51,7 +59,7 @@ struct Server::Connection {
 
   std::mutex mutex;
   /// Accepted submissions whose result frame has not shipped yet:
-  /// request_id -> the service-side job to cancel if the peer vanishes.
+  /// request_id -> the gateway-side job to cancel if the peer vanishes.
   std::map<std::uint64_t, service::JobId> pending;
   /// Sticky tenant tag: the last non-empty tenant this connection submitted
   /// under. Empty-tenant submissions inherit it, so a client can state its
@@ -70,7 +78,7 @@ struct Server::Connection {
   std::thread reader;  // joined by accept-loop reap or stop()
 };
 
-Expected<std::unique_ptr<Server>> Server::start(service::SolverService& service,
+Expected<std::unique_ptr<Server>> Server::start(JobGateway& gateway,
                                                 ServerConfig config) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return errno_status("socket");
@@ -103,12 +111,24 @@ Expected<std::unique_ptr<Server>> Server::start(service::SolverService& service,
     return status;
   }
   return std::unique_ptr<Server>(
-      new Server(service, std::move(config), fd, ntohs(bound.sin_port)));
+      new Server(gateway, std::move(config), fd, ntohs(bound.sin_port)));
 }
 
-Server::Server(service::SolverService& service, ServerConfig config,
-               int listen_fd, std::uint16_t port)
-    : service_(service),
+Expected<std::unique_ptr<Server>> Server::start(service::SolverService& service,
+                                                ServerConfig config) {
+  // The adapter outlives the Server because the Server owns it; binding the
+  // gateway reference before handing over ownership is safe — the object's
+  // address never changes.
+  auto owned = std::make_unique<ServiceGateway>(service);
+  auto server = start(*owned, std::move(config));
+  if (!server) return server.status();
+  (*server)->owned_gateway_ = std::move(owned);
+  return server;
+}
+
+Server::Server(JobGateway& gateway, ServerConfig config, int listen_fd,
+               std::uint16_t port)
+    : gateway_(gateway),
       config_(std::move(config)),
       listen_fd_(listen_fd),
       port_(port),
@@ -136,9 +156,11 @@ NetStats Server::stats() const {
   NetStats s;
   s.connections_accepted = connections_accepted_.load();
   s.connections_turned_away = connections_turned_away_.load();
+  s.connections_reaped = connections_reaped_.load();
   s.submissions = submissions_.load();
   s.protocol_errors = protocol_errors_.load();
   s.disconnect_cancels = disconnect_cancels_.load();
+  s.peer_frames = peer_frames_.load();
   s.chaos_injections = chaos_injections_.load();
   return s;
 }
@@ -214,6 +236,10 @@ void Server::accept_loop() {
       break;
     }
     ++accept_seq;
+    // Kernel-level liveness probing backs up the application-level idle
+    // reap: a peer that is gone (not merely quiet) eventually errors the fd.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
 
     // Reap connections whose reader (and therefore waiters) finished, so a
     // long-lived server does not accrete dead Connection records.
@@ -252,9 +278,37 @@ void Server::accept_loop() {
 
 void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
   const CancelToken stop = stop_source_.token();
+  // Reads run in bounded slices so a byte-silent peer cannot park this
+  // thread forever: each timeout re-checks the idle clock. The slice is a
+  // quarter of the timeout (capped) so short test timeouts stay responsive
+  // without spinning production readers.
+  const double idle_timeout = config_.idle_timeout_seconds;
+  const double slice =
+      idle_timeout > 0 ? std::min(0.1, idle_timeout / 4.0) : 0.1;
+  Stopwatch idle;
   for (;;) {
-    auto frame = conn->socket.read_frame(std::nullopt, stop);
+    auto frame = conn->socket.read_frame(slice, stop);
     if (!frame) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        if (stop.cancel_requested()) break;
+        if (idle_timeout > 0 && idle.elapsed_seconds() >= idle_timeout) {
+          bool quiescent;
+          {
+            std::scoped_lock lock(conn->mutex);
+            quiescent = conn->pending.empty();
+          }
+          // Never reap a connection that is owed a result: a client blocked
+          // in wait() is legitimately silent for the whole solve.
+          if (quiescent) {
+            connections_reaped_.fetch_add(1);
+            obs::metrics().counter("net_idle_reaps_total").add();
+            PTS_LOG_WARN("net: reaping idle connection (%.1fs silent)",
+                         idle.elapsed_seconds());
+            break;
+          }
+        }
+        continue;
+      }
       // kCancelled = stop(); kUnavailable = peer gone. Anything else is a
       // malformed header — a protocol error, same disconnect outcome.
       if (frame.status().code() == StatusCode::kInvalidArgument) {
@@ -263,6 +317,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       }
       break;
     }
+    idle.restart();
     if (chaos_drop_ppm_ != 0) {
       std::scoped_lock lock(conn->write_mutex);
       if (conn->chaos_rng.next_below(1'000'000) < chaos_drop_ppm_) {
@@ -272,28 +327,42 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       }
     }
     bool ok = false;
-    switch (frame->type) {
-      case parallel::wire::MessageType::kSubmitJob:
-        ok = handle_submit(conn, frame->payload);
-        break;
-      case parallel::wire::MessageType::kCancelJob: {
-        auto cancel = decode_cancel_job(frame->payload);
-        if (cancel) {
-          service::JobId id = 0;
-          {
-            std::scoped_lock lock(conn->mutex);
-            auto it = conn->pending.find(cancel->request_id);
-            if (it != conn->pending.end()) id = it->second;
-          }
-          // Unknown / already-resolved ids are ignored by contract; the
-          // result frame (kCancelled or the natural outcome) settles it.
-          if (id != 0) (void)service_.cancel(id);
+    if (is_peer_type(frame->type)) {
+      // The peer range exists only on servers fronting a cluster node; a
+      // plain pts_serve treats it like any other out-of-place frame.
+      if (config_.peer_handler != nullptr) {
+        peer_frames_.fetch_add(1);
+        auto replies =
+            config_.peer_handler->on_peer_frame(frame->type, frame->payload);
+        if (replies) {
+          for (auto& reply : *replies) send_frame(conn, std::move(reply));
           ok = true;
         }
-        break;
       }
-      default:
-        break;  // a client has no business sending any other type
+    } else {
+      switch (frame->type) {
+        case parallel::wire::MessageType::kSubmitJob:
+          ok = handle_submit(conn, frame->payload);
+          break;
+        case parallel::wire::MessageType::kCancelJob: {
+          auto cancel = decode_cancel_job(frame->payload);
+          if (cancel) {
+            service::JobId id = 0;
+            {
+              std::scoped_lock lock(conn->mutex);
+              auto it = conn->pending.find(cancel->request_id);
+              if (it != conn->pending.end()) id = it->second;
+            }
+            // Unknown / already-resolved ids are ignored by contract; the
+            // result frame (kCancelled or the natural outcome) settles it.
+            if (id != 0) (void)gateway_.cancel(id);
+            ok = true;
+          }
+          break;
+        }
+        default:
+          break;  // a client has no business sending any other type
+      }
     }
     if (!ok) {
       protocol_errors_.fetch_add(1);
@@ -348,7 +417,7 @@ bool Server::handle_submit(const std::shared_ptr<Connection>& conn,
   // machine. Empty falls through to the server host's default discovery.
   request.options.proc.worker_path = config_.worker_path;
 
-  auto handle = service_.submit(std::move(request));
+  auto handle = gateway_.submit(std::move(request));
   if (!handle) {
     ack.status = handle.status();
     send_frame(conn, encode_submit_ack(ack));
@@ -433,7 +502,7 @@ void Server::abandon_connection(const std::shared_ptr<Connection>& conn) {
   for (const auto id : orphans) {
     // Cancel exactly this connection's stake: on a deduplicated solve the
     // service detaches one waiter and the run continues for everyone else.
-    if (service_.cancel(id) && !stopping) {
+    if (gateway_.cancel(id) && !stopping) {
       disconnect_cancels_.fetch_add(1);
       obs::metrics().counter("net_disconnect_cancels_total").add();
     }

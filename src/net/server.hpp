@@ -2,22 +2,31 @@
 // Network front-end of the solver service (DESIGN.md §10): a TCP listener
 // that turns every accepted connection into a FrameSocket speaking the
 // client range of the wire protocol (net/protocol.hpp) and bridges it onto
-// an in-process SolverService. This is what pts_serve wraps in a daemon and
-// what net::Client talks to.
+// a JobGateway — the in-process SolverService for pts_serve, or the cluster
+// coordinator (cluster/coordinator.hpp) for pts_cluster, which shards the
+// same submissions across peer nodes (DESIGN.md §11).
 //
 // Threading model. One accept thread; one reader thread per connection; one
 // short-lived waiter thread per accepted submission (it blocks on the job's
 // future, then streams the anytime curve and the result frame back under the
-// connection's write lock). The service's own guarantees do the heavy
+// connection's write lock). The gateway's own guarantees do the heavy
 // lifting: every accepted future resolves, so every waiter thread
 // terminates, so drain() and stop() terminate.
 //
 // Disconnect semantics. A connection that hits EOF, a socket error or a
-// malformed frame cancels exactly the waiters it created
-// (SolverService::cancel per outstanding submission): a deduplicated solve
-// shared with other connections keeps running for them — the vanished peer
-// loses only its own stake. Results that resolve after the disconnect are
-// dropped on the floor (their send fails), never blocked on.
+// malformed frame cancels exactly the waiters it created (gateway cancel per
+// outstanding submission): a deduplicated solve shared with other
+// connections keeps running for them — the vanished peer loses only its own
+// stake. Results that resolve after the disconnect are dropped on the floor
+// (their send fails), never blocked on.
+//
+// Half-open reaping. Readers never block forever on a silent peer: accepted
+// sockets run with TCP keepalive, and a connection that stays byte-silent
+// for ServerConfig::idle_timeout_seconds with NO outstanding submissions is
+// reaped (a client blocked in wait() has outstanding work, so it is never
+// reaped while a result is owed — and cluster peer links ping well inside
+// any sane timeout). This is what keeps a dead NAT entry or a kill -9'd
+// client from pinning a reader thread and a connection slot forever.
 //
 // Drain. drain(timeout) stops accepting, sends every connected client a
 // Goodbye frame, and waits up to the timeout for outstanding submissions to
@@ -49,6 +58,58 @@
 
 namespace pts::net {
 
+/// What the server needs from whatever runs its submissions: admit-or-refuse
+/// with a future that always resolves, and per-waiter cancel. SolverService
+/// satisfies it via ServiceGateway; cluster::Coordinator implements it by
+/// sharding across peer nodes.
+class JobGateway {
+ public:
+  virtual ~JobGateway() = default;
+
+  /// Admission failures return a Status; accepted work returns a handle
+  /// whose future ALWAYS resolves (the server's waiter threads, and
+  /// therefore drain()/stop(), depend on that).
+  [[nodiscard]] virtual Expected<service::JobHandle> submit(
+      service::SubmitRequest request) = 0;
+
+  /// Cancels one waiter's stake. Returns false for unknown/resolved ids.
+  virtual bool cancel(service::JobId id) = 0;
+};
+
+/// The in-process gateway: forwards straight to a SolverService.
+class ServiceGateway final : public JobGateway {
+ public:
+  explicit ServiceGateway(service::SolverService& service) : service_(service) {}
+
+  [[nodiscard]] Expected<service::JobHandle> submit(
+      service::SubmitRequest request) override {
+    return service_.submit(std::move(request));
+  }
+  bool cancel(service::JobId id) override { return service_.cancel(id); }
+
+ private:
+  service::SolverService& service_;
+};
+
+/// Server-side handler for the cluster peer range (kPeerHello..
+/// kPeerReplicateAck). Installed via ServerConfig::peer_handler; a server
+/// without one treats peer frames as protocol errors (the connection is
+/// dropped). cluster::WorkerNode implements it (DESIGN.md §11).
+class PeerHandler {
+ public:
+  virtual ~PeerHandler() = default;
+
+  /// Handles one inbound peer frame; returned frames are sent back on the
+  /// same connection, in order (an empty vector is a valid answer — e.g. a
+  /// partition-chaos window swallowing a ping). A non-OK status is a
+  /// protocol error: the server drops the connection. Called from the
+  /// connection's reader thread; implementations synchronize their own
+  /// state.
+  [[nodiscard]] virtual Expected<std::vector<std::vector<std::uint8_t>>>
+  on_peer_frame(parallel::wire::MessageType type,
+                std::span<const std::uint8_t> payload) = 0;
+};
+
 struct ServerConfig {
   /// Interface to bind. Keep the loopback default unless you mean to expose
   /// the service: the protocol has no authentication layer yet.
@@ -62,26 +123,42 @@ struct ServerConfig {
   /// of a kernel-queue stall.
   std::size_t max_connections = 64;
   /// pts_worker binary for proc-backend submissions. Applied to EVERY
-  /// submission (a client-sent worker path names a binary on the client's
+  /// submission (a client-sent worker path names a binary on the wrong
   /// machine — never trusted). Empty = the server host's default discovery
   /// (parallel::default_worker_path()).
   std::string worker_path;
+  /// Reap a connection that has been byte-silent this long with no
+  /// outstanding submissions (half-open peer, dead NAT entry, vanished
+  /// client). A connection that is owed a result is never reaped. 0 turns
+  /// reaping off (readers still honour stop()).
+  double idle_timeout_seconds = 300.0;
+  /// Non-null: this server answers cluster peer frames through the handler
+  /// (it is a worker node's front door). Null: peer frames are protocol
+  /// errors. The handler must outlive the Server.
+  PeerHandler* peer_handler = nullptr;
 };
 
 /// Monotone counters for tests and ops; net_* metrics mirror them.
 struct NetStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_turned_away = 0;  ///< over max_connections
+  std::uint64_t connections_reaped = 0;       ///< idle-timeout reaps
   std::uint64_t submissions = 0;              ///< SubmitJob frames admitted to submit()
   std::uint64_t protocol_errors = 0;          ///< malformed/unexpected frames
   std::uint64_t disconnect_cancels = 0;       ///< waiters cancelled by a vanish
+  std::uint64_t peer_frames = 0;              ///< frames routed to the PeerHandler
   std::uint64_t chaos_injections = 0;         ///< PTS_CHAOS_NET_* activations
 };
 
 class Server {
  public:
   /// Binds, listens (port() is final on return) and starts accepting.
-  /// The service must outlive the Server.
+  /// The gateway must outlive the Server.
+  [[nodiscard]] static Expected<std::unique_ptr<Server>> start(
+      JobGateway& gateway, ServerConfig config);
+
+  /// Convenience overload for the common in-process case: the returned
+  /// Server owns a ServiceGateway over `service` (which must outlive it).
   [[nodiscard]] static Expected<std::unique_ptr<Server>> start(
       service::SolverService& service, ServerConfig config);
 
@@ -106,13 +183,11 @@ class Server {
  private:
   struct Connection;
 
-  Server(service::SolverService& service, ServerConfig config, int listen_fd,
+  Server(JobGateway& gateway, ServerConfig config, int listen_fd,
          std::uint16_t port);
 
   void accept_loop();
   void reader_loop(const std::shared_ptr<Connection>& conn);
-  void waiter_loop(const std::shared_ptr<Connection>& conn,
-                   std::uint64_t request_id, service::JobId job_id);
   /// Returns false on an undecodable submission (the reader drops the
   /// connection); admission failures are answered with a non-OK ack.
   bool handle_submit(const std::shared_ptr<Connection>& conn,
@@ -126,7 +201,10 @@ class Server {
                   std::vector<std::uint8_t> frame);
   std::size_t outstanding_submissions() const;
 
-  service::SolverService& service_;
+  JobGateway& gateway_;
+  /// Set by the SolverService overload of start(): the adapter the server
+  /// owns on the caller's behalf.
+  std::unique_ptr<ServiceGateway> owned_gateway_;
   ServerConfig config_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -141,9 +219,11 @@ class Server {
 
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_turned_away_{0};
+  std::atomic<std::uint64_t> connections_reaped_{0};
   std::atomic<std::uint64_t> submissions_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> disconnect_cancels_{0};
+  std::atomic<std::uint64_t> peer_frames_{0};
   std::atomic<std::uint64_t> chaos_injections_{0};
 
   std::thread acceptor_;  // started last, joined by stop()

@@ -245,7 +245,10 @@ Expected<FrameHeader> decode_header(std::span<const std::uint8_t> bytes) {
   const bool client_range =
       type >= static_cast<std::uint8_t>(MessageType::kSubmitJob) &&
       type <= static_cast<std::uint8_t>(MessageType::kGoodbye);
-  if (!worker_range && !client_range) {
+  const bool peer_range =
+      type >= static_cast<std::uint8_t>(MessageType::kPeerHello) &&
+      type <= static_cast<std::uint8_t>(MessageType::kPeerReplicateAck);
+  if (!worker_range && !client_range && !peer_range) {
     return Status::invalid_argument("wire: unknown message type " +
                                     std::to_string(type));
   }

@@ -66,6 +66,20 @@ enum class MessageType : std::uint8_t {
   kJobResult = 19,  ///< server -> client: terminal result of a submission
   kCancelJob = 20,  ///< client -> server: cancel one accepted submission
   kGoodbye = 21,    ///< server -> client: draining / at capacity; no new work
+
+  // -- Cluster peer range (v3): the coordinator/worker-node control
+  //    protocol of src/cluster/ (DESIGN.md §11). Payload layouts and codecs
+  //    live in cluster/peer_protocol.hpp; registered here so decode_header
+  //    stays the single total-decoder gate for every frame a FrameSocket
+  //    can carry. Job traffic between nodes rides the client range above —
+  //    the peer range carries only membership, heartbeats and journal
+  //    replication. --
+  kPeerHello = 32,         ///< coordinator -> worker: join handshake
+  kPeerWelcome = 33,       ///< worker -> coordinator: identity + applied seq
+  kPeerPing = 34,          ///< coordinator -> worker: liveness probe
+  kPeerPong = 35,          ///< worker -> coordinator: probe echo + load
+  kPeerReplicate = 36,     ///< coordinator -> worker: journal record batch
+  kPeerReplicateAck = 37,  ///< worker -> coordinator: applied-through seq
 };
 
 /// Validated header fields of one frame.

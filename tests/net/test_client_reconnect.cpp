@@ -1,0 +1,124 @@
+// Client reconnect tests (DESIGN.md §10): a connection that dies
+// mid-conversation is rebuilt with jittered exponential backoff, and every
+// submission still awaiting its result is replayed under its ORIGINAL
+// request id. The server restarts on the same port between the drop and
+// the retry — exactly the operational event the policy exists for.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "bounds/greedy.hpp"
+#include "mkp/generator.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/solver_service.hpp"
+#include "util/rng.hpp"
+
+namespace pts::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<const mkp::Instance> make_instance(std::uint64_t seed = 1) {
+  return std::make_shared<const mkp::Instance>(
+      mkp::generate_gk({.num_items = 30, .num_constraints = 4}, seed));
+}
+
+service::SubmitRequest make_request(double budget = 2.0) {
+  service::SubmitRequest request;
+  request.instance = make_instance();
+  request.tenant = "prod";
+  request.options.preset = "quick";
+  request.options.time_budget_seconds = budget;
+  request.options.seed = 7;
+  return request;
+}
+
+ReconnectPolicy fast_policy() {
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  policy.max_attempts = 10;
+  policy.initial_backoff_seconds = 0.02;
+  policy.max_backoff_seconds = 0.2;
+  return policy;
+}
+
+TEST(NetClientReconnect, ServerRestartOnSamePortResubmitsAndResolves) {
+  service::SolverService service{service::ServiceConfig{}};
+  auto first = Server::start(service, {});
+  ASSERT_TRUE(first) << first.status().to_string();
+  const auto port = (*first)->port();
+
+  auto client =
+      Client::connect("127.0.0.1", port, /*timeout_seconds=*/5.0, fast_policy());
+  ASSERT_TRUE(client) << client.status().to_string();
+  auto job = client->submit(make_request(/*budget=*/1.0));
+  ASSERT_TRUE(job) << job.status().to_string();
+
+  // The server goes away and comes back on the SAME port (SO_REUSEADDR);
+  // the original job's waiter dies with the connection, but the replayed
+  // submission re-runs the same deterministic solve.
+  (*first)->stop();
+  first->reset();
+  auto second = Server::start(service, {.port = port});
+  ASSERT_TRUE(second) << second.status().to_string();
+
+  auto result = client->wait(*job, /*timeout_seconds=*/60.0);
+  ASSERT_TRUE(result) << result.status().to_string();
+  EXPECT_TRUE(result->status.ok()) << result->status.to_string();
+  EXPECT_GT(result->best_value, 0.0);
+  EXPECT_GE(client->reconnects(), 1u);
+
+  // The rebuilt connection is fully usable for NEW work too.
+  auto again = client->submit(make_request(/*budget=*/0.2));
+  ASSERT_TRUE(again) << again.status().to_string();
+  EXPECT_TRUE(client->wait(*again, 60.0)->status.ok());
+
+  (*second)->stop();
+  service.shutdown();
+}
+
+TEST(NetClientReconnect, DisabledPolicyStaysDeadAfterDrop) {
+  service::SolverService service{service::ServiceConfig{}};
+  auto server = Server::start(service, {});
+  ASSERT_TRUE(server) << server.status().to_string();
+
+  auto client = Client::connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client) << client.status().to_string();
+  auto job = client->submit(make_request(/*budget=*/5.0));
+  ASSERT_TRUE(job) << job.status().to_string();
+
+  (*server)->stop();
+  auto result = client->wait(*job, /*timeout_seconds=*/30.0);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client->reconnects(), 0u);
+  service.shutdown();
+}
+
+TEST(NetClientReconnect, ExhaustedAttemptsComeBackUnavailable) {
+  service::SolverService service{service::ServiceConfig{}};
+  auto server = Server::start(service, {});
+  ASSERT_TRUE(server) << server.status().to_string();
+
+  ReconnectPolicy policy = fast_policy();
+  policy.max_attempts = 2;
+  auto client = Client::connect("127.0.0.1", (*server)->port(),
+                                /*timeout_seconds=*/5.0, policy);
+  ASSERT_TRUE(client) << client.status().to_string();
+  auto job = client->submit(make_request(/*budget=*/5.0));
+  ASSERT_TRUE(job) << job.status().to_string();
+
+  // Nothing ever comes back on this port: both attempts must burn out and
+  // the wait must resolve kUnavailable instead of spinning forever.
+  (*server)->stop();
+  auto result = client->wait(*job, /*timeout_seconds=*/30.0);
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  service.shutdown();
+}
+
+}  // namespace
+}  // namespace pts::net

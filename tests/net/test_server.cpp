@@ -317,6 +317,41 @@ TEST(NetServerChaos, DropKnobVanishesTheConnection) {
   EXPECT_GE(harness.server->stats().chaos_injections, 1u);
 }
 
+TEST(NetServer, IdleConnectionIsReapedAfterTimeout) {
+  // A connection that never sends a byte (a half-open peer after a crash
+  // or a silent partition) must not hold its reader thread and connection
+  // slot forever: past the idle timeout the server reaps it.
+  ServerConfig net;
+  net.idle_timeout_seconds = 0.3;
+  Harness harness({}, net);
+  auto socket = dial("127.0.0.1", harness.server->port(), 5.0);
+  ASSERT_TRUE(socket) << socket.status().to_string();
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(10.0);
+  while (harness.server->stats().connections_reaped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(harness.server->stats().connections_reaped, 1u);
+}
+
+TEST(NetServer, ConnectionOwedAResultIsNeverReaped) {
+  // The reap rule is byte-silence AND no outstanding work: a client that
+  // submitted a job longer than the idle timeout and is quietly blocked in
+  // wait() keeps its connection until the result frame goes out.
+  ServerConfig net;
+  net.idle_timeout_seconds = 0.3;
+  Harness harness({}, net);
+  Client client = harness.connect();
+  auto job = client.submit(make_request(make_instance(), /*budget=*/1.5));
+  ASSERT_TRUE(job) << job.status().to_string();
+  auto result = client.wait(*job, /*timeout_seconds=*/60.0);
+  ASSERT_TRUE(result) << result.status().to_string();
+  EXPECT_TRUE(result->status.ok()) << result->status.to_string();
+  EXPECT_EQ(harness.server->stats().connections_reaped, 0u);
+}
+
 TEST(NetServer, StopWithOutstandingWorkTerminates) {
   // stop() without a drain must cancel outstanding submissions and join
   // every thread — a hang here is the bug.
