@@ -293,12 +293,14 @@ Expected<service::JobHandle> Coordinator::submit_locked(
     handle.deduplicated = true;
     ++stats_.dedup_hits;
     if (journal_) {
-      (void)journal_->append_dedup(waiter->id, job.primary_id);
       // A follower needs its own kSubmitted so a promoted coordinator can
-      // re-run it standalone, plus the kDedup provenance link.
+      // re-run it standalone, plus the kDedup provenance link. kSubmitted
+      // goes FIRST: replay only honors a kDedup link whose follower is
+      // already open (the replication log uses the same order).
       (void)journal_->append_submitted(waiter->id, *request.instance,
                                        journal_options, request.tenant,
                                        request.warm_start);
+      (void)journal_->append_dedup(waiter->id, job.primary_id);
     }
     ReplicateRecord submitted;
     submitted.kind = ReplicateRecord::Kind::kSubmitted;
@@ -656,6 +658,10 @@ void Coordinator::on_peer_down_locked(Peer& peer) {
     job.inflight = false;
     job.acked = false;
     job.cancel_sent = false;
+    // The survivor re-streams the whole curve from zero; keeping the dead
+    // node's prefix would hand waiters a non-monotone curve with the
+    // pre-failure samples duplicated.
+    job.anytime.clear();
     if (job.waiters.empty()) {
       // Everybody cancelled while it ran; the node that was running it is
       // gone, so there is nothing left to stop or report.
@@ -698,9 +704,11 @@ void Coordinator::handle_result_locked(Peer& peer, std::uint64_t request_id,
   auto decoded = net::decode_job_result(payload, *job.canonical.instance);
   if (!decoded) {
     // A corrupt result frame: treat like a lost solve — the usual retry
-    // machinery decides whether to give up.
+    // machinery decides whether to give up. The retry re-streams the curve,
+    // so drop the samples collected from this attempt.
     job.inflight = false;
     job.acked = false;
+    job.anytime.clear();
     ++job.attempts;
     if (job.attempts > config_.max_resubmits) {
       ++stats_.exhausted;

@@ -124,6 +124,36 @@ Expected<std::vector<std::vector<std::uint8_t>>> WorkerNode::on_peer_frame(
             "cluster: hello from foreign cluster '" + hello->cluster_name +
             "' (this node serves '" + config_.cluster_name + "')");
       }
+      {
+        std::scoped_lock lock(replica_mutex_);
+        if (hello->coordinator_epoch < served_epoch_) {
+          return Status::invalid_argument(
+              "cluster: hello from stale coordinator epoch " +
+              std::to_string(hello->coordinator_epoch) +
+              " (this node already serves epoch " +
+              std::to_string(served_epoch_) + ")");
+        }
+        if (hello->coordinator_epoch > served_epoch_) {
+          // A new coordinator incarnation numbers its replication log from 1,
+          // so the cursor earned under the old one is meaningless — reporting
+          // it would make the successor skip that many records and stall
+          // replication for good. Start over; the successor resends its full
+          // live image.
+          served_epoch_ = hello->coordinator_epoch;
+          if (!config_.replica_journal_path.empty()) {
+            auto replica = service::journal::JobJournal::open_truncate(
+                config_.replica_journal_path);
+            if (!replica) {
+              PTS_LOG_WARN("cluster: replica journal disabled: %s",
+                           replica.status().message().c_str());
+              replica_.reset();
+            } else {
+              replica_ = std::move(*replica);
+            }
+          }
+          last_applied_seq_.store(0, std::memory_order_release);
+        }
+      }
       PeerWelcome welcome;
       welcome.node_name = config_.node_name;
       welcome.last_applied_seq = last_applied_seq();
@@ -152,22 +182,33 @@ Expected<std::vector<std::vector<std::uint8_t>>> WorkerNode::on_peer_frame(
           if (record.seq <= last_applied_seq_.load(std::memory_order_relaxed)) {
             continue;  // replay of something already applied — idempotent skip
           }
-          if (replica_) {
-            switch (record.kind) {
-              case ReplicateRecord::Kind::kSubmitted:
-                (void)replica_->append_submitted(record.job_id,
-                                                 *record.instance,
-                                                 record.options, record.tenant,
-                                                 record.warm_start);
-                break;
-              case ReplicateRecord::Kind::kResolved:
-                (void)replica_->append_resolved(record.job_id);
-                break;
-              case ReplicateRecord::Kind::kDedup:
-                (void)replica_->append_dedup(record.job_id,
-                                             record.dedup_primary);
-                break;
-            }
+          // The cursor advances ONLY past durably appended records: with no
+          // replica (or a failing one) it stays put, and the ack below
+          // truthfully reports how far this node's replica actually reaches
+          // instead of claiming durability that does not exist.
+          if (!replica_) break;
+          Status appended;
+          switch (record.kind) {
+            case ReplicateRecord::Kind::kSubmitted:
+              appended = replica_->append_submitted(
+                  record.job_id, *record.instance, record.options,
+                  record.tenant, record.warm_start);
+              break;
+            case ReplicateRecord::Kind::kResolved:
+              appended = replica_->append_resolved(record.job_id);
+              break;
+            case ReplicateRecord::Kind::kDedup:
+              appended = replica_->append_dedup(record.job_id,
+                                                record.dedup_primary);
+              break;
+          }
+          if (!appended.ok()) {
+            PTS_LOG_WARN(
+                "cluster: replica append failed (cursor frozen at %llu): %s",
+                static_cast<unsigned long long>(
+                    last_applied_seq_.load(std::memory_order_relaxed)),
+                appended.message().c_str());
+            break;
           }
           last_applied_seq_.store(record.seq, std::memory_order_release);
           obs::metrics().counter("cluster_records_applied_total").add();

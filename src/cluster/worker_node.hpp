@@ -16,6 +16,16 @@
 // restart (cursor back to 0), which makes the coordinator resend its full
 // live image — correct by idempotence, simple by construction.
 //
+// The cursor is only valid WITHIN one coordinator incarnation: a promoted
+// coordinator numbers its replication log from 1 again, so a hello carrying
+// a higher `coordinator_epoch` than the last one served truncates the
+// replica and resets the cursor to 0 (the successor sends its full live
+// image); a hello from a LOWER epoch — a stale coordinator that lost its
+// crown — is refused outright. And the cursor only advances for records
+// DURABLY appended: a node without a replica journal (no path configured,
+// or the open failed) acks cursor 0 forever, so the coordinator's
+// `acked_seq` for it truthfully reads "this node holds no replica".
+//
 // Node-level chaos. Four env knobs extend the PTS_CHAOS_* family to whole-
 // node failure, evaluated per inbound peer frame (tests/cluster/ and
 // bench/soak_cluster drive them):
@@ -96,6 +106,8 @@ class WorkerNode final : public net::PeerHandler {
   /// Null when replica_journal_path is empty (or the open failed).
   std::unique_ptr<service::journal::JobJournal> replica_;
   std::atomic<std::uint64_t> last_applied_seq_{0};
+  /// Highest coordinator_epoch ever served; guarded by replica_mutex_.
+  std::uint64_t served_epoch_ = 0;
 
   // -- Chaos state (knobs latched at start). --
   std::uint32_t chaos_kill_ppm_ = 0;

@@ -133,6 +133,12 @@ Status Client::reconnect_and_resubmit() {
     if (!fresh) continue;
     socket_ = std::move(*fresh);
     goodbye_.reset();
+    // The server re-streams each replayed job's anytime curve from the
+    // start; samples collected on the dead connection would duplicate the
+    // prefix in the reassembled JobResult.
+    for (const auto& [request_id, pending] : pending_) {
+      chunks_.erase(request_id);
+    }
 
     // Replay every unresolved submission under its ORIGINAL request id.
     // Server-side content addressing makes this idempotent: the retry either

@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <future>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "cluster/coordinator.hpp"
 #include "cluster/worker_node.hpp"
 #include "mkp/generator.hpp"
+#include "parallel/wire.hpp"
 
 namespace pts::cluster {
 namespace {
@@ -234,11 +236,15 @@ TEST(Cluster, ReplicaCatchesUpAndBootsAPromotedCoordinator) {
   (*coordinator)->stop();
   EXPECT_EQ(open->result.get().status.code(), StatusCode::kUnavailable);
 
-  // Promotion: a NEW coordinator boots off the WORKER'S REPLICA and
-  // re-owns the in-flight job. The replica is the standard PTSJ format, so
-  // this is just journal_path pointed somewhere else.
+  // Promotion: a NEW coordinator boots off a COPY of the worker's replica
+  // and re-owns the in-flight job. The replica is the standard PTSJ format,
+  // so this is just journal_path pointed at the snapshot. (A copy, not the
+  // live file: the epoch-2 handshake below truncates w1's replica, which
+  // must not clobber the promoted coordinator's own journal.)
+  const auto promoted_journal = (dir / "promoted.journal").string();
+  std::filesystem::copy_file(replica, promoted_journal);
   auto promoted_config = fast_config({port});
-  promoted_config.journal_path = replica;
+  promoted_config.journal_path = promoted_journal;
   promoted_config.epoch = 2;
   auto promoted = Coordinator::start(std::move(promoted_config));
   ASSERT_TRUE(promoted) << promoted.status().to_string();
@@ -248,8 +254,91 @@ TEST(Cluster, ReplicaCatchesUpAndBootsAPromotedCoordinator) {
   EXPECT_TRUE(result.status.ok()) << result.status.to_string();
   EXPECT_GT(result.best_value, 0.0);
 
+  // The epoch bump must have reset w1's cursor: the promoted coordinator
+  // numbers its replication log from 1 again (seq 1 = the recovered job's
+  // kSubmitted, seq 2 = its kResolved above), so w1's stale epoch-1 cursor
+  // of 3 would swallow both and stall replication to it for good.
+  const auto epoch_deadline = std::chrono::steady_clock::now() + 10s;
+  while (w1->last_applied_seq() != 2 &&
+         std::chrono::steady_clock::now() < epoch_deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(w1->last_applied_seq(), 2u);
+
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Cluster, WorkerRefusesAStaleCoordinatorEpoch) {
+  // Driven through the handler directly: once epoch 5 has been served, a
+  // hello from epoch 4 — the deposed coordinator waking back up — must be
+  // refused, not silently re-adopted.
+  auto w1 = start_worker();
+  ASSERT_TRUE(w1);
+  const auto hello5 = encode_peer_hello({"pts", 5});
+  const std::span<const std::uint8_t> payload5 =
+      std::span(hello5).subspan(parallel::wire::kHeaderBytes);
+  auto first = w1->on_peer_frame(parallel::wire::MessageType::kPeerHello,
+                                 payload5);
+  ASSERT_TRUE(first) << first.status().to_string();
+
+  const auto hello4 = encode_peer_hello({"pts", 4});
+  const std::span<const std::uint8_t> payload4 =
+      std::span(hello4).subspan(parallel::wire::kHeaderBytes);
+  auto stale = w1->on_peer_frame(parallel::wire::MessageType::kPeerHello,
+                                 payload4);
+  ASSERT_FALSE(stale);
+  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+
+  // The incumbent epoch reconnecting is fine (cursor kept, no refusal).
+  auto again = w1->on_peer_frame(parallel::wire::MessageType::kPeerHello,
+                                 payload5);
+  EXPECT_TRUE(again) << again.status().to_string();
+}
+
+TEST(Cluster, CoordinatorJournalKeepsDedupProvenanceOnReplay) {
+  // The coordinator writes a coalesced follower as kSubmitted THEN kDedup;
+  // replay only honors a link whose follower is already open, so the
+  // reverse order would silently drop the provenance.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pts_cluster_dedup_journal_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  auto config = fast_config({1});  // no node listens: jobs stay open
+  config.journal_path = (dir / "coord.journal").string();
+  const auto journal_path = config.journal_path;
+  auto coordinator = Coordinator::start(std::move(config));
+  ASSERT_TRUE(coordinator) << coordinator.status().to_string();
+
+  auto first = (*coordinator)->submit(make_request(51, /*budget=*/5.0));
+  auto second = (*coordinator)->submit(make_request(51, /*budget=*/5.0));
+  ASSERT_TRUE(first && second);
+  EXPECT_TRUE(second->deduplicated);
+  (*coordinator)->stop();  // waiters resolve kUnavailable, records stay open
+
+  auto recovered = service::journal::recover_jobs(journal_path);
+  ASSERT_TRUE(recovered) << recovered.status().to_string();
+  ASSERT_EQ(recovered->size(), 2u);
+  EXPECT_EQ((*recovered)[0].dedup_primary, 0u);
+  EXPECT_EQ((*recovered)[1].dedup_primary, (*recovered)[0].id);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Cluster, WorkerWithoutReplicaNeverAcksReplication) {
+  // A node with no replica journal still solves jobs, but its
+  // applied-through cursor must stay at 0: acking records it never
+  // persisted would let a promotion trust an empty (nonexistent) replica.
+  auto w1 = start_worker(/*replica=*/"");
+  ASSERT_TRUE(w1);
+  auto coordinator = Coordinator::start(fast_config({w1->port()}));
+  ASSERT_TRUE(coordinator) << coordinator.status().to_string();
+  wait_for_peers(**coordinator, 1);
+
+  auto handle = (*coordinator)->submit(make_request(41, /*budget=*/0.1));
+  ASSERT_TRUE(handle) << handle.status().to_string();
+  EXPECT_TRUE(handle->result.get().status.ok());
+  EXPECT_EQ(w1->last_applied_seq(), 0u);
 }
 
 TEST(Cluster, RejoinedWorkerCatchesUpAndTakesPendingWork) {
